@@ -1,0 +1,120 @@
+//! Ablation study: **what do the built-in assertions buy?**
+//!
+//! The paper argues (§4) that "assertions, besides improving testability,
+//! help to improve fault-revealing effectiveness" while also noting that
+//! "assertions alone do not constitute an effective oracle". This bench
+//! isolates both claims by re-running the Table 2 and Table 3 mutant sets
+//! with BIT disabled (no invariant/pre/post checks — deployment mode) and
+//! comparing against the BIT-enabled runs:
+//!
+//! * with BIT **on**, a fraction of kills comes from assertion violations;
+//! * with BIT **off**, those kills must be re-detected by the golden
+//!   output comparison or are lost — the score can only stay or drop;
+//! * in neither configuration do assertions alone reach the combined
+//!   score (they are a *partial* oracle).
+//!
+//! Run with: `cargo bench -p concat-bench --bench ablation`
+
+use concat_bench::{
+    coblist_bundle, sortable_bundle, PROBE_SEEDS, SEED, TABLE2_METHODS, TABLE3_METHODS,
+};
+use concat_core::{Consumer, SelfTestable};
+use concat_report::{AsciiTable, Comparison};
+
+struct Arm {
+    label: &'static str,
+    killed: usize,
+    by_assertion: usize,
+    score: f64,
+}
+
+fn run_arm(
+    bundle: &SelfTestable,
+    methods: &[&str],
+    bit_enabled: bool,
+    label: &'static str,
+) -> Arm {
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(bundle).expect("spec generates");
+    let run = consumer
+        .evaluate_quality_with(bundle, &suite, methods, &PROBE_SEEDS, bit_enabled)
+        .expect("bundle carries mutation support");
+    Arm { label, killed: run.killed(), by_assertion: run.killed_by_assertion(), score: run.score() }
+}
+
+fn print_arms(title: &str, arms: &[Arm]) {
+    let mut t = AsciiTable::new(vec![
+        "Configuration".into(),
+        "#killed".into(),
+        "by assertion".into(),
+        "score".into(),
+    ]);
+    t.numeric();
+    for a in arms {
+        t.row(vec![
+            a.label.into(),
+            a.killed.to_string(),
+            a.by_assertion.to_string(),
+            format!("{:.1}%", a.score * 100.0),
+        ]);
+    }
+    println!("{title}\n{t}");
+}
+
+fn main() {
+    let started = std::time::Instant::now();
+
+    let sortable = sortable_bundle();
+    let t2_on = run_arm(&sortable, &TABLE2_METHODS, true, "BIT on (test mode)");
+    let t2_off = run_arm(&sortable, &TABLE2_METHODS, false, "BIT off (deployment)");
+    print_arms("Ablation A — Table 2 mutants (CSortableObList new methods)", &[t2_on, t2_off]);
+
+    let base = coblist_bundle();
+    let t3_on = run_arm(&base, &TABLE3_METHODS, true, "BIT on (test mode)");
+    let t3_off = run_arm(&base, &TABLE3_METHODS, false, "BIT off (deployment)");
+    print_arms(
+        "Ablation B — Table 3 mutants (CObList base methods, full base suite)",
+        &[t3_on, t3_off],
+    );
+
+    let rerun_on = run_arm(&sortable, &TABLE2_METHODS, true, "on");
+    let rerun_off = run_arm(&sortable, &TABLE2_METHODS, false, "off");
+    let base_on = run_arm(&base, &TABLE3_METHODS, true, "on");
+    let base_off = run_arm(&base, &TABLE3_METHODS, false, "off");
+
+    let comparison = Comparison::new("Ablation (assertions on/off)")
+        .row(
+            "assertion kills exist with BIT on",
+            "59 of 652 kills by assertion",
+            format!("{} (T2) + {} (T3) assertion kills", rerun_on.by_assertion, base_on.by_assertion),
+            rerun_on.by_assertion > 0 && base_on.by_assertion > 0,
+        )
+        .row(
+            "assertion kills vanish with BIT off",
+            "(implied by the BIT access control)",
+            format!("{} + {}", rerun_off.by_assertion, base_off.by_assertion),
+            rerun_off.by_assertion == 0 && base_off.by_assertion == 0,
+        )
+        .row(
+            "assertions never reduce detection",
+            "assertions help to improve effectiveness",
+            format!(
+                "T2 kills {} (on) vs {} (off); T3 kills {} (on) vs {} (off)",
+                rerun_on.killed, rerun_off.killed, base_on.killed, base_off.killed
+            ),
+            rerun_on.killed >= rerun_off.killed && base_on.killed >= base_off.killed,
+        )
+        .row(
+            "assertions alone are not the whole oracle",
+            "assertions alone do not constitute an effective oracle",
+            format!(
+                "assertion share of kills: {:.0}% (T2), {:.0}% (T3)",
+                100.0 * rerun_on.by_assertion as f64 / rerun_on.killed.max(1) as f64,
+                100.0 * base_on.by_assertion as f64 / base_on.killed.max(1) as f64
+            ),
+            rerun_on.by_assertion < rerun_on.killed,
+        );
+    println!("{comparison}");
+    println!("elapsed {:?}", started.elapsed());
+    assert!(comparison.shape_holds(), "ablation shape criteria violated");
+}

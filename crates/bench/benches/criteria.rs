@@ -1,0 +1,88 @@
+//! Criterion-strength ablation: how much does the paper's *transaction
+//! coverage* criterion buy over the weaker rungs of Beizer's ladder?
+//!
+//! The paper calls transaction coverage "the weakest criterion among the
+//! ones presented in [Beizer 95]" — weakest among *path-based* criteria,
+//! but still strictly stronger than node (all public features once) and
+//! edge (all links once) coverage. This bench selects suites under each
+//! criterion and measures their mutation scores against the Table-2
+//! mutant set.
+//!
+//! Run with: `cargo bench -p concat-bench --bench criteria`
+
+use concat_bench::{sortable_bundle, PROBE_SEEDS, SEED, TABLE2_METHODS};
+use concat_core::Consumer;
+use concat_driver::{
+    select_transactions, DriverGenerator, GeneratorConfig, SelectionCriterion,
+};
+use concat_report::{AsciiTable, Comparison};
+use concat_tfm::EnumerationConfig;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let bundle = sortable_bundle();
+    let consumer = Consumer::with_seed(SEED);
+    let config = GeneratorConfig { seed: SEED, ..GeneratorConfig::default() };
+
+    let mut rows = Vec::new();
+    for criterion in SelectionCriterion::LADDER {
+        let selection = select_transactions(
+            &bundle.spec().tfm,
+            criterion,
+            EnumerationConfig { cycle_bound: config.cycle_bound, max_transactions: config.max_transactions },
+        );
+        assert!(selection.is_complete(), "{criterion} must be achievable");
+        let mut gen = DriverGenerator::new(config);
+        let suite = gen
+            .generate_selected(bundle.spec(), Some(&selection.transaction_indices))
+            .expect("spec generates");
+        let run = consumer
+            .evaluate_quality(&bundle, &suite, &TABLE2_METHODS, &PROBE_SEEDS)
+            .expect("bundle carries mutation support");
+        rows.push((criterion, selection.transaction_indices.len(), suite.len(), run));
+    }
+
+    let mut t = AsciiTable::new(vec![
+        "Criterion".into(),
+        "Transactions".into(),
+        "Cases".into(),
+        "#killed".into(),
+        "Score".into(),
+    ]);
+    t.numeric();
+    for (criterion, txns, cases, run) in &rows {
+        t.row(vec![
+            criterion.name().into(),
+            txns.to_string(),
+            cases.to_string(),
+            run.killed().to_string(),
+            format!("{:.1}%", run.score() * 100.0),
+        ]);
+    }
+    println!("Criterion-strength ablation (Table 2 mutant set)\n{t}");
+
+    let kills: Vec<usize> = rows.iter().map(|(_, _, _, r)| r.killed()).collect();
+    let sizes: Vec<usize> = rows.iter().map(|(_, _, c, _)| *c).collect();
+    let comparison = Comparison::new("Criterion ladder")
+        .row(
+            "suite size grows with criterion strength",
+            "(transaction coverage is the strongest of the three)",
+            format!("{sizes:?} cases"),
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+        )
+        .row(
+            "detection never drops with a stronger criterion",
+            "(implied by test-set inclusion)",
+            format!("{kills:?} kills"),
+            kills.windows(2).all(|w| w[0] <= w[1]),
+        )
+        .row(
+            "even all-nodes coverage detects most faults",
+            "(the paper's criterion choice is pragmatic, not maximal)",
+            format!("{:.1}% with all-nodes", rows[0].3.score() * 100.0),
+            rows[0].3.score() > 0.5,
+        );
+    println!("{comparison}");
+    println!("elapsed {:?}", started.elapsed());
+    assert!(comparison.shape_holds(), "criterion ladder shape violated");
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the pipeline stages: transaction
+//! enumeration, suite generation, suite execution, and mutation analysis
+//! throughput. These are not paper artefacts (the paper reports no
+//! performance numbers); they document the cost profile of the
+//! reproduction and guard against performance regressions.
+//!
+//! Run with: `cargo bench -p concat-bench --bench perf`
+
+use concat_bench::{coblist_bundle, sortable_bundle, SEED, TABLE2_METHODS};
+use concat_components::{sortable_inventory, sortable_spec};
+use concat_core::Consumer;
+use concat_driver::{TestLog, TestRunner};
+use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig};
+use concat_tfm::{enumerate_transactions, NodeKind, Tfm};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Layered DAG with `layers` task layers of `width` nodes each, fully
+/// connected layer to layer — a TFM stress shape.
+fn layered_tfm(layers: usize, width: usize) -> Tfm {
+    let mut tfm = Tfm::new("Layered");
+    let birth = tfm.add_node("birth", NodeKind::Birth, ["New"]);
+    let mut prev = vec![birth];
+    for l in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for w in 0..width {
+            let id = tfm.add_node(format!("t{l}_{w}"), NodeKind::Task, [format!("M{l}_{w}")]);
+            for p in &prev {
+                tfm.add_edge(*p, id);
+            }
+            layer.push(id);
+        }
+        prev = layer;
+    }
+    let death = tfm.add_node("death", NodeKind::Death, ["Drop"]);
+    for p in &prev {
+        tfm.add_edge(*p, death);
+    }
+    tfm
+}
+
+fn bench_transaction_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tfm/enumerate_transactions");
+    for (layers, width) in [(4, 2), (6, 2), (8, 2), (4, 3)] {
+        let tfm = layered_tfm(layers, width);
+        let paths = enumerate_transactions(&tfm).len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}x{width}({paths} paths)")),
+            &tfm,
+            |b, tfm| b.iter(|| black_box(enumerate_transactions(tfm).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_suite_generation(c: &mut Criterion) {
+    let bundle = sortable_bundle();
+    c.bench_function("driver/generate_sortable_suite", |b| {
+        b.iter(|| {
+            let consumer = Consumer::with_seed(SEED);
+            black_box(consumer.generate(&bundle).unwrap().len())
+        })
+    });
+}
+
+fn bench_suite_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver/run_suite");
+    for (name, bundle) in [("coblist", coblist_bundle()), ("sortable", sortable_bundle())] {
+        let consumer = Consumer::with_seed(SEED);
+        let suite = consumer.generate(&bundle).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("{name}({} cases)", suite.len())), |b| {
+            b.iter_batched(
+                TestLog::new,
+                |mut log| {
+                    let runner = TestRunner::new();
+                    black_box(runner.run_suite(bundle.factory(), &suite, &mut log).passed())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutation_analysis(c: &mut Criterion) {
+    // One method's mutants against a reduced suite: a unit of mutation
+    // work small enough to iterate.
+    let bundle = sortable_bundle();
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(&bundle).unwrap();
+    let small = suite.filtered(&suite.cases.iter().map(|c| c.id).take(60).collect::<Vec<_>>());
+    let mutants = enumerate_mutants(&sortable_inventory(), &["FindMax"]);
+    c.bench_function(
+        &format!("mutation/findmax({}mutants x {}cases)", mutants.len(), small.len()),
+        |b| {
+            b.iter(|| {
+                let run = run_mutation_analysis(
+                    bundle.factory(),
+                    bundle.switch().unwrap(),
+                    &small,
+                    &mutants,
+                    &MutationConfig::default(),
+                );
+                black_box(run.killed())
+            })
+        },
+    );
+}
+
+fn bench_spec_validation(c: &mut Criterion) {
+    let spec = sortable_spec();
+    c.bench_function("tspec/validate_sortable", |b| {
+        b.iter(|| black_box(spec.validate().len()))
+    });
+    c.bench_function("tspec/print_parse_roundtrip", |b| {
+        b.iter(|| {
+            let text = concat_tspec::print_tspec(&spec);
+            black_box(concat_tspec::parse_tspec(&text).unwrap().methods.len())
+        })
+    });
+    let _ = TABLE2_METHODS;
+}
+
+criterion_group!(
+    benches,
+    bench_transaction_enumeration,
+    bench_suite_generation,
+    bench_suite_execution,
+    bench_mutation_analysis,
+    bench_spec_validation
+);
+criterion_main!(benches);

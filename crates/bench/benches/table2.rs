@@ -1,0 +1,104 @@
+//! Regenerates **Table 2** of the paper: interface mutation analysis of
+//! the `CSortableObList` class — faults injected into the five new
+//! methods (`Sort1`, `Sort2`, `ShellSort`, `FindMax`, `FindMin`), killed
+//! by the full generated subclass test suite.
+//!
+//! The paper reports 700 mutants, 652 killed (59 by assertion violation),
+//! 19 equivalent, total score 95.7%, on a 16-node/43-link test model with
+//! 233 newly generated test cases. Our re-implemented subjects yield
+//! different absolute counts; the shape criteria checked at the bottom
+//! are: high per-operator scores, equivalents concentrated in
+//! `IndVarRepReq`, and a visible minority of kills owed to the assertion
+//! partial oracle.
+//!
+//! Run with: `cargo bench -p concat-bench --bench table2`
+
+use concat_bench::{run_table2, SEED, TABLE2_METHODS};
+use concat_driver::{ReusePlan, TestingHistory};
+use concat_mutation::MutationOperator;
+use concat_report::{render_score_table, summarize_run, Comparison};
+
+fn main() {
+    let started = std::time::Instant::now();
+    let outcome = run_table2(SEED);
+
+    // The paper reports the test-set size alongside the table.
+    let bundle = concat_bench::sortable_bundle();
+    let history = TestingHistory::from_suite(&outcome.suite);
+    let plan = ReusePlan::analyze(&history, bundle.inheritance().expect("map attached"));
+    let (reusable_as_is, new_method_cases, _) = plan.counts();
+    println!(
+        "Test model: {} nodes, {} links; suite: {} cases ({} exercising new methods, \
+         {} reusable-as-is from the superclass)\n",
+        bundle.spec().tfm.node_count(),
+        bundle.spec().tfm.edge_count(),
+        outcome.suite.len(),
+        new_method_cases,
+        reusable_as_is,
+    );
+
+    println!(
+        "{}",
+        render_score_table("Table 2. Results obtained for the CSortableObList class.", &outcome.matrix)
+    );
+    println!("{}\n", summarize_run(&outcome.run));
+
+    let overall = outcome.matrix.overall();
+    let req = outcome.matrix.column(MutationOperator::IndVarRepReq);
+    let min_op_score = MutationOperator::ALL
+        .iter()
+        .map(|op| outcome.matrix.column(*op).score())
+        .fold(f64::INFINITY, f64::min);
+    let assertion_share =
+        outcome.run.killed_by_assertion() as f64 / outcome.run.killed().max(1) as f64;
+
+    let comparison = Comparison::new("Table 2")
+        .row(
+            "total mutants",
+            "700",
+            overall.mutants.to_string(),
+            overall.mutants > 100,
+        )
+        .row(
+            "total mutation score",
+            "95.7%",
+            format!("{:.1}%", overall.score_pct()),
+            overall.score() > 0.90,
+        )
+        .row(
+            "weakest per-operator score",
+            "85.7% (IndVarBitNeg)",
+            format!("{:.1}%", min_op_score * 100.0),
+            min_op_score > 0.85,
+        )
+        .row(
+            "equivalent mutants",
+            "19 of 700 (15 in IndVarRepReq)",
+            format!("{} of {} ({} in IndVarRepReq)", overall.equivalent, overall.mutants, req.equivalent),
+            req.equivalent * 2 >= overall.equivalent,
+        )
+        .row(
+            "kills by assertion violation",
+            "59 of 652 (~9%)",
+            format!(
+                "{} of {} (~{:.0}%)",
+                outcome.run.killed_by_assertion(),
+                outcome.run.killed(),
+                assertion_share * 100.0
+            ),
+            outcome.run.killed_by_assertion() > 0 && assertion_share < 0.5,
+        )
+        .row(
+            "new test cases generated",
+            "233",
+            new_method_cases.to_string(),
+            (100..=600).contains(&new_method_cases),
+        );
+    println!("{comparison}");
+    println!(
+        "targets: {:?}; elapsed {:?}",
+        TABLE2_METHODS,
+        started.elapsed()
+    );
+    assert!(comparison.shape_holds(), "Table 2 shape criteria violated");
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Table 3** of the paper: the same interface mutation
+//! operators applied to the *base class* `CObList` (`AddHead`, `RemoveAt`,
+//! `RemoveHead`), but executed with the subclass's **reduced** test set —
+//! the suite that remains after the §3.4.2 incremental-reuse rule skips
+//! every transaction composed only of inherited methods.
+//!
+//! The paper reports a total score of 63.5% (per-operator 40–69.7%),
+//! versus 95.7% in Table 2 — its headline caution: *not retesting
+//! inherited transactions is dangerous*. The ablation at the bottom runs
+//! the full base-class suite against the same mutants to isolate the
+//! reuse policy as the cause.
+//!
+//! Run with: `cargo bench -p concat-bench --bench table3`
+
+use concat_bench::{run_table2, run_table3, SEED, TABLE3_METHODS};
+use concat_report::{render_score_table, summarize_run, Comparison};
+
+fn main() {
+    let started = std::time::Instant::now();
+    let outcome = run_table3(SEED);
+
+    println!(
+        "Subclass suite: {} cases; reuse rule skipped {} inherited-only case(s); \
+         reduced suite: {} cases\n",
+        outcome.full_suite.len(),
+        outcome.skipped,
+        outcome.reduced_suite.len()
+    );
+
+    println!(
+        "{}",
+        render_score_table(
+            "Table 3. Results obtained for the CObList class (reduced subclass test set).",
+            &outcome.reduced.matrix
+        )
+    );
+    println!("{}\n", summarize_run(&outcome.reduced.run));
+
+    println!(
+        "{}",
+        render_score_table(
+            "Ablation: the same mutants under the FULL CObList test suite.",
+            &outcome.ablation.matrix
+        )
+    );
+    println!("{}\n", summarize_run(&outcome.ablation.run));
+
+    let reduced = outcome.reduced.matrix.overall();
+    let ablation = outcome.ablation.matrix.overall();
+    let table2 = run_table2(SEED).matrix.overall();
+
+    let comparison = Comparison::new("Table 3")
+        .row(
+            "total mutants (base methods)",
+            "159",
+            reduced.mutants.to_string(),
+            reduced.mutants > 50,
+        )
+        .row(
+            "reduced-suite score",
+            "63.5%",
+            format!("{:.1}%", reduced.score_pct()),
+            (0.30..=0.85).contains(&reduced.score()),
+        )
+        .row(
+            "gap below Table 2's score",
+            "95.7% - 63.5% = 32.2 points",
+            format!("{:.1} points", (table2.score() - reduced.score()) * 100.0),
+            table2.score() - reduced.score() > 0.15,
+        )
+        .row(
+            "full-suite ablation restores detection",
+            "(implied: retesting would catch these faults)",
+            format!("{:.1}% with the full base suite", ablation.score_pct()),
+            ablation.score() > 0.90 && ablation.score() > reduced.score() + 0.15,
+        );
+    println!("{comparison}");
+    println!(
+        "targets: {:?}; elapsed {:?}",
+        TABLE3_METHODS,
+        started.elapsed()
+    );
+    assert!(comparison.shape_holds(), "Table 3 shape criteria violated");
+}

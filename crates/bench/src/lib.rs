@@ -1,0 +1,155 @@
+//! # concat-bench
+//!
+//! Experiment harnesses for the `concat-rs` reproduction of *"Constructing
+//! Self-Testable Software Components"* (Martins, Toyota & Yanagawa,
+//! DSN 2001). Each `cargo bench` target regenerates one table or figure of
+//! the paper; this library holds the shared experiment drivers so the
+//! bench targets and the integration tests agree on the exact
+//! configurations.
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — the interface mutation operator catalogue |
+//! | `table2` | Table 2 — mutation analysis of `CSortableObList` |
+//! | `table3` | Table 3 — the reduced reuse suite vs base-class mutants (plus the full-suite ablation) |
+//! | `figures` | Figures 1–7 — class, TFM/DOT, t-spec text, BIT surface, macros, driver text |
+//! | `perf` | criterion micro-benchmarks of the pipeline stages |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use concat_components::{
+    coblist_inventory, coblist_spec, sortable_inheritance_map, sortable_inventory, sortable_spec,
+    CObListFactory, CSortableObListFactory,
+};
+use concat_core::{Consumer, SelfTestable, SelfTestableBuilder};
+use concat_driver::TestSuite;
+use concat_mutation::{MutationMatrix, MutationRun, MutationSwitch};
+use std::rc::Rc;
+
+/// The canonical experiment seed (the publication year of the paper).
+pub const SEED: u64 = 2001;
+
+/// Probe seeds used for equivalence probing in both table experiments.
+pub const PROBE_SEEDS: [u64; 2] = [777, 888];
+
+/// Table 2's target methods (the subclass's new methods).
+pub const TABLE2_METHODS: [&str; 5] = ["Sort1", "Sort2", "ShellSort", "FindMax", "FindMin"];
+
+/// Table 3's target methods (the instrumented base-class methods).
+pub const TABLE3_METHODS: [&str; 3] = ["AddHead", "RemoveAt", "RemoveHead"];
+
+/// Builds the packaged `CSortableObList` bundle used by both experiments.
+pub fn sortable_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .inheritance(sortable_inheritance_map())
+    .build()
+}
+
+/// Builds the packaged `CObList` bundle (the Table 3 ablation subject).
+pub fn coblist_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+        .mutation(coblist_inventory(), switch)
+        .build()
+}
+
+/// Everything a table bench needs to print its rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The suite the mutants were executed against.
+    pub suite: TestSuite,
+    /// The raw mutation run.
+    pub run: MutationRun,
+    /// The method × operator aggregation.
+    pub matrix: MutationMatrix,
+}
+
+/// Runs the Table 2 experiment: faults in the five new methods of
+/// `CSortableObList`, killed by the full generated subclass suite.
+///
+/// # Panics
+///
+/// Panics if the shipped specs stop validating (a build error, not a
+/// runtime condition).
+pub fn run_table2(seed: u64) -> ExperimentOutcome {
+    let bundle = sortable_bundle();
+    let consumer = Consumer::with_seed(seed);
+    let suite = consumer.generate(&bundle).expect("sortable spec generates");
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &TABLE2_METHODS, &PROBE_SEEDS)
+        .expect("bundle carries mutation support");
+    let matrix = MutationMatrix::from_run(&run, &TABLE2_METHODS);
+    ExperimentOutcome { suite, run, matrix }
+}
+
+/// The Table 3 experiment plus its ablation.
+#[derive(Debug, Clone)]
+pub struct Table3Outcome {
+    /// The full subclass suite.
+    pub full_suite: TestSuite,
+    /// The reuse-pruned suite actually executed (the paper's scenario).
+    pub reduced_suite: TestSuite,
+    /// Cases skipped by the reuse rule (inherited-only transactions).
+    pub skipped: usize,
+    /// The reduced-suite run against base-class mutants (Table 3 proper).
+    pub reduced: ExperimentOutcome,
+    /// The full *base* suite run against the same mutants (ablation: what
+    /// retesting everything would have caught).
+    pub ablation: ExperimentOutcome,
+}
+
+/// Runs the Table 3 experiment: faults in the base-class methods,
+/// executed with the subclass's *reduced* (incrementally reused) test
+/// set, plus the full-base-suite ablation.
+///
+/// # Panics
+///
+/// Panics if the shipped specs stop validating.
+pub fn run_table3(seed: u64) -> Table3Outcome {
+    let bundle = sortable_bundle();
+    let consumer = Consumer::with_seed(seed);
+    let full_suite = consumer.generate(&bundle).expect("sortable spec generates");
+    let plan = consumer.subclass_plan(&bundle, &full_suite).expect("bundle carries a map");
+    let reduced_suite = full_suite.filtered(&plan.reused_case_ids());
+    let skipped = plan.skipped_case_ids().len();
+
+    let run = consumer
+        .evaluate_quality(&bundle, &reduced_suite, &TABLE3_METHODS, &PROBE_SEEDS)
+        .expect("bundle carries mutation support");
+    let reduced = ExperimentOutcome {
+        suite: reduced_suite.clone(),
+        matrix: MutationMatrix::from_run(&run, &TABLE3_METHODS),
+        run,
+    };
+
+    // Ablation: the full base-class suite against the same mutants.
+    let base = coblist_bundle();
+    let base_suite = consumer.generate(&base).expect("coblist spec generates");
+    let base_run = consumer
+        .evaluate_quality(&base, &base_suite, &TABLE3_METHODS, &PROBE_SEEDS)
+        .expect("bundle carries mutation support");
+    let ablation = ExperimentOutcome {
+        suite: base_suite,
+        matrix: MutationMatrix::from_run(&base_run, &TABLE3_METHODS),
+        run: base_run,
+    };
+
+    Table3Outcome { full_suite, reduced_suite, skipped, reduced, ablation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundles_build() {
+        assert_eq!(sortable_bundle().class_name(), "CSortableObList");
+        assert_eq!(coblist_bundle().class_name(), "CObList");
+    }
+}

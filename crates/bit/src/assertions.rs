@@ -1,0 +1,200 @@
+//! Contract assertion support: the macros of the paper's Figure 5.
+//!
+//! The paper wraps `ClassInvariant`, `PreCondition` and `PostCondition`
+//! predicates in C++ macros that throw when violated. The Rust macros below
+//! return an `Err(TestException::Assertion(..))` from the enclosing method
+//! instead (no unwinding), consulting the [`BitControl`] first so that
+//! deployment-mode components skip the checks — the runtime analogue of the
+//! paper's compiler directive.
+
+use crate::control::BitControl;
+use concat_runtime::{AssertionKind, AssertionViolation};
+
+/// Builds an [`AssertionViolation`]; used by the macros, public for custom
+/// assertion helpers.
+pub fn violation(
+    kind: AssertionKind,
+    class_name: &str,
+    method: &str,
+    message: &str,
+) -> AssertionViolation {
+    AssertionViolation {
+        kind,
+        class_name: class_name.to_owned(),
+        method: method.to_owned(),
+        message: message.to_owned(),
+    }
+}
+
+/// Evaluates one assertion predicate under a [`BitControl`].
+///
+/// Returns `Ok(())` when BIT is disabled or the predicate holds;
+/// `Err(violation)` otherwise. The macros delegate here so the counting
+/// logic lives in one place.
+///
+/// # Errors
+///
+/// Returns the constructed [`AssertionViolation`] when test mode is on and
+/// `holds` is false.
+pub fn check(
+    ctl: &BitControl,
+    kind: AssertionKind,
+    class_name: &str,
+    method: &str,
+    message: &str,
+    holds: bool,
+) -> Result<(), AssertionViolation> {
+    if !ctl.enabled() {
+        return Ok(());
+    }
+    ctl.record_check();
+    if holds {
+        Ok(())
+    } else {
+        ctl.record_violation();
+        Err(violation(kind, class_name, method, message))
+    }
+}
+
+/// Checks a class invariant predicate (paper's `ClassInvariant` macro).
+///
+/// Expands to an early `return Err(..)` from a function whose error type
+/// implements `From<AssertionViolation>` (both `AssertionViolation` itself
+/// and `TestException` do).
+///
+/// ```
+/// use concat_bit::{class_invariant, BitControl};
+/// use concat_runtime::TestException;
+///
+/// fn step(ctl: &BitControl, qty: i64) -> Result<(), TestException> {
+///     class_invariant!(ctl, "Product", "UpdateQty", qty >= 1);
+///     Ok(())
+/// }
+///
+/// let ctl = BitControl::new_enabled();
+/// assert!(step(&ctl, 5).is_ok());
+/// assert!(step(&ctl, 0).is_err());
+/// ```
+#[macro_export]
+macro_rules! class_invariant {
+    ($ctl:expr, $class:expr, $method:expr, $pred:expr) => {
+        if let Err(v) = $crate::check(
+            $ctl,
+            concat_runtime::AssertionKind::Invariant,
+            $class,
+            $method,
+            stringify!($pred),
+            $pred,
+        ) {
+            return Err(v.into());
+        }
+    };
+}
+
+/// Checks a method precondition (paper's `PreCondition` macro).
+///
+/// See [`class_invariant!`] for expansion details.
+#[macro_export]
+macro_rules! pre_condition {
+    ($ctl:expr, $class:expr, $method:expr, $pred:expr) => {
+        if let Err(v) = $crate::check(
+            $ctl,
+            concat_runtime::AssertionKind::Precondition,
+            $class,
+            $method,
+            stringify!($pred),
+            $pred,
+        ) {
+            return Err(v.into());
+        }
+    };
+}
+
+/// Checks a method postcondition (paper's `PostCondition` macro).
+///
+/// See [`class_invariant!`] for expansion details.
+#[macro_export]
+macro_rules! post_condition {
+    ($ctl:expr, $class:expr, $method:expr, $pred:expr) => {
+        if let Err(v) = $crate::check(
+            $ctl,
+            concat_runtime::AssertionKind::Postcondition,
+            $class,
+            $method,
+            stringify!($pred),
+            $pred,
+        ) {
+            return Err(v.into());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_runtime::TestException;
+
+    fn guarded(ctl: &BitControl, ok: bool) -> Result<i64, TestException> {
+        pre_condition!(ctl, "C", "m", ok);
+        Ok(7)
+    }
+
+    #[test]
+    fn disabled_control_skips_checks() {
+        let ctl = BitControl::new();
+        assert_eq!(guarded(&ctl, false).unwrap(), 7);
+        assert_eq!(ctl.checks(), 0);
+    }
+
+    #[test]
+    fn enabled_control_enforces() {
+        let ctl = BitControl::new_enabled();
+        assert_eq!(guarded(&ctl, true).unwrap(), 7);
+        let err = guarded(&ctl, false).unwrap_err();
+        assert_eq!(err.tag(), "PRECONDITION");
+        assert_eq!(ctl.checks(), 2);
+        assert_eq!(ctl.violations(), 1);
+    }
+
+    #[test]
+    fn macros_capture_predicate_text() {
+        fn inv(ctl: &BitControl, n: i64) -> Result<(), TestException> {
+            class_invariant!(ctl, "Product", "UpdateQty", n >= 1);
+            Ok(())
+        }
+        let ctl = BitControl::new_enabled();
+        let err = inv(&ctl, 0).unwrap_err();
+        let v = err.as_assertion().unwrap();
+        assert_eq!(v.message, "n >= 1");
+        assert_eq!(v.class_name, "Product");
+        assert_eq!(v.method, "UpdateQty");
+    }
+
+    #[test]
+    fn post_condition_macro_kind() {
+        fn post(ctl: &BitControl, ok: bool) -> Result<(), TestException> {
+            post_condition!(ctl, "C", "m", ok);
+            Ok(())
+        }
+        let ctl = BitControl::new_enabled();
+        let err = post(&ctl, false).unwrap_err();
+        assert_eq!(err.tag(), "POSTCONDITION");
+    }
+
+    #[test]
+    fn check_function_direct_use() {
+        let ctl = BitControl::new_enabled();
+        assert!(check(&ctl, AssertionKind::Invariant, "C", "m", "x", true).is_ok());
+        let v = check(&ctl, AssertionKind::Invariant, "C", "m", "x", false).unwrap_err();
+        assert_eq!(v.kind, AssertionKind::Invariant);
+        assert_eq!(v.message, "x");
+    }
+
+    #[test]
+    fn violation_builder_fills_fields() {
+        let v = violation(AssertionKind::Postcondition, "A", "b", "c");
+        assert_eq!(v.class_name, "A");
+        assert_eq!(v.method, "b");
+        assert_eq!(v.message, "c");
+    }
+}

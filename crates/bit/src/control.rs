@@ -1,0 +1,139 @@
+//! BIT access control: the test-mode switch.
+//!
+//! "The BIT features can only be accessed if the class is in test mode,
+//! which is set by the user through BIT access control capability. This
+//! control capability prevents the misuse of BIT services" (paper §3.3).
+//! The paper implements the control as a compile-time directive; here it is
+//! a runtime switch shared between the test harness and the component
+//! instance, which additionally lets experiments measure the assertions-on
+//! vs assertions-off ablation without rebuilding.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared test-mode switch plus assertion-activity counters.
+///
+/// Cloning is cheap (`Arc` internally); the harness keeps one clone, the
+/// component instance another.
+///
+/// # Examples
+///
+/// ```
+/// use concat_bit::BitControl;
+///
+/// let ctl = BitControl::new_enabled();
+/// assert!(ctl.enabled());
+/// ctl.set_enabled(false);
+/// assert!(!ctl.enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitControl {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: AtomicBool,
+    checks: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl BitControl {
+    /// Creates a control with BIT capabilities *disabled* (deployment mode).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a control with BIT capabilities *enabled* (test mode).
+    pub fn new_enabled() -> Self {
+        let ctl = Self::default();
+        ctl.set_enabled(true);
+        ctl
+    }
+
+    /// Whether BIT capabilities (assertions, reporter detail) are active.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switches test mode on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one evaluated assertion. Called by the assertion macros.
+    pub fn record_check(&self) {
+        self.inner.checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one violated assertion. Called by the assertion macros.
+    pub fn record_violation(&self) {
+        self.inner.violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of assertions evaluated since construction (or last reset).
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// Number of assertion violations since construction (or last reset).
+    pub fn violations(&self) -> u64 {
+        self.inner.violations.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero (test mode is unchanged).
+    pub fn reset_counters(&self) {
+        self.inner.checks.store(0, Ordering::Relaxed);
+        self.inner.violations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!BitControl::new().enabled());
+    }
+
+    #[test]
+    fn enabled_constructor_and_toggle() {
+        let ctl = BitControl::new_enabled();
+        assert!(ctl.enabled());
+        ctl.set_enabled(false);
+        assert!(!ctl.enabled());
+        ctl.set_enabled(true);
+        assert!(ctl.enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = BitControl::new();
+        let b = a.clone();
+        a.set_enabled(true);
+        assert!(b.enabled());
+        b.record_check();
+        assert_eq!(a.checks(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let ctl = BitControl::new_enabled();
+        ctl.record_check();
+        ctl.record_check();
+        ctl.record_violation();
+        assert_eq!(ctl.checks(), 2);
+        assert_eq!(ctl.violations(), 1);
+        ctl.reset_counters();
+        assert_eq!(ctl.checks(), 0);
+        assert_eq!(ctl.violations(), 0);
+        assert!(ctl.enabled(), "reset does not change mode");
+    }
+
+    #[test]
+    fn control_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitControl>();
+    }
+}

@@ -1,0 +1,54 @@
+//! # concat-bit
+//!
+//! Built-in test (BIT) capabilities for self-testable components.
+//!
+//! Part of the `concat-rs` reproduction of *"Constructing Self-Testable
+//! Software Components"* (Martins, Toyota & Yanagawa, DSN 2001). The paper's
+//! instrumentation (§3.3) adds to a class:
+//!
+//! * **assertions** — class invariant, pre- and post-conditions, used as a
+//!   *partial oracle* during testing: the [`class_invariant!`],
+//!   [`pre_condition!`] and [`post_condition!`] macros (Figure 5);
+//! * **a reporter method** — dumps internal state: [`StateReport`] and
+//!   [`BuiltInTest::reporter`] (Figure 4);
+//! * **BIT access control** — a test-mode switch gating the capabilities:
+//!   [`BitControl`].
+//!
+//! The [`BuiltInTest`] trait is the paper's Figure-4 abstract superclass;
+//! [`TestableComponent`] combines it with the dynamic dispatch interface of
+//! `concat-runtime`, and [`ComponentFactory`] is how drivers create
+//! instances per test case.
+//!
+//! # Examples
+//!
+//! ```
+//! use concat_bit::{pre_condition, BitControl};
+//! use concat_runtime::TestException;
+//!
+//! struct Product { qty: i64, ctl: BitControl }
+//!
+//! impl Product {
+//!     fn update_qty(&mut self, q: i64) -> Result<(), TestException> {
+//!         pre_condition!(&self.ctl, "Product", "UpdateQty", q >= 1);
+//!         self.qty = q;
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut p = Product { qty: 1, ctl: BitControl::new_enabled() };
+//! assert!(p.update_qty(10).is_ok());
+//! assert!(p.update_qty(0).is_err()); // caught by the partial oracle
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assertions;
+mod built_in_test;
+mod control;
+mod report;
+
+pub use assertions::{check, violation};
+pub use built_in_test::{BuiltInTest, ComponentFactory, TestableComponent};
+pub use control::BitControl;
+pub use report::StateReport;

@@ -1,0 +1,147 @@
+//! The reporter capability: observable internal state.
+//!
+//! The paper's `Reporter` method "stores the object's internal state" into
+//! the log file (Figure 6). Here a reporter produces a [`StateReport`] — an
+//! ordered attribute→value map — that the driver appends to the test log
+//! and the mutation oracle compares against the golden run.
+
+use concat_runtime::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A snapshot of a component's internal state.
+///
+/// Keys are attribute names (or synthetic observables such as `"count"`);
+/// iteration order is deterministic (sorted), which makes reports directly
+/// comparable across runs.
+///
+/// # Examples
+///
+/// ```
+/// use concat_bit::StateReport;
+/// use concat_runtime::Value;
+///
+/// let mut r = StateReport::new();
+/// r.set("qty", Value::Int(3));
+/// r.set("name", Value::Str("Soap".into()));
+/// assert_eq!(r.get("qty"), Some(&Value::Int(3)));
+/// assert!(r.render().contains("qty = 3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateReport {
+    entries: BTreeMap<String, Value>,
+}
+
+impl StateReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observable. Overwrites any previous value for the key.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Reads an observable back.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of recorded observables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the report the way the paper's `Reporter` writes state into
+    /// `Result.txt`: one `key = value` line per observable.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(&v.to_literal());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for StateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl FromIterator<(String, Value)> for StateReport {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        StateReport { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Value)> for StateReport {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut r = StateReport::new();
+        r.set("a", Value::Int(1));
+        r.set("a", Value::Int(2));
+        assert_eq!(r.get("a"), Some(&Value::Int(2)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut r = StateReport::new();
+        r.set("zz", Value::Int(1));
+        r.set("aa", Value::Str("x".into()));
+        assert_eq!(r.render(), "aa = \"x\"\nzz = 1\n");
+        assert_eq!(r.to_string(), r.render());
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = StateReport::new();
+        a.set("x", Value::Int(1));
+        a.set("y", Value::Int(2));
+        let mut b = StateReport::new();
+        b.set("y", Value::Int(2));
+        b.set("x", Value::Int(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut r: StateReport =
+            vec![("k".to_owned(), Value::Int(9))].into_iter().collect();
+        r.extend(vec![("l".to_owned(), Value::Null)]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["k", "l"]);
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert!(StateReport::new().render().is_empty());
+        assert!(StateReport::new().is_empty());
+    }
+}

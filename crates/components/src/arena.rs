@@ -1,0 +1,350 @@
+//! Arena storage for doubly linked lists.
+//!
+//! The paper's subjects are MFC's `CObList` (a doubly linked list of
+//! `CObject*`) and a derived sortable list. Safe Rust cannot reproduce raw
+//! pointer surgery, so the substrate is an arena: nodes live in a `Vec`,
+//! links are `i64` indices with `-1` as the null pointer. This preserves
+//! exactly the property the mutation experiments need — the head/tail/link
+//! fields are *integers a fault can corrupt*, and corrupted links produce
+//! the same observable failures (wrong traversals, broken invariants,
+//! crashes) as corrupted pointers would.
+
+use concat_runtime::Value;
+
+/// Null link, the arena's `nullptr`.
+pub const NIL: i64 = -1;
+
+/// One list node in the arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// Stored value.
+    pub value: Value,
+    /// Index of the previous node, or [`NIL`].
+    pub prev: i64,
+    /// Index of the next node, or [`NIL`].
+    pub next: i64,
+    /// True while the slot is allocated to the list.
+    pub live: bool,
+}
+
+/// An arena of doubly-linked nodes with explicit integer links.
+///
+/// The arena deliberately exposes *low-level* operations (`alloc`,
+/// `set_next`, `set_prev`, `free`) so the instrumented component methods of
+/// [`crate::CObList`] can perform their own link surgery — the faults the
+/// interface mutation operators inject must be able to corrupt the
+/// structure. Every operation is memory-safe: a wild index yields an error
+/// or a panic (caught by the driver as a crash), never undefined behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use concat_components::NodeArena;
+/// use concat_runtime::Value;
+///
+/// let mut arena = NodeArena::new();
+/// let a = arena.alloc(Value::Int(1));
+/// let b = arena.alloc(Value::Int(2));
+/// arena.set_next(a, b).unwrap();
+/// arena.set_prev(b, a).unwrap();
+/// assert_eq!(arena.next(a), Ok(b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeArena {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+}
+
+/// An invalid arena index was dereferenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadLink(pub i64);
+
+impl std::fmt::Display for BadLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid node link {}", self.0)
+    }
+}
+
+impl std::error::Error for BadLink {}
+
+impl NodeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a node holding `value`, with both links [`NIL`]; returns
+    /// its index.
+    pub fn alloc(&mut self, value: Value) -> i64 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot { value, prev: NIL, next: NIL, live: true };
+                idx as i64
+            }
+            None => {
+                self.slots.push(Slot { value, prev: NIL, next: NIL, live: true });
+                (self.slots.len() - 1) as i64
+            }
+        }
+    }
+
+    /// Frees a node, returning its value.
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` is not a live node.
+    pub fn free(&mut self, idx: i64) -> Result<Value, BadLink> {
+        let i = self.check(idx)?;
+        self.slots[i].live = false;
+        self.free.push(i);
+        Ok(std::mem::take(&mut self.slots[i].value))
+    }
+
+    fn check(&self, idx: i64) -> Result<usize, BadLink> {
+        let i = usize::try_from(idx).map_err(|_| BadLink(idx))?;
+        if self.slots.get(i).is_some_and(|s| s.live) {
+            Ok(i)
+        } else {
+            Err(BadLink(idx))
+        }
+    }
+
+    /// True when `idx` refers to a live node.
+    pub fn is_live(&self, idx: i64) -> bool {
+        self.check(idx).is_ok()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.live).count()
+    }
+
+    /// Reads a node's value.
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` is not a live node.
+    pub fn value(&self, idx: i64) -> Result<&Value, BadLink> {
+        Ok(&self.slots[self.check(idx)?].value)
+    }
+
+    /// Overwrites a node's value.
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` is not a live node.
+    pub fn set_value(&mut self, idx: i64, value: Value) -> Result<(), BadLink> {
+        let i = self.check(idx)?;
+        self.slots[i].value = value;
+        Ok(())
+    }
+
+    /// Reads a node's `next` link.
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` is not a live node.
+    pub fn next(&self, idx: i64) -> Result<i64, BadLink> {
+        Ok(self.slots[self.check(idx)?].next)
+    }
+
+    /// Reads a node's `prev` link.
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` is not a live node.
+    pub fn prev(&self, idx: i64) -> Result<i64, BadLink> {
+        Ok(self.slots[self.check(idx)?].prev)
+    }
+
+    /// Writes a node's `next` link (any value, including wild ones — the
+    /// *target* is validated on traversal, as with real pointers).
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` itself is not a live node.
+    pub fn set_next(&mut self, idx: i64, next: i64) -> Result<(), BadLink> {
+        let i = self.check(idx)?;
+        self.slots[i].next = next;
+        Ok(())
+    }
+
+    /// Writes a node's `prev` link. See [`NodeArena::set_next`].
+    ///
+    /// # Errors
+    ///
+    /// [`BadLink`] when `idx` itself is not a live node.
+    pub fn set_prev(&mut self, idx: i64, prev: i64) -> Result<(), BadLink> {
+        let i = self.check(idx)?;
+        self.slots[i].prev = prev;
+        Ok(())
+    }
+
+    /// Frees every node.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+
+    /// Walks `next` links from `head`, collecting values, for at most
+    /// `max_steps` steps. Returns `None` when a link is invalid or the
+    /// walk does not terminate within the budget — the traversal analogue
+    /// of a corrupted pointer chain.
+    pub fn collect_forward(&self, head: i64, max_steps: usize) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut cur = head;
+        let mut steps = 0usize;
+        while cur != NIL {
+            if steps >= max_steps {
+                return None;
+            }
+            let i = self.check(cur).ok()?;
+            out.push(self.slots[i].value.clone());
+            cur = self.slots[i].next;
+            steps += 1;
+        }
+        Some(out)
+    }
+
+    /// Structural consistency check for a list claiming `head`, `tail` and
+    /// `count`: the forward walk visits exactly `count` live nodes, ends at
+    /// `tail`, and every `prev` link mirrors the `next` link. Returns
+    /// `true` when consistent. This is the class invariant of
+    /// [`crate::CObList`].
+    pub fn chain_consistent(&self, head: i64, tail: i64, count: i64) -> bool {
+        if count < 0 {
+            return false;
+        }
+        if count == 0 {
+            return head == NIL && tail == NIL;
+        }
+        let mut cur = head;
+        let mut prev = NIL;
+        let mut seen = 0i64;
+        while cur != NIL {
+            if seen >= count {
+                return false; // longer than claimed (or cyclic)
+            }
+            let Ok(i) = self.check(cur) else {
+                return false;
+            };
+            if self.slots[i].prev != prev {
+                return false;
+            }
+            prev = cur;
+            cur = self.slots[i].next;
+            seen += 1;
+        }
+        seen == count && prev == tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(values: &[i64]) -> (NodeArena, i64, i64) {
+        let mut arena = NodeArena::new();
+        let mut head = NIL;
+        let mut tail = NIL;
+        for v in values {
+            let n = arena.alloc(Value::Int(*v));
+            if head == NIL {
+                head = n;
+            } else {
+                arena.set_next(tail, n).unwrap();
+                arena.set_prev(n, tail).unwrap();
+            }
+            tail = n;
+        }
+        (arena, head, tail)
+    }
+
+    #[test]
+    fn alloc_reuses_freed_slots() {
+        let mut arena = NodeArena::new();
+        let a = arena.alloc(Value::Int(1));
+        assert_eq!(arena.free(a).unwrap(), Value::Int(1));
+        let b = arena.alloc(Value::Int(2));
+        assert_eq!(a, b, "slot is recycled");
+        assert_eq!(arena.live_count(), 1);
+    }
+
+    #[test]
+    fn bad_links_rejected_not_ub() {
+        let mut arena = NodeArena::new();
+        assert_eq!(arena.value(0), Err(BadLink(0)));
+        assert_eq!(arena.value(-5), Err(BadLink(-5)));
+        assert_eq!(arena.value(1 << 40), Err(BadLink(1 << 40)));
+        let a = arena.alloc(Value::Null);
+        arena.free(a).unwrap();
+        assert_eq!(arena.next(a), Err(BadLink(a)), "freed slot is dead");
+        assert_eq!(arena.free(a), Err(BadLink(a)), "double free rejected");
+    }
+
+    #[test]
+    fn link_surgery() {
+        let (mut arena, head, tail) = chain(&[1, 2, 3]);
+        assert_eq!(arena.next(head).unwrap(), 1);
+        assert_eq!(arena.prev(tail).unwrap(), 1);
+        arena.set_value(1, Value::Int(99)).unwrap();
+        assert_eq!(arena.value(1).unwrap(), &Value::Int(99));
+    }
+
+    #[test]
+    fn collect_forward_follows_chain() {
+        let (arena, head, _) = chain(&[10, 20, 30]);
+        let vals = arena.collect_forward(head, 100).unwrap();
+        assert_eq!(vals, vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        assert_eq!(arena.collect_forward(NIL, 100).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn collect_forward_detects_cycles_via_budget() {
+        let (mut arena, head, tail) = chain(&[1, 2]);
+        arena.set_next(tail, head).unwrap(); // cycle
+        assert_eq!(arena.collect_forward(head, 50), None);
+    }
+
+    #[test]
+    fn collect_forward_detects_wild_links() {
+        let (mut arena, head, tail) = chain(&[1, 2]);
+        arena.set_next(tail, 777).unwrap();
+        assert_eq!(arena.collect_forward(head, 50), None);
+    }
+
+    #[test]
+    fn chain_consistency_accepts_good_chains() {
+        let (arena, head, tail) = chain(&[1, 2, 3]);
+        assert!(arena.chain_consistent(head, tail, 3));
+        let empty = NodeArena::new();
+        assert!(empty.chain_consistent(NIL, NIL, 0));
+    }
+
+    #[test]
+    fn chain_consistency_rejects_bad_claims() {
+        let (mut arena, head, tail) = chain(&[1, 2, 3]);
+        assert!(!arena.chain_consistent(head, tail, 2), "wrong count");
+        assert!(!arena.chain_consistent(head, head, 3), "wrong tail");
+        assert!(!arena.chain_consistent(head, tail, -1), "negative count");
+        // break a prev link
+        arena.set_prev(2, NIL).unwrap();
+        assert!(!arena.chain_consistent(head, tail, 3));
+    }
+
+    #[test]
+    fn chain_consistency_rejects_cycles() {
+        let (mut arena, head, tail) = chain(&[1, 2]);
+        arena.set_next(tail, head).unwrap();
+        arena.set_prev(head, tail).unwrap();
+        assert!(!arena.chain_consistent(head, tail, 2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (mut arena, _, _) = chain(&[1, 2, 3]);
+        arena.clear();
+        assert_eq!(arena.live_count(), 0);
+        assert!(arena.chain_consistent(NIL, NIL, 0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # concat-components
+//!
+//! The instrumented subject components of the `concat-rs` reproduction of
+//! *"Constructing Self-Testable Software Components"* (Martins, Toyota &
+//! Yanagawa, DSN 2001): re-implementations of the classes the paper's
+//! experiments and examples use, each packaged as a *self-testable
+//! component* — implementation + t-spec + built-in test capabilities +
+//! mutation inventory.
+//!
+//! * [`CObList`] — the MFC-style doubly linked list (Table 3 subject);
+//! * [`CSortableObList`] — the derived sortable list (Table 2 subject);
+//! * [`Product`] / [`StockDb`] — the warehouse example of Figures 1–3;
+//! * [`BoundedStack`] — a small contract-rich component for quickstarts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod oblist;
+mod product;
+mod sortable;
+mod stack;
+mod stockdb;
+mod typed;
+
+pub use arena::{BadLink, NodeArena, Slot, NIL};
+pub use oblist::{coblist_inventory, coblist_spec, CObList, CObListFactory};
+pub use product::{
+    product_spec, register_provider_pool, Product, ProductFactory, FIGURE2_SCENARIO,
+};
+pub use sortable::{
+    sortable_inheritance_map, sortable_inventory, sortable_spec, CSortableObList,
+    CSortableObListFactory,
+};
+pub use stack::{bounded_stack_spec, BoundedStack, BoundedStackFactory};
+pub use stockdb::{ProductRow, StockDb, StockDbError};
+pub use typed::{typed_inheritance_map, typed_spec, CTypedObList, CTypedObListFactory};

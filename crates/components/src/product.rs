@@ -1,0 +1,551 @@
+//! The `Product` component: the paper's running example (Figures 1–3).
+//!
+//! A product in the stock control system of a warehouse: attributes
+//! `qty`, `name`, `price`, `prov` (a `Provider*`); update methods, an
+//! access method, and database insert/remove — exactly the Figure-1
+//! interface, backed by the [`StockDb`] substrate. Its t-spec
+//! ([`product_spec`]) regenerates the Figure-3 record text and its TFM
+//! regenerates Figure 2, including the example use-case path (create →
+//! obtain data → remove from database → destroy).
+
+use crate::stockdb::{ProductRow, StockDb, StockDbError};
+use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
+use concat_runtime::{
+    args, unknown_method, AssertionViolation, Component, InvokeResult, ObjRef, TestException,
+    Value,
+};
+use concat_tspec::{ClassSpec, ClassSpecBuilder, Domain, MethodCategory};
+
+fn db_err(method: &str, e: StockDbError) -> TestException {
+    TestException::domain(method, e.to_string())
+}
+
+/// The `Product` component of Figure 1.
+#[derive(Debug)]
+pub struct Product {
+    qty: i64,
+    name: String,
+    price: f64,
+    prov: Option<ObjRef>,
+    db: StockDb,
+    ctl: BitControl,
+}
+
+impl Product {
+    /// Class name used in specs and dispatch.
+    pub const CLASS: &'static str = "Product";
+
+    /// `Product()` — the default constructor.
+    pub fn new(db: StockDb, ctl: BitControl) -> Self {
+        Product { qty: 1, name: "unnamed".into(), price: 0.0, prov: None, db, ctl }
+    }
+
+    /// `Product(char* n)`.
+    pub fn with_name(name: impl Into<String>, db: StockDb, ctl: BitControl) -> Self {
+        Product { name: name.into(), ..Self::new(db, ctl) }
+    }
+
+    /// `Product(int q, char* n, float p, Provider* prv)`.
+    pub fn with_attributes(
+        qty: i64,
+        name: impl Into<String>,
+        price: f64,
+        prov: Option<ObjRef>,
+        db: StockDb,
+        ctl: BitControl,
+    ) -> Self {
+        Product { qty, name: name.into(), price, prov, db, ctl }
+    }
+
+    /// `UpdateQty(q)`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when `q` is outside `[1, 99999]`.
+    pub fn update_qty(&mut self, q: i64) -> Result<(), TestException> {
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "UpdateQty", (1..=99_999).contains(&q));
+        self.qty = q;
+        Ok(())
+    }
+
+    /// `UpdateName(n)`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when `n` is empty.
+    pub fn update_name(&mut self, n: &str) -> Result<(), TestException> {
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "UpdateName", !n.is_empty());
+        self.name = n.to_owned();
+        Ok(())
+    }
+
+    /// `UpdatePrice(p)`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when `p` is negative.
+    pub fn update_price(&mut self, p: f64) -> Result<(), TestException> {
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "UpdatePrice", p >= 0.0);
+        self.price = p;
+        Ok(())
+    }
+
+    /// `UpdateProv(prv)` — `NULL` clears the provider.
+    pub fn update_prov(&mut self, prv: Option<ObjRef>) {
+        self.prov = prv;
+    }
+
+    /// `ShowAttributes()` — the access method; returns the attribute tuple.
+    pub fn show_attributes(&self) -> Value {
+        Value::List(vec![
+            Value::Str(self.name.clone()),
+            Value::Int(self.qty),
+            Value::Float(self.price),
+            self.prov.clone().map_or(Value::Null, Value::Obj),
+        ])
+    }
+
+    /// `InsertProduct()` — writes the current attributes into the stock
+    /// database; returns 1 (the Figure-1 `int` convention).
+    ///
+    /// # Errors
+    ///
+    /// A domain error when the product already exists.
+    pub fn insert_product(&mut self) -> InvokeResult {
+        const M: &str = "InsertProduct";
+        self.db
+            .insert(ProductRow {
+                name: self.name.clone(),
+                qty: self.qty,
+                price: self.price,
+                provider: self.prov.clone(),
+            })
+            .map_err(|e| db_err(M, e))?;
+        Ok(Value::Int(1))
+    }
+
+    /// `GetProductData()` — reloads the attributes from the database row
+    /// (step 2 of the paper's use-case scenario).
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when the product is not in the database.
+    pub fn get_product_data(&mut self) -> Result<(), TestException> {
+        const M: &str = "GetProductData";
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, M, self.db.contains(&self.name));
+        let row = self.db.get(&self.name).map_err(|e| db_err(M, e))?;
+        self.qty = row.qty;
+        self.price = row.price;
+        self.prov = row.provider;
+        Ok(())
+    }
+
+    /// `RemoveProduct()` — removes the row from the database and returns
+    /// the removed product's name.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when the product is not in the database.
+    pub fn remove_product(&mut self) -> InvokeResult {
+        const M: &str = "RemoveProduct";
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, M, self.db.contains(&self.name));
+        let row = self.db.remove(&self.name).map_err(|e| db_err(M, e))?;
+        Ok(Value::Str(row.name))
+    }
+}
+
+impl Component for Product {
+    fn class_name(&self) -> &'static str {
+        Self::CLASS
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        vec![
+            "UpdateName",
+            "UpdateQty",
+            "UpdatePrice",
+            "UpdateProv",
+            "ShowAttributes",
+            "InsertProduct",
+            "GetProductData",
+            "RemoveProduct",
+            "~Product",
+        ]
+    }
+
+    fn invoke(&mut self, method: &str, a: &[Value]) -> InvokeResult {
+        match method {
+            "UpdateName" => {
+                self.update_name(args::str(method, a, 0)?.to_owned().as_str())?;
+                Ok(Value::Null)
+            }
+            "UpdateQty" => {
+                self.update_qty(args::int(method, a, 0)?)?;
+                Ok(Value::Null)
+            }
+            "UpdatePrice" => {
+                self.update_price(args::float(method, a, 0)?)?;
+                Ok(Value::Null)
+            }
+            "UpdateProv" => {
+                let prv = args::obj_opt(method, a, 0)?.cloned();
+                self.update_prov(prv);
+                Ok(Value::Null)
+            }
+            "ShowAttributes" => {
+                args::expect_arity(method, a, 0)?;
+                Ok(self.show_attributes())
+            }
+            "InsertProduct" => {
+                args::expect_arity(method, a, 0)?;
+                self.insert_product()
+            }
+            "GetProductData" => {
+                args::expect_arity(method, a, 0)?;
+                self.get_product_data()?;
+                Ok(Value::Null)
+            }
+            "RemoveProduct" => {
+                args::expect_arity(method, a, 0)?;
+                self.remove_product()
+            }
+            "~Product" => Ok(Value::Null),
+            _ => Err(unknown_method(self.class_name(), method)),
+        }
+    }
+}
+
+impl BuiltInTest for Product {
+    fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    fn invariant_test(&self) -> Result<(), AssertionViolation> {
+        concat_bit::check(
+            &self.ctl,
+            concat_runtime::AssertionKind::Invariant,
+            Self::CLASS,
+            "",
+            "1 <= qty <= 99999 && price >= 0 && !name.empty()",
+            (1..=99_999).contains(&self.qty) && self.price >= 0.0 && !self.name.is_empty(),
+        )
+    }
+
+    fn reporter(&self) -> StateReport {
+        let mut r = StateReport::new();
+        r.set("qty", Value::Int(self.qty));
+        r.set("name", Value::Str(self.name.clone()));
+        r.set("price", Value::Float(self.price));
+        r.set("prov", self.prov.clone().map_or(Value::Null, Value::Obj));
+        r.set("db", self.db.snapshot());
+        r
+    }
+}
+
+/// Factory for [`Product`] instances.
+///
+/// By default each constructed product gets a *fresh* [`StockDb`] so test
+/// cases stay independent; [`ProductFactory::with_shared_db`] makes every
+/// instance share one store (the application configuration).
+#[derive(Debug, Clone, Default)]
+pub struct ProductFactory {
+    shared_db: Option<StockDb>,
+}
+
+impl ProductFactory {
+    /// Factory with per-instance fresh databases (test configuration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Factory whose products all share `db`.
+    pub fn with_shared_db(db: StockDb) -> Self {
+        ProductFactory { shared_db: Some(db) }
+    }
+
+    fn db(&self) -> StockDb {
+        self.shared_db.clone().unwrap_or_default()
+    }
+}
+
+impl ComponentFactory for ProductFactory {
+    fn class_name(&self) -> &str {
+        Product::CLASS
+    }
+
+    fn construct(
+        &self,
+        constructor: &str,
+        a: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn TestableComponent>, TestException> {
+        if constructor != "Product" {
+            return Err(unknown_method(Product::CLASS, constructor));
+        }
+        match a.len() {
+            0 => Ok(Box::new(Product::new(self.db(), ctl))),
+            1 => Ok(Box::new(Product::with_name(
+                args::str(constructor, a, 0)?.to_owned(),
+                self.db(),
+                ctl,
+            ))),
+            4 => {
+                let qty = args::int(constructor, a, 0)?;
+                let name = args::str(constructor, a, 1)?.to_owned();
+                let price = args::float(constructor, a, 2)?;
+                let prov = args::obj_opt(constructor, a, 3)?.cloned();
+                Ok(Box::new(Product::with_attributes(qty, name, price, prov, self.db(), ctl)))
+            }
+            got => Err(TestException::ArityMismatch {
+                method: constructor.to_owned(),
+                expected: 4,
+                got,
+            }),
+        }
+    }
+}
+
+/// The t-spec of `Product`, mirroring Figure 3: the three constructors,
+/// the update/access/database methods, attribute domains (`qty` in
+/// `[1, 99999]`, `name` a 30-char string, …) and the Figure-2 TFM.
+pub fn product_spec() -> ClassSpec {
+    ClassSpecBuilder::new(Product::CLASS)
+        .source_file("product.cpp")
+        .attribute("qty", Domain::int_range(1, 99_999))
+        .attribute("name", Domain::string(30))
+        .attribute("price", Domain::float_range(0.0, 10_000.0))
+        .attribute("prov", Domain::Pointer { class_name: "Provider".into() })
+        .constructor("m1", "Product")
+        .constructor("m2", "Product")
+        .param("q", Domain::int_range(1, 99_999))
+        .param("n", Domain::string(30))
+        .param("p", Domain::float_range(0.0, 10_000.0))
+        .param("prv", Domain::Pointer { class_name: "Provider".into() })
+        .constructor("m3", "Product")
+        .param("n", Domain::string(30))
+        .method("m4", "UpdateName", MethodCategory::Update)
+        .param("n", Domain::string(30))
+        .method("m5", "UpdateQty", MethodCategory::Update)
+        .param("q", Domain::int_range(1, 99_999))
+        .method("m6", "UpdatePrice", MethodCategory::Update)
+        .param("p", Domain::float_range(0.0, 10_000.0))
+        .method("m7", "UpdateProv", MethodCategory::Update)
+        .param("prv", Domain::Pointer { class_name: "Provider".into() })
+        .method("m8", "ShowAttributes", MethodCategory::Access)
+        .returns("AttributeTuple")
+        .method("m9", "InsertProduct", MethodCategory::Database)
+        .returns("int")
+        .method("m10", "GetProductData", MethodCategory::Database)
+        .method("m11", "RemoveProduct", MethodCategory::Database)
+        .returns("Product*")
+        .destructor("m12", "~Product")
+        .birth_node("n1", ["m1", "m2", "m3"])
+        .task_node("n2", ["m4", "m5", "m6", "m7"])
+        .task_node("n3", ["m8"])
+        .task_node("n4", ["m9"])
+        .task_node("n5", ["m10"])
+        .task_node("n6", ["m11"])
+        .death_node("n7", ["m12"])
+        .edge("n1", "n2")
+        .edge("n1", "n4")
+        .edge("n1", "n7")
+        .edge("n2", "n3")
+        .edge("n2", "n4")
+        .edge("n3", "n4")
+        .edge("n3", "n7")
+        .edge("n4", "n5")
+        .edge("n4", "n6")
+        .edge("n5", "n6")
+        .edge("n5", "n7")
+        .edge("n6", "n7")
+        .build()
+        .expect("Product spec is valid")
+}
+
+/// The use-case scenario of the paper's Figure 2, as node labels:
+/// create → obtain data from the database → remove from the database →
+/// destroy. (Insertion happened in an earlier session; our TFM reaches the
+/// data-access node through `InsertProduct`, so the highlighted path runs
+/// n1 → n4 → n5 → n6 → n7.)
+pub const FIGURE2_SCENARIO: [&str; 5] = ["n1", "n4", "n5", "n6", "n7"];
+
+/// Registers the standard provider pool (`p1`–`p3`) on an input generator,
+/// standing in for the tester's manual completion of `Provider*`
+/// parameters.
+pub fn register_provider_pool(inputs: &mut concat_driver::InputGenerator) {
+    inputs.register_provider(
+        "Provider",
+        Box::new(|rng| {
+            use rand::Rng as _;
+            let id = rng.gen_range(1..=3);
+            Value::Obj(ObjRef::new("Provider", format!("p{id}")))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product() -> Product {
+        Product::new(StockDb::new(), BitControl::new_enabled())
+    }
+
+    #[test]
+    fn constructors_set_attributes() {
+        let p = product();
+        assert_eq!(p.show_attributes().as_list().unwrap()[0], Value::Str("unnamed".into()));
+        let p = Product::with_name("Soap", StockDb::new(), BitControl::new_enabled());
+        assert_eq!(p.show_attributes().as_list().unwrap()[0], Value::Str("Soap".into()));
+        let p = Product::with_attributes(
+            5,
+            "Towel",
+            2.5,
+            Some(ObjRef::new("Provider", "p1")),
+            StockDb::new(),
+            BitControl::new_enabled(),
+        );
+        let attrs = p.show_attributes();
+        let attrs = attrs.as_list().unwrap();
+        assert_eq!(attrs[1], Value::Int(5));
+        assert_eq!(attrs[3], Value::Obj(ObjRef::new("Provider", "p1")));
+        assert!(p.invariant_test().is_ok());
+    }
+
+    #[test]
+    fn update_methods_enforce_preconditions() {
+        let mut p = product();
+        assert!(p.update_qty(10).is_ok());
+        assert_eq!(p.update_qty(0).unwrap_err().tag(), "PRECONDITION");
+        assert_eq!(p.update_qty(100_000).unwrap_err().tag(), "PRECONDITION");
+        assert!(p.update_price(3.25).is_ok());
+        assert_eq!(p.update_price(-0.5).unwrap_err().tag(), "PRECONDITION");
+        assert!(p.update_name("Soap").is_ok());
+        assert_eq!(p.update_name("").unwrap_err().tag(), "PRECONDITION");
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let db = StockDb::new();
+        let mut p = Product::with_name("Soap", db.clone(), BitControl::new_enabled());
+        p.update_qty(7).unwrap();
+        assert_eq!(p.insert_product().unwrap(), Value::Int(1));
+        assert!(db.contains("Soap"));
+        // Mutate in memory, then reload from the database.
+        p.update_qty(99).unwrap();
+        p.get_product_data().unwrap();
+        assert_eq!(p.show_attributes().as_list().unwrap()[1], Value::Int(7));
+        assert_eq!(p.remove_product().unwrap(), Value::Str("Soap".into()));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn database_methods_guard_missing_rows() {
+        let mut p = product();
+        assert_eq!(p.get_product_data().unwrap_err().tag(), "PRECONDITION");
+        assert_eq!(p.remove_product().unwrap_err().tag(), "PRECONDITION");
+        p.insert_product().unwrap();
+        assert_eq!(p.insert_product().unwrap_err().tag(), "DOMAIN");
+    }
+
+    #[test]
+    fn dispatch_and_reporter() {
+        let mut p = product();
+        p.invoke("UpdateName", &[Value::Str("Soap".into())]).unwrap();
+        p.invoke("UpdateQty", &[Value::Int(3)]).unwrap();
+        p.invoke("UpdatePrice", &[Value::Float(1.5)]).unwrap();
+        p.invoke("UpdateProv", &[Value::Obj(ObjRef::new("Provider", "p2"))]).unwrap();
+        p.invoke("InsertProduct", &[]).unwrap();
+        let r = p.reporter();
+        assert_eq!(r.get("qty"), Some(&Value::Int(3)));
+        assert_eq!(r.get("name"), Some(&Value::Str("Soap".into())));
+        assert!(r.get("db").is_some());
+        p.invoke("UpdateProv", &[Value::Null]).unwrap();
+        assert_eq!(p.reporter().get("prov"), Some(&Value::Null));
+        assert_eq!(p.invoke("Bogus", &[]).unwrap_err().tag(), "UNKNOWN_METHOD");
+    }
+
+    #[test]
+    fn invariant_rejects_corrupt_state() {
+        let mut p = product();
+        // Force bad state through the struct (simulating a fault).
+        p.qty = 0;
+        assert!(p.invariant_test().is_err());
+    }
+
+    #[test]
+    fn factory_arities() {
+        let f = ProductFactory::new();
+        assert!(f.construct("Product", &[], BitControl::new_enabled()).is_ok());
+        assert!(f
+            .construct("Product", &[Value::Str("Soap".into())], BitControl::new_enabled())
+            .is_ok());
+        assert!(f
+            .construct(
+                "Product",
+                &[
+                    Value::Int(2),
+                    Value::Str("Soap".into()),
+                    Value::Float(1.0),
+                    Value::Null
+                ],
+                BitControl::new_enabled()
+            )
+            .is_ok());
+        assert!(f
+            .construct("Product", &[Value::Int(1), Value::Int(2)], BitControl::new_enabled())
+            .is_err());
+        assert!(f.construct("Widget", &[], BitControl::new_enabled()).is_err());
+    }
+
+    #[test]
+    fn shared_db_factory_shares() {
+        let db = StockDb::new();
+        let f = ProductFactory::with_shared_db(db.clone());
+        let mut a = f
+            .construct("Product", &[Value::Str("Soap".into())], BitControl::new_enabled())
+            .unwrap();
+        a.invoke("InsertProduct", &[]).unwrap();
+        assert!(db.contains("Soap"));
+    }
+
+    #[test]
+    fn spec_validates_and_figure2_path_exists() {
+        let spec = product_spec();
+        assert!(spec.validate().is_empty());
+        assert_eq!(spec.tfm.node_count(), 7);
+        // The Figure-2 scenario is a real path of the model.
+        for pair in FIGURE2_SCENARIO.windows(2) {
+            let from = spec.tfm.node_by_label(pair[0]).unwrap();
+            let to = spec.tfm.node_by_label(pair[1]).unwrap();
+            assert!(
+                spec.tfm.successors(from).contains(&to),
+                "missing edge {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn tspec_round_trips_figure3_text() {
+        let spec = product_spec();
+        let text = concat_tspec::print_tspec(&spec);
+        assert!(text.contains("Attribute('qty', range, 1, 99999)"));
+        assert!(text.contains("Attribute('prov', pointer, 'Provider')"));
+        let reparsed = concat_tspec::parse_tspec(&text).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn provider_pool_fills_pointer_domains() {
+        let mut inputs = concat_driver::InputGenerator::new(3);
+        register_provider_pool(&mut inputs);
+        let (v, _) = inputs
+            .generate(&Domain::Pointer { class_name: "Provider".into() })
+            .unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.class_name, "Provider");
+        assert!(["p1", "p2", "p3"].contains(&obj.key.as_str()));
+    }
+}

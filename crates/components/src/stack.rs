@@ -1,0 +1,266 @@
+//! `BoundedStack`: a small contract-rich component used by quickstarts.
+//!
+//! Not part of the paper's experiments — it exists so the README and the
+//! `quickstart` example can show the *producer* workflow (write a class,
+//! add BIT, write a t-spec) on something smaller than the list subjects.
+
+use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
+use concat_runtime::{
+    args, unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
+};
+use concat_tspec::{ClassSpec, ClassSpecBuilder, Domain, MethodCategory};
+
+/// A LIFO stack with a fixed capacity and full contracts.
+#[derive(Debug)]
+pub struct BoundedStack {
+    items: Vec<Value>,
+    capacity: usize,
+    ctl: BitControl,
+}
+
+impl BoundedStack {
+    /// Class name used in specs and dispatch.
+    pub const CLASS: &'static str = "BoundedStack";
+
+    /// Creates an empty stack with the given capacity.
+    pub fn new(capacity: usize, ctl: BitControl) -> Self {
+        BoundedStack { items: Vec::with_capacity(capacity), capacity, ctl }
+    }
+
+    /// `Push(v)`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when the stack is full.
+    pub fn push(&mut self, v: Value) -> Result<(), TestException> {
+        concat_bit::pre_condition!(
+            &self.ctl,
+            Self::CLASS,
+            "Push",
+            self.items.len() < self.capacity
+        );
+        self.items.push(v);
+        Ok(())
+    }
+
+    /// `Pop()`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when the stack is empty.
+    pub fn pop(&mut self) -> InvokeResult {
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "Pop", !self.items.is_empty());
+        Ok(self.items.pop().expect("guarded by precondition"))
+    }
+
+    /// `Top()`.
+    ///
+    /// # Errors
+    ///
+    /// A precondition violation when the stack is empty.
+    pub fn top(&self) -> InvokeResult {
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "Top", !self.items.is_empty());
+        Ok(self.items.last().expect("guarded by precondition").clone())
+    }
+
+    /// `Size()`.
+    pub fn size(&self) -> i64 {
+        self.items.len() as i64
+    }
+}
+
+impl Component for BoundedStack {
+    fn class_name(&self) -> &'static str {
+        Self::CLASS
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        vec!["Push", "Pop", "Top", "Size", "IsEmpty", "~BoundedStack"]
+    }
+
+    fn invoke(&mut self, method: &str, a: &[Value]) -> InvokeResult {
+        match method {
+            "Push" => {
+                args::expect_arity(method, a, 1)?;
+                self.push(a[0].clone())?;
+                Ok(Value::Null)
+            }
+            "Pop" => {
+                args::expect_arity(method, a, 0)?;
+                self.pop()
+            }
+            "Top" => {
+                args::expect_arity(method, a, 0)?;
+                self.top()
+            }
+            "Size" => Ok(Value::Int(self.size())),
+            "IsEmpty" => Ok(Value::Bool(self.items.is_empty())),
+            "~BoundedStack" => {
+                self.items.clear();
+                Ok(Value::Null)
+            }
+            _ => Err(unknown_method(self.class_name(), method)),
+        }
+    }
+}
+
+impl BuiltInTest for BoundedStack {
+    fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    fn invariant_test(&self) -> Result<(), AssertionViolation> {
+        concat_bit::check(
+            &self.ctl,
+            concat_runtime::AssertionKind::Invariant,
+            Self::CLASS,
+            "",
+            "size <= capacity",
+            self.items.len() <= self.capacity,
+        )
+    }
+
+    fn reporter(&self) -> StateReport {
+        let mut r = StateReport::new();
+        r.set("size", Value::Int(self.size()));
+        r.set("capacity", Value::Int(self.capacity as i64));
+        r.set("items", Value::List(self.items.clone()));
+        r
+    }
+}
+
+/// Factory for [`BoundedStack`] instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundedStackFactory;
+
+impl ComponentFactory for BoundedStackFactory {
+    fn class_name(&self) -> &str {
+        BoundedStack::CLASS
+    }
+
+    fn construct(
+        &self,
+        constructor: &str,
+        a: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn TestableComponent>, TestException> {
+        match constructor {
+            "BoundedStack" => {
+                let capacity = args::int(constructor, a, 0)?;
+                if capacity < 1 {
+                    return Err(TestException::domain(constructor, "capacity must be >= 1"));
+                }
+                Ok(Box::new(BoundedStack::new(capacity as usize, ctl)))
+            }
+            other => Err(unknown_method(BoundedStack::CLASS, other)),
+        }
+    }
+}
+
+/// The t-spec of `BoundedStack`.
+pub fn bounded_stack_spec() -> ClassSpec {
+    ClassSpecBuilder::new(BoundedStack::CLASS)
+        .attribute("size", Domain::int_range(0, 8))
+        .constructor("m1", "BoundedStack")
+        .param("capacity", Domain::int_range(2, 8))
+        .method("m2", "Push", MethodCategory::Update)
+        .param("v", Domain::int_range(-50, 50))
+        .method("m3", "Pop", MethodCategory::Update)
+        .returns("Value")
+        .method("m4", "Top", MethodCategory::Access)
+        .returns("Value")
+        .method("m5", "Size", MethodCategory::Access)
+        .returns("int")
+        .method("m6", "IsEmpty", MethodCategory::Access)
+        .returns("bool")
+        .destructor("m7", "~BoundedStack")
+        .birth_node("n1", ["m1"])
+        .task_node("n2", ["m2"])
+        .task_node("n3", ["m2"])
+        .task_node("n4", ["m4", "m5", "m6"])
+        .task_node("n5", ["m3"])
+        .death_node("n6", ["m7"])
+        .edge("n1", "n2")
+        .edge("n2", "n3")
+        .edge("n2", "n4")
+        .edge("n3", "n4")
+        .edge("n3", "n5")
+        .edge("n4", "n5")
+        .edge("n4", "n6")
+        .edge("n5", "n6")
+        .build()
+        .expect("BoundedStack spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(cap: usize) -> BoundedStack {
+        BoundedStack::new(cap, BitControl::new_enabled())
+    }
+
+    #[test]
+    fn lifo_behaviour() {
+        let mut s = stack(3);
+        s.push(Value::Int(1)).unwrap();
+        s.push(Value::Int(2)).unwrap();
+        assert_eq!(s.top().unwrap(), Value::Int(2));
+        assert_eq!(s.pop().unwrap(), Value::Int(2));
+        assert_eq!(s.pop().unwrap(), Value::Int(1));
+        assert_eq!(s.size(), 0);
+    }
+
+    #[test]
+    fn contracts_fire() {
+        let mut s = stack(1);
+        s.push(Value::Int(1)).unwrap();
+        assert_eq!(s.push(Value::Int(2)).unwrap_err().tag(), "PRECONDITION");
+        s.pop().unwrap();
+        assert_eq!(s.pop().unwrap_err().tag(), "PRECONDITION");
+        assert_eq!(s.top().unwrap_err().tag(), "PRECONDITION");
+    }
+
+    #[test]
+    fn dispatch_and_reporter() {
+        let mut s = stack(4);
+        s.invoke("Push", &[Value::Int(7)]).unwrap();
+        assert_eq!(s.invoke("Size", &[]).unwrap(), Value::Int(1));
+        assert_eq!(s.invoke("IsEmpty", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(s.invoke("Top", &[]).unwrap(), Value::Int(7));
+        let r = s.reporter();
+        assert_eq!(r.get("size"), Some(&Value::Int(1)));
+        assert_eq!(r.get("items"), Some(&Value::List(vec![Value::Int(7)])));
+        s.invoke("~BoundedStack", &[]).unwrap();
+        assert_eq!(s.invoke("IsEmpty", &[]).unwrap(), Value::Bool(true));
+        assert!(s.invoke("Nope", &[]).is_err());
+        assert!(s.invariant_test().is_ok());
+    }
+
+    #[test]
+    fn factory_validates_capacity() {
+        let f = BoundedStackFactory;
+        assert!(f
+            .construct("BoundedStack", &[Value::Int(3)], BitControl::new_enabled())
+            .is_ok());
+        assert!(f
+            .construct("BoundedStack", &[Value::Int(0)], BitControl::new_enabled())
+            .is_err());
+        assert!(f.construct("Stack", &[], BitControl::new_enabled()).is_err());
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(bounded_stack_spec().validate().is_empty());
+    }
+
+    #[test]
+    fn generated_suite_runs_green() {
+        use concat_driver::{DriverGenerator, TestLog, TestRunner};
+        let suite = DriverGenerator::with_seed(5).generate(&bounded_stack_spec()).unwrap();
+        assert!(!suite.is_empty());
+        let runner = TestRunner::new();
+        let result = runner.run_suite(&BoundedStackFactory, &suite, &mut TestLog::new());
+        assert_eq!(result.failed(), 0, "the stack passes its own self-test");
+    }
+}

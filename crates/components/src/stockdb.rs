@@ -1,0 +1,235 @@
+//! The in-memory stock database substrate for the warehouse example.
+//!
+//! The paper's running example (Figures 1–2) is a `Product` class from "the
+//! stock control system of a warehouse" whose `InsertProduct` /
+//! `RemoveProduct` methods talk to a database. The real system is not
+//! available, so this keyed in-memory store exercises the identical
+//! create/read/update/delete transaction structure (DESIGN.md §2).
+
+use concat_runtime::{ObjRef, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One stored product row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductRow {
+    /// Product name (primary key).
+    pub name: String,
+    /// Quantity in stock.
+    pub qty: i64,
+    /// Unit price.
+    pub price: f64,
+    /// Supplying provider, if any.
+    pub provider: Option<ObjRef>,
+}
+
+/// Errors from the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StockDbError {
+    /// Insert of a key that already exists.
+    Duplicate {
+        /// The conflicting key.
+        name: String,
+    },
+    /// Lookup/removal of a missing key.
+    NotFound {
+        /// The missing key.
+        name: String,
+    },
+}
+
+impl fmt::Display for StockDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StockDbError::Duplicate { name } => write!(f, "product '{name}' already exists"),
+            StockDbError::NotFound { name } => write!(f, "product '{name}' not found"),
+        }
+    }
+}
+
+impl std::error::Error for StockDbError {}
+
+/// A shared in-memory product table, keyed by product name.
+///
+/// Cloning shares the table (the `Product` components of one test session
+/// all talk to the same store, like objects sharing one database
+/// connection).
+///
+/// # Examples
+///
+/// ```
+/// use concat_components::{ProductRow, StockDb};
+///
+/// let db = StockDb::new();
+/// db.insert(ProductRow { name: "Soap".into(), qty: 3, price: 1.5, provider: None }).unwrap();
+/// assert_eq!(db.get("Soap").unwrap().qty, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StockDb {
+    rows: Rc<RefCell<BTreeMap<String, ProductRow>>>,
+}
+
+impl StockDb {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a new row.
+    ///
+    /// # Errors
+    ///
+    /// [`StockDbError::Duplicate`] when the name is already present.
+    pub fn insert(&self, row: ProductRow) -> Result<(), StockDbError> {
+        let mut rows = self.rows.borrow_mut();
+        if rows.contains_key(&row.name) {
+            return Err(StockDbError::Duplicate { name: row.name });
+        }
+        rows.insert(row.name.clone(), row);
+        Ok(())
+    }
+
+    /// Reads a row by name.
+    ///
+    /// # Errors
+    ///
+    /// [`StockDbError::NotFound`] when absent.
+    pub fn get(&self, name: &str) -> Result<ProductRow, StockDbError> {
+        self.rows
+            .borrow()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StockDbError::NotFound { name: name.to_owned() })
+    }
+
+    /// Overwrites an existing row.
+    ///
+    /// # Errors
+    ///
+    /// [`StockDbError::NotFound`] when absent.
+    pub fn update(&self, row: ProductRow) -> Result<(), StockDbError> {
+        let mut rows = self.rows.borrow_mut();
+        if !rows.contains_key(&row.name) {
+            return Err(StockDbError::NotFound { name: row.name });
+        }
+        rows.insert(row.name.clone(), row);
+        Ok(())
+    }
+
+    /// Removes a row by name, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`StockDbError::NotFound`] when absent.
+    pub fn remove(&self, name: &str) -> Result<ProductRow, StockDbError> {
+        self.rows
+            .borrow_mut()
+            .remove(name)
+            .ok_or_else(|| StockDbError::NotFound { name: name.to_owned() })
+    }
+
+    /// True when the name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.rows.borrow().contains_key(name)
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.borrow().len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.borrow().is_empty()
+    }
+
+    /// Removes every row.
+    pub fn clear(&self) {
+        self.rows.borrow_mut().clear();
+    }
+
+    /// Snapshot of the table as a [`Value`] (name → qty pairs) for
+    /// reporters.
+    pub fn snapshot(&self) -> Value {
+        Value::List(
+            self.rows
+                .borrow()
+                .values()
+                .map(|r| {
+                    Value::List(vec![Value::Str(r.name.clone()), Value::Int(r.qty)])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, qty: i64) -> ProductRow {
+        ProductRow { name: name.into(), qty, price: 1.0, provider: None }
+    }
+
+    #[test]
+    fn insert_get_update_remove_cycle() {
+        let db = StockDb::new();
+        db.insert(row("Soap", 5)).unwrap();
+        assert_eq!(db.get("Soap").unwrap().qty, 5);
+        db.update(row("Soap", 9)).unwrap();
+        assert_eq!(db.get("Soap").unwrap().qty, 9);
+        assert_eq!(db.remove("Soap").unwrap().qty, 9);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let db = StockDb::new();
+        db.insert(row("Soap", 1)).unwrap();
+        assert_eq!(
+            db.insert(row("Soap", 2)),
+            Err(StockDbError::Duplicate { name: "Soap".into() })
+        );
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn missing_rows_reported() {
+        let db = StockDb::new();
+        assert_eq!(db.get("Ghost"), Err(StockDbError::NotFound { name: "Ghost".into() }));
+        assert_eq!(db.remove("Ghost"), Err(StockDbError::NotFound { name: "Ghost".into() }));
+        assert_eq!(db.update(row("Ghost", 1)), Err(StockDbError::NotFound { name: "Ghost".into() }));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = StockDb::new();
+        let b = a.clone();
+        a.insert(row("Soap", 1)).unwrap();
+        assert!(b.contains("Soap"));
+        b.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_ordered() {
+        let db = StockDb::new();
+        db.insert(row("Zed", 2)).unwrap();
+        db.insert(row("Alpha", 1)).unwrap();
+        let snap = db.snapshot();
+        let items = snap.as_list().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0],
+            Value::List(vec![Value::Str("Alpha".into()), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StockDbError::Duplicate { name: "x".into() }.to_string().contains("exists"));
+        assert!(StockDbError::NotFound { name: "x".into() }.to_string().contains("not found"));
+    }
+}

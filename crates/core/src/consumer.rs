@@ -1,0 +1,368 @@
+//! The consumer workflow (paper §3.1, second half).
+//!
+//! "To use a self-testable component, a consumer should: generate test
+//! cases based on the t-spec; compile the component in test mode; execute
+//! tests; analyze the results obtained." [`Consumer::self_test`] runs all
+//! four steps; [`Consumer::evaluate_quality`] additionally runs the §4
+//! mutation analysis when the bundle carries an inventory; and
+//! [`Consumer::subclass_plan`] applies the §3.4.2 incremental reuse rule.
+
+use crate::bundle::SelfTestable;
+use concat_driver::{
+    DriverGenerator, GenerateError, GeneratorConfig, ReusePlan, SuiteResult, TestLog, TestRunner,
+    TestSuite, TestingHistory,
+};
+use concat_mutation::{
+    enumerate_mutants, run_mutation_analysis, MutationConfig, MutationRun,
+};
+use std::fmt;
+
+/// The outcome of one consumer self-test session.
+#[derive(Debug, Clone)]
+pub struct SelfTestReport {
+    /// The generated suite (seed recorded inside).
+    pub suite: TestSuite,
+    /// Per-case execution results.
+    pub result: SuiteResult,
+    /// The `Result.txt`-style log.
+    pub log: TestLog,
+    /// Assertions evaluated during the session.
+    pub assertion_checks: u64,
+    /// Assertion violations observed during the session.
+    pub assertion_violations: u64,
+}
+
+impl SelfTestReport {
+    /// True when every test case passed.
+    pub fn all_passed(&self) -> bool {
+        self.result.failed() == 0
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} case(s), {} passed, {} failed ({} by assertion); {} assertion check(s)",
+            self.suite.class_name,
+            self.result.cases.len(),
+            self.result.passed(),
+            self.result.failed(),
+            self.result.assertion_failures(),
+            self.assertion_checks
+        )
+    }
+}
+
+impl fmt::Display for SelfTestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Errors of the consumer workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsumerError {
+    /// Test generation failed.
+    Generate(GenerateError),
+    /// Quality evaluation requested but the bundle has no mutation
+    /// inventory/switch.
+    NoMutationSupport,
+    /// Reuse planning requested but the bundle has no inheritance map.
+    NoInheritanceMap,
+}
+
+impl fmt::Display for ConsumerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsumerError::Generate(e) => write!(f, "generation failed: {e}"),
+            ConsumerError::NoMutationSupport => {
+                f.write_str("bundle carries no mutation inventory/switch")
+            }
+            ConsumerError::NoInheritanceMap => f.write_str("bundle carries no inheritance map"),
+        }
+    }
+}
+
+impl std::error::Error for ConsumerError {}
+
+impl From<GenerateError> for ConsumerError {
+    fn from(e: GenerateError) -> Self {
+        ConsumerError::Generate(e)
+    }
+}
+
+/// The consumer-side test session driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Consumer {
+    config: GeneratorConfig,
+}
+
+impl Consumer {
+    /// A consumer with the default generation configuration.
+    pub fn new() -> Self {
+        Consumer { config: GeneratorConfig::default() }
+    }
+
+    /// A consumer with an explicit generation configuration.
+    pub fn with_config(config: GeneratorConfig) -> Self {
+        Consumer { config }
+    }
+
+    /// A consumer with the default configuration but a chosen seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Consumer { config: GeneratorConfig { seed, ..GeneratorConfig::default() } }
+    }
+
+    /// The generation configuration in use.
+    pub fn config(&self) -> GeneratorConfig {
+        self.config
+    }
+
+    /// Generates the transaction-covering suite for the bundle
+    /// (step 1 of the workflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] from the driver generator.
+    pub fn generate(&self, component: &SelfTestable) -> Result<TestSuite, ConsumerError> {
+        let mut gen = DriverGenerator::new(self.config);
+        if component
+            .spec()
+            .methods
+            .iter()
+            .flat_map(|m| &m.params)
+            .any(|p| matches!(p.domain, concat_tspec::Domain::Pointer { ref class_name, .. } if class_name == "Provider"))
+        {
+            concat_components_provider_shim(gen.inputs_mut());
+        }
+        Ok(gen.generate(component.spec())?)
+    }
+
+    /// Runs the full self-test: generate, switch to test mode, execute,
+    /// analyze (steps 1–4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] from the driver generator.
+    pub fn self_test(&self, component: &SelfTestable) -> Result<SelfTestReport, ConsumerError> {
+        let suite = self.generate(component)?;
+        self.run_suite(component, &suite)
+    }
+
+    /// Executes a pre-generated suite (used by reuse flows that run a
+    /// filtered suite).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` keeps the signature
+    /// uniform with [`Consumer::self_test`].
+    pub fn run_suite(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+    ) -> Result<SelfTestReport, ConsumerError> {
+        let runner = TestRunner::new(); // test mode ON — "compile in test mode"
+        runner.bit_control().reset_counters();
+        let mut log = TestLog::new();
+        let result = runner.run_suite(component.factory(), suite, &mut log);
+        Ok(SelfTestReport {
+            suite: suite.clone(),
+            result,
+            log,
+            assertion_checks: runner.bit_control().checks(),
+            assertion_violations: runner.bit_control().violations(),
+        })
+    }
+
+    /// Runs the §4 mutation analysis over the bundle's inventory for the
+    /// given target methods, using `suite` as the killing test set.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsumerError::NoMutationSupport`] when the bundle lacks an
+    /// inventory or switch; generation errors when probe suites cannot be
+    /// built.
+    pub fn evaluate_quality(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+        target_methods: &[&str],
+        probe_seeds: &[u64],
+    ) -> Result<MutationRun, ConsumerError> {
+        self.evaluate_quality_with(component, suite, target_methods, probe_seeds, true)
+    }
+
+    /// Like [`Consumer::evaluate_quality`], with an explicit BIT switch —
+    /// `bit_enabled: false` is the assertions-off ablation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Consumer::evaluate_quality`].
+    pub fn evaluate_quality_with(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+        target_methods: &[&str],
+        probe_seeds: &[u64],
+        bit_enabled: bool,
+    ) -> Result<MutationRun, ConsumerError> {
+        let (inventory, switch) = match (component.inventory(), component.switch()) {
+            (Some(i), Some(s)) => (i, s),
+            _ => return Err(ConsumerError::NoMutationSupport),
+        };
+        let mutants = enumerate_mutants(inventory, target_methods);
+        let mut probe_suites = Vec::with_capacity(probe_seeds.len());
+        for seed in probe_seeds {
+            let consumer = Consumer::with_config(GeneratorConfig { seed: *seed, ..self.config });
+            probe_suites.push(consumer.generate(component)?);
+        }
+        Ok(run_mutation_analysis(
+            component.factory(),
+            switch,
+            suite,
+            &mutants,
+            &MutationConfig { probe_suites, silence_panics: true, bit_enabled },
+        ))
+    }
+
+    /// Applies the §3.4.2 incremental reuse rule: partitions a parent
+    /// suite's history against this bundle's inheritance map.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsumerError::NoInheritanceMap`] when the bundle lacks a map.
+    pub fn subclass_plan(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+    ) -> Result<ReusePlan, ConsumerError> {
+        let map = component.inheritance().ok_or(ConsumerError::NoInheritanceMap)?;
+        let history = TestingHistory::from_suite(suite);
+        Ok(ReusePlan::analyze(&history, map))
+    }
+}
+
+impl Default for Consumer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Registers the demo provider pool for `Provider*` parameters so the
+/// warehouse example self-tests out of the box. Kept here (not in the
+/// driver) because which objects satisfy a pointer domain is a consumer
+/// decision.
+fn concat_components_provider_shim(inputs: &mut concat_driver::InputGenerator) {
+    inputs.register_provider(
+        "Provider",
+        Box::new(|rng| {
+            use rand::Rng as _;
+            let id = rng.gen_range(1..=3);
+            concat_runtime::Value::Obj(concat_runtime::ObjRef::new(
+                "Provider",
+                format!("p{id}"),
+            ))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::SelfTestableBuilder;
+    use concat_components::*;
+    use std::rc::Rc;
+
+    fn stack_bundle() -> SelfTestable {
+        SelfTestableBuilder::new(bounded_stack_spec(), Rc::new(BoundedStackFactory)).build()
+    }
+
+    fn sortable_bundle() -> SelfTestable {
+        let switch = concat_mutation::MutationSwitch::new();
+        SelfTestableBuilder::new(
+            sortable_spec(),
+            Rc::new(CSortableObListFactory::new(switch.clone())),
+        )
+        .mutation(sortable_inventory(), switch)
+        .inheritance(sortable_inheritance_map())
+        .build()
+    }
+
+    #[test]
+    fn stack_self_test_passes() {
+        let report = Consumer::with_seed(7).self_test(&stack_bundle()).unwrap();
+        assert!(report.all_passed(), "{}", report.summary());
+        assert!(report.assertion_checks > 0, "invariants were evaluated");
+        assert_eq!(report.assertion_violations, 0);
+        assert!(report.log.render().contains("OK!"));
+        assert!(report.summary().contains("BoundedStack"));
+    }
+
+    #[test]
+    fn product_self_test_uses_provider_pool() {
+        let bundle =
+            SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build();
+        let report = Consumer::with_seed(9).self_test(&bundle).unwrap();
+        // Some transactions are error-recovery ones (database precondition
+        // violations); the bulk passes.
+        assert!(report.result.passed() > report.result.failed());
+        assert_eq!(report.suite.stats.manual_args, 0, "provider pool fills Provider*");
+    }
+
+    #[test]
+    fn quality_evaluation_requires_mutation_support() {
+        let consumer = Consumer::with_seed(1);
+        let bundle = stack_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        assert_eq!(
+            consumer
+                .evaluate_quality(&bundle, &suite, &["Push"], &[])
+                .unwrap_err(),
+            ConsumerError::NoMutationSupport
+        );
+    }
+
+    #[test]
+    fn quality_evaluation_runs_on_sortable() {
+        let consumer = Consumer::with_seed(3);
+        let bundle = sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        // Keep the unit test fast: one method, a slice of the suite.
+        let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(40).collect();
+        let small = suite.filtered(&ids);
+        let run = consumer
+            .evaluate_quality(&bundle, &small, &["FindMax"], &[])
+            .unwrap();
+        assert!(run.total() > 10);
+        assert!(run.killed() > 0);
+    }
+
+    #[test]
+    fn subclass_plan_partitions() {
+        let consumer = Consumer::with_seed(4);
+        let bundle = sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        let plan = consumer.subclass_plan(&bundle, &suite).unwrap();
+        let (skip, retest, obsolete) = plan.counts();
+        assert!(skip > 0, "inherited-only transactions exist");
+        assert!(retest > 0, "new-method transactions exist");
+        assert_eq!(obsolete, 0);
+        assert_eq!(skip + retest, suite.len());
+    }
+
+    #[test]
+    fn subclass_plan_requires_map() {
+        let consumer = Consumer::with_seed(4);
+        let bundle = stack_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        assert_eq!(
+            consumer.subclass_plan(&bundle, &suite).unwrap_err(),
+            ConsumerError::NoInheritanceMap
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ConsumerError::NoMutationSupport.to_string().contains("inventory"));
+        assert!(ConsumerError::NoInheritanceMap.to_string().contains("inheritance"));
+    }
+}

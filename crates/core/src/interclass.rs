@@ -1,0 +1,592 @@
+//! Interclass testing: components made of more than one class.
+//!
+//! The paper's short-term future work: "we are also extending this
+//! approach for components having more than one class; so instead of
+//! method's interactions inside a class (intraclass testing), we focus on
+//! interactions between classes (interclass testing)" (§6). The TFM was
+//! chosen precisely because "it can be used for components having more
+//! than one object … as it can show the sequencing of activities performed
+//! by several objects as well" (§3.2).
+//!
+//! The extension is a *flattening*: a [`CompositeSpec`] names each member
+//! class as a **role**, qualifies its methods as `role.Method`, and builds
+//! one interclass TFM over the qualified methods. Flattening yields an
+//! ordinary `ClassSpec`, and [`CompositeFactory`] an ordinary
+//! `ComponentFactory` whose instances route `role.Method` calls to the
+//! role's object — so the whole existing pipeline (driver generation,
+//! execution, oracle, history, mutation analysis) applies unchanged.
+
+use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
+use concat_runtime::{
+    unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
+};
+use concat_tfm::NodeKind;
+use concat_tspec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, SpecError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One member class of a composite, under a role name.
+#[derive(Debug, Clone)]
+pub struct Role {
+    /// Role name (qualifier in `role.Method`).
+    pub name: String,
+    /// The member class's own t-spec.
+    pub spec: ClassSpec,
+    /// Constructor (of the member class) used when the composite is
+    /// created; must be parameterless.
+    pub constructor: String,
+    /// Destructor method of the member class.
+    pub destructor: String,
+}
+
+/// A multi-class component specification.
+///
+/// Build with [`CompositeSpecBuilder`]; [`CompositeSpec::flatten`]
+/// produces the ordinary `ClassSpec` the driver generator consumes.
+#[derive(Debug, Clone)]
+pub struct CompositeSpec {
+    name: String,
+    roles: Vec<Role>,
+    nodes: Vec<(String, NodeKind, Vec<String>)>,
+    edges: Vec<(String, String)>,
+}
+
+impl CompositeSpec {
+    /// The composite's class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member roles.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// The synthetic constructor method id/name of the flattened spec.
+    pub fn constructor_name(&self) -> String {
+        self.name.clone()
+    }
+
+    /// The synthetic destructor method name of the flattened spec.
+    pub fn destructor_name(&self) -> String {
+        format!("~{}", self.name)
+    }
+
+    /// Flattens the composite into an ordinary [`ClassSpec`]:
+    ///
+    /// * attributes become `role.attr`;
+    /// * every non-lifecycle method of every role becomes `role.Method`
+    ///   with id `role.mid`;
+    /// * a synthetic parameterless constructor/destructor pair is added
+    ///   (creating a composite creates every role's object);
+    /// * the interclass TFM is carried over verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flattened spec's validation problems, if any.
+    pub fn flatten(&self) -> Result<ClassSpec, Vec<SpecError>> {
+        // The composite's interface is exactly the set of interactions its
+        // model describes: only member methods referenced by some node are
+        // part of the flattened spec (the member classes keep their own
+        // full specs for intraclass testing).
+        let referenced: std::collections::BTreeSet<&str> = self
+            .nodes
+            .iter()
+            .flat_map(|(_, _, ms)| ms.iter().map(String::as_str))
+            .collect();
+        let mut attributes = Vec::new();
+        let mut methods = vec![MethodSpec::new(
+            "ctor",
+            self.constructor_name(),
+            MethodCategory::Constructor,
+        )];
+        for role in &self.roles {
+            for a in &role.spec.attributes {
+                attributes.push(AttributeSpec::new(
+                    format!("{}.{}", role.name, a.name),
+                    a.domain.clone(),
+                ));
+            }
+            for m in &role.spec.methods {
+                if m.category == MethodCategory::Constructor
+                    || m.category == MethodCategory::Destructor
+                {
+                    continue;
+                }
+                if !referenced.contains(format!("{}.{}", role.name, m.id).as_str()) {
+                    continue;
+                }
+                methods.push(MethodSpec {
+                    id: format!("{}.{}", role.name, m.id),
+                    name: format!("{}.{}", role.name, m.name),
+                    return_type: m.return_type.clone(),
+                    category: m.category.clone(),
+                    params: m.params.clone(),
+                });
+            }
+        }
+        methods.push(MethodSpec::new("dtor", self.destructor_name(), MethodCategory::Destructor));
+
+        let mut tfm = concat_tfm::Tfm::new(self.name.clone());
+        let mut ids: BTreeMap<&str, concat_tfm::NodeId> = BTreeMap::new();
+        for (label, kind, node_methods) in &self.nodes {
+            let id = tfm.add_node(label.clone(), *kind, node_methods.clone());
+            ids.insert(label.as_str(), id);
+        }
+        let mut errors = Vec::new();
+        for (from, to) in &self.edges {
+            match (ids.get(from.as_str()), ids.get(to.as_str())) {
+                (Some(f), Some(t)) => tfm.add_edge(*f, *t),
+                _ => errors.push(SpecError::UnknownMethodInModel {
+                    method: format!("edge {from} -> {to}"),
+                    node: "<edges>".into(),
+                }),
+            }
+        }
+        let spec = ClassSpec {
+            class_name: self.name.clone(),
+            is_abstract: false,
+            superclass: None,
+            source_files: Vec::new(),
+            attributes,
+            methods,
+            tfm,
+        };
+        errors.extend(spec.validate());
+        if errors.is_empty() {
+            Ok(spec)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// Builder for [`CompositeSpec`].
+///
+/// Node method lists reference the synthetic lifecycle ids (`ctor`,
+/// `dtor`) and qualified member method ids (`role.mid`).
+#[derive(Debug, Clone)]
+pub struct CompositeSpecBuilder {
+    name: String,
+    roles: Vec<Role>,
+    nodes: Vec<(String, NodeKind, Vec<String>)>,
+    edges: Vec<(String, String)>,
+}
+
+impl CompositeSpecBuilder {
+    /// Starts a composite named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CompositeSpecBuilder {
+            name: name.into(),
+            roles: Vec::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a member class under `role`, created through its
+    /// parameterless `constructor` and destroyed through `destructor`.
+    pub fn role(
+        mut self,
+        role: impl Into<String>,
+        spec: ClassSpec,
+        constructor: impl Into<String>,
+        destructor: impl Into<String>,
+    ) -> Self {
+        self.roles.push(Role {
+            name: role.into(),
+            spec,
+            constructor: constructor.into(),
+            destructor: destructor.into(),
+        });
+        self
+    }
+
+    /// Adds the birth node (methods default to the synthetic `ctor`).
+    pub fn birth(mut self, label: impl Into<String>) -> Self {
+        self.nodes.push((label.into(), NodeKind::Birth, vec!["ctor".into()]));
+        self
+    }
+
+    /// Adds a task node over qualified method ids.
+    pub fn task<I, S>(mut self, label: impl Into<String>, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.nodes.push((
+            label.into(),
+            NodeKind::Task,
+            methods.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// Adds the death node (methods default to the synthetic `dtor`).
+    pub fn death(mut self, label: impl Into<String>) -> Self {
+        self.nodes.push((label.into(), NodeKind::Death, vec!["dtor".into()]));
+        self
+    }
+
+    /// Adds an edge between node labels.
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Finishes the composite spec (structure only; call
+    /// [`CompositeSpec::flatten`] to validate).
+    pub fn build(self) -> CompositeSpec {
+        CompositeSpec { name: self.name, roles: self.roles, nodes: self.nodes, edges: self.edges }
+    }
+}
+
+/// A live composite instance: one object per role.
+struct CompositeComponent {
+    class_name: String,
+    destructor_name: String,
+    members: Vec<(String, Box<dyn TestableComponent>, String)>,
+    ctl: BitControl,
+}
+
+impl Component for CompositeComponent {
+    fn class_name(&self) -> &'static str {
+        // `Component::class_name` returns `&'static str` (a deliberate
+        // simplification of the single-class runtime); composites leak
+        // their name once per construction batch via `Box::leak` being
+        // unavailable under forbid(unsafe)? No — plain String leak is
+        // safe; instead we intern in a static table below.
+        intern(&self.class_name)
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        Vec::new() // composite methods are dynamic; `has_method` is overridden
+    }
+
+    fn has_method(&self, method: &str) -> bool {
+        if method == self.destructor_name {
+            return true;
+        }
+        match method.split_once('.') {
+            Some((role, inner)) => self
+                .members
+                .iter()
+                .any(|(name, member, _)| name == role && member.has_method(inner)),
+            None => false,
+        }
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> InvokeResult {
+        if method == self.destructor_name {
+            // Destroy in reverse construction order.
+            let mut last = Value::Null;
+            for (_, member, dtor) in self.members.iter_mut().rev() {
+                last = member.invoke(dtor, &[])?;
+            }
+            return Ok(last);
+        }
+        let Some((role, inner)) = method.split_once('.') else {
+            return Err(unknown_method(&self.class_name, method));
+        };
+        match self.members.iter_mut().find(|(name, _, _)| name == role) {
+            Some((_, member, _)) => member.invoke(inner, args),
+            None => Err(TestException::domain(
+                method,
+                format!("composite has no role `{role}`"),
+            )),
+        }
+    }
+}
+
+impl BuiltInTest for CompositeComponent {
+    fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    fn invariant_test(&self) -> Result<(), AssertionViolation> {
+        for (_, member, _) in &self.members {
+            member.invariant_test()?;
+        }
+        Ok(())
+    }
+
+    fn reporter(&self) -> StateReport {
+        let mut merged = StateReport::new();
+        for (role, member, _) in &self.members {
+            for (k, v) in member.reporter().iter() {
+                merged.set(format!("{role}.{k}"), v.clone());
+            }
+        }
+        merged
+    }
+}
+
+/// Interns composite class names so `Component::class_name` can return a
+/// `&'static str` without unsafe code. Names live for the process; the
+/// set of composite names in a test session is tiny and bounded.
+fn intern(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = table.lock().expect("intern table poisoned");
+    if let Some(existing) = guard.iter().find(|s| **s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    guard.push(leaked);
+    leaked
+}
+
+/// Factory for composite instances: one member factory per role.
+pub struct CompositeFactory {
+    spec: CompositeSpec,
+    factories: BTreeMap<String, Rc<dyn ComponentFactory>>,
+}
+
+impl fmt::Debug for CompositeFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompositeFactory")
+            .field("composite", &self.spec.name)
+            .field("roles", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl CompositeFactory {
+    /// Creates a factory; `factories` maps each role name to the member
+    /// class's factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the roles that have no factory (or factories naming no
+    /// role).
+    pub fn new(
+        spec: CompositeSpec,
+        factories: Vec<(String, Rc<dyn ComponentFactory>)>,
+    ) -> Result<Self, Vec<String>> {
+        let map: BTreeMap<String, Rc<dyn ComponentFactory>> = factories.into_iter().collect();
+        let mut problems = Vec::new();
+        for role in spec.roles() {
+            if !map.contains_key(&role.name) {
+                problems.push(format!("role `{}` has no factory", role.name));
+            }
+        }
+        for name in map.keys() {
+            if !spec.roles().iter().any(|r| &r.name == name) {
+                problems.push(format!("factory `{name}` names no role"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(CompositeFactory { spec, factories: map })
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+impl ComponentFactory for CompositeFactory {
+    fn class_name(&self) -> &str {
+        self.spec.name()
+    }
+
+    fn construct(
+        &self,
+        constructor: &str,
+        args: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn TestableComponent>, TestException> {
+        if constructor != self.spec.constructor_name() {
+            return Err(unknown_method(self.spec.name(), constructor));
+        }
+        if !args.is_empty() {
+            return Err(TestException::ArityMismatch {
+                method: constructor.to_owned(),
+                expected: 0,
+                got: args.len(),
+            });
+        }
+        let mut members = Vec::with_capacity(self.spec.roles().len());
+        for role in self.spec.roles() {
+            let factory = self
+                .factories
+                .get(&role.name)
+                .expect("validated by CompositeFactory::new");
+            let member = factory.construct(&role.constructor, &[], ctl.clone())?;
+            members.push((role.name.clone(), member, role.destructor.clone()));
+        }
+        Ok(Box::new(CompositeComponent {
+            class_name: self.spec.name().to_owned(),
+            destructor_name: self.spec.destructor_name(),
+            members,
+            ctl,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_components::{bounded_stack_spec, coblist_spec, BoundedStackFactory, CObListFactory};
+
+    /// A warehouse station: an audit list of quantities plus a staging
+    /// stack — two interacting classes under one composite TFM.
+    fn station() -> CompositeSpec {
+        CompositeSpecBuilder::new("Station")
+            .role("audit", coblist_spec(), "CObList", "~CObList")
+            .role("staging", bounded_stack_spec(), "BoundedStack", "~BoundedStack")
+            .birth("create")
+            .task("log", ["audit.m2", "audit.m3"]) // AddHead / AddTail
+            .task("stage", ["staging.m2"]) // Push
+            .task("check", ["audit.m13", "staging.m5"]) // GetCount / Size
+            .task("drain", ["staging.m3"]) // Pop
+            .death("destroy")
+            .edge("create", "log")
+            .edge("log", "stage")
+            .edge("stage", "check")
+            .edge("stage", "drain")
+            .edge("check", "drain")
+            .edge("drain", "destroy")
+            .edge("check", "destroy")
+            .build()
+    }
+
+    fn station_factory() -> CompositeFactory {
+        CompositeFactory::new(
+            station(),
+            vec![
+                ("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>),
+                ("staging".into(), Rc::new(StackWithCapacity) as Rc<dyn ComponentFactory>),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// `BoundedStack`'s constructor takes a capacity; composites construct
+    /// roles parameterlessly, so wrap the factory with a default.
+    struct StackWithCapacity;
+    impl ComponentFactory for StackWithCapacity {
+        fn class_name(&self) -> &str {
+            "BoundedStack"
+        }
+        fn construct(
+            &self,
+            constructor: &str,
+            args: &[Value],
+            ctl: BitControl,
+        ) -> Result<Box<dyn TestableComponent>, TestException> {
+            if args.is_empty() {
+                BoundedStackFactory.construct(constructor, &[Value::Int(8)], ctl)
+            } else {
+                BoundedStackFactory.construct(constructor, args, ctl)
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_produces_valid_spec() {
+        let flat = station().flatten().unwrap();
+        assert_eq!(flat.class_name, "Station");
+        assert!(flat.validate().is_empty());
+        assert!(flat.method("audit.m2").is_some());
+        assert_eq!(flat.method("audit.m2").unwrap().name, "audit.AddHead");
+        assert!(flat.method("ctor").is_some());
+        assert!(flat.attributes.iter().any(|a| a.name == "audit.m_nCount"));
+    }
+
+    #[test]
+    fn flatten_rejects_bad_edges_and_unknown_ids() {
+        let broken = CompositeSpecBuilder::new("B")
+            .role("r", coblist_spec(), "CObList", "~CObList")
+            .birth("create")
+            .task("t", ["r.m99"])
+            .death("destroy")
+            .edge("create", "t")
+            .edge("t", "destroy")
+            .edge("t", "nowhere")
+            .build();
+        let errs = broken.flatten().unwrap_err();
+        assert!(errs.len() >= 2);
+    }
+
+    #[test]
+    fn composite_instances_route_calls_by_role() {
+        let factory = station_factory();
+        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        c.invoke("audit.AddHead", &[Value::Int(5)]).unwrap();
+        c.invoke("staging.Push", &[Value::Int(9)]).unwrap();
+        assert_eq!(c.invoke("audit.GetCount", &[]).unwrap(), Value::Int(1));
+        assert_eq!(c.invoke("staging.Size", &[]).unwrap(), Value::Int(1));
+        assert_eq!(c.invoke("staging.Pop", &[]).unwrap(), Value::Int(9));
+        assert!(c.invariant_test().is_ok());
+        let report = c.reporter();
+        assert_eq!(report.get("audit.m_nCount"), Some(&Value::Int(1)));
+        assert_eq!(report.get("staging.size"), Some(&Value::Int(0)));
+        assert!(c.has_method("audit.AddHead"));
+        assert!(c.has_method("~Station"));
+        assert!(!c.has_method("audit.Bogus"));
+        assert!(!c.has_method("ghost.AddHead"));
+    }
+
+    #[test]
+    fn composite_destructor_destroys_all_roles() {
+        let factory = station_factory();
+        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        c.invoke("audit.AddHead", &[Value::Int(1)]).unwrap();
+        c.invoke("~Station", &[]).unwrap();
+        assert_eq!(c.invoke("audit.GetCount", &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn unknown_role_and_method_errors() {
+        let factory = station_factory();
+        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        assert_eq!(c.invoke("ghost.AddHead", &[]).unwrap_err().tag(), "DOMAIN");
+        assert_eq!(c.invoke("NoDot", &[]).unwrap_err().tag(), "UNKNOWN_METHOD");
+        assert!(factory.construct("Wrong", &[], BitControl::new_enabled()).is_err());
+        assert!(factory
+            .construct("Station", &[Value::Int(1)], BitControl::new_enabled())
+            .is_err());
+    }
+
+    #[test]
+    fn factory_validates_role_coverage() {
+        let errs = CompositeFactory::new(
+            station(),
+            vec![("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>)],
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("staging")));
+    }
+
+    #[test]
+    fn full_pipeline_runs_on_a_composite() {
+        use concat_driver::{DriverGenerator, TestLog, TestRunner};
+        let flat = station().flatten().unwrap();
+        let suite = DriverGenerator::with_seed(41).generate(&flat).unwrap();
+        assert!(!suite.is_empty());
+        let factory = station_factory();
+        let runner = TestRunner::new();
+        let result = runner.run_suite(&factory, &suite, &mut TestLog::new());
+        // Pop-before-Push transactions are error-recovery cases; most pass.
+        assert!(result.passed() > 0);
+        for case in &result.cases {
+            assert!(
+                matches!(
+                    case.status,
+                    concat_driver::CaseStatus::Passed
+                        | concat_driver::CaseStatus::AssertionViolated { .. }
+                ),
+                "unexpected status {:?}",
+                case.status
+            );
+        }
+    }
+
+    #[test]
+    fn intern_returns_stable_references() {
+        let a = intern("Station");
+        let b = intern("Station");
+        assert!(std::ptr::eq(a, b));
+    }
+}

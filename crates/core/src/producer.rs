@@ -1,0 +1,323 @@
+//! The producer workflow (paper §3.1, first half).
+//!
+//! "The component producer performs three tasks for developing a
+//! self-testable component: construct the test model; develop the t-spec
+//! from the test model and insert it into the component source code;
+//! instrument component source code to introduce built-in test
+//! mechanisms." [`Producer::package`] checks that all three were done
+//! coherently before the bundle is shipped.
+
+use crate::bundle::SelfTestable;
+use concat_bit::BitControl;
+use concat_tspec::{MethodCategory, SpecError};
+use std::fmt;
+
+/// A packaging problem found by [`Producer::package`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackagingError {
+    /// The embedded t-spec fails its own validation.
+    Spec(SpecError),
+    /// The factory's class name differs from the spec's.
+    ClassNameMismatch {
+        /// Name in the spec.
+        spec: String,
+        /// Name reported by the factory.
+        factory: String,
+    },
+    /// A probe construction through a spec constructor failed.
+    ConstructorFailed {
+        /// The constructor method id.
+        id: String,
+        /// The failure message.
+        message: String,
+    },
+    /// A spec method is not dispatchable on a constructed instance.
+    MissingMethod {
+        /// The missing runtime method name.
+        method: String,
+    },
+    /// The instance's reporter produced no observables — the BIT
+    /// observability requirement is not met.
+    EmptyReporter,
+    /// The mutation inventory attached to the bundle fails validation.
+    Inventory(String),
+}
+
+impl fmt::Display for PackagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackagingError::Spec(e) => write!(f, "t-spec: {e}"),
+            PackagingError::ClassNameMismatch { spec, factory } => {
+                write!(f, "class name mismatch: spec says {spec}, factory says {factory}")
+            }
+            PackagingError::ConstructorFailed { id, message } => {
+                write!(f, "constructor {id} failed on probe arguments: {message}")
+            }
+            PackagingError::MissingMethod { method } => {
+                write!(f, "spec method {method} is not implemented by the component")
+            }
+            PackagingError::EmptyReporter => {
+                f.write_str("reporter produced no observables (no BIT observability)")
+            }
+            PackagingError::Inventory(msg) => write!(f, "mutation inventory: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PackagingError {}
+
+/// The producer-side packaging validator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Producer;
+
+impl Producer {
+    /// Checks a bundle's internal coherence.
+    ///
+    /// Validates the t-spec, the factory/spec class-name agreement, that
+    /// each *parameterless* constructor builds an instance, that every
+    /// non-constructor spec method is dispatchable on such an instance,
+    /// that the reporter observes something, and that any attached
+    /// mutation inventory validates.
+    ///
+    /// # Errors
+    ///
+    /// Every problem found, in detection order.
+    pub fn package(component: &SelfTestable) -> Result<(), Vec<PackagingError>> {
+        let mut errors = Vec::new();
+        let spec = component.spec();
+        for e in spec.validate() {
+            errors.push(PackagingError::Spec(e));
+        }
+        if spec.class_name != component.factory().class_name() {
+            errors.push(PackagingError::ClassNameMismatch {
+                spec: spec.class_name.clone(),
+                factory: component.factory().class_name().to_owned(),
+            });
+        }
+        // Probe with the first parameterless constructor.
+        let probe_ctor = spec
+            .methods
+            .iter()
+            .find(|m| m.category == MethodCategory::Constructor && m.params.is_empty());
+        if let Some(ctor) = probe_ctor {
+            match component
+                .factory()
+                .construct(&ctor.name, &[], BitControl::new_enabled())
+            {
+                Err(e) => errors.push(PackagingError::ConstructorFailed {
+                    id: ctor.id.clone(),
+                    message: e.to_string(),
+                }),
+                Ok(instance) => {
+                    for m in &spec.methods {
+                        if m.category == MethodCategory::Constructor {
+                            continue;
+                        }
+                        if !instance.has_method(&m.name) {
+                            errors.push(PackagingError::MissingMethod { method: m.name.clone() });
+                        }
+                    }
+                    if instance.reporter().is_empty() {
+                        errors.push(PackagingError::EmptyReporter);
+                    }
+                }
+            }
+        }
+        if let Some(inv) = component.inventory() {
+            for msg in inv.validate() {
+                errors.push(PackagingError::Inventory(msg));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::SelfTestableBuilder;
+    use concat_bit::{BuiltInTest, ComponentFactory, StateReport, TestableComponent};
+    use concat_runtime::{
+        unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
+    };
+    use concat_tspec::{ClassSpec, ClassSpecBuilder};
+    use std::rc::Rc;
+
+    struct Blob {
+        ctl: BitControl,
+        report_something: bool,
+    }
+
+    impl Component for Blob {
+        fn class_name(&self) -> &'static str {
+            "Blob"
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            vec!["Work", "~Blob"]
+        }
+        fn invoke(&mut self, m: &str, _a: &[Value]) -> InvokeResult {
+            match m {
+                "Work" | "~Blob" => Ok(Value::Null),
+                _ => Err(unknown_method("Blob", m)),
+            }
+        }
+    }
+
+    impl BuiltInTest for Blob {
+        fn bit_control(&self) -> &BitControl {
+            &self.ctl
+        }
+        fn invariant_test(&self) -> Result<(), AssertionViolation> {
+            Ok(())
+        }
+        fn reporter(&self) -> StateReport {
+            let mut r = StateReport::new();
+            if self.report_something {
+                r.set("ok", Value::Bool(true));
+            }
+            r
+        }
+    }
+
+    struct BlobFactory {
+        class: &'static str,
+        report_something: bool,
+        fail_ctor: bool,
+    }
+
+    impl ComponentFactory for BlobFactory {
+        fn class_name(&self) -> &str {
+            self.class
+        }
+        fn construct(
+            &self,
+            constructor: &str,
+            _a: &[Value],
+            ctl: BitControl,
+        ) -> Result<Box<dyn TestableComponent>, TestException> {
+            if self.fail_ctor {
+                return Err(TestException::domain(constructor, "nope"));
+            }
+            match constructor {
+                "Blob" => Ok(Box::new(Blob { ctl, report_something: self.report_something })),
+                other => Err(unknown_method("Blob", other)),
+            }
+        }
+    }
+
+    fn spec(extra_method: bool) -> ClassSpec {
+        let mut b = ClassSpecBuilder::new("Blob")
+            .constructor("m1", "Blob")
+            .method("m2", "Work", concat_tspec::MethodCategory::Update)
+            .destructor("m3", "~Blob");
+        if extra_method {
+            b = b.method("m4", "Ghost", concat_tspec::MethodCategory::Access);
+        }
+        let mut b = b
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3");
+        if extra_method {
+            b = b.task_node("n4", ["m4"]).edge("n2", "n4").edge("n4", "n3");
+        }
+        b.build().unwrap()
+    }
+
+    fn bundle(class: &'static str, report: bool, fail: bool, extra: bool) -> SelfTestable {
+        SelfTestableBuilder::new(
+            spec(extra),
+            Rc::new(BlobFactory { class, report_something: report, fail_ctor: fail }),
+        )
+        .build()
+    }
+
+    #[test]
+    fn coherent_bundle_packages_cleanly() {
+        assert!(Producer::package(&bundle("Blob", true, false, false)).is_ok());
+    }
+
+    #[test]
+    fn class_name_mismatch_detected() {
+        let errs = Producer::package(&bundle("Other", true, false, false)).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PackagingError::ClassNameMismatch { .. })));
+    }
+
+    #[test]
+    fn failing_constructor_detected() {
+        let errs = Producer::package(&bundle("Blob", true, true, false)).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PackagingError::ConstructorFailed { .. })));
+    }
+
+    #[test]
+    fn missing_method_detected() {
+        let errs = Producer::package(&bundle("Blob", true, false, true)).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PackagingError::MissingMethod { method } if method == "Ghost")));
+    }
+
+    #[test]
+    fn empty_reporter_detected() {
+        let errs = Producer::package(&bundle("Blob", false, false, false)).unwrap_err();
+        assert!(errs.contains(&PackagingError::EmptyReporter));
+    }
+
+    #[test]
+    fn bad_inventory_detected() {
+        let st = SelfTestableBuilder::new(
+            spec(false),
+            Rc::new(BlobFactory { class: "Blob", report_something: true, fail_ctor: false }),
+        )
+        .mutation(
+            concat_mutation::ClassInventory::new("Blob").method(
+                concat_mutation::MethodInventory::new("Work").site(0, "ghost", "undeclared"),
+            ),
+            concat_mutation::MutationSwitch::new(),
+        )
+        .build();
+        let errs = Producer::package(&st).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, PackagingError::Inventory(_))));
+    }
+
+    #[test]
+    fn real_subjects_package_cleanly() {
+        use concat_components::*;
+        let st = SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default()))
+            .mutation(coblist_inventory(), concat_mutation::MutationSwitch::new())
+            .build();
+        assert_eq!(Producer::package(&st), Ok(()));
+        let st = SelfTestableBuilder::new(
+            sortable_spec(),
+            Rc::new(CSortableObListFactory::default()),
+        )
+        .mutation(sortable_inventory(), concat_mutation::MutationSwitch::new())
+        .inheritance(sortable_inheritance_map())
+        .build();
+        assert_eq!(Producer::package(&st), Ok(()));
+        let st =
+            SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build();
+        assert_eq!(Producer::package(&st), Ok(()));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            PackagingError::EmptyReporter,
+            PackagingError::MissingMethod { method: "X".into() },
+            PackagingError::Inventory("bad".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

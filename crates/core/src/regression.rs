@@ -1,0 +1,156 @@
+//! Regression checking across component releases.
+//!
+//! The paper motivates Table 3 with exactly this situation: "an
+//! application reuses components from a commercial library, and a new
+//! release of the library substitutes the old one" (§4). A consumer who
+//! persisted the old release's suite *and its transcripts* can diff the
+//! new release against them: [`regression_check`] re-runs the suite and
+//! reports every behavioural difference.
+
+use crate::bundle::SelfTestable;
+use concat_driver::{
+    compare_transcripts, SuiteResult, TestLog, TestRunner, TestSuite, Verdict,
+};
+use std::fmt;
+
+/// One behavioural difference between releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionFinding {
+    /// The distinguishing test case.
+    pub case_id: usize,
+    /// Human-readable description of the first divergence.
+    pub divergence: String,
+}
+
+/// The outcome of a regression check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Class under check.
+    pub class_name: String,
+    /// Cases executed.
+    pub cases_run: usize,
+    /// Behavioural differences, in case order.
+    pub findings: Vec<RegressionFinding>,
+}
+
+impl RegressionReport {
+    /// True when the new release is behaviourally indistinguishable from
+    /// the recorded baseline on this suite.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for RegressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "{}: no behavioural change across {} case(s)",
+                self.class_name, self.cases_run
+            )
+        } else {
+            writeln!(
+                f,
+                "{}: {} behavioural change(s) across {} case(s):",
+                self.class_name,
+                self.findings.len(),
+                self.cases_run
+            )?;
+            for finding in &self.findings {
+                writeln!(f, "  TC{}: {}", finding.case_id, finding.divergence)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Records the baseline: runs `suite` against the current release and
+/// returns its transcripts for persistence alongside the suite.
+pub fn record_baseline(component: &SelfTestable, suite: &TestSuite) -> SuiteResult {
+    let runner = TestRunner::new();
+    runner.run_suite(component.factory(), suite, &mut TestLog::new())
+}
+
+/// Re-runs `suite` against (a new release of) `component` and diffs every
+/// transcript against `baseline`.
+///
+/// The baseline must come from the *same* suite (same case ids, same
+/// order) — typically a [`record_baseline`] result persisted with
+/// [`concat_driver::save_suite`].
+pub fn regression_check(
+    component: &SelfTestable,
+    suite: &TestSuite,
+    baseline: &SuiteResult,
+) -> RegressionReport {
+    let observed = record_baseline(component, suite);
+    let mut findings = Vec::new();
+    for (old, new) in baseline.cases.iter().zip(observed.cases.iter()) {
+        debug_assert_eq!(old.case_id, new.case_id, "baseline/suite misalignment");
+        if let Verdict::Differs(d) = compare_transcripts(&old.transcript, &new.transcript) {
+            findings.push(RegressionFinding {
+                case_id: old.case_id,
+                divergence: d.to_string(),
+            });
+        }
+    }
+    RegressionReport {
+        class_name: suite.class_name.clone(),
+        cases_run: observed.cases.len(),
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::SelfTestableBuilder;
+    use crate::consumer::Consumer;
+    use concat_components::{coblist_spec, CObListFactory};
+    use concat_mutation::{FaultPlan, MutationSwitch, Replacement, ReqConst};
+    use std::rc::Rc;
+
+    fn bundle(switch: MutationSwitch) -> SelfTestable {
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch))).build()
+    }
+
+    #[test]
+    fn identical_release_is_clean() {
+        let b = bundle(MutationSwitch::new());
+        let suite = Consumer::with_seed(81).generate(&b).unwrap();
+        let baseline = record_baseline(&b, &suite);
+        let report = regression_check(&b, &suite, &baseline);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.cases_run, suite.len());
+        assert!(report.to_string().contains("no behavioural change"));
+    }
+
+    #[test]
+    fn behavioural_change_is_detected_and_localized() {
+        // Model a "new release" with a regression by arming a fault after
+        // recording the baseline — the mutation switch stands in for the
+        // library substitution.
+        let switch = MutationSwitch::new();
+        let b = bundle(switch.clone());
+        let suite = Consumer::with_seed(82).generate(&b).unwrap();
+        let baseline = record_baseline(&b, &suite);
+        switch.arm(FaultPlan {
+            method: "RemoveHead".into(),
+            site: 2,
+            replacement: Replacement::Const(ReqConst::Zero),
+        });
+        let report = regression_check(&b, &suite, &baseline);
+        switch.disarm();
+        assert!(!report.is_clean());
+        // Only cases exercising RemoveHead can differ.
+        for finding in &report.findings {
+            let case = suite.cases.iter().find(|c| c.id == finding.case_id).unwrap();
+            assert!(
+                case.method_names().contains(&"RemoveHead"),
+                "TC{} does not call RemoveHead",
+                finding.case_id
+            );
+        }
+        assert!(report.to_string().contains("behavioural change(s)"));
+    }
+}

@@ -1,0 +1,531 @@
+//! The Driver Generator (paper §3.4.1).
+//!
+//! "Test selection is entirely performed by the *Driver Generator* … The
+//! Driver Generator creates test cases according to the transaction coverage
+//! criterion that requires exercising each individual transaction at least
+//! once." Each test case exercises one birth→death path; nodes grouping
+//! alternative methods are expanded into one case per alternative; argument
+//! values come from the [`crate::InputGenerator`].
+
+use crate::inputs::{InputError, InputGenerator};
+use crate::testcase::{ArgOrigin, MethodCall, SuiteStats, TestCase, TestSuite};
+use concat_runtime::Value;
+use concat_tfm::{enumerate_transactions_with, EnumerationConfig};
+use concat_tspec::{ClassSpec, MethodCategory, MethodSpec, SpecError};
+use std::fmt;
+
+/// How node alternatives are expanded into concrete test cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// Full cartesian product over node alternatives, capped per
+    /// transaction (flagged, never silent). Exhaustive but explosive.
+    Cartesian {
+        /// Cap on expansions per transaction.
+        max_cases_per_transaction: usize,
+    },
+    /// Covering expansion: per transaction, `repeats × max_alternatives`
+    /// cases, rotating through each node's alternatives (offset by node
+    /// position) so every alternative of every node is exercised, with
+    /// fresh random argument values per case. This is the default — it
+    /// matches the paper's test-set scale (one driver per transaction,
+    /// a few hundred cases per class).
+    Covering {
+        /// Value-resampling rounds per transaction.
+        repeats: usize,
+    },
+}
+
+/// Configuration of the driver generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Seed for the input generator (recorded in the suite).
+    pub seed: u64,
+    /// Maximum traversals of one TFM edge per transaction.
+    pub cycle_bound: usize,
+    /// Cap on enumerated transactions (flagged, never silent).
+    pub max_transactions: usize,
+    /// Alternative-expansion strategy.
+    pub expansion: Expansion,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0xC0C0A7,
+            cycle_bound: 1,
+            max_transactions: 50_000,
+            expansion: Expansion::Covering { repeats: 3 },
+        }
+    }
+}
+
+/// Failures of the generation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateError {
+    /// The spec failed validation; fix it before generating.
+    InvalidSpec(Vec<SpecError>),
+    /// A birth node method is not a constructor (or a death node method is
+    /// not a destructor), so the transaction cannot create/destroy the
+    /// object.
+    BadLifecycleMethod {
+        /// The offending method name.
+        method: String,
+        /// What it was expected to be.
+        expected: &'static str,
+    },
+    /// The model yields no transaction at all.
+    NoTransactions,
+    /// An argument domain failed (empty domain slipping past validation).
+    Input(InputError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::InvalidSpec(errs) => {
+                write!(f, "specification is invalid ({} problem(s)); first: {}",
+                    errs.len(),
+                    errs.first().map_or_else(String::new, |e| e.to_string()))
+            }
+            GenerateError::BadLifecycleMethod { method, expected } => {
+                write!(f, "method {method} must be a {expected}")
+            }
+            GenerateError::NoTransactions => f.write_str("model yields no transactions"),
+            GenerateError::Input(e) => write!(f, "input generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<InputError> for GenerateError {
+    fn from(e: InputError) -> Self {
+        GenerateError::Input(e)
+    }
+}
+
+/// The consumer-side test case generator of the Concat tool.
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::{DriverGenerator, GeneratorConfig};
+/// use concat_tspec::{ClassSpecBuilder, Domain, MethodCategory};
+///
+/// let spec = ClassSpecBuilder::new("Counter")
+///     .constructor("m1", "Counter")
+///     .method("m2", "Add", MethodCategory::Update)
+///     .param("q", Domain::int_range(0, 9))
+///     .destructor("m3", "~Counter")
+///     .birth_node("n1", ["m1"])
+///     .task_node("n2", ["m2"])
+///     .death_node("n3", ["m3"])
+///     .edge("n1", "n2")
+///     .edge("n2", "n3")
+///     .edge("n1", "n3")
+///     .build()
+///     .unwrap();
+///
+/// let mut gen = DriverGenerator::new(GeneratorConfig { seed: 7, ..Default::default() });
+/// let suite = gen.generate(&spec).unwrap();
+/// // two transactions x three covering repeats (default expansion)
+/// assert_eq!(suite.len(), 6);
+/// ```
+pub struct DriverGenerator {
+    config: GeneratorConfig,
+    inputs: InputGenerator,
+}
+
+impl fmt::Debug for DriverGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DriverGenerator").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl DriverGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        DriverGenerator { config, inputs: InputGenerator::new(config.seed) }
+    }
+
+    /// Creates a generator with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(GeneratorConfig { seed, ..GeneratorConfig::default() })
+    }
+
+    /// Access to the input generator, e.g. to register object providers
+    /// before generating.
+    pub fn inputs_mut(&mut self) -> &mut InputGenerator {
+        &mut self.inputs
+    }
+
+    /// Generates the transaction-covering test suite for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// See [`GenerateError`]. Object/pointer parameters without a provider
+    /// do *not* fail generation: they become `Null` placeholder arguments
+    /// with [`ArgOrigin::Manual`], counted in
+    /// [`SuiteStats::manual_args`] — the paper's "must be completed
+    /// manually by the tester".
+    pub fn generate(&mut self, spec: &ClassSpec) -> Result<TestSuite, GenerateError> {
+        self.generate_selected(spec, None)
+    }
+
+    /// Generates cases only for the transaction indices in `selection`
+    /// (used by the incremental-reuse workflow); `None` means all.
+    ///
+    /// # Errors
+    ///
+    /// See [`GenerateError`].
+    pub fn generate_selected(
+        &mut self,
+        spec: &ClassSpec,
+        selection: Option<&[usize]>,
+    ) -> Result<TestSuite, GenerateError> {
+        let problems = spec.validate();
+        if !problems.is_empty() {
+            return Err(GenerateError::InvalidSpec(problems));
+        }
+        let set = enumerate_transactions_with(
+            &spec.tfm,
+            EnumerationConfig {
+                cycle_bound: self.config.cycle_bound,
+                max_transactions: self.config.max_transactions,
+            },
+        );
+        if set.is_empty() {
+            return Err(GenerateError::NoTransactions);
+        }
+        let mut cases = Vec::new();
+        let mut manual_args = 0usize;
+        let mut per_txn_truncated = false;
+        for (txn_index, txn) in set.iter().enumerate() {
+            if let Some(sel) = selection {
+                if !sel.contains(&txn_index) {
+                    continue;
+                }
+            }
+            let node_path: Vec<String> =
+                txn.nodes.iter().map(|id| spec.tfm.node(*id).label.clone()).collect();
+            let sequences = match self.config.expansion {
+                Expansion::Cartesian { max_cases_per_transaction } => {
+                    let mut seqs = txn.method_sequences(&spec.tfm);
+                    if seqs.len() > max_cases_per_transaction {
+                        seqs.truncate(max_cases_per_transaction);
+                        per_txn_truncated = true;
+                    }
+                    seqs
+                }
+                Expansion::Covering { repeats } => covering_sequences(spec, txn, repeats),
+            };
+            for seq in sequences {
+                let mut calls = Vec::with_capacity(seq.len());
+                for (pos, method_id) in seq.iter().enumerate() {
+                    let m = spec.method(method_id).expect("validated spec");
+                    let is_first = pos == 0;
+                    let is_last = pos == seq.len() - 1;
+                    if is_first && m.category != MethodCategory::Constructor {
+                        return Err(GenerateError::BadLifecycleMethod {
+                            method: m.name.clone(),
+                            expected: "constructor",
+                        });
+                    }
+                    if is_last && m.category != MethodCategory::Destructor {
+                        return Err(GenerateError::BadLifecycleMethod {
+                            method: m.name.clone(),
+                            expected: "destructor",
+                        });
+                    }
+                    let call = self.build_call(m, &mut manual_args)?;
+                    calls.push(call);
+                }
+                let constructor = calls.remove(0);
+                cases.push(TestCase {
+                    id: cases.len(),
+                    transaction_index: txn_index,
+                    node_path: node_path.clone(),
+                    constructor,
+                    calls,
+                });
+            }
+        }
+        let stats = SuiteStats {
+            transactions: set.len(),
+            cases: cases.len(),
+            truncated: set.truncated || per_txn_truncated,
+            manual_args,
+        };
+        Ok(TestSuite { class_name: spec.class_name.clone(), seed: self.config.seed, cases, stats })
+    }
+
+    fn build_call(
+        &mut self,
+        m: &MethodSpec,
+        manual_args: &mut usize,
+    ) -> Result<MethodCall, GenerateError> {
+        let mut args = Vec::with_capacity(m.params.len());
+        let mut origins = Vec::with_capacity(m.params.len());
+        for p in &m.params {
+            match self.inputs.generate(&p.domain) {
+                Ok((v, origin)) => {
+                    args.push(v);
+                    origins.push(origin);
+                }
+                Err(InputError::NeedsManualCompletion { .. }) => {
+                    *manual_args += 1;
+                    args.push(Value::Null);
+                    origins.push(ArgOrigin::Manual);
+                }
+                Err(e @ InputError::EmptyDomain) => return Err(e.into()),
+            }
+        }
+        Ok(MethodCall { method_id: m.id.clone(), method: m.name.clone(), args, origins })
+    }
+}
+
+/// Covering expansion of one transaction.
+///
+/// Round `k` selects alternative `(k + node_position) % alternatives` at
+/// every node, so across `max_alternatives` rounds every alternative of
+/// every node appears at least once, and choices at different nodes are
+/// decorrelated by the position offset. Each of the `repeats` repeats
+/// re-emits all rounds (argument values are resampled per emitted case by
+/// the caller's input generator).
+fn covering_sequences(
+    spec: &ClassSpec,
+    txn: &concat_tfm::Transaction,
+    repeats: usize,
+) -> Vec<Vec<String>> {
+    let alts: Vec<&[String]> = txn
+        .nodes
+        .iter()
+        .map(|id| spec.tfm.node(*id).methods.as_slice())
+        .collect();
+    let max_alts = alts.iter().map(|a| a.len()).max().unwrap_or(1);
+    let mut out = Vec::with_capacity(repeats * max_alts);
+    for _ in 0..repeats.max(1) {
+        for k in 0..max_alts {
+            let seq: Vec<String> = alts
+                .iter()
+                .enumerate()
+                .map(|(pos, node_alts)| node_alts[(k + pos) % node_alts.len()].clone())
+                .collect();
+            out.push(seq);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_tspec::ClassSpecBuilder;
+    use concat_tspec::Domain;
+
+    fn counter_spec() -> ClassSpec {
+        ClassSpecBuilder::new("Counter")
+            .constructor("m1", "Counter")
+            .method("m2", "Add", MethodCategory::Update)
+            .param("q", Domain::int_range(0, 9))
+            .destructor("m3", "~Counter")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .edge("n1", "n3")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn covering_produces_repeats_per_transaction() {
+        let mut gen = DriverGenerator::with_seed(11);
+        let suite = gen.generate(&counter_spec()).unwrap();
+        assert_eq!(suite.stats.transactions, 2);
+        // default expansion: 3 repeats x 1 alternative per transaction
+        assert_eq!(suite.len(), 6);
+        assert!(!suite.stats.truncated);
+        assert_eq!(suite.class_name, "Counter");
+        // every transaction is covered at least once
+        let covered: std::collections::BTreeSet<usize> =
+            suite.iter().map(|c| c.transaction_index).collect();
+        assert_eq!(covered.len(), 2);
+    }
+
+    #[test]
+    fn cartesian_yields_one_case_per_sequence() {
+        let mut gen = DriverGenerator::new(GeneratorConfig {
+            seed: 11,
+            expansion: Expansion::Cartesian { max_cases_per_transaction: 256 },
+            ..GeneratorConfig::default()
+        });
+        let suite = gen.generate(&counter_spec()).unwrap();
+        assert_eq!(suite.len(), 2);
+    }
+
+    #[test]
+    fn arguments_respect_domains() {
+        let mut gen = DriverGenerator::with_seed(12);
+        let suite = gen.generate(&counter_spec()).unwrap();
+        for case in &suite {
+            for call in &case.calls {
+                if call.method == "Add" {
+                    let v = call.args[0].as_int().unwrap();
+                    assert!((0..=9).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternatives_multiply_cases() {
+        let spec = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .constructor("m1b", "C2")
+            .method("m2", "W", MethodCategory::Update)
+            .destructor("m3", "~C")
+            .birth_node("n1", ["m1", "m1b"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .build()
+            .unwrap();
+        let mut gen = DriverGenerator::with_seed(13);
+        let suite = gen.generate(&spec).unwrap();
+        assert_eq!(suite.stats.transactions, 1);
+        // covering: 3 repeats x 2 alternatives
+        assert_eq!(suite.len(), 6);
+        let ctors: Vec<&str> =
+            suite.iter().map(|c| c.constructor.method.as_str()).collect();
+        assert!(ctors.contains(&"C"));
+        assert!(ctors.contains(&"C2"));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let spec = ClassSpecBuilder::new("C").build_unchecked();
+        let err = DriverGenerator::with_seed(1).generate(&spec).unwrap_err();
+        assert!(matches!(err, GenerateError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn non_constructor_birth_method_rejected() {
+        let spec = ClassSpecBuilder::new("C")
+            .method("m1", "NotACtor", MethodCategory::Update)
+            .destructor("m2", "~C")
+            .birth_node("n1", ["m1"])
+            .death_node("n2", ["m2"])
+            .edge("n1", "n2")
+            .build()
+            .unwrap();
+        let err = DriverGenerator::with_seed(1).generate(&spec).unwrap_err();
+        assert!(
+            matches!(err, GenerateError::BadLifecycleMethod { expected: "constructor", .. })
+        );
+    }
+
+    #[test]
+    fn non_destructor_death_method_rejected() {
+        let spec = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .method("m2", "NotADtor", MethodCategory::Access)
+            .birth_node("n1", ["m1"])
+            .death_node("n2", ["m2"])
+            .edge("n1", "n2")
+            .build()
+            .unwrap();
+        let err = DriverGenerator::with_seed(1).generate(&spec).unwrap_err();
+        assert!(
+            matches!(err, GenerateError::BadLifecycleMethod { expected: "destructor", .. })
+        );
+    }
+
+    #[test]
+    fn pointer_params_become_manual_placeholders() {
+        let spec = ClassSpecBuilder::new("Product")
+            .constructor("m1", "Product")
+            .method("m2", "UpdateProv", MethodCategory::Update)
+            .param("prv", Domain::Pointer { class_name: "Provider".into() })
+            .destructor("m3", "~Product")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .build()
+            .unwrap();
+        let mut gen = DriverGenerator::with_seed(14);
+        let suite = gen.generate(&spec).unwrap();
+        // one manual argument per generated case (3 covering repeats)
+        assert_eq!(suite.stats.manual_args, 3);
+        let case = &suite.cases[0];
+        assert!(case.needs_manual_completion());
+        assert_eq!(case.calls[0].args[0], Value::Null);
+    }
+
+    #[test]
+    fn provider_removes_manual_completion() {
+        let spec = ClassSpecBuilder::new("Product")
+            .constructor("m1", "Product")
+            .method("m2", "UpdateProv", MethodCategory::Update)
+            .param("prv", Domain::Pointer { class_name: "Provider".into() })
+            .destructor("m3", "~Product")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .build()
+            .unwrap();
+        let mut gen = DriverGenerator::with_seed(15);
+        gen.inputs_mut().register_provider(
+            "Provider",
+            Box::new(|_| Value::Obj(concat_runtime::ObjRef::new("Provider", "p1"))),
+        );
+        let suite = gen.generate(&spec).unwrap();
+        assert_eq!(suite.stats.manual_args, 0);
+        assert!(!suite.cases[0].needs_manual_completion());
+    }
+
+    #[test]
+    fn selection_limits_transactions() {
+        let mut gen = DriverGenerator::with_seed(16);
+        let suite = gen.generate_selected(&counter_spec(), Some(&[0])).unwrap();
+        assert_eq!(suite.len(), 3);
+        assert!(suite.iter().all(|c| c.transaction_index == 0));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_suite() {
+        let spec = counter_spec();
+        let a = DriverGenerator::with_seed(77).generate(&spec).unwrap();
+        let b = DriverGenerator::with_seed(77).generate(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_transaction_truncation_flagged() {
+        let spec = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .constructor("m1b", "C2")
+            .constructor("m1c", "C3")
+            .destructor("m3", "~C")
+            .birth_node("n1", ["m1", "m1b", "m1c"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n3")
+            .build()
+            .unwrap();
+        let mut gen = DriverGenerator::new(GeneratorConfig {
+            seed: 1,
+            cycle_bound: 1,
+            max_transactions: 100,
+            expansion: Expansion::Cartesian { max_cases_per_transaction: 2 },
+        });
+        let suite = gen.generate(&spec).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert!(suite.stats.truncated);
+    }
+}

@@ -1,0 +1,370 @@
+//! Testing history and hierarchical incremental test reuse.
+//!
+//! The paper (§3.4.2) adapts Harrold, McGregor & Fitzpatrick's incremental
+//! class-testing technique, associating each test case with a *transaction*
+//! instead of an individual feature:
+//!
+//! * a transaction whose methods are all **inherited unmodified**
+//!   (constructors and destructors excluded from the comparison) keeps its
+//!   parent test case and **is not re-run** in the subclass's test set;
+//! * a transaction containing **modified (redefined)** methods reuses the
+//!   parent test case but must be re-executed;
+//! * a transaction containing **new** methods needs freshly generated test
+//!   cases.
+//!
+//! Table 3 of the paper measures exactly the danger of the first rule.
+
+use crate::testcase::{TestCase, TestSuite};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One history entry: a test case and the transaction it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Id of the test case within its suite.
+    pub case_id: usize,
+    /// Index of the covered transaction.
+    pub transaction_index: usize,
+    /// Method names exercised, constructor first (destructor last).
+    pub methods: Vec<String>,
+}
+
+/// The testing history of one class: which test case covers which
+/// transaction with which methods.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TestingHistory {
+    /// Class the history belongs to.
+    pub class_name: String,
+    /// Entries in suite order.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl TestingHistory {
+    /// Builds the history of a generated suite.
+    pub fn from_suite(suite: &TestSuite) -> Self {
+        let entries = suite
+            .iter()
+            .map(|c| HistoryEntry {
+                case_id: c.id,
+                transaction_index: c.transaction_index,
+                methods: c.method_names().iter().map(|s| (*s).to_owned()).collect(),
+            })
+            .collect();
+        TestingHistory { class_name: suite.class_name.clone(), entries }
+    }
+
+    /// Number of recorded cases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// How each method of the parent class relates to the subclass.
+///
+/// Matches the Harrold-style classification the paper assumes: single
+/// inheritance, signatures preserved, attributes private (a modified
+/// attribute marks its accessor methods as modified).
+#[derive(Debug, Clone, Default)]
+pub struct InheritanceMap {
+    /// Methods inherited without modification.
+    pub inherited: BTreeSet<String>,
+    /// Methods redefined (or touching modified attributes) in the subclass.
+    pub redefined: BTreeSet<String>,
+    /// Methods newly introduced by the subclass.
+    pub new_methods: BTreeSet<String>,
+    /// Constructor/destructor names, excluded from reuse comparisons.
+    pub lifecycle: BTreeSet<String>,
+}
+
+impl InheritanceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares inherited-unmodified methods.
+    pub fn inherit<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.inherited.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares redefined methods.
+    pub fn redefine<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.redefined.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares newly introduced methods.
+    pub fn add_new<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.new_methods.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares constructor/destructor names (excluded from comparison).
+    pub fn lifecycle<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.lifecycle.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Classification of one method name.
+    pub fn classify(&self, method: &str) -> MethodStatus {
+        if self.lifecycle.contains(method) {
+            MethodStatus::Lifecycle
+        } else if self.redefined.contains(method) {
+            MethodStatus::Redefined
+        } else if self.new_methods.contains(method) {
+            MethodStatus::New
+        } else if self.inherited.contains(method) {
+            MethodStatus::Inherited
+        } else {
+            MethodStatus::Unknown
+        }
+    }
+}
+
+/// Status of a method relative to the subclass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodStatus {
+    /// Inherited without modification.
+    Inherited,
+    /// Redefined in the subclass.
+    Redefined,
+    /// Newly introduced in the subclass.
+    New,
+    /// A constructor or destructor (excluded from comparisons).
+    Lifecycle,
+    /// Not declared in the map at all.
+    Unknown,
+}
+
+/// Reuse decision for one parent test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// Transaction contains only unmodified inherited methods: the parent
+    /// case remains valid and **is not re-run** for the subclass.
+    SkipRetest,
+    /// Transaction touches redefined methods: reuse the parent case but
+    /// re-run it against the subclass.
+    RetestReused,
+    /// Transaction references methods unknown to the subclass (removed or
+    /// renamed): the case is obsolete.
+    Obsolete,
+}
+
+impl fmt::Display for ReuseDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReuseDecision::SkipRetest => "skip (inherited only)",
+            ReuseDecision::RetestReused => "retest (reused)",
+            ReuseDecision::Obsolete => "obsolete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The reuse plan derived from a parent history and an inheritance map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReusePlan {
+    /// Per-parent-case decisions, aligned with the history's entries.
+    pub decisions: Vec<(usize, ReuseDecision)>,
+}
+
+impl ReusePlan {
+    /// Applies the paper's transaction-level rule to every parent case.
+    pub fn analyze(parent: &TestingHistory, map: &InheritanceMap) -> ReusePlan {
+        let decisions = parent
+            .entries
+            .iter()
+            .map(|e| {
+                let mut decision = ReuseDecision::SkipRetest;
+                for m in &e.methods {
+                    match map.classify(m) {
+                        MethodStatus::Lifecycle | MethodStatus::Inherited => {}
+                        MethodStatus::Redefined | MethodStatus::New => {
+                            decision = ReuseDecision::RetestReused;
+                        }
+                        MethodStatus::Unknown => {
+                            decision = ReuseDecision::Obsolete;
+                            break;
+                        }
+                    }
+                }
+                (e.case_id, decision)
+            })
+            .collect();
+        ReusePlan { decisions }
+    }
+
+    /// Ids of parent cases to re-run against the subclass (the *reduced*
+    /// reused test set — 329 cases in the paper's experiment).
+    pub fn reused_case_ids(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .filter(|(_, d)| *d == ReuseDecision::RetestReused)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of parent cases that are skipped (inherited-only transactions).
+    pub fn skipped_case_ids(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .filter(|(_, d)| *d == ReuseDecision::SkipRetest)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of obsolete parent cases.
+    pub fn obsolete_case_ids(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .filter(|(_, d)| *d == ReuseDecision::Obsolete)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Summary counts `(skipped, reused, obsolete)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.skipped_case_ids().len(),
+            self.reused_case_ids().len(),
+            self.obsolete_case_ids().len(),
+        )
+    }
+}
+
+/// Transactions of a *subclass* suite that must be freshly generated:
+/// those whose cases exercise at least one new method.
+pub fn new_method_cases<'a>(
+    subclass_suite: &'a TestSuite,
+    map: &InheritanceMap,
+) -> Vec<&'a TestCase> {
+    subclass_suite
+        .iter()
+        .filter(|c| {
+            c.method_names()
+                .iter()
+                .any(|m| map.classify(m) == MethodStatus::New)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{MethodCall, SuiteStats};
+
+    fn suite_with(methods: Vec<Vec<&str>>) -> TestSuite {
+        let cases = methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, ms)| TestCase {
+                id: i,
+                transaction_index: i,
+                node_path: vec![],
+                constructor: MethodCall::generated("m0", ms[0], vec![]),
+                calls: ms[1..]
+                    .iter()
+                    .map(|m| MethodCall::generated("mx", *m, vec![]))
+                    .collect(),
+            })
+            .collect();
+        TestSuite { class_name: "CObList".into(), seed: 0, cases, stats: SuiteStats::default() }
+    }
+
+    fn map() -> InheritanceMap {
+        InheritanceMap::new()
+            .lifecycle(["CObList", "~CObList", "CSortableObList", "~CSortableObList"])
+            .inherit(["AddHead", "RemoveAt", "RemoveHead"])
+            .redefine(["SetAt"])
+            .add_new(["Sort1", "FindMax"])
+    }
+
+    #[test]
+    fn history_records_all_cases() {
+        let suite = suite_with(vec![vec!["CObList", "AddHead", "~CObList"]]);
+        let h = TestingHistory::from_suite(&suite);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        assert_eq!(h.entries[0].methods, vec!["CObList", "AddHead", "~CObList"]);
+    }
+
+    #[test]
+    fn inherited_only_transactions_are_skipped() {
+        let suite = suite_with(vec![vec!["CObList", "AddHead", "RemoveHead", "~CObList"]]);
+        let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
+        assert_eq!(plan.decisions[0].1, ReuseDecision::SkipRetest);
+        assert_eq!(plan.counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn redefined_methods_force_retest() {
+        let suite = suite_with(vec![vec!["CObList", "AddHead", "SetAt", "~CObList"]]);
+        let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
+        assert_eq!(plan.decisions[0].1, ReuseDecision::RetestReused);
+        assert_eq!(plan.reused_case_ids(), vec![0]);
+    }
+
+    #[test]
+    fn unknown_methods_make_cases_obsolete() {
+        let suite = suite_with(vec![vec!["CObList", "RemovedMethod", "~CObList"]]);
+        let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
+        assert_eq!(plan.obsolete_case_ids(), vec![0]);
+    }
+
+    #[test]
+    fn lifecycle_methods_do_not_trigger_retest() {
+        // Constructor differs between classes but is excluded from the
+        // comparison (the paper's explicit rule).
+        let suite = suite_with(vec![vec!["CSortableObList", "AddHead", "~CSortableObList"]]);
+        let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
+        assert_eq!(plan.decisions[0].1, ReuseDecision::SkipRetest);
+    }
+
+    #[test]
+    fn mixed_suite_partitions() {
+        let suite = suite_with(vec![
+            vec!["CObList", "AddHead", "~CObList"],          // skip
+            vec!["CObList", "SetAt", "~CObList"],            // retest
+            vec!["CObList", "Gone", "~CObList"],             // obsolete
+            vec!["CObList", "RemoveAt", "SetAt", "~CObList"] // retest
+        ]);
+        let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
+        assert_eq!(plan.counts(), (1, 2, 1));
+        assert_eq!(plan.reused_case_ids(), vec![1, 3]);
+        assert_eq!(plan.skipped_case_ids(), vec![0]);
+    }
+
+    #[test]
+    fn new_method_cases_found_in_subclass_suite() {
+        let suite = suite_with(vec![
+            vec!["CSortableObList", "AddHead", "~CSortableObList"],
+            vec!["CSortableObList", "Sort1", "~CSortableObList"],
+        ]);
+        let fresh = new_method_cases(&suite, &map());
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].id, 1);
+    }
+
+    #[test]
+    fn decision_display() {
+        assert!(ReuseDecision::SkipRetest.to_string().contains("skip"));
+        assert!(ReuseDecision::RetestReused.to_string().contains("retest"));
+        assert!(ReuseDecision::Obsolete.to_string().contains("obsolete"));
+    }
+
+    #[test]
+    fn classify_statuses() {
+        let m = map();
+        assert_eq!(m.classify("AddHead"), MethodStatus::Inherited);
+        assert_eq!(m.classify("SetAt"), MethodStatus::Redefined);
+        assert_eq!(m.classify("Sort1"), MethodStatus::New);
+        assert_eq!(m.classify("CObList"), MethodStatus::Lifecycle);
+        assert_eq!(m.classify("Mystery"), MethodStatus::Unknown);
+    }
+}

@@ -1,0 +1,287 @@
+//! Random test-input generation from t-spec domains.
+//!
+//! "Values of input parameters for each method are also generated, by
+//! randomly selecting a value from the valid subdomain. Currently, this is
+//! implemented only for numeric types and strings … Structured type
+//! parameters (including objects, arrays, and pointers) must be completed
+//! manually by the tester" (paper §3.4.1).
+//!
+//! [`InputGenerator`] implements exactly that, plus two pragmatic
+//! extensions: registered *object providers* that stand in for the manual
+//! completion of object/pointer parameters, and a boundary-value mode used
+//! by equivalence probing.
+
+use crate::testcase::ArgOrigin;
+use concat_runtime::Value;
+use concat_tspec::Domain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A callback producing values for `object`/`pointer` domains of one class.
+pub type ObjectProvider = Box<dyn Fn(&mut StdRng) -> Value>;
+
+/// Failure to produce a value for a domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputError {
+    /// The domain is an object/pointer kind with no registered provider —
+    /// the tester must complete this argument manually.
+    NeedsManualCompletion {
+        /// Class of the required object.
+        class_name: String,
+    },
+    /// The domain is empty (caught earlier by spec validation, reported
+    /// here as defense in depth).
+    EmptyDomain,
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::NeedsManualCompletion { class_name } => {
+                write!(f, "parameter of class {class_name} must be completed manually")
+            }
+            InputError::EmptyDomain => f.write_str("domain is empty"),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// Deterministic random input generator over t-spec domains.
+///
+/// Seeded explicitly so a suite can be regenerated bit-for-bit (the suite
+/// records its seed).
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::InputGenerator;
+/// use concat_tspec::Domain;
+///
+/// let mut gen = InputGenerator::new(42);
+/// let d = Domain::int_range(1, 10);
+/// let (v, _) = gen.generate(&d).unwrap();
+/// assert!(d.contains(&v));
+/// ```
+pub struct InputGenerator {
+    rng: StdRng,
+    providers: BTreeMap<String, ObjectProvider>,
+}
+
+impl fmt::Debug for InputGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InputGenerator")
+            .field("providers", &self.providers.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InputGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        InputGenerator { rng: StdRng::seed_from_u64(seed), providers: BTreeMap::new() }
+    }
+
+    /// Registers a provider for `object`/`pointer` parameters of
+    /// `class_name`. Replaces any previous provider for the class.
+    pub fn register_provider(
+        &mut self,
+        class_name: impl Into<String>,
+        provider: ObjectProvider,
+    ) {
+        self.providers.insert(class_name.into(), provider);
+    }
+
+    /// True when a provider is registered for `class_name`.
+    pub fn has_provider(&self, class_name: &str) -> bool {
+        self.providers.contains_key(class_name)
+    }
+
+    /// Draws one value from `domain`.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::NeedsManualCompletion`] for object/pointer domains
+    /// without a provider; [`InputError::EmptyDomain`] for degenerate
+    /// domains.
+    pub fn generate(&mut self, domain: &Domain) -> Result<(Value, ArgOrigin), InputError> {
+        if domain.is_empty() {
+            return Err(InputError::EmptyDomain);
+        }
+        match domain {
+            Domain::IntRange { lo, hi } => {
+                Ok((Value::Int(self.rng.gen_range(*lo..=*hi)), ArgOrigin::Generated))
+            }
+            Domain::FloatRange { lo, hi } => {
+                Ok((Value::Float(self.rng.gen_range(*lo..=*hi)), ArgOrigin::Generated))
+            }
+            Domain::Set(values) => {
+                let idx = self.rng.gen_range(0..values.len());
+                Ok((values[idx].clone(), ArgOrigin::Generated))
+            }
+            Domain::String { max_len } => {
+                let len = self.rng.gen_range(1..=*max_len);
+                let s: String = (0..len)
+                    .map(|_| {
+                        let c = self.rng.gen_range(0..26u8);
+                        (b'a' + c) as char
+                    })
+                    .collect();
+                Ok((Value::Str(s), ArgOrigin::Generated))
+            }
+            Domain::Object { class_name } | Domain::Pointer { class_name } => {
+                match self.providers.get(class_name) {
+                    Some(p) => Ok((p(&mut self.rng), ArgOrigin::Provided)),
+                    None => Err(InputError::NeedsManualCompletion {
+                        class_name: class_name.clone(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Draws a boundary value from `domain` when it has one, otherwise a
+    /// random value. Used by the equivalence-probing amplifier.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InputGenerator::generate`].
+    pub fn generate_boundary(&mut self, domain: &Domain) -> Result<(Value, ArgOrigin), InputError> {
+        let bounds = domain.boundary_values();
+        if bounds.is_empty() {
+            return self.generate(domain);
+        }
+        let idx = self.rng.gen_range(0..bounds.len());
+        Ok((bounds[idx].clone(), ArgOrigin::Boundary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_runtime::ObjRef;
+
+    #[test]
+    fn int_range_values_stay_in_domain() {
+        let mut g = InputGenerator::new(1);
+        let d = Domain::int_range(-3, 3);
+        for _ in 0..200 {
+            let (v, origin) = g.generate(&d).unwrap();
+            assert!(d.contains(&v));
+            assert_eq!(origin, ArgOrigin::Generated);
+        }
+    }
+
+    #[test]
+    fn float_range_values_stay_in_domain() {
+        let mut g = InputGenerator::new(2);
+        let d = Domain::float_range(0.5, 1.5);
+        for _ in 0..200 {
+            let (v, _) = g.generate(&d).unwrap();
+            assert!(d.contains(&v));
+        }
+    }
+
+    #[test]
+    fn set_values_are_members() {
+        let mut g = InputGenerator::new(3);
+        let d = Domain::Set(vec![Value::Int(1), Value::Str("x".into()), Value::Null]);
+        for _ in 0..50 {
+            let (v, _) = g.generate(&d).unwrap();
+            assert!(d.contains(&v));
+        }
+    }
+
+    #[test]
+    fn strings_are_lowercase_and_bounded() {
+        let mut g = InputGenerator::new(4);
+        let d = Domain::string(5);
+        for _ in 0..100 {
+            let (v, _) = g.generate(&d).unwrap();
+            let s = v.as_str().unwrap();
+            assert!(!s.is_empty() && s.len() <= 5);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let d = Domain::int_range(0, 1_000_000);
+        let mut a = InputGenerator::new(99);
+        let mut b = InputGenerator::new(99);
+        for _ in 0..20 {
+            assert_eq!(a.generate(&d).unwrap(), b.generate(&d).unwrap());
+        }
+    }
+
+    #[test]
+    fn pointer_without_provider_needs_manual_completion() {
+        let mut g = InputGenerator::new(5);
+        let d = Domain::Pointer { class_name: "Provider".into() };
+        assert_eq!(
+            g.generate(&d).unwrap_err(),
+            InputError::NeedsManualCompletion { class_name: "Provider".into() }
+        );
+    }
+
+    #[test]
+    fn provider_fills_pointer_domains() {
+        let mut g = InputGenerator::new(6);
+        g.register_provider(
+            "Provider",
+            Box::new(|rng| {
+                let id = rng.gen_range(1..=3);
+                Value::Obj(ObjRef::new("Provider", format!("p{id}")))
+            }),
+        );
+        assert!(g.has_provider("Provider"));
+        let d = Domain::Pointer { class_name: "Provider".into() };
+        let (v, origin) = g.generate(&d).unwrap();
+        assert_eq!(origin, ArgOrigin::Provided);
+        assert!(d.contains(&v));
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let mut g = InputGenerator::new(7);
+        assert_eq!(g.generate(&Domain::Set(vec![])).unwrap_err(), InputError::EmptyDomain);
+        assert_eq!(
+            g.generate(&Domain::int_range(4, 2)).unwrap_err(),
+            InputError::EmptyDomain
+        );
+    }
+
+    #[test]
+    fn boundary_values_come_from_boundary_set() {
+        let mut g = InputGenerator::new(8);
+        let d = Domain::int_range(-10, 10);
+        for _ in 0..50 {
+            let (v, origin) = g.generate_boundary(&d).unwrap();
+            assert_eq!(origin, ArgOrigin::Boundary);
+            assert!(matches!(v, Value::Int(-10) | Value::Int(0) | Value::Int(10)));
+        }
+    }
+
+    #[test]
+    fn boundary_falls_back_to_random_for_objects() {
+        let mut g = InputGenerator::new(9);
+        g.register_provider(
+            "P",
+            Box::new(|_| Value::Obj(ObjRef::new("P", "only"))),
+        );
+        let d = Domain::Object { class_name: "P".into() };
+        let (v, origin) = g.generate_boundary(&d).unwrap();
+        assert_eq!(origin, ArgOrigin::Provided);
+        assert_eq!(v, Value::Obj(ObjRef::new("P", "only")));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(InputError::EmptyDomain.to_string().contains("empty"));
+        assert!(InputError::NeedsManualCompletion { class_name: "P".into() }
+            .to_string()
+            .contains("manually"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The test log: the paper's `Result.txt`.
+//!
+//! Figure 6's generated driver appends progress lines ("TestCaseTC0 OK!"),
+//! failure descriptions, and reporter dumps into a log file. [`TestLog`]
+//! accumulates the same text in memory; callers may persist it wherever
+//! they like ([`TestLog::write_to`]).
+
+use concat_bit::StateReport;
+use std::fmt;
+use std::io::{self, Write};
+
+/// An append-only textual test log in the `Result.txt` format.
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::TestLog;
+/// use concat_bit::StateReport;
+///
+/// let mut log = TestLog::new();
+/// log.log_pass("TC0", &StateReport::new());
+/// assert!(log.render().contains("TestCaseTC0 OK!"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TestLog {
+    lines: Vec<String>,
+}
+
+impl TestLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a free-form line.
+    pub fn line(&mut self, text: impl Into<String>) {
+        self.lines.push(text.into());
+    }
+
+    /// Logs a passed case plus its reporter dump (Figure 6's happy path).
+    pub fn log_pass(&mut self, case_name: &str, report: &StateReport) {
+        self.lines.push(format!("TestCase{case_name} OK!"));
+        for (k, v) in report.iter() {
+            self.lines.push(format!("  {k} = {v}"));
+        }
+        self.lines.push(String::new());
+    }
+
+    /// Logs a failed case: the exception text and the method that raised
+    /// (Figure 6's catch block).
+    pub fn log_failure(&mut self, case_name: &str, method_called: &str, message: &str) {
+        self.lines.push(format!("TestCase{case_name}"));
+        self.lines.push(format!("  {message}"));
+        self.lines.push(format!("  Method called: {method_called}"));
+        self.lines.push(String::new());
+    }
+
+    /// Number of logged lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The complete log text.
+    pub fn render(&self) -> String {
+        let mut out = self.lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the log to any writer (e.g. a real `Result.txt`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(self.render().as_bytes())
+    }
+}
+
+impl fmt::Display for TestLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_runtime::Value;
+
+    #[test]
+    fn pass_entries_include_report() {
+        let mut log = TestLog::new();
+        let mut r = StateReport::new();
+        r.set("qty", Value::Int(3));
+        log.log_pass("TC1", &r);
+        let text = log.render();
+        assert!(text.contains("TestCaseTC1 OK!"));
+        assert!(text.contains("qty = 3"));
+    }
+
+    #[test]
+    fn failure_entries_name_the_method() {
+        let mut log = TestLog::new();
+        log.log_failure("TC2", "UpdateQty(0)", "pre-condition is violated");
+        let text = log.render();
+        assert!(text.contains("TestCaseTC2"));
+        assert!(text.contains("Method called: UpdateQty(0)"));
+        assert!(text.contains("pre-condition is violated"));
+    }
+
+    #[test]
+    fn empty_log_renders_empty() {
+        let log = TestLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.render(), "");
+        assert_eq!(log.to_string(), "");
+    }
+
+    #[test]
+    fn write_to_round_trips() {
+        let mut log = TestLog::new();
+        log.line("hello");
+        let mut buf = Vec::new();
+        log.write_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "hello\n");
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Persistence of test suites and testing histories.
+//!
+//! The paper's test infrastructure includes "test history creation and
+//! maintenance" and "test retrieval" (§3.4) — a consumer stores the
+//! generated suite with the component and retrieves it on the next reuse.
+//! This module provides a line-oriented text format (in the spirit of the
+//! t-spec's own Figure-3 format; no external serialization dependency):
+//!
+//! ```text
+//! suite CObList
+//! seed 2001
+//! stats 13 105 false 0
+//! case 0 0 ["n1", "n2", "n10"]
+//! ctor m1 CObList - []
+//! call m2 AddHead g [5]
+//! endcase
+//! ```
+//!
+//! Argument vectors are [`Value`] literal lists (see
+//! [`concat_runtime::parse_value_literal`]); argument origins are encoded
+//! one letter per argument (`g`enerated / `b`oundary / `p`rovided /
+//! `m`anual), `-` when there are none.
+
+use crate::history::{HistoryEntry, TestingHistory};
+use crate::testcase::{ArgOrigin, MethodCall, SuiteStats, TestCase, TestSuite};
+use concat_runtime::{parse_value_literal, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A persistence parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn perr(line: usize, message: impl Into<String>) -> PersistError {
+    PersistError { line, message: message.into() }
+}
+
+fn origin_code(o: ArgOrigin) -> char {
+    match o {
+        ArgOrigin::Generated => 'g',
+        ArgOrigin::Boundary => 'b',
+        ArgOrigin::Provided => 'p',
+        ArgOrigin::Manual => 'm',
+    }
+}
+
+fn origin_from(c: char, line: usize) -> Result<ArgOrigin, PersistError> {
+    match c {
+        'g' => Ok(ArgOrigin::Generated),
+        'b' => Ok(ArgOrigin::Boundary),
+        'p' => Ok(ArgOrigin::Provided),
+        'm' => Ok(ArgOrigin::Manual),
+        other => Err(perr(line, format!("unknown origin code `{other}`"))),
+    }
+}
+
+fn write_call(out: &mut String, keyword: &str, call: &MethodCall) {
+    let origins: String = if call.origins.is_empty() {
+        "-".into()
+    } else {
+        call.origins.iter().map(|o| origin_code(*o)).collect()
+    };
+    let args = Value::List(call.args.clone()).to_literal();
+    let _ = writeln!(out, "{keyword} {} {} {origins} {args}", call.method_id, call.method);
+}
+
+fn parse_call(rest: &str, line: usize) -> Result<MethodCall, PersistError> {
+    let mut parts = rest.splitn(4, ' ');
+    let method_id = parts.next().filter(|s| !s.is_empty());
+    let method = parts.next();
+    let origins = parts.next();
+    let args = parts.next();
+    let (Some(method_id), Some(method), Some(origins), Some(args)) =
+        (method_id, method, origins, args)
+    else {
+        return Err(perr(line, "call needs: <id> <name> <origins> <args>"));
+    };
+    let args = match parse_value_literal(args) {
+        Ok(Value::List(items)) => items,
+        Ok(_) => return Err(perr(line, "arguments must be a list literal")),
+        Err(e) => return Err(perr(line, e.to_string())),
+    };
+    let origins: Vec<ArgOrigin> = if origins == "-" {
+        Vec::new()
+    } else {
+        origins
+            .chars()
+            .map(|c| origin_from(c, line))
+            .collect::<Result<_, _>>()?
+    };
+    if origins.len() != args.len() {
+        return Err(perr(line, "origin count differs from argument count"));
+    }
+    Ok(MethodCall {
+        method_id: method_id.to_owned(),
+        method: method.to_owned(),
+        args,
+        origins,
+    })
+}
+
+/// Renders a suite in the persistence text format.
+pub fn save_suite(suite: &TestSuite) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "suite {}", suite.class_name);
+    let _ = writeln!(out, "seed {}", suite.seed);
+    let _ = writeln!(
+        out,
+        "stats {} {} {} {}",
+        suite.stats.transactions, suite.stats.cases, suite.stats.truncated, suite.stats.manual_args
+    );
+    for case in suite {
+        let path = Value::List(
+            case.node_path.iter().map(|p| Value::Str(p.clone())).collect(),
+        )
+        .to_literal();
+        let _ = writeln!(out, "case {} {} {path}", case.id, case.transaction_index);
+        write_call(&mut out, "ctor", &case.constructor);
+        for call in &case.calls {
+            write_call(&mut out, "call", call);
+        }
+        let _ = writeln!(out, "endcase");
+    }
+    out
+}
+
+/// Parses a suite from the persistence text format.
+///
+/// # Errors
+///
+/// Returns the first [`PersistError`] with its line number.
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::{load_suite, save_suite, SuiteStats, TestSuite};
+///
+/// let suite = TestSuite {
+///     class_name: "C".into(),
+///     seed: 1,
+///     cases: vec![],
+///     stats: SuiteStats::default(),
+/// };
+/// assert_eq!(load_suite(&save_suite(&suite)).unwrap(), suite);
+/// ```
+pub fn load_suite(text: &str) -> Result<TestSuite, PersistError> {
+    let mut class_name: Option<String> = None;
+    let mut seed = 0u64;
+    let mut stats = SuiteStats::default();
+    let mut cases: Vec<TestCase> = Vec::new();
+    let mut current: Option<TestCase> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match keyword {
+            "suite" => class_name = Some(rest.trim().to_owned()),
+            "seed" => {
+                seed = rest.trim().parse().map_err(|_| perr(line_no, "bad seed"))?;
+            }
+            "stats" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 4 {
+                    return Err(perr(line_no, "stats needs 4 fields"));
+                }
+                stats = SuiteStats {
+                    transactions: parts[0].parse().map_err(|_| perr(line_no, "bad count"))?,
+                    cases: parts[1].parse().map_err(|_| perr(line_no, "bad count"))?,
+                    truncated: parts[2].parse().map_err(|_| perr(line_no, "bad flag"))?,
+                    manual_args: parts[3].parse().map_err(|_| perr(line_no, "bad count"))?,
+                };
+            }
+            "case" => {
+                if current.is_some() {
+                    return Err(perr(line_no, "previous case not closed"));
+                }
+                let mut parts = rest.splitn(3, ' ');
+                let id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| perr(line_no, "bad case id"))?;
+                let txn: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| perr(line_no, "bad transaction index"))?;
+                let path = match parts.next().map(parse_value_literal) {
+                    Some(Ok(Value::List(items))) => items
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Str(s) => Ok(s),
+                            _ => Err(perr(line_no, "path entries must be strings")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(perr(line_no, "bad node path")),
+                };
+                current = Some(TestCase {
+                    id,
+                    transaction_index: txn,
+                    node_path: path,
+                    constructor: MethodCall::generated("", "", vec![]),
+                    calls: Vec::new(),
+                });
+            }
+            "ctor" => match current.as_mut() {
+                Some(case) => case.constructor = parse_call(rest, line_no)?,
+                None => return Err(perr(line_no, "ctor outside a case")),
+            },
+            "call" => match current.as_mut() {
+                Some(case) => case.calls.push(parse_call(rest, line_no)?),
+                None => return Err(perr(line_no, "call outside a case")),
+            },
+            "endcase" => match current.take() {
+                Some(case) => cases.push(case),
+                None => return Err(perr(line_no, "endcase without a case")),
+            },
+            other => return Err(perr(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(perr(text.lines().count(), "unterminated case"));
+    }
+    let class_name = class_name.ok_or_else(|| perr(1, "missing suite header"))?;
+    Ok(TestSuite { class_name, seed, cases, stats })
+}
+
+/// Renders a testing history in the persistence text format.
+pub fn save_history(history: &TestingHistory) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "history {}", history.class_name);
+    for e in &history.entries {
+        let methods = Value::List(
+            e.methods.iter().map(|m| Value::Str(m.clone())).collect(),
+        )
+        .to_literal();
+        let _ = writeln!(out, "entry {} {} {methods}", e.case_id, e.transaction_index);
+    }
+    out
+}
+
+/// Parses a testing history from the persistence text format.
+///
+/// # Errors
+///
+/// Returns the first [`PersistError`] with its line number.
+pub fn load_history(text: &str) -> Result<TestingHistory, PersistError> {
+    let mut class_name: Option<String> = None;
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match keyword {
+            "history" => class_name = Some(rest.trim().to_owned()),
+            "entry" => {
+                let mut parts = rest.splitn(3, ' ');
+                let case_id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| perr(line_no, "bad case id"))?;
+                let transaction_index: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| perr(line_no, "bad transaction index"))?;
+                let methods = match parts.next().map(parse_value_literal) {
+                    Some(Ok(Value::List(items))) => items
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Str(s) => Ok(s),
+                            _ => Err(perr(line_no, "methods must be strings")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(perr(line_no, "bad method list")),
+                };
+                entries.push(HistoryEntry { case_id, transaction_index, methods });
+            }
+            other => return Err(perr(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+    let class_name = class_name.ok_or_else(|| perr(1, "missing history header"))?;
+    Ok(TestingHistory { class_name, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_suite() -> TestSuite {
+        TestSuite {
+            class_name: "Product".into(),
+            seed: 2001,
+            cases: vec![
+                TestCase {
+                    id: 0,
+                    transaction_index: 0,
+                    node_path: vec!["n1".into(), "n7".into()],
+                    constructor: MethodCall::generated("m1", "Product", vec![]),
+                    calls: vec![MethodCall::generated("m12", "~Product", vec![])],
+                },
+                TestCase {
+                    id: 1,
+                    transaction_index: 2,
+                    node_path: vec!["n1".into(), "n2".into(), "n7".into()],
+                    constructor: MethodCall {
+                        method_id: "m2".into(),
+                        method: "Product".into(),
+                        args: vec![
+                            Value::Int(3),
+                            Value::Str("Soap, \"special\"".into()),
+                            Value::Float(2.5),
+                            Value::Null,
+                        ],
+                        origins: vec![
+                            ArgOrigin::Generated,
+                            ArgOrigin::Generated,
+                            ArgOrigin::Boundary,
+                            ArgOrigin::Manual,
+                        ],
+                    },
+                    calls: vec![MethodCall {
+                        method_id: "m5".into(),
+                        method: "UpdateQty".into(),
+                        args: vec![Value::Int(7)],
+                        origins: vec![ArgOrigin::Provided],
+                    }],
+                },
+            ],
+            stats: SuiteStats { transactions: 3, cases: 2, truncated: true, manual_args: 1 },
+        }
+    }
+
+    #[test]
+    fn suite_round_trips() {
+        let suite = sample_suite();
+        let text = save_suite(&suite);
+        let back = load_suite(&text).unwrap();
+        assert_eq!(back, suite);
+    }
+
+    #[test]
+    fn history_round_trips() {
+        let history = TestingHistory::from_suite(&sample_suite());
+        let text = save_history(&history);
+        assert_eq!(load_history(&text).unwrap(), history);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let suite = sample_suite();
+        let mut text = String::from("# saved by concat\n\n");
+        text.push_str(&save_suite(&suite));
+        assert_eq!(load_suite(&text).unwrap(), suite);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = load_suite("suite C\nbogus record").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown record"));
+    }
+
+    #[test]
+    fn structural_errors_detected() {
+        assert!(load_suite("ctor m1 C - []").unwrap_err().message.contains("outside"));
+        assert!(load_suite("suite C\ncase 0 0 [\"n1\"]\nctor m1 C - []")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(load_suite("seed 1").unwrap_err().message.contains("missing suite header"));
+        assert!(load_history("entry 0 0 []").unwrap_err().message.contains("unknown record")
+            || load_history("entry 0 0 []").is_err());
+    }
+
+    #[test]
+    fn origin_mismatch_rejected() {
+        let text = "suite C\ncase 0 0 []\nctor m1 C gg [5]\nendcase";
+        let err = load_suite(text).unwrap_err();
+        assert!(err.message.contains("origin count"));
+    }
+
+    #[test]
+    fn bad_args_literal_rejected() {
+        let text = "suite C\ncase 0 0 []\nctor m1 C g [oops]\nendcase";
+        assert!(load_suite(text).is_err());
+        let text2 = "suite C\ncase 0 0 []\nctor m1 C g 5\nendcase";
+        assert!(load_suite(text2).unwrap_err().message.contains("list literal"));
+    }
+
+    #[test]
+    fn generated_real_suite_round_trips() {
+        use crate::generator::DriverGenerator;
+        let spec = concat_tspec::ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .method("m2", "Add", concat_tspec::MethodCategory::Update)
+            .param("q", concat_tspec::Domain::int_range(-5, 5))
+            .method("m3", "Name", concat_tspec::MethodCategory::Update)
+            .param("s", concat_tspec::Domain::string(12))
+            .destructor("m4", "~C")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2", "m3"])
+            .death_node("n3", ["m4"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .build()
+            .unwrap();
+        let suite = DriverGenerator::with_seed(17).generate(&spec).unwrap();
+        let text = save_suite(&suite);
+        assert_eq!(load_suite(&text).unwrap(), suite);
+    }
+}

@@ -1,0 +1,128 @@
+//! Retargeting test cases at a subclass.
+//!
+//! The paper implements each test case "as a template function in C++, to
+//! allow its reuse when testing a subclass" (§3.4.1, Figure 6) — the same
+//! call sequence is instantiated with the subclass as the class under
+//! test, with only the constructor/destructor methods differing ("which
+//! for this reason are not part of a test case", §3.4.2).
+//!
+//! [`retarget_suite`] is the Rust analogue: it rewrites a parent suite's
+//! class name and lifecycle method names so the identical transactions run
+//! against a subclass factory.
+
+use crate::testcase::TestSuite;
+use std::collections::BTreeMap;
+
+/// How to map a parent suite onto a subclass.
+#[derive(Debug, Clone, Default)]
+pub struct RetargetMap {
+    class_name: String,
+    method_renames: BTreeMap<String, String>,
+}
+
+impl RetargetMap {
+    /// Starts a map targeting the subclass `class_name`.
+    pub fn new(class_name: impl Into<String>) -> Self {
+        RetargetMap { class_name: class_name.into(), method_renames: BTreeMap::new() }
+    }
+
+    /// Renames a lifecycle (or redefined-signature-compatible) method.
+    pub fn rename(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.method_renames.insert(from.into(), to.into());
+        self
+    }
+
+    /// The conventional constructor/destructor rename pair for a
+    /// `Parent` → `Sub` hierarchy: `Parent`→`Sub`, `~Parent`→`~Sub`.
+    pub fn for_subclass(parent: &str, subclass: &str) -> Self {
+        RetargetMap::new(subclass)
+            .rename(parent, subclass)
+            .rename(format!("~{parent}"), format!("~{subclass}"))
+    }
+
+    fn apply(&self, name: &str) -> String {
+        self.method_renames.get(name).cloned().unwrap_or_else(|| name.to_owned())
+    }
+}
+
+/// Instantiates a parent test suite against a subclass: the paper's
+/// template-function reuse.
+///
+/// Every case keeps its id, transaction index, node path, calls and
+/// argument values; only the class name and the mapped method names
+/// (typically the constructor and destructor) change.
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::{retarget_suite, RetargetMap, SuiteStats, TestSuite, MethodCall};
+///
+/// let parent = TestSuite {
+///     class_name: "CObList".into(),
+///     seed: 1,
+///     cases: vec![],
+///     stats: SuiteStats::default(),
+/// };
+/// let map = RetargetMap::for_subclass("CObList", "CSortableObList");
+/// let sub = retarget_suite(&parent, &map);
+/// assert_eq!(sub.class_name, "CSortableObList");
+/// # let _ = MethodCall::generated("m", "M", vec![]);
+/// ```
+pub fn retarget_suite(parent: &TestSuite, map: &RetargetMap) -> TestSuite {
+    let mut suite = parent.clone();
+    suite.class_name = map.class_name.clone();
+    for case in &mut suite.cases {
+        case.constructor.method = map.apply(&case.constructor.method);
+        for call in &mut case.calls {
+            call.method = map.apply(&call.method);
+        }
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{MethodCall, SuiteStats, TestCase};
+    use concat_runtime::Value;
+
+    fn parent_suite() -> TestSuite {
+        TestSuite {
+            class_name: "CObList".into(),
+            seed: 9,
+            cases: vec![TestCase {
+                id: 0,
+                transaction_index: 0,
+                node_path: vec!["n1".into(), "n2".into(), "n10".into()],
+                constructor: MethodCall::generated("m1", "CObList", vec![]),
+                calls: vec![
+                    MethodCall::generated("m2", "AddHead", vec![Value::Int(5)]),
+                    MethodCall::generated("m16", "~CObList", vec![]),
+                ],
+            }],
+            stats: SuiteStats { transactions: 1, cases: 1, truncated: false, manual_args: 0 },
+        }
+    }
+
+    #[test]
+    fn lifecycle_methods_renamed_others_kept() {
+        let map = RetargetMap::for_subclass("CObList", "CSortableObList");
+        let sub = retarget_suite(&parent_suite(), &map);
+        assert_eq!(sub.class_name, "CSortableObList");
+        let case = &sub.cases[0];
+        assert_eq!(case.constructor.method, "CSortableObList");
+        assert_eq!(case.calls[0].method, "AddHead");
+        assert_eq!(case.calls[1].method, "~CSortableObList");
+        // ids, paths and arguments untouched
+        assert_eq!(case.id, 0);
+        assert_eq!(case.calls[0].args, vec![Value::Int(5)]);
+        assert_eq!(case.node_path, vec!["n1", "n2", "n10"]);
+    }
+
+    #[test]
+    fn retarget_is_idempotent_without_renames() {
+        let map = RetargetMap::new("CObList");
+        let sub = retarget_suite(&parent_suite(), &map);
+        assert_eq!(sub, parent_suite());
+    }
+}

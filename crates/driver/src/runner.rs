@@ -1,0 +1,637 @@
+//! Test execution: the specific driver of the paper.
+//!
+//! The generated driver (Figure 6) creates the object, checks the class
+//! invariant before and after every call, logs progress into `Result.txt`,
+//! captures exceptions, and dumps the reporter state at the end. The
+//! [`TestRunner`] reproduces that behaviour and additionally records a full
+//! [`Transcript`] per case so the mutation oracle can compare runs.
+
+use crate::log::TestLog;
+use crate::testcase::{TestCase, TestSuite};
+use concat_bit::{BitControl, ComponentFactory, StateReport};
+use concat_runtime::{TestException, Value};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one method invocation, as recorded in the transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallOutcome {
+    /// The call returned a value (possibly `Null`).
+    Returned(Value),
+    /// The call raised a [`TestException`]; tag and message are recorded.
+    Raised {
+        /// The exception's machine tag (`INVARIANT`, `PANIC`, …).
+        tag: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl CallOutcome {
+    /// True when the call completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CallOutcome::Returned(_))
+    }
+}
+
+/// One line of a transcript: the call and what it did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Rendered call, e.g. `UpdateQty(5)`.
+    pub call: String,
+    /// What happened.
+    pub outcome: CallOutcome,
+}
+
+/// Everything observable about one test case execution.
+///
+/// Two runs are behaviourally indistinguishable exactly when their
+/// transcripts are equal — this is the oracle's comparison unit (crash,
+/// exception, output and final state all participate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// Per-call records in execution order (constructor first).
+    pub records: Vec<CallRecord>,
+    /// Reporter snapshot at the end of the case (absent if the object was
+    /// never successfully constructed or the case panicked).
+    pub final_report: Option<StateReport>,
+}
+
+/// Terminal status of one test case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseStatus {
+    /// Every call completed; the paper logs `TestCase<id> OK!`.
+    Passed,
+    /// An assertion (invariant / pre / post) fired — the partial oracle
+    /// detected an error.
+    AssertionViolated {
+        /// The violated assertion's message.
+        message: String,
+        /// The call after which it fired.
+        at_call: usize,
+    },
+    /// A non-assertion exception was raised.
+    ExceptionRaised {
+        /// Exception tag.
+        tag: String,
+        /// Exception message.
+        message: String,
+        /// The call that raised.
+        at_call: usize,
+    },
+    /// The component panicked (the paper's "program crashed").
+    Panicked {
+        /// Rendered panic payload.
+        message: String,
+        /// The call that panicked.
+        at_call: usize,
+    },
+}
+
+impl CaseStatus {
+    /// True for [`CaseStatus::Passed`].
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CaseStatus::Passed)
+    }
+
+    /// True when the failure came from the BIT partial oracle.
+    pub fn is_assertion(&self) -> bool {
+        matches!(self, CaseStatus::AssertionViolated { .. })
+    }
+}
+
+impl fmt::Display for CaseStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseStatus::Passed => f.write_str("OK"),
+            CaseStatus::AssertionViolated { message, .. } => {
+                write!(f, "assertion violated: {message}")
+            }
+            CaseStatus::ExceptionRaised { tag, message, .. } => {
+                write!(f, "exception [{tag}]: {message}")
+            }
+            CaseStatus::Panicked { message, .. } => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// Result of one executed test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Id of the executed case.
+    pub case_id: usize,
+    /// Terminal status.
+    pub status: CaseStatus,
+    /// Full transcript for oracle comparison.
+    pub transcript: Transcript,
+}
+
+/// Result of a suite execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Class under test.
+    pub class_name: String,
+    /// Per-case results, in suite order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl SuiteResult {
+    /// Number of passed cases.
+    pub fn passed(&self) -> usize {
+        self.cases.iter().filter(|c| c.status.is_pass()).count()
+    }
+
+    /// Number of failed cases (any non-pass status).
+    pub fn failed(&self) -> usize {
+        self.cases.len() - self.passed()
+    }
+
+    /// Number of failures attributable to assertion violations.
+    pub fn assertion_failures(&self) -> usize {
+        self.cases.iter().filter(|c| c.status.is_assertion()).count()
+    }
+}
+
+/// Executes test suites against a component factory.
+///
+/// # Examples
+///
+/// See the crate-level documentation of `concat-driver` for an end-to-end
+/// generate→run example.
+#[derive(Debug)]
+pub struct TestRunner {
+    ctl: BitControl,
+    check_invariants: bool,
+}
+
+impl TestRunner {
+    /// Creates a runner that puts components in test mode and checks the
+    /// class invariant around every call (the Figure-6 behaviour).
+    pub fn new() -> Self {
+        TestRunner { ctl: BitControl::new_enabled(), check_invariants: true }
+    }
+
+    /// Creates a runner with BIT disabled — the assertions-off ablation.
+    pub fn without_bit() -> Self {
+        TestRunner { ctl: BitControl::new(), check_invariants: false }
+    }
+
+    /// The control shared with every component this runner constructs.
+    pub fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    /// Runs a whole suite, logging into `log`.
+    pub fn run_suite(
+        &self,
+        factory: &dyn ComponentFactory,
+        suite: &TestSuite,
+        log: &mut TestLog,
+    ) -> SuiteResult {
+        let mut cases = Vec::with_capacity(suite.len());
+        for case in suite {
+            cases.push(self.run_case(factory, case, log));
+        }
+        SuiteResult { class_name: suite.class_name.clone(), cases }
+    }
+
+    /// Runs one test case: construct → (invariant, call)* → reporter.
+    ///
+    /// Exceptions and panics terminate the case (the paper's catch block),
+    /// are logged, and leave a truncated transcript — which is itself a
+    /// comparable observation.
+    pub fn run_case(
+        &self,
+        factory: &dyn ComponentFactory,
+        case: &TestCase,
+        log: &mut TestLog,
+    ) -> CaseResult {
+        let mut records = Vec::new();
+        let mut call_index = 0usize;
+
+        // Construct the object via the factory (birth node).
+        let ctor_render = case.constructor.render();
+        let constructed = catch_unwind(AssertUnwindSafe(|| {
+            factory.construct(&case.constructor.method, &case.constructor.args, self.ctl.clone())
+        }));
+        let mut component = match constructed {
+            Ok(Ok(c)) => {
+                records.push(CallRecord {
+                    call: ctor_render,
+                    outcome: CallOutcome::Returned(Value::Null),
+                });
+                c
+            }
+            Ok(Err(exc)) => {
+                records.push(CallRecord {
+                    call: ctor_render,
+                    outcome: CallOutcome::Raised {
+                        tag: exc.tag().to_owned(),
+                        message: exc.to_string(),
+                    },
+                });
+                let status = status_from_exception(&exc, call_index);
+                log.log_failure(&case.name(), &case.constructor.render(), &exc.to_string());
+                return CaseResult {
+                    case_id: case.id,
+                    status,
+                    transcript: Transcript { records, final_report: None },
+                };
+            }
+            Err(panic) => {
+                let message = panic_message(panic);
+                records.push(CallRecord {
+                    call: ctor_render,
+                    outcome: CallOutcome::Raised { tag: "PANIC".into(), message: message.clone() },
+                });
+                log.log_failure(&case.name(), &case.constructor.render(), &message);
+                return CaseResult {
+                    case_id: case.id,
+                    status: CaseStatus::Panicked { message, at_call: call_index },
+                    transcript: Transcript { records, final_report: None },
+                };
+            }
+        };
+
+        // Invariant after construction (Figure 6 checks before the first
+        // task method).
+        if self.check_invariants {
+            if let Err(v) = component.invariant_test() {
+                let message = v.to_string();
+                records.push(CallRecord {
+                    call: "InvariantTest()".into(),
+                    outcome: CallOutcome::Raised { tag: "INVARIANT".into(), message: message.clone() },
+                });
+                log.log_failure(&case.name(), "InvariantTest()", &message);
+                return CaseResult {
+                    case_id: case.id,
+                    status: CaseStatus::AssertionViolated { message, at_call: call_index },
+                    transcript: Transcript {
+                        records,
+                        final_report: Some(component.reporter()),
+                    },
+                };
+            }
+        }
+
+        for call in &case.calls {
+            call_index += 1;
+            let rendered = call.render();
+            let invoked = catch_unwind(AssertUnwindSafe(|| {
+                component.invoke(&call.method, &call.args)
+            }));
+            match invoked {
+                Ok(Ok(value)) => {
+                    records.push(CallRecord {
+                        call: rendered,
+                        outcome: CallOutcome::Returned(value),
+                    });
+                }
+                Ok(Err(exc)) => {
+                    let message = exc.to_string();
+                    records.push(CallRecord {
+                        call: rendered.clone(),
+                        outcome: CallOutcome::Raised {
+                            tag: exc.tag().to_owned(),
+                            message: message.clone(),
+                        },
+                    });
+                    log.log_failure(&case.name(), &rendered, &message);
+                    return CaseResult {
+                        case_id: case.id,
+                        status: status_from_exception(&exc, call_index),
+                        transcript: Transcript {
+                            records,
+                            final_report: Some(component.reporter()),
+                        },
+                    };
+                }
+                Err(panic) => {
+                    let message = panic_message(panic);
+                    records.push(CallRecord {
+                        call: rendered.clone(),
+                        outcome: CallOutcome::Raised {
+                            tag: "PANIC".into(),
+                            message: message.clone(),
+                        },
+                    });
+                    log.log_failure(&case.name(), &rendered, &message);
+                    return CaseResult {
+                        case_id: case.id,
+                        status: CaseStatus::Panicked { message, at_call: call_index },
+                        transcript: Transcript { records, final_report: None },
+                    };
+                }
+            }
+            if self.check_invariants {
+                if let Err(v) = component.invariant_test() {
+                    let message = v.to_string();
+                    records.push(CallRecord {
+                        call: "InvariantTest()".into(),
+                        outcome: CallOutcome::Raised {
+                            tag: "INVARIANT".into(),
+                            message: message.clone(),
+                        },
+                    });
+                    log.log_failure(&case.name(), "InvariantTest()", &message);
+                    return CaseResult {
+                        case_id: case.id,
+                        status: CaseStatus::AssertionViolated { message, at_call: call_index },
+                        transcript: Transcript {
+                            records,
+                            final_report: Some(component.reporter()),
+                        },
+                    };
+                }
+            }
+        }
+
+        let final_report = component.reporter();
+        log.log_pass(&case.name(), &final_report);
+        CaseResult {
+            case_id: case.id,
+            status: CaseStatus::Passed,
+            transcript: Transcript { records, final_report: Some(final_report) },
+        }
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn status_from_exception(exc: &TestException, at_call: usize) -> CaseStatus {
+    match exc {
+        TestException::Assertion(v) => {
+            CaseStatus::AssertionViolated { message: v.to_string(), at_call }
+        }
+        TestException::Panicked { message, .. } => {
+            CaseStatus::Panicked { message: message.clone(), at_call }
+        }
+        other => CaseStatus::ExceptionRaised {
+            tag: other.tag().to_owned(),
+            message: other.to_string(),
+            at_call,
+        },
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::MethodCall;
+    use concat_bit::{BuiltInTest, TestableComponent};
+    use concat_runtime::{
+        args, unknown_method, AssertionViolation, Component, InvokeResult,
+    };
+
+    /// A counter that corrupts its state when asked, to exercise every
+    /// runner path: domain exceptions, invariant violations and panics.
+    struct Chaos {
+        n: i64,
+        ctl: BitControl,
+    }
+
+    impl Component for Chaos {
+        fn class_name(&self) -> &'static str {
+            "Chaos"
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            vec!["Add", "Corrupt", "Panic", "Refuse", "Total", "~Chaos"]
+        }
+        fn invoke(&mut self, m: &str, a: &[Value]) -> InvokeResult {
+            match m {
+                "Add" => {
+                    self.n += args::int(m, a, 0)?;
+                    Ok(Value::Null)
+                }
+                "Corrupt" => {
+                    self.n = -1;
+                    Ok(Value::Null)
+                }
+                "Panic" => panic!("chaos reigns"),
+                "Refuse" => Err(TestException::domain(m, "refused")),
+                "Total" => Ok(Value::Int(self.n)),
+                "~Chaos" => Ok(Value::Null),
+                _ => Err(unknown_method(self.class_name(), m)),
+            }
+        }
+        }
+
+    impl BuiltInTest for Chaos {
+        fn bit_control(&self) -> &BitControl {
+            &self.ctl
+        }
+        fn invariant_test(&self) -> Result<(), AssertionViolation> {
+            concat_bit::check(
+                &self.ctl,
+                concat_runtime::AssertionKind::Invariant,
+                "Chaos",
+                "",
+                "n >= 0",
+                self.n >= 0,
+            )
+        }
+        fn reporter(&self) -> StateReport {
+            let mut r = StateReport::new();
+            r.set("n", Value::Int(self.n));
+            r
+        }
+    }
+
+    struct ChaosFactory;
+    impl ComponentFactory for ChaosFactory {
+        fn class_name(&self) -> &str {
+            "Chaos"
+        }
+        fn construct(
+            &self,
+            constructor: &str,
+            _args: &[Value],
+            ctl: BitControl,
+        ) -> Result<Box<dyn TestableComponent>, TestException> {
+            match constructor {
+                "Chaos" => Ok(Box::new(Chaos { n: 0, ctl })),
+                "ChaosBroken" => Err(TestException::domain(constructor, "cannot build")),
+                other => Err(unknown_method("Chaos", other)),
+            }
+        }
+    }
+
+    fn case_with(calls: Vec<MethodCall>) -> TestCase {
+        TestCase {
+            id: 0,
+            transaction_index: 0,
+            node_path: vec!["n1".into()],
+            constructor: MethodCall::generated("m1", "Chaos", vec![]),
+            calls,
+        }
+    }
+
+    fn dtor() -> MethodCall {
+        MethodCall::generated("mD", "~Chaos", vec![])
+    }
+
+    #[test]
+    fn passing_case_produces_full_transcript() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Add", vec![Value::Int(4)]),
+            MethodCall::generated("m3", "Total", vec![]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        assert!(r.status.is_pass());
+        assert_eq!(r.transcript.records.len(), 4);
+        assert_eq!(
+            r.transcript.records[2].outcome,
+            CallOutcome::Returned(Value::Int(4))
+        );
+        let report = r.transcript.final_report.unwrap();
+        assert_eq!(report.get("n"), Some(&Value::Int(4)));
+        assert!(log.render().contains("TestCaseTC0 OK!"));
+    }
+
+    #[test]
+    fn invariant_violation_detected_after_corrupting_call() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Corrupt", vec![]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        assert!(r.status.is_assertion());
+        // corrupting call itself succeeded; the invariant check caught it
+        assert!(r.transcript.records.iter().any(|rec| rec.call == "InvariantTest()"));
+        assert!(log.render().contains("Invariant") || log.render().contains("invariant"));
+    }
+
+    #[test]
+    fn panic_is_caught_and_classified() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let case = case_with(vec![MethodCall::generated("m2", "Panic", vec![]), dtor()]);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        std::panic::set_hook(prev);
+        match &r.status {
+            CaseStatus::Panicked { message, at_call } => {
+                assert_eq!(message, "chaos reigns");
+                assert_eq!(*at_call, 1);
+            }
+            other => panic!("expected panic status, got {other:?}"),
+        }
+        assert!(r.transcript.final_report.is_none());
+    }
+
+    #[test]
+    fn domain_exception_ends_case_with_report() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Refuse", vec![]),
+            MethodCall::generated("m3", "Total", vec![]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        match &r.status {
+            CaseStatus::ExceptionRaised { tag, at_call, .. } => {
+                assert_eq!(tag, "DOMAIN");
+                assert_eq!(*at_call, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Total was never called: only the constructor and the raising call.
+        assert_eq!(r.transcript.records.len(), 2);
+        assert!(r.transcript.final_report.is_some());
+    }
+
+    #[test]
+    fn constructor_failure_recorded() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let mut case = case_with(vec![dtor()]);
+        case.constructor = MethodCall::generated("m1", "ChaosBroken", vec![]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        assert!(matches!(r.status, CaseStatus::ExceptionRaised { .. }));
+        assert!(r.transcript.final_report.is_none());
+        assert_eq!(r.transcript.records.len(), 1);
+    }
+
+    #[test]
+    fn without_bit_runner_skips_invariants() {
+        let runner = TestRunner::without_bit();
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Corrupt", vec![]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        // With BIT off the corruption goes unnoticed.
+        assert!(r.status.is_pass());
+    }
+
+    #[test]
+    fn suite_statistics() {
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let suite = TestSuite {
+            class_name: "Chaos".into(),
+            seed: 0,
+            cases: vec![
+                {
+                    let mut c = case_with(vec![dtor()]);
+                    c.id = 0;
+                    c
+                },
+                {
+                    let mut c =
+                        case_with(vec![MethodCall::generated("m2", "Corrupt", vec![]), dtor()]);
+                    c.id = 1;
+                    c
+                },
+            ],
+            stats: Default::default(),
+        };
+        let result = runner.run_suite(&ChaosFactory, &suite, &mut log);
+        assert_eq!(result.passed(), 1);
+        assert_eq!(result.failed(), 1);
+        assert_eq!(result.assertion_failures(), 1);
+    }
+
+    #[test]
+    fn transcripts_equal_for_identical_runs() {
+        let runner = TestRunner::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Add", vec![Value::Int(2)]),
+            dtor(),
+        ]);
+        let mut l1 = TestLog::new();
+        let mut l2 = TestLog::new();
+        let a = runner.run_case(&ChaosFactory, &case, &mut l1);
+        let b = runner.run_case(&ChaosFactory, &case, &mut l2);
+        assert_eq!(a.transcript, b.transcript);
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(CaseStatus::Passed.to_string(), "OK");
+        let s = CaseStatus::Panicked { message: "boom".into(), at_call: 2 };
+        assert!(s.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Mechanical mutant enumeration per the Table-1 operator definitions.
+//!
+//! For every instrumented use site of a non-interface variable in a target
+//! method `R2`:
+//!
+//! * `IndVarBitNeg` → one mutant (bitwise negation at the use);
+//! * `IndVarRepGlob` → one mutant per attribute in `G(R2)`;
+//! * `IndVarRepLoc` → one mutant per *other* local in `L(R2)`;
+//! * `IndVarRepExt` → one mutant per attribute in `E(R2)`;
+//! * `IndVarRepReq` → one mutant per required constant in `RC`.
+
+use crate::fault::{FaultPlan, Replacement};
+use crate::inventory::ClassInventory;
+use crate::operators::{MutationOperator, ReqConst};
+use std::fmt;
+
+/// One enumerated mutant: operator provenance plus the executable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutant {
+    /// Sequential id within the enumeration.
+    pub id: usize,
+    /// The operator that produced this mutant.
+    pub operator: MutationOperator,
+    /// The injected fault.
+    pub plan: FaultPlan,
+}
+
+impl Mutant {
+    /// The method this mutant lives in.
+    pub fn method(&self) -> &str {
+        &self.plan.method
+    }
+}
+
+impl fmt::Display for Mutant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} [{}] {}", self.id, self.operator, self.plan)
+    }
+}
+
+/// Enumerates every mutant for the given target methods of `inventory`.
+///
+/// `target_methods` selects which methods receive faults (the paper applies
+/// the operators to a chosen method subset per experiment); pass the full
+/// method list for exhaustive enumeration. Methods without an inventory
+/// entry contribute nothing.
+///
+/// The enumeration is deterministic: methods in `target_methods` order,
+/// sites in id order, operators in Table-1 order, replacements in
+/// declaration order.
+///
+/// # Examples
+///
+/// ```
+/// use concat_mutation::{enumerate_mutants, ClassInventory, MethodInventory};
+///
+/// let inv = ClassInventory::new("C")
+///     .globals(["count"])
+///     .method(
+///         MethodInventory::new("M")
+///             .locals(["i", "j"])
+///             .globals_used(["count"])
+///             .site(0, "i", "index"),
+///     );
+/// let mutants = enumerate_mutants(&inv, &["M"]);
+/// // 1 BitNeg + 1 RepGlob (count) + 1 RepLoc (j) + 0 RepExt + 6 RepReq
+/// assert_eq!(mutants.len(), 9);
+/// ```
+pub fn enumerate_mutants(inventory: &ClassInventory, target_methods: &[&str]) -> Vec<Mutant> {
+    let mut out = Vec::new();
+    for method_name in target_methods {
+        let Some(m) = inventory.method_named(method_name) else {
+            continue;
+        };
+        let externals = inventory.externals_for(m);
+        for site in &m.sites {
+            let mut push = |operator: MutationOperator, replacement: Replacement| {
+                out.push(Mutant {
+                    id: out.len(),
+                    operator,
+                    plan: FaultPlan {
+                        method: m.method.clone(),
+                        site: site.id,
+                        replacement,
+                    },
+                });
+            };
+            // IndVarBitNeg: one per site.
+            push(MutationOperator::IndVarBitNeg, Replacement::BitNeg);
+            // IndVarRepGlob: every used global.
+            for g in &m.globals_used {
+                push(MutationOperator::IndVarRepGlob, Replacement::Var(g.clone()));
+            }
+            // IndVarRepLoc: every *other* local.
+            for l in &m.locals {
+                if l != &site.var {
+                    push(MutationOperator::IndVarRepLoc, Replacement::Var(l.clone()));
+                }
+            }
+            // IndVarRepExt: every unused global.
+            for e in &externals {
+                push(MutationOperator::IndVarRepExt, Replacement::Var((*e).to_owned()));
+            }
+            // IndVarRepReq: every required constant.
+            for c in ReqConst::ALL {
+                push(MutationOperator::IndVarRepReq, Replacement::Const(c));
+            }
+        }
+    }
+    out
+}
+
+/// Expected mutant count per the combinatorial formulae — used by property
+/// tests and by the harness's self-check (`no silent caps`).
+pub fn expected_count(inventory: &ClassInventory, target_methods: &[&str]) -> usize {
+    let mut total = 0;
+    for method_name in target_methods {
+        let Some(m) = inventory.method_named(method_name) else {
+            continue;
+        };
+        let e = inventory.externals_for(m).len();
+        for site in &m.sites {
+            let other_locals = m.locals.iter().filter(|l| *l != &site.var).count();
+            total += 1 // BitNeg
+                + m.globals_used.len()
+                + other_locals
+                + e
+                + ReqConst::ALL.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::MethodInventory;
+
+    fn inv() -> ClassInventory {
+        ClassInventory::new("SortableObList")
+            .globals(["count", "head", "tail"])
+            .method(
+                MethodInventory::new("Sort1")
+                    .locals(["i", "j", "swapped"])
+                    .globals_used(["count", "head"])
+                    .site(0, "i", "outer")
+                    .site(1, "j", "inner"),
+            )
+            .method(
+                MethodInventory::new("FindMax")
+                    .locals(["idx"])
+                    .globals_used(["count"])
+                    .site(0, "idx", "scan"),
+            )
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        let inv = inv();
+        let mutants = enumerate_mutants(&inv, &["Sort1", "FindMax"]);
+        assert_eq!(mutants.len(), expected_count(&inv, &["Sort1", "FindMax"]));
+        // Sort1: per site: 1 + 2 G + 2 otherL + 1 E + 6 RC = 12; two sites = 24.
+        // FindMax: 1 + 1 G + 0 otherL + 2 E + 6 RC = 10.
+        assert_eq!(mutants.len(), 34);
+    }
+
+    #[test]
+    fn per_operator_breakdown() {
+        let mutants = enumerate_mutants(&inv(), &["Sort1"]);
+        let count = |op: MutationOperator| mutants.iter().filter(|m| m.operator == op).count();
+        assert_eq!(count(MutationOperator::IndVarBitNeg), 2);
+        assert_eq!(count(MutationOperator::IndVarRepGlob), 4);
+        assert_eq!(count(MutationOperator::IndVarRepLoc), 4);
+        assert_eq!(count(MutationOperator::IndVarRepExt), 2);
+        assert_eq!(count(MutationOperator::IndVarRepReq), 12);
+    }
+
+    #[test]
+    fn self_replacement_excluded() {
+        let mutants = enumerate_mutants(&inv(), &["Sort1"]);
+        for m in &mutants {
+            if let Replacement::Var(v) = &m.plan.replacement {
+                if m.operator == MutationOperator::IndVarRepLoc {
+                    let site_var = match m.plan.site {
+                        0 => "i",
+                        1 => "j",
+                        _ => unreachable!(),
+                    };
+                    assert_ne!(v, site_var, "a local must not replace itself");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mutants = enumerate_mutants(&inv(), &["Sort1", "FindMax"]);
+        for (i, m) in mutants.iter().enumerate() {
+            assert_eq!(m.id, i);
+        }
+    }
+
+    #[test]
+    fn unknown_target_methods_are_skipped() {
+        let mutants = enumerate_mutants(&inv(), &["Nope"]);
+        assert!(mutants.is_empty());
+        assert_eq!(expected_count(&inv(), &["Nope"]), 0);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = enumerate_mutants(&inv(), &["Sort1", "FindMax"]);
+        let b = enumerate_mutants(&inv(), &["Sort1", "FindMax"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_operator_and_site() {
+        let mutants = enumerate_mutants(&inv(), &["FindMax"]);
+        let s = mutants[0].to_string();
+        assert!(s.contains("IndVarBitNeg"));
+        assert!(s.contains("FindMax"));
+        assert_eq!(mutants[0].method(), "FindMax");
+    }
+}

@@ -1,0 +1,245 @@
+//! Mutation inventories: where faults can be injected.
+//!
+//! The paper inserted interface mutants manually into C++ source, following
+//! "a set of clearly defined rules, according to the definition of the
+//! mutation operators" (§4). Our substitution (DESIGN.md §2) makes the same
+//! rules mechanical: each mutation-relevant method publishes its locals
+//! `L(R2)`, the attributes it uses `G(R2)`, and its instrumented
+//! **use sites** — the program points where a non-interface variable is
+//! read. The enumeration of mutants then follows the operator definitions
+//! exactly.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One instrumented use of a non-interface (local) variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseSite {
+    /// Site id, unique within its method (appears in the component code).
+    pub id: u32,
+    /// Name of the local variable read here.
+    pub var: String,
+    /// Human-readable description, e.g. `"inner loop bound"`.
+    pub desc: String,
+}
+
+impl UseSite {
+    /// Creates a use-site descriptor.
+    pub fn new(id: u32, var: impl Into<String>, desc: impl Into<String>) -> Self {
+        UseSite { id, var: var.into(), desc: desc.into() }
+    }
+}
+
+impl fmt::Display for UseSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site {} (use of {}: {})", self.id, self.var, self.desc)
+    }
+}
+
+/// The mutation-relevant facts about one method `R2`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MethodInventory {
+    /// Method name (as dispatched at runtime).
+    pub method: String,
+    /// `L(R2)`: locals defined in the method.
+    pub locals: Vec<String>,
+    /// `G(R2)`: globals (class attributes) used in the method.
+    pub globals_used: Vec<String>,
+    /// Instrumented use sites of non-interface variables.
+    pub sites: Vec<UseSite>,
+}
+
+impl MethodInventory {
+    /// Starts an inventory for `method`.
+    pub fn new(method: impl Into<String>) -> Self {
+        MethodInventory { method: method.into(), ..Default::default() }
+    }
+
+    /// Declares the locals `L(R2)`.
+    pub fn locals<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.locals.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares the used globals `G(R2)`.
+    pub fn globals_used<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.globals_used.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds a use site.
+    pub fn site(mut self, id: u32, var: impl Into<String>, desc: impl Into<String>) -> Self {
+        self.sites.push(UseSite::new(id, var, desc));
+        self
+    }
+
+    /// Validates internal consistency: unique site ids, site variables
+    /// declared as locals.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut ids = BTreeSet::new();
+        for s in &self.sites {
+            if !ids.insert(s.id) {
+                problems.push(format!("{}: duplicate site id {}", self.method, s.id));
+            }
+            if !self.locals.contains(&s.var) {
+                problems.push(format!(
+                    "{}: site {} reads `{}` which is not a declared local",
+                    self.method, s.id, s.var
+                ));
+            }
+        }
+        problems
+    }
+}
+
+/// The mutation inventory of a whole class.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassInventory {
+    /// Class name.
+    pub class_name: String,
+    /// All attributes of the class (the "globals" universe).
+    pub globals: Vec<String>,
+    /// Per-method inventories, in declaration order.
+    pub methods: Vec<MethodInventory>,
+}
+
+impl ClassInventory {
+    /// Starts an inventory for `class_name`.
+    pub fn new(class_name: impl Into<String>) -> Self {
+        ClassInventory { class_name: class_name.into(), ..Default::default() }
+    }
+
+    /// Declares the class attributes (globals universe).
+    pub fn globals<I: IntoIterator<Item = S>, S: Into<String>>(mut self, it: I) -> Self {
+        self.globals.extend(it.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds a method inventory.
+    pub fn method(mut self, m: MethodInventory) -> Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Looks up a method inventory by name.
+    pub fn method_named(&self, name: &str) -> Option<&MethodInventory> {
+        self.methods.iter().find(|m| m.method == name)
+    }
+
+    /// `E(R2)` for a method: globals *not* used in it, in declaration
+    /// order.
+    pub fn externals_for(&self, m: &MethodInventory) -> Vec<&str> {
+        self.globals
+            .iter()
+            .filter(|g| !m.globals_used.contains(*g))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Validates the whole inventory: method-level problems plus used
+    /// globals that are not declared in the universe.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen = BTreeSet::new();
+        for m in &self.methods {
+            if !seen.insert(m.method.as_str()) {
+                problems.push(format!("duplicate method inventory for {}", m.method));
+            }
+            problems.extend(m.validate());
+            for g in &m.globals_used {
+                if !self.globals.contains(g) {
+                    problems.push(format!(
+                        "{} uses global `{g}` missing from the class universe",
+                        m.method
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory() -> ClassInventory {
+        ClassInventory::new("SortableObList")
+            .globals(["count", "head", "tail"])
+            .method(
+                MethodInventory::new("Sort1")
+                    .locals(["i", "j", "swapped"])
+                    .globals_used(["count", "head"])
+                    .site(0, "i", "outer index")
+                    .site(1, "j", "inner index")
+                    .site(2, "swapped", "loop guard"),
+            )
+            .method(
+                MethodInventory::new("FindMax")
+                    .locals(["idx", "best"])
+                    .globals_used(["count"])
+                    .site(0, "idx", "scan index"),
+            )
+    }
+
+    #[test]
+    fn valid_inventory_has_no_problems() {
+        assert!(inventory().validate().is_empty());
+    }
+
+    #[test]
+    fn externals_complement_used_globals() {
+        let inv = inventory();
+        let sort1 = inv.method_named("Sort1").unwrap();
+        assert_eq!(inv.externals_for(sort1), vec!["tail"]);
+        let fm = inv.method_named("FindMax").unwrap();
+        assert_eq!(inv.externals_for(fm), vec!["head", "tail"]);
+    }
+
+    #[test]
+    fn duplicate_site_ids_detected() {
+        let m = MethodInventory::new("M")
+            .locals(["a"])
+            .site(0, "a", "x")
+            .site(0, "a", "y");
+        let problems = m.validate();
+        assert!(problems.iter().any(|p| p.contains("duplicate site id")));
+    }
+
+    #[test]
+    fn undeclared_local_in_site_detected() {
+        let m = MethodInventory::new("M").locals(["a"]).site(0, "ghost", "x");
+        let problems = m.validate();
+        assert!(problems.iter().any(|p| p.contains("not a declared local")));
+    }
+
+    #[test]
+    fn undeclared_global_detected() {
+        let inv = ClassInventory::new("C")
+            .globals(["count"])
+            .method(MethodInventory::new("M").globals_used(["ghost"]));
+        assert!(inv
+            .validate()
+            .iter()
+            .any(|p| p.contains("missing from the class universe")));
+    }
+
+    #[test]
+    fn duplicate_method_detected() {
+        let inv = ClassInventory::new("C")
+            .method(MethodInventory::new("M"))
+            .method(MethodInventory::new("M"));
+        assert!(inv.validate().iter().any(|p| p.contains("duplicate method")));
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let inv = inventory();
+        assert!(inv.method_named("Sort1").is_some());
+        assert!(inv.method_named("Nope").is_none());
+        let s = UseSite::new(3, "i", "bound");
+        assert!(s.to_string().contains("site 3"));
+        assert!(s.to_string().contains("use of i"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The method × operator score matrix — the data behind Tables 2 and 3.
+//!
+//! The paper's result tables have one row per target method showing mutant
+//! counts per operator, then summary rows: `#mutants`, `#killed`,
+//! `#equivalent` and the per-operator and total mutation scores.
+
+use crate::analysis::{MutantResult, MutantStatus, MutationRun};
+use crate::operators::MutationOperator;
+use std::collections::BTreeMap;
+
+/// Counts for one cell (or aggregate) of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellStats {
+    /// Mutants generated.
+    pub mutants: usize,
+    /// Mutants killed by the suite.
+    pub killed: usize,
+    /// Presumed-equivalent mutants.
+    pub equivalent: usize,
+}
+
+impl CellStats {
+    /// Genuine survivors.
+    pub fn survived(&self) -> usize {
+        self.mutants - self.killed - self.equivalent
+    }
+
+    /// The mutation score `killed / (mutants - equivalent)`; 1.0 when the
+    /// denominator is zero.
+    pub fn score(&self) -> f64 {
+        let denom = self.mutants - self.equivalent;
+        if denom == 0 {
+            1.0
+        } else {
+            self.killed as f64 / denom as f64
+        }
+    }
+
+    /// Score as a percentage, rounded to one decimal (the tables' format).
+    pub fn score_pct(&self) -> f64 {
+        (self.score() * 1000.0).round() / 10.0
+    }
+
+    fn absorb(&mut self, r: &MutantResult) {
+        self.mutants += 1;
+        match r.status {
+            MutantStatus::Killed { .. } => self.killed += 1,
+            MutantStatus::PresumedEquivalent => self.equivalent += 1,
+            MutantStatus::Survived => {}
+        }
+    }
+}
+
+/// The full method × operator matrix of a mutation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationMatrix {
+    methods: Vec<String>,
+    cells: BTreeMap<(String, MutationOperator), CellStats>,
+}
+
+impl MutationMatrix {
+    /// Builds the matrix from a run, with rows ordered as `methods`.
+    ///
+    /// Results for methods not listed are ignored (callers normally pass
+    /// exactly the experiment's target methods).
+    pub fn from_run(run: &MutationRun, methods: &[&str]) -> Self {
+        let methods: Vec<String> = methods.iter().map(|m| (*m).to_owned()).collect();
+        let mut cells: BTreeMap<(String, MutationOperator), CellStats> = BTreeMap::new();
+        for r in &run.results {
+            let method = r.mutant.method().to_owned();
+            if !methods.contains(&method) {
+                continue;
+            }
+            cells.entry((method, r.mutant.operator)).or_default().absorb(r);
+        }
+        MutationMatrix { methods, cells }
+    }
+
+    /// Row order of the matrix.
+    pub fn methods(&self) -> &[String] {
+        &self.methods
+    }
+
+    /// Cell for `(method, operator)` (zeros when no mutants landed there).
+    pub fn cell(&self, method: &str, operator: MutationOperator) -> CellStats {
+        self.cells
+            .get(&(method.to_owned(), operator))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of mutants in one row (the tables' per-method "Total"
+    /// column).
+    pub fn row_total(&self, method: &str) -> usize {
+        MutationOperator::ALL
+            .iter()
+            .map(|op| self.cell(method, *op).mutants)
+            .sum()
+    }
+
+    /// Aggregate over one operator column.
+    pub fn column(&self, operator: MutationOperator) -> CellStats {
+        let mut agg = CellStats::default();
+        for m in &self.methods {
+            let c = self.cell(m, operator);
+            agg.mutants += c.mutants;
+            agg.killed += c.killed;
+            agg.equivalent += c.equivalent;
+        }
+        agg
+    }
+
+    /// Aggregate over the whole matrix (the tables' "Total" column of the
+    /// summary rows).
+    pub fn overall(&self) -> CellStats {
+        let mut agg = CellStats::default();
+        for op in MutationOperator::ALL {
+            let c = self.column(op);
+            agg.mutants += c.mutants;
+            agg.killed += c.killed;
+            agg.equivalent += c.equivalent;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::KillReason;
+    use crate::enumerate::Mutant;
+    use crate::fault::{FaultPlan, Replacement};
+    use concat_driver::SuiteResult;
+
+    fn result(method: &str, op: MutationOperator, status: MutantStatus) -> MutantResult {
+        MutantResult {
+            mutant: Mutant {
+                id: 0,
+                operator: op,
+                plan: FaultPlan {
+                    method: method.into(),
+                    site: 0,
+                    replacement: Replacement::BitNeg,
+                },
+            },
+            status,
+        }
+    }
+
+    fn killed() -> MutantStatus {
+        MutantStatus::Killed { reason: KillReason::OutputDiff, by_case: 0 }
+    }
+
+    fn run_with(results: Vec<MutantResult>) -> MutationRun {
+        MutationRun {
+            results,
+            golden: SuiteResult { class_name: "C".into(), cases: vec![] },
+        }
+    }
+
+    #[test]
+    fn cells_accumulate_statuses() {
+        let run = run_with(vec![
+            result("Sort1", MutationOperator::IndVarBitNeg, killed()),
+            result("Sort1", MutationOperator::IndVarBitNeg, MutantStatus::Survived),
+            result(
+                "Sort1",
+                MutationOperator::IndVarBitNeg,
+                MutantStatus::PresumedEquivalent,
+            ),
+        ]);
+        let m = MutationMatrix::from_run(&run, &["Sort1"]);
+        let c = m.cell("Sort1", MutationOperator::IndVarBitNeg);
+        assert_eq!(c.mutants, 3);
+        assert_eq!(c.killed, 1);
+        assert_eq!(c.equivalent, 1);
+        assert_eq!(c.survived(), 1);
+        assert!((c.score() - 0.5).abs() < 1e-12);
+        assert_eq!(c.score_pct(), 50.0);
+    }
+
+    #[test]
+    fn rows_and_columns_aggregate() {
+        let run = run_with(vec![
+            result("Sort1", MutationOperator::IndVarBitNeg, killed()),
+            result("Sort1", MutationOperator::IndVarRepLoc, killed()),
+            result("FindMax", MutationOperator::IndVarRepLoc, MutantStatus::Survived),
+        ]);
+        let m = MutationMatrix::from_run(&run, &["Sort1", "FindMax"]);
+        assert_eq!(m.row_total("Sort1"), 2);
+        assert_eq!(m.row_total("FindMax"), 1);
+        let col = m.column(MutationOperator::IndVarRepLoc);
+        assert_eq!(col.mutants, 2);
+        assert_eq!(col.killed, 1);
+        let all = m.overall();
+        assert_eq!(all.mutants, 3);
+        assert_eq!(all.killed, 2);
+    }
+
+    #[test]
+    fn unlisted_methods_ignored() {
+        let run = run_with(vec![result("Ghost", MutationOperator::IndVarBitNeg, killed())]);
+        let m = MutationMatrix::from_run(&run, &["Sort1"]);
+        assert_eq!(m.overall().mutants, 0);
+        assert_eq!(m.methods(), &["Sort1".to_owned()]);
+    }
+
+    #[test]
+    fn empty_cell_is_zero_and_score_one() {
+        let run = run_with(vec![]);
+        let m = MutationMatrix::from_run(&run, &["Sort1"]);
+        let c = m.cell("Sort1", MutationOperator::IndVarRepReq);
+        assert_eq!(c.mutants, 0);
+        assert_eq!(c.score(), 1.0);
+    }
+
+    #[test]
+    fn score_pct_rounds_like_the_paper() {
+        let c = CellStats { mutants: 700, killed: 652, equivalent: 19 };
+        // 652 / 681 = 0.9574… → 95.7 %
+        assert_eq!(c.score_pct(), 95.7);
+    }
+}

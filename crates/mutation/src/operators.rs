@@ -1,0 +1,201 @@
+//! The interface mutation operators (paper Table 1).
+//!
+//! The paper evaluates its test selection strategy with a subset of the
+//! *essential interface mutation operators* (Delamaro's interface mutation,
+//! restricted by Vincenzi et al.): faults affecting the interaction between
+//! methods through the points where non-interface variables — locals and
+//! externally-unused globals — are *used*.
+
+use concat_runtime::Value;
+use std::fmt;
+
+/// The five interface mutation operators applied in the paper's
+/// experiments (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationOperator {
+    /// Inserts bitwise negation at a non-interface variable use.
+    IndVarBitNeg,
+    /// Replaces a non-interface variable by a member of `G(R2)` — the
+    /// globals (class attributes) *used* in the method.
+    IndVarRepGlob,
+    /// Replaces a non-interface variable by a member of `L(R2)` — the
+    /// locals defined in the method.
+    IndVarRepLoc,
+    /// Replaces a non-interface variable by a member of `E(R2)` — globals
+    /// *not* used in the method.
+    IndVarRepExt,
+    /// Replaces a non-interface variable by a required constant from `RC`
+    /// (`NULL`, `MAXINT`, `MININT`, …).
+    IndVarRepReq,
+}
+
+impl MutationOperator {
+    /// All operators, in the paper's Table 1 column order.
+    pub const ALL: [MutationOperator; 5] = [
+        MutationOperator::IndVarBitNeg,
+        MutationOperator::IndVarRepGlob,
+        MutationOperator::IndVarRepLoc,
+        MutationOperator::IndVarRepExt,
+        MutationOperator::IndVarRepReq,
+    ];
+
+    /// The operator's name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOperator::IndVarBitNeg => "IndVarBitNeg",
+            MutationOperator::IndVarRepGlob => "IndVarRepGlob",
+            MutationOperator::IndVarRepLoc => "IndVarRepLoc",
+            MutationOperator::IndVarRepExt => "IndVarRepExt",
+            MutationOperator::IndVarRepReq => "IndVarRepReq",
+        }
+    }
+
+    /// The operator's description as printed in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            MutationOperator::IndVarBitNeg => {
+                "Inserts bitwise negation at non-interface variable use"
+            }
+            MutationOperator::IndVarRepGlob => "Replaces non-interface variable by G(R2)",
+            MutationOperator::IndVarRepLoc => "Replaces non-interface variable by L(R2)",
+            MutationOperator::IndVarRepExt => "Replaces non-interface variable by E(R2)",
+            MutationOperator::IndVarRepReq => "Replaces non-interface variable by RC",
+        }
+    }
+}
+
+impl fmt::Display for MutationOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The required constants `RC` of `IndVarRepReq` (Table 1): "some special
+/// values such as NULL, MAXINT (greatest positive integer), MININT (least
+/// negative integer), and so on".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReqConst {
+    /// `NULL` — coerces to `0` in integer contexts.
+    Null,
+    /// The greatest positive integer.
+    MaxInt,
+    /// The least negative integer.
+    MinInt,
+    /// Zero.
+    Zero,
+    /// One.
+    One,
+    /// Minus one.
+    MinusOne,
+}
+
+impl ReqConst {
+    /// All required constants, in a stable order.
+    pub const ALL: [ReqConst; 6] = [
+        ReqConst::Null,
+        ReqConst::MaxInt,
+        ReqConst::MinInt,
+        ReqConst::Zero,
+        ReqConst::One,
+        ReqConst::MinusOne,
+    ];
+
+    /// The constant as a dynamic [`Value`].
+    pub fn as_value(self) -> Value {
+        match self {
+            ReqConst::Null => Value::Null,
+            ReqConst::MaxInt => Value::Int(i64::MAX),
+            ReqConst::MinInt => Value::Int(i64::MIN),
+            ReqConst::Zero => Value::Int(0),
+            ReqConst::One => Value::Int(1),
+            ReqConst::MinusOne => Value::Int(-1),
+        }
+    }
+
+    /// The constant coerced to an integer (the type of most instrumented
+    /// use sites); `NULL` coerces to `0` as in C.
+    pub fn as_int(self) -> i64 {
+        match self {
+            ReqConst::Null | ReqConst::Zero => 0,
+            ReqConst::MaxInt => i64::MAX,
+            ReqConst::MinInt => i64::MIN,
+            ReqConst::One => 1,
+            ReqConst::MinusOne => -1,
+        }
+    }
+
+    /// The constant's conventional spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqConst::Null => "NULL",
+            ReqConst::MaxInt => "MAXINT",
+            ReqConst::MinInt => "MININT",
+            ReqConst::Zero => "0",
+            ReqConst::One => "1",
+            ReqConst::MinusOne => "-1",
+        }
+    }
+}
+
+impl fmt::Display for ReqConst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_operators_in_table_order() {
+        let names: Vec<&str> = MutationOperator::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "IndVarBitNeg",
+                "IndVarRepGlob",
+                "IndVarRepLoc",
+                "IndVarRepExt",
+                "IndVarRepReq"
+            ]
+        );
+    }
+
+    #[test]
+    fn descriptions_match_table1() {
+        assert!(MutationOperator::IndVarBitNeg
+            .description()
+            .contains("bitwise negation"));
+        assert!(MutationOperator::IndVarRepGlob.description().contains("G(R2)"));
+        assert!(MutationOperator::IndVarRepLoc.description().contains("L(R2)"));
+        assert!(MutationOperator::IndVarRepExt.description().contains("E(R2)"));
+        assert!(MutationOperator::IndVarRepReq.description().contains("RC"));
+    }
+
+    #[test]
+    fn req_const_values() {
+        assert_eq!(ReqConst::Null.as_value(), Value::Null);
+        assert_eq!(ReqConst::MaxInt.as_int(), i64::MAX);
+        assert_eq!(ReqConst::MinInt.as_int(), i64::MIN);
+        assert_eq!(ReqConst::Zero.as_int(), 0);
+        assert_eq!(ReqConst::Null.as_int(), 0);
+        assert_eq!(ReqConst::MinusOne.as_int(), -1);
+        assert_eq!(ReqConst::One.as_value(), Value::Int(1));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        assert_eq!(MutationOperator::IndVarRepReq.to_string(), "IndVarRepReq");
+        assert_eq!(ReqConst::MaxInt.to_string(), "MAXINT");
+    }
+
+    #[test]
+    fn operators_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = MutationOperator::ALL.into_iter().collect();
+        assert_eq!(set.len(), 5);
+        let consts: BTreeSet<_> = ReqConst::ALL.into_iter().collect();
+        assert_eq!(consts.len(), 6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Paper-vs-measured experiment records.
+//!
+//! Every table/figure harness produces a [`Comparison`] so EXPERIMENTS.md
+//! can show, for each reported quantity, what the paper measured on the
+//! authors' C++ subjects and what this reproduction measures on its own
+//! re-implementations — absolute numbers differ, the *shape* must hold.
+
+use crate::table::AsciiTable;
+use std::fmt;
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// What is being compared (e.g. `"total mutation score"`).
+    pub metric: String,
+    /// The paper's value, verbatim.
+    pub paper: String,
+    /// This reproduction's value.
+    pub measured: String,
+    /// Whether the shape criterion holds for this row.
+    pub shape_holds: bool,
+}
+
+/// A paper-vs-measured record for one experiment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Experiment id, e.g. `"Table 2"`.
+    pub experiment: String,
+    /// The compared quantities.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// Starts a record for the named experiment.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Comparison { experiment: experiment.into(), rows: Vec::new() }
+    }
+
+    /// Adds one compared quantity.
+    pub fn row(
+        mut self,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        shape_holds: bool,
+    ) -> Self {
+        self.rows.push(ComparisonRow {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            shape_holds,
+        });
+        self
+    }
+
+    /// True when the shape criterion holds on every row.
+    pub fn shape_holds(&self) -> bool {
+        self.rows.iter().all(|r| r.shape_holds)
+    }
+
+    /// Renders the record as an ASCII table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(vec![
+            "Metric".into(),
+            "Paper".into(),
+            "Measured".into(),
+            "Shape".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.metric.clone(),
+                r.paper.clone(),
+                r.measured.clone(),
+                if r.shape_holds { "holds".into() } else { "DIVERGES".into() },
+            ]);
+        }
+        format!("{} — paper vs measured\n{}", self.experiment, t.render())
+    }
+
+    /// Renders the record as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.experiment);
+        out.push_str("| Metric | Paper | Measured | Shape |\n|---|---|---|---|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                r.metric,
+                r.paper,
+                r.measured,
+                if r.shape_holds { "holds" } else { "**diverges**" }
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Comparison {
+        Comparison::new("Table 2")
+            .row("total mutants", "700", "297", true)
+            .row("total score", "95.7%", "98.4%", true)
+            .row("kills by assertion", "59 of 652", "27 of 283", true)
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = sample().render();
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("95.7%"));
+        assert!(s.contains("27 of 283"));
+        assert!(s.contains("holds"));
+    }
+
+    #[test]
+    fn shape_aggregation() {
+        assert!(sample().shape_holds());
+        let bad = sample().row("x", "up", "down", false);
+        assert!(!bad.shape_holds());
+        assert!(bad.render().contains("DIVERGES"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("### Table 2"));
+        assert!(md.contains("| total mutants | 700 | 297 | holds |"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        assert_eq!(sample().to_string(), sample().render());
+    }
+}

@@ -1,0 +1,22 @@
+//! # concat-report
+//!
+//! Tables and experiment records for the `concat-rs` reproduction of
+//! *"Constructing Self-Testable Software Components"* (Martins, Toyota &
+//! Yanagawa, DSN 2001).
+//!
+//! * [`AsciiTable`] — column-aligned text tables;
+//! * [`render_operator_table`] — the paper's Table 1;
+//! * [`render_score_table`] — the Table 2/3 layout over a
+//!   [`concat_mutation::MutationMatrix`];
+//! * [`Comparison`] — paper-vs-measured records feeding EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+mod mutation_tables;
+mod table;
+
+pub use experiments::{Comparison, ComparisonRow};
+pub use mutation_tables::{render_mutant_catalog, render_operator_table, render_score_table, summarize_run};
+pub use table::{Align, AsciiTable};

@@ -1,0 +1,186 @@
+//! Renderers for the paper's tables.
+//!
+//! * [`render_operator_table`] — Table 1 (the operator catalogue);
+//! * [`render_score_table`] — the Table 2 / Table 3 layout: one row per
+//!   target method with per-operator mutant counts, then the `#mutants`,
+//!   `#killed`, `#equivalent` and `Score` summary rows.
+
+use crate::table::AsciiTable;
+use concat_mutation::{Mutant, MutationMatrix, MutationOperator, MutationRun};
+
+/// Renders Table 1: the interface mutation operators and the G/L/E/RC
+/// legend.
+pub fn render_operator_table() -> String {
+    let mut t = AsciiTable::new(vec!["Operator".into(), "Description".into()]);
+    for op in MutationOperator::ALL {
+        t.row(vec![op.name().into(), op.description().into()]);
+    }
+    let mut out = String::from("Table 1. Interface mutation operators applied\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "Where\n\
+         G(R2): set of global variables used in R2;\n\
+         L(R2): set of local variables defined in R2;\n\
+         E(R2): set of global variables not used in R2;\n\
+         RC: set of required constants (NULL, MAXINT, MININT, 0, 1, -1);\n\
+         Non-interface variables are in L(R2) U E(R2).\n",
+    );
+    out
+}
+
+/// Renders a Table 2/3-shaped score table for `matrix`, titled `title`.
+///
+/// Layout (as in the paper): one row per method with the number of
+/// mutants per operator and a per-method total; then summary rows with
+/// the per-operator totals, kills, equivalents and the mutation score,
+/// plus a rightmost grand-total column.
+pub fn render_score_table(title: &str, matrix: &MutationMatrix) -> String {
+    let mut headers: Vec<String> = vec!["Method".into()];
+    headers.extend(MutationOperator::ALL.iter().map(|op| op.name().to_owned()));
+    headers.push("Total".into());
+    let mut t = AsciiTable::new(headers);
+    t.numeric();
+    for method in matrix.methods() {
+        let mut row = vec![method.clone()];
+        for op in MutationOperator::ALL {
+            row.push(matrix.cell(method, op).mutants.to_string());
+        }
+        row.push(matrix.row_total(method).to_string());
+        t.row(row);
+    }
+    t.separator();
+    let overall = matrix.overall();
+    let summary = |label: &str, f: &dyn Fn(concat_mutation::CellStats) -> String| {
+        let mut row = vec![label.to_owned()];
+        for op in MutationOperator::ALL {
+            row.push(f(matrix.column(op)));
+        }
+        row.push(f(overall));
+        row
+    };
+    t.row(summary("#mutants", &|c| c.mutants.to_string()));
+    t.row(summary("#killed", &|c| c.killed.to_string()));
+    t.row(summary("#equivalent", &|c| c.equivalent.to_string()));
+    t.row(summary("Score", &|c| format!("{:.1}%", c.score_pct())));
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders a Proteum-style mutant catalogue: one row per enumerated
+/// mutant with its operator, target method, use site and replacement.
+/// The paper generated its mutants by hand from "clearly defined rules";
+/// the catalogue makes our mechanical enumeration reviewable the same way.
+pub fn render_mutant_catalog(mutants: &[Mutant]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "Id".into(),
+        "Operator".into(),
+        "Method".into(),
+        "Site".into(),
+        "Replacement".into(),
+    ]);
+    t.align(0, crate::table::Align::Right);
+    t.align(3, crate::table::Align::Right);
+    for m in mutants {
+        t.row(vec![
+            m.id.to_string(),
+            m.operator.name().into(),
+            m.plan.method.clone(),
+            m.plan.site.to_string(),
+            m.plan.replacement.to_string(),
+        ]);
+    }
+    format!("Mutant catalogue ({} mutants)\n{}", mutants.len(), t.render())
+}
+
+/// One-paragraph textual summary of a mutation run (totals, score, and
+/// the share of kills owed to the assertion partial oracle — the paper's
+/// "59 of the 652 mutants killed were due to assertion violation").
+pub fn summarize_run(run: &MutationRun) -> String {
+    format!(
+        "{} mutants: {} killed ({} by assertion violation), {} presumed equivalent, \
+         {} survived; mutation score {:.1}%",
+        run.total(),
+        run.killed(),
+        run.killed_by_assertion(),
+        run.equivalent(),
+        run.survived(),
+        run.score() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_driver::SuiteResult;
+    use concat_mutation::{
+        FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, Replacement,
+    };
+
+    fn run() -> MutationRun {
+        let mk = |method: &str, op: MutationOperator, status: MutantStatus| MutantResult {
+            mutant: Mutant {
+                id: 0,
+                operator: op,
+                plan: FaultPlan {
+                    method: method.into(),
+                    site: 0,
+                    replacement: Replacement::BitNeg,
+                },
+            },
+            status,
+        };
+        let killed = |r| MutantStatus::Killed { reason: r, by_case: 0 };
+        MutationRun {
+            results: vec![
+                mk("Sort1", MutationOperator::IndVarBitNeg, killed(KillReason::Crash)),
+                mk("Sort1", MutationOperator::IndVarRepReq, killed(KillReason::Assertion)),
+                mk("Sort1", MutationOperator::IndVarRepReq, MutantStatus::PresumedEquivalent),
+                mk("FindMax", MutationOperator::IndVarRepLoc, MutantStatus::Survived),
+            ],
+            golden: SuiteResult { class_name: "C".into(), cases: vec![] },
+        }
+    }
+
+    #[test]
+    fn operator_table_lists_all_five() {
+        let s = render_operator_table();
+        for op in MutationOperator::ALL {
+            assert!(s.contains(op.name()));
+        }
+        assert!(s.contains("G(R2)"));
+        assert!(s.contains("Table 1"));
+    }
+
+    #[test]
+    fn score_table_has_methods_and_summary_rows() {
+        let run = run();
+        let matrix = MutationMatrix::from_run(&run, &["Sort1", "FindMax"]);
+        let s = render_score_table("Table 2. Results", &matrix);
+        assert!(s.starts_with("Table 2. Results"));
+        assert!(s.contains("Sort1"));
+        assert!(s.contains("FindMax"));
+        assert!(s.contains("#mutants"));
+        assert!(s.contains("#killed"));
+        assert!(s.contains("#equivalent"));
+        assert!(s.contains("Score"));
+        assert!(s.contains("IndVarRepReq"));
+    }
+
+    #[test]
+    fn mutant_catalog_lists_every_mutant() {
+        let mutants: Vec<Mutant> = run().results.into_iter().map(|r| r.mutant).collect();
+        let s = render_mutant_catalog(&mutants);
+        assert!(s.contains("Mutant catalogue (4 mutants)"));
+        assert!(s.contains("IndVarBitNeg"));
+        assert!(s.contains("Sort1"));
+        assert!(s.contains("~(value)"));
+    }
+
+    #[test]
+    fn summary_mentions_assertion_kills() {
+        let s = summarize_run(&run());
+        assert!(s.contains("4 mutants"));
+        assert!(s.contains("2 killed (1 by assertion violation)"));
+        assert!(s.contains("1 presumed equivalent"));
+        assert!(s.contains("1 survived"));
+    }
+}

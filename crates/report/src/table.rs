@@ -1,0 +1,186 @@
+//! Column-aligned ASCII tables for experiment output.
+
+use std::fmt;
+
+/// Horizontal alignment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple ASCII table builder.
+///
+/// # Examples
+///
+/// ```
+/// use concat_report::{Align, AsciiTable};
+///
+/// let mut t = AsciiTable::new(vec!["Operator".into(), "Score".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["IndVarBitNeg".into(), "85.7%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("IndVarBitNeg"));
+/// assert!(s.contains("Score"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    separators_before: Vec<usize>,
+}
+
+impl AsciiTable {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        AsciiTable { headers, rows: Vec::new(), aligns, separators_before: Vec::new() }
+    }
+
+    /// Sets a column's alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `column` is out of range.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first (the common numeric
+    /// layout).
+    pub fn numeric(&mut self) -> &mut Self {
+        for i in 1..self.aligns.len() {
+            self.aligns[i] = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Inserts a horizontal separator before the next appended row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.separators_before.push(self.rows.len());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let hline = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let render_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                let pad = widths[i] - cell.chars().count();
+                out.push_str("| ");
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+                out.push(' ');
+            }
+            out.push_str("|\n");
+        };
+        hline(&mut out);
+        render_row(&mut out, &self.headers, &vec![Align::Left; cols]);
+        hline(&mut out);
+        for (i, row) in self.rows.iter().enumerate() {
+            if self.separators_before.contains(&i) {
+                hline(&mut out);
+            }
+            render_row(&mut out, row, &self.aligns);
+        }
+        hline(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsciiTable {
+        let mut t = AsciiTable::new(vec!["Method".into(), "Mutants".into()]);
+        t.numeric();
+        t.row(vec!["Sort1".into(), "280".into()]);
+        t.row(vec!["FindMax".into(), "93".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = sample().render();
+        assert!(s.contains("| Method  | Mutants |"));
+        assert!(s.contains("| Sort1   |     280 |"));
+        assert!(s.contains("| FindMax |      93 |"));
+    }
+
+    #[test]
+    fn separators_partition_summary_rows() {
+        let mut t = sample();
+        t.separator();
+        t.row(vec!["Total".into(), "373".into()]);
+        let s = t.render();
+        let hline_count = s.lines().filter(|l| l.starts_with('+')).count();
+        assert_eq!(hline_count, 4); // top, after header, before total, bottom
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = AsciiTable::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains("| x |   |   |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.render());
+    }
+}

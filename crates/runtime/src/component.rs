@@ -1,0 +1,263 @@
+//! The dynamic component interface: name-based method dispatch.
+//!
+//! This is the Rust substitute for the C++ compile-the-generated-driver
+//! step of the paper (see DESIGN.md §2). A [`Component`] exposes its public
+//! features by name; generated test cases invoke them with [`Value`]
+//! arguments. The [`args`] module provides checked extraction helpers so
+//! component implementations stay terse and produce uniform
+//! [`TestException`]s.
+
+use crate::error::{InvokeResult, TestException};
+use crate::value::{ObjRef, Value, ValueKind};
+
+/// A component under test, invocable by method name.
+///
+/// Implementations are usually produced through a factory (one instance per
+/// test case, created by the constructor the transaction starts with and
+/// destroyed at the end of the transaction).
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::{args, Component, InvokeResult, TestException, Value};
+///
+/// struct Counter { n: i64 }
+///
+/// impl Component for Counter {
+///     fn class_name(&self) -> &'static str { "Counter" }
+///     fn method_names(&self) -> Vec<&'static str> { vec!["Add", "Total"] }
+///     fn invoke(&mut self, method: &str, a: &[Value]) -> InvokeResult {
+///         match method {
+///             "Add" => { self.n += args::int(method, a, 0)?; Ok(Value::Null) }
+///             "Total" => Ok(Value::Int(self.n)),
+///             _ => Err(TestException::UnknownMethod {
+///                 class_name: "Counter".into(), method: method.into(),
+///             }),
+///         }
+///     }
+/// }
+///
+/// let mut c = Counter { n: 0 };
+/// c.invoke("Add", &[Value::Int(4)]).unwrap();
+/// assert_eq!(c.invoke("Total", &[]).unwrap(), Value::Int(4));
+/// ```
+pub trait Component {
+    /// The class name this component publishes in its t-spec.
+    fn class_name(&self) -> &'static str;
+
+    /// Invokes a public method by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TestException`] when the method is unknown, the arguments
+    /// do not match, a contract assertion fires, or the method detects a
+    /// domain error.
+    fn invoke(&mut self, method: &str, args: &[Value]) -> InvokeResult;
+
+    /// Names of the invocable public methods, for introspection and
+    /// specification-conformance checks.
+    fn method_names(&self) -> Vec<&'static str>;
+
+    /// Returns `true` if `method` is part of the public interface.
+    fn has_method(&self, method: &str) -> bool {
+        self.method_names().iter().any(|m| *m == method)
+    }
+}
+
+/// Checked argument extraction used by [`Component::invoke`] implementations.
+///
+/// Every helper returns the uniform [`TestException`] variants so drivers can
+/// classify failures without knowing the component.
+pub mod args {
+    use super::*;
+
+    /// Requires exactly `expected` arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] when the count differs.
+    pub fn expect_arity(method: &str, args: &[Value], expected: usize) -> Result<(), TestException> {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(TestException::ArityMismatch {
+                method: method.to_owned(),
+                expected,
+                got: args.len(),
+            })
+        }
+    }
+
+    fn get<'a>(method: &str, args: &'a [Value], index: usize) -> Result<&'a Value, TestException> {
+        args.get(index).ok_or_else(|| TestException::ArityMismatch {
+            method: method.to_owned(),
+            expected: index + 1,
+            got: args.len(),
+        })
+    }
+
+    fn mismatch(method: &str, index: usize, expected: ValueKind, got: ValueKind) -> TestException {
+        TestException::TypeMismatch { method: method.to_owned(), index, expected, got }
+    }
+
+    /// Extracts argument `index` as an integer.
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing,
+    /// [`TestException::TypeMismatch`] if not an `Int`.
+    pub fn int(method: &str, args: &[Value], index: usize) -> Result<i64, TestException> {
+        let v = get(method, args, index)?;
+        v.as_int().map_err(|got| mismatch(method, index, ValueKind::Int, got))
+    }
+
+    /// Extracts argument `index` as a float (ints widen).
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing,
+    /// [`TestException::TypeMismatch`] if not numeric.
+    pub fn float(method: &str, args: &[Value], index: usize) -> Result<f64, TestException> {
+        let v = get(method, args, index)?;
+        v.as_float().map_err(|got| mismatch(method, index, ValueKind::Float, got))
+    }
+
+    /// Extracts argument `index` as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing,
+    /// [`TestException::TypeMismatch`] if not a `Str`.
+    pub fn str<'a>(method: &str, args: &'a [Value], index: usize) -> Result<&'a str, TestException> {
+        let v = get(method, args, index)?;
+        v.as_str().map_err(|got| mismatch(method, index, ValueKind::Str, got))
+    }
+
+    /// Extracts argument `index` as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing,
+    /// [`TestException::TypeMismatch`] if not a `Bool`.
+    pub fn bool(method: &str, args: &[Value], index: usize) -> Result<bool, TestException> {
+        let v = get(method, args, index)?;
+        v.as_bool().map_err(|got| mismatch(method, index, ValueKind::Bool, got))
+    }
+
+    /// Extracts argument `index` as an object reference; `Null` is allowed
+    /// and maps to `None` (the paper passes nullable `Provider*` pointers).
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing,
+    /// [`TestException::TypeMismatch`] if neither `Obj` nor `Null`.
+    pub fn obj_opt<'a>(
+        method: &str,
+        args: &'a [Value],
+        index: usize,
+    ) -> Result<Option<&'a ObjRef>, TestException> {
+        let v = get(method, args, index)?;
+        match v {
+            Value::Null => Ok(None),
+            Value::Obj(r) => Ok(Some(r)),
+            other => Err(mismatch(method, index, ValueKind::Obj, other.kind())),
+        }
+    }
+
+    /// Extracts argument `index` as any value (clone).
+    ///
+    /// # Errors
+    ///
+    /// [`TestException::ArityMismatch`] if missing.
+    pub fn any(method: &str, args: &[Value], index: usize) -> Result<Value, TestException> {
+        get(method, args, index).cloned()
+    }
+}
+
+/// Builds the canonical [`TestException::UnknownMethod`] for a dispatch miss.
+pub fn unknown_method(class_name: &str, method: &str) -> TestException {
+    TestException::UnknownMethod {
+        class_name: class_name.to_owned(),
+        method: method.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Component for Echo {
+        fn class_name(&self) -> &'static str {
+            "Echo"
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            vec!["Echo"]
+        }
+        fn invoke(&mut self, method: &str, a: &[Value]) -> InvokeResult {
+            match method {
+                "Echo" => args::any(method, a, 0),
+                _ => Err(unknown_method(self.class_name(), method)),
+            }
+        }
+    }
+
+    #[test]
+    fn has_method_uses_method_names() {
+        let e = Echo;
+        assert!(e.has_method("Echo"));
+        assert!(!e.has_method("Nope"));
+    }
+
+    #[test]
+    fn dispatch_miss_produces_unknown_method() {
+        let mut e = Echo;
+        let err = e.invoke("Nope", &[]).unwrap_err();
+        assert_eq!(err.tag(), "UNKNOWN_METHOD");
+    }
+
+    #[test]
+    fn expect_arity_checks_count() {
+        assert!(args::expect_arity("m", &[Value::Int(1)], 1).is_ok());
+        let err = args::expect_arity("m", &[], 2).unwrap_err();
+        assert_eq!(err.tag(), "ARITY");
+    }
+
+    #[test]
+    fn int_extraction_and_type_mismatch() {
+        assert_eq!(args::int("m", &[Value::Int(5)], 0).unwrap(), 5);
+        let err = args::int("m", &[Value::Str("x".into())], 0).unwrap_err();
+        assert_eq!(err.tag(), "TYPE");
+        let err = args::int("m", &[], 0).unwrap_err();
+        assert_eq!(err.tag(), "ARITY");
+    }
+
+    #[test]
+    fn float_accepts_int() {
+        assert_eq!(args::float("m", &[Value::Int(2)], 0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn str_and_bool_extraction() {
+        assert_eq!(args::str("m", &[Value::Str("a".into())], 0).unwrap(), "a");
+        assert!(args::bool("m", &[Value::Bool(true)], 0).unwrap());
+        assert_eq!(
+            args::bool("m", &[Value::Null], 0).unwrap_err().tag(),
+            "TYPE"
+        );
+    }
+
+    #[test]
+    fn obj_opt_allows_null() {
+        assert_eq!(args::obj_opt("m", &[Value::Null], 0).unwrap(), None);
+        let r = ObjRef::new("Provider", "p");
+        assert_eq!(
+            args::obj_opt("m", &[Value::Obj(r.clone())], 0).unwrap(),
+            Some(&r)
+        );
+        assert_eq!(
+            args::obj_opt("m", &[Value::Int(1)], 0).unwrap_err().tag(),
+            "TYPE"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Errors raised while driving a component under test.
+//!
+//! The paper's generated drivers call methods inside a `try` block and treat
+//! a raised exception as a test event (Figure 6). [`TestException`] is the
+//! Rust equivalent: every way a method invocation can abort a transaction.
+
+use crate::value::ValueKind;
+use std::error::Error;
+use std::fmt;
+
+/// Which kind of contract assertion was violated.
+///
+/// Matches the three assertion macros of the paper's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssertionKind {
+    /// The class invariant (`ClassInvariant` macro).
+    Invariant,
+    /// A method precondition (`PreCondition` macro).
+    Precondition,
+    /// A method postcondition (`PostCondition` macro).
+    Postcondition,
+}
+
+impl fmt::Display for AssertionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssertionKind::Invariant => "invariant",
+            AssertionKind::Precondition => "pre-condition",
+            AssertionKind::Postcondition => "post-condition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A violated contract assertion, the partial-oracle signal of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionViolation {
+    /// Which assertion kind fired.
+    pub kind: AssertionKind,
+    /// Class whose contract was violated.
+    pub class_name: String,
+    /// Method in whose context the assertion fired (empty for invariant
+    /// checks run between calls by the driver).
+    pub method: String,
+    /// The predicate or message supplied at the assertion site.
+    pub message: String,
+}
+
+impl fmt::Display for AssertionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} is violated in {}::{}: {}",
+            self.kind, self.class_name, self.method, self.message
+        )
+    }
+}
+
+impl Error for AssertionViolation {}
+
+/// Any exceptional outcome of invoking a method on a component under test.
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::{TestException, ValueKind};
+///
+/// let err = TestException::ArityMismatch {
+///     method: "UpdateQty".into(),
+///     expected: 1,
+///     got: 0,
+/// };
+/// assert!(err.to_string().contains("UpdateQty"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestException {
+    /// A contract assertion was violated (partial oracle).
+    Assertion(AssertionViolation),
+    /// The invoked method name is not part of the component's interface.
+    UnknownMethod {
+        /// Class that rejected the call.
+        class_name: String,
+        /// The unknown method name.
+        method: String,
+    },
+    /// The method exists but received the wrong number of arguments.
+    ArityMismatch {
+        /// Method being invoked.
+        method: String,
+        /// Number of parameters the method declares.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// An argument had the wrong dynamic type.
+    TypeMismatch {
+        /// Method being invoked.
+        method: String,
+        /// Zero-based index of the offending argument.
+        index: usize,
+        /// Kind the method expected.
+        expected: ValueKind,
+        /// Kind actually supplied.
+        got: ValueKind,
+    },
+    /// The method detected an application-level error state (e.g. removing
+    /// from an empty list) and refused to proceed.
+    Domain {
+        /// Method being invoked.
+        method: String,
+        /// Human-readable description of the error.
+        message: String,
+    },
+    /// The method body panicked; the driver caught the unwind. This is the
+    /// "program crashed while running the test cases" kill signal of the
+    /// paper's mutation experiments.
+    Panicked {
+        /// Method being invoked.
+        method: String,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl TestException {
+    /// Convenience constructor for [`TestException::Domain`].
+    pub fn domain(method: impl Into<String>, message: impl Into<String>) -> Self {
+        TestException::Domain { method: method.into(), message: message.into() }
+    }
+
+    /// Returns the assertion violation if this exception is one.
+    pub fn as_assertion(&self) -> Option<&AssertionViolation> {
+        match self {
+            TestException::Assertion(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when the exception originates from the BIT partial oracle.
+    pub fn is_assertion(&self) -> bool {
+        matches!(self, TestException::Assertion(_))
+    }
+
+    /// Short machine-friendly tag used in logs and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TestException::Assertion(v) => match v.kind {
+                AssertionKind::Invariant => "INVARIANT",
+                AssertionKind::Precondition => "PRECONDITION",
+                AssertionKind::Postcondition => "POSTCONDITION",
+            },
+            TestException::UnknownMethod { .. } => "UNKNOWN_METHOD",
+            TestException::ArityMismatch { .. } => "ARITY",
+            TestException::TypeMismatch { .. } => "TYPE",
+            TestException::Domain { .. } => "DOMAIN",
+            TestException::Panicked { .. } => "PANIC",
+        }
+    }
+}
+
+impl fmt::Display for TestException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestException::Assertion(v) => v.fmt(f),
+            TestException::UnknownMethod { class_name, method } => {
+                write!(f, "class {class_name} has no method named {method}")
+            }
+            TestException::ArityMismatch { method, expected, got } => {
+                write!(f, "{method} expects {expected} argument(s), got {got}")
+            }
+            TestException::TypeMismatch { method, index, expected, got } => write!(
+                f,
+                "{method}: argument {index} should be {expected}, got {got}"
+            ),
+            TestException::Domain { method, message } => {
+                write!(f, "{method}: {message}")
+            }
+            TestException::Panicked { method, message } => {
+                write!(f, "{method} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TestException {}
+
+impl From<AssertionViolation> for TestException {
+    fn from(v: AssertionViolation) -> Self {
+        TestException::Assertion(v)
+    }
+}
+
+/// Result of invoking a component method.
+pub type InvokeResult = Result<crate::value::Value, TestException>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn violation() -> AssertionViolation {
+        AssertionViolation {
+            kind: AssertionKind::Invariant,
+            class_name: "Product".into(),
+            method: "UpdateQty".into(),
+            message: "qty >= 1".into(),
+        }
+    }
+
+    #[test]
+    fn display_mentions_kind_class_and_method() {
+        let s = violation().to_string();
+        assert!(s.contains("invariant"));
+        assert!(s.contains("Product::UpdateQty"));
+        assert!(s.contains("qty >= 1"));
+    }
+
+    #[test]
+    fn assertion_round_trips_through_exception() {
+        let exc: TestException = violation().into();
+        assert!(exc.is_assertion());
+        assert_eq!(exc.as_assertion().unwrap().kind, AssertionKind::Invariant);
+        assert_eq!(exc.tag(), "INVARIANT");
+    }
+
+    #[test]
+    fn tags_are_distinct_per_variant() {
+        let exs = [
+            TestException::from(violation()),
+            TestException::UnknownMethod { class_name: "A".into(), method: "m".into() },
+            TestException::ArityMismatch { method: "m".into(), expected: 1, got: 2 },
+            TestException::TypeMismatch {
+                method: "m".into(),
+                index: 0,
+                expected: ValueKind::Int,
+                got: ValueKind::Str,
+            },
+            TestException::domain("m", "boom"),
+            TestException::Panicked { method: "m".into(), message: "overflow".into() },
+        ];
+        let tags: std::collections::HashSet<_> = exs.iter().map(|e| e.tag()).collect();
+        assert_eq!(tags.len(), exs.len());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let exs = [
+            TestException::UnknownMethod { class_name: "A".into(), method: "m".into() },
+            TestException::ArityMismatch { method: "m".into(), expected: 1, got: 2 },
+            TestException::domain("m", "boom"),
+            TestException::Panicked { method: "m".into(), message: "overflow".into() },
+        ];
+        for e in &exs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn invoke_result_type_alias_usable() {
+        let ok: InvokeResult = Ok(Value::Null);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn assertion_kind_display() {
+        assert_eq!(AssertionKind::Invariant.to_string(), "invariant");
+        assert_eq!(AssertionKind::Precondition.to_string(), "pre-condition");
+        assert_eq!(AssertionKind::Postcondition.to_string(), "post-condition");
+    }
+}

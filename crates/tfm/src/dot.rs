@@ -1,0 +1,129 @@
+//! Graphviz DOT export — regenerates Figure 2 of the paper.
+//!
+//! The paper's Figure 2 shows the TFM of the `Product` class with the path
+//! of one use-case scenario highlighted. [`to_dot`] renders any model, and
+//! [`to_dot_highlighted`] additionally bolds one transaction.
+
+use crate::graph::{NodeKind, Tfm};
+use crate::paths::Transaction;
+use std::fmt::Write as _;
+
+/// Renders the model as a Graphviz `digraph`.
+///
+/// Birth nodes are drawn as double circles, death nodes as double octagons,
+/// task nodes as boxes. Node labels show the label and the method list.
+///
+/// # Examples
+///
+/// ```
+/// use concat_tfm::{to_dot, NodeKind, Tfm};
+/// let mut t = Tfm::new("C");
+/// let a = t.add_node("a", NodeKind::Birth, ["New"]);
+/// let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+/// t.add_edge(a, d);
+/// let dot = to_dot(&t);
+/// assert!(dot.contains("digraph"));
+/// ```
+pub fn to_dot(tfm: &Tfm) -> String {
+    to_dot_inner(tfm, None)
+}
+
+/// Renders the model with one transaction's nodes and edges highlighted
+/// (bold, red), the way Figure 2 highlights the example scenario.
+pub fn to_dot_highlighted(tfm: &Tfm, highlight: &Transaction) -> String {
+    to_dot_inner(tfm, Some(highlight))
+}
+
+fn to_dot_inner(tfm: &Tfm, highlight: Option<&Transaction>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", tfm.class_name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    let on_path = |idx: usize| -> bool {
+        highlight.is_some_and(|h| h.nodes.iter().any(|n| n.index() == idx))
+    };
+    for (id, node) in tfm.nodes() {
+        let shape = match node.kind {
+            NodeKind::Birth => "doublecircle",
+            NodeKind::Task => "box",
+            NodeKind::Death => "doubleoctagon",
+        };
+        let methods = node.methods.join("\\n");
+        let extra = if on_path(id.index()) { ", color=red, penwidth=2.0" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, label=\"{}\\n{methods}\"{extra}];",
+            id,
+            node.label
+        );
+    }
+    let highlighted_edges: Vec<(usize, usize)> = highlight
+        .map(|h| {
+            h.nodes
+                .windows(2)
+                .map(|w| (w[0].index(), w[1].index()))
+                .collect()
+        })
+        .unwrap_or_default();
+    for e in tfm.edges() {
+        let extra = if highlighted_edges.contains(&(e.from.index(), e.to.index())) {
+            " [color=red, penwidth=2.0]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -> {}{extra};", e.from, e.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::paths::enumerate_transactions;
+
+    fn model() -> Tfm {
+        let mut t = Tfm::new("Product");
+        let a = t.add_node("create", NodeKind::Birth, ["Product"]);
+        let b = t.add_node("show", NodeKind::Task, ["ShowAttributes"]);
+        let d = t.add_node("destroy", NodeKind::Death, ["~Product"]);
+        t.add_edge(a, b);
+        t.add_edge(b, d);
+        t.add_edge(a, d);
+        t
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let t = model();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph \"Product\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.contains("n2 -> n3;"));
+        assert!(dot.contains("n1 -> n3;"));
+        assert!(dot.contains("ShowAttributes"));
+    }
+
+    #[test]
+    fn highlight_marks_path_edges_only() {
+        let t = model();
+        let set = enumerate_transactions(&t);
+        let long = set
+            .iter()
+            .find(|tr| tr.len() == 3)
+            .expect("three-node path exists");
+        let dot = to_dot_highlighted(&t, long);
+        assert!(dot.contains("n1 -> n2 [color=red"));
+        assert!(dot.contains("n2 -> n3 [color=red"));
+        assert!(dot.contains("n1 -> n3;")); // the short edge stays plain
+    }
+
+    #[test]
+    fn plain_render_has_no_highlight() {
+        let dot = to_dot(&model());
+        assert!(!dot.contains("color=red"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # concat-tfm
+//!
+//! Transaction Flow Model (TFM) substrate for self-testable components.
+//!
+//! Part of the `concat-rs` reproduction of *"Constructing Self-Testable
+//! Software Components"* (Martins, Toyota & Yanagawa, DSN 2001). The paper
+//! uses Beizer's transaction flow model, adapted by Siegel to the unit
+//! testing of a class: a directed graph whose nodes are public features and
+//! whose birth→death paths are the allowable method sequences (transactions)
+//! of an object (paper §3.2, Figure 2).
+//!
+//! This crate provides:
+//!
+//! * [`Tfm`] — the graph itself, with validation ([`Tfm::validate`]);
+//! * [`enumerate_transactions`] — the *transaction coverage* path
+//!   enumeration used by the driver generator (bounded cycle unrolling,
+//!   flagged truncation);
+//! * [`to_dot`] / [`to_dot_highlighted`] — Graphviz export regenerating
+//!   Figure 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use concat_tfm::{enumerate_transactions, NodeKind, Tfm};
+//!
+//! // The Figure-2 style model: create, use, destroy.
+//! let mut tfm = Tfm::new("Product");
+//! let create = tfm.add_node("create", NodeKind::Birth, ["Product()"]);
+//! let show = tfm.add_node("show", NodeKind::Task, ["ShowAttributes"]);
+//! let destroy = tfm.add_node("destroy", NodeKind::Death, ["~Product"]);
+//! tfm.add_edge(create, show);
+//! tfm.add_edge(show, destroy);
+//! tfm.add_edge(create, destroy);
+//!
+//! assert!(tfm.validate().is_empty());
+//! let transactions = enumerate_transactions(&tfm);
+//! assert_eq!(transactions.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod graph;
+mod metrics;
+mod paths;
+
+pub use dot::{to_dot, to_dot_highlighted};
+pub use graph::{Edge, Node, NodeId, NodeKind, Tfm, TfmError};
+pub use metrics::{kind_distribution, node_transaction_counts, ModelMetrics};
+pub use paths::{
+    enumerate_transactions, enumerate_transactions_with, EnumerationConfig, Transaction,
+    TransactionSet,
+};

@@ -1,0 +1,211 @@
+//! Model metrics: size and complexity measures of a TFM.
+//!
+//! Testability assessment needs numbers — the paper reports its models as
+//! "16 nodes and 43 links" and its suites by transaction counts.
+//! [`ModelMetrics`] computes those plus the standard graph-complexity
+//! measures testers use to judge a model before committing to it.
+
+use crate::graph::{NodeKind, Tfm};
+use crate::paths::{enumerate_transactions_with, EnumerationConfig};
+use std::fmt;
+
+/// Size/complexity measures of one transaction flow model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges (links).
+    pub edges: usize,
+    /// Number of birth nodes.
+    pub births: usize,
+    /// Number of death nodes.
+    pub deaths: usize,
+    /// Transactions under the default cycle bound (capped; see
+    /// `transactions_capped`).
+    pub transactions: usize,
+    /// True when the transaction count hit the metric's cap.
+    pub transactions_capped: bool,
+    /// McCabe cyclomatic complexity `E - N + 2·P` with `P = 1` (the model
+    /// is connected by validation).
+    pub cyclomatic: i64,
+    /// Maximum out-degree over all nodes (decision breadth).
+    pub max_out_degree: usize,
+    /// Total method alternatives across nodes (case-multiplication
+    /// potential of the covering expansion).
+    pub total_alternatives: usize,
+    /// Length of the longest transaction (nodes on the path).
+    pub longest_transaction: usize,
+    /// Length of the shortest transaction.
+    pub shortest_transaction: usize,
+}
+
+impl ModelMetrics {
+    /// Cap used for the transaction count (prevents metric computation
+    /// itself from exploding).
+    pub const TRANSACTION_CAP: usize = 100_000;
+
+    /// Computes all metrics for `tfm`.
+    pub fn of(tfm: &Tfm) -> ModelMetrics {
+        let set = enumerate_transactions_with(
+            tfm,
+            EnumerationConfig { cycle_bound: 1, max_transactions: Self::TRANSACTION_CAP },
+        );
+        let lengths: Vec<usize> = set.iter().map(|t| t.len()).collect();
+        let max_out = tfm
+            .nodes()
+            .map(|(id, _)| tfm.successors(id).len())
+            .max()
+            .unwrap_or(0);
+        ModelMetrics {
+            nodes: tfm.node_count(),
+            edges: tfm.edge_count(),
+            births: tfm.birth_nodes().len(),
+            deaths: tfm.death_nodes().len(),
+            transactions: set.len(),
+            transactions_capped: set.truncated,
+            cyclomatic: tfm.edge_count() as i64 - tfm.node_count() as i64 + 2,
+            max_out_degree: max_out,
+            total_alternatives: tfm.nodes().map(|(_, n)| n.methods.len()).sum(),
+            longest_transaction: lengths.iter().copied().max().unwrap_or(0),
+            shortest_transaction: lengths.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// True when the model looks like a straight line (no branching).
+    pub fn is_linear(&self) -> bool {
+        self.max_out_degree <= 1
+    }
+}
+
+impl fmt::Display for ModelMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} links, {} transaction(s){}; cyclomatic {}, \
+             max out-degree {}, path lengths {}..{}",
+            self.nodes,
+            self.edges,
+            self.transactions,
+            if self.transactions_capped { " (capped)" } else { "" },
+            self.cyclomatic,
+            self.max_out_degree,
+            self.shortest_transaction,
+            self.longest_transaction,
+        )
+    }
+}
+
+/// Per-node coverage weight: in how many transactions does each node
+/// appear? Nodes appearing in few transactions are fragile coverage
+/// (paper §3.4.1: transaction coverage is "useful to reveal faults in
+/// transactions, specially those used less frequently").
+pub fn node_transaction_counts(tfm: &Tfm) -> Vec<(String, usize)> {
+    let set = enumerate_transactions_with(
+        tfm,
+        EnumerationConfig {
+            cycle_bound: 1,
+            max_transactions: ModelMetrics::TRANSACTION_CAP,
+        },
+    );
+    tfm.nodes()
+        .map(|(id, node)| {
+            let count = set.iter().filter(|t| t.nodes.contains(&id)).count();
+            (node.label.clone(), count)
+        })
+        .collect()
+}
+
+/// The kind distribution `(births, tasks, deaths)` of a model.
+pub fn kind_distribution(tfm: &Tfm) -> (usize, usize, usize) {
+    let mut dist = (0, 0, 0);
+    for (_, node) in tfm.nodes() {
+        match node.kind {
+            NodeKind::Birth => dist.0 += 1,
+            NodeKind::Task => dist.1 += 1,
+            NodeKind::Death => dist.2 += 1,
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn diamond() -> Tfm {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New", "New2"]);
+        let b = t.add_node("b", NodeKind::Task, ["Left"]);
+        let c = t.add_node("c", NodeKind::Task, ["Right"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, b);
+        t.add_edge(a, c);
+        t.add_edge(b, d);
+        t.add_edge(c, d);
+        t
+    }
+
+    #[test]
+    fn metrics_of_diamond() {
+        let m = ModelMetrics::of(&diamond());
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.edges, 4);
+        assert_eq!(m.births, 1);
+        assert_eq!(m.deaths, 1);
+        assert_eq!(m.transactions, 2);
+        assert!(!m.transactions_capped);
+        assert_eq!(m.cyclomatic, 2);
+        assert_eq!(m.max_out_degree, 2);
+        assert_eq!(m.total_alternatives, 5);
+        assert_eq!(m.longest_transaction, 3);
+        assert_eq!(m.shortest_transaction, 3);
+        assert!(!m.is_linear());
+    }
+
+    #[test]
+    fn linear_chain_metrics() {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New"]);
+        let b = t.add_node("b", NodeKind::Task, ["W"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, b);
+        t.add_edge(b, d);
+        let m = ModelMetrics::of(&t);
+        assert!(m.is_linear());
+        assert_eq!(m.cyclomatic, 1);
+        assert_eq!(m.transactions, 1);
+    }
+
+    #[test]
+    fn node_counts_identify_rare_nodes() {
+        let counts = node_transaction_counts(&diamond());
+        let get = |label: &str| counts.iter().find(|(l, _)| l == label).unwrap().1;
+        assert_eq!(get("a"), 2);
+        assert_eq!(get("b"), 1);
+        assert_eq!(get("c"), 1);
+        assert_eq!(get("d"), 2);
+    }
+
+    #[test]
+    fn kind_distribution_counts() {
+        assert_eq!(kind_distribution(&diamond()), (1, 2, 1));
+    }
+
+    #[test]
+    fn empty_model_metrics_are_sane() {
+        let t = Tfm::new("Empty");
+        let m = ModelMetrics::of(&t);
+        assert_eq!(m.transactions, 0);
+        assert_eq!(m.longest_transaction, 0);
+        assert_eq!(m.max_out_degree, 0);
+    }
+
+    #[test]
+    fn display_mentions_the_paper_style_counts() {
+        let s = ModelMetrics::of(&diamond()).to_string();
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("4 links"));
+        assert!(s.contains("2 transaction(s)"));
+    }
+}

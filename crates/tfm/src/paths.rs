@@ -1,0 +1,315 @@
+//! Transaction enumeration: the *transaction coverage* criterion.
+//!
+//! The paper's Driver Generator "creates test cases according to the
+//! transaction coverage criterion that requires exercising each individual
+//! transaction at least once" (§3.4.1). A transaction is a path through the
+//! TFM from a birth node to a death node. For models with cycles the set of
+//! paths is infinite, so enumeration is bounded: each *edge* may be traversed
+//! at most `cycle_bound` times within one transaction (bound 1 yields the
+//! classic "loop-free plus each loop once" path set when combined with
+//! distinct edges around the cycle).
+
+use crate::graph::{NodeId, Tfm};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One transaction: a birth→death path through the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Node sequence from birth to death, inclusive.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Transaction {
+    /// Number of nodes on the path.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the path is empty (never produced by enumeration).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Renders the path as `n1 -> n4 -> n9` using node labels.
+    pub fn describe(&self, tfm: &Tfm) -> String {
+        self.nodes
+            .iter()
+            .map(|id| tfm.node(*id).label.clone())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Expands the path into every concrete method sequence, choosing one
+    /// alternative method per node (cartesian product over node method
+    /// lists). This is what the driver generator turns into test cases.
+    pub fn method_sequences(&self, tfm: &Tfm) -> Vec<Vec<String>> {
+        let mut seqs: Vec<Vec<String>> = vec![Vec::new()];
+        for id in &self.nodes {
+            let methods = &tfm.node(*id).methods;
+            let mut next = Vec::with_capacity(seqs.len() * methods.len());
+            for seq in &seqs {
+                for m in methods {
+                    let mut s = seq.clone();
+                    s.push(m.clone());
+                    next.push(s);
+                }
+            }
+            seqs = next;
+        }
+        seqs
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<String> = self.nodes.iter().map(|n| n.to_string()).collect();
+        f.write_str(&labels.join(" -> "))
+    }
+}
+
+/// Configuration of the transaction enumerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationConfig {
+    /// Maximum traversals of a single edge within one transaction.
+    pub cycle_bound: usize,
+    /// Hard cap on the number of transactions produced. When hit, the
+    /// result is flagged as truncated — never silently.
+    pub max_transactions: usize,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> Self {
+        EnumerationConfig { cycle_bound: 1, max_transactions: 100_000 }
+    }
+}
+
+/// The outcome of transaction enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionSet {
+    /// The transactions, in deterministic DFS order.
+    pub transactions: Vec<Transaction>,
+    /// True when `max_transactions` stopped the enumeration early.
+    pub truncated: bool,
+}
+
+impl TransactionSet {
+    /// Number of enumerated transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when no transaction exists (invalid or empty model).
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Iterates over the transactions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.transactions.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionSet {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.transactions.iter()
+    }
+}
+
+/// Enumerates every transaction of `tfm` under the default configuration.
+///
+/// # Examples
+///
+/// ```
+/// use concat_tfm::{enumerate_transactions, NodeKind, Tfm};
+///
+/// let mut t = Tfm::new("C");
+/// let a = t.add_node("a", NodeKind::Birth, ["New"]);
+/// let b = t.add_node("b", NodeKind::Task, ["Work"]);
+/// let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+/// t.add_edge(a, b);
+/// t.add_edge(b, d);
+/// t.add_edge(a, d);
+/// let set = enumerate_transactions(&t);
+/// assert_eq!(set.len(), 2); // a->b->d and a->d
+/// ```
+pub fn enumerate_transactions(tfm: &Tfm) -> TransactionSet {
+    enumerate_transactions_with(tfm, EnumerationConfig::default())
+}
+
+/// Enumerates transactions with an explicit [`EnumerationConfig`].
+pub fn enumerate_transactions_with(tfm: &Tfm, config: EnumerationConfig) -> TransactionSet {
+    let mut out = Vec::new();
+    let mut truncated = false;
+    let deaths = tfm.death_nodes();
+    for birth in tfm.birth_nodes() {
+        let mut path = vec![birth];
+        let mut edge_counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        dfs(tfm, &deaths, &config, &mut path, &mut edge_counts, &mut out, &mut truncated);
+    }
+    TransactionSet { transactions: out, truncated }
+}
+
+fn dfs(
+    tfm: &Tfm,
+    deaths: &[NodeId],
+    config: &EnumerationConfig,
+    path: &mut Vec<NodeId>,
+    edge_counts: &mut HashMap<(NodeId, NodeId), usize>,
+    out: &mut Vec<Transaction>,
+    truncated: &mut bool,
+) {
+    if *truncated {
+        return;
+    }
+    let current = *path.last().expect("path never empty");
+    if deaths.contains(&current) {
+        if out.len() >= config.max_transactions {
+            *truncated = true;
+            return;
+        }
+        out.push(Transaction { nodes: path.clone() });
+        return;
+    }
+    for succ in tfm.successors(current) {
+        let key = (current, succ);
+        let count = edge_counts.get(&key).copied().unwrap_or(0);
+        if count >= config.cycle_bound {
+            continue;
+        }
+        edge_counts.insert(key, count + 1);
+        path.push(succ);
+        dfs(tfm, deaths, config, path, edge_counts, out, truncated);
+        path.pop();
+        edge_counts.insert(key, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn diamond() -> Tfm {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New"]);
+        let b = t.add_node("b", NodeKind::Task, ["Left"]);
+        let c = t.add_node("c", NodeKind::Task, ["Right"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, b);
+        t.add_edge(a, c);
+        t.add_edge(b, d);
+        t.add_edge(c, d);
+        t
+    }
+
+    #[test]
+    fn diamond_has_two_transactions() {
+        let set = enumerate_transactions(&diamond());
+        assert_eq!(set.len(), 2);
+        assert!(!set.truncated);
+        let t = &diamond();
+        let descriptions: Vec<String> =
+            set.iter().map(|tr| tr.describe(t)).collect();
+        assert!(descriptions.contains(&"a -> b -> d".to_owned()));
+        assert!(descriptions.contains(&"a -> c -> d".to_owned()));
+    }
+
+    #[test]
+    fn cycle_is_unrolled_once_by_default() {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New"]);
+        let b = t.add_node("b", NodeKind::Task, ["Work"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, b);
+        t.add_edge(b, b); // self loop
+        t.add_edge(b, d);
+        let set = enumerate_transactions(&t);
+        // a->b->d and a->b->b->d
+        assert_eq!(set.len(), 2);
+        let lens: Vec<usize> = set.iter().map(Transaction::len).collect();
+        assert!(lens.contains(&3));
+        assert!(lens.contains(&4));
+    }
+
+    #[test]
+    fn cycle_bound_two_unrolls_twice() {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New"]);
+        let b = t.add_node("b", NodeKind::Task, ["Work"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, b);
+        t.add_edge(b, b);
+        t.add_edge(b, d);
+        let set = enumerate_transactions_with(
+            &t,
+            EnumerationConfig { cycle_bound: 2, max_transactions: 100 },
+        );
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn truncation_is_flagged_not_silent() {
+        let set = enumerate_transactions_with(
+            &diamond(),
+            EnumerationConfig { cycle_bound: 1, max_transactions: 1 },
+        );
+        assert_eq!(set.len(), 1);
+        assert!(set.truncated);
+    }
+
+    #[test]
+    fn no_birth_yields_empty_set() {
+        let mut t = Tfm::new("C");
+        t.add_node("only", NodeKind::Death, ["Drop"]);
+        let set = enumerate_transactions(&t);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn every_transaction_starts_birth_ends_death() {
+        let t = diamond();
+        let set = enumerate_transactions(&t);
+        for tr in &set {
+            assert_eq!(t.node(tr.nodes[0]).kind, NodeKind::Birth);
+            assert_eq!(t.node(*tr.nodes.last().unwrap()).kind, NodeKind::Death);
+            // consecutive nodes are connected
+            for w in tr.nodes.windows(2) {
+                assert!(t.successors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn method_sequences_expand_alternatives() {
+        let mut t = Tfm::new("C");
+        let a = t.add_node("a", NodeKind::Birth, ["New1", "New2"]);
+        let d = t.add_node("d", NodeKind::Death, ["Drop"]);
+        t.add_edge(a, d);
+        let set = enumerate_transactions(&t);
+        assert_eq!(set.len(), 1);
+        let seqs = set.transactions[0].method_sequences(&t);
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.contains(&vec!["New1".to_owned(), "Drop".to_owned()]));
+        assert!(seqs.contains(&vec!["New2".to_owned(), "Drop".to_owned()]));
+    }
+
+    #[test]
+    fn display_uses_node_ids() {
+        let t = diamond();
+        let set = enumerate_transactions(&t);
+        let s = set.transactions[0].to_string();
+        assert!(s.starts_with("n1 -> "));
+    }
+
+    #[test]
+    fn birth_equals_death_is_rejected_by_structure() {
+        // a single node cannot be both birth and death in this model; a
+        // model with only a birth node yields no transaction.
+        let mut t = Tfm::new("C");
+        t.add_node("a", NodeKind::Birth, ["New"]);
+        assert!(enumerate_transactions(&t).is_empty());
+    }
+}

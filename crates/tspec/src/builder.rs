@@ -1,0 +1,339 @@
+//! Fluent construction of [`ClassSpec`]s.
+//!
+//! Component producers build t-specs programmatically (task 1 and 2 of the
+//! producer methodology, paper §3.1); the builder keeps that terse while the
+//! parsed text format (Figure 3) remains the interchange representation.
+
+use crate::domain::Domain;
+use crate::spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec, SpecError};
+use concat_tfm::{NodeId, NodeKind, Tfm};
+
+/// Builder for [`ClassSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use concat_tspec::{ClassSpecBuilder, Domain, MethodCategory};
+///
+/// let spec = ClassSpecBuilder::new("Counter")
+///     .constructor("m1", "Counter")
+///     .method("m2", "Add", MethodCategory::Update)
+///     .param("q", Domain::int_range(0, 100))
+///     .destructor("m3", "~Counter")
+///     .birth_node("create", ["m1"])
+///     .task_node("work", ["m2"])
+///     .death_node("destroy", ["m3"])
+///     .edge("create", "work")
+///     .edge("work", "destroy")
+///     .edge("create", "destroy")
+///     .build()
+///     .expect("valid spec");
+/// assert_eq!(spec.class_name, "Counter");
+/// ```
+#[derive(Debug)]
+pub struct ClassSpecBuilder {
+    class_name: String,
+    is_abstract: bool,
+    superclass: Option<String>,
+    source_files: Vec<String>,
+    attributes: Vec<AttributeSpec>,
+    methods: Vec<MethodSpec>,
+    nodes: Vec<(String, NodeKind, Vec<String>)>,
+    edges: Vec<(String, String)>,
+}
+
+impl ClassSpecBuilder {
+    /// Starts a builder for the named class.
+    pub fn new(class_name: impl Into<String>) -> Self {
+        ClassSpecBuilder {
+            class_name: class_name.into(),
+            is_abstract: false,
+            superclass: None,
+            source_files: Vec::new(),
+            attributes: Vec::new(),
+            methods: Vec::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Marks the class abstract.
+    pub fn abstract_class(mut self) -> Self {
+        self.is_abstract = true;
+        self
+    }
+
+    /// Records the superclass name.
+    pub fn superclass(mut self, name: impl Into<String>) -> Self {
+        self.superclass = Some(name.into());
+        self
+    }
+
+    /// Adds a source file to the compilation list (format fidelity only).
+    pub fn source_file(mut self, file: impl Into<String>) -> Self {
+        self.source_files.push(file.into());
+        self
+    }
+
+    /// Documents an attribute and its domain.
+    pub fn attribute(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.attributes.push(AttributeSpec::new(name, domain));
+        self
+    }
+
+    /// Declares a method. Subsequent [`ClassSpecBuilder::param`] calls
+    /// attach parameters to it.
+    pub fn method(
+        mut self,
+        id: impl Into<String>,
+        name: impl Into<String>,
+        category: MethodCategory,
+    ) -> Self {
+        self.methods.push(MethodSpec::new(id, name, category));
+        self
+    }
+
+    /// Shorthand for a constructor method.
+    pub fn constructor(self, id: impl Into<String>, name: impl Into<String>) -> Self {
+        self.method(id, name, MethodCategory::Constructor)
+    }
+
+    /// Shorthand for a destructor method.
+    pub fn destructor(self, id: impl Into<String>, name: impl Into<String>) -> Self {
+        self.method(id, name, MethodCategory::Destructor)
+    }
+
+    /// Sets the return type of the most recently declared method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no method has been declared yet.
+    pub fn returns(mut self, type_name: impl Into<String>) -> Self {
+        self.methods
+            .last_mut()
+            .expect("returns() must follow a method()")
+            .return_type = Some(type_name.into());
+        self
+    }
+
+    /// Adds a parameter to the most recently declared method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no method has been declared yet.
+    pub fn param(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.methods
+            .last_mut()
+            .expect("param() must follow a method()")
+            .params
+            .push(ParamSpec::new(name, domain));
+        self
+    }
+
+    /// Adds a TFM node; `methods` lists method ids realized by the node.
+    pub fn node<I, S>(mut self, label: impl Into<String>, kind: NodeKind, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.nodes
+            .push((label.into(), kind, methods.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Shorthand for a birth node.
+    pub fn birth_node<I, S>(self, label: impl Into<String>, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.node(label, NodeKind::Birth, methods)
+    }
+
+    /// Shorthand for a task node.
+    pub fn task_node<I, S>(self, label: impl Into<String>, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.node(label, NodeKind::Task, methods)
+    }
+
+    /// Shorthand for a death node.
+    pub fn death_node<I, S>(self, label: impl Into<String>, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.node(label, NodeKind::Death, methods)
+    }
+
+    /// Adds a TFM edge between two node labels.
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Builds and validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns every [`SpecError`] found, including edges that reference
+    /// undeclared node labels (reported as model errors).
+    pub fn build(self) -> Result<ClassSpec, Vec<SpecError>> {
+        let mut tfm = Tfm::new(self.class_name.clone());
+        let mut ids: Vec<(String, NodeId)> = Vec::new();
+        for (label, kind, methods) in &self.nodes {
+            let id = tfm.add_node(label.clone(), *kind, methods.clone());
+            ids.push((label.clone(), id));
+        }
+        let mut errors = Vec::new();
+        for (from, to) in &self.edges {
+            let f = ids.iter().find(|(l, _)| l == from).map(|(_, id)| *id);
+            let t = ids.iter().find(|(l, _)| l == to).map(|(_, id)| *id);
+            match (f, t) {
+                (Some(f), Some(t)) => tfm.add_edge(f, t),
+                _ => errors.push(SpecError::UnknownMethodInModel {
+                    method: format!("edge {from} -> {to}"),
+                    node: "<edges>".into(),
+                }),
+            }
+        }
+        let spec = ClassSpec {
+            class_name: self.class_name,
+            is_abstract: self.is_abstract,
+            superclass: self.superclass,
+            source_files: self.source_files,
+            attributes: self.attributes,
+            methods: self.methods,
+            tfm,
+        };
+        errors.extend(spec.validate());
+        if errors.is_empty() {
+            Ok(spec)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Builds without validating — for tests that need a broken spec.
+    pub fn build_unchecked(self) -> ClassSpec {
+        let mut tfm = Tfm::new(self.class_name.clone());
+        let mut ids: Vec<(String, NodeId)> = Vec::new();
+        for (label, kind, methods) in &self.nodes {
+            let id = tfm.add_node(label.clone(), *kind, methods.clone());
+            ids.push((label.clone(), id));
+        }
+        for (from, to) in &self.edges {
+            let f = ids.iter().find(|(l, _)| l == from).map(|(_, id)| *id);
+            let t = ids.iter().find(|(l, _)| l == to).map(|(_, id)| *id);
+            if let (Some(f), Some(t)) = (f, t) {
+                tfm.add_edge(f, t);
+            }
+        }
+        ClassSpec {
+            class_name: self.class_name,
+            is_abstract: self.is_abstract,
+            superclass: self.superclass,
+            source_files: self.source_files,
+            attributes: self.attributes,
+            methods: self.methods,
+            tfm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ClassSpecBuilder {
+        ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .destructor("m2", "~C")
+            .birth_node("b", ["m1"])
+            .death_node("d", ["m2"])
+            .edge("b", "d")
+    }
+
+    #[test]
+    fn builds_valid_minimal_spec() {
+        let spec = minimal().build().unwrap();
+        assert_eq!(spec.tfm.node_count(), 2);
+        assert_eq!(spec.tfm.edge_count(), 1);
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn abstract_and_superclass_recorded() {
+        let spec = minimal().abstract_class().superclass("Base").build().unwrap();
+        assert!(spec.is_abstract);
+        assert_eq!(spec.superclass.as_deref(), Some("Base"));
+    }
+
+    #[test]
+    fn params_attach_to_latest_method() {
+        let spec = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .method("m2", "Set", MethodCategory::Update)
+            .param("a", Domain::int_range(0, 1))
+            .param("b", Domain::string(4))
+            .returns("int")
+            .destructor("m3", "~C")
+            .birth_node("b", ["m1"])
+            .task_node("t", ["m2"])
+            .death_node("d", ["m3"])
+            .edge("b", "t")
+            .edge("t", "d")
+            .build()
+            .unwrap();
+        let m2 = spec.method("m2").unwrap();
+        assert_eq!(m2.arity(), 2);
+        assert_eq!(m2.return_type.as_deref(), Some("int"));
+    }
+
+    #[test]
+    #[should_panic(expected = "param() must follow a method()")]
+    fn param_without_method_panics() {
+        let _ = ClassSpecBuilder::new("C").param("x", Domain::int_range(0, 1));
+    }
+
+    #[test]
+    fn bad_edge_label_is_an_error() {
+        let err = minimal().edge("b", "nowhere").build().unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn invalid_spec_reports_errors() {
+        // model references undeclared method id
+        let err = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .birth_node("b", ["m1"])
+            .death_node("d", ["mX"])
+            .edge("b", "d")
+            .build()
+            .unwrap_err();
+        assert!(err
+            .iter()
+            .any(|e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "mX")));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let spec = ClassSpecBuilder::new("C").build_unchecked();
+        assert!(!spec.validate().is_empty());
+        assert_eq!(spec.class_name, "C");
+    }
+
+    #[test]
+    fn attributes_and_source_files_kept() {
+        let spec = minimal()
+            .attribute("qty", Domain::int_range(1, 9))
+            .source_file("product.cpp")
+            .build()
+            .unwrap();
+        assert_eq!(spec.attributes.len(), 1);
+        assert_eq!(spec.source_files, vec!["product.cpp".to_owned()]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Value domains for attributes and method parameters.
+//!
+//! The paper's t-spec (Figure 3) annotates every attribute and parameter
+//! with a *domain*: `range` (numeric bounds), `set` (explicit values),
+//! `string`, `object` or `pointer`. The driver generator draws random test
+//! inputs from these domains (§3.4.1); structured kinds (`object`,
+//! `pointer`) must be completed by the tester unless an object provider is
+//! registered.
+
+use concat_runtime::{Value, ValueKind};
+use std::fmt;
+
+/// The domain of an attribute or parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Integers in `[lo, hi]` (inclusive), the paper's `range` with integer
+    /// bounds.
+    IntRange {
+        /// Lower bound, inclusive.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+    },
+    /// Floats in `[lo, hi]` (inclusive), the paper's `range` with real
+    /// bounds.
+    FloatRange {
+        /// Lower bound, inclusive.
+        lo: f64,
+        /// Upper bound, inclusive.
+        hi: f64,
+    },
+    /// An explicit finite set of allowed values.
+    Set(Vec<Value>),
+    /// Strings up to `max_len` characters drawn from a letter alphabet.
+    String {
+        /// Maximum generated length (≥ 1).
+        max_len: usize,
+    },
+    /// A by-value object of the named class; requires a registered provider
+    /// or manual completion.
+    Object {
+        /// Class of the required object.
+        class_name: String,
+    },
+    /// A nullable reference (`Class*` in the paper); requires a provider or
+    /// manual completion, and may be `Null`.
+    Pointer {
+        /// Class of the referenced object.
+        class_name: String,
+    },
+}
+
+impl Domain {
+    /// Shorthand for an integer range domain.
+    pub fn int_range(lo: i64, hi: i64) -> Self {
+        Domain::IntRange { lo, hi }
+    }
+
+    /// Shorthand for a float range domain.
+    pub fn float_range(lo: f64, hi: f64) -> Self {
+        Domain::FloatRange { lo, hi }
+    }
+
+    /// Shorthand for a string domain.
+    pub fn string(max_len: usize) -> Self {
+        Domain::String { max_len }
+    }
+
+    /// The t-spec keyword of this domain kind (Figure 3's "allowable
+    /// types").
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Domain::IntRange { .. } | Domain::FloatRange { .. } => "range",
+            Domain::Set(_) => "set",
+            Domain::String { .. } => "string",
+            Domain::Object { .. } => "object",
+            Domain::Pointer { .. } => "pointer",
+        }
+    }
+
+    /// Whether the driver generator can fill this domain automatically.
+    ///
+    /// Mirrors the paper: "Currently, this is implemented only for numeric
+    /// types and strings … Structured type parameters (including objects,
+    /// arrays, and pointers) must be completed manually by the tester."
+    pub fn is_auto_generatable(&self) -> bool {
+        !matches!(self, Domain::Object { .. } | Domain::Pointer { .. })
+    }
+
+    /// Checks whether `value` belongs to this domain.
+    ///
+    /// Used by the input generator's self-check and by property tests.
+    pub fn contains(&self, value: &Value) -> bool {
+        match self {
+            Domain::IntRange { lo, hi } => {
+                matches!(value, Value::Int(i) if lo <= i && i <= hi)
+            }
+            Domain::FloatRange { lo, hi } => match value {
+                Value::Float(x) => *lo <= *x && *x <= *hi,
+                Value::Int(i) => *lo <= *i as f64 && (*i as f64) <= *hi,
+                _ => false,
+            },
+            Domain::Set(values) => values.contains(value),
+            Domain::String { max_len } => {
+                matches!(value, Value::Str(s) if s.chars().count() <= *max_len)
+            }
+            Domain::Object { class_name } => {
+                matches!(value, Value::Obj(r) if r.class_name == *class_name)
+            }
+            Domain::Pointer { class_name } => match value {
+                Value::Null => true,
+                Value::Obj(r) => r.class_name == *class_name,
+                _ => false,
+            },
+        }
+    }
+
+    /// Whether the domain is degenerate (can produce no value).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Domain::IntRange { lo, hi } => lo > hi,
+            Domain::FloatRange { lo, hi } => lo > hi,
+            Domain::Set(values) => values.is_empty(),
+            Domain::String { .. } | Domain::Object { .. } | Domain::Pointer { .. } => false,
+        }
+    }
+
+    /// The [`ValueKind`] values of this domain carry (pointers report
+    /// `Obj`; `Null` is additionally allowed for pointers).
+    pub fn value_kind(&self) -> Option<ValueKind> {
+        match self {
+            Domain::IntRange { .. } => Some(ValueKind::Int),
+            Domain::FloatRange { .. } => Some(ValueKind::Float),
+            Domain::Set(values) => values.first().map(Value::kind),
+            Domain::String { .. } => Some(ValueKind::Str),
+            Domain::Object { .. } | Domain::Pointer { .. } => Some(ValueKind::Obj),
+        }
+    }
+
+    /// Representative boundary values of the domain, used by the input
+    /// generator's boundary mode and by equivalence probing.
+    pub fn boundary_values(&self) -> Vec<Value> {
+        match self {
+            Domain::IntRange { lo, hi } => {
+                let mut v = vec![Value::Int(*lo), Value::Int(*hi)];
+                if *lo < 0 && *hi > 0 {
+                    v.push(Value::Int(0));
+                }
+                v.dedup();
+                v
+            }
+            Domain::FloatRange { lo, hi } => {
+                let mut v = vec![Value::Float(*lo), Value::Float(*hi)];
+                v.dedup();
+                v
+            }
+            Domain::Set(values) => {
+                let mut v = Vec::new();
+                if let Some(first) = values.first() {
+                    v.push(first.clone());
+                }
+                if values.len() > 1 {
+                    v.push(values[values.len() - 1].clone());
+                }
+                v
+            }
+            Domain::String { max_len } => {
+                let mut v = vec![Value::Str(String::new())];
+                v.push(Value::Str("a".repeat(*max_len)));
+                v
+            }
+            Domain::Object { .. } => Vec::new(),
+            Domain::Pointer { .. } => vec![Value::Null],
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::IntRange { lo, hi } => write!(f, "range[{lo}, {hi}]"),
+            Domain::FloatRange { lo, hi } => write!(f, "range[{lo}, {hi}]"),
+            Domain::Set(values) => {
+                let items: Vec<String> = values.iter().map(Value::to_literal).collect();
+                write!(f, "set{{{}}}", items.join(", "))
+            }
+            Domain::String { max_len } => write!(f, "string(max {max_len})"),
+            Domain::Object { class_name } => write!(f, "object({class_name})"),
+            Domain::Pointer { class_name } => write!(f, "pointer({class_name})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_runtime::ObjRef;
+
+    #[test]
+    fn keywords_match_figure3() {
+        assert_eq!(Domain::int_range(1, 9).keyword(), "range");
+        assert_eq!(Domain::float_range(0.0, 1.0).keyword(), "range");
+        assert_eq!(Domain::Set(vec![Value::Int(1)]).keyword(), "set");
+        assert_eq!(Domain::string(8).keyword(), "string");
+        assert_eq!(Domain::Object { class_name: "P".into() }.keyword(), "object");
+        assert_eq!(Domain::Pointer { class_name: "P".into() }.keyword(), "pointer");
+    }
+
+    #[test]
+    fn auto_generatable_mirrors_paper() {
+        assert!(Domain::int_range(0, 1).is_auto_generatable());
+        assert!(Domain::string(3).is_auto_generatable());
+        assert!(Domain::Set(vec![Value::Int(1)]).is_auto_generatable());
+        assert!(!Domain::Object { class_name: "P".into() }.is_auto_generatable());
+        assert!(!Domain::Pointer { class_name: "P".into() }.is_auto_generatable());
+    }
+
+    #[test]
+    fn int_range_membership() {
+        let d = Domain::int_range(1, 99_999);
+        assert!(d.contains(&Value::Int(1)));
+        assert!(d.contains(&Value::Int(99_999)));
+        assert!(!d.contains(&Value::Int(0)));
+        assert!(!d.contains(&Value::Str("1".into())));
+    }
+
+    #[test]
+    fn float_range_accepts_ints() {
+        let d = Domain::float_range(0.0, 10.0);
+        assert!(d.contains(&Value::Float(9.5)));
+        assert!(d.contains(&Value::Int(10)));
+        assert!(!d.contains(&Value::Float(-0.1)));
+    }
+
+    #[test]
+    fn set_membership_is_exact() {
+        let d = Domain::Set(vec![Value::Int(1), Value::Str("a".into())]);
+        assert!(d.contains(&Value::Int(1)));
+        assert!(d.contains(&Value::Str("a".into())));
+        assert!(!d.contains(&Value::Int(2)));
+    }
+
+    #[test]
+    fn string_membership_counts_chars() {
+        let d = Domain::string(3);
+        assert!(d.contains(&Value::Str("abc".into())));
+        assert!(d.contains(&Value::Str(String::new())));
+        assert!(!d.contains(&Value::Str("abcd".into())));
+    }
+
+    #[test]
+    fn pointer_allows_null_object_does_not() {
+        let p = Domain::Pointer { class_name: "Provider".into() };
+        let o = Domain::Object { class_name: "Provider".into() };
+        assert!(p.contains(&Value::Null));
+        assert!(!o.contains(&Value::Null));
+        let r = Value::Obj(ObjRef::new("Provider", "p1"));
+        assert!(p.contains(&r));
+        assert!(o.contains(&r));
+        let wrong = Value::Obj(ObjRef::new("Other", "x"));
+        assert!(!p.contains(&wrong));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Domain::int_range(5, 4).is_empty());
+        assert!(Domain::Set(vec![]).is_empty());
+        assert!(!Domain::string(0).is_empty());
+    }
+
+    #[test]
+    fn boundary_values_lie_in_domain() {
+        let domains = [
+            Domain::int_range(-5, 5),
+            Domain::float_range(0.5, 2.5),
+            Domain::Set(vec![Value::Int(3), Value::Int(9)]),
+            Domain::string(4),
+            Domain::Pointer { class_name: "P".into() },
+        ];
+        for d in &domains {
+            for v in d.boundary_values() {
+                assert!(d.contains(&v), "{v:?} not in {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_boundaries_include_zero_when_spanning() {
+        let b = Domain::int_range(-5, 5).boundary_values();
+        assert!(b.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Domain::int_range(1, 9).to_string(), "range[1, 9]");
+        assert_eq!(Domain::string(8).to_string(), "string(max 8)");
+        assert!(Domain::Set(vec![Value::Int(1)]).to_string().contains("set{1}"));
+    }
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(Domain::int_range(0, 1).value_kind(), Some(ValueKind::Int));
+        assert_eq!(Domain::Set(vec![]).value_kind(), None);
+        assert_eq!(
+            Domain::Pointer { class_name: "P".into() }.value_kind(),
+            Some(ValueKind::Obj)
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Tokenizer for the t-spec text format (Figure 3 of the paper).
+//!
+//! The format is record-oriented: `Record(arg, arg, ...)` with `'quoted'`
+//! strings, bare identifiers, numbers, bracketed lists and the `<empty>`
+//! placeholder. `//` starts a comment running to end of line. Records may
+//! span lines.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// The kinds of token the t-spec grammar uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier: record names, keywords, method/node ids.
+    Ident(String),
+    /// `'single quoted'` string (supports `\'` and `\\` escapes).
+    Quoted(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.` or exponent).
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// The `<empty>` placeholder.
+    Empty,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Quoted(s) => write!(f, "string '{s}'"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Empty => f.write_str("`<empty>`"),
+        }
+    }
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a complete t-spec source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError { line, message: "stray `/` (expected `//`)".into() });
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                chars.next();
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                chars.next();
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+                chars.next();
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+                chars.next();
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                chars.next();
+            }
+            '<' => {
+                chars.next();
+                let word: String = std::iter::from_fn(|| {
+                    chars.next_if(|c| c.is_ascii_alphanumeric() || *c == '_')
+                })
+                .collect();
+                if word == "empty" && chars.next_if_eq(&'>').is_some() {
+                    tokens.push(Token { kind: TokenKind::Empty, line });
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: format!("expected `<empty>`, found `<{word}`"),
+                    });
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('\'') => s.push('\''),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("bad escape `\\{}`", other.unwrap_or(' ')),
+                                })
+                            }
+                        },
+                        '\'' => {
+                            closed = true;
+                            break;
+                        }
+                        '\n' => {
+                            return Err(LexError {
+                                line,
+                                message: "newline inside string".into(),
+                            })
+                        }
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(LexError { line, message: "unterminated string".into() });
+                }
+                tokens.push(Token { kind: TokenKind::Quoted(s), line });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '.' || c == 'e' || c == 'E' {
+                        is_float = true;
+                        s.push(c);
+                        chars.next();
+                        if (c == 'e' || c == 'E')
+                            && matches!(chars.peek(), Some('+') | Some('-'))
+                        {
+                            s.push(chars.next().expect("peeked"));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(s.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("malformed float `{s}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(s.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("malformed integer `{s}`"),
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '~' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '~' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), line });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_class_record() {
+        let ks = kinds("Class('Product', No, <empty>, <empty>)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Class".into()),
+                TokenKind::LParen,
+                TokenKind::Quoted("Product".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("No".into()),
+                TokenKind::Comma,
+                TokenKind::Empty,
+                TokenKind::Comma,
+                TokenKind::Empty,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("1 -2 3.5 -0.25 1e3"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(-2),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Float(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = tokenize("// header\nNode(n1, // trailing\n  birth)").unwrap();
+        assert_eq!(toks[0].line, 2);
+        let last = toks.last().unwrap();
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r"'it\'s' '\\'"),
+            vec![TokenKind::Quoted("it's".into()), TokenKind::Quoted("\\".into())]
+        );
+    }
+
+    #[test]
+    fn tilde_identifiers_for_destructors() {
+        assert_eq!(kinds("~Product"), vec![TokenKind::Ident("~Product".into())]);
+    }
+
+    #[test]
+    fn brackets_and_commas() {
+        assert_eq!(
+            kinds("[m1, m2]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("m1".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("m2".into()),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("'abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn newline_in_string_is_an_error() {
+        assert!(tokenize("'a\nb'").is_err());
+    }
+
+    #[test]
+    fn bad_empty_placeholder() {
+        let err = tokenize("<full>").unwrap_err();
+        assert!(err.message.contains("expected `<empty>`"));
+    }
+
+    #[test]
+    fn stray_character_reports_line() {
+        let err = tokenize("\n\n@").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn stray_slash_is_an_error() {
+        assert!(tokenize("/x").is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The t-spec interchange text format (paper Figure 3).
+//!
+//! * [`parse_tspec`] — text → [`crate::ClassSpec`];
+//! * [`print_tspec`] — [`crate::ClassSpec`] → text (reparseable);
+//! * [`lexer`] internals are exposed for diagnostics tooling.
+
+pub mod lexer;
+mod parser;
+mod printer;
+
+pub use parser::{parse_tspec, ParseError};
+pub use printer::print_tspec;

@@ -1,0 +1,640 @@
+//! Parser for the t-spec text format.
+//!
+//! Grammar (records in any order, but `Class` must come first):
+//!
+//! ```text
+//! spec      := class record*
+//! class     := "Class" "(" quoted "," yesno "," (quoted|empty) "," (list|empty) ")"
+//! record    := attribute | method | parameter | node | edge
+//! attribute := "Attribute" "(" quoted "," domain ")"
+//! method    := "Method" "(" ident "," quoted "," (quoted|empty) "," ident "," int ")"
+//! parameter := "Parameter" "(" ident "," quoted "," domain ")"
+//! node      := "Node" "(" ident "," ident "," "[" ident ("," ident)* "]" ")"
+//! edge      := "Edge" "(" ident "," ident ")"
+//! domain    := "range" "," number "," number
+//!            | "set" "," "[" literal ("," literal)* "]"
+//!            | "string" "," int
+//!            | "object" "," quoted
+//!            | "pointer" "," quoted
+//! ```
+//!
+//! Node kind idents are `birth`, `task`, `death`. Method category idents are
+//! those of [`MethodCategory`]. The `Method` record's final integer is the
+//! declared parameter count, cross-checked against `Parameter` records.
+
+use super::lexer::{tokenize, LexError, Token, TokenKind};
+use crate::domain::Domain;
+use crate::spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec};
+use concat_runtime::Value;
+use concat_tfm::{NodeId, NodeKind, Tfm};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 when the input ended unexpectedly).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map_or_else(
+            || self.tokens.last().map_or(0, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.kind == *kind => Ok(()),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected {kind}, found {}", t.kind),
+            }),
+            None => Err(self.err(format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(s), .. }) => Ok(s),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected identifier, found {}", t.kind),
+            }),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(s),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected quoted string, found {}", t.kind),
+            }),
+            None => Err(self.err("expected quoted string, found end of input")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Int(i), .. }) => Ok(i),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected integer, found {}", t.kind),
+            }),
+            None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), ParseError> {
+        self.expect(&TokenKind::Comma)
+    }
+
+    /// `quoted | <empty>` → Option<String>
+    fn quoted_or_empty(&mut self) -> Result<Option<String>, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(Some(s)),
+            Some(Token { kind: TokenKind::Empty, .. }) => Ok(None),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected string or <empty>, found {}", t.kind),
+            }),
+            None => Err(self.err("expected string or <empty>, found end of input")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Int(i), .. }) => Ok(Value::Int(i)),
+            Some(Token { kind: TokenKind::Float(x), .. }) => Ok(Value::Float(x)),
+            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(Value::Str(s)),
+            Some(Token { kind: TokenKind::Ident(w), line }) => match w.as_str() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                "NULL" => Ok(Value::Null),
+                other => Err(ParseError {
+                    line,
+                    message: format!("expected literal, found identifier `{other}`"),
+                }),
+            },
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected literal, found {}", t.kind),
+            }),
+            None => Err(self.err("expected literal, found end of input")),
+        }
+    }
+
+    fn literal_list(&mut self) -> Result<Vec<Value>, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let mut items = Vec::new();
+        if self.peek().is_some_and(|t| t.kind == TokenKind::RBracket) {
+            self.next();
+            return Ok(items);
+        }
+        loop {
+            items.push(self.literal()?);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::RBracket, .. }) => break,
+                Some(t) => {
+                    return Err(ParseError {
+                        line: t.line,
+                        message: format!("expected `,` or `]`, found {}", t.kind),
+                    })
+                }
+                None => return Err(self.err("unterminated list")),
+            }
+        }
+        Ok(items)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let mut items = Vec::new();
+        if self.peek().is_some_and(|t| t.kind == TokenKind::RBracket) {
+            self.next();
+            return Ok(items);
+        }
+        loop {
+            items.push(self.ident()?);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::RBracket, .. }) => break,
+                Some(t) => {
+                    return Err(ParseError {
+                        line: t.line,
+                        message: format!("expected `,` or `]`, found {}", t.kind),
+                    })
+                }
+                None => return Err(self.err("unterminated list")),
+            }
+        }
+        Ok(items)
+    }
+
+    fn number(&mut self) -> Result<(f64, bool), ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Int(i), .. }) => Ok((i as f64, false)),
+            Some(Token { kind: TokenKind::Float(x), .. }) => Ok((x, true)),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected number, found {}", t.kind),
+            }),
+            None => Err(self.err("expected number, found end of input")),
+        }
+    }
+
+    /// Parses a domain suffix: `range, lo, hi` / `set, [..]` /
+    /// `string, maxlen` / `object, 'C'` / `pointer, 'C'`.
+    fn domain(&mut self) -> Result<Domain, ParseError> {
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "range" => {
+                self.comma()?;
+                let (lo, lo_f) = self.number()?;
+                self.comma()?;
+                let (hi, hi_f) = self.number()?;
+                if lo_f || hi_f {
+                    Ok(Domain::FloatRange { lo, hi })
+                } else {
+                    Ok(Domain::IntRange { lo: lo as i64, hi: hi as i64 })
+                }
+            }
+            "set" => {
+                self.comma()?;
+                Ok(Domain::Set(self.literal_list()?))
+            }
+            "string" => {
+                self.comma()?;
+                let n = self.int()?;
+                if n < 1 {
+                    return Err(self.err("string length must be >= 1"));
+                }
+                Ok(Domain::String { max_len: n as usize })
+            }
+            "object" => {
+                self.comma()?;
+                Ok(Domain::Object { class_name: self.quoted()? })
+            }
+            "pointer" => {
+                self.comma()?;
+                Ok(Domain::Pointer { class_name: self.quoted()? })
+            }
+            other => Err(self.err(format!("unknown domain keyword `{other}`"))),
+        }
+    }
+}
+
+/// Parses a complete t-spec source text into a [`ClassSpec`].
+///
+/// The result is *structurally* well-formed; call [`ClassSpec::validate`]
+/// for semantic checks (reachability, coverage, domain emptiness).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem, with its line.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// Class('Counter', No, <empty>, <empty>)
+/// Method(m1, 'Counter', <empty>, constructor, 0)
+/// Method(m2, '~Counter', <empty>, destructor, 0)
+/// Node(n1, birth, [m1])
+/// Node(n2, death, [m2])
+/// Edge(n1, n2)
+/// ";
+/// let spec = concat_tspec::parse_tspec(src).unwrap();
+/// assert_eq!(spec.class_name, "Counter");
+/// assert!(spec.validate().is_empty());
+/// ```
+pub fn parse_tspec(src: &str) -> Result<ClassSpec, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    // Class record first.
+    let head = p.ident()?;
+    if head != "Class" {
+        return Err(p.err(format!("t-spec must start with Class(...), found `{head}`")));
+    }
+    p.expect(&TokenKind::LParen)?;
+    let class_name = p.quoted()?;
+    p.comma()?;
+    let yesno = p.ident()?;
+    let is_abstract = match yesno.as_str() {
+        "Yes" => true,
+        "No" => false,
+        other => return Err(p.err(format!("expected Yes or No, found `{other}`"))),
+    };
+    p.comma()?;
+    let superclass = p.quoted_or_empty()?;
+    p.comma()?;
+    let source_files = match p.peek().map(|t| t.kind.clone()) {
+        Some(TokenKind::Empty) => {
+            p.next();
+            Vec::new()
+        }
+        Some(TokenKind::LBracket) => p
+            .literal_list()?
+            .into_iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s),
+                other => Err(ParseError {
+                    line: 0,
+                    message: format!("source file list must contain strings, found {other}"),
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(p.err("expected source file list or <empty>")),
+    };
+    p.expect(&TokenKind::RParen)?;
+
+    let mut attributes = Vec::new();
+    let mut methods: Vec<MethodSpec> = Vec::new();
+    let mut declared_arity: BTreeMap<String, usize> = BTreeMap::new();
+    let mut tfm = Tfm::new(class_name.clone());
+    let mut node_ids: BTreeMap<String, NodeId> = BTreeMap::new();
+    let mut pending_edges: Vec<(String, String, usize)> = Vec::new();
+
+    while p.peek().is_some() {
+        let record = p.ident()?;
+        p.expect(&TokenKind::LParen)?;
+        match record.as_str() {
+            "Attribute" => {
+                let name = p.quoted()?;
+                p.comma()?;
+                let domain = p.domain()?;
+                attributes.push(AttributeSpec::new(name, domain));
+            }
+            "Method" => {
+                let id = p.ident()?;
+                p.comma()?;
+                let name = p.quoted()?;
+                p.comma()?;
+                let return_type = p.quoted_or_empty()?;
+                p.comma()?;
+                let category = MethodCategory::from_keyword(&p.ident()?);
+                p.comma()?;
+                let nparams = p.int()?;
+                if nparams < 0 {
+                    return Err(p.err("parameter count cannot be negative"));
+                }
+                declared_arity.insert(id.clone(), nparams as usize);
+                methods.push(MethodSpec { id, name, return_type, category, params: Vec::new() });
+            }
+            "Parameter" => {
+                let line = p.line();
+                let mid = p.ident()?;
+                p.comma()?;
+                let pname = p.quoted()?;
+                p.comma()?;
+                let domain = p.domain()?;
+                match methods.iter_mut().find(|m| m.id == mid) {
+                    Some(m) => m.params.push(ParamSpec::new(pname, domain)),
+                    None => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("Parameter references undeclared method `{mid}`"),
+                        })
+                    }
+                }
+            }
+            "Node" => {
+                let line = p.line();
+                let label = p.ident()?;
+                p.comma()?;
+                let kind = match p.ident()?.as_str() {
+                    "birth" => NodeKind::Birth,
+                    "task" => NodeKind::Task,
+                    "death" => NodeKind::Death,
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!(
+                                "node kind must be birth, task or death; found `{other}`"
+                            ),
+                        })
+                    }
+                };
+                p.comma()?;
+                let node_methods = p.ident_list()?;
+                if node_ids.contains_key(&label) {
+                    return Err(ParseError {
+                        line,
+                        message: format!("duplicate node `{label}`"),
+                    });
+                }
+                let id = tfm.add_node(label.clone(), kind, node_methods);
+                node_ids.insert(label, id);
+            }
+            "Edge" => {
+                let line = p.line();
+                let from = p.ident()?;
+                p.comma()?;
+                let to = p.ident()?;
+                pending_edges.push((from, to, line));
+            }
+            other => return Err(p.err(format!("unknown record `{other}`"))),
+        }
+        p.expect(&TokenKind::RParen)?;
+    }
+
+    for (from, to, line) in pending_edges {
+        let f = node_ids.get(&from).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("Edge references undeclared node `{from}`"),
+        })?;
+        let t = node_ids.get(&to).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("Edge references undeclared node `{to}`"),
+        })?;
+        tfm.add_edge(f, t);
+    }
+
+    for m in &methods {
+        if let Some(&declared) = declared_arity.get(&m.id) {
+            if declared != m.params.len() {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!(
+                        "method {} declares {} parameter(s) but {} Parameter record(s) were given",
+                        m.id,
+                        declared,
+                        m.params.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(ClassSpec {
+        class_name,
+        is_abstract,
+        superclass,
+        source_files,
+        attributes,
+        methods,
+        tfm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRODUCT: &str = "
+// Test specification for the Product example (paper Figures 1-3).
+Class('Product', No, <empty>, ['product.cpp'])
+Attribute('qty', range, 1, 99999)
+Attribute('price', range, 0.0, 10000.0)
+Attribute('name', string, 30)
+Attribute('prov', pointer, 'Provider')
+Method(m1, 'Product', <empty>, constructor, 0)
+Method(m2, 'Product', <empty>, constructor, 2)
+Parameter(m2, 'q', range, 1, 99999)
+Parameter(m2, 'n', string, 30)
+Method(m3, 'UpdateQty', <empty>, update, 1)
+Parameter(m3, 'q', range, 1, 99999)
+Method(m4, 'ShowAttributes', <empty>, access, 0)
+Method(m5, '~Product', <empty>, destructor, 0)
+Node(n1, birth, [m1, m2])
+Node(n2, task, [m3])
+Node(n3, task, [m4])
+Node(n4, death, [m5])
+Edge(n1, n2)
+Edge(n1, n3)
+Edge(n2, n3)
+Edge(n2, n4)
+Edge(n3, n4)
+";
+
+    #[test]
+    fn parses_the_product_example() {
+        let spec = parse_tspec(PRODUCT).unwrap();
+        assert_eq!(spec.class_name, "Product");
+        assert!(!spec.is_abstract);
+        assert_eq!(spec.source_files, vec!["product.cpp".to_owned()]);
+        assert_eq!(spec.attributes.len(), 4);
+        assert_eq!(spec.methods.len(), 5);
+        assert_eq!(spec.tfm.node_count(), 4);
+        assert_eq!(spec.tfm.edge_count(), 5);
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn method_arity_cross_checked() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Method(m1, 'C', <empty>, constructor, 2)
+Parameter(m1, 'a', range, 0, 1)
+Node(n1, birth, [m1])
+Node(n2, death, [m1])
+Edge(n1, n2)
+";
+        let err = parse_tspec(src).unwrap_err();
+        assert!(err.message.contains("declares 2 parameter(s) but 1"));
+    }
+
+    #[test]
+    fn parameter_before_method_is_an_error() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Parameter(m1, 'a', range, 0, 1)
+";
+        let err = parse_tspec(src).unwrap_err();
+        assert!(err.message.contains("undeclared method"));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_is_an_error() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Method(m1, 'C', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Edge(n1, n9)
+";
+        let err = parse_tspec(src).unwrap_err();
+        assert!(err.message.contains("undeclared node `n9`"));
+    }
+
+    #[test]
+    fn duplicate_node_is_an_error() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Method(m1, 'C', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Node(n1, death, [m1])
+";
+        let err = parse_tspec(src).unwrap_err();
+        assert!(err.message.contains("duplicate node"));
+    }
+
+    #[test]
+    fn must_start_with_class() {
+        let err = parse_tspec("Node(n1, birth, [m1])").unwrap_err();
+        assert!(err.message.contains("must start with Class"));
+    }
+
+    #[test]
+    fn float_range_detected_by_decimal_point() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Attribute('x', range, 0.5, 2)
+Method(m1, 'C', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Node(n2, death, [m1])
+Edge(n1, n2)
+";
+        let spec = parse_tspec(src).unwrap();
+        assert_eq!(spec.attributes[0].domain, Domain::FloatRange { lo: 0.5, hi: 2.0 });
+    }
+
+    #[test]
+    fn set_domain_with_mixed_literals() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Attribute('m', set, ['p1', 'p2', 3, true, NULL])
+Method(m1, 'C', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Node(n2, death, [m1])
+Edge(n1, n2)
+";
+        let spec = parse_tspec(src).unwrap();
+        match &spec.attributes[0].domain {
+            Domain::Set(vs) => {
+                assert_eq!(vs.len(), 5);
+                assert_eq!(vs[3], Value::Bool(true));
+                assert_eq!(vs[4], Value::Null);
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn superclass_recorded() {
+        let src = "
+Class('CSortableObList', No, 'CObList', <empty>)
+Method(m1, 'CSortableObList', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Node(n2, death, [m1])
+Edge(n1, n2)
+";
+        let spec = parse_tspec(src).unwrap();
+        assert_eq!(spec.superclass.as_deref(), Some("CObList"));
+    }
+
+    #[test]
+    fn unknown_record_and_domain_keywords_rejected() {
+        assert!(parse_tspec("Class('C', No, <empty>, <empty>)\nBogus(n1)")
+            .unwrap_err()
+            .message
+            .contains("unknown record"));
+        assert!(parse_tspec("Class('C', No, <empty>, <empty>)\nAttribute('a', weird, 1)")
+            .unwrap_err()
+            .message
+            .contains("unknown domain keyword"));
+    }
+
+    #[test]
+    fn abstract_flag_parsed() {
+        let src = "
+Class('Shape', Yes, <empty>, <empty>)
+Method(m1, 'Shape', <empty>, constructor, 0)
+Node(n1, birth, [m1])
+Node(n2, death, [m1])
+Edge(n1, n2)
+";
+        assert!(parse_tspec(src).unwrap().is_abstract);
+    }
+
+    #[test]
+    fn string_domain_zero_length_rejected() {
+        let src = "
+Class('C', No, <empty>, <empty>)
+Attribute('s', string, 0)
+";
+        assert!(parse_tspec(src).is_err());
+    }
+}

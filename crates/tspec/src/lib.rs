@@ -1,0 +1,56 @@
+//! # concat-tspec
+//!
+//! The *test specification* (t-spec) of a self-testable component.
+//!
+//! Part of the `concat-rs` reproduction of *"Constructing Self-Testable
+//! Software Components"* (Martins, Toyota & Yanagawa, DSN 2001). The t-spec
+//! (paper §3.2, Figure 3) is the machine-readable specification the producer
+//! embeds into the component and the consumer's driver generator reads. It
+//! has two halves:
+//!
+//! 1. an **interface description**: the class header, attributes with value
+//!    [`Domain`]s, and method signatures with parameter domains;
+//! 2. a **test model**: a transaction flow model (see `concat-tfm`) whose
+//!    nodes reference method ids.
+//!
+//! Build specs with [`ClassSpecBuilder`], exchange them as text with
+//! [`parse_tspec`] / [`print_tspec`], and check them with
+//! [`ClassSpec::validate`].
+//!
+//! # Examples
+//!
+//! ```
+//! use concat_tspec::{ClassSpecBuilder, Domain, MethodCategory, print_tspec, parse_tspec};
+//!
+//! let spec = ClassSpecBuilder::new("Counter")
+//!     .attribute("n", Domain::int_range(0, 100))
+//!     .constructor("m1", "Counter")
+//!     .method("m2", "Add", MethodCategory::Update)
+//!     .param("q", Domain::int_range(0, 100))
+//!     .destructor("m3", "~Counter")
+//!     .birth_node("n1", ["m1"])
+//!     .task_node("n2", ["m2"])
+//!     .death_node("n3", ["m3"])
+//!     .edge("n1", "n2")
+//!     .edge("n2", "n3")
+//!     .build()
+//!     .unwrap();
+//!
+//! // Round-trip through the Figure-3 text format.
+//! assert_eq!(parse_tspec(&print_tspec(&spec)).unwrap(), spec);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod domain;
+pub mod format;
+mod lint;
+mod spec;
+
+pub use builder::ClassSpecBuilder;
+pub use domain::Domain;
+pub use format::{parse_tspec, print_tspec, ParseError};
+pub use lint::{lint_spec, LintWarning, TRANSACTION_EXPLOSION_THRESHOLD};
+pub use spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec, SpecError};

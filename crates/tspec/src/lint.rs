@@ -1,0 +1,317 @@
+//! Specification quality lints.
+//!
+//! Paper §3.2, advantage (vii) of embedding the specification: "the
+//! specification quality can be improved, since incompleteness, ambiguity
+//! and inconsistency can be detected by the tester and then removed."
+//! [`lint_spec`] mechanizes the common cases on top of the hard errors of
+//! [`ClassSpec::validate`]: everything here is a *warning* — the spec is
+//! usable, but the tester should look.
+
+use crate::spec::{ClassSpec, MethodCategory};
+use concat_tfm::{enumerate_transactions_with, EnumerationConfig, NodeKind};
+use std::fmt;
+
+/// A specification quality warning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintWarning {
+    /// A constructor appears on a non-birth node (ambiguous life cycle).
+    ConstructorOffBirthNode {
+        /// The method id.
+        method: String,
+        /// The node label.
+        node: String,
+    },
+    /// A destructor appears on a non-death node.
+    DestructorOffDeathNode {
+        /// The method id.
+        method: String,
+        /// The node label.
+        node: String,
+    },
+    /// An update method declares no parameters — it cannot be driven with
+    /// varied inputs (possible incompleteness of the interface
+    /// description).
+    ParameterlessUpdate {
+        /// The method id.
+        method: String,
+    },
+    /// A node groups alternatives of *different* categories (ambiguity:
+    /// one node should represent one task).
+    MixedCategoryNode {
+        /// The node label.
+        node: String,
+    },
+    /// The model's transaction count exceeds the threshold — test
+    /// explosion; consider restructuring (inconsistency between model
+    /// size and testing budget).
+    TransactionExplosion {
+        /// Transactions enumerated (possibly capped).
+        transactions: usize,
+        /// The lint's threshold.
+        threshold: usize,
+    },
+    /// An attribute's domain admits a single value — either dead weight or
+    /// a constant that should not be an attribute.
+    DegenerateAttributeDomain {
+        /// The attribute name.
+        attribute: String,
+    },
+    /// Two methods share name and arity (overload ambiguity for name-based
+    /// dispatch; constructors are exempt — factories dispatch on arity).
+    AmbiguousOverload {
+        /// The shared method name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::ConstructorOffBirthNode { method, node } => {
+                write!(f, "constructor {method} appears on non-birth node {node}")
+            }
+            LintWarning::DestructorOffDeathNode { method, node } => {
+                write!(f, "destructor {method} appears on non-death node {node}")
+            }
+            LintWarning::ParameterlessUpdate { method } => {
+                write!(f, "update method {method} has no parameters to vary")
+            }
+            LintWarning::MixedCategoryNode { node } => {
+                write!(f, "node {node} mixes method categories")
+            }
+            LintWarning::TransactionExplosion { transactions, threshold } => {
+                write!(f, "model yields {transactions} transactions (threshold {threshold})")
+            }
+            LintWarning::DegenerateAttributeDomain { attribute } => {
+                write!(f, "attribute {attribute} has a single-value domain")
+            }
+            LintWarning::AmbiguousOverload { name } => {
+                write!(f, "methods named {name} share the same arity")
+            }
+        }
+    }
+}
+
+/// Transaction-count threshold above which
+/// [`LintWarning::TransactionExplosion`] fires.
+pub const TRANSACTION_EXPLOSION_THRESHOLD: usize = 10_000;
+
+/// Lints a (structurally valid) specification for quality problems.
+///
+/// Run [`ClassSpec::validate`] first — lints assume node→method references
+/// resolve; unresolved ids are skipped silently here.
+///
+/// # Examples
+///
+/// ```
+/// use concat_tspec::{lint_spec, ClassSpecBuilder, MethodCategory};
+///
+/// let spec = ClassSpecBuilder::new("C")
+///     .constructor("m1", "C")
+///     .method("m2", "Touch", MethodCategory::Update) // no params!
+///     .destructor("m3", "~C")
+///     .birth_node("n1", ["m1"])
+///     .task_node("n2", ["m2"])
+///     .death_node("n3", ["m3"])
+///     .edge("n1", "n2")
+///     .edge("n2", "n3")
+///     .build()
+///     .unwrap();
+/// let warnings = lint_spec(&spec);
+/// assert_eq!(warnings.len(), 1); // ParameterlessUpdate on m2
+/// ```
+pub fn lint_spec(spec: &ClassSpec) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+
+    for (_, node) in spec.tfm.nodes() {
+        let mut categories = Vec::new();
+        for mid in &node.methods {
+            let Some(m) = spec.method(mid) else { continue };
+            categories.push(m.category.clone());
+            match (&m.category, node.kind) {
+                (MethodCategory::Constructor, k) if k != NodeKind::Birth => {
+                    warnings.push(LintWarning::ConstructorOffBirthNode {
+                        method: m.id.clone(),
+                        node: node.label.clone(),
+                    });
+                }
+                (MethodCategory::Destructor, k) if k != NodeKind::Death => {
+                    warnings.push(LintWarning::DestructorOffDeathNode {
+                        method: m.id.clone(),
+                        node: node.label.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        categories.dedup();
+        if categories.len() > 1 {
+            warnings.push(LintWarning::MixedCategoryNode { node: node.label.clone() });
+        }
+    }
+
+    for m in &spec.methods {
+        if m.category == MethodCategory::Update && m.params.is_empty() {
+            warnings.push(LintWarning::ParameterlessUpdate { method: m.id.clone() });
+        }
+    }
+
+    for a in &spec.attributes {
+        let single = match &a.domain {
+            crate::domain::Domain::IntRange { lo, hi } => lo == hi,
+            crate::domain::Domain::FloatRange { lo, hi } => lo == hi,
+            crate::domain::Domain::Set(vs) => vs.len() == 1,
+            _ => false,
+        };
+        if single {
+            warnings.push(LintWarning::DegenerateAttributeDomain { attribute: a.name.clone() });
+        }
+    }
+
+    // Overload ambiguity (constructors exempt).
+    let mut seen: Vec<(&str, usize)> = Vec::new();
+    for m in &spec.methods {
+        if m.category == MethodCategory::Constructor {
+            continue;
+        }
+        let key = (m.name.as_str(), m.params.len());
+        if seen.contains(&key) {
+            if !warnings.iter().any(
+                |w| matches!(w, LintWarning::AmbiguousOverload { name } if name == &m.name),
+            ) {
+                warnings.push(LintWarning::AmbiguousOverload { name: m.name.clone() });
+            }
+        } else {
+            seen.push(key);
+        }
+    }
+
+    let set = enumerate_transactions_with(
+        &spec.tfm,
+        EnumerationConfig {
+            cycle_bound: 1,
+            max_transactions: TRANSACTION_EXPLOSION_THRESHOLD + 1,
+        },
+    );
+    if set.len() > TRANSACTION_EXPLOSION_THRESHOLD {
+        warnings.push(LintWarning::TransactionExplosion {
+            transactions: set.len(),
+            threshold: TRANSACTION_EXPLOSION_THRESHOLD,
+        });
+    }
+
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassSpecBuilder;
+    use crate::domain::Domain;
+
+    fn clean_spec() -> ClassSpec {
+        ClassSpecBuilder::new("C")
+            .attribute("a", Domain::int_range(0, 9))
+            .constructor("m1", "C")
+            .method("m2", "Set", MethodCategory::Update)
+            .param("v", Domain::int_range(0, 9))
+            .destructor("m3", "~C")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .death_node("n3", ["m3"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_spec_has_no_warnings() {
+        assert!(lint_spec(&clean_spec()).is_empty());
+    }
+
+    #[test]
+    fn constructor_off_birth_node_flagged() {
+        let mut spec = clean_spec();
+        let n2 = spec.tfm.node_by_label("n2").unwrap();
+        // Sneak the constructor onto the task node.
+        let mut tfm = concat_tfm::Tfm::new("C");
+        for (_, node) in spec.tfm.nodes() {
+            let methods: Vec<String> = if node.label == "n2" {
+                vec!["m2".into(), "m1".into()]
+            } else {
+                node.methods.clone()
+            };
+            tfm.add_node(node.label.clone(), node.kind, methods);
+        }
+        for e in spec.tfm.edges() {
+            tfm.add_edge(e.from, e.to);
+        }
+        spec.tfm = tfm;
+        let warnings = lint_spec(&spec);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::ConstructorOffBirthNode { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::MixedCategoryNode { node } if node == "n2")));
+        let _ = n2;
+    }
+
+    #[test]
+    fn parameterless_update_flagged() {
+        let mut spec = clean_spec();
+        spec.methods[1].params.clear();
+        let warnings = lint_spec(&spec);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::ParameterlessUpdate { method } if method == "m2")));
+    }
+
+    #[test]
+    fn degenerate_attribute_flagged() {
+        let mut spec = clean_spec();
+        spec.attributes[0].domain = Domain::int_range(5, 5);
+        assert!(lint_spec(&spec)
+            .iter()
+            .any(|w| matches!(w, LintWarning::DegenerateAttributeDomain { attribute } if attribute == "a")));
+        spec.attributes[0].domain = Domain::Set(vec![concat_runtime::Value::Int(1)]);
+        assert_eq!(lint_spec(&spec).len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_overload_flagged_once() {
+        let mut spec = clean_spec();
+        spec.methods.push(crate::spec::MethodSpec {
+            id: "m4".into(),
+            name: "Set".into(),
+            return_type: None,
+            category: MethodCategory::Update,
+            params: vec![crate::spec::ParamSpec::new("w", Domain::int_range(0, 1))],
+        });
+        spec.methods.push(crate::spec::MethodSpec {
+            id: "m5".into(),
+            name: "Set".into(),
+            return_type: None,
+            category: MethodCategory::Update,
+            params: vec![crate::spec::ParamSpec::new("x", Domain::int_range(0, 1))],
+        });
+        let overloads: Vec<_> = lint_spec(&spec)
+            .into_iter()
+            .filter(|w| matches!(w, LintWarning::AmbiguousOverload { .. }))
+            .collect();
+        assert_eq!(overloads.len(), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let warnings = [
+            LintWarning::ParameterlessUpdate { method: "m".into() },
+            LintWarning::MixedCategoryNode { node: "n".into() },
+            LintWarning::TransactionExplosion { transactions: 20_000, threshold: 10_000 },
+        ];
+        for w in warnings {
+            assert!(!w.to_string().is_empty());
+        }
+    }
+}

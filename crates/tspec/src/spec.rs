@@ -1,0 +1,450 @@
+//! The t-spec data model: interface description + test model.
+//!
+//! A t-spec (paper §3.2, Figure 3) describes a component's *interface*
+//! (class header, attributes with domains, method signatures with parameter
+//! domains) and its *behaviour* as a transaction flow model. The producer
+//! embeds the t-spec in the component; the consumer's driver generator reads
+//! it to create test cases.
+
+use crate::domain::Domain;
+use concat_tfm::{Tfm, TfmError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Category of a method "relative to test reuse" (Figure 3).
+///
+/// Constructors and destructors are excluded from transaction-level test
+/// reuse comparisons (§3.4.2); the other categories document intent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MethodCategory {
+    /// Creates the object; realizes birth nodes.
+    Constructor,
+    /// Destroys the object; realizes death nodes.
+    Destructor,
+    /// Mutates object state (the paper's `Update*` methods).
+    Update,
+    /// Observes object state (the paper's `ShowAttributes`).
+    Access,
+    /// Talks to an external store (the paper's `InsertProduct`).
+    Database,
+    /// Anything else; the label is kept verbatim.
+    Other(String),
+}
+
+impl MethodCategory {
+    /// The keyword used in the t-spec text format.
+    pub fn keyword(&self) -> &str {
+        match self {
+            MethodCategory::Constructor => "constructor",
+            MethodCategory::Destructor => "destructor",
+            MethodCategory::Update => "update",
+            MethodCategory::Access => "access",
+            MethodCategory::Database => "database",
+            MethodCategory::Other(s) => s,
+        }
+    }
+
+    /// Parses a t-spec keyword into a category.
+    pub fn from_keyword(kw: &str) -> Self {
+        match kw {
+            "constructor" => MethodCategory::Constructor,
+            "destructor" => MethodCategory::Destructor,
+            "update" => MethodCategory::Update,
+            "access" => MethodCategory::Access,
+            "database" => MethodCategory::Database,
+            other => MethodCategory::Other(other.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for MethodCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A formal parameter and its value domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name as documented in the t-spec.
+    pub name: String,
+    /// Domain from which test inputs are drawn.
+    pub domain: Domain,
+}
+
+impl ParamSpec {
+    /// Creates a parameter specification.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        ParamSpec { name: name.into(), domain }
+    }
+}
+
+/// A public method of the component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSpec {
+    /// Short identifier used by TFM nodes (`m1`, `m2`, … in Figure 3).
+    pub id: String,
+    /// The method's name as dispatched at runtime.
+    pub name: String,
+    /// Return type name, if any (documentation only).
+    pub return_type: Option<String>,
+    /// Category relative to test reuse.
+    pub category: MethodCategory,
+    /// Formal parameters in order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl MethodSpec {
+    /// Creates a method spec without parameters.
+    pub fn new(id: impl Into<String>, name: impl Into<String>, category: MethodCategory) -> Self {
+        MethodSpec {
+            id: id.into(),
+            name: name.into(),
+            return_type: None,
+            category,
+            params: Vec::new(),
+        }
+    }
+
+    /// Number of declared parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when every parameter domain can be auto-filled by the input
+    /// generator (numeric and string domains).
+    pub fn is_auto_generatable(&self) -> bool {
+        self.params.iter().all(|p| p.domain.is_auto_generatable())
+    }
+}
+
+/// An attribute (data member) and its domain.
+///
+/// The paper assumes "attributes are not part of a class's public
+/// interface, being accessible only through methods" (§3.4.2); the t-spec
+/// still documents them because invariants and the reporter refer to them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Domain of legal values — the class invariant in data form.
+    pub domain: Domain,
+}
+
+impl AttributeSpec {
+    /// Creates an attribute specification.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        AttributeSpec { name: name.into(), domain }
+    }
+}
+
+/// Problems detected by [`ClassSpec::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Two methods share an id.
+    DuplicateMethodId {
+        /// The duplicated id.
+        id: String,
+    },
+    /// A TFM node references a method id missing from the interface
+    /// description.
+    UnknownMethodInModel {
+        /// The unresolved method id or name.
+        method: String,
+        /// Label of the referencing node.
+        node: String,
+    },
+    /// An attribute or parameter domain cannot produce any value.
+    EmptyDomain {
+        /// `"attribute qty"` or `"parameter n of m5"`.
+        site: String,
+    },
+    /// The embedded TFM failed its own validation.
+    Model(TfmError),
+    /// A method is declared in the interface but appears on no TFM node, so
+    /// no transaction can ever exercise it.
+    UncoveredMethod {
+        /// Id of the uncovered method.
+        id: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateMethodId { id } => write!(f, "duplicate method id {id}"),
+            SpecError::UnknownMethodInModel { method, node } => {
+                write!(f, "node {node} references unknown method {method}")
+            }
+            SpecError::EmptyDomain { site } => write!(f, "domain of {site} is empty"),
+            SpecError::Model(e) => write!(f, "test model: {e}"),
+            SpecError::UncoveredMethod { id } => {
+                write!(f, "method {id} appears on no node of the test model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TfmError> for SpecError {
+    fn from(e: TfmError) -> Self {
+        SpecError::Model(e)
+    }
+}
+
+/// A complete test specification for one component.
+///
+/// Build one with [`crate::ClassSpecBuilder`], parse one from the Figure-3
+/// text format with [`crate::parse_tspec`], or print one with
+/// [`crate::print_tspec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class name.
+    pub class_name: String,
+    /// Whether the class is abstract (tests can be generated but only run
+    /// against a concrete subclass).
+    pub is_abstract: bool,
+    /// Name of the superclass, if any.
+    pub superclass: Option<String>,
+    /// Source files needed to compile the class (documentation; kept for
+    /// format fidelity with Figure 3).
+    pub source_files: Vec<String>,
+    /// Documented attributes.
+    pub attributes: Vec<AttributeSpec>,
+    /// Public methods, in declaration order.
+    pub methods: Vec<MethodSpec>,
+    /// The transaction flow model. Node method lists hold method *ids*.
+    pub tfm: Tfm,
+}
+
+impl ClassSpec {
+    /// Looks up a method by id (`m1`) or, failing that, by name.
+    pub fn method(&self, id_or_name: &str) -> Option<&MethodSpec> {
+        self.methods
+            .iter()
+            .find(|m| m.id == id_or_name)
+            .or_else(|| self.methods.iter().find(|m| m.name == id_or_name))
+    }
+
+    /// Map from method id to method, for resolution-heavy callers.
+    pub fn methods_by_id(&self) -> BTreeMap<&str, &MethodSpec> {
+        self.methods.iter().map(|m| (m.id.as_str(), m)).collect()
+    }
+
+    /// All methods in a given category.
+    pub fn methods_in_category(&self, category: &MethodCategory) -> Vec<&MethodSpec> {
+        self.methods.iter().filter(|m| m.category == *category).collect()
+    }
+
+    /// Validates the whole specification: duplicate ids, model soundness,
+    /// node→method resolution, empty domains, uncovered methods.
+    ///
+    /// Returns every problem found; an empty vector means the spec is
+    /// usable by the driver generator.
+    pub fn validate(&self) -> Vec<SpecError> {
+        let mut errors = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &self.methods {
+            if !seen.insert(m.id.as_str()) {
+                errors.push(SpecError::DuplicateMethodId { id: m.id.clone() });
+            }
+        }
+        for a in &self.attributes {
+            if a.domain.is_empty() {
+                errors.push(SpecError::EmptyDomain { site: format!("attribute {}", a.name) });
+            }
+        }
+        for m in &self.methods {
+            for p in &m.params {
+                if p.domain.is_empty() {
+                    errors.push(SpecError::EmptyDomain {
+                        site: format!("parameter {} of {}", p.name, m.id),
+                    });
+                }
+            }
+        }
+        for e in self.tfm.validate() {
+            errors.push(SpecError::Model(e));
+        }
+        let ids = self.methods_by_id();
+        let mut covered: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (_, node) in self.tfm.nodes() {
+            for mref in &node.methods {
+                match ids.get(mref.as_str()) {
+                    Some(m) => {
+                        covered.insert(m.id.as_str());
+                    }
+                    None => errors.push(SpecError::UnknownMethodInModel {
+                        method: mref.clone(),
+                        node: node.label.clone(),
+                    }),
+                }
+            }
+        }
+        for m in &self.methods {
+            if !covered.contains(m.id.as_str()) {
+                errors.push(SpecError::UncoveredMethod { id: m.id.clone() });
+            }
+        }
+        errors
+    }
+
+    /// Resolves a TFM node's method-id list into method specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not validate (unknown id in the model); call
+    /// [`ClassSpec::validate`] first.
+    pub fn resolve_node_methods(&self, node: concat_tfm::NodeId) -> Vec<&MethodSpec> {
+        self.tfm
+            .node(node)
+            .methods
+            .iter()
+            .map(|id| self.method(id).expect("validated spec resolves all node methods"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_tfm::NodeKind;
+
+    fn spec() -> ClassSpec {
+        let mut tfm = Tfm::new("Product");
+        let n1 = tfm.add_node("n1", NodeKind::Birth, ["m1"]);
+        let n2 = tfm.add_node("n2", NodeKind::Task, ["m2"]);
+        let n3 = tfm.add_node("n3", NodeKind::Death, ["m3"]);
+        tfm.add_edge(n1, n2);
+        tfm.add_edge(n2, n3);
+        ClassSpec {
+            class_name: "Product".into(),
+            is_abstract: false,
+            superclass: None,
+            source_files: vec![],
+            attributes: vec![AttributeSpec::new("qty", Domain::int_range(1, 99_999))],
+            methods: vec![
+                MethodSpec::new("m1", "Product", MethodCategory::Constructor),
+                MethodSpec {
+                    id: "m2".into(),
+                    name: "UpdateQty".into(),
+                    return_type: None,
+                    category: MethodCategory::Update,
+                    params: vec![ParamSpec::new("q", Domain::int_range(1, 99_999))],
+                },
+                MethodSpec::new("m3", "~Product", MethodCategory::Destructor),
+            ],
+            tfm,
+        }
+    }
+
+    #[test]
+    fn valid_spec_has_no_errors() {
+        assert!(spec().validate().is_empty());
+    }
+
+    #[test]
+    fn method_lookup_by_id_and_name() {
+        let s = spec();
+        assert_eq!(s.method("m2").unwrap().name, "UpdateQty");
+        assert_eq!(s.method("UpdateQty").unwrap().id, "m2");
+        assert!(s.method("mX").is_none());
+    }
+
+    #[test]
+    fn duplicate_method_id_detected() {
+        let mut s = spec();
+        s.methods.push(MethodSpec::new("m1", "Dup", MethodCategory::Access));
+        let errs = s.validate();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::DuplicateMethodId { id } if id == "m1")));
+    }
+
+    #[test]
+    fn unknown_method_in_model_detected() {
+        let mut s = spec();
+        let n2 = s.tfm.node_by_label("n2").unwrap();
+        let n9 = s.tfm.add_node("n9", NodeKind::Task, ["m99"]);
+        s.tfm.add_edge(n2, n9);
+        let n3 = s.tfm.node_by_label("n3").unwrap();
+        s.tfm.add_edge(n9, n3);
+        let errs = s.validate();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "m99")));
+    }
+
+    #[test]
+    fn empty_domain_detected() {
+        let mut s = spec();
+        s.attributes.push(AttributeSpec::new("bad", Domain::int_range(2, 1)));
+        s.methods[1].params.push(ParamSpec::new("p", Domain::Set(vec![])));
+        let errs = s.validate();
+        let sites: Vec<String> = errs
+            .iter()
+            .filter_map(|e| match e {
+                SpecError::EmptyDomain { site } => Some(site.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(sites.contains(&"attribute bad".to_owned()));
+        assert!(sites.contains(&"parameter p of m2".to_owned()));
+    }
+
+    #[test]
+    fn uncovered_method_detected() {
+        let mut s = spec();
+        s.methods.push(MethodSpec::new("m4", "Lonely", MethodCategory::Access));
+        let errs = s.validate();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::UncoveredMethod { id } if id == "m4")));
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        let mut s = spec();
+        s.tfm.add_node("island", NodeKind::Task, ["m2"]);
+        let errs = s.validate();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::Model(_))));
+    }
+
+    #[test]
+    fn resolve_node_methods_maps_ids() {
+        let s = spec();
+        let n2 = s.tfm.node_by_label("n2").unwrap();
+        let resolved = s.resolve_node_methods(n2);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].name, "UpdateQty");
+    }
+
+    #[test]
+    fn categories_round_trip_keywords() {
+        for c in [
+            MethodCategory::Constructor,
+            MethodCategory::Destructor,
+            MethodCategory::Update,
+            MethodCategory::Access,
+            MethodCategory::Database,
+            MethodCategory::Other("special".into()),
+        ] {
+            assert_eq!(MethodCategory::from_keyword(c.keyword()), c);
+        }
+    }
+
+    #[test]
+    fn methods_in_category_filters() {
+        let s = spec();
+        assert_eq!(s.methods_in_category(&MethodCategory::Constructor).len(), 1);
+        assert_eq!(s.methods_in_category(&MethodCategory::Update).len(), 1);
+        assert!(s.methods_in_category(&MethodCategory::Database).is_empty());
+    }
+
+    #[test]
+    fn arity_and_auto_generatable() {
+        let s = spec();
+        assert_eq!(s.method("m2").unwrap().arity(), 1);
+        assert!(s.method("m2").unwrap().is_auto_generatable());
+        let mut m = MethodSpec::new("m9", "TakesPtr", MethodCategory::Update);
+        m.params.push(ParamSpec::new("p", Domain::Pointer { class_name: "Provider".into() }));
+        assert!(!m.is_auto_generatable());
+    }
+}

@@ -1,0 +1,36 @@
+//! # concat
+//!
+//! Facade crate for `concat-rs`, a Rust reproduction of *"Constructing
+//! Self-Testable Software Components"* (Martins, Toyota & Yanagawa,
+//! DSN 2001).
+//!
+//! A *self-testable component* ships with its own test specification
+//! (a transaction flow model plus interface/domain descriptions), built-in
+//! test capabilities (contract assertions, a reporter, a test-mode switch),
+//! and enough metadata for a consumer-side driver generator to produce and
+//! execute a transaction-covering test suite — and for an interface-mutation
+//! harness to measure how good that suite is.
+//!
+//! This crate re-exports the whole workspace under stable module names:
+//!
+//! * [`runtime`] — dynamic values and name-based method dispatch;
+//! * [`tfm`] — transaction flow models;
+//! * [`tspec`] — the t-spec model and its Figure-3 text format;
+//! * [`bit`] — built-in test capabilities;
+//! * [`driver`] — driver generation, execution, oracle, test history;
+//! * [`mutation`] — interface mutation analysis;
+//! * [`components`] — the instrumented subject components;
+//! * [`core`] — producer/consumer workflows over self-testable bundles;
+//! * [`report`] — tables and experiment records.
+
+#![forbid(unsafe_code)]
+
+pub use concat_bit as bit;
+pub use concat_components as components;
+pub use concat_core as core;
+pub use concat_driver as driver;
+pub use concat_mutation as mutation;
+pub use concat_report as report;
+pub use concat_runtime as runtime;
+pub use concat_tfm as tfm;
+pub use concat_tspec as tspec;

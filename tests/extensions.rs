@@ -1,0 +1,204 @@
+//! Cross-crate integration: the extension features layered on top of the
+//! paper's core system — interclass composites, testability assessment,
+//! selection criteria, the typed (redefining) subclass — all working
+//! through the public facade.
+
+use concat::bit::{BitControl, ComponentFactory};
+use concat::components::*;
+use concat::core::{assess, CompositeFactory, CompositeSpecBuilder, Consumer, SelfTestableBuilder};
+use concat::driver::{
+    select_transactions, DriverGenerator, ReuseDecision, ReusePlan, SelectionCriterion, TestLog,
+    TestRunner, TestingHistory,
+};
+use concat::mutation::MutationSwitch;
+use concat::runtime::{TestException, Value};
+use concat::tfm::{EnumerationConfig, ModelMetrics};
+use std::rc::Rc;
+
+#[test]
+fn testability_assessment_of_all_shipped_subjects() {
+    let bundles = vec![
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default())).build(),
+        SelfTestableBuilder::new(sortable_spec(), Rc::new(CSortableObListFactory::default()))
+            .build(),
+        SelfTestableBuilder::new(typed_spec(), Rc::new(CTypedObListFactory::default())).build(),
+        SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build(),
+    ];
+    for bundle in &bundles {
+        let report = assess(bundle);
+        assert!(report.is_shippable(), "{report}");
+        assert!(report.observables > 0, "{report}");
+        assert!(!report.metrics.is_linear(), "real models branch: {report}");
+    }
+}
+
+#[test]
+fn model_metrics_match_the_paper_style_counts() {
+    let m = ModelMetrics::of(&sortable_spec().tfm);
+    assert_eq!(m.nodes, 16);
+    assert_eq!(m.edges, 28);
+    assert_eq!(m.transactions, 38);
+    assert!(!m.transactions_capped);
+    assert_eq!(m.cyclomatic, 28 - 16 + 2);
+}
+
+#[test]
+fn selection_ladder_on_a_real_subject() {
+    let spec = sortable_spec();
+    let cfg = EnumerationConfig::default();
+    let mut previous = 0usize;
+    for criterion in SelectionCriterion::LADDER {
+        let sel = select_transactions(&spec.tfm, criterion, cfg);
+        assert!(sel.is_complete(), "{criterion}");
+        assert!(sel.transaction_indices.len() >= previous, "{criterion}");
+        previous = sel.transaction_indices.len();
+    }
+    // Node coverage needs far fewer transactions than full coverage.
+    let nodes = select_transactions(&spec.tfm, SelectionCriterion::AllNodes, cfg);
+    assert!(nodes.transaction_indices.len() <= 6);
+}
+
+#[test]
+fn selected_subsets_generate_and_run() {
+    let spec = sortable_spec();
+    let sel = select_transactions(
+        &spec.tfm,
+        SelectionCriterion::AllEdges,
+        EnumerationConfig::default(),
+    );
+    let mut gen = DriverGenerator::with_seed(61);
+    let suite = gen.generate_selected(&spec, Some(&sel.transaction_indices)).unwrap();
+    assert!(!suite.is_empty());
+    let runner = TestRunner::new();
+    let result = runner.run_suite(
+        &CSortableObListFactory::default(),
+        &suite,
+        &mut TestLog::new(),
+    );
+    assert!(result.passed() > 0);
+}
+
+#[test]
+fn typed_subclass_reuse_complements_sortable() {
+    // The two subclasses demonstrate the two halves of §3.4.2:
+    // CSortableObList adds methods (retests driven by NEW methods);
+    // CTypedObList redefines methods (retests driven by REDEFINED ones).
+    let typed_suite = DriverGenerator::with_seed(62).generate(&typed_spec()).unwrap();
+    let plan = ReusePlan::analyze(
+        &TestingHistory::from_suite(&typed_suite),
+        &typed_inheritance_map(),
+    );
+    let retests = plan.reused_case_ids();
+    assert!(!retests.is_empty());
+    for id in &retests {
+        let case = typed_suite.cases.iter().find(|c| c.id == *id).unwrap();
+        assert!(
+            case.method_names()
+                .iter()
+                .any(|m| CTypedObList::REDEFINED.contains(m)),
+            "every typed retest is justified by a redefinition"
+        );
+    }
+    assert!(plan
+        .decisions
+        .iter()
+        .all(|(_, d)| *d != ReuseDecision::Obsolete));
+}
+
+/// Adapter giving `BoundedStack` a parameterless constructor for
+/// composite construction.
+struct DefaultStack;
+impl ComponentFactory for DefaultStack {
+    fn class_name(&self) -> &str {
+        "BoundedStack"
+    }
+    fn construct(
+        &self,
+        constructor: &str,
+        args: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn concat::bit::TestableComponent>, TestException> {
+        if args.is_empty() {
+            BoundedStackFactory.construct(constructor, &[Value::Int(8)], ctl)
+        } else {
+            BoundedStackFactory.construct(constructor, args, ctl)
+        }
+    }
+}
+
+#[test]
+fn interclass_composite_full_pipeline_via_facade() {
+    let composite = CompositeSpecBuilder::new("Station")
+        .role("audit", coblist_spec(), "CObList", "~CObList")
+        .role("staging", bounded_stack_spec(), "BoundedStack", "~BoundedStack")
+        .birth("create")
+        .task("log", ["audit.m2", "audit.m3"])
+        .task("stage", ["staging.m2"])
+        .task("check", ["audit.m13", "staging.m5"])
+        .death("destroy")
+        .edge("create", "log")
+        .edge("log", "stage")
+        .edge("stage", "check")
+        .edge("check", "destroy")
+        .build();
+    let flat = composite.flatten().unwrap();
+    assert!(flat.validate().is_empty());
+
+    let factory = CompositeFactory::new(
+        composite,
+        vec![
+            ("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>),
+            ("staging".into(), Rc::new(DefaultStack) as Rc<dyn ComponentFactory>),
+        ],
+    )
+    .unwrap();
+
+    let suite = DriverGenerator::with_seed(63).generate(&flat).unwrap();
+    let runner = TestRunner::new();
+    let result = runner.run_suite(&factory, &suite, &mut TestLog::new());
+    assert_eq!(result.failed(), 0, "the linear interclass model passes fully");
+    // Interclass observability: both roles appear in one reporter.
+    let case = &result.cases[0];
+    let report = case.transcript.final_report.as_ref().unwrap();
+    assert!(report.iter().any(|(k, _)| k.starts_with("audit.")));
+    assert!(report.iter().any(|(k, _)| k.starts_with("staging.")));
+}
+
+#[test]
+fn composite_suites_persist_and_replay() {
+    use concat::driver::{load_suite, save_suite};
+    let composite = CompositeSpecBuilder::new("Station")
+        .role("audit", coblist_spec(), "CObList", "~CObList")
+        .birth("create")
+        .task("log", ["audit.m2"])
+        .death("destroy")
+        .edge("create", "log")
+        .edge("log", "destroy")
+        .build();
+    let flat = composite.flatten().unwrap();
+    let suite = DriverGenerator::with_seed(64).generate(&flat).unwrap();
+    let restored = load_suite(&save_suite(&suite)).unwrap();
+    assert_eq!(restored, suite);
+}
+
+#[test]
+fn consumer_quality_on_typed_subclass_base_mutants() {
+    // Faults in the base's instrumented methods, exercised through the
+    // typed subclass's delegating (redefined and inherited) methods.
+    let switch = MutationSwitch::new();
+    let bundle = SelfTestableBuilder::new(
+        typed_spec(),
+        Rc::new(CTypedObListFactory::new(switch.clone())),
+    )
+    .mutation(coblist_inventory(), switch)
+    .inheritance(typed_inheritance_map())
+    .build();
+    let consumer = Consumer::with_config(concat::driver::GeneratorConfig {
+        seed: 65,
+        expansion: concat::driver::Expansion::Covering { repeats: 1 },
+        ..Default::default()
+    });
+    let suite = consumer.generate(&bundle).unwrap();
+    let run = consumer.evaluate_quality(&bundle, &suite, &["AddHead"], &[]).unwrap();
+    assert!(run.killed() > 0, "base faults observable through the subclass");
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: every figure artefact of the paper is
+//! regenerable and structurally stable (guards the `figures` bench).
+
+use concat::components::{product_spec, FIGURE2_SCENARIO};
+use concat::driver::{render_cpp_suite, render_cpp_test_case, DriverGenerator};
+use concat::tfm::{enumerate_transactions, to_dot, to_dot_highlighted};
+use concat::tspec::{parse_tspec, print_tspec};
+
+#[test]
+fn figure1_interface_is_the_papers() {
+    // Figure 1 lists these members of class Product.
+    let spec = product_spec();
+    let names: Vec<&str> = spec.methods.iter().map(|m| m.name.as_str()).collect();
+    for expected in [
+        "Product",
+        "UpdateName",
+        "UpdateQty",
+        "UpdatePrice",
+        "UpdateProv",
+        "ShowAttributes",
+        "InsertProduct",
+        "RemoveProduct",
+        "~Product",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+    // Three constructors, as in Figure 1.
+    assert_eq!(names.iter().filter(|n| **n == "Product").count(), 3);
+    let attrs: Vec<&str> = spec.attributes.iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(attrs, vec!["qty", "name", "price", "prov"]);
+}
+
+#[test]
+fn figure2_dot_highlights_exactly_the_scenario() {
+    let spec = product_spec();
+    let transactions = enumerate_transactions(&spec.tfm);
+    let scenario = transactions
+        .iter()
+        .find(|t| {
+            let labels: Vec<&str> =
+                t.nodes.iter().map(|id| spec.tfm.node(*id).label.as_str()).collect();
+            labels == FIGURE2_SCENARIO
+        })
+        .expect("scenario path exists");
+    let dot = to_dot_highlighted(&spec.tfm, scenario);
+    // Highlighted edges: n1->n4, n4->n5, n5->n6, n6->n7.
+    for edge in ["n1 -> n4 [color=red", "n4 -> n5 [color=red", "n5 -> n6 [color=red", "n6 -> n7 [color=red"] {
+        assert!(dot.contains(edge), "missing highlighted {edge}");
+    }
+    // Un-highlighted render has no red at all.
+    assert!(!to_dot(&spec.tfm).contains("color=red"));
+}
+
+#[test]
+fn figure3_tspec_text_matches_the_papers_domains() {
+    let text = print_tspec(&product_spec());
+    assert!(text.contains("Class('Product', No, <empty>, ['product.cpp'])"));
+    assert!(text.contains("Attribute('qty', range, 1, 99999)"));
+    assert!(text.contains("Attribute('name', string, 30)"));
+    assert!(text.contains("Attribute('prov', pointer, 'Provider')"));
+    assert!(text.contains("Method(m1, 'Product', <empty>, constructor, 0)"));
+    assert!(text.contains("Parameter(m5, 'q', range, 1, 99999)"));
+    assert!(text.contains("Node(n1, birth, [m1, m2, m3])"));
+    assert!(text.contains("Edge(n1, n4)"));
+    // And it reparses to the same spec.
+    assert_eq!(parse_tspec(&text).unwrap(), product_spec());
+}
+
+#[test]
+fn figure6_and_7_driver_text_shape() {
+    let spec = product_spec();
+    let mut gen = DriverGenerator::with_seed(2001);
+    concat::components::register_provider_pool(gen.inputs_mut());
+    let suite = gen.generate(&spec).unwrap();
+    let case = &suite.cases[0];
+    let cpp = render_cpp_test_case(case);
+    for marker in [
+        "template <class ClassType>",
+        &format!("void TestCase{} (ClassType* CUT)", case.id),
+        "CUT -> InvariantTest();",
+        "ofstream LogFile(\"Result.txt\", ios::app);",
+        "catch (Error& er)",
+        "CUT -> Reporter (\"Result.txt\");",
+        "delete CUT;",
+    ] {
+        assert!(cpp.contains(marker), "figure 6 missing: {marker}");
+    }
+    let suite_cpp = render_cpp_suite(&suite);
+    assert!(suite_cpp.contains("int main()"));
+    assert!(suite_cpp.contains("TestCase0<Product>(CUT);"));
+}
+
+#[test]
+fn figure_artifacts_are_deterministic() {
+    let spec = product_spec();
+    assert_eq!(print_tspec(&spec), print_tspec(&spec));
+    assert_eq!(to_dot(&spec.tfm), to_dot(&spec.tfm));
+    let a = DriverGenerator::with_seed(7).generate(&spec).unwrap();
+    let b = DriverGenerator::with_seed(7).generate(&spec).unwrap();
+    assert_eq!(render_cpp_suite(&a), render_cpp_suite(&b));
+}

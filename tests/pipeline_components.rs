@@ -1,0 +1,163 @@
+//! Cross-crate integration: the full producer→consumer pipeline on every
+//! shipped subject component.
+
+use concat::components::*;
+use concat::core::{Consumer, Producer, SelfTestableBuilder};
+use concat::driver::{CaseStatus, GeneratorConfig};
+use concat::mutation::MutationSwitch;
+use std::rc::Rc;
+
+fn stack_bundle() -> concat::core::SelfTestable {
+    SelfTestableBuilder::new(bounded_stack_spec(), Rc::new(BoundedStackFactory)).build()
+}
+
+fn product_bundle() -> concat::core::SelfTestable {
+    SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build()
+}
+
+fn coblist_bundle() -> (concat::core::SelfTestable, MutationSwitch) {
+    let switch = MutationSwitch::new();
+    let b = SelfTestableBuilder::new(
+        coblist_spec(),
+        Rc::new(CObListFactory::new(switch.clone())),
+    )
+    .mutation(coblist_inventory(), switch.clone())
+    .build();
+    (b, switch)
+}
+
+fn sortable_bundle() -> (concat::core::SelfTestable, MutationSwitch) {
+    let switch = MutationSwitch::new();
+    let b = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch.clone())
+    .inheritance(sortable_inheritance_map())
+    .build();
+    (b, switch)
+}
+
+#[test]
+fn every_subject_packages_cleanly() {
+    Producer::package(&stack_bundle()).unwrap();
+    Producer::package(&product_bundle()).unwrap();
+    Producer::package(&coblist_bundle().0).unwrap();
+    Producer::package(&sortable_bundle().0).unwrap();
+}
+
+#[test]
+fn stack_self_test_green() {
+    let report = Consumer::with_seed(11).self_test(&stack_bundle()).unwrap();
+    assert!(report.all_passed(), "{}", report.summary());
+}
+
+#[test]
+fn coblist_self_test_green() {
+    let (bundle, _) = coblist_bundle();
+    let report = Consumer::with_seed(12).self_test(&bundle).unwrap();
+    assert!(report.all_passed(), "{}", report.summary());
+    assert!(report.assertion_checks > 0);
+}
+
+#[test]
+fn sortable_self_test_mostly_green_with_logged_error_recovery() {
+    let (bundle, _) = sortable_bundle();
+    let report = Consumer::with_seed(13).self_test(&bundle).unwrap();
+    // A handful of error-recovery transactions (RemoveAt index out of a
+    // 1-element list, etc.) violate preconditions by design; everything
+    // else passes.
+    assert!(report.result.passed() as f64 > 0.9 * report.result.cases.len() as f64);
+    for case in &report.result.cases {
+        match &case.status {
+            CaseStatus::Passed | CaseStatus::AssertionViolated { .. } => {}
+            other => panic!("unexpected terminal status {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn product_self_test_covers_figure2_scenario() {
+    let bundle = product_bundle();
+    let report = Consumer::with_seed(14).self_test(&bundle).unwrap();
+    let scenario_cases: Vec<_> = report
+        .suite
+        .iter()
+        .filter(|c| c.node_path == FIGURE2_SCENARIO)
+        .collect();
+    assert!(!scenario_cases.is_empty(), "the Figure-2 path is covered");
+    // Those cases insert then read then remove: they must pass.
+    for case in scenario_cases {
+        let result = report.result.cases.iter().find(|r| r.case_id == case.id).unwrap();
+        assert!(result.status.is_pass(), "scenario case {} failed", case.id);
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    let (bundle, _) = sortable_bundle();
+    let a = Consumer::with_seed(99).generate(&bundle).unwrap();
+    let b = Consumer::with_seed(99).generate(&bundle).unwrap();
+    let c = Consumer::with_seed(100).generate(&bundle).unwrap();
+    assert_eq!(a, b, "same seed, same suite");
+    assert_ne!(a, c, "different seed, different argument values");
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let (bundle, _) = coblist_bundle();
+    let consumer = Consumer::with_seed(21);
+    let suite = consumer.generate(&bundle).unwrap();
+    let r1 = consumer.run_suite(&bundle, &suite).unwrap();
+    let r2 = consumer.run_suite(&bundle, &suite).unwrap();
+    assert_eq!(r1.result, r2.result);
+    assert_eq!(r1.log, r2.log);
+}
+
+#[test]
+fn bit_disabled_run_skips_assertions() {
+    use concat::driver::{TestLog, TestRunner};
+    let (bundle, _) = coblist_bundle();
+    let suite = Consumer::with_seed(31).generate(&bundle).unwrap();
+    let runner = TestRunner::without_bit();
+    let result = runner.run_suite(bundle.factory(), &suite, &mut TestLog::new());
+    assert_eq!(runner.bit_control().checks(), 0, "deployment mode: no checks");
+    // Without preconditions some cases raise domain errors instead.
+    for case in &result.cases {
+        assert!(
+            !matches!(case.status, CaseStatus::AssertionViolated { .. }),
+            "no assertion can fire with BIT off"
+        );
+    }
+}
+
+#[test]
+fn custom_generator_config_flows_through() {
+    let (bundle, _) = sortable_bundle();
+    let consumer = Consumer::with_config(GeneratorConfig {
+        seed: 5,
+        expansion: concat::driver::Expansion::Covering { repeats: 1 },
+        ..GeneratorConfig::default()
+    });
+    let small = consumer.generate(&bundle).unwrap();
+    let big = Consumer::with_seed(5).generate(&bundle).unwrap();
+    assert!(small.len() < big.len());
+    assert_eq!(small.stats.transactions, big.stats.transactions);
+}
+
+#[test]
+fn suite_runs_are_independent_across_cases() {
+    // Each case constructs a fresh instance: a destructive case must not
+    // leak state into the next.
+    let (bundle, _) = coblist_bundle();
+    let consumer = Consumer::with_seed(44);
+    let suite = consumer.generate(&bundle).unwrap();
+    let full = consumer.run_suite(&bundle, &suite).unwrap();
+    // Running a single case in isolation gives the same transcript as in
+    // the full run.
+    let lone_id = suite.cases[suite.len() / 2].id;
+    let lone_suite = suite.filtered(&[lone_id]);
+    let lone = consumer.run_suite(&bundle, &lone_suite).unwrap();
+    let in_full = full.result.cases.iter().find(|c| c.case_id == lone_id).unwrap();
+    assert_eq!(lone.result.cases[0].transcript, in_full.transcript);
+}

@@ -1,0 +1,451 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use concat::components::{CObList, CObListFactory};
+use concat::bit::{BitControl, BuiltInTest as _};
+use concat::driver::{
+    DriverGenerator, Expansion, GeneratorConfig, InheritanceMap, InputGenerator, ReuseDecision,
+    ReusePlan, TestingHistory,
+};
+use concat::mutation::MutationSwitch;
+use concat::runtime::Value;
+use concat::tfm::{enumerate_transactions, NodeId, NodeKind, Tfm};
+use concat::tspec::{parse_tspec, print_tspec, ClassSpecBuilder, Domain, MethodCategory};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------
+// TFM: transaction enumeration on random DAGs.
+// ---------------------------------------------------------------------
+
+/// Builds a random layered DAG: birth → k task layers → death, with a
+/// random subset of forward edges (always keeping one canonical chain so
+/// the model validates).
+fn arb_dag() -> impl Strategy<Value = Tfm> {
+    (2usize..6, proptest::collection::vec(any::<bool>(), 0..40)).prop_map(|(layers, coins)| {
+        let mut tfm = Tfm::new("Rand");
+        let mut ids: Vec<NodeId> = Vec::new();
+        ids.push(tfm.add_node("birth", NodeKind::Birth, ["New"]));
+        for i in 0..layers {
+            ids.push(tfm.add_node(format!("t{i}"), NodeKind::Task, [format!("M{i}")]));
+        }
+        ids.push(tfm.add_node("death", NodeKind::Death, ["Drop"]));
+        // canonical chain keeps everything reachable and co-reachable
+        for w in ids.windows(2) {
+            tfm.add_edge(w[0], w[1]);
+        }
+        // random forward skip edges
+        let mut coin = coins.into_iter();
+        for i in 0..ids.len() {
+            for j in (i + 2)..ids.len() {
+                if coin.next().unwrap_or(false) {
+                    tfm.add_edge(ids[i], ids[j]);
+                }
+            }
+        }
+        tfm
+    })
+}
+
+/// Counts birth→death paths by dynamic programming (ground truth).
+fn path_count(tfm: &Tfm) -> usize {
+    fn count(tfm: &Tfm, node: NodeId, memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(c) = memo[node.index()] {
+            return c;
+        }
+        let c = if tfm.node(node).kind == NodeKind::Death {
+            1
+        } else {
+            tfm.successors(node).iter().map(|s| count(tfm, *s, memo)).sum()
+        };
+        memo[node.index()] = Some(c);
+        c
+    }
+    let mut memo = vec![None; tfm.node_count()];
+    tfm.birth_nodes().iter().map(|b| count(tfm, *b, &mut memo)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_validate_and_enumerate_completely(tfm in arb_dag()) {
+        prop_assert!(tfm.validate().is_empty());
+        let set = enumerate_transactions(&tfm);
+        prop_assert!(!set.truncated);
+        prop_assert_eq!(set.len(), path_count(&tfm));
+        // every transaction is a real path
+        for t in &set {
+            prop_assert_eq!(tfm.node(t.nodes[0]).kind, NodeKind::Birth);
+            prop_assert_eq!(tfm.node(*t.nodes.last().unwrap()).kind, NodeKind::Death);
+            for w in t.nodes.windows(2) {
+                prop_assert!(tfm.successors(w[0]).contains(&w[1]));
+            }
+        }
+        // no duplicates
+        let unique: std::collections::HashSet<_> = set.iter().collect();
+        prop_assert_eq!(unique.len(), set.len());
+    }
+
+    // -----------------------------------------------------------------
+    // Domains and input generation.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn generated_inputs_lie_in_their_domain(
+        seed in any::<u64>(),
+        lo in -1000i64..1000,
+        span in 0i64..1000,
+        max_len in 1usize..40,
+        set_vals in proptest::collection::vec(-50i64..50, 1..8),
+    ) {
+        let mut gen = InputGenerator::new(seed);
+        let domains = vec![
+            Domain::int_range(lo, lo + span),
+            Domain::float_range(lo as f64, (lo + span) as f64),
+            Domain::string(max_len),
+            Domain::Set(set_vals.into_iter().map(Value::Int).collect()),
+        ];
+        for d in &domains {
+            for _ in 0..8 {
+                let (v, _) = gen.generate(d).unwrap();
+                prop_assert!(d.contains(&v), "{v:?} escaped {d}");
+                let (b, _) = gen.generate_boundary(d).unwrap();
+                prop_assert!(d.contains(&b), "boundary {b:?} escaped {d}");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Value ordering: a genuine total order (the sorts rely on it).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn value_total_cmp_is_a_total_order(
+        xs in proptest::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                any::<i64>().prop_map(Value::Int),
+                any::<f64>().prop_map(Value::Float),
+                "[a-z]{0,6}".prop_map(Value::from),
+            ],
+            3,
+        )
+    ) {
+        use std::cmp::Ordering;
+        let (a, b, c) = (&xs[0], &xs[1], &xs[2]);
+        // antisymmetry
+        prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+        // reflexivity
+        prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+        // transitivity (on the <= relation)
+        if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // t-spec text format round trip.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn tspec_round_trips(
+        n_attrs in 0usize..4,
+        n_updates in 0usize..4,
+        lo in -500i64..500,
+        span in 0i64..500,
+        max_len in 1usize..30,
+        is_abstract in any::<bool>(),
+    ) {
+        let mut b = ClassSpecBuilder::new("Rand");
+        if is_abstract {
+            b = b.abstract_class();
+        }
+        for i in 0..n_attrs {
+            b = b.attribute(format!("a{i}"), Domain::int_range(lo, lo + span));
+        }
+        b = b.constructor("m1", "Rand");
+        let mut update_ids = Vec::new();
+        for i in 0..n_updates {
+            let id = format!("u{i}");
+            b = b
+                .method(id.clone(), format!("Set{i}"), MethodCategory::Update)
+                .param("v", Domain::string(max_len));
+            update_ids.push(id);
+        }
+        b = b.destructor("m2", "~Rand").birth_node("n1", ["m1"]);
+        if update_ids.is_empty() {
+            b = b.death_node("n2", ["m2"]).edge("n1", "n2");
+        } else {
+            b = b.task_node("n2", update_ids).death_node("n3", ["m2"])
+                .edge("n1", "n2").edge("n2", "n3");
+        }
+        let spec = b.build().unwrap();
+        let text = print_tspec(&spec);
+        let reparsed = parse_tspec(&text).unwrap();
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    // -----------------------------------------------------------------
+    // CObList vs VecDeque model equivalence.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn coblist_behaves_like_a_deque(ops in proptest::collection::vec(0u8..8, 1..60)) {
+        let mut list = CObList::new(BitControl::new_enabled(), MutationSwitch::new());
+        let mut model: VecDeque<i64> = VecDeque::new();
+        let mut k = 0i64;
+        for op in ops {
+            k += 1;
+            match op {
+                0 => {
+                    list.add_head(Value::Int(k)).unwrap();
+                    model.push_front(k);
+                }
+                1 => {
+                    list.add_tail(Value::Int(k));
+                    model.push_back(k);
+                }
+                2 => {
+                    let got = list.remove_head();
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(v)),
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                3 => {
+                    let got = list.remove_tail();
+                    match model.pop_back() {
+                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(v)),
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                4 => {
+                    let idx = k.rem_euclid((model.len() as i64).max(1));
+                    let got = list.get_at(idx);
+                    match model.get(idx as usize) {
+                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(*v)),
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                5 => {
+                    let idx = k.rem_euclid((model.len() as i64).max(1));
+                    let got = list.remove_at(idx);
+                    if (idx as usize) < model.len() {
+                        let v = model.remove(idx as usize).unwrap();
+                        prop_assert_eq!(got.unwrap(), Value::Int(v));
+                    } else {
+                        prop_assert!(got.is_err());
+                    }
+                }
+                6 => {
+                    prop_assert_eq!(list.find(&Value::Int(k - 1)).unwrap(),
+                        model.iter().position(|v| *v == k - 1).map_or(-1, |i| i as i64));
+                }
+                _ => {
+                    list.remove_all();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(list.count(), model.len() as i64);
+            prop_assert!(list.invariant_test().is_ok());
+            let vals: Vec<i64> = list
+                .values()
+                .unwrap()
+                .into_iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            let expect: Vec<i64> = model.iter().copied().collect();
+            prop_assert_eq!(vals, expect);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Covering expansion: alternatives and transactions all covered.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn covering_expansion_covers_all_alternatives(seed in any::<u64>(), repeats in 1usize..4) {
+        let spec = ClassSpecBuilder::new("C")
+            .constructor("m1", "C")
+            .constructor("m1b", "C")
+            .method("a", "A1", MethodCategory::Update)
+            .method("b", "A2", MethodCategory::Update)
+            .method("c", "A3", MethodCategory::Update)
+            .destructor("m2", "~C")
+            .birth_node("n1", ["m1", "m1b"])
+            .task_node("n2", ["a", "b", "c"])
+            .death_node("n3", ["m2"])
+            .edge("n1", "n2")
+            .edge("n2", "n3")
+            .edge("n1", "n3")
+            .build()
+            .unwrap();
+        let mut gen = DriverGenerator::new(GeneratorConfig {
+            seed,
+            expansion: Expansion::Covering { repeats },
+            ..GeneratorConfig::default()
+        });
+        let suite = gen.generate(&spec).unwrap();
+        // every transaction covered
+        let txns: std::collections::HashSet<usize> =
+            suite.iter().map(|c| c.transaction_index).collect();
+        prop_assert_eq!(txns.len(), suite.stats.transactions);
+        // every alternative of node n2 appears in some case of txn 0-1
+        let mut seen = std::collections::HashSet::new();
+        for case in &suite {
+            for m in case.method_names() {
+                seen.insert(m.to_owned());
+            }
+        }
+        for m in ["A1", "A2", "A3"] {
+            prop_assert!(seen.contains(m), "alternative {m} never exercised");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Reuse plan laws.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn reuse_plan_partitions_and_is_monotone(
+        methods_per_case in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..5),
+            1..12,
+        )
+    ) {
+        use concat::driver::{HistoryEntry};
+        let name = |m: u8| format!("M{m}");
+        let history = TestingHistory {
+            class_name: "C".into(),
+            entries: methods_per_case
+                .iter()
+                .enumerate()
+                .map(|(i, ms)| HistoryEntry {
+                    case_id: i,
+                    transaction_index: i,
+                    methods: ms.iter().map(|m| name(*m)).collect(),
+                })
+                .collect(),
+        };
+        let map = InheritanceMap::new()
+            .inherit(["M0", "M1", "M2"])
+            .redefine(["M3"])
+            .add_new(["M4"])
+            .lifecycle(["M5"]);
+        let plan = ReusePlan::analyze(&history, &map);
+        // partition: every case decided exactly once
+        let (skip, retest, obsolete) = plan.counts();
+        prop_assert_eq!(skip + retest + obsolete, history.entries.len());
+        // semantic check per case
+        for (case_id, decision) in &plan.decisions {
+            let entry = &history.entries[*case_id];
+            let has_unknown = entry.methods.iter().any(|m| !["M0","M1","M2","M3","M4","M5"].contains(&m.as_str()));
+            let touches_changed = entry.methods.iter().any(|m| m == "M3" || m == "M4");
+            match decision {
+                ReuseDecision::Obsolete => prop_assert!(has_unknown),
+                ReuseDecision::RetestReused => {
+                    prop_assert!(touches_changed && !has_unknown)
+                }
+                ReuseDecision::SkipRetest => {
+                    prop_assert!(!touches_changed && !has_unknown)
+                }
+            }
+        }
+        // monotonicity: declaring one more method as redefined never
+        // moves a case from Retest to Skip.
+        let stricter = InheritanceMap::new()
+            .inherit(["M1", "M2"])
+            .redefine(["M0", "M3"])
+            .add_new(["M4"])
+            .lifecycle(["M5"]);
+        let plan2 = ReusePlan::analyze(&history, &stricter);
+        for ((id1, d1), (id2, d2)) in plan.decisions.iter().zip(plan2.decisions.iter()) {
+            prop_assert_eq!(id1, id2);
+            if *d1 == ReuseDecision::RetestReused {
+                prop_assert_ne!(*d2, ReuseDecision::SkipRetest);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Factory-constructed components honour per-case isolation.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn factory_instances_are_independent(v in -99i64..99) {
+        use concat::bit::ComponentFactory as _;
+        let f = CObListFactory::default();
+        let mut a = f.construct("CObList", &[], BitControl::new_enabled()).unwrap();
+        let b = f.construct("CObList", &[], BitControl::new_enabled()).unwrap();
+        a.invoke("AddHead", &[Value::Int(v)]).unwrap();
+        let ra = a.reporter();
+        let rb = b.reporter();
+        prop_assert_eq!(ra.get("m_nCount"), Some(&Value::Int(1)));
+        prop_assert_eq!(rb.get("m_nCount"), Some(&Value::Int(0)));
+    }
+}
+
+// -------------------------------------------------------------------
+// Persistence: arbitrary suites and values round-trip through text.
+// -------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // finite floats only: NaN breaks Eq-based round-trip comparison
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[ -~]{0,12}".prop_map(Value::from), // printable ASCII incl. quotes/backslashes
+        ("[A-Za-z]{1,6}", "[A-Za-z0-9 _-]{0,8}")
+            .prop_map(|(c, k)| Value::Obj(concat::runtime::ObjRef::new(c, k))),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn value_literals_round_trip(v in arb_value()) {
+        let text = v.to_literal();
+        let back = concat::runtime::parse_value_literal(&text)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn random_suites_round_trip_through_persistence(
+        seed in any::<u64>(),
+        n_cases in 1usize..6,
+        args in proptest::collection::vec(arb_value(), 0..3),
+    ) {
+        use concat::driver::{load_suite, save_suite, MethodCall, SuiteStats, TestCase, TestSuite};
+        let cases: Vec<TestCase> = (0..n_cases)
+            .map(|i| TestCase {
+                id: i,
+                transaction_index: i % 3,
+                node_path: vec![format!("n{i}"), "end".into()],
+                constructor: MethodCall::generated("m1", "C", args.clone()),
+                calls: vec![MethodCall::generated("m2", "Work", args.clone())],
+            })
+            .collect();
+        let suite = TestSuite {
+            class_name: "C".into(),
+            seed,
+            cases,
+            stats: SuiteStats {
+                transactions: 3,
+                cases: n_cases,
+                truncated: false,
+                manual_args: 0,
+            },
+        };
+        let restored = load_suite(&save_suite(&suite)).unwrap();
+        prop_assert_eq!(restored, suite);
+    }
+}

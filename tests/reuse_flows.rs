@@ -1,0 +1,164 @@
+//! Cross-crate integration: test reuse across the class hierarchy and
+//! suite/history persistence — the rest of the paper's §3.4
+//! infrastructure ("test history creation and maintenance, test
+//! retrieval", template-function reuse).
+
+use concat::components::*;
+use concat::core::{Consumer, SelfTestableBuilder};
+use concat::driver::{
+    load_history, load_suite, retarget_suite, save_history, save_suite, RetargetMap, TestLog,
+    TestRunner, TestingHistory,
+};
+use concat::mutation::MutationSwitch;
+use std::rc::Rc;
+
+#[test]
+fn retargeted_parent_suite_passes_on_subclass() {
+    // The paper's template-function reuse: the parent's full suite,
+    // instantiated with the subclass as class under test.
+    let parent_bundle = SelfTestableBuilder::new(
+        coblist_spec(),
+        Rc::new(CObListFactory::default()),
+    )
+    .build();
+    let suite = Consumer::with_seed(33).generate(&parent_bundle).unwrap();
+
+    let map = RetargetMap::for_subclass("CObList", "CSortableObList");
+    let sub_suite = retarget_suite(&suite, &map);
+    assert_eq!(sub_suite.class_name, "CSortableObList");
+
+    let factory = CSortableObListFactory::new(MutationSwitch::new());
+    let runner = TestRunner::new();
+    let result = runner.run_suite(&factory, &sub_suite, &mut TestLog::new());
+    assert_eq!(
+        result.failed(),
+        0,
+        "inherited behaviour satisfies the parent's entire test suite"
+    );
+}
+
+#[test]
+fn retargeted_suite_transcripts_match_parent() {
+    // Liskov in transcript form: for inherited methods, the subclass's
+    // observable behaviour equals the parent's, case by case.
+    let parent_bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default())).build();
+    let suite = Consumer::with_seed(34).generate(&parent_bundle).unwrap();
+    let runner = TestRunner::new();
+    let parent_result =
+        runner.run_suite(parent_bundle.factory(), &suite, &mut TestLog::new());
+
+    let sub_suite =
+        retarget_suite(&suite, &RetargetMap::for_subclass("CObList", "CSortableObList"));
+    let factory = CSortableObListFactory::new(MutationSwitch::new());
+    let sub_result = runner.run_suite(&factory, &sub_suite, &mut TestLog::new());
+
+    for (p, s) in parent_result.cases.iter().zip(sub_result.cases.iter()) {
+        // The constructor/destructor render differently (different class
+        // names); everything else — outcomes and final state — matches.
+        assert_eq!(p.status, s.status, "case {}", p.case_id);
+        assert_eq!(
+            p.transcript.final_report, s.transcript.final_report,
+            "case {}",
+            p.case_id
+        );
+    }
+}
+
+#[test]
+fn suite_persistence_round_trips_through_text() {
+    let bundle = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::default()),
+    )
+    .build();
+    let suite = Consumer::with_seed(35).generate(&bundle).unwrap();
+    let text = save_suite(&suite);
+    let restored = load_suite(&text).unwrap();
+    assert_eq!(restored, suite);
+}
+
+#[test]
+fn restored_suite_replays_identically() {
+    // Retrieval: a consumer that saved its suite can re-run it later and
+    // observe the same outcomes (regression-test usage).
+    let bundle = SelfTestableBuilder::new(
+        coblist_spec(),
+        Rc::new(CObListFactory::default()),
+    )
+    .build();
+    let consumer = Consumer::with_seed(36);
+    let suite = consumer.generate(&bundle).unwrap();
+    let restored = load_suite(&save_suite(&suite)).unwrap();
+    let a = consumer.run_suite(&bundle, &suite).unwrap();
+    let b = consumer.run_suite(&bundle, &restored).unwrap();
+    assert_eq!(a.result, b.result);
+}
+
+#[test]
+fn history_persistence_preserves_reuse_decisions() {
+    let bundle = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::default()),
+    )
+    .inheritance(sortable_inheritance_map())
+    .build();
+    let consumer = Consumer::with_seed(37);
+    let suite = consumer.generate(&bundle).unwrap();
+    let history = TestingHistory::from_suite(&suite);
+    let restored = load_history(&save_history(&history)).unwrap();
+    assert_eq!(restored, history);
+
+    // The reuse plan computed from the restored history is identical.
+    let plan_a = concat::driver::ReusePlan::analyze(&history, &sortable_inheritance_map());
+    let plan_b = concat::driver::ReusePlan::analyze(&restored, &sortable_inheritance_map());
+    assert_eq!(plan_a, plan_b);
+}
+
+#[test]
+fn abstract_class_workflow_via_retarget() {
+    // Advantage (iii) of §3.2: tests generated for an abstract class can
+    // be incorporated into a subclass's suite. Model: mark the parent
+    // spec abstract, generate from it, and instantiate against the
+    // concrete subclass.
+    let mut abstract_spec = coblist_spec();
+    abstract_spec.is_abstract = true;
+    let bundle = SelfTestableBuilder::new(
+        abstract_spec,
+        Rc::new(CObListFactory::default()),
+    )
+    .build();
+    let suite = Consumer::with_seed(38).generate(&bundle).unwrap();
+    let sub_suite =
+        retarget_suite(&suite, &RetargetMap::for_subclass("CObList", "CSortableObList"));
+    let factory = CSortableObListFactory::default();
+    let runner = TestRunner::new();
+    let result = runner.run_suite(&factory, &sub_suite, &mut TestLog::new());
+    assert_eq!(result.failed(), 0);
+}
+
+#[test]
+fn regression_check_across_releases() {
+    use concat::core::{record_baseline, regression_check};
+    use concat::mutation::{FaultPlan, Replacement, ReqConst};
+    // Old release: record baseline; new release: one behavioural change
+    // (modelled by arming a fault in the shared switch).
+    let switch = MutationSwitch::new();
+    let bundle = SelfTestableBuilder::new(
+        coblist_spec(),
+        Rc::new(CObListFactory::new(switch.clone())),
+    )
+    .build();
+    let suite = Consumer::with_seed(39).generate(&bundle).unwrap();
+    let baseline = record_baseline(&bundle, &suite);
+    assert!(regression_check(&bundle, &suite, &baseline).is_clean());
+
+    switch.arm(FaultPlan {
+        method: "AddHead".into(),
+        site: 0,
+        replacement: Replacement::Const(ReqConst::Null),
+    });
+    let report = regression_check(&bundle, &suite, &baseline);
+    switch.disarm();
+    assert!(!report.is_clean(), "the substituted release must be flagged");
+}
