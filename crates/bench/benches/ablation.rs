@@ -28,18 +28,18 @@ struct Arm {
     score: f64,
 }
 
-fn run_arm(
-    bundle: &SelfTestable,
-    methods: &[&str],
-    bit_enabled: bool,
-    label: &'static str,
-) -> Arm {
+fn run_arm(bundle: &SelfTestable, methods: &[&str], bit_enabled: bool, label: &'static str) -> Arm {
     let consumer = Consumer::with_seed(SEED);
     let suite = consumer.generate(bundle).expect("spec generates");
     let run = consumer
         .evaluate_quality_with(bundle, &suite, methods, &PROBE_SEEDS, bit_enabled)
         .expect("bundle carries mutation support");
-    Arm { label, killed: run.killed(), by_assertion: run.killed_by_assertion(), score: run.score() }
+    Arm {
+        label,
+        killed: run.killed(),
+        by_assertion: run.killed_by_assertion(),
+        score: run.score(),
+    }
 }
 
 fn print_arms(title: &str, arms: &[Arm]) {
@@ -67,7 +67,10 @@ fn main() {
     let sortable = sortable_bundle();
     let t2_on = run_arm(&sortable, &TABLE2_METHODS, true, "BIT on (test mode)");
     let t2_off = run_arm(&sortable, &TABLE2_METHODS, false, "BIT off (deployment)");
-    print_arms("Ablation A — Table 2 mutants (CSortableObList new methods)", &[t2_on, t2_off]);
+    print_arms(
+        "Ablation A — Table 2 mutants (CSortableObList new methods)",
+        &[t2_on, t2_off],
+    );
 
     let base = coblist_bundle();
     let t3_on = run_arm(&base, &TABLE3_METHODS, true, "BIT on (test mode)");
@@ -86,7 +89,10 @@ fn main() {
         .row(
             "assertion kills exist with BIT on",
             "59 of 652 kills by assertion",
-            format!("{} (T2) + {} (T3) assertion kills", rerun_on.by_assertion, base_on.by_assertion),
+            format!(
+                "{} (T2) + {} (T3) assertion kills",
+                rerun_on.by_assertion, base_on.by_assertion
+            ),
             rerun_on.by_assertion > 0 && base_on.by_assertion > 0,
         )
         .row(

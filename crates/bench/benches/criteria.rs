@@ -12,9 +12,7 @@
 
 use concat_bench::{sortable_bundle, PROBE_SEEDS, SEED, TABLE2_METHODS};
 use concat_core::Consumer;
-use concat_driver::{
-    select_transactions, DriverGenerator, GeneratorConfig, SelectionCriterion,
-};
+use concat_driver::{select_transactions, DriverGenerator, GeneratorConfig, SelectionCriterion};
 use concat_report::{AsciiTable, Comparison};
 use concat_tfm::EnumerationConfig;
 
@@ -22,14 +20,20 @@ fn main() {
     let started = std::time::Instant::now();
     let bundle = sortable_bundle();
     let consumer = Consumer::with_seed(SEED);
-    let config = GeneratorConfig { seed: SEED, ..GeneratorConfig::default() };
+    let config = GeneratorConfig {
+        seed: SEED,
+        ..GeneratorConfig::default()
+    };
 
     let mut rows = Vec::new();
     for criterion in SelectionCriterion::LADDER {
         let selection = select_transactions(
             &bundle.spec().tfm,
             criterion,
-            EnumerationConfig { cycle_bound: config.cycle_bound, max_transactions: config.max_transactions },
+            EnumerationConfig {
+                cycle_bound: config.cycle_bound,
+                max_transactions: config.max_transactions,
+            },
         );
         assert!(selection.is_complete(), "{criterion} must be achievable");
         let mut gen = DriverGenerator::new(config);
@@ -39,7 +43,12 @@ fn main() {
         let run = consumer
             .evaluate_quality(&bundle, &suite, &TABLE2_METHODS, &PROBE_SEEDS)
             .expect("bundle carries mutation support");
-        rows.push((criterion, selection.transaction_indices.len(), suite.len(), run));
+        rows.push((
+            criterion,
+            selection.transaction_indices.len(),
+            suite.len(),
+            run,
+        ));
     }
 
     let mut t = AsciiTable::new(vec![

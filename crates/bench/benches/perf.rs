@@ -1,19 +1,56 @@
-//! Criterion micro-benchmarks of the pipeline stages: transaction
-//! enumeration, suite generation, suite execution, and mutation analysis
-//! throughput. These are not paper artefacts (the paper reports no
-//! performance numbers); they document the cost profile of the
-//! reproduction and guard against performance regressions.
+//! Micro-benchmarks of the pipeline stages: transaction enumeration,
+//! suite generation, suite execution, and mutation analysis throughput.
+//! These are not paper artefacts (the paper reports no performance
+//! numbers); they document the cost profile of the reproduction and
+//! guard against performance regressions.
+//!
+//! The harness is hand-rolled (the build environment is offline, so no
+//! criterion): each benchmark runs a timed batch repeatedly for a fixed
+//! wall-clock budget and reports min/median ns per iteration. The final
+//! pair of rows compares `run_suite` with telemetry disabled against
+//! telemetry over a `NullSink` — the acceptance bar is that the NullSink
+//! path costs nothing measurable (±5%).
 //!
 //! Run with: `cargo bench -p concat-bench --bench perf`
 
-use concat_bench::{coblist_bundle, sortable_bundle, SEED, TABLE2_METHODS};
+use concat_bench::{coblist_bundle, sortable_bundle, SEED};
 use concat_components::{sortable_inventory, sortable_spec};
 use concat_core::Consumer;
 use concat_driver::{TestLog, TestRunner};
 use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig};
+use concat_obs::{NullSink, Telemetry};
 use concat_tfm::{enumerate_transactions, NodeKind, Tfm};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly for ~`budget`, returning (min, median) nanoseconds
+/// per call over the collected samples.
+fn measure(budget: Duration, mut f: impl FnMut()) -> (u64, u64) {
+    // warmup
+    let warm_until = Instant::now() + budget / 5;
+    while Instant::now() < warm_until {
+        f();
+    }
+    let mut samples: Vec<u64> = Vec::new();
+    let run_until = Instant::now() + budget;
+    while Instant::now() < run_until {
+        let t0 = Instant::now();
+        f();
+        samples.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    samples.sort_unstable();
+    let min = samples.first().copied().unwrap_or(0);
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+    (min, median)
+}
+
+fn report(name: &str, (min, median): (u64, u64)) -> u64 {
+    println!("{name:<44} min {min:>12} ns    median {median:>12} ns");
+    median
+}
+
+const BUDGET: Duration = Duration::from_millis(300);
 
 /// Layered DAG with `layers` task layers of `width` nodes each, fully
 /// connected layer to layer — a TFM stress shape.
@@ -39,94 +76,131 @@ fn layered_tfm(layers: usize, width: usize) -> Tfm {
     tfm
 }
 
-fn bench_transaction_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tfm/enumerate_transactions");
+fn main() {
+    println!("== perf: pipeline stage micro-benchmarks ==\n");
+
     for (layers, width) in [(4, 2), (6, 2), (8, 2), (4, 3)] {
         let tfm = layered_tfm(layers, width);
         let paths = enumerate_transactions(&tfm).len();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{layers}x{width}({paths} paths)")),
-            &tfm,
-            |b, tfm| b.iter(|| black_box(enumerate_transactions(tfm).len())),
+        report(
+            &format!("tfm/enumerate {layers}x{width} ({paths} paths)"),
+            measure(BUDGET, || {
+                black_box(enumerate_transactions(black_box(&tfm)).len());
+            }),
         );
     }
-    group.finish();
-}
 
-fn bench_suite_generation(c: &mut Criterion) {
     let bundle = sortable_bundle();
-    c.bench_function("driver/generate_sortable_suite", |b| {
-        b.iter(|| {
+    report(
+        "driver/generate_sortable_suite",
+        measure(BUDGET, || {
             let consumer = Consumer::with_seed(SEED);
-            black_box(consumer.generate(&bundle).unwrap().len())
-        })
-    });
-}
+            black_box(consumer.generate(&bundle).unwrap().len());
+        }),
+    );
 
-fn bench_suite_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("driver/run_suite");
-    for (name, bundle) in [("coblist", coblist_bundle()), ("sortable", sortable_bundle())] {
+    for (name, bundle) in [
+        ("coblist", coblist_bundle()),
+        ("sortable", sortable_bundle()),
+    ] {
         let consumer = Consumer::with_seed(SEED);
         let suite = consumer.generate(&bundle).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(format!("{name}({} cases)", suite.len())), |b| {
-            b.iter_batched(
-                TestLog::new,
-                |mut log| {
-                    let runner = TestRunner::new();
-                    black_box(runner.run_suite(bundle.factory(), &suite, &mut log).passed())
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        report(
+            &format!("driver/run_suite/{name} ({} cases)", suite.len()),
+            measure(BUDGET, || {
+                let mut log = TestLog::new();
+                let runner = TestRunner::new();
+                black_box(
+                    runner
+                        .run_suite(bundle.factory(), &suite, &mut log)
+                        .passed(),
+                );
+            }),
+        );
     }
-    group.finish();
-}
 
-fn bench_mutation_analysis(c: &mut Criterion) {
     // One method's mutants against a reduced suite: a unit of mutation
     // work small enough to iterate.
     let bundle = sortable_bundle();
     let consumer = Consumer::with_seed(SEED);
     let suite = consumer.generate(&bundle).unwrap();
-    let small = suite.filtered(&suite.cases.iter().map(|c| c.id).take(60).collect::<Vec<_>>());
-    let mutants = enumerate_mutants(&sortable_inventory(), &["FindMax"]);
-    c.bench_function(
-        &format!("mutation/findmax({}mutants x {}cases)", mutants.len(), small.len()),
-        |b| {
-            b.iter(|| {
-                let run = run_mutation_analysis(
-                    bundle.factory(),
-                    bundle.switch().unwrap(),
-                    &small,
-                    &mutants,
-                    &MutationConfig::default(),
-                );
-                black_box(run.killed())
-            })
-        },
+    let small = suite.filtered(
+        &suite
+            .cases
+            .iter()
+            .map(|c| c.id)
+            .take(60)
+            .collect::<Vec<_>>(),
     );
-}
+    let mutants = enumerate_mutants(&sortable_inventory(), &["FindMax"]);
+    report(
+        &format!(
+            "mutation/findmax ({} mutants x {} cases)",
+            mutants.len(),
+            small.len()
+        ),
+        measure(BUDGET, || {
+            let run = run_mutation_analysis(
+                bundle.factory(),
+                bundle.switch().unwrap(),
+                &small,
+                &mutants,
+                &MutationConfig::default(),
+            );
+            black_box(run.killed());
+        }),
+    );
 
-fn bench_spec_validation(c: &mut Criterion) {
     let spec = sortable_spec();
-    c.bench_function("tspec/validate_sortable", |b| {
-        b.iter(|| black_box(spec.validate().len()))
-    });
-    c.bench_function("tspec/print_parse_roundtrip", |b| {
-        b.iter(|| {
+    report(
+        "tspec/validate_sortable",
+        measure(BUDGET, || {
+            black_box(spec.validate().len());
+        }),
+    );
+    report(
+        "tspec/print_parse_roundtrip",
+        measure(BUDGET, || {
             let text = concat_tspec::print_tspec(&spec);
-            black_box(concat_tspec::parse_tspec(&text).unwrap().methods.len())
-        })
-    });
-    let _ = TABLE2_METHODS;
-}
+            black_box(concat_tspec::parse_tspec(&text).unwrap().methods.len());
+        }),
+    );
 
-criterion_group!(
-    benches,
-    bench_transaction_enumeration,
-    bench_suite_generation,
-    bench_suite_execution,
-    bench_mutation_analysis,
-    bench_spec_validation
-);
-criterion_main!(benches);
+    // Telemetry overhead check: a disabled handle vs. a NullSink-backed
+    // handle (which must collapse to the same fast path). The two medians
+    // should agree within noise; a wide gap is a regression in the
+    // telemetry fast path.
+    let bundle = coblist_bundle();
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(&bundle).unwrap();
+    let off = report(
+        "obs/run_suite telemetry=disabled",
+        measure(BUDGET, || {
+            let mut log = TestLog::new();
+            let runner = TestRunner::new();
+            black_box(
+                runner
+                    .run_suite(bundle.factory(), &suite, &mut log)
+                    .passed(),
+            );
+        }),
+    );
+    let null = report(
+        "obs/run_suite telemetry=NullSink",
+        measure(BUDGET, || {
+            let mut log = TestLog::new();
+            let runner = TestRunner::new().with_telemetry(Telemetry::new(Arc::new(NullSink)));
+            black_box(
+                runner
+                    .run_suite(bundle.factory(), &suite, &mut log)
+                    .passed(),
+            );
+        }),
+    );
+    let delta_pct = if off == 0 {
+        0.0
+    } else {
+        (null as f64 - off as f64) * 100.0 / off as f64
+    };
+    println!("\nobs/null-sink overhead: {delta_pct:+.2}% (bar: within ±5%)");
+}

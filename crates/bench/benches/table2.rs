@@ -39,7 +39,10 @@ fn main() {
 
     println!(
         "{}",
-        render_score_table("Table 2. Results obtained for the CSortableObList class.", &outcome.matrix)
+        render_score_table(
+            "Table 2. Results obtained for the CSortableObList class.",
+            &outcome.matrix
+        )
     );
     println!("{}\n", summarize_run(&outcome.run));
 
@@ -74,7 +77,10 @@ fn main() {
         .row(
             "equivalent mutants",
             "19 of 700 (15 in IndVarRepReq)",
-            format!("{} of {} ({} in IndVarRepReq)", overall.equivalent, overall.mutants, req.equivalent),
+            format!(
+                "{} of {} ({} in IndVarRepReq)",
+                overall.equivalent, overall.mutants, req.equivalent
+            ),
             req.equivalent * 2 >= overall.equivalent,
         )
         .row(

@@ -115,7 +115,9 @@ pub fn run_table3(seed: u64) -> Table3Outcome {
     let bundle = sortable_bundle();
     let consumer = Consumer::with_seed(seed);
     let full_suite = consumer.generate(&bundle).expect("sortable spec generates");
-    let plan = consumer.subclass_plan(&bundle, &full_suite).expect("bundle carries a map");
+    let plan = consumer
+        .subclass_plan(&bundle, &full_suite)
+        .expect("bundle carries a map");
     let reduced_suite = full_suite.filtered(&plan.reused_case_ids());
     let skipped = plan.skipped_case_ids().len();
 
@@ -140,7 +142,13 @@ pub fn run_table3(seed: u64) -> Table3Outcome {
         run: base_run,
     };
 
-    Table3Outcome { full_suite, reduced_suite, skipped, reduced, ablation }
+    Table3Outcome {
+        full_suite,
+        reduced_suite,
+        skipped,
+        reduced,
+        ablation,
+    }
 }
 
 #[cfg(test)]

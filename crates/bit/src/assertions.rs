@@ -48,6 +48,7 @@ pub fn check(
         return Ok(());
     }
     ctl.record_check();
+    ctl.emit_assertion(kind, holds);
     if holds {
         Ok(())
     } else {

@@ -128,8 +128,11 @@ mod tests {
         ) -> Result<Box<dyn TestableComponent>, TestException> {
             match constructor {
                 "Gauge" => {
-                    let level =
-                        if args_.is_empty() { 0 } else { args::int(constructor, args_, 0)? };
+                    let level = if args_.is_empty() {
+                        0
+                    } else {
+                        args::int(constructor, args_, 0)?
+                    };
                     Ok(Box::new(Gauge { level, ctl }))
                 }
                 other => Err(unknown_method("Gauge", other)),
@@ -140,7 +143,9 @@ mod tests {
     #[test]
     fn factory_builds_testable_instances() {
         let ctl = BitControl::new_enabled();
-        let mut g = GaugeFactory.construct("Gauge", &[Value::Int(3)], ctl).unwrap();
+        let mut g = GaugeFactory
+            .construct("Gauge", &[Value::Int(3)], ctl)
+            .unwrap();
         assert_eq!(g.invoke("Level", &[]).unwrap(), Value::Int(3));
         assert!(g.invariant_test().is_ok());
         assert_eq!(g.reporter().get("level"), Some(&Value::Int(3)));
@@ -177,8 +182,7 @@ mod tests {
     fn trait_objects_compose() {
         // TestableComponent is object-safe and blanket-implemented.
         let ctl = BitControl::new_enabled();
-        let boxed: Box<dyn TestableComponent> =
-            GaugeFactory.construct("Gauge", &[], ctl).unwrap();
+        let boxed: Box<dyn TestableComponent> = GaugeFactory.construct("Gauge", &[], ctl).unwrap();
         assert_eq!(boxed.class_name(), "Gauge");
     }
 }

@@ -8,8 +8,10 @@
 //! instance, which additionally lets experiments measure the assertions-on
 //! vs assertions-off ablation without rebuilding.
 
+use concat_obs::Telemetry;
+use concat_runtime::AssertionKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Shared test-mode switch plus assertion-activity counters.
 ///
@@ -36,6 +38,11 @@ struct Inner {
     enabled: AtomicBool,
     checks: AtomicU64,
     violations: AtomicU64,
+    /// Fast-path flag mirroring `telemetry.is_enabled()`; checked before
+    /// taking the lock so assertion-heavy components pay one relaxed
+    /// atomic load when nobody is watching.
+    telemetry_on: AtomicBool,
+    telemetry: RwLock<Telemetry>,
 }
 
 impl BitControl {
@@ -85,6 +92,57 @@ impl BitControl {
     pub fn reset_counters(&self) {
         self.inner.checks.store(0, Ordering::Relaxed);
         self.inner.violations.store(0, Ordering::Relaxed);
+    }
+
+    /// Attaches a telemetry handle: every assertion evaluated in test mode
+    /// increments `bit.<kind>.checks` (and `bit.<kind>.violations` when it
+    /// fails). Shared by all clones of this control — components built
+    /// under an instrumented harness report automatically.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.inner
+            .telemetry_on
+            .store(telemetry.is_enabled(), Ordering::Relaxed);
+        *self
+            .inner
+            .telemetry
+            .write()
+            .expect("bit telemetry poisoned") = telemetry;
+    }
+
+    /// A clone of the attached telemetry handle — disabled when none was
+    /// set, so callers can capture it once and emit unconditionally.
+    pub fn telemetry(&self) -> Telemetry {
+        if !self.inner.telemetry_on.load(Ordering::Relaxed) {
+            return Telemetry::disabled();
+        }
+        self.inner
+            .telemetry
+            .read()
+            .expect("bit telemetry poisoned")
+            .clone()
+    }
+
+    /// Emits per-kind assertion telemetry; called by [`crate::check`]
+    /// after the test-mode gate, so deployment-mode components emit
+    /// nothing.
+    pub(crate) fn emit_assertion(&self, kind: AssertionKind, holds: bool) {
+        if !self.inner.telemetry_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let telemetry = self.inner.telemetry.read().expect("bit telemetry poisoned");
+        let (checks, violations) = match kind {
+            AssertionKind::Invariant => ("bit.invariant.checks", "bit.invariant.violations"),
+            AssertionKind::Precondition => {
+                ("bit.precondition.checks", "bit.precondition.violations")
+            }
+            AssertionKind::Postcondition => {
+                ("bit.postcondition.checks", "bit.postcondition.violations")
+            }
+        };
+        telemetry.incr(checks);
+        if !holds {
+            telemetry.incr(violations);
+        }
     }
 }
 

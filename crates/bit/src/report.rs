@@ -85,7 +85,9 @@ impl fmt::Display for StateReport {
 
 impl FromIterator<(String, Value)> for StateReport {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
-        StateReport { entries: iter.into_iter().collect() }
+        StateReport {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -130,8 +132,7 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut r: StateReport =
-            vec![("k".to_owned(), Value::Int(9))].into_iter().collect();
+        let mut r: StateReport = vec![("k".to_owned(), Value::Int(9))].into_iter().collect();
         r.extend(vec![("l".to_owned(), Value::Null)]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());

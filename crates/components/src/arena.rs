@@ -78,11 +78,21 @@ impl NodeArena {
     pub fn alloc(&mut self, value: Value) -> i64 {
         match self.free.pop() {
             Some(idx) => {
-                self.slots[idx] = Slot { value, prev: NIL, next: NIL, live: true };
+                self.slots[idx] = Slot {
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                    live: true,
+                };
                 idx as i64
             }
             None => {
-                self.slots.push(Slot { value, prev: NIL, next: NIL, live: true });
+                self.slots.push(Slot {
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                    live: true,
+                });
                 (self.slots.len() - 1) as i64
             }
         }
@@ -296,7 +306,10 @@ mod tests {
         let (arena, head, _) = chain(&[10, 20, 30]);
         let vals = arena.collect_forward(head, 100).unwrap();
         assert_eq!(vals, vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
-        assert_eq!(arena.collect_forward(NIL, 100).unwrap(), Vec::<Value>::new());
+        assert_eq!(
+            arena.collect_forward(NIL, 100).unwrap(),
+            Vec::<Value>::new()
+        );
     }
 
     #[test]

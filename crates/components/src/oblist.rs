@@ -125,7 +125,10 @@ impl CObList {
         let mut steps = 0usize;
         while cur != NIL {
             if steps >= WALK_BUDGET {
-                return Err(TestException::domain(method, "corrupt chain: walk budget exceeded"));
+                return Err(TestException::domain(
+                    method,
+                    "corrupt chain: walk budget exceeded",
+                ));
             }
             out.push(cur);
             cur = self.arena.next(cur).map_err(|e| bad_link(method, e))?;
@@ -140,7 +143,11 @@ impl CObList {
     ///
     /// [`TestException::Domain`] on an invalid link.
     pub fn node_value(&self, method: &str, node: i64) -> Result<Value, TestException> {
-        Ok(self.arena.value(node).map_err(|e| bad_link(method, e))?.clone())
+        Ok(self
+            .arena
+            .value(node)
+            .map_err(|e| bad_link(method, e))?
+            .clone())
     }
 
     /// Overwrites the value stored at an arena node.
@@ -154,7 +161,9 @@ impl CObList {
         node: i64,
         value: Value,
     ) -> Result<(), TestException> {
-        self.arena.set_value(node, value).map_err(|e| bad_link(method, e))
+        self.arena
+            .set_value(node, value)
+            .map_err(|e| bad_link(method, e))
     }
 
     // ------------------------------------------------------------------
@@ -179,11 +188,15 @@ impl CObList {
             .bind("pOldHead", p_old_head);
         // Site 0: the new node's next link ← pOldHead.
         let next_link = self.switch.read_int(M, 0, "pOldHead", p_old_head, &env);
-        self.arena.set_next(p_new_node, next_link).map_err(|e| bad_link(M, e))?;
+        self.arena
+            .set_next(p_new_node, next_link)
+            .map_err(|e| bad_link(M, e))?;
         if p_old_head != NIL {
             // Site 1: the old head's prev link ← pNewNode.
             let prev_link = self.switch.read_int(M, 1, "pNewNode", p_new_node, &env);
-            self.arena.set_prev(p_old_head, prev_link).map_err(|e| bad_link(M, e))?;
+            self.arena
+                .set_prev(p_old_head, prev_link)
+                .map_err(|e| bad_link(M, e))?;
         } else {
             // Site 2: the tail update when the list was empty.
             self.tail = self.switch.read_int(M, 2, "pNewNode", p_new_node, &env);
@@ -221,7 +234,9 @@ impl CObList {
         if self.head == NIL {
             self.tail = NIL;
         } else {
-            self.arena.set_prev(self.head, NIL).map_err(|e| bad_link(M, e))?;
+            self.arena
+                .set_prev(self.head, NIL)
+                .map_err(|e| bad_link(M, e))?;
         }
         // Site 2: the count update.
         self.count = self.switch.read_int(M, 2, "nNewCount", n_new_count, &env);
@@ -239,12 +254,7 @@ impl CObList {
     /// traversal or the unlinking.
     pub fn remove_at(&mut self, index: i64) -> InvokeResult {
         const M: &str = "RemoveAt";
-        concat_bit::pre_condition!(
-            &self.ctl,
-            Self::CLASS,
-            M,
-            index >= 0 && index < self.count
-        );
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, M, index >= 0 && index < self.count);
         let mut p_cur = self.head;
         let mut i = 0i64;
         let mut fuel = WATCHDOG;
@@ -281,12 +291,16 @@ impl CObList {
         if unlink_prev == NIL {
             self.head = unlink_next;
         } else {
-            self.arena.set_next(unlink_prev, unlink_next).map_err(|e| bad_link(M, e))?;
+            self.arena
+                .set_next(unlink_prev, unlink_next)
+                .map_err(|e| bad_link(M, e))?;
         }
         if unlink_next == NIL {
             self.tail = unlink_prev;
         } else {
-            self.arena.set_prev(unlink_next, unlink_prev).map_err(|e| bad_link(M, e))?;
+            self.arena
+                .set_prev(unlink_next, unlink_prev)
+                .map_err(|e| bad_link(M, e))?;
         }
         // Site 4: which node to free.
         let to_free = self.switch.read_int(M, 4, "pCur", p_cur, &env);
@@ -398,13 +412,21 @@ impl CObList {
         let node = self.node_at(M, index)?;
         let next = self.arena.next(node).map_err(|e| bad_link(M, e))?;
         let fresh = self.arena.alloc(value);
-        self.arena.set_prev(fresh, node).map_err(|e| bad_link(M, e))?;
-        self.arena.set_next(fresh, next).map_err(|e| bad_link(M, e))?;
-        self.arena.set_next(node, fresh).map_err(|e| bad_link(M, e))?;
+        self.arena
+            .set_prev(fresh, node)
+            .map_err(|e| bad_link(M, e))?;
+        self.arena
+            .set_next(fresh, next)
+            .map_err(|e| bad_link(M, e))?;
+        self.arena
+            .set_next(node, fresh)
+            .map_err(|e| bad_link(M, e))?;
         if next == NIL {
             self.tail = fresh;
         } else {
-            self.arena.set_prev(next, fresh).map_err(|e| bad_link(M, e))?;
+            self.arena
+                .set_prev(next, fresh)
+                .map_err(|e| bad_link(M, e))?;
         }
         self.count += 1;
         Ok(())
@@ -530,7 +552,8 @@ impl BuiltInTest for CObList {
             Self::CLASS,
             "",
             "chain(head, tail, count) is consistent",
-            self.arena.chain_consistent(self.head, self.tail, self.count),
+            self.arena
+                .chain_consistent(self.head, self.tail, self.count),
         )
     }
 
@@ -605,8 +628,18 @@ pub fn coblist_spec() -> ClassSpec {
     ClassSpecBuilder::new(CObList::CLASS)
         .source_file("coblist.cpp")
         .attribute("m_nCount", Domain::int_range(0, 99_999))
-        .attribute("m_pNodeHead", Domain::Pointer { class_name: "CNode".into() })
-        .attribute("m_pNodeTail", Domain::Pointer { class_name: "CNode".into() })
+        .attribute(
+            "m_pNodeHead",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
+        .attribute(
+            "m_pNodeTail",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
         .attribute("m_nBlockSize", Domain::int_range(1, 64))
         .constructor("m1", "CObList")
         .constructor("m1b", "CObList")
@@ -720,7 +753,10 @@ mod tests {
         l.add_head(Value::Int(2)).unwrap();
         l.add_head(Value::Int(1)).unwrap();
         l.add_tail(Value::Int(3));
-        assert_eq!(l.values().unwrap(), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            l.values().unwrap(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
         assert_eq!(l.remove_head().unwrap(), Value::Int(1));
         assert_eq!(l.remove_tail().unwrap(), Value::Int(3));
         assert_eq!(l.count(), 1);
@@ -838,7 +874,10 @@ mod tests {
             replacement: Replacement::Var("pOldHead".into()),
         });
         l.add_head(Value::Int(2)).unwrap();
-        assert!(l.invariant_test().is_err(), "corrupted chain must violate the invariant");
+        assert!(
+            l.invariant_test().is_err(),
+            "corrupted chain must violate the invariant"
+        );
     }
 
     #[test]
@@ -908,14 +947,20 @@ mod tests {
     #[test]
     fn factory_constructs_and_rejects() {
         let f = CObListFactory::default();
-        let c = f.construct("CObList", &[], BitControl::new_enabled()).unwrap();
+        let c = f
+            .construct("CObList", &[], BitControl::new_enabled())
+            .unwrap();
         assert_eq!(c.class_name(), "CObList");
         assert!(f.construct("Nope", &[], BitControl::new_enabled()).is_err());
         assert!(f
             .construct("CObList", &[Value::Int(8)], BitControl::new_enabled())
             .is_ok());
         assert!(f
-            .construct("CObList", &[Value::Int(8), Value::Int(9)], BitControl::new_enabled())
+            .construct(
+                "CObList",
+                &[Value::Int(8), Value::Int(9)],
+                BitControl::new_enabled()
+            )
             .is_err());
         let _ = f.switch();
     }

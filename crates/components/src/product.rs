@@ -11,8 +11,7 @@
 use crate::stockdb::{ProductRow, StockDb, StockDbError};
 use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat_runtime::{
-    args, unknown_method, AssertionViolation, Component, InvokeResult, ObjRef, TestException,
-    Value,
+    args, unknown_method, AssertionViolation, Component, InvokeResult, ObjRef, TestException, Value,
 };
 use concat_tspec::{ClassSpec, ClassSpecBuilder, Domain, MethodCategory};
 
@@ -37,12 +36,22 @@ impl Product {
 
     /// `Product()` — the default constructor.
     pub fn new(db: StockDb, ctl: BitControl) -> Self {
-        Product { qty: 1, name: "unnamed".into(), price: 0.0, prov: None, db, ctl }
+        Product {
+            qty: 1,
+            name: "unnamed".into(),
+            price: 0.0,
+            prov: None,
+            db,
+            ctl,
+        }
     }
 
     /// `Product(char* n)`.
     pub fn with_name(name: impl Into<String>, db: StockDb, ctl: BitControl) -> Self {
-        Product { name: name.into(), ..Self::new(db, ctl) }
+        Product {
+            name: name.into(),
+            ..Self::new(db, ctl)
+        }
     }
 
     /// `Product(int q, char* n, float p, Provider* prv)`.
@@ -54,7 +63,14 @@ impl Product {
         db: StockDb,
         ctl: BitControl,
     ) -> Self {
-        Product { qty, name: name.into(), price, prov, db, ctl }
+        Product {
+            qty,
+            name: name.into(),
+            price,
+            prov,
+            db,
+            ctl,
+        }
     }
 
     /// `UpdateQty(q)`.
@@ -63,7 +79,12 @@ impl Product {
     ///
     /// A precondition violation when `q` is outside `[1, 99999]`.
     pub fn update_qty(&mut self, q: i64) -> Result<(), TestException> {
-        concat_bit::pre_condition!(&self.ctl, Self::CLASS, "UpdateQty", (1..=99_999).contains(&q));
+        concat_bit::pre_condition!(
+            &self.ctl,
+            Self::CLASS,
+            "UpdateQty",
+            (1..=99_999).contains(&q)
+        );
         self.qty = q;
         Ok(())
     }
@@ -260,7 +281,9 @@ impl ProductFactory {
 
     /// Factory whose products all share `db`.
     pub fn with_shared_db(db: StockDb) -> Self {
-        ProductFactory { shared_db: Some(db) }
+        ProductFactory {
+            shared_db: Some(db),
+        }
     }
 
     fn db(&self) -> StockDb {
@@ -294,7 +317,14 @@ impl ComponentFactory for ProductFactory {
                 let name = args::str(constructor, a, 1)?.to_owned();
                 let price = args::float(constructor, a, 2)?;
                 let prov = args::obj_opt(constructor, a, 3)?.cloned();
-                Ok(Box::new(Product::with_attributes(qty, name, price, prov, self.db(), ctl)))
+                Ok(Box::new(Product::with_attributes(
+                    qty,
+                    name,
+                    price,
+                    prov,
+                    self.db(),
+                    ctl,
+                )))
             }
             got => Err(TestException::ArityMismatch {
                 method: constructor.to_owned(),
@@ -314,13 +344,23 @@ pub fn product_spec() -> ClassSpec {
         .attribute("qty", Domain::int_range(1, 99_999))
         .attribute("name", Domain::string(30))
         .attribute("price", Domain::float_range(0.0, 10_000.0))
-        .attribute("prov", Domain::Pointer { class_name: "Provider".into() })
+        .attribute(
+            "prov",
+            Domain::Pointer {
+                class_name: "Provider".into(),
+            },
+        )
         .constructor("m1", "Product")
         .constructor("m2", "Product")
         .param("q", Domain::int_range(1, 99_999))
         .param("n", Domain::string(30))
         .param("p", Domain::float_range(0.0, 10_000.0))
-        .param("prv", Domain::Pointer { class_name: "Provider".into() })
+        .param(
+            "prv",
+            Domain::Pointer {
+                class_name: "Provider".into(),
+            },
+        )
         .constructor("m3", "Product")
         .param("n", Domain::string(30))
         .method("m4", "UpdateName", MethodCategory::Update)
@@ -330,7 +370,12 @@ pub fn product_spec() -> ClassSpec {
         .method("m6", "UpdatePrice", MethodCategory::Update)
         .param("p", Domain::float_range(0.0, 10_000.0))
         .method("m7", "UpdateProv", MethodCategory::Update)
-        .param("prv", Domain::Pointer { class_name: "Provider".into() })
+        .param(
+            "prv",
+            Domain::Pointer {
+                class_name: "Provider".into(),
+            },
+        )
         .method("m8", "ShowAttributes", MethodCategory::Access)
         .returns("AttributeTuple")
         .method("m9", "InsertProduct", MethodCategory::Database)
@@ -376,8 +421,7 @@ pub fn register_provider_pool(inputs: &mut concat_driver::InputGenerator) {
     inputs.register_provider(
         "Provider",
         Box::new(|rng| {
-            use rand::Rng as _;
-            let id = rng.gen_range(1..=3);
+            let id = rng.int_in(1, 3);
             Value::Obj(ObjRef::new("Provider", format!("p{id}")))
         }),
     );
@@ -394,9 +438,15 @@ mod tests {
     #[test]
     fn constructors_set_attributes() {
         let p = product();
-        assert_eq!(p.show_attributes().as_list().unwrap()[0], Value::Str("unnamed".into()));
+        assert_eq!(
+            p.show_attributes().as_list().unwrap()[0],
+            Value::Str("unnamed".into())
+        );
         let p = Product::with_name("Soap", StockDb::new(), BitControl::new_enabled());
-        assert_eq!(p.show_attributes().as_list().unwrap()[0], Value::Str("Soap".into()));
+        assert_eq!(
+            p.show_attributes().as_list().unwrap()[0],
+            Value::Str("Soap".into())
+        );
         let p = Product::with_attributes(
             5,
             "Towel",
@@ -451,10 +501,12 @@ mod tests {
     #[test]
     fn dispatch_and_reporter() {
         let mut p = product();
-        p.invoke("UpdateName", &[Value::Str("Soap".into())]).unwrap();
+        p.invoke("UpdateName", &[Value::Str("Soap".into())])
+            .unwrap();
         p.invoke("UpdateQty", &[Value::Int(3)]).unwrap();
         p.invoke("UpdatePrice", &[Value::Float(1.5)]).unwrap();
-        p.invoke("UpdateProv", &[Value::Obj(ObjRef::new("Provider", "p2"))]).unwrap();
+        p.invoke("UpdateProv", &[Value::Obj(ObjRef::new("Provider", "p2"))])
+            .unwrap();
         p.invoke("InsertProduct", &[]).unwrap();
         let r = p.reporter();
         assert_eq!(r.get("qty"), Some(&Value::Int(3)));
@@ -476,9 +528,15 @@ mod tests {
     #[test]
     fn factory_arities() {
         let f = ProductFactory::new();
-        assert!(f.construct("Product", &[], BitControl::new_enabled()).is_ok());
         assert!(f
-            .construct("Product", &[Value::Str("Soap".into())], BitControl::new_enabled())
+            .construct("Product", &[], BitControl::new_enabled())
+            .is_ok());
+        assert!(f
+            .construct(
+                "Product",
+                &[Value::Str("Soap".into())],
+                BitControl::new_enabled()
+            )
             .is_ok());
         assert!(f
             .construct(
@@ -493,9 +551,15 @@ mod tests {
             )
             .is_ok());
         assert!(f
-            .construct("Product", &[Value::Int(1), Value::Int(2)], BitControl::new_enabled())
+            .construct(
+                "Product",
+                &[Value::Int(1), Value::Int(2)],
+                BitControl::new_enabled()
+            )
             .is_err());
-        assert!(f.construct("Widget", &[], BitControl::new_enabled()).is_err());
+        assert!(f
+            .construct("Widget", &[], BitControl::new_enabled())
+            .is_err());
     }
 
     #[test]
@@ -503,7 +567,11 @@ mod tests {
         let db = StockDb::new();
         let f = ProductFactory::with_shared_db(db.clone());
         let mut a = f
-            .construct("Product", &[Value::Str("Soap".into())], BitControl::new_enabled())
+            .construct(
+                "Product",
+                &[Value::Str("Soap".into())],
+                BitControl::new_enabled(),
+            )
             .unwrap();
         a.invoke("InsertProduct", &[]).unwrap();
         assert!(db.contains("Soap"));
@@ -542,7 +610,9 @@ mod tests {
         let mut inputs = concat_driver::InputGenerator::new(3);
         register_provider_pool(&mut inputs);
         let (v, _) = inputs
-            .generate(&Domain::Pointer { class_name: "Provider".into() })
+            .generate(&Domain::Pointer {
+                class_name: "Provider".into(),
+            })
             .unwrap();
         let obj = v.as_obj().unwrap();
         assert_eq!(obj.class_name, "Provider");

@@ -43,7 +43,6 @@ fn at_mut<'v>(
         .ok_or_else(|| TestException::domain(method, format!("index {idx} out of bounds")))
 }
 
-
 /// Sum of the integer elements — the cheap "same multiset" proxy the
 /// sorts' partial postcondition checks (a lost or duplicated element
 /// almost always changes it; a mere mis-ordering never does, which keeps
@@ -115,7 +114,11 @@ impl CSortableObList {
         if nodes.len() != vals.len() {
             return Err(TestException::domain(
                 method,
-                format!("write-back mismatch: {} nodes, {} values", nodes.len(), vals.len()),
+                format!(
+                    "write-back mismatch: {} nodes, {} values",
+                    nodes.len(),
+                    vals.len()
+                ),
             ));
         }
         for (node, v) in nodes.iter().zip(vals.iter()) {
@@ -224,8 +227,7 @@ impl CSortableObList {
                 }
                 // Site 3: the candidate index compared against the minimum.
                 let cand = self.switch.read_int(M, 3, "j", j, &env);
-                if at(M, &vals, cand)?.total_cmp(at(M, &vals, min_idx)?)
-                    == std::cmp::Ordering::Less
+                if at(M, &vals, cand)?.total_cmp(at(M, &vals, min_idx)?) == std::cmp::Ordering::Less
                 {
                     min_idx = cand;
                 }
@@ -288,7 +290,11 @@ impl CSortableObList {
             }
             let mut i = gap;
             loop {
-                let env = self.globals_env().bind("n", n).bind("gap", gap).bind("i", i);
+                let env = self
+                    .globals_env()
+                    .bind("n", n)
+                    .bind("gap", gap)
+                    .bind("i", i);
                 // Site 1: the scan comparison on i.
                 if self.switch.read_int(M, 1, "i", i, &env) >= n {
                     break;
@@ -387,14 +393,19 @@ impl CSortableObList {
             let probe = self.switch.read_int(method, 1, "idx", idx, &env);
             let candidate = at(method, &vals, probe)?.clone();
             // Site 2: the running best (value-typed site).
-            let current_best = self.switch.read_value(method, 2, "best", best.clone(), &env);
+            let current_best = self
+                .switch
+                .read_value(method, 2, "best", best.clone(), &env);
             if candidate.total_cmp(&current_best) == keep {
                 best = candidate;
             }
             idx += 1;
             fuel -= 1;
             if fuel == 0 {
-                return Err(TestException::domain(method, "watchdog: loop budget exceeded"));
+                return Err(TestException::domain(
+                    method,
+                    "watchdog: loop budget exceeded",
+                ));
             }
         }
         Ok(best)
@@ -532,8 +543,18 @@ pub fn sortable_spec() -> ClassSpec {
         .superclass("CObList")
         .source_file("csortableoblist.cpp")
         .attribute("m_nCount", Domain::int_range(0, 99_999))
-        .attribute("m_pNodeHead", Domain::Pointer { class_name: "CNode".into() })
-        .attribute("m_pNodeTail", Domain::Pointer { class_name: "CNode".into() })
+        .attribute(
+            "m_pNodeHead",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
+        .attribute(
+            "m_pNodeTail",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
         .attribute("m_nBlockSize", Domain::int_range(1, 64))
         .constructor("m1", "CSortableObList")
         .constructor("m1b", "CSortableObList")
@@ -592,7 +613,7 @@ pub fn sortable_spec() -> ClassSpec {
         .task_node("n12", ["m13", "m14"])
         .task_node("n13", ["m15"])
         .task_node("n15", ["m20", "m21"])
-        .task_node("n16", ["m4"])  // sorted lists are consumed from the head
+        .task_node("n16", ["m4"]) // sorted lists are consumed from the head
         .death_node("n14", ["m16"])
         // Common trunk: build the list up.
         .edge("n1", "n2")
@@ -901,7 +922,10 @@ mod tests {
         let inv = sortable_inventory();
         assert!(inv.validate().is_empty());
         assert!(inv.method_named("Sort1").is_some());
-        assert!(inv.method_named("AddHead").is_some(), "inherited instrumentation");
+        assert!(
+            inv.method_named("AddHead").is_some(),
+            "inherited instrumentation"
+        );
     }
 
     #[test]
@@ -920,7 +944,9 @@ mod tests {
             .construct("CSortableObList", &[], BitControl::new_enabled())
             .unwrap();
         assert_eq!(c.class_name(), "CSortableObList");
-        assert!(f.construct("CObList", &[], BitControl::new_enabled()).is_err());
+        assert!(f
+            .construct("CObList", &[], BitControl::new_enabled())
+            .is_err());
         let _ = f.switch();
     }
 
@@ -934,7 +960,11 @@ mod tests {
         let vals = l.base().values().unwrap();
         assert_eq!(
             vals,
-            vec![Value::Int(5), Value::Str("a".into()), Value::Str("b".into())]
+            vec![
+                Value::Int(5),
+                Value::Str("a".into()),
+                Value::Str("b".into())
+            ]
         );
     }
 }

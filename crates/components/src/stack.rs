@@ -24,7 +24,11 @@ impl BoundedStack {
 
     /// Creates an empty stack with the given capacity.
     pub fn new(capacity: usize, ctl: BitControl) -> Self {
-        BoundedStack { items: Vec::with_capacity(capacity), capacity, ctl }
+        BoundedStack {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            ctl,
+        }
     }
 
     /// `Push(v)`.
@@ -246,7 +250,9 @@ mod tests {
         assert!(f
             .construct("BoundedStack", &[Value::Int(0)], BitControl::new_enabled())
             .is_err());
-        assert!(f.construct("Stack", &[], BitControl::new_enabled()).is_err());
+        assert!(f
+            .construct("Stack", &[], BitControl::new_enabled())
+            .is_err());
     }
 
     #[test]
@@ -257,7 +263,9 @@ mod tests {
     #[test]
     fn generated_suite_runs_green() {
         use concat_driver::{DriverGenerator, TestLog, TestRunner};
-        let suite = DriverGenerator::with_seed(5).generate(&bounded_stack_spec()).unwrap();
+        let suite = DriverGenerator::with_seed(5)
+            .generate(&bounded_stack_spec())
+            .unwrap();
         assert!(!suite.is_empty());
         let runner = TestRunner::new();
         let result = runner.run_suite(&BoundedStackFactory, &suite, &mut TestLog::new());

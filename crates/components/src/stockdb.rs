@@ -101,7 +101,9 @@ impl StockDb {
             .borrow()
             .get(name)
             .cloned()
-            .ok_or_else(|| StockDbError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| StockDbError::NotFound {
+                name: name.to_owned(),
+            })
     }
 
     /// Overwrites an existing row.
@@ -127,7 +129,9 @@ impl StockDb {
         self.rows
             .borrow_mut()
             .remove(name)
-            .ok_or_else(|| StockDbError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| StockDbError::NotFound {
+                name: name.to_owned(),
+            })
     }
 
     /// True when the name is present.
@@ -157,9 +161,7 @@ impl StockDb {
             self.rows
                 .borrow()
                 .values()
-                .map(|r| {
-                    Value::List(vec![Value::Str(r.name.clone()), Value::Int(r.qty)])
-                })
+                .map(|r| Value::List(vec![Value::Str(r.name.clone()), Value::Int(r.qty)]))
                 .collect(),
         )
     }
@@ -170,7 +172,12 @@ mod tests {
     use super::*;
 
     fn row(name: &str, qty: i64) -> ProductRow {
-        ProductRow { name: name.into(), qty, price: 1.0, provider: None }
+        ProductRow {
+            name: name.into(),
+            qty,
+            price: 1.0,
+            provider: None,
+        }
     }
 
     #[test]
@@ -190,7 +197,9 @@ mod tests {
         db.insert(row("Soap", 1)).unwrap();
         assert_eq!(
             db.insert(row("Soap", 2)),
-            Err(StockDbError::Duplicate { name: "Soap".into() })
+            Err(StockDbError::Duplicate {
+                name: "Soap".into()
+            })
         );
         assert_eq!(db.len(), 1);
     }
@@ -198,9 +207,24 @@ mod tests {
     #[test]
     fn missing_rows_reported() {
         let db = StockDb::new();
-        assert_eq!(db.get("Ghost"), Err(StockDbError::NotFound { name: "Ghost".into() }));
-        assert_eq!(db.remove("Ghost"), Err(StockDbError::NotFound { name: "Ghost".into() }));
-        assert_eq!(db.update(row("Ghost", 1)), Err(StockDbError::NotFound { name: "Ghost".into() }));
+        assert_eq!(
+            db.get("Ghost"),
+            Err(StockDbError::NotFound {
+                name: "Ghost".into()
+            })
+        );
+        assert_eq!(
+            db.remove("Ghost"),
+            Err(StockDbError::NotFound {
+                name: "Ghost".into()
+            })
+        );
+        assert_eq!(
+            db.update(row("Ghost", 1)),
+            Err(StockDbError::NotFound {
+                name: "Ghost".into()
+            })
+        );
     }
 
     #[test]
@@ -229,7 +253,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(StockDbError::Duplicate { name: "x".into() }.to_string().contains("exists"));
-        assert!(StockDbError::NotFound { name: "x".into() }.to_string().contains("not found"));
+        assert!(StockDbError::Duplicate { name: "x".into() }
+            .to_string()
+            .contains("exists"));
+        assert!(StockDbError::NotFound { name: "x".into() }
+            .to_string()
+            .contains("not found"));
     }
 }

@@ -36,16 +36,14 @@ impl CTypedObList {
 
     /// Creates an empty typed list.
     pub fn new(ctl: BitControl, switch: MutationSwitch) -> Self {
-        CTypedObList { base: CObList::new(ctl.clone(), switch), ctl }
+        CTypedObList {
+            base: CObList::new(ctl.clone(), switch),
+            ctl,
+        }
     }
 
     fn check_element(&self, method: &str, v: &Value) -> Result<(), TestException> {
-        concat_bit::pre_condition!(
-            &self.ctl,
-            Self::CLASS,
-            method,
-            matches!(v, Value::Int(_))
-        );
+        concat_bit::pre_condition!(&self.ctl, Self::CLASS, method, matches!(v, Value::Int(_)));
         // Deployment mode: enforce with a domain error instead, so the
         // typed invariant can never be silently broken.
         if !matches!(v, Value::Int(_)) {
@@ -165,8 +163,18 @@ pub fn typed_spec() -> ClassSpec {
     ClassSpecBuilder::new(CTypedObList::CLASS)
         .superclass("CObList")
         .attribute("m_nCount", Domain::int_range(0, 99_999))
-        .attribute("m_pNodeHead", Domain::Pointer { class_name: "CNode".into() })
-        .attribute("m_pNodeTail", Domain::Pointer { class_name: "CNode".into() })
+        .attribute(
+            "m_pNodeHead",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
+        .attribute(
+            "m_pNodeTail",
+            Domain::Pointer {
+                class_name: "CNode".into(),
+            },
+        )
         .attribute("m_nBlockSize", Domain::int_range(1, 64))
         .constructor("m1", "CTypedObList")
         .method("m2", "AddHead", MethodCategory::Update)
@@ -264,7 +272,8 @@ mod tests {
         let mut l = list();
         l.invoke("AddTail", &[Value::Int(1)]).unwrap();
         l.invoke("AddHead", &[Value::Int(0)]).unwrap();
-        l.invoke("InsertAfter", &[Value::Int(0), Value::Int(5)]).unwrap();
+        l.invoke("InsertAfter", &[Value::Int(0), Value::Int(5)])
+            .unwrap();
         l.invoke("SetAt", &[Value::Int(2), Value::Int(9)]).unwrap();
         assert_eq!(l.invoke("GetCount", &[]).unwrap(), Value::Int(3));
         assert!(l.invariant_test().is_ok());
@@ -274,12 +283,16 @@ mod tests {
     fn rejects_non_integers_with_the_strengthened_precondition() {
         let mut l = list();
         assert_eq!(
-            l.invoke("AddTail", &[Value::Str("x".into())]).unwrap_err().tag(),
+            l.invoke("AddTail", &[Value::Str("x".into())])
+                .unwrap_err()
+                .tag(),
             "PRECONDITION"
         );
         l.invoke("AddTail", &[Value::Int(1)]).unwrap();
         assert_eq!(
-            l.invoke("SetAt", &[Value::Int(0), Value::Null]).unwrap_err().tag(),
+            l.invoke("SetAt", &[Value::Int(0), Value::Null])
+                .unwrap_err()
+                .tag(),
             "PRECONDITION"
         );
     }
@@ -288,7 +301,9 @@ mod tests {
     fn deployment_mode_still_enforces_the_type() {
         let mut l = CTypedObList::new(BitControl::new(), MutationSwitch::new());
         assert_eq!(
-            l.invoke("AddTail", &[Value::Str("x".into())]).unwrap_err().tag(),
+            l.invoke("AddTail", &[Value::Str("x".into())])
+                .unwrap_err()
+                .tag(),
             "DOMAIN"
         );
     }
@@ -298,7 +313,10 @@ mod tests {
         let mut l = list();
         assert!(l.has_method("~CTypedObList"));
         assert!(!l.has_method("~CObList"));
-        assert_eq!(l.invoke("~CObList", &[]).unwrap_err().tag(), "UNKNOWN_METHOD");
+        assert_eq!(
+            l.invoke("~CObList", &[]).unwrap_err().tag(),
+            "UNKNOWN_METHOD"
+        );
         l.invoke("AddTail", &[Value::Int(1)]).unwrap();
         l.invoke("~CTypedObList", &[]).unwrap();
         assert_eq!(l.invoke("IsEmpty", &[]).unwrap(), Value::Bool(true));
@@ -310,8 +328,12 @@ mod tests {
         assert!(spec.validate().is_empty());
         assert_eq!(spec.superclass.as_deref(), Some("CObList"));
         let f = CTypedObListFactory::default();
-        assert!(f.construct("CTypedObList", &[], BitControl::new_enabled()).is_ok());
-        assert!(f.construct("CObList", &[], BitControl::new_enabled()).is_err());
+        assert!(f
+            .construct("CTypedObList", &[], BitControl::new_enabled())
+            .is_ok());
+        assert!(f
+            .construct("CObList", &[], BitControl::new_enabled())
+            .is_err());
     }
 
     #[test]
@@ -323,8 +345,10 @@ mod tests {
         let suite = concat_driver::DriverGenerator::with_seed(51)
             .generate(&typed_spec())
             .unwrap();
-        let plan =
-            ReusePlan::analyze(&TestingHistory::from_suite(&suite), &typed_inheritance_map());
+        let plan = ReusePlan::analyze(
+            &TestingHistory::from_suite(&suite),
+            &typed_inheritance_map(),
+        );
         let (skip, retest, obsolete) = plan.counts();
         assert!(retest > 0, "redefined methods force retests");
         assert_eq!(obsolete, 0);
@@ -353,8 +377,7 @@ mod tests {
             .generate(&typed_spec())
             .unwrap();
         let runner = TestRunner::new();
-        let result =
-            runner.run_suite(&CTypedObListFactory::default(), &suite, &mut TestLog::new());
+        let result = runner.run_suite(&CTypedObListFactory::default(), &suite, &mut TestLog::new());
         // Value domains are integer ranges, so the typed precondition is
         // never violated by generated inputs; only index error-recovery
         // transactions abort.

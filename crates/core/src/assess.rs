@@ -55,7 +55,11 @@ impl TestabilityReport {
         ));
         out.push_str(&format!(
             "  mutation evaluation: {}\n",
-            if self.mutation_ready { "available" } else { "not packaged" }
+            if self.mutation_ready {
+                "available"
+            } else {
+                "not packaged"
+            }
         ));
         if self.packaging.is_empty() {
             out.push_str("  packaging: OK\n");
@@ -88,8 +92,12 @@ pub fn assess(component: &SelfTestable) -> TestabilityReport {
     let packaging = Producer::package(component).err().unwrap_or_default();
     let lints = lint_spec(component.spec());
     let metrics = ModelMetrics::of(&component.spec().tfm);
-    let controllable_inputs =
-        component.spec().methods.iter().map(|m| m.params.len()).sum();
+    let controllable_inputs = component
+        .spec()
+        .methods
+        .iter()
+        .map(|m| m.params.len())
+        .sum();
     // Observability: probe one instance's reporter, when constructible.
     let observables = component
         .spec()
@@ -123,12 +131,9 @@ mod tests {
 
     #[test]
     fn shipped_subjects_assess_clean() {
-        let bundle = SelfTestableBuilder::new(
-            coblist_spec(),
-            Rc::new(CObListFactory::default()),
-        )
-        .mutation(coblist_inventory(), concat_mutation::MutationSwitch::new())
-        .build();
+        let bundle = SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default()))
+            .mutation(coblist_inventory(), concat_mutation::MutationSwitch::new())
+            .build();
         let report = assess(&bundle);
         assert!(report.is_shippable(), "{report}");
         // The only lints on the shipped list are the parameterless
@@ -172,12 +177,13 @@ mod tests {
         ));
         // keep validation happy: put it on a node
         let n2 = spec.tfm.node_by_label("n2").unwrap();
-        let ghost = spec.tfm.add_node("ghost", concat_tfm::NodeKind::Task, ["m99"]);
+        let ghost = spec
+            .tfm
+            .add_node("ghost", concat_tfm::NodeKind::Task, ["m99"]);
         spec.tfm.add_edge(n2, ghost);
         let n8 = spec.tfm.node_by_label("n8").unwrap();
         spec.tfm.add_edge(ghost, n8);
-        let bundle =
-            SelfTestableBuilder::new(spec, Rc::new(CObListFactory::default())).build();
+        let bundle = SelfTestableBuilder::new(spec, Rc::new(CObListFactory::default())).build();
         let report = assess(&bundle);
         assert!(!report.is_shippable(), "GhostMethod is not implemented");
         assert!(!report.lints.is_empty(), "parameterless update lint fires");

@@ -90,7 +90,13 @@ impl fmt::Debug for SelfTestableBuilder {
 impl SelfTestableBuilder {
     /// Starts a bundle from a spec and a factory.
     pub fn new(spec: ClassSpec, factory: Rc<dyn ComponentFactory>) -> Self {
-        SelfTestableBuilder { spec, factory, inventory: None, switch: None, inheritance: None }
+        SelfTestableBuilder {
+            spec,
+            factory,
+            inventory: None,
+            switch: None,
+            inheritance: None,
+        }
     }
 
     /// Attaches a mutation inventory and its switch (quality evaluation).

@@ -12,9 +12,8 @@ use concat_driver::{
     DriverGenerator, GenerateError, GeneratorConfig, ReusePlan, SuiteResult, TestLog, TestRunner,
     TestSuite, TestingHistory,
 };
-use concat_mutation::{
-    enumerate_mutants, run_mutation_analysis, MutationConfig, MutationRun,
-};
+use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig, MutationRun};
+use concat_obs::Telemetry;
 use std::fmt;
 
 /// The outcome of one consumer self-test session.
@@ -91,25 +90,51 @@ impl From<GenerateError> for ConsumerError {
 }
 
 /// The consumer-side test session driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Consumer {
     config: GeneratorConfig,
+    telemetry: Telemetry,
 }
 
 impl Consumer {
     /// A consumer with the default generation configuration.
     pub fn new() -> Self {
-        Consumer { config: GeneratorConfig::default() }
+        Consumer {
+            config: GeneratorConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// A consumer with an explicit generation configuration.
     pub fn with_config(config: GeneratorConfig) -> Self {
-        Consumer { config }
+        Consumer {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// A consumer with the default configuration but a chosen seed.
     pub fn with_seed(seed: u64) -> Self {
-        Consumer { config: GeneratorConfig { seed, ..GeneratorConfig::default() } }
+        Self::with_config(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    /// Attaches a telemetry handle. It propagates through the whole
+    /// session: the driver generator (`generate` spans, `gen.*` counters),
+    /// the runner (`suite`/`case` spans, `case.*`/`call.*`/`bit.*`
+    /// counters), mutation analysis (`mutant` spans, `mutant.*` counters)
+    /// and reuse planning (`reuse.*` counters). Disabled — and free — by
+    /// default.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle this consumer propagates.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The generation configuration in use.
@@ -124,7 +149,7 @@ impl Consumer {
     ///
     /// Propagates [`GenerateError`] from the driver generator.
     pub fn generate(&self, component: &SelfTestable) -> Result<TestSuite, ConsumerError> {
-        let mut gen = DriverGenerator::new(self.config);
+        let mut gen = DriverGenerator::new(self.config).with_telemetry(self.telemetry.clone());
         if component
             .spec()
             .methods
@@ -160,7 +185,8 @@ impl Consumer {
         component: &SelfTestable,
         suite: &TestSuite,
     ) -> Result<SelfTestReport, ConsumerError> {
-        let runner = TestRunner::new(); // test mode ON — "compile in test mode"
+        // test mode ON — "compile in test mode"
+        let runner = TestRunner::new().with_telemetry(self.telemetry.clone());
         runner.bit_control().reset_counters();
         let mut log = TestLog::new();
         let result = runner.run_suite(component.factory(), suite, &mut log);
@@ -212,7 +238,11 @@ impl Consumer {
         let mutants = enumerate_mutants(inventory, target_methods);
         let mut probe_suites = Vec::with_capacity(probe_seeds.len());
         for seed in probe_seeds {
-            let consumer = Consumer::with_config(GeneratorConfig { seed: *seed, ..self.config });
+            let consumer = Consumer::with_config(GeneratorConfig {
+                seed: *seed,
+                ..self.config
+            })
+            .with_telemetry(self.telemetry.clone());
             probe_suites.push(consumer.generate(component)?);
         }
         Ok(run_mutation_analysis(
@@ -220,7 +250,12 @@ impl Consumer {
             switch,
             suite,
             &mutants,
-            &MutationConfig { probe_suites, silence_panics: true, bit_enabled },
+            &MutationConfig {
+                probe_suites,
+                silence_panics: true,
+                bit_enabled,
+                telemetry: self.telemetry.clone(),
+            },
         ))
     }
 
@@ -235,9 +270,18 @@ impl Consumer {
         component: &SelfTestable,
         suite: &TestSuite,
     ) -> Result<ReusePlan, ConsumerError> {
-        let map = component.inheritance().ok_or(ConsumerError::NoInheritanceMap)?;
+        let map = component
+            .inheritance()
+            .ok_or(ConsumerError::NoInheritanceMap)?;
         let history = TestingHistory::from_suite(suite);
-        Ok(ReusePlan::analyze(&history, map))
+        let plan = ReusePlan::analyze(&history, map);
+        if self.telemetry.is_enabled() {
+            let (skip, retest, obsolete) = plan.counts();
+            self.telemetry.incr_by("reuse.skip_retest", skip as u64);
+            self.telemetry.incr_by("reuse.retest_reused", retest as u64);
+            self.telemetry.incr_by("reuse.obsolete", obsolete as u64);
+        }
+        Ok(plan)
     }
 }
 
@@ -255,12 +299,8 @@ fn concat_components_provider_shim(inputs: &mut concat_driver::InputGenerator) {
     inputs.register_provider(
         "Provider",
         Box::new(|rng| {
-            use rand::Rng as _;
-            let id = rng.gen_range(1..=3);
-            concat_runtime::Value::Obj(concat_runtime::ObjRef::new(
-                "Provider",
-                format!("p{id}"),
-            ))
+            let id = rng.int_in(1, 3);
+            concat_runtime::Value::Obj(concat_runtime::ObjRef::new("Provider", format!("p{id}")))
         }),
     );
 }
@@ -305,7 +345,10 @@ mod tests {
         // Some transactions are error-recovery ones (database precondition
         // violations); the bulk passes.
         assert!(report.result.passed() > report.result.failed());
-        assert_eq!(report.suite.stats.manual_args, 0, "provider pool fills Provider*");
+        assert_eq!(
+            report.suite.stats.manual_args, 0,
+            "provider pool fills Provider*"
+        );
     }
 
     #[test]
@@ -362,7 +405,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ConsumerError::NoMutationSupport.to_string().contains("inventory"));
-        assert!(ConsumerError::NoInheritanceMap.to_string().contains("inheritance"));
+        assert!(ConsumerError::NoMutationSupport
+            .to_string()
+            .contains("inventory"));
+        assert!(ConsumerError::NoInheritanceMap
+            .to_string()
+            .contains("inheritance"));
     }
 }

@@ -126,7 +126,11 @@ impl CompositeSpec {
                 });
             }
         }
-        methods.push(MethodSpec::new("dtor", self.destructor_name(), MethodCategory::Destructor));
+        methods.push(MethodSpec::new(
+            "dtor",
+            self.destructor_name(),
+            MethodCategory::Destructor,
+        ));
 
         let mut tfm = concat_tfm::Tfm::new(self.name.clone());
         let mut ids: BTreeMap<&str, concat_tfm::NodeId> = BTreeMap::new();
@@ -205,7 +209,8 @@ impl CompositeSpecBuilder {
 
     /// Adds the birth node (methods default to the synthetic `ctor`).
     pub fn birth(mut self, label: impl Into<String>) -> Self {
-        self.nodes.push((label.into(), NodeKind::Birth, vec!["ctor".into()]));
+        self.nodes
+            .push((label.into(), NodeKind::Birth, vec!["ctor".into()]));
         self
     }
 
@@ -225,7 +230,8 @@ impl CompositeSpecBuilder {
 
     /// Adds the death node (methods default to the synthetic `dtor`).
     pub fn death(mut self, label: impl Into<String>) -> Self {
-        self.nodes.push((label.into(), NodeKind::Death, vec!["dtor".into()]));
+        self.nodes
+            .push((label.into(), NodeKind::Death, vec!["dtor".into()]));
         self
     }
 
@@ -238,7 +244,12 @@ impl CompositeSpecBuilder {
     /// Finishes the composite spec (structure only; call
     /// [`CompositeSpec::flatten`] to validate).
     pub fn build(self) -> CompositeSpec {
-        CompositeSpec { name: self.name, roles: self.roles, nodes: self.nodes, edges: self.edges }
+        CompositeSpec {
+            name: self.name,
+            roles: self.roles,
+            nodes: self.nodes,
+            edges: self.edges,
+        }
     }
 }
 
@@ -248,6 +259,9 @@ struct CompositeComponent {
     destructor_name: String,
     members: Vec<(String, Box<dyn TestableComponent>, String)>,
     ctl: BitControl,
+    /// Captured from `ctl` at construction; counts `role.Method` routing
+    /// as `interclass.calls_routed` when the harness is instrumented.
+    telemetry: concat_obs::Telemetry,
 }
 
 impl Component for CompositeComponent {
@@ -284,13 +298,18 @@ impl Component for CompositeComponent {
             for (_, member, dtor) in self.members.iter_mut().rev() {
                 last = member.invoke(dtor, &[])?;
             }
+            self.telemetry
+                .incr_by("interclass.calls_routed", self.members.len() as u64);
             return Ok(last);
         }
         let Some((role, inner)) = method.split_once('.') else {
             return Err(unknown_method(&self.class_name, method));
         };
         match self.members.iter_mut().find(|(name, _, _)| name == role) {
-            Some((_, member, _)) => member.invoke(inner, args),
+            Some((_, member, _)) => {
+                self.telemetry.incr("interclass.calls_routed");
+                member.invoke(inner, args)
+            }
             None => Err(TestException::domain(
                 method,
                 format!("composite has no role `{role}`"),
@@ -378,7 +397,10 @@ impl CompositeFactory {
             }
         }
         if problems.is_empty() {
-            Ok(CompositeFactory { spec, factories: map })
+            Ok(CompositeFactory {
+                spec,
+                factories: map,
+            })
         } else {
             Err(problems)
         }
@@ -419,6 +441,7 @@ impl ComponentFactory for CompositeFactory {
             class_name: self.spec.name().to_owned(),
             destructor_name: self.spec.destructor_name(),
             members,
+            telemetry: ctl.telemetry(),
             ctl,
         }))
     }
@@ -427,14 +450,21 @@ impl ComponentFactory for CompositeFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concat_components::{bounded_stack_spec, coblist_spec, BoundedStackFactory, CObListFactory};
+    use concat_components::{
+        bounded_stack_spec, coblist_spec, BoundedStackFactory, CObListFactory,
+    };
 
     /// A warehouse station: an audit list of quantities plus a staging
     /// stack — two interacting classes under one composite TFM.
     fn station() -> CompositeSpec {
         CompositeSpecBuilder::new("Station")
             .role("audit", coblist_spec(), "CObList", "~CObList")
-            .role("staging", bounded_stack_spec(), "BoundedStack", "~BoundedStack")
+            .role(
+                "staging",
+                bounded_stack_spec(),
+                "BoundedStack",
+                "~BoundedStack",
+            )
             .birth("create")
             .task("log", ["audit.m2", "audit.m3"]) // AddHead / AddTail
             .task("stage", ["staging.m2"]) // Push
@@ -455,8 +485,14 @@ mod tests {
         CompositeFactory::new(
             station(),
             vec![
-                ("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>),
-                ("staging".into(), Rc::new(StackWithCapacity) as Rc<dyn ComponentFactory>),
+                (
+                    "audit".into(),
+                    Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>,
+                ),
+                (
+                    "staging".into(),
+                    Rc::new(StackWithCapacity) as Rc<dyn ComponentFactory>,
+                ),
             ],
         )
         .unwrap()
@@ -512,7 +548,9 @@ mod tests {
     #[test]
     fn composite_instances_route_calls_by_role() {
         let factory = station_factory();
-        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        let mut c = factory
+            .construct("Station", &[], BitControl::new_enabled())
+            .unwrap();
         c.invoke("audit.AddHead", &[Value::Int(5)]).unwrap();
         c.invoke("staging.Push", &[Value::Int(9)]).unwrap();
         assert_eq!(c.invoke("audit.GetCount", &[]).unwrap(), Value::Int(1));
@@ -531,7 +569,9 @@ mod tests {
     #[test]
     fn composite_destructor_destroys_all_roles() {
         let factory = station_factory();
-        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        let mut c = factory
+            .construct("Station", &[], BitControl::new_enabled())
+            .unwrap();
         c.invoke("audit.AddHead", &[Value::Int(1)]).unwrap();
         c.invoke("~Station", &[]).unwrap();
         assert_eq!(c.invoke("audit.GetCount", &[]).unwrap(), Value::Int(0));
@@ -540,10 +580,14 @@ mod tests {
     #[test]
     fn unknown_role_and_method_errors() {
         let factory = station_factory();
-        let mut c = factory.construct("Station", &[], BitControl::new_enabled()).unwrap();
+        let mut c = factory
+            .construct("Station", &[], BitControl::new_enabled())
+            .unwrap();
         assert_eq!(c.invoke("ghost.AddHead", &[]).unwrap_err().tag(), "DOMAIN");
         assert_eq!(c.invoke("NoDot", &[]).unwrap_err().tag(), "UNKNOWN_METHOD");
-        assert!(factory.construct("Wrong", &[], BitControl::new_enabled()).is_err());
+        assert!(factory
+            .construct("Wrong", &[], BitControl::new_enabled())
+            .is_err());
         assert!(factory
             .construct("Station", &[Value::Int(1)], BitControl::new_enabled())
             .is_err());
@@ -553,7 +597,10 @@ mod tests {
     fn factory_validates_role_coverage() {
         let errs = CompositeFactory::new(
             station(),
-            vec![("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>)],
+            vec![(
+                "audit".into(),
+                Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>,
+            )],
         )
         .unwrap_err();
         assert!(errs.iter().any(|e| e.contains("staging")));

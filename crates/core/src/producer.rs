@@ -48,13 +48,19 @@ impl fmt::Display for PackagingError {
         match self {
             PackagingError::Spec(e) => write!(f, "t-spec: {e}"),
             PackagingError::ClassNameMismatch { spec, factory } => {
-                write!(f, "class name mismatch: spec says {spec}, factory says {factory}")
+                write!(
+                    f,
+                    "class name mismatch: spec says {spec}, factory says {factory}"
+                )
             }
             PackagingError::ConstructorFailed { id, message } => {
                 write!(f, "constructor {id} failed on probe arguments: {message}")
             }
             PackagingError::MissingMethod { method } => {
-                write!(f, "spec method {method} is not implemented by the component")
+                write!(
+                    f,
+                    "spec method {method} is not implemented by the component"
+                )
             }
             PackagingError::EmptyReporter => {
                 f.write_str("reporter produced no observables (no BIT observability)")
@@ -114,7 +120,9 @@ impl Producer {
                             continue;
                         }
                         if !instance.has_method(&m.name) {
-                            errors.push(PackagingError::MissingMethod { method: m.name.clone() });
+                            errors.push(PackagingError::MissingMethod {
+                                method: m.name.clone(),
+                            });
                         }
                     }
                     if instance.reporter().is_empty() {
@@ -203,7 +211,10 @@ mod tests {
                 return Err(TestException::domain(constructor, "nope"));
             }
             match constructor {
-                "Blob" => Ok(Box::new(Blob { ctl, report_something: self.report_something })),
+                "Blob" => Ok(Box::new(Blob {
+                    ctl,
+                    report_something: self.report_something,
+                })),
                 other => Err(unknown_method("Blob", other)),
             }
         }
@@ -232,7 +243,11 @@ mod tests {
     fn bundle(class: &'static str, report: bool, fail: bool, extra: bool) -> SelfTestable {
         SelfTestableBuilder::new(
             spec(extra),
-            Rc::new(BlobFactory { class, report_something: report, fail_ctor: fail }),
+            Rc::new(BlobFactory {
+                class,
+                report_something: report,
+                fail_ctor: fail,
+            }),
         )
         .build()
     }
@@ -276,7 +291,11 @@ mod tests {
     fn bad_inventory_detected() {
         let st = SelfTestableBuilder::new(
             spec(false),
-            Rc::new(BlobFactory { class: "Blob", report_something: true, fail_ctor: false }),
+            Rc::new(BlobFactory {
+                class: "Blob",
+                report_something: true,
+                fail_ctor: false,
+            }),
         )
         .mutation(
             concat_mutation::ClassInventory::new("Blob").method(
@@ -286,7 +305,9 @@ mod tests {
         )
         .build();
         let errs = Producer::package(&st).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, PackagingError::Inventory(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PackagingError::Inventory(_))));
     }
 
     #[test]
@@ -296,16 +317,13 @@ mod tests {
             .mutation(coblist_inventory(), concat_mutation::MutationSwitch::new())
             .build();
         assert_eq!(Producer::package(&st), Ok(()));
-        let st = SelfTestableBuilder::new(
-            sortable_spec(),
-            Rc::new(CSortableObListFactory::default()),
-        )
-        .mutation(sortable_inventory(), concat_mutation::MutationSwitch::new())
-        .inheritance(sortable_inheritance_map())
-        .build();
-        assert_eq!(Producer::package(&st), Ok(()));
         let st =
-            SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build();
+            SelfTestableBuilder::new(sortable_spec(), Rc::new(CSortableObListFactory::default()))
+                .mutation(sortable_inventory(), concat_mutation::MutationSwitch::new())
+                .inheritance(sortable_inheritance_map())
+                .build();
+        assert_eq!(Producer::package(&st), Ok(()));
+        let st = SelfTestableBuilder::new(product_spec(), Rc::new(ProductFactory::new())).build();
         assert_eq!(Producer::package(&st), Ok(()));
     }
 

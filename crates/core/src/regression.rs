@@ -8,9 +8,7 @@
 //! reports every behavioural difference.
 
 use crate::bundle::SelfTestable;
-use concat_driver::{
-    compare_transcripts, SuiteResult, TestLog, TestRunner, TestSuite, Verdict,
-};
+use concat_driver::{compare_transcripts, SuiteResult, TestLog, TestRunner, TestSuite, Verdict};
 use std::fmt;
 
 /// One behavioural difference between releases.
@@ -144,7 +142,11 @@ mod tests {
         assert!(!report.is_clean());
         // Only cases exercising RemoveHead can differ.
         for finding in &report.findings {
-            let case = suite.cases.iter().find(|c| c.id == finding.case_id).unwrap();
+            let case = suite
+                .cases
+                .iter()
+                .find(|c| c.id == finding.case_id)
+                .unwrap();
             assert!(
                 case.method_names().contains(&"RemoveHead"),
                 "TC{} does not call RemoveHead",

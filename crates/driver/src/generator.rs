@@ -9,6 +9,7 @@
 
 use crate::inputs::{InputError, InputGenerator};
 use crate::testcase::{ArgOrigin, MethodCall, SuiteStats, TestCase, TestSuite};
+use concat_obs::Telemetry;
 use concat_runtime::Value;
 use concat_tfm::{enumerate_transactions_with, EnumerationConfig};
 use concat_tspec::{ClassSpec, MethodCategory, MethodSpec, SpecError};
@@ -83,9 +84,12 @@ impl fmt::Display for GenerateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenerateError::InvalidSpec(errs) => {
-                write!(f, "specification is invalid ({} problem(s)); first: {}",
+                write!(
+                    f,
+                    "specification is invalid ({} problem(s)); first: {}",
                     errs.len(),
-                    errs.first().map_or_else(String::new, |e| e.to_string()))
+                    errs.first().map_or_else(String::new, |e| e.to_string())
+                )
             }
             GenerateError::BadLifecycleMethod { method, expected } => {
                 write!(f, "method {method} must be a {expected}")
@@ -134,23 +138,41 @@ impl From<InputError> for GenerateError {
 pub struct DriverGenerator {
     config: GeneratorConfig,
     inputs: InputGenerator,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for DriverGenerator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DriverGenerator").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("DriverGenerator")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
 impl DriverGenerator {
     /// Creates a generator with the given configuration.
     pub fn new(config: GeneratorConfig) -> Self {
-        DriverGenerator { config, inputs: InputGenerator::new(config.seed) }
+        DriverGenerator {
+            config,
+            inputs: InputGenerator::new(config.seed),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: each generation run emits a
+    /// `generate` span plus `gen.cases` / `gen.domains_sampled` /
+    /// `gen.manual_args` counters and a `gen.transactions` gauge.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Creates a generator with default configuration and the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self::new(GeneratorConfig { seed, ..GeneratorConfig::default() })
+        Self::new(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
     }
 
     /// Access to the input generator, e.g. to register object providers
@@ -183,6 +205,7 @@ impl DriverGenerator {
         spec: &ClassSpec,
         selection: Option<&[usize]>,
     ) -> Result<TestSuite, GenerateError> {
+        let _span = self.telemetry.span("generate", &spec.class_name);
         let problems = spec.validate();
         if !problems.is_empty() {
             return Err(GenerateError::InvalidSpec(problems));
@@ -199,6 +222,7 @@ impl DriverGenerator {
         }
         let mut cases = Vec::new();
         let mut manual_args = 0usize;
+        let mut domains_sampled = 0usize;
         let mut per_txn_truncated = false;
         for (txn_index, txn) in set.iter().enumerate() {
             if let Some(sel) = selection {
@@ -206,10 +230,15 @@ impl DriverGenerator {
                     continue;
                 }
             }
-            let node_path: Vec<String> =
-                txn.nodes.iter().map(|id| spec.tfm.node(*id).label.clone()).collect();
+            let node_path: Vec<String> = txn
+                .nodes
+                .iter()
+                .map(|id| spec.tfm.node(*id).label.clone())
+                .collect();
             let sequences = match self.config.expansion {
-                Expansion::Cartesian { max_cases_per_transaction } => {
+                Expansion::Cartesian {
+                    max_cases_per_transaction,
+                } => {
                     let mut seqs = txn.method_sequences(&spec.tfm);
                     if seqs.len() > max_cases_per_transaction {
                         seqs.truncate(max_cases_per_transaction);
@@ -237,7 +266,7 @@ impl DriverGenerator {
                             expected: "destructor",
                         });
                     }
-                    let call = self.build_call(m, &mut manual_args)?;
+                    let call = self.build_call(m, &mut manual_args, &mut domains_sampled)?;
                     calls.push(call);
                 }
                 let constructor = calls.remove(0);
@@ -256,19 +285,34 @@ impl DriverGenerator {
             truncated: set.truncated || per_txn_truncated,
             manual_args,
         };
-        Ok(TestSuite { class_name: spec.class_name.clone(), seed: self.config.seed, cases, stats })
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr_by("gen.cases", cases.len() as u64);
+            self.telemetry
+                .incr_by("gen.domains_sampled", domains_sampled as u64);
+            self.telemetry
+                .incr_by("gen.manual_args", manual_args as u64);
+            self.telemetry.gauge("gen.transactions", set.len() as i64);
+        }
+        Ok(TestSuite {
+            class_name: spec.class_name.clone(),
+            seed: self.config.seed,
+            cases,
+            stats,
+        })
     }
 
     fn build_call(
         &mut self,
         m: &MethodSpec,
         manual_args: &mut usize,
+        domains_sampled: &mut usize,
     ) -> Result<MethodCall, GenerateError> {
         let mut args = Vec::with_capacity(m.params.len());
         let mut origins = Vec::with_capacity(m.params.len());
         for p in &m.params {
             match self.inputs.generate(&p.domain) {
                 Ok((v, origin)) => {
+                    *domains_sampled += 1;
                     args.push(v);
                     origins.push(origin);
                 }
@@ -280,7 +324,12 @@ impl DriverGenerator {
                 Err(e @ InputError::EmptyDomain) => return Err(e.into()),
             }
         }
-        Ok(MethodCall { method_id: m.id.clone(), method: m.name.clone(), args, origins })
+        Ok(MethodCall {
+            method_id: m.id.clone(),
+            method: m.name.clone(),
+            args,
+            origins,
+        })
     }
 }
 
@@ -358,7 +407,9 @@ mod tests {
     fn cartesian_yields_one_case_per_sequence() {
         let mut gen = DriverGenerator::new(GeneratorConfig {
             seed: 11,
-            expansion: Expansion::Cartesian { max_cases_per_transaction: 256 },
+            expansion: Expansion::Cartesian {
+                max_cases_per_transaction: 256,
+            },
             ..GeneratorConfig::default()
         });
         let suite = gen.generate(&counter_spec()).unwrap();
@@ -398,8 +449,10 @@ mod tests {
         assert_eq!(suite.stats.transactions, 1);
         // covering: 3 repeats x 2 alternatives
         assert_eq!(suite.len(), 6);
-        let ctors: Vec<&str> =
-            suite.iter().map(|c| c.constructor.method.as_str()).collect();
+        let ctors: Vec<&str> = suite
+            .iter()
+            .map(|c| c.constructor.method.as_str())
+            .collect();
         assert!(ctors.contains(&"C"));
         assert!(ctors.contains(&"C2"));
     }
@@ -422,9 +475,13 @@ mod tests {
             .build()
             .unwrap();
         let err = DriverGenerator::with_seed(1).generate(&spec).unwrap_err();
-        assert!(
-            matches!(err, GenerateError::BadLifecycleMethod { expected: "constructor", .. })
-        );
+        assert!(matches!(
+            err,
+            GenerateError::BadLifecycleMethod {
+                expected: "constructor",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -438,9 +495,13 @@ mod tests {
             .build()
             .unwrap();
         let err = DriverGenerator::with_seed(1).generate(&spec).unwrap_err();
-        assert!(
-            matches!(err, GenerateError::BadLifecycleMethod { expected: "destructor", .. })
-        );
+        assert!(matches!(
+            err,
+            GenerateError::BadLifecycleMethod {
+                expected: "destructor",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -448,7 +509,12 @@ mod tests {
         let spec = ClassSpecBuilder::new("Product")
             .constructor("m1", "Product")
             .method("m2", "UpdateProv", MethodCategory::Update)
-            .param("prv", Domain::Pointer { class_name: "Provider".into() })
+            .param(
+                "prv",
+                Domain::Pointer {
+                    class_name: "Provider".into(),
+                },
+            )
             .destructor("m3", "~Product")
             .birth_node("n1", ["m1"])
             .task_node("n2", ["m2"])
@@ -471,7 +537,12 @@ mod tests {
         let spec = ClassSpecBuilder::new("Product")
             .constructor("m1", "Product")
             .method("m2", "UpdateProv", MethodCategory::Update)
-            .param("prv", Domain::Pointer { class_name: "Provider".into() })
+            .param(
+                "prv",
+                Domain::Pointer {
+                    class_name: "Provider".into(),
+                },
+            )
             .destructor("m3", "~Product")
             .birth_node("n1", ["m1"])
             .task_node("n2", ["m2"])
@@ -522,7 +593,9 @@ mod tests {
             seed: 1,
             cycle_bound: 1,
             max_transactions: 100,
-            expansion: Expansion::Cartesian { max_cases_per_transaction: 2 },
+            expansion: Expansion::Cartesian {
+                max_cases_per_transaction: 2,
+            },
         });
         let suite = gen.generate(&spec).unwrap();
         assert_eq!(suite.len(), 2);

@@ -50,7 +50,10 @@ impl TestingHistory {
                 methods: c.method_names().iter().map(|s| (*s).to_owned()).collect(),
             })
             .collect();
-        TestingHistory { class_name: suite.class_name.clone(), entries }
+        TestingHistory {
+            class_name: suite.class_name.clone(),
+            entries,
+        }
     }
 
     /// Number of recorded cases.
@@ -274,7 +277,12 @@ mod tests {
                     .collect(),
             })
             .collect();
-        TestSuite { class_name: "CObList".into(), seed: 0, cases, stats: SuiteStats::default() }
+        TestSuite {
+            class_name: "CObList".into(),
+            seed: 0,
+            cases,
+            stats: SuiteStats::default(),
+        }
     }
 
     fn map() -> InheritanceMap {
@@ -329,10 +337,10 @@ mod tests {
     #[test]
     fn mixed_suite_partitions() {
         let suite = suite_with(vec![
-            vec!["CObList", "AddHead", "~CObList"],          // skip
-            vec!["CObList", "SetAt", "~CObList"],            // retest
-            vec!["CObList", "Gone", "~CObList"],             // obsolete
-            vec!["CObList", "RemoveAt", "SetAt", "~CObList"] // retest
+            vec!["CObList", "AddHead", "~CObList"],           // skip
+            vec!["CObList", "SetAt", "~CObList"],             // retest
+            vec!["CObList", "Gone", "~CObList"],              // obsolete
+            vec!["CObList", "RemoveAt", "SetAt", "~CObList"], // retest
         ]);
         let plan = ReusePlan::analyze(&TestingHistory::from_suite(&suite), &map());
         assert_eq!(plan.counts(), (1, 2, 1));

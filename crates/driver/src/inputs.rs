@@ -12,15 +12,13 @@
 //! by equivalence probing.
 
 use crate::testcase::ArgOrigin;
-use concat_runtime::Value;
+use concat_runtime::{Rng, Value};
 use concat_tspec::Domain;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A callback producing values for `object`/`pointer` domains of one class.
-pub type ObjectProvider = Box<dyn Fn(&mut StdRng) -> Value>;
+pub type ObjectProvider = Box<dyn Fn(&mut Rng) -> Value>;
 
 /// Failure to produce a value for a domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +38,10 @@ impl fmt::Display for InputError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InputError::NeedsManualCompletion { class_name } => {
-                write!(f, "parameter of class {class_name} must be completed manually")
+                write!(
+                    f,
+                    "parameter of class {class_name} must be completed manually"
+                )
             }
             InputError::EmptyDomain => f.write_str("domain is empty"),
         }
@@ -66,7 +67,7 @@ impl std::error::Error for InputError {}
 /// assert!(d.contains(&v));
 /// ```
 pub struct InputGenerator {
-    rng: StdRng,
+    rng: Rng,
     providers: BTreeMap<String, ObjectProvider>,
 }
 
@@ -81,16 +82,15 @@ impl fmt::Debug for InputGenerator {
 impl InputGenerator {
     /// Creates a generator with the given seed.
     pub fn new(seed: u64) -> Self {
-        InputGenerator { rng: StdRng::seed_from_u64(seed), providers: BTreeMap::new() }
+        InputGenerator {
+            rng: Rng::seed_from_u64(seed),
+            providers: BTreeMap::new(),
+        }
     }
 
     /// Registers a provider for `object`/`pointer` parameters of
     /// `class_name`. Replaces any previous provider for the class.
-    pub fn register_provider(
-        &mut self,
-        class_name: impl Into<String>,
-        provider: ObjectProvider,
-    ) {
+    pub fn register_provider(&mut self, class_name: impl Into<String>, provider: ObjectProvider) {
         self.providers.insert(class_name.into(), provider);
     }
 
@@ -112,20 +112,21 @@ impl InputGenerator {
         }
         match domain {
             Domain::IntRange { lo, hi } => {
-                Ok((Value::Int(self.rng.gen_range(*lo..=*hi)), ArgOrigin::Generated))
+                Ok((Value::Int(self.rng.int_in(*lo, *hi)), ArgOrigin::Generated))
             }
-            Domain::FloatRange { lo, hi } => {
-                Ok((Value::Float(self.rng.gen_range(*lo..=*hi)), ArgOrigin::Generated))
-            }
+            Domain::FloatRange { lo, hi } => Ok((
+                Value::Float(self.rng.float_in(*lo, *hi)),
+                ArgOrigin::Generated,
+            )),
             Domain::Set(values) => {
-                let idx = self.rng.gen_range(0..values.len());
+                let idx = self.rng.index(values.len());
                 Ok((values[idx].clone(), ArgOrigin::Generated))
             }
             Domain::String { max_len } => {
-                let len = self.rng.gen_range(1..=*max_len);
+                let len = self.rng.int_in(1, *max_len as i64) as usize;
                 let s: String = (0..len)
                     .map(|_| {
-                        let c = self.rng.gen_range(0..26u8);
+                        let c = self.rng.index(26) as u8;
                         (b'a' + c) as char
                     })
                     .collect();
@@ -153,7 +154,7 @@ impl InputGenerator {
         if bounds.is_empty() {
             return self.generate(domain);
         }
-        let idx = self.rng.gen_range(0..bounds.len());
+        let idx = self.rng.index(bounds.len());
         Ok((bounds[idx].clone(), ArgOrigin::Boundary))
     }
 }
@@ -219,10 +220,14 @@ mod tests {
     #[test]
     fn pointer_without_provider_needs_manual_completion() {
         let mut g = InputGenerator::new(5);
-        let d = Domain::Pointer { class_name: "Provider".into() };
+        let d = Domain::Pointer {
+            class_name: "Provider".into(),
+        };
         assert_eq!(
             g.generate(&d).unwrap_err(),
-            InputError::NeedsManualCompletion { class_name: "Provider".into() }
+            InputError::NeedsManualCompletion {
+                class_name: "Provider".into()
+            }
         );
     }
 
@@ -232,12 +237,14 @@ mod tests {
         g.register_provider(
             "Provider",
             Box::new(|rng| {
-                let id = rng.gen_range(1..=3);
+                let id = rng.int_in(1, 3);
                 Value::Obj(ObjRef::new("Provider", format!("p{id}")))
             }),
         );
         assert!(g.has_provider("Provider"));
-        let d = Domain::Pointer { class_name: "Provider".into() };
+        let d = Domain::Pointer {
+            class_name: "Provider".into(),
+        };
         let (v, origin) = g.generate(&d).unwrap();
         assert_eq!(origin, ArgOrigin::Provided);
         assert!(d.contains(&v));
@@ -246,7 +253,10 @@ mod tests {
     #[test]
     fn empty_domain_rejected() {
         let mut g = InputGenerator::new(7);
-        assert_eq!(g.generate(&Domain::Set(vec![])).unwrap_err(), InputError::EmptyDomain);
+        assert_eq!(
+            g.generate(&Domain::Set(vec![])).unwrap_err(),
+            InputError::EmptyDomain
+        );
         assert_eq!(
             g.generate(&Domain::int_range(4, 2)).unwrap_err(),
             InputError::EmptyDomain
@@ -260,18 +270,20 @@ mod tests {
         for _ in 0..50 {
             let (v, origin) = g.generate_boundary(&d).unwrap();
             assert_eq!(origin, ArgOrigin::Boundary);
-            assert!(matches!(v, Value::Int(-10) | Value::Int(0) | Value::Int(10)));
+            assert!(matches!(
+                v,
+                Value::Int(-10) | Value::Int(0) | Value::Int(10)
+            ));
         }
     }
 
     #[test]
     fn boundary_falls_back_to_random_for_objects() {
         let mut g = InputGenerator::new(9);
-        g.register_provider(
-            "P",
-            Box::new(|_| Value::Obj(ObjRef::new("P", "only"))),
-        );
-        let d = Domain::Object { class_name: "P".into() };
+        g.register_provider("P", Box::new(|_| Value::Obj(ObjRef::new("P", "only"))));
+        let d = Domain::Object {
+            class_name: "P".into(),
+        };
         let (v, origin) = g.generate_boundary(&d).unwrap();
         assert_eq!(origin, ArgOrigin::Provided);
         assert_eq!(v, Value::Obj(ObjRef::new("P", "only")));
@@ -280,8 +292,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(InputError::EmptyDomain.to_string().contains("empty"));
-        assert!(InputError::NeedsManualCompletion { class_name: "P".into() }
-            .to_string()
-            .contains("manually"));
+        assert!(InputError::NeedsManualCompletion {
+            class_name: "P".into()
+        }
+        .to_string()
+        .contains("manually"));
     }
 }

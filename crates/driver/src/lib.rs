@@ -73,10 +73,10 @@ pub use inputs::{InputError, InputGenerator, ObjectProvider};
 pub use log::TestLog;
 pub use oracle::{compare_transcripts, differing_cases, Divergence, ManualOracle, Verdict};
 pub use persist::{load_history, load_suite, save_history, save_suite, PersistError};
-pub use retarget::{retarget_suite, RetargetMap};
-pub use selection::{select_transactions, Selection, SelectionCriterion};
 pub use render::{render_cpp_suite, render_cpp_test_case};
+pub use retarget::{retarget_suite, RetargetMap};
 pub use runner::{
     CallOutcome, CallRecord, CaseResult, CaseStatus, SuiteResult, TestRunner, Transcript,
 };
+pub use selection::{select_transactions, Selection, SelectionCriterion};
 pub use testcase::{ArgOrigin, MethodCall, SuiteStats, TestCase, TestSuite};

@@ -3,11 +3,19 @@
 //! Figure 6's generated driver appends progress lines ("TestCaseTC0 OK!"),
 //! failure descriptions, and reporter dumps into a log file. [`TestLog`]
 //! accumulates the same text in memory; callers may persist it wherever
-//! they like ([`TestLog::write_to`]).
+//! they like ([`TestLog::write_to`], [`TestLog::write_to_path`]).
+//!
+//! By default the rendered text is exactly the Figure 6 format. An
+//! elapsed-mode log ([`TestLog::with_elapsed`]) additionally prefixes each
+//! line with the monotonic time since the log was created — the same
+//! `Instant` clock telemetry spans are timed with, so the prefixes line up
+//! with `case` span durations in a `concat-obs` trace.
 
 use concat_bit::StateReport;
 use std::fmt;
 use std::io::{self, Write};
+use std::path::Path;
+use std::time::Instant;
 
 /// An append-only textual test log in the `Result.txt` format.
 ///
@@ -21,38 +29,72 @@ use std::io::{self, Write};
 /// log.log_pass("TC0", &StateReport::new());
 /// assert!(log.render().contains("TestCaseTC0 OK!"));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct TestLog {
     lines: Vec<String>,
+    /// Epoch of elapsed mode; `None` renders plain Figure 6 lines.
+    epoch: Option<Instant>,
+}
+
+/// Logs compare by content: two logs are equal when they render the same
+/// text, regardless of when they were created.
+impl PartialEq for TestLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.lines == other.lines
+    }
 }
 
 impl TestLog {
-    /// Creates an empty log.
+    /// Creates an empty log (plain Figure 6 format).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty log in elapsed mode: every line is prefixed with
+    /// `[+  12.345ms]`, the monotonic time since this call.
+    pub fn with_elapsed() -> Self {
+        TestLog {
+            lines: Vec::new(),
+            epoch: Some(Instant::now()),
+        }
+    }
+
+    /// True when lines carry elapsed-time prefixes.
+    pub fn elapsed_enabled(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    fn push(&mut self, text: String) {
+        match self.epoch {
+            Some(epoch) if !text.is_empty() => {
+                let millis = epoch.elapsed().as_secs_f64() * 1_000.0;
+                self.lines.push(format!("[+{millis:>10.3}ms] {text}"));
+            }
+            _ => self.lines.push(text),
+        }
+    }
+
     /// Appends a free-form line.
     pub fn line(&mut self, text: impl Into<String>) {
-        self.lines.push(text.into());
+        self.push(text.into());
     }
 
     /// Logs a passed case plus its reporter dump (Figure 6's happy path).
     pub fn log_pass(&mut self, case_name: &str, report: &StateReport) {
-        self.lines.push(format!("TestCase{case_name} OK!"));
+        self.push(format!("TestCase{case_name} OK!"));
         for (k, v) in report.iter() {
-            self.lines.push(format!("  {k} = {v}"));
+            self.push(format!("  {k} = {v}"));
         }
-        self.lines.push(String::new());
+        self.push(String::new());
     }
 
     /// Logs a failed case: the exception text and the method that raised
     /// (Figure 6's catch block).
     pub fn log_failure(&mut self, case_name: &str, method_called: &str, message: &str) {
-        self.lines.push(format!("TestCase{case_name}"));
-        self.lines.push(format!("  {message}"));
-        self.lines.push(format!("  Method called: {method_called}"));
-        self.lines.push(String::new());
+        self.push(format!("TestCase{case_name}"));
+        self.push(format!("  {message}"));
+        self.push(format!("  Method called: {method_called}"));
+        self.push(String::new());
     }
 
     /// Number of logged lines.
@@ -81,6 +123,26 @@ impl TestLog {
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(self.render().as_bytes())
+    }
+
+    /// Writes the log to a file, creating or truncating it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors with the offending path named in the error
+    /// message — a bare `"permission denied"` with no path has cost
+    /// debugging time before.
+    pub fn write_to_path(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let with_context = |e: io::Error| {
+            io::Error::new(
+                e.kind(),
+                format!("failed to write test log to {}: {e}", path.display()),
+            )
+        };
+        let file = std::fs::File::create(path).map_err(with_context)?;
+        self.write_to(io::BufWriter::new(file))
+            .map_err(with_context)
     }
 }
 
@@ -132,5 +194,62 @@ mod tests {
         log.write_to(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "hello\n");
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn default_format_has_no_prefixes() {
+        let mut log = TestLog::new();
+        assert!(!log.elapsed_enabled());
+        log.log_pass("TC0", &StateReport::new());
+        assert!(log.render().starts_with("TestCaseTC0 OK!"));
+    }
+
+    #[test]
+    fn elapsed_mode_prefixes_nonempty_lines() {
+        let mut log = TestLog::with_elapsed();
+        assert!(log.elapsed_enabled());
+        log.log_pass("TC0", &StateReport::new());
+        log.line("done");
+        let text = log.render();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            assert!(
+                line.starts_with("[+") && line.contains("ms] "),
+                "line lacks elapsed prefix: {line:?}"
+            );
+        }
+        // the blank separator line stays blank (block structure preserved)
+        assert!(text.lines().any(str::is_empty));
+        assert!(text.contains("ms] TestCaseTC0 OK!"));
+    }
+
+    #[test]
+    fn logs_compare_by_content_not_epoch() {
+        let mut a = TestLog::new();
+        let mut b = TestLog::with_elapsed();
+        assert_eq!(a, b, "both empty");
+        a.line("x");
+        assert_ne!(a, b);
+        b.lines = a.lines.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_to_path_round_trips_and_names_path_on_error() {
+        let dir = std::env::temp_dir().join("concat_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Result.txt");
+        let mut log = TestLog::new();
+        log.line("persisted");
+        log.write_to_path(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "persisted\n");
+        std::fs::remove_file(&path).unwrap();
+
+        let bad = dir.join("no/such/dir/Result.txt");
+        let err = log.write_to_path(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("no/such/dir"),
+            "error must name the path: {err}"
+        );
+        let _ = std::fs::remove_dir(&dir);
     }
 }

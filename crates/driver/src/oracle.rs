@@ -43,14 +43,21 @@ pub enum Divergence {
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Divergence::CallOutcome { index, expected, observed } => {
+            Divergence::CallOutcome {
+                index,
+                expected,
+                observed,
+            } => {
                 write!(f, "call {index}: expected {expected}, observed {observed}")
             }
             Divergence::Length { expected, observed } => {
                 write!(f, "executed {observed} call(s), expected {expected}")
             }
             Divergence::FinalState { expected, observed } => {
-                write!(f, "final state differs: expected {expected:?}, observed {observed:?}")
+                write!(
+                    f,
+                    "final state differs: expected {expected:?}, observed {observed:?}"
+                )
             }
         }
     }
@@ -116,7 +123,8 @@ pub fn compare_transcripts(golden: &Transcript, observed: &Transcript) -> Verdic
     }
     if golden.final_report != observed.final_report {
         let render = |r: &Option<concat_bit::StateReport>| {
-            r.as_ref().map_or_else(|| "<none>".to_owned(), |s| s.render())
+            r.as_ref()
+                .map_or_else(|| "<none>".to_owned(), |s| s.render())
         };
         return Verdict::Differs(Divergence::FinalState {
             expected: render(&golden.final_report),
@@ -173,7 +181,11 @@ impl ManualOracle {
 
     /// Checks an executed case against its expectation, if any.
     pub fn check(&self, result: &CaseResult) -> Verdict {
-        match self.expectations.iter().find(|(id, _)| *id == result.case_id) {
+        match self
+            .expectations
+            .iter()
+            .find(|(id, _)| *id == result.case_id)
+        {
             Some((_, expected)) => compare_transcripts(expected, &result.transcript),
             None => Verdict::Match,
         }
@@ -215,7 +227,11 @@ mod tests {
         let g = transcript(&[1, 2], Some(3));
         let o = transcript(&[1, 5], Some(3));
         match compare_transcripts(&g, &o) {
-            Verdict::Differs(Divergence::CallOutcome { index, expected, observed }) => {
+            Verdict::Differs(Divergence::CallOutcome {
+                index,
+                expected,
+                observed,
+            }) => {
                 assert_eq!(index, 1);
                 assert!(expected.contains("2"));
                 assert!(observed.contains("5"));
@@ -230,7 +246,10 @@ mod tests {
         let o = transcript(&[1, 2], Some(0));
         assert!(matches!(
             compare_transcripts(&g, &o),
-            Verdict::Differs(Divergence::Length { expected: 3, observed: 2 })
+            Verdict::Differs(Divergence::Length {
+                expected: 3,
+                observed: 2
+            })
         ));
     }
 
@@ -255,8 +274,10 @@ mod tests {
     fn exception_vs_return_is_a_difference() {
         let g = transcript(&[1], None);
         let mut o = g.clone();
-        o.records[0].outcome =
-            CallOutcome::Raised { tag: "PANIC".into(), message: "x".into() };
+        o.records[0].outcome = CallOutcome::Raised {
+            tag: "PANIC".into(),
+            message: "x".into(),
+        };
         match compare_transcripts(&g, &o) {
             Verdict::Differs(Divergence::CallOutcome { observed, .. }) => {
                 assert!(observed.contains("[PANIC]"));
@@ -272,16 +293,22 @@ mod tests {
             status: CaseStatus::Passed,
             transcript: transcript(vals, None),
         };
-        let golden = SuiteResult { class_name: "C".into(), cases: vec![mk(&[1]), {
-            let mut c = mk(&[2]);
-            c.case_id = 1;
-            c
-        }] };
-        let observed = SuiteResult { class_name: "C".into(), cases: vec![mk(&[1]), {
-            let mut c = mk(&[9]);
-            c.case_id = 1;
-            c
-        }] };
+        let golden = SuiteResult {
+            class_name: "C".into(),
+            cases: vec![mk(&[1]), {
+                let mut c = mk(&[2]);
+                c.case_id = 1;
+                c
+            }],
+        };
+        let observed = SuiteResult {
+            class_name: "C".into(),
+            cases: vec![mk(&[1]), {
+                let mut c = mk(&[9]);
+                c.case_id = 1;
+                c
+            }],
+        };
         assert_eq!(differing_cases(&golden, &observed), vec![1]);
     }
 
@@ -313,7 +340,10 @@ mod tests {
 
     #[test]
     fn divergence_display() {
-        let d = Divergence::Length { expected: 3, observed: 1 };
+        let d = Divergence::Length {
+            expected: 3,
+            observed: 1,
+        };
         assert!(d.to_string().contains("expected 3"));
     }
 }

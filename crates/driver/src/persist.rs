@@ -45,7 +45,10 @@ impl fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 fn perr(line: usize, message: impl Into<String>) -> PersistError {
-    PersistError { line, message: message.into() }
+    PersistError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn origin_code(o: ArgOrigin) -> char {
@@ -74,7 +77,11 @@ fn write_call(out: &mut String, keyword: &str, call: &MethodCall) {
         call.origins.iter().map(|o| origin_code(*o)).collect()
     };
     let args = Value::List(call.args.clone()).to_literal();
-    let _ = writeln!(out, "{keyword} {} {} {origins} {args}", call.method_id, call.method);
+    let _ = writeln!(
+        out,
+        "{keyword} {} {} {origins} {args}",
+        call.method_id, call.method
+    );
 }
 
 fn parse_call(rest: &str, line: usize) -> Result<MethodCall, PersistError> {
@@ -124,7 +131,10 @@ pub fn save_suite(suite: &TestSuite) -> String {
     );
     for case in suite {
         let path = Value::List(
-            case.node_path.iter().map(|p| Value::Str(p.clone())).collect(),
+            case.node_path
+                .iter()
+                .map(|p| Value::Str(p.clone()))
+                .collect(),
         )
         .to_literal();
         let _ = writeln!(out, "case {} {} {path}", case.id, case.transaction_index);
@@ -237,7 +247,12 @@ pub fn load_suite(text: &str) -> Result<TestSuite, PersistError> {
         return Err(perr(text.lines().count(), "unterminated case"));
     }
     let class_name = class_name.ok_or_else(|| perr(1, "missing suite header"))?;
-    Ok(TestSuite { class_name, seed, cases, stats })
+    Ok(TestSuite {
+        class_name,
+        seed,
+        cases,
+        stats,
+    })
 }
 
 /// Renders a testing history in the persistence text format.
@@ -245,10 +260,8 @@ pub fn save_history(history: &TestingHistory) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "history {}", history.class_name);
     for e in &history.entries {
-        let methods = Value::List(
-            e.methods.iter().map(|m| Value::Str(m.clone())).collect(),
-        )
-        .to_literal();
+        let methods =
+            Value::List(e.methods.iter().map(|m| Value::Str(m.clone())).collect()).to_literal();
         let _ = writeln!(out, "entry {} {} {methods}", e.case_id, e.transaction_index);
     }
     out
@@ -291,13 +304,20 @@ pub fn load_history(text: &str) -> Result<TestingHistory, PersistError> {
                         .collect::<Result<Vec<_>, _>>()?,
                     _ => return Err(perr(line_no, "bad method list")),
                 };
-                entries.push(HistoryEntry { case_id, transaction_index, methods });
+                entries.push(HistoryEntry {
+                    case_id,
+                    transaction_index,
+                    methods,
+                });
             }
             other => return Err(perr(line_no, format!("unknown record `{other}`"))),
         }
     }
     let class_name = class_name.ok_or_else(|| perr(1, "missing history header"))?;
-    Ok(TestingHistory { class_name, entries })
+    Ok(TestingHistory {
+        class_name,
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -344,7 +364,12 @@ mod tests {
                     }],
                 },
             ],
-            stats: SuiteStats { transactions: 3, cases: 2, truncated: true, manual_args: 1 },
+            stats: SuiteStats {
+                transactions: 3,
+                cases: 2,
+                truncated: true,
+                manual_args: 1,
+            },
         }
     }
 
@@ -380,14 +405,25 @@ mod tests {
 
     #[test]
     fn structural_errors_detected() {
-        assert!(load_suite("ctor m1 C - []").unwrap_err().message.contains("outside"));
+        assert!(load_suite("ctor m1 C - []")
+            .unwrap_err()
+            .message
+            .contains("outside"));
         assert!(load_suite("suite C\ncase 0 0 [\"n1\"]\nctor m1 C - []")
             .unwrap_err()
             .message
             .contains("unterminated"));
-        assert!(load_suite("seed 1").unwrap_err().message.contains("missing suite header"));
-        assert!(load_history("entry 0 0 []").unwrap_err().message.contains("unknown record")
-            || load_history("entry 0 0 []").is_err());
+        assert!(load_suite("seed 1")
+            .unwrap_err()
+            .message
+            .contains("missing suite header"));
+        assert!(
+            load_history("entry 0 0 []")
+                .unwrap_err()
+                .message
+                .contains("unknown record")
+                || load_history("entry 0 0 []").is_err()
+        );
     }
 
     #[test]
@@ -402,7 +438,10 @@ mod tests {
         let text = "suite C\ncase 0 0 []\nctor m1 C g [oops]\nendcase";
         assert!(load_suite(text).is_err());
         let text2 = "suite C\ncase 0 0 []\nctor m1 C g 5\nendcase";
-        assert!(load_suite(text2).unwrap_err().message.contains("list literal"));
+        assert!(load_suite(text2)
+            .unwrap_err()
+            .message
+            .contains("list literal"));
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct RetargetMap {
 impl RetargetMap {
     /// Starts a map targeting the subclass `class_name`.
     pub fn new(class_name: impl Into<String>) -> Self {
-        RetargetMap { class_name: class_name.into(), method_renames: BTreeMap::new() }
+        RetargetMap {
+            class_name: class_name.into(),
+            method_renames: BTreeMap::new(),
+        }
     }
 
     /// Renames a lifecycle (or redefined-signature-compatible) method.
@@ -41,7 +44,10 @@ impl RetargetMap {
     }
 
     fn apply(&self, name: &str) -> String {
-        self.method_renames.get(name).cloned().unwrap_or_else(|| name.to_owned())
+        self.method_renames
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.to_owned())
     }
 }
 
@@ -100,7 +106,12 @@ mod tests {
                     MethodCall::generated("m16", "~CObList", vec![]),
                 ],
             }],
-            stats: SuiteStats { transactions: 1, cases: 1, truncated: false, manual_args: 0 },
+            stats: SuiteStats {
+                transactions: 1,
+                cases: 1,
+                truncated: false,
+                manual_args: 0,
+            },
         }
     }
 

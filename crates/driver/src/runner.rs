@@ -9,6 +9,7 @@
 use crate::log::TestLog;
 use crate::testcase::{TestCase, TestSuite};
 use concat_bit::{BitControl, ComponentFactory, StateReport};
+use concat_obs::Telemetry;
 use concat_runtime::{TestException, Value};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -148,7 +149,10 @@ impl SuiteResult {
 
     /// Number of failures attributable to assertion violations.
     pub fn assertion_failures(&self) -> usize {
-        self.cases.iter().filter(|c| c.status.is_assertion()).count()
+        self.cases
+            .iter()
+            .filter(|c| c.status.is_assertion())
+            .count()
     }
 }
 
@@ -162,18 +166,43 @@ impl SuiteResult {
 pub struct TestRunner {
     ctl: BitControl,
     check_invariants: bool,
+    telemetry: Telemetry,
 }
 
 impl TestRunner {
     /// Creates a runner that puts components in test mode and checks the
     /// class invariant around every call (the Figure-6 behaviour).
     pub fn new() -> Self {
-        TestRunner { ctl: BitControl::new_enabled(), check_invariants: true }
+        TestRunner {
+            ctl: BitControl::new_enabled(),
+            check_invariants: true,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Creates a runner with BIT disabled — the assertions-off ablation.
     pub fn without_bit() -> Self {
-        TestRunner { ctl: BitControl::new(), check_invariants: false }
+        TestRunner {
+            ctl: BitControl::new(),
+            check_invariants: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: suite/case spans, per-status case
+    /// counters and per-call outcome counters are emitted into it, and the
+    /// runner's [`BitControl`] is wired up so assertion checks land as
+    /// `bit.<kind>.*` counters too. The default handle is disabled and
+    /// free.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.ctl.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle this runner emits into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The control shared with every component this runner constructs.
@@ -188,11 +217,15 @@ impl TestRunner {
         suite: &TestSuite,
         log: &mut TestLog,
     ) -> SuiteResult {
+        let _span = self.telemetry.span("suite", &suite.class_name);
         let mut cases = Vec::with_capacity(suite.len());
         for case in suite {
             cases.push(self.run_case(factory, case, log));
         }
-        SuiteResult { class_name: suite.class_name.clone(), cases }
+        SuiteResult {
+            class_name: suite.class_name.clone(),
+            cases,
+        }
     }
 
     /// Runs one test case: construct → (invariant, call)* → reporter.
@@ -206,13 +239,46 @@ impl TestRunner {
         case: &TestCase,
         log: &mut TestLog,
     ) -> CaseResult {
+        let span = self.telemetry.span("case", &case.name());
+        let result = self.run_case_impl(factory, case, log);
+        span.finish();
+        if self.telemetry.is_enabled() {
+            let ok = result
+                .transcript
+                .records
+                .iter()
+                .filter(|r| r.outcome.is_ok())
+                .count() as u64;
+            let raised = result.transcript.records.len() as u64 - ok;
+            self.telemetry.incr_by("call.ok", ok);
+            self.telemetry.incr_by("call.raised", raised);
+            self.telemetry.incr(match result.status {
+                CaseStatus::Passed => "case.passed",
+                CaseStatus::AssertionViolated { .. } => "case.assertion_violated",
+                CaseStatus::ExceptionRaised { .. } => "case.exception",
+                CaseStatus::Panicked { .. } => "case.panicked",
+            });
+        }
+        result
+    }
+
+    fn run_case_impl(
+        &self,
+        factory: &dyn ComponentFactory,
+        case: &TestCase,
+        log: &mut TestLog,
+    ) -> CaseResult {
         let mut records = Vec::new();
         let mut call_index = 0usize;
 
         // Construct the object via the factory (birth node).
         let ctor_render = case.constructor.render();
         let constructed = catch_unwind(AssertUnwindSafe(|| {
-            factory.construct(&case.constructor.method, &case.constructor.args, self.ctl.clone())
+            factory.construct(
+                &case.constructor.method,
+                &case.constructor.args,
+                self.ctl.clone(),
+            )
         }));
         let mut component = match constructed {
             Ok(Ok(c)) => {
@@ -235,20 +301,32 @@ impl TestRunner {
                 return CaseResult {
                     case_id: case.id,
                     status,
-                    transcript: Transcript { records, final_report: None },
+                    transcript: Transcript {
+                        records,
+                        final_report: None,
+                    },
                 };
             }
             Err(panic) => {
                 let message = panic_message(panic);
                 records.push(CallRecord {
                     call: ctor_render,
-                    outcome: CallOutcome::Raised { tag: "PANIC".into(), message: message.clone() },
+                    outcome: CallOutcome::Raised {
+                        tag: "PANIC".into(),
+                        message: message.clone(),
+                    },
                 });
                 log.log_failure(&case.name(), &case.constructor.render(), &message);
                 return CaseResult {
                     case_id: case.id,
-                    status: CaseStatus::Panicked { message, at_call: call_index },
-                    transcript: Transcript { records, final_report: None },
+                    status: CaseStatus::Panicked {
+                        message,
+                        at_call: call_index,
+                    },
+                    transcript: Transcript {
+                        records,
+                        final_report: None,
+                    },
                 };
             }
         };
@@ -260,12 +338,18 @@ impl TestRunner {
                 let message = v.to_string();
                 records.push(CallRecord {
                     call: "InvariantTest()".into(),
-                    outcome: CallOutcome::Raised { tag: "INVARIANT".into(), message: message.clone() },
+                    outcome: CallOutcome::Raised {
+                        tag: "INVARIANT".into(),
+                        message: message.clone(),
+                    },
                 });
                 log.log_failure(&case.name(), "InvariantTest()", &message);
                 return CaseResult {
                     case_id: case.id,
-                    status: CaseStatus::AssertionViolated { message, at_call: call_index },
+                    status: CaseStatus::AssertionViolated {
+                        message,
+                        at_call: call_index,
+                    },
                     transcript: Transcript {
                         records,
                         final_report: Some(component.reporter()),
@@ -318,8 +402,14 @@ impl TestRunner {
                     log.log_failure(&case.name(), &rendered, &message);
                     return CaseResult {
                         case_id: case.id,
-                        status: CaseStatus::Panicked { message, at_call: call_index },
-                        transcript: Transcript { records, final_report: None },
+                        status: CaseStatus::Panicked {
+                            message,
+                            at_call: call_index,
+                        },
+                        transcript: Transcript {
+                            records,
+                            final_report: None,
+                        },
                     };
                 }
             }
@@ -336,7 +426,10 @@ impl TestRunner {
                     log.log_failure(&case.name(), "InvariantTest()", &message);
                     return CaseResult {
                         case_id: case.id,
-                        status: CaseStatus::AssertionViolated { message, at_call: call_index },
+                        status: CaseStatus::AssertionViolated {
+                            message,
+                            at_call: call_index,
+                        },
                         transcript: Transcript {
                             records,
                             final_report: Some(component.reporter()),
@@ -351,7 +444,10 @@ impl TestRunner {
         CaseResult {
             case_id: case.id,
             status: CaseStatus::Passed,
-            transcript: Transcript { records, final_report: Some(final_report) },
+            transcript: Transcript {
+                records,
+                final_report: Some(final_report),
+            },
         }
     }
 }
@@ -364,12 +460,14 @@ impl Default for TestRunner {
 
 fn status_from_exception(exc: &TestException, at_call: usize) -> CaseStatus {
     match exc {
-        TestException::Assertion(v) => {
-            CaseStatus::AssertionViolated { message: v.to_string(), at_call }
-        }
-        TestException::Panicked { message, .. } => {
-            CaseStatus::Panicked { message: message.clone(), at_call }
-        }
+        TestException::Assertion(v) => CaseStatus::AssertionViolated {
+            message: v.to_string(),
+            at_call,
+        },
+        TestException::Panicked { message, .. } => CaseStatus::Panicked {
+            message: message.clone(),
+            at_call,
+        },
         other => CaseStatus::ExceptionRaised {
             tag: other.tag().to_owned(),
             message: other.to_string(),
@@ -393,9 +491,7 @@ mod tests {
     use super::*;
     use crate::testcase::MethodCall;
     use concat_bit::{BuiltInTest, TestableComponent};
-    use concat_runtime::{
-        args, unknown_method, AssertionViolation, Component, InvokeResult,
-    };
+    use concat_runtime::{args, unknown_method, AssertionViolation, Component, InvokeResult};
 
     /// A counter that corrupts its state when asked, to exercise every
     /// runner path: domain exceptions, invariant violations and panics.
@@ -428,7 +524,7 @@ mod tests {
                 _ => Err(unknown_method(self.class_name(), m)),
             }
         }
-        }
+    }
 
     impl BuiltInTest for Chaos {
         fn bit_control(&self) -> &BitControl {
@@ -509,14 +605,15 @@ mod tests {
     fn invariant_violation_detected_after_corrupting_call() {
         let runner = TestRunner::new();
         let mut log = TestLog::new();
-        let case = case_with(vec![
-            MethodCall::generated("m2", "Corrupt", vec![]),
-            dtor(),
-        ]);
+        let case = case_with(vec![MethodCall::generated("m2", "Corrupt", vec![]), dtor()]);
         let r = runner.run_case(&ChaosFactory, &case, &mut log);
         assert!(r.status.is_assertion());
         // corrupting call itself succeeded; the invariant check caught it
-        assert!(r.transcript.records.iter().any(|rec| rec.call == "InvariantTest()"));
+        assert!(r
+            .transcript
+            .records
+            .iter()
+            .any(|rec| rec.call == "InvariantTest()"));
         assert!(log.render().contains("Invariant") || log.render().contains("invariant"));
     }
 
@@ -577,10 +674,7 @@ mod tests {
     fn without_bit_runner_skips_invariants() {
         let runner = TestRunner::without_bit();
         let mut log = TestLog::new();
-        let case = case_with(vec![
-            MethodCall::generated("m2", "Corrupt", vec![]),
-            dtor(),
-        ]);
+        let case = case_with(vec![MethodCall::generated("m2", "Corrupt", vec![]), dtor()]);
         let r = runner.run_case(&ChaosFactory, &case, &mut log);
         // With BIT off the corruption goes unnoticed.
         assert!(r.status.is_pass());
@@ -631,7 +725,10 @@ mod tests {
     #[test]
     fn status_display() {
         assert_eq!(CaseStatus::Passed.to_string(), "OK");
-        let s = CaseStatus::Panicked { message: "boom".into(), at_call: 2 };
+        let s = CaseStatus::Panicked {
+            message: "boom".into(),
+            at_call: 2,
+        };
         assert!(s.to_string().contains("boom"));
     }
 }

@@ -114,8 +114,7 @@ pub fn select_transactions(
             covered: set.len(),
         },
         SelectionCriterion::AllNodes => {
-            let universe: BTreeSet<usize> =
-                tfm.nodes().map(|(id, _)| id.index()).collect();
+            let universe: BTreeSet<usize> = tfm.nodes().map(|(id, _)| id.index()).collect();
             let items: Vec<BTreeSet<usize>> = set
                 .iter()
                 .map(|t| t.nodes.iter().map(|n| n.index()).collect())
@@ -152,9 +151,7 @@ fn greedy_cover(universe: &BTreeSet<usize>, items: &[BTreeSet<usize>]) -> Select
             .iter()
             .enumerate()
             .filter(|(i, _)| !chosen.contains(i))
-            .max_by_key(|(i, item)| {
-                (item.intersection(&uncovered).count(), std::cmp::Reverse(*i))
-            });
+            .max_by_key(|(i, item)| (item.intersection(&uncovered).count(), std::cmp::Reverse(*i)));
         match best {
             Some((i, item)) if item.intersection(&uncovered).count() > 0 => {
                 for u in item {
@@ -259,7 +256,10 @@ mod tests {
     fn names_and_display() {
         assert_eq!(SelectionCriterion::AllNodes.to_string(), "all-nodes");
         assert_eq!(SelectionCriterion::AllEdges.name(), "all-edges");
-        assert_eq!(SelectionCriterion::AllTransactions.name(), "all-transactions");
+        assert_eq!(
+            SelectionCriterion::AllTransactions.name(),
+            "all-transactions"
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl MethodCall {
         args: Vec<Value>,
     ) -> Self {
         let origins = vec![ArgOrigin::Generated; args.len()];
-        MethodCall { method_id: method_id.into(), method: method.into(), args, origins }
+        MethodCall {
+            method_id: method_id.into(),
+            method: method.into(),
+            args,
+            origins,
+        }
     }
 
     /// Renders the call the way Figure 6 documents it:
@@ -115,7 +120,7 @@ impl TestCase {
     pub fn needs_manual_completion(&self) -> bool {
         std::iter::once(&self.constructor)
             .chain(self.calls.iter())
-            .any(|c| c.origins.iter().any(|o| *o == ArgOrigin::Manual))
+            .any(|c| c.origins.contains(&ArgOrigin::Manual))
     }
 }
 
@@ -167,7 +172,12 @@ impl TestSuite {
         TestSuite {
             class_name: self.class_name.clone(),
             seed: self.seed,
-            cases: self.cases.iter().filter(|c| ids.contains(&c.id)).cloned().collect(),
+            cases: self
+                .cases
+                .iter()
+                .filter(|c| ids.contains(&c.id))
+                .cloned()
+                .collect(),
             stats: SuiteStats {
                 transactions: self.stats.transactions,
                 cases: self.cases.iter().filter(|c| ids.contains(&c.id)).count(),
@@ -242,7 +252,12 @@ mod tests {
             class_name: "C".into(),
             seed: 1,
             cases: vec![case(0), case(1), case(2)],
-            stats: SuiteStats { transactions: 3, cases: 3, truncated: false, manual_args: 0 },
+            stats: SuiteStats {
+                transactions: 3,
+                cases: 3,
+                truncated: false,
+                manual_args: 0,
+            },
         };
         let sub = suite.filtered(&[0, 2]);
         assert_eq!(sub.len(), 2);

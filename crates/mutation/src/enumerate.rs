@@ -99,7 +99,10 @@ pub fn enumerate_mutants(inventory: &ClassInventory, target_methods: &[&str]) ->
             }
             // IndVarRepExt: every unused global.
             for e in &externals {
-                push(MutationOperator::IndVarRepExt, Replacement::Var((*e).to_owned()));
+                push(
+                    MutationOperator::IndVarRepExt,
+                    Replacement::Var((*e).to_owned()),
+                );
             }
             // IndVarRepReq: every required constant.
             for c in ReqConst::ALL {

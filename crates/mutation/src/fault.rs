@@ -48,7 +48,11 @@ pub struct FaultPlan {
 
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} @ site {}: {}", self.method, self.site, self.replacement)
+        write!(
+            f,
+            "{} @ site {}: {}",
+            self.method, self.site, self.replacement
+        )
     }
 }
 
@@ -77,7 +81,11 @@ impl VarEnv {
 
     /// Looks a variable up, innermost binding first.
     pub fn lookup(&self, name: &str) -> Option<&Value> {
-        self.entries.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Number of bindings.
@@ -130,7 +138,10 @@ impl MutationSwitch {
 
     /// The currently armed plan, if any.
     pub fn armed(&self) -> Option<FaultPlan> {
-        self.active.lock().expect("mutation switch poisoned").clone()
+        self.active
+            .lock()
+            .expect("mutation switch poisoned")
+            .clone()
     }
 
     /// Instrumented *integer* read of local `var` at `(method, site)`.
@@ -210,11 +221,19 @@ mod tests {
     #[test]
     fn bitneg_applies_only_at_matching_site() {
         let sw = MutationSwitch::new();
-        sw.arm(FaultPlan { method: "M".into(), site: 1, replacement: Replacement::BitNeg });
+        sw.arm(FaultPlan {
+            method: "M".into(),
+            site: 1,
+            replacement: Replacement::BitNeg,
+        });
         let env = VarEnv::new();
         assert_eq!(sw.read_int("M", 1, "i", 5, &env), !5);
         assert_eq!(sw.read_int("M", 0, "i", 5, &env), 5, "other site untouched");
-        assert_eq!(sw.read_int("Other", 1, "i", 5, &env), 5, "other method untouched");
+        assert_eq!(
+            sw.read_int("Other", 1, "i", 5, &env),
+            5,
+            "other method untouched"
+        );
     }
 
     #[test]
@@ -258,7 +277,11 @@ mod tests {
     #[test]
     fn disarm_restores_original_program() {
         let sw = MutationSwitch::new();
-        sw.arm(FaultPlan { method: "M".into(), site: 0, replacement: Replacement::BitNeg });
+        sw.arm(FaultPlan {
+            method: "M".into(),
+            site: 0,
+            replacement: Replacement::BitNeg,
+        });
         assert!(sw.armed().is_some());
         sw.disarm();
         assert_eq!(sw.read_int("M", 0, "i", 7, &VarEnv::new()), 7);
@@ -268,14 +291,22 @@ mod tests {
     fn clones_share_the_armed_plan() {
         let sw = MutationSwitch::new();
         let clone = sw.clone();
-        sw.arm(FaultPlan { method: "M".into(), site: 0, replacement: Replacement::BitNeg });
+        sw.arm(FaultPlan {
+            method: "M".into(),
+            site: 0,
+            replacement: Replacement::BitNeg,
+        });
         assert_eq!(clone.read_int("M", 0, "i", 0, &VarEnv::new()), !0);
     }
 
     #[test]
     fn value_bitneg_on_bool_and_passthrough() {
         let sw = MutationSwitch::new();
-        sw.arm(FaultPlan { method: "M".into(), site: 0, replacement: Replacement::BitNeg });
+        sw.arm(FaultPlan {
+            method: "M".into(),
+            site: 0,
+            replacement: Replacement::BitNeg,
+        });
         assert_eq!(
             sw.read_value("M", 0, "v", Value::Bool(true), &VarEnv::new()),
             Value::Bool(false)
@@ -315,6 +346,8 @@ mod tests {
         assert!(s.contains("site 3"));
         assert!(s.contains("count"));
         assert!(Replacement::BitNeg.to_string().contains('~'));
-        assert!(Replacement::Const(ReqConst::Null).to_string().contains("NULL"));
+        assert!(Replacement::Const(ReqConst::Null)
+            .to_string()
+            .contains("NULL"));
     }
 }

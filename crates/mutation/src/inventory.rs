@@ -26,7 +26,11 @@ pub struct UseSite {
 impl UseSite {
     /// Creates a use-site descriptor.
     pub fn new(id: u32, var: impl Into<String>, desc: impl Into<String>) -> Self {
-        UseSite { id, var: var.into(), desc: desc.into() }
+        UseSite {
+            id,
+            var: var.into(),
+            desc: desc.into(),
+        }
     }
 }
 
@@ -52,7 +56,10 @@ pub struct MethodInventory {
 impl MethodInventory {
     /// Starts an inventory for `method`.
     pub fn new(method: impl Into<String>) -> Self {
-        MethodInventory { method: method.into(), ..Default::default() }
+        MethodInventory {
+            method: method.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares the locals `L(R2)`.
@@ -107,7 +114,10 @@ pub struct ClassInventory {
 impl ClassInventory {
     /// Starts an inventory for `class_name`.
     pub fn new(class_name: impl Into<String>) -> Self {
-        ClassInventory { class_name: class_name.into(), ..Default::default() }
+        ClassInventory {
+            class_name: class_name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares the class attributes (globals universe).
@@ -209,7 +219,9 @@ mod tests {
 
     #[test]
     fn undeclared_local_in_site_detected() {
-        let m = MethodInventory::new("M").locals(["a"]).site(0, "ghost", "x");
+        let m = MethodInventory::new("M")
+            .locals(["a"])
+            .site(0, "ghost", "x");
         let problems = m.validate();
         assert!(problems.iter().any(|p| p.contains("not a declared local")));
     }
@@ -230,7 +242,10 @@ mod tests {
         let inv = ClassInventory::new("C")
             .method(MethodInventory::new("M"))
             .method(MethodInventory::new("M"));
-        assert!(inv.validate().iter().any(|p| p.contains("duplicate method")));
+        assert!(inv
+            .validate()
+            .iter()
+            .any(|p| p.contains("duplicate method")));
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl MutationMatrix {
             if !methods.contains(&method) {
                 continue;
             }
-            cells.entry((method, r.mutant.operator)).or_default().absorb(r);
+            cells
+                .entry((method, r.mutant.operator))
+                .or_default()
+                .absorb(r);
         }
         MutationMatrix { methods, cells }
     }
@@ -148,13 +151,19 @@ mod tests {
     }
 
     fn killed() -> MutantStatus {
-        MutantStatus::Killed { reason: KillReason::OutputDiff, by_case: 0 }
+        MutantStatus::Killed {
+            reason: KillReason::OutputDiff,
+            by_case: 0,
+        }
     }
 
     fn run_with(results: Vec<MutantResult>) -> MutationRun {
         MutationRun {
             results,
-            golden: SuiteResult { class_name: "C".into(), cases: vec![] },
+            golden: SuiteResult {
+                class_name: "C".into(),
+                cases: vec![],
+            },
         }
     }
 
@@ -162,7 +171,11 @@ mod tests {
     fn cells_accumulate_statuses() {
         let run = run_with(vec![
             result("Sort1", MutationOperator::IndVarBitNeg, killed()),
-            result("Sort1", MutationOperator::IndVarBitNeg, MutantStatus::Survived),
+            result(
+                "Sort1",
+                MutationOperator::IndVarBitNeg,
+                MutantStatus::Survived,
+            ),
             result(
                 "Sort1",
                 MutationOperator::IndVarBitNeg,
@@ -184,7 +197,11 @@ mod tests {
         let run = run_with(vec![
             result("Sort1", MutationOperator::IndVarBitNeg, killed()),
             result("Sort1", MutationOperator::IndVarRepLoc, killed()),
-            result("FindMax", MutationOperator::IndVarRepLoc, MutantStatus::Survived),
+            result(
+                "FindMax",
+                MutationOperator::IndVarRepLoc,
+                MutantStatus::Survived,
+            ),
         ]);
         let m = MutationMatrix::from_run(&run, &["Sort1", "FindMax"]);
         assert_eq!(m.row_total("Sort1"), 2);
@@ -199,7 +216,11 @@ mod tests {
 
     #[test]
     fn unlisted_methods_ignored() {
-        let run = run_with(vec![result("Ghost", MutationOperator::IndVarBitNeg, killed())]);
+        let run = run_with(vec![result(
+            "Ghost",
+            MutationOperator::IndVarBitNeg,
+            killed(),
+        )]);
         let m = MutationMatrix::from_run(&run, &["Sort1"]);
         assert_eq!(m.overall().mutants, 0);
         assert_eq!(m.methods(), &["Sort1".to_owned()]);
@@ -216,7 +237,11 @@ mod tests {
 
     #[test]
     fn score_pct_rounds_like_the_paper() {
-        let c = CellStats { mutants: 700, killed: 652, equivalent: 19 };
+        let c = CellStats {
+            mutants: 700,
+            killed: 652,
+            equivalent: 19,
+        };
         // 652 / 681 = 0.9574… → 95.7 %
         assert_eq!(c.score_pct(), 95.7);
     }

@@ -167,9 +167,15 @@ mod tests {
         assert!(MutationOperator::IndVarBitNeg
             .description()
             .contains("bitwise negation"));
-        assert!(MutationOperator::IndVarRepGlob.description().contains("G(R2)"));
-        assert!(MutationOperator::IndVarRepLoc.description().contains("L(R2)"));
-        assert!(MutationOperator::IndVarRepExt.description().contains("E(R2)"));
+        assert!(MutationOperator::IndVarRepGlob
+            .description()
+            .contains("G(R2)"));
+        assert!(MutationOperator::IndVarRepLoc
+            .description()
+            .contains("L(R2)"));
+        assert!(MutationOperator::IndVarRepExt
+            .description()
+            .contains("E(R2)"));
         assert!(MutationOperator::IndVarRepReq.description().contains("RC"));
     }
 

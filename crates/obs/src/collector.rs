@@ -1,0 +1,247 @@
+//! Sinks: where telemetry events go.
+//!
+//! A [`Collector`] receives [`Event`]s from any thread. Three sinks ship:
+//!
+//! * [`NullSink`] — drops everything; the default. A [`crate::Telemetry`]
+//!   handle built over it short-circuits to the fully disabled fast path,
+//!   so instrumentation costs nothing when nobody is watching.
+//! * [`MemorySink`] — appends into a mutex-guarded vector; tests and
+//!   report tables read it back, or ask for an aggregated
+//!   [`crate::Summary`].
+//! * [`JsonlSink`] — serializes one JSON object per line into any writer,
+//!   the interchange format future benchmark trajectories consume.
+
+use crate::event::Event;
+use crate::summary::Summary;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A thread-safe event sink.
+pub trait Collector: Send + Sync {
+    /// Accepts one event. Must not panic; telemetry must never take the
+    /// pipeline down.
+    fn record(&self, event: Event);
+
+    /// True for sinks that drop every event. [`crate::Telemetry::new`]
+    /// collapses such sinks to the disabled fast path (no clock reads, no
+    /// label allocation).
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Collector for NullSink {
+    fn record(&self, _event: Event) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// An in-memory sink for tests and report generation.
+///
+/// # Examples
+///
+/// ```
+/// use concat_obs::{Collector, Event, MemorySink};
+///
+/// let sink = MemorySink::new();
+/// sink.record(Event::Counter { name: "case.passed", delta: 1 });
+/// assert_eq!(sink.counter_total("case.passed"), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every recorded event, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all increments of one counter.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name: n, delta } if *n == name => Some(*delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of *completed* spans of one kind.
+    pub fn span_count(&self, kind: &str) -> usize {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .filter(|e| matches!(e, Event::SpanEnd { kind: k, .. } if *k == kind))
+            .count()
+    }
+
+    /// Last-set value of one gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::Gauge { name: n, value } if *n == name => Some(*value),
+                _ => None,
+            })
+    }
+
+    /// Aggregates everything recorded so far.
+    pub fn summary(&self) -> Summary {
+        Summary::from_events(self.events.lock().expect("memory sink poisoned").iter())
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink poisoned").clear();
+    }
+}
+
+impl Collector for MemorySink {
+    fn record(&self, event: Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event);
+    }
+}
+
+/// A sink writing one JSON object per line to any writer.
+///
+/// Write errors are swallowed: telemetry is advisory and must never fail
+/// the run it observes (the paper's driver likewise treats `Result.txt`
+/// as best-effort output).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("jsonl sink poisoned")
+    }
+}
+
+impl JsonlSink<Vec<u8>> {
+    /// An in-memory JSONL sink, convenient for tests.
+    pub fn in_memory() -> Self {
+        JsonlSink::new(Vec::new())
+    }
+
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.writer.lock().expect("jsonl sink poisoned")).into_owned()
+    }
+}
+
+impl<W: Write + Send> Collector for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_null() {
+        assert!(NullSink.is_null());
+        NullSink.record(Event::Counter {
+            name: "x",
+            delta: 1,
+        }); // no-op
+        assert!(!MemorySink::new().is_null());
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let sink = MemorySink::new();
+        sink.record(Event::Counter {
+            name: "a",
+            delta: 2,
+        });
+        sink.record(Event::Counter {
+            name: "a",
+            delta: 3,
+        });
+        sink.record(Event::Gauge {
+            name: "g",
+            value: 1,
+        });
+        sink.record(Event::Gauge {
+            name: "g",
+            value: 9,
+        });
+        sink.record(Event::SpanEnd {
+            kind: "k",
+            label: "l".into(),
+            id: 0,
+            nanos: 5,
+        });
+        assert_eq!(sink.counter_total("a"), 5);
+        assert_eq!(sink.gauge_value("g"), Some(9));
+        assert_eq!(sink.span_count("k"), 1);
+        assert_eq!(sink.len(), 5);
+        assert!(!sink.is_empty());
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::in_memory();
+        sink.record(Event::Counter {
+            name: "a",
+            delta: 1,
+        });
+        sink.record(Event::Gauge {
+            name: "g",
+            value: 2,
+        });
+        let text = sink.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        let bytes = sink.into_inner();
+        assert_eq!(String::from_utf8(bytes).unwrap(), text);
+    }
+}

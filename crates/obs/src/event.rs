@@ -1,0 +1,157 @@
+//! The telemetry event model.
+//!
+//! Everything the instrumented pipeline reports flows through one small
+//! enum: span boundaries (with monotonic timing measured by the emitting
+//! [`crate::Telemetry`] handle), counter increments and gauge sets. Sinks
+//! consume [`Event`]s; they never see clocks or atomics.
+
+use std::fmt;
+
+/// One telemetry observation.
+///
+/// Span `kind`s and counter/gauge `name`s are `&'static str` by design:
+/// instrumentation sites name a fixed, greppable vocabulary (e.g.
+/// `"case"`, `"mutant"`, `"bit.invariant.violations"`), and the hot path
+/// never allocates for them. Only span *labels* (the dynamic part, e.g. a
+/// test-case name) are owned strings, and those are only materialized when
+/// a real sink is attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span began. `id` pairs it with its matching end event.
+    SpanStart {
+        /// Fixed span vocabulary entry, e.g. `"suite"`, `"case"`,
+        /// `"mutant"`.
+        kind: &'static str,
+        /// Dynamic label, e.g. the test-case name.
+        label: String,
+        /// Process-unique pairing id.
+        id: u64,
+    },
+    /// A span finished after `nanos` nanoseconds of wall time.
+    SpanEnd {
+        /// Same kind as the matching start.
+        kind: &'static str,
+        /// Same label as the matching start.
+        label: String,
+        /// Same id as the matching start.
+        id: u64,
+        /// Elapsed monotonic wall time in nanoseconds.
+        nanos: u64,
+    },
+    /// A named counter moved up by `delta`.
+    Counter {
+        /// Counter name, e.g. `"case.passed"`.
+        name: &'static str,
+        /// Increment (usually 1).
+        delta: u64,
+    },
+    /// A named gauge was set to `value`.
+    Gauge {
+        /// Gauge name, e.g. `"mutant.equivalent"`.
+        name: &'static str,
+        /// The new value.
+        value: i64,
+    },
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline), the
+    /// line format of [`crate::JsonlSink`]. Hand-rolled — the workspace
+    /// runs without registry dependencies, so there is no serde here.
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::SpanStart { kind, label, id } => format!(
+                "{{\"event\":\"span_start\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{}}}",
+                escape_json(kind),
+                escape_json(label),
+                id
+            ),
+            Event::SpanEnd { kind, label, id, nanos } => format!(
+                "{{\"event\":\"span_end\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{},\"nanos\":{}}}",
+                escape_json(kind),
+                escape_json(label),
+                id,
+                nanos
+            ),
+            Event::Counter { name, delta } => format!(
+                "{{\"event\":\"counter\",\"name\":\"{}\",\"delta\":{}}}",
+                escape_json(name),
+                delta
+            ),
+            Event::Gauge { name, value } => format!(
+                "{{\"event\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                escape_json(name),
+                value
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shapes() {
+        let e = Event::SpanEnd {
+            kind: "case",
+            label: "TC0".into(),
+            id: 3,
+            nanos: 1500,
+        }
+        .to_json();
+        assert_eq!(
+            e,
+            "{\"event\":\"span_end\",\"kind\":\"case\",\"label\":\"TC0\",\"id\":3,\"nanos\":1500}"
+        );
+        let c = Event::Counter {
+            name: "case.passed",
+            delta: 1,
+        }
+        .to_json();
+        assert!(c.contains("\"delta\":1"));
+        let g = Event::Gauge {
+            name: "g",
+            value: -4,
+        }
+        .to_json();
+        assert!(g.contains("\"value\":-4"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let e = Event::SpanStart {
+            kind: "case",
+            label: "a\"b\\c\nd\u{1}".into(),
+            id: 0,
+        };
+        let json = e.to_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd\\u0001"));
+        assert_eq!(e.to_string(), json);
+    }
+}

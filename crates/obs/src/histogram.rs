@@ -1,0 +1,249 @@
+//! Fixed-bucket timing histograms.
+//!
+//! Span durations land in a histogram with a fixed, log-spaced bucket
+//! ladder from 1µs to 1s. Fixed buckets keep recording O(buckets) in the
+//! worst case and — more importantly — make two histograms mergeable and
+//! comparable across runs, which is what the `BENCH_*.json` trajectories
+//! need. Quantiles are bucket-upper-bound estimates; min/max/mean are
+//! tracked exactly alongside.
+
+/// Upper bounds (inclusive, nanoseconds) of the histogram buckets. A final
+/// overflow bucket catches everything above the last bound.
+pub const BUCKET_BOUNDS_NANOS: [u64; 16] = [
+    1_000, // 1µs
+    2_000,
+    5_000,
+    10_000, // 10µs
+    20_000,
+    50_000,
+    100_000, // 100µs
+    200_000,
+    500_000,
+    1_000_000, // 1ms
+    2_000_000,
+    5_000_000,
+    10_000_000,    // 10ms
+    50_000_000,    // 50ms
+    100_000_000,   // 100ms
+    1_000_000_000, // 1s
+];
+
+/// A timing histogram with the fixed [`BUCKET_BOUNDS_NANOS`] ladder plus
+/// exact count/sum/min/max.
+///
+/// # Examples
+///
+/// ```
+/// use concat_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(1_500);
+/// h.record(800);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.min_nanos(), 800);
+/// assert_eq!(h.max_nanos(), 1_500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKET_BOUNDS_NANOS.len() + 1],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKET_BOUNDS_NANOS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one duration. A value exactly on a bucket bound lands in
+    /// that bucket (bounds are upper-inclusive).
+    pub fn record(&mut self, nanos: u64) {
+        let idx = BUCKET_BOUNDS_NANOS
+            .iter()
+            .position(|b| nanos <= *b)
+            .unwrap_or(BUCKET_BOUNDS_NANOS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded durations (nanoseconds, saturating).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded duration; 0 when empty.
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded duration; 0 when empty.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded duration; 0 when empty.
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// `q`-quantile observation (the exact max for the overflow bucket,
+    /// clamped to the observed max elsewhere). `q` is clamped to `[0, 1]`.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return if i < BUCKET_BOUNDS_NANOS.len() {
+                    BUCKET_BOUNDS_NANOS[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts: `(upper_bound_nanos, count)` pairs, the overflow
+    /// bucket reported with `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        BUCKET_BOUNDS_NANOS
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bound_lands_in_its_bucket() {
+        let mut h = Histogram::new();
+        for bound in BUCKET_BOUNDS_NANOS {
+            h.record(bound);
+        }
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        // one observation per named bucket, none in overflow
+        for (i, c) in counts.iter().enumerate() {
+            let expect = if i < BUCKET_BOUNDS_NANOS.len() { 1 } else { 0 };
+            assert_eq!(*c, expect, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn one_past_bound_spills_to_next_bucket() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record(1_001);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let mut h = Histogram::new();
+        h.record(2_000_000_000);
+        assert_eq!(h.buckets().last().unwrap().1, 1);
+        assert_eq!(h.quantile_nanos(0.5), 2_000_000_000);
+    }
+
+    #[test]
+    fn stats_track_exactly() {
+        let mut h = Histogram::new();
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min_nanos(), 100);
+        assert_eq!(h.max_nanos(), 300);
+        assert_eq!(h.mean_nanos(), 200);
+        assert_eq!(h.sum_nanos(), 600);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0);
+        assert_eq!(h.quantile_nanos(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_ladder() {
+        let mut h = Histogram::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(900); // ≤ 1µs bucket
+        }
+        for _ in 0..10 {
+            h.record(90_000); // ≤ 100µs bucket
+        }
+        // p50 falls in the first bucket: estimate = its upper bound.
+        assert_eq!(h.quantile_nanos(0.5), 1_000);
+        // p95 falls in the ≤100µs bucket; the estimate is clamped to the
+        // observed max.
+        assert_eq!(h.quantile_nanos(0.95), 90_000);
+        assert_eq!(h.quantile_nanos(1.0), 90_000);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(500);
+        let mut b = Histogram::new();
+        b.record(5_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_nanos(), 500);
+        assert_eq!(a.max_nanos(), 5_000_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! # concat-obs
+//!
+//! The telemetry spine of the `concat-rs` workspace, a Rust reproduction
+//! of *"Constructing Self-Testable Software Components"* (Martins, Toyota
+//! & Yanagawa, DSN 2001).
+//!
+//! The paper's Concat tool judges a component by its final `Result.txt`
+//! and mutation score; growing the reproduction toward a production-scale
+//! system needs per-phase visibility first. This crate provides it with
+//! zero registry dependencies (the build environment is offline, so —
+//! like `TestLog` — everything here is hand-rolled):
+//!
+//! * [`Event`] — span start/end (monotonic timing), counters, gauges;
+//! * [`Telemetry`] — the cheap, clonable handle instrumented code holds;
+//!   disabled by default, in which case every call is a guaranteed no-op
+//!   (no clock read, no allocation);
+//! * [`Collector`] sinks — [`NullSink`] (default), [`MemorySink`]
+//!   (tests/reports), [`JsonlSink`] (one JSON object per line, feeding
+//!   benchmark trajectories);
+//! * [`Histogram`] — fixed-bucket timing histograms; [`Summary`] — the
+//!   count/min/max/mean/p50/p95 aggregation reports print.
+//!
+//! # Examples
+//!
+//! ```
+//! use concat_obs::{MemorySink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let tel = Telemetry::new(sink.clone());
+//! {
+//!     let _span = tel.span("case", "TC0");
+//!     tel.incr("case.passed");
+//! }
+//! let summary = sink.summary();
+//! assert_eq!(summary.span("case").unwrap().count, 1);
+//! assert_eq!(summary.counter("case.passed"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod event;
+mod histogram;
+mod summary;
+mod telemetry;
+
+pub use collector::{Collector, JsonlSink, MemorySink, NullSink};
+pub use event::{escape_json, Event};
+pub use histogram::{Histogram, BUCKET_BOUNDS_NANOS};
+pub use summary::{SpanStats, Summary};
+pub use telemetry::{Span, Telemetry};

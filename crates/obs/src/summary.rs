@@ -1,0 +1,159 @@
+//! Aggregated views over recorded events.
+//!
+//! A [`Summary`] is what reports print: per-span-kind timing statistics
+//! (count/min/max/mean/p50/p95 from a fixed-bucket [`Histogram`]) plus
+//! final counter and gauge values.
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+
+/// Timing statistics of one span kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans of this kind.
+    pub count: u64,
+    /// Shortest span, nanoseconds.
+    pub min_nanos: u64,
+    /// Longest span, nanoseconds.
+    pub max_nanos: u64,
+    /// Mean span duration, nanoseconds.
+    pub mean_nanos: u64,
+    /// Median estimate (histogram bucket bound), nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile estimate (histogram bucket bound), nanoseconds.
+    pub p95_nanos: u64,
+}
+
+impl SpanStats {
+    fn of(h: &Histogram) -> SpanStats {
+        SpanStats {
+            count: h.count(),
+            min_nanos: h.min_nanos(),
+            max_nanos: h.max_nanos(),
+            mean_nanos: h.mean_nanos(),
+            p50_nanos: h.quantile_nanos(0.50),
+            p95_nanos: h.quantile_nanos(0.95),
+        }
+    }
+}
+
+/// Aggregation of a run's telemetry, keyed by span kind / counter name /
+/// gauge name. Built by [`Summary::from_events`] (or
+/// `MemorySink::summary`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Per-span-kind timing statistics, ordered by kind.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Final counter totals, ordered by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-set gauge values, ordered by name.
+    pub gauges: BTreeMap<&'static str, i64>,
+}
+
+impl Summary {
+    /// Aggregates a recorded event stream.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Summary {
+        let mut histograms: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, i64> = BTreeMap::new();
+        for event in events {
+            match event {
+                Event::SpanStart { .. } => {}
+                Event::SpanEnd { kind, nanos, .. } => {
+                    histograms.entry(kind).or_default().record(*nanos);
+                }
+                Event::Counter { name, delta } => {
+                    *counters.entry(name).or_insert(0) += delta;
+                }
+                Event::Gauge { name, value } => {
+                    gauges.insert(name, *value);
+                }
+            }
+        }
+        Summary {
+            spans: histograms
+                .iter()
+                .map(|(k, h)| (*k, SpanStats::of(h)))
+                .collect(),
+            counters,
+            gauges,
+        }
+    }
+
+    /// Total of one counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last value of one gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Timing statistics for one span kind.
+    pub fn span(&self, kind: &str) -> Option<&SpanStats> {
+        self.spans.get(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_kind_and_name() {
+        let events = vec![
+            Event::SpanStart {
+                kind: "case",
+                label: "a".into(),
+                id: 1,
+            },
+            Event::SpanEnd {
+                kind: "case",
+                label: "a".into(),
+                id: 1,
+                nanos: 1_000,
+            },
+            Event::SpanEnd {
+                kind: "case",
+                label: "b".into(),
+                id: 2,
+                nanos: 3_000,
+            },
+            Event::SpanEnd {
+                kind: "suite",
+                label: "s".into(),
+                id: 3,
+                nanos: 9_000,
+            },
+            Event::Counter {
+                name: "case.passed",
+                delta: 1,
+            },
+            Event::Counter {
+                name: "case.passed",
+                delta: 1,
+            },
+            Event::Gauge {
+                name: "g",
+                value: 5,
+            },
+            Event::Gauge {
+                name: "g",
+                value: 7,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        let case = s.span("case").unwrap();
+        assert_eq!(case.count, 2);
+        assert_eq!(case.min_nanos, 1_000);
+        assert_eq!(case.max_nanos, 3_000);
+        assert_eq!(case.mean_nanos, 2_000);
+        assert_eq!(s.span("suite").unwrap().count, 1);
+        assert_eq!(s.counter("case.passed"), 2);
+        assert_eq!(s.counter("never"), 0);
+        assert_eq!(s.gauge("g"), Some(7));
+        assert_eq!(s.gauge("absent"), None);
+    }
+}

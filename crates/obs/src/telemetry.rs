@@ -1,0 +1,256 @@
+//! The [`Telemetry`] handle instrumented code holds.
+//!
+//! Cheap to clone (an `Option<Arc>`), thread-safe, and — critically —
+//! free when disabled: a disabled handle never reads the clock, never
+//! allocates a label, never touches an atomic. Instrumentation sites can
+//! therefore sit on the hottest paths of the runner and the mutation
+//! engine without a deployment-mode cost, the same bargain the paper's
+//! BIT access control strikes for assertions.
+
+use crate::collector::Collector;
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Shared {
+    sink: Arc<dyn Collector>,
+    next_span_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("next_span_id", &self.next_span_id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A handle for emitting telemetry events.
+///
+/// # Examples
+///
+/// ```
+/// use concat_obs::{MemorySink, Telemetry};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// let tel = Telemetry::new(sink.clone());
+/// {
+///     let _span = tel.span("case", "TC0");
+///     tel.incr("case.passed");
+/// }
+/// assert_eq!(sink.span_count("case"), 1);
+/// assert_eq!(sink.counter_total("case.passed"), 1);
+///
+/// // The default handle is disabled and does nothing at all.
+/// let off = Telemetry::disabled();
+/// let _span = off.span("case", "TC1");
+/// assert!(!off.is_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Shared>>,
+}
+
+impl Telemetry {
+    /// The disabled handle: every operation is a no-op. This is also the
+    /// `Default`.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle over `sink`. Passing a sink whose
+    /// [`Collector::is_null`] returns true (e.g. [`crate::NullSink`])
+    /// yields the disabled fast path.
+    pub fn new(sink: Arc<dyn Collector>) -> Self {
+        if sink.is_null() {
+            return Self::disabled();
+        }
+        Telemetry {
+            inner: Some(Arc::new(Shared {
+                sink,
+                next_span_id: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True when a real sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. The returned guard emits [`Event::SpanStart`] now and
+    /// the matching [`Event::SpanEnd`] (with monotonic elapsed nanoseconds)
+    /// when dropped. On a disabled handle this reads no clock and
+    /// allocates nothing.
+    pub fn span(&self, kind: &'static str, label: &str) -> Span {
+        let Some(shared) = &self.inner else {
+            return Span { state: None };
+        };
+        let id = shared.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let label = label.to_owned();
+        shared.sink.record(Event::SpanStart {
+            kind,
+            label: label.clone(),
+            id,
+        });
+        Span {
+            state: Some(SpanState {
+                shared: Arc::clone(shared),
+                kind,
+                label,
+                id,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Opens a span with a lazily built label: `label` is only invoked
+    /// when the handle is enabled, so callers can pass an allocating
+    /// closure (`|| mutant.to_string()`) without paying for it in the
+    /// disabled deployment mode.
+    pub fn span_with(&self, kind: &'static str, label: impl FnOnce() -> String) -> Span {
+        if self.inner.is_none() {
+            return Span { state: None };
+        }
+        self.span(kind, &label())
+    }
+
+    /// Increments a counter by 1.
+    pub fn incr(&self, name: &'static str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn incr_by(&self, name: &'static str, delta: u64) {
+        if let Some(shared) = &self.inner {
+            shared.sink.record(Event::Counter { name, delta });
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&self, name: &'static str, value: i64) {
+        if let Some(shared) = &self.inner {
+            shared.sink.record(Event::Gauge { name, value });
+        }
+    }
+}
+
+struct SpanState {
+    shared: Arc<Shared>,
+    kind: &'static str,
+    label: String,
+    id: u64,
+    start: Instant,
+}
+
+/// A span guard; see [`Telemetry::span`].
+#[must_use = "a span measures until dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+
+    /// True when the span belongs to an enabled handle.
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("recording", &self.is_recording())
+            .finish()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let nanos = u64::try_from(state.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            state.shared.sink.record(Event::SpanEnd {
+                kind: state.kind,
+                label: state.label,
+                id: state.id,
+                nanos,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{MemorySink, NullSink};
+
+    #[test]
+    fn default_is_disabled() {
+        let tel = Telemetry::default();
+        assert!(!tel.is_enabled());
+        tel.incr("x");
+        tel.gauge("g", 1);
+        let span = tel.span("k", "l");
+        assert!(!span.is_recording());
+        span.finish();
+    }
+
+    #[test]
+    fn null_sink_collapses_to_disabled() {
+        let tel = Telemetry::new(Arc::new(NullSink));
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn span_ids_pair_start_and_end() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        tel.span("a", "first").finish();
+        tel.span("a", "second").finish();
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        match (&events[0], &events[1]) {
+            (
+                Event::SpanStart {
+                    id: s, label: l1, ..
+                },
+                Event::SpanEnd {
+                    id: e,
+                    label: l2,
+                    nanos,
+                    ..
+                },
+            ) => {
+                assert_eq!(s, e);
+                assert_eq!(l1, "first");
+                assert_eq!(l2, "first");
+                assert!(*nanos < 1_000_000_000, "span must not take a second");
+            }
+            other => panic!("unexpected event order: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        let tel2 = tel.clone();
+        tel.incr("n");
+        tel2.incr("n");
+        assert_eq!(sink.counter_total("n"), 2);
+    }
+
+    #[test]
+    fn incr_by_and_gauge_record() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        tel.incr_by("n", 5);
+        tel.gauge("g", -3);
+        assert_eq!(sink.counter_total("n"), 5);
+        assert_eq!(sink.gauge_value("g"), Some(-3));
+    }
+}

@@ -33,7 +33,10 @@ pub struct Comparison {
 impl Comparison {
     /// Starts a record for the named experiment.
     pub fn new(experiment: impl Into<String>) -> Self {
-        Comparison { experiment: experiment.into(), rows: Vec::new() }
+        Comparison {
+            experiment: experiment.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds one compared quantity.
@@ -71,7 +74,11 @@ impl Comparison {
                 r.metric.clone(),
                 r.paper.clone(),
                 r.measured.clone(),
-                if r.shape_holds { "holds".into() } else { "DIVERGES".into() },
+                if r.shape_holds {
+                    "holds".into()
+                } else {
+                    "DIVERGES".into()
+                },
             ]);
         }
         format!("{} — paper vs measured\n{}", self.experiment, t.render())
@@ -87,7 +94,11 @@ impl Comparison {
                 r.metric,
                 r.paper,
                 r.measured,
-                if r.shape_holds { "holds" } else { "**diverges**" }
+                if r.shape_holds {
+                    "holds"
+                } else {
+                    "**diverges**"
+                }
             ));
         }
         out

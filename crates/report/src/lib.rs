@@ -8,7 +8,10 @@
 //! * [`render_operator_table`] — the paper's Table 1;
 //! * [`render_score_table`] — the Table 2/3 layout over a
 //!   [`concat_mutation::MutationMatrix`];
-//! * [`Comparison`] — paper-vs-measured records feeding EXPERIMENTS.md.
+//! * [`Comparison`] — paper-vs-measured records feeding EXPERIMENTS.md;
+//! * [`render_telemetry_summary`] — timing/counter tables over a
+//!   `concat-obs` [`concat_obs::Summary`];
+//! * [`render_model_metrics_table`] — per-class TFM size figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,7 +19,11 @@
 mod experiments;
 mod mutation_tables;
 mod table;
+mod telemetry;
 
 pub use experiments::{Comparison, ComparisonRow};
-pub use mutation_tables::{render_mutant_catalog, render_operator_table, render_score_table, summarize_run};
+pub use mutation_tables::{
+    render_mutant_catalog, render_operator_table, render_score_table, summarize_run,
+};
 pub use table::{Align, AsciiTable};
+pub use telemetry::{render_model_metrics_table, render_telemetry_summary};

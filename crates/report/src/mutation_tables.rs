@@ -88,7 +88,11 @@ pub fn render_mutant_catalog(mutants: &[Mutant]) -> String {
             m.plan.replacement.to_string(),
         ]);
     }
-    format!("Mutant catalogue ({} mutants)\n{}", mutants.len(), t.render())
+    format!(
+        "Mutant catalogue ({} mutants)\n{}",
+        mutants.len(),
+        t.render()
+    )
 }
 
 /// One-paragraph textual summary of a mutation run (totals, score, and
@@ -111,9 +115,7 @@ pub fn summarize_run(run: &MutationRun) -> String {
 mod tests {
     use super::*;
     use concat_driver::SuiteResult;
-    use concat_mutation::{
-        FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, Replacement,
-    };
+    use concat_mutation::{FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, Replacement};
 
     fn run() -> MutationRun {
         let mk = |method: &str, op: MutationOperator, status: MutantStatus| MutantResult {
@@ -128,15 +130,37 @@ mod tests {
             },
             status,
         };
-        let killed = |r| MutantStatus::Killed { reason: r, by_case: 0 };
+        let killed = |r| MutantStatus::Killed {
+            reason: r,
+            by_case: 0,
+        };
         MutationRun {
             results: vec![
-                mk("Sort1", MutationOperator::IndVarBitNeg, killed(KillReason::Crash)),
-                mk("Sort1", MutationOperator::IndVarRepReq, killed(KillReason::Assertion)),
-                mk("Sort1", MutationOperator::IndVarRepReq, MutantStatus::PresumedEquivalent),
-                mk("FindMax", MutationOperator::IndVarRepLoc, MutantStatus::Survived),
+                mk(
+                    "Sort1",
+                    MutationOperator::IndVarBitNeg,
+                    killed(KillReason::Crash),
+                ),
+                mk(
+                    "Sort1",
+                    MutationOperator::IndVarRepReq,
+                    killed(KillReason::Assertion),
+                ),
+                mk(
+                    "Sort1",
+                    MutationOperator::IndVarRepReq,
+                    MutantStatus::PresumedEquivalent,
+                ),
+                mk(
+                    "FindMax",
+                    MutationOperator::IndVarRepLoc,
+                    MutantStatus::Survived,
+                ),
             ],
-            golden: SuiteResult { class_name: "C".into(), cases: vec![] },
+            golden: SuiteResult {
+                class_name: "C".into(),
+                cases: vec![],
+            },
         }
     }
 

@@ -37,7 +37,12 @@ impl AsciiTable {
     /// Starts a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
         let aligns = vec![Align::Left; headers.len()];
-        AsciiTable { headers, rows: Vec::new(), aligns, separators_before: Vec::new() }
+        AsciiTable {
+            headers,
+            rows: Vec::new(),
+            aligns,
+            separators_before: Vec::new(),
+        }
     }
 
     /// Sets a column's alignment.

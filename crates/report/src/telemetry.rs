@@ -1,0 +1,194 @@
+//! Renderers for the telemetry spine and model-size metrics.
+//!
+//! * [`render_telemetry_summary`] — timing/counter/gauge tables over a
+//!   [`concat_obs::Summary`], the human-readable end of the pipeline
+//!   instrumentation;
+//! * [`render_model_metrics_table`] — per-subject-class TFM size figures
+//!   (the paper reports its models as "16 nodes and 43 links").
+
+use crate::table::AsciiTable;
+use concat_obs::Summary;
+use concat_tfm::ModelMetrics;
+
+/// Formats a nanosecond duration with a human-scale unit (`ns`, `us`,
+/// `ms`, `s`), three significant-ish digits.
+fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", n / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", n / 1_000_000.0)
+    } else {
+        format!("{:.3}s", n / 1_000_000_000.0)
+    }
+}
+
+/// Renders a telemetry [`Summary`] as up to three tables: span timings
+/// (count/min/mean/p50/p95/max per kind), counter totals, and final
+/// gauge values. Sections with no data are omitted; an empty summary
+/// renders a single explanatory line.
+pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
+    let mut out = format!("{title}\n");
+    if summary.spans.is_empty() && summary.counters.is_empty() && summary.gauges.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+        return out;
+    }
+    if !summary.spans.is_empty() {
+        let mut t = AsciiTable::new(vec![
+            "Span".into(),
+            "Count".into(),
+            "Min".into(),
+            "Mean".into(),
+            "P50".into(),
+            "P95".into(),
+            "Max".into(),
+        ]);
+        t.numeric();
+        for (kind, s) in &summary.spans {
+            t.row(vec![
+                (*kind).into(),
+                s.count.to_string(),
+                fmt_nanos(s.min_nanos),
+                fmt_nanos(s.mean_nanos),
+                fmt_nanos(s.p50_nanos),
+                fmt_nanos(s.p95_nanos),
+                fmt_nanos(s.max_nanos),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    if !summary.counters.is_empty() {
+        let mut t = AsciiTable::new(vec!["Counter".into(), "Total".into()]);
+        t.numeric();
+        for (name, total) in &summary.counters {
+            t.row(vec![(*name).into(), total.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    if !summary.gauges.is_empty() {
+        let mut t = AsciiTable::new(vec!["Gauge".into(), "Value".into()]);
+        t.numeric();
+        for (name, value) in &summary.gauges {
+            t.row(vec![(*name).into(), value.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders one row per subject class with its TFM size and complexity
+/// figures: nodes, links, births/deaths, transaction count, cyclomatic
+/// complexity, and transaction path lengths.
+pub fn render_model_metrics_table(rows: &[(&str, ModelMetrics)]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "Class".into(),
+        "Nodes".into(),
+        "Links".into(),
+        "Births".into(),
+        "Deaths".into(),
+        "Transactions".into(),
+        "Cyclomatic".into(),
+        "Paths".into(),
+    ]);
+    t.numeric();
+    for (class, m) in rows {
+        let transactions = if m.transactions_capped {
+            format!(">={}", m.transactions)
+        } else {
+            m.transactions.to_string()
+        };
+        t.row(vec![
+            (*class).into(),
+            m.nodes.to_string(),
+            m.edges.to_string(),
+            m.births.to_string(),
+            m.deaths.to_string(),
+            transactions,
+            m.cyclomatic.to_string(),
+            format!("{}..{}", m.shortest_transaction, m.longest_transaction),
+        ]);
+    }
+    format!("Model metrics per subject class\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_obs::Event;
+
+    #[test]
+    fn formats_durations_with_scaled_units() {
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(1_500), "1.5us");
+        assert_eq!(fmt_nanos(2_500_000), "2.50ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn empty_summary_renders_placeholder() {
+        let s = render_telemetry_summary("Telemetry", &Summary::default());
+        assert!(s.starts_with("Telemetry\n"));
+        assert!(s.contains("(no telemetry recorded)"));
+    }
+
+    #[test]
+    fn summary_tables_show_spans_counters_gauges() {
+        let events = vec![
+            Event::SpanEnd {
+                kind: "case",
+                label: "TC0".into(),
+                id: 1,
+                nanos: 1_000,
+            },
+            Event::SpanEnd {
+                kind: "case",
+                label: "TC1".into(),
+                id: 2,
+                nanos: 3_000,
+            },
+            Event::Counter {
+                name: "case.passed",
+                delta: 2,
+            },
+            Event::Gauge {
+                name: "gen.transactions",
+                value: 7,
+            },
+        ];
+        let summary = Summary::from_events(&events);
+        let s = render_telemetry_summary("Telemetry summary", &summary);
+        assert!(s.contains("| case"));
+        assert!(s.contains("case.passed"));
+        assert!(s.contains("gen.transactions"));
+        assert!(s.contains("P95"));
+        assert!(s.contains("1.0us"), "min duration rendered: {s}");
+    }
+
+    #[test]
+    fn model_metrics_table_lists_classes() {
+        let m = ModelMetrics {
+            nodes: 16,
+            edges: 43,
+            births: 1,
+            deaths: 1,
+            transactions: 25,
+            transactions_capped: false,
+            cyclomatic: 29,
+            max_out_degree: 5,
+            total_alternatives: 20,
+            longest_transaction: 9,
+            shortest_transaction: 3,
+        };
+        let capped = ModelMetrics {
+            transactions_capped: true,
+            ..m
+        };
+        let s = render_model_metrics_table(&[("CobList", m), ("Sortable", capped)]);
+        assert!(s.contains("CobList"));
+        assert!(s.contains(" 43 |"), "links column present: {s}");
+        assert!(s.contains(">=25"), "capped counts flagged: {s}");
+        assert!(s.contains("3..9"));
+    }
+}

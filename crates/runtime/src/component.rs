@@ -60,7 +60,7 @@ pub trait Component {
 
     /// Returns `true` if `method` is part of the public interface.
     fn has_method(&self, method: &str) -> bool {
-        self.method_names().iter().any(|m| *m == method)
+        self.method_names().contains(&method)
     }
 }
 
@@ -76,7 +76,11 @@ pub mod args {
     /// # Errors
     ///
     /// [`TestException::ArityMismatch`] when the count differs.
-    pub fn expect_arity(method: &str, args: &[Value], expected: usize) -> Result<(), TestException> {
+    pub fn expect_arity(
+        method: &str,
+        args: &[Value],
+        expected: usize,
+    ) -> Result<(), TestException> {
         if args.len() == expected {
             Ok(())
         } else {
@@ -97,7 +101,12 @@ pub mod args {
     }
 
     fn mismatch(method: &str, index: usize, expected: ValueKind, got: ValueKind) -> TestException {
-        TestException::TypeMismatch { method: method.to_owned(), index, expected, got }
+        TestException::TypeMismatch {
+            method: method.to_owned(),
+            index,
+            expected,
+            got,
+        }
     }
 
     /// Extracts argument `index` as an integer.
@@ -108,7 +117,8 @@ pub mod args {
     /// [`TestException::TypeMismatch`] if not an `Int`.
     pub fn int(method: &str, args: &[Value], index: usize) -> Result<i64, TestException> {
         let v = get(method, args, index)?;
-        v.as_int().map_err(|got| mismatch(method, index, ValueKind::Int, got))
+        v.as_int()
+            .map_err(|got| mismatch(method, index, ValueKind::Int, got))
     }
 
     /// Extracts argument `index` as a float (ints widen).
@@ -119,7 +129,8 @@ pub mod args {
     /// [`TestException::TypeMismatch`] if not numeric.
     pub fn float(method: &str, args: &[Value], index: usize) -> Result<f64, TestException> {
         let v = get(method, args, index)?;
-        v.as_float().map_err(|got| mismatch(method, index, ValueKind::Float, got))
+        v.as_float()
+            .map_err(|got| mismatch(method, index, ValueKind::Float, got))
     }
 
     /// Extracts argument `index` as a string.
@@ -128,9 +139,14 @@ pub mod args {
     ///
     /// [`TestException::ArityMismatch`] if missing,
     /// [`TestException::TypeMismatch`] if not a `Str`.
-    pub fn str<'a>(method: &str, args: &'a [Value], index: usize) -> Result<&'a str, TestException> {
+    pub fn str<'a>(
+        method: &str,
+        args: &'a [Value],
+        index: usize,
+    ) -> Result<&'a str, TestException> {
         let v = get(method, args, index)?;
-        v.as_str().map_err(|got| mismatch(method, index, ValueKind::Str, got))
+        v.as_str()
+            .map_err(|got| mismatch(method, index, ValueKind::Str, got))
     }
 
     /// Extracts argument `index` as a boolean.
@@ -141,7 +157,8 @@ pub mod args {
     /// [`TestException::TypeMismatch`] if not a `Bool`.
     pub fn bool(method: &str, args: &[Value], index: usize) -> Result<bool, TestException> {
         let v = get(method, args, index)?;
-        v.as_bool().map_err(|got| mismatch(method, index, ValueKind::Bool, got))
+        v.as_bool()
+            .map_err(|got| mismatch(method, index, ValueKind::Bool, got))
     }
 
     /// Extracts argument `index` as an object reference; `Null` is allowed

@@ -125,7 +125,10 @@ pub enum TestException {
 impl TestException {
     /// Convenience constructor for [`TestException::Domain`].
     pub fn domain(method: impl Into<String>, message: impl Into<String>) -> Self {
-        TestException::Domain { method: method.into(), message: message.into() }
+        TestException::Domain {
+            method: method.into(),
+            message: message.into(),
+        }
     }
 
     /// Returns the assertion violation if this exception is one.
@@ -165,10 +168,19 @@ impl fmt::Display for TestException {
             TestException::UnknownMethod { class_name, method } => {
                 write!(f, "class {class_name} has no method named {method}")
             }
-            TestException::ArityMismatch { method, expected, got } => {
+            TestException::ArityMismatch {
+                method,
+                expected,
+                got,
+            } => {
                 write!(f, "{method} expects {expected} argument(s), got {got}")
             }
-            TestException::TypeMismatch { method, index, expected, got } => write!(
+            TestException::TypeMismatch {
+                method,
+                index,
+                expected,
+                got,
+            } => write!(
                 f,
                 "{method}: argument {index} should be {expected}, got {got}"
             ),
@@ -227,8 +239,15 @@ mod tests {
     fn tags_are_distinct_per_variant() {
         let exs = [
             TestException::from(violation()),
-            TestException::UnknownMethod { class_name: "A".into(), method: "m".into() },
-            TestException::ArityMismatch { method: "m".into(), expected: 1, got: 2 },
+            TestException::UnknownMethod {
+                class_name: "A".into(),
+                method: "m".into(),
+            },
+            TestException::ArityMismatch {
+                method: "m".into(),
+                expected: 1,
+                got: 2,
+            },
             TestException::TypeMismatch {
                 method: "m".into(),
                 index: 0,
@@ -236,7 +255,10 @@ mod tests {
                 got: ValueKind::Str,
             },
             TestException::domain("m", "boom"),
-            TestException::Panicked { method: "m".into(), message: "overflow".into() },
+            TestException::Panicked {
+                method: "m".into(),
+                message: "overflow".into(),
+            },
         ];
         let tags: std::collections::HashSet<_> = exs.iter().map(|e| e.tag()).collect();
         assert_eq!(tags.len(), exs.len());
@@ -245,10 +267,20 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let exs = [
-            TestException::UnknownMethod { class_name: "A".into(), method: "m".into() },
-            TestException::ArityMismatch { method: "m".into(), expected: 1, got: 2 },
+            TestException::UnknownMethod {
+                class_name: "A".into(),
+                method: "m".into(),
+            },
+            TestException::ArityMismatch {
+                method: "m".into(),
+                expected: 1,
+                got: 2,
+            },
             TestException::domain("m", "boom"),
-            TestException::Panicked { method: "m".into(), message: "overflow".into() },
+            TestException::Panicked {
+                method: "m".into(),
+                message: "overflow".into(),
+            },
         ];
         for e in &exs {
             assert!(!e.to_string().is_empty());

@@ -46,9 +46,11 @@
 mod component;
 mod error;
 mod literal;
+mod rng;
 mod value;
 
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
 pub use literal::{parse_value_literal, ParseValueError};
+pub use rng::Rng;
 pub use value::{ObjRef, Value, ValueKind};

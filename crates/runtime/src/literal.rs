@@ -28,7 +28,9 @@ impl fmt::Display for ParseValueError {
 impl std::error::Error for ParseValueError {}
 
 fn err(message: impl Into<String>) -> ParseValueError {
-    ParseValueError { message: message.into() }
+    ParseValueError {
+        message: message.into(),
+    }
 }
 
 struct Cursor<'a> {
@@ -37,7 +39,9 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(s: &'a str) -> Self {
-        Cursor { chars: s.chars().peekable() }
+        Cursor {
+            chars: s.chars().peekable(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -111,9 +115,13 @@ impl<'a> Cursor<'a> {
             }
         }
         if is_float {
-            s.parse::<f64>().map(Value::Float).map_err(|_| err(format!("bad float `{s}`")))
+            s.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| err(format!("bad float `{s}`")))
         } else {
-            s.parse::<i64>().map(Value::Int).map_err(|_| err(format!("bad integer `{s}`")))
+            s.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| err(format!("bad integer `{s}`")))
         }
     }
 
@@ -150,9 +158,7 @@ impl<'a> Cursor<'a> {
                             .ok_or_else(|| err("bad unicode escape"))?;
                         out.push(cp);
                     }
-                    other => {
-                        return Err(err(format!("bad escape `\\{}`", other.unwrap_or(' '))))
-                    }
+                    other => return Err(err(format!("bad escape `\\{}`", other.unwrap_or(' ')))),
                 },
                 Some(c) => out.push(c),
             }

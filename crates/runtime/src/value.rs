@@ -21,9 +21,10 @@ use std::fmt;
 /// assert_eq!(v.kind(), concat_runtime::ValueKind::Int);
 /// assert_eq!(v.as_int().unwrap(), 42);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The absence of a value: `void` returns and null pointers.
+    #[default]
     Null,
     /// A boolean flag.
     Bool(bool),
@@ -60,7 +61,10 @@ impl ObjRef {
     /// assert_eq!(r.class_name, "Provider");
     /// ```
     pub fn new(class_name: impl Into<String>, key: impl Into<String>) -> Self {
-        ObjRef { class_name: class_name.into(), key: key.into() }
+        ObjRef {
+            class_name: class_name.into(),
+            key: key.into(),
+        }
     }
 }
 
@@ -264,12 +268,6 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_literal())
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

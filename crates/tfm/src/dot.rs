@@ -49,12 +49,15 @@ fn to_dot_inner(tfm: &Tfm, highlight: Option<&Transaction>) -> String {
             NodeKind::Death => "doubleoctagon",
         };
         let methods = node.methods.join("\\n");
-        let extra = if on_path(id.index()) { ", color=red, penwidth=2.0" } else { "" };
+        let extra = if on_path(id.index()) {
+            ", color=red, penwidth=2.0"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  {} [shape={shape}, label=\"{}\\n{methods}\"{extra}];",
-            id,
-            node.label
+            id, node.label
         );
     }
     let highlighted_edges: Vec<(usize, usize)> = highlight

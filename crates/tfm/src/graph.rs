@@ -167,7 +167,11 @@ pub struct Tfm {
 impl Tfm {
     /// Creates an empty model for `class_name`.
     pub fn new(class_name: impl Into<String>) -> Self {
-        Tfm { class_name: class_name.into(), nodes: Vec::new(), edges: Vec::new() }
+        Tfm {
+            class_name: class_name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// The class this model describes.
@@ -254,18 +258,29 @@ impl Tfm {
 
     /// Successors of `id`, in edge insertion order.
     pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.from == id)
+            .map(|e| e.to)
+            .collect()
     }
 
     /// Predecessors of `id`, in edge insertion order.
     pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.to == id)
+            .map(|e| e.from)
+            .collect()
     }
 
     /// Every method name referenced by any node, sorted and deduplicated.
     pub fn referenced_methods(&self) -> Vec<&str> {
-        let set: BTreeSet<&str> =
-            self.nodes.iter().flat_map(|n| n.methods.iter().map(String::as_str)).collect();
+        let set: BTreeSet<&str> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.methods.iter().map(String::as_str))
+            .collect();
         set.into_iter().collect()
     }
 
@@ -279,10 +294,14 @@ impl Tfm {
         let mut seen = BTreeSet::new();
         for node in &self.nodes {
             if node.methods.is_empty() {
-                errors.push(TfmError::EmptyNode { label: node.label.clone() });
+                errors.push(TfmError::EmptyNode {
+                    label: node.label.clone(),
+                });
             }
             if !seen.insert(node.label.as_str()) {
-                errors.push(TfmError::DuplicateLabel { label: node.label.clone() });
+                errors.push(TfmError::DuplicateLabel {
+                    label: node.label.clone(),
+                });
             }
         }
         let births = self.birth_nodes();
@@ -294,25 +313,41 @@ impl Tfm {
             errors.push(TfmError::NoDeath);
         }
         for e in &self.edges {
-            if self.nodes.get(e.to.0).is_some_and(|n| n.kind == NodeKind::Birth) {
-                errors.push(TfmError::EdgeIntoBirth { label: self.nodes[e.to.0].label.clone() });
+            if self
+                .nodes
+                .get(e.to.0)
+                .is_some_and(|n| n.kind == NodeKind::Birth)
+            {
+                errors.push(TfmError::EdgeIntoBirth {
+                    label: self.nodes[e.to.0].label.clone(),
+                });
             }
-            if self.nodes.get(e.from.0).is_some_and(|n| n.kind == NodeKind::Death) {
-                errors.push(TfmError::EdgeFromDeath { label: self.nodes[e.from.0].label.clone() });
+            if self
+                .nodes
+                .get(e.from.0)
+                .is_some_and(|n| n.kind == NodeKind::Death)
+            {
+                errors.push(TfmError::EdgeFromDeath {
+                    label: self.nodes[e.from.0].label.clone(),
+                });
             }
         }
         // Forward reachability from birth nodes.
         let reachable = self.closure(&births, |id| self.successors(id));
         for (i, node) in self.nodes.iter().enumerate() {
             if node.kind != NodeKind::Birth && !reachable.contains(&NodeId(i)) {
-                errors.push(TfmError::Unreachable { label: node.label.clone() });
+                errors.push(TfmError::Unreachable {
+                    label: node.label.clone(),
+                });
             }
         }
         // Backward reachability from death nodes.
         let coreachable = self.closure(&deaths, |id| self.predecessors(id));
         for (i, node) in self.nodes.iter().enumerate() {
             if node.kind != NodeKind::Death && !coreachable.contains(&NodeId(i)) {
-                errors.push(TfmError::DeadEnd { label: node.label.clone() });
+                errors.push(TfmError::DeadEnd {
+                    label: node.label.clone(),
+                });
             }
         }
         errors
@@ -399,8 +434,12 @@ mod tests {
         let mut t = linear();
         t.add_node("island", NodeKind::Task, ["M"]);
         let errs = t.validate();
-        assert!(errs.contains(&TfmError::Unreachable { label: "island".into() }));
-        assert!(errs.contains(&TfmError::DeadEnd { label: "island".into() }));
+        assert!(errs.contains(&TfmError::Unreachable {
+            label: "island".into()
+        }));
+        assert!(errs.contains(&TfmError::DeadEnd {
+            label: "island".into()
+        }));
     }
 
     #[test]
@@ -408,7 +447,9 @@ mod tests {
         let mut t = linear();
         t.add_node("hollow", NodeKind::Task, Vec::<String>::new());
         let errs = t.validate();
-        assert!(errs.iter().any(|e| matches!(e, TfmError::EmptyNode { label } if label == "hollow")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TfmError::EmptyNode { label } if label == "hollow")));
     }
 
     #[test]
@@ -416,7 +457,9 @@ mod tests {
         let mut t = linear();
         t.add_node("a", NodeKind::Task, ["M"]);
         let errs = t.validate();
-        assert!(errs.iter().any(|e| matches!(e, TfmError::DuplicateLabel { label } if label == "a")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TfmError::DuplicateLabel { label } if label == "a")));
     }
 
     #[test]
@@ -436,7 +479,10 @@ mod tests {
     fn referenced_methods_sorted_unique() {
         let mut t = linear();
         t.add_node("b2", NodeKind::Task, ["Work", "Another"]);
-        assert_eq!(t.referenced_methods(), vec!["Another", "Drop", "New", "Work"]);
+        assert_eq!(
+            t.referenced_methods(),
+            vec!["Another", "Drop", "New", "Work"]
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl ModelMetrics {
     pub fn of(tfm: &Tfm) -> ModelMetrics {
         let set = enumerate_transactions_with(
             tfm,
-            EnumerationConfig { cycle_bound: 1, max_transactions: Self::TRANSACTION_CAP },
+            EnumerationConfig {
+                cycle_bound: 1,
+                max_transactions: Self::TRANSACTION_CAP,
+            },
         );
         let lengths: Vec<usize> = set.iter().map(|t| t.len()).collect();
         let max_out = tfm
@@ -86,7 +89,11 @@ impl fmt::Display for ModelMetrics {
             self.nodes,
             self.edges,
             self.transactions,
-            if self.transactions_capped { " (capped)" } else { "" },
+            if self.transactions_capped {
+                " (capped)"
+            } else {
+                ""
+            },
             self.cyclomatic,
             self.max_out_degree,
             self.shortest_transaction,

@@ -80,7 +80,10 @@ pub struct EnumerationConfig {
 
 impl Default for EnumerationConfig {
     fn default() -> Self {
-        EnumerationConfig { cycle_bound: 1, max_transactions: 100_000 }
+        EnumerationConfig {
+            cycle_bound: 1,
+            max_transactions: 100_000,
+        }
     }
 }
 
@@ -147,9 +150,20 @@ pub fn enumerate_transactions_with(tfm: &Tfm, config: EnumerationConfig) -> Tran
     for birth in tfm.birth_nodes() {
         let mut path = vec![birth];
         let mut edge_counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-        dfs(tfm, &deaths, &config, &mut path, &mut edge_counts, &mut out, &mut truncated);
+        dfs(
+            tfm,
+            &deaths,
+            &config,
+            &mut path,
+            &mut edge_counts,
+            &mut out,
+            &mut truncated,
+        );
     }
-    TransactionSet { transactions: out, truncated }
+    TransactionSet {
+        transactions: out,
+        truncated,
+    }
 }
 
 fn dfs(
@@ -170,7 +184,9 @@ fn dfs(
             *truncated = true;
             return;
         }
-        out.push(Transaction { nodes: path.clone() });
+        out.push(Transaction {
+            nodes: path.clone(),
+        });
         return;
     }
     for succ in tfm.successors(current) {
@@ -211,8 +227,7 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert!(!set.truncated);
         let t = &diamond();
-        let descriptions: Vec<String> =
-            set.iter().map(|tr| tr.describe(t)).collect();
+        let descriptions: Vec<String> = set.iter().map(|tr| tr.describe(t)).collect();
         assert!(descriptions.contains(&"a -> b -> d".to_owned()));
         assert!(descriptions.contains(&"a -> c -> d".to_owned()));
     }
@@ -245,7 +260,10 @@ mod tests {
         t.add_edge(b, d);
         let set = enumerate_transactions_with(
             &t,
-            EnumerationConfig { cycle_bound: 2, max_transactions: 100 },
+            EnumerationConfig {
+                cycle_bound: 2,
+                max_transactions: 100,
+            },
         );
         assert_eq!(set.len(), 3);
     }
@@ -254,7 +272,10 @@ mod tests {
     fn truncation_is_flagged_not_silent() {
         let set = enumerate_transactions_with(
             &diamond(),
-            EnumerationConfig { cycle_bound: 1, max_transactions: 1 },
+            EnumerationConfig {
+                cycle_bound: 1,
+                max_transactions: 1,
+            },
         );
         assert_eq!(set.len(), 1);
         assert!(set.truncated);

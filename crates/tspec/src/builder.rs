@@ -136,8 +136,11 @@ impl ClassSpecBuilder {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.nodes
-            .push((label.into(), kind, methods.into_iter().map(Into::into).collect()));
+        self.nodes.push((
+            label.into(),
+            kind,
+            methods.into_iter().map(Into::into).collect(),
+        ));
         self
     }
 
@@ -266,7 +269,11 @@ mod tests {
 
     #[test]
     fn abstract_and_superclass_recorded() {
-        let spec = minimal().abstract_class().superclass("Base").build().unwrap();
+        let spec = minimal()
+            .abstract_class()
+            .superclass("Base")
+            .build()
+            .unwrap();
         assert!(spec.is_abstract);
         assert_eq!(spec.superclass.as_deref(), Some("Base"));
     }
@@ -314,9 +321,9 @@ mod tests {
             .edge("b", "d")
             .build()
             .unwrap_err();
-        assert!(err
-            .iter()
-            .any(|e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "mX")));
+        assert!(err.iter().any(
+            |e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "mX")
+        ));
     }
 
     #[test]

@@ -202,8 +202,20 @@ mod tests {
         assert_eq!(Domain::float_range(0.0, 1.0).keyword(), "range");
         assert_eq!(Domain::Set(vec![Value::Int(1)]).keyword(), "set");
         assert_eq!(Domain::string(8).keyword(), "string");
-        assert_eq!(Domain::Object { class_name: "P".into() }.keyword(), "object");
-        assert_eq!(Domain::Pointer { class_name: "P".into() }.keyword(), "pointer");
+        assert_eq!(
+            Domain::Object {
+                class_name: "P".into()
+            }
+            .keyword(),
+            "object"
+        );
+        assert_eq!(
+            Domain::Pointer {
+                class_name: "P".into()
+            }
+            .keyword(),
+            "pointer"
+        );
     }
 
     #[test]
@@ -211,8 +223,14 @@ mod tests {
         assert!(Domain::int_range(0, 1).is_auto_generatable());
         assert!(Domain::string(3).is_auto_generatable());
         assert!(Domain::Set(vec![Value::Int(1)]).is_auto_generatable());
-        assert!(!Domain::Object { class_name: "P".into() }.is_auto_generatable());
-        assert!(!Domain::Pointer { class_name: "P".into() }.is_auto_generatable());
+        assert!(!Domain::Object {
+            class_name: "P".into()
+        }
+        .is_auto_generatable());
+        assert!(!Domain::Pointer {
+            class_name: "P".into()
+        }
+        .is_auto_generatable());
     }
 
     #[test]
@@ -250,8 +268,12 @@ mod tests {
 
     #[test]
     fn pointer_allows_null_object_does_not() {
-        let p = Domain::Pointer { class_name: "Provider".into() };
-        let o = Domain::Object { class_name: "Provider".into() };
+        let p = Domain::Pointer {
+            class_name: "Provider".into(),
+        };
+        let o = Domain::Object {
+            class_name: "Provider".into(),
+        };
         assert!(p.contains(&Value::Null));
         assert!(!o.contains(&Value::Null));
         let r = Value::Obj(ObjRef::new("Provider", "p1"));
@@ -275,7 +297,9 @@ mod tests {
             Domain::float_range(0.5, 2.5),
             Domain::Set(vec![Value::Int(3), Value::Int(9)]),
             Domain::string(4),
-            Domain::Pointer { class_name: "P".into() },
+            Domain::Pointer {
+                class_name: "P".into(),
+            },
         ];
         for d in &domains {
             for v in d.boundary_values() {
@@ -294,7 +318,9 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(Domain::int_range(1, 9).to_string(), "range[1, 9]");
         assert_eq!(Domain::string(8).to_string(), "string(max 8)");
-        assert!(Domain::Set(vec![Value::Int(1)]).to_string().contains("set{1}"));
+        assert!(Domain::Set(vec![Value::Int(1)])
+            .to_string()
+            .contains("set{1}"));
     }
 
     #[test]
@@ -302,7 +328,10 @@ mod tests {
         assert_eq!(Domain::int_range(0, 1).value_kind(), Some(ValueKind::Int));
         assert_eq!(Domain::Set(vec![]).value_kind(), None);
         assert_eq!(
-            Domain::Pointer { class_name: "P".into() }.value_kind(),
+            Domain::Pointer {
+                class_name: "P".into()
+            }
+            .value_kind(),
             Some(ValueKind::Obj)
         );
     }

@@ -104,27 +104,45 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 } else {
-                    return Err(LexError { line, message: "stray `/` (expected `//`)".into() });
+                    return Err(LexError {
+                        line,
+                        message: "stray `/` (expected `//`)".into(),
+                    });
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 chars.next();
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 chars.next();
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 chars.next();
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 chars.next();
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 chars.next();
             }
             '<' => {
@@ -134,7 +152,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 })
                 .collect();
                 if word == "empty" && chars.next_if_eq(&'>').is_some() {
-                    tokens.push(Token { kind: TokenKind::Empty, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Empty,
+                        line,
+                    });
                 } else {
                     return Err(LexError {
                         line,
@@ -173,9 +194,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { line, message: "unterminated string".into() });
+                    return Err(LexError {
+                        line,
+                        message: "unterminated string".into(),
+                    });
                 }
-                tokens.push(Token { kind: TokenKind::Quoted(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Quoted(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let mut s = String::new();
@@ -190,9 +217,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         is_float = true;
                         s.push(c);
                         chars.next();
-                        if (c == 'e' || c == 'E')
-                            && matches!(chars.peek(), Some('+') | Some('-'))
-                        {
+                        if (c == 'e' || c == 'E') && matches!(chars.peek(), Some('+') | Some('-')) {
                             s.push(chars.next().expect("peeked"));
                         }
                     } else {
@@ -222,7 +247,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             other => {
                 return Err(LexError {
@@ -289,7 +317,10 @@ mod tests {
     fn string_escapes() {
         assert_eq!(
             kinds(r"'it\'s' '\\'"),
-            vec![TokenKind::Quoted("it's".into()), TokenKind::Quoted("\\".into())]
+            vec![
+                TokenKind::Quoted("it's".into()),
+                TokenKind::Quoted("\\".into())
+            ]
         );
     }
 

@@ -49,7 +49,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -72,14 +75,15 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.peek().map_or_else(
-            || self.tokens.last().map_or(0, |t| t.line),
-            |t| t.line,
-        )
+        self.peek()
+            .map_or_else(|| self.tokens.last().map_or(0, |t| t.line), |t| t.line)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -95,7 +99,10 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Ident(s), .. }) => Ok(s),
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s),
             Some(t) => Err(ParseError {
                 line: t.line,
                 message: format!("expected identifier, found {}", t.kind),
@@ -106,7 +113,10 @@ impl Parser {
 
     fn quoted(&mut self) -> Result<String, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(s),
+            Some(Token {
+                kind: TokenKind::Quoted(s),
+                ..
+            }) => Ok(s),
             Some(t) => Err(ParseError {
                 line: t.line,
                 message: format!("expected quoted string, found {}", t.kind),
@@ -117,7 +127,10 @@ impl Parser {
 
     fn int(&mut self) -> Result<i64, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Int(i), .. }) => Ok(i),
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok(i),
             Some(t) => Err(ParseError {
                 line: t.line,
                 message: format!("expected integer, found {}", t.kind),
@@ -133,8 +146,14 @@ impl Parser {
     /// `quoted | <empty>` → Option<String>
     fn quoted_or_empty(&mut self) -> Result<Option<String>, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(Some(s)),
-            Some(Token { kind: TokenKind::Empty, .. }) => Ok(None),
+            Some(Token {
+                kind: TokenKind::Quoted(s),
+                ..
+            }) => Ok(Some(s)),
+            Some(Token {
+                kind: TokenKind::Empty,
+                ..
+            }) => Ok(None),
             Some(t) => Err(ParseError {
                 line: t.line,
                 message: format!("expected string or <empty>, found {}", t.kind),
@@ -145,10 +164,22 @@ impl Parser {
 
     fn literal(&mut self) -> Result<Value, ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Int(i), .. }) => Ok(Value::Int(i)),
-            Some(Token { kind: TokenKind::Float(x), .. }) => Ok(Value::Float(x)),
-            Some(Token { kind: TokenKind::Quoted(s), .. }) => Ok(Value::Str(s)),
-            Some(Token { kind: TokenKind::Ident(w), line }) => match w.as_str() {
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok(Value::Int(i)),
+            Some(Token {
+                kind: TokenKind::Float(x),
+                ..
+            }) => Ok(Value::Float(x)),
+            Some(Token {
+                kind: TokenKind::Quoted(s),
+                ..
+            }) => Ok(Value::Str(s)),
+            Some(Token {
+                kind: TokenKind::Ident(w),
+                line,
+            }) => match w.as_str() {
                 "true" => Ok(Value::Bool(true)),
                 "false" => Ok(Value::Bool(false)),
                 "NULL" => Ok(Value::Null),
@@ -175,8 +206,14 @@ impl Parser {
         loop {
             items.push(self.literal()?);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::RBracket, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::RBracket,
+                    ..
+                }) => break,
                 Some(t) => {
                     return Err(ParseError {
                         line: t.line,
@@ -199,8 +236,14 @@ impl Parser {
         loop {
             items.push(self.ident()?);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::RBracket, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::RBracket,
+                    ..
+                }) => break,
                 Some(t) => {
                     return Err(ParseError {
                         line: t.line,
@@ -215,8 +258,14 @@ impl Parser {
 
     fn number(&mut self) -> Result<(f64, bool), ParseError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Int(i), .. }) => Ok((i as f64, false)),
-            Some(Token { kind: TokenKind::Float(x), .. }) => Ok((x, true)),
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok((i as f64, false)),
+            Some(Token {
+                kind: TokenKind::Float(x),
+                ..
+            }) => Ok((x, true)),
             Some(t) => Err(ParseError {
                 line: t.line,
                 message: format!("expected number, found {}", t.kind),
@@ -238,7 +287,10 @@ impl Parser {
                 if lo_f || hi_f {
                     Ok(Domain::FloatRange { lo, hi })
                 } else {
-                    Ok(Domain::IntRange { lo: lo as i64, hi: hi as i64 })
+                    Ok(Domain::IntRange {
+                        lo: lo as i64,
+                        hi: hi as i64,
+                    })
                 }
             }
             "set" => {
@@ -251,15 +303,21 @@ impl Parser {
                 if n < 1 {
                     return Err(self.err("string length must be >= 1"));
                 }
-                Ok(Domain::String { max_len: n as usize })
+                Ok(Domain::String {
+                    max_len: n as usize,
+                })
             }
             "object" => {
                 self.comma()?;
-                Ok(Domain::Object { class_name: self.quoted()? })
+                Ok(Domain::Object {
+                    class_name: self.quoted()?,
+                })
             }
             "pointer" => {
                 self.comma()?;
-                Ok(Domain::Pointer { class_name: self.quoted()? })
+                Ok(Domain::Pointer {
+                    class_name: self.quoted()?,
+                })
             }
             other => Err(self.err(format!("unknown domain keyword `{other}`"))),
         }
@@ -362,7 +420,13 @@ pub fn parse_tspec(src: &str) -> Result<ClassSpec, ParseError> {
                     return Err(p.err("parameter count cannot be negative"));
                 }
                 declared_arity.insert(id.clone(), nparams as usize);
-                methods.push(MethodSpec { id, name, return_type, category, params: Vec::new() });
+                methods.push(MethodSpec {
+                    id,
+                    name,
+                    return_type,
+                    category,
+                    params: Vec::new(),
+                });
             }
             "Parameter" => {
                 let line = p.line();
@@ -568,7 +632,10 @@ Node(n2, death, [m1])
 Edge(n1, n2)
 ";
         let spec = parse_tspec(src).unwrap();
-        assert_eq!(spec.attributes[0].domain, Domain::FloatRange { lo: 0.5, hi: 2.0 });
+        assert_eq!(
+            spec.attributes[0].domain,
+            Domain::FloatRange { lo: 0.5, hi: 2.0 }
+        );
     }
 
     #[test]
@@ -611,10 +678,12 @@ Edge(n1, n2)
             .unwrap_err()
             .message
             .contains("unknown record"));
-        assert!(parse_tspec("Class('C', No, <empty>, <empty>)\nAttribute('a', weird, 1)")
-            .unwrap_err()
-            .message
-            .contains("unknown domain keyword"));
+        assert!(
+            parse_tspec("Class('C', No, <empty>, <empty>)\nAttribute('a', weird, 1)")
+                .unwrap_err()
+                .message
+                .contains("unknown domain keyword")
+        );
     }
 
     #[test]

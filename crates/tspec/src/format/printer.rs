@@ -103,7 +103,12 @@ pub fn print_tspec(spec: &ClassSpec) -> String {
         quote(&spec.class_name)
     );
     for a in &spec.attributes {
-        let _ = writeln!(out, "Attribute({}, {})", quote(&a.name), domain_suffix(&a.domain));
+        let _ = writeln!(
+            out,
+            "Attribute({}, {})",
+            quote(&a.name),
+            domain_suffix(&a.domain)
+        );
     }
     for m in &spec.methods {
         let ret = m
@@ -134,7 +139,12 @@ pub fn print_tspec(spec: &ClassSpec) -> String {
             NodeKind::Task => "task",
             NodeKind::Death => "death",
         };
-        let _ = writeln!(out, "Node({}, {kind}, [{}])", node.label, node.methods.join(", "));
+        let _ = writeln!(
+            out,
+            "Node({}, {kind}, [{}])",
+            node.label,
+            node.methods.join(", ")
+        );
     }
     for e in spec.tfm.edges() {
         let from = &spec.tfm.node(e.from).label;
@@ -158,8 +168,16 @@ mod tests {
             .attribute("qty", Domain::int_range(1, 99_999))
             .attribute("price", Domain::float_range(0.25, 10.5))
             .attribute("name", Domain::string(30))
-            .attribute("mode", Domain::Set(vec![Value::Str("p1".into()), Value::Int(2)]))
-            .attribute("prov", Domain::Pointer { class_name: "Provider".into() })
+            .attribute(
+                "mode",
+                Domain::Set(vec![Value::Str("p1".into()), Value::Int(2)]),
+            )
+            .attribute(
+                "prov",
+                Domain::Pointer {
+                    class_name: "Provider".into(),
+                },
+            )
             .constructor("m1", "Product")
             .method("m2", "UpdateQty", MethodCategory::Update)
             .param("q", Domain::int_range(1, 99_999))
@@ -204,7 +222,7 @@ mod tests {
 
     #[test]
     fn float_literals_round_trip() {
-        for x in [0.1, 1.0, -2.5, 1e-10, 12345.678_9] {
+        for x in [0.1, 1.0, -2.5, 1e-10, 12_345.678_9] {
             let s = float_literal(x);
             let back: f64 = s.parse().unwrap();
             assert_eq!(back, x, "{s}");

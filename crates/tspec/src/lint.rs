@@ -79,8 +79,14 @@ impl fmt::Display for LintWarning {
             LintWarning::MixedCategoryNode { node } => {
                 write!(f, "node {node} mixes method categories")
             }
-            LintWarning::TransactionExplosion { transactions, threshold } => {
-                write!(f, "model yields {transactions} transactions (threshold {threshold})")
+            LintWarning::TransactionExplosion {
+                transactions,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "model yields {transactions} transactions (threshold {threshold})"
+                )
             }
             LintWarning::DegenerateAttributeDomain { attribute } => {
                 write!(f, "attribute {attribute} has a single-value domain")
@@ -146,13 +152,17 @@ pub fn lint_spec(spec: &ClassSpec) -> Vec<LintWarning> {
         }
         categories.dedup();
         if categories.len() > 1 {
-            warnings.push(LintWarning::MixedCategoryNode { node: node.label.clone() });
+            warnings.push(LintWarning::MixedCategoryNode {
+                node: node.label.clone(),
+            });
         }
     }
 
     for m in &spec.methods {
         if m.category == MethodCategory::Update && m.params.is_empty() {
-            warnings.push(LintWarning::ParameterlessUpdate { method: m.id.clone() });
+            warnings.push(LintWarning::ParameterlessUpdate {
+                method: m.id.clone(),
+            });
         }
     }
 
@@ -164,7 +174,9 @@ pub fn lint_spec(spec: &ClassSpec) -> Vec<LintWarning> {
             _ => false,
         };
         if single {
-            warnings.push(LintWarning::DegenerateAttributeDomain { attribute: a.name.clone() });
+            warnings.push(LintWarning::DegenerateAttributeDomain {
+                attribute: a.name.clone(),
+            });
         }
     }
 
@@ -176,10 +188,13 @@ pub fn lint_spec(spec: &ClassSpec) -> Vec<LintWarning> {
         }
         let key = (m.name.as_str(), m.params.len());
         if seen.contains(&key) {
-            if !warnings.iter().any(
-                |w| matches!(w, LintWarning::AmbiguousOverload { name } if name == &m.name),
-            ) {
-                warnings.push(LintWarning::AmbiguousOverload { name: m.name.clone() });
+            if !warnings
+                .iter()
+                .any(|w| matches!(w, LintWarning::AmbiguousOverload { name } if name == &m.name))
+            {
+                warnings.push(LintWarning::AmbiguousOverload {
+                    name: m.name.clone(),
+                });
             }
         } else {
             seen.push(key);
@@ -308,7 +323,10 @@ mod tests {
         let warnings = [
             LintWarning::ParameterlessUpdate { method: "m".into() },
             LintWarning::MixedCategoryNode { node: "n".into() },
-            LintWarning::TransactionExplosion { transactions: 20_000, threshold: 10_000 },
+            LintWarning::TransactionExplosion {
+                transactions: 20_000,
+                threshold: 10_000,
+            },
         ];
         for w in warnings {
             assert!(!w.to_string().is_empty());

@@ -75,7 +75,10 @@ pub struct ParamSpec {
 impl ParamSpec {
     /// Creates a parameter specification.
     pub fn new(name: impl Into<String>, domain: Domain) -> Self {
-        ParamSpec { name: name.into(), domain }
+        ParamSpec {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -134,7 +137,10 @@ pub struct AttributeSpec {
 impl AttributeSpec {
     /// Creates an attribute specification.
     pub fn new(name: impl Into<String>, domain: Domain) -> Self {
-        AttributeSpec { name: name.into(), domain }
+        AttributeSpec {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -234,7 +240,10 @@ impl ClassSpec {
 
     /// All methods in a given category.
     pub fn methods_in_category(&self, category: &MethodCategory) -> Vec<&MethodSpec> {
-        self.methods.iter().filter(|m| m.category == *category).collect()
+        self.methods
+            .iter()
+            .filter(|m| m.category == *category)
+            .collect()
     }
 
     /// Validates the whole specification: duplicate ids, model soundness,
@@ -252,7 +261,9 @@ impl ClassSpec {
         }
         for a in &self.attributes {
             if a.domain.is_empty() {
-                errors.push(SpecError::EmptyDomain { site: format!("attribute {}", a.name) });
+                errors.push(SpecError::EmptyDomain {
+                    site: format!("attribute {}", a.name),
+                });
             }
         }
         for m in &self.methods {
@@ -301,7 +312,10 @@ impl ClassSpec {
             .node(node)
             .methods
             .iter()
-            .map(|id| self.method(id).expect("validated spec resolves all node methods"))
+            .map(|id| {
+                self.method(id)
+                    .expect("validated spec resolves all node methods")
+            })
             .collect()
     }
 }
@@ -355,9 +369,12 @@ mod tests {
     #[test]
     fn duplicate_method_id_detected() {
         let mut s = spec();
-        s.methods.push(MethodSpec::new("m1", "Dup", MethodCategory::Access));
+        s.methods
+            .push(MethodSpec::new("m1", "Dup", MethodCategory::Access));
         let errs = s.validate();
-        assert!(errs.iter().any(|e| matches!(e, SpecError::DuplicateMethodId { id } if id == "m1")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::DuplicateMethodId { id } if id == "m1")));
     }
 
     #[test]
@@ -369,16 +386,19 @@ mod tests {
         let n3 = s.tfm.node_by_label("n3").unwrap();
         s.tfm.add_edge(n9, n3);
         let errs = s.validate();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "m99")));
+        assert!(errs.iter().any(
+            |e| matches!(e, SpecError::UnknownMethodInModel { method, .. } if method == "m99")
+        ));
     }
 
     #[test]
     fn empty_domain_detected() {
         let mut s = spec();
-        s.attributes.push(AttributeSpec::new("bad", Domain::int_range(2, 1)));
-        s.methods[1].params.push(ParamSpec::new("p", Domain::Set(vec![])));
+        s.attributes
+            .push(AttributeSpec::new("bad", Domain::int_range(2, 1)));
+        s.methods[1]
+            .params
+            .push(ParamSpec::new("p", Domain::Set(vec![])));
         let errs = s.validate();
         let sites: Vec<String> = errs
             .iter()
@@ -394,9 +414,12 @@ mod tests {
     #[test]
     fn uncovered_method_detected() {
         let mut s = spec();
-        s.methods.push(MethodSpec::new("m4", "Lonely", MethodCategory::Access));
+        s.methods
+            .push(MethodSpec::new("m4", "Lonely", MethodCategory::Access));
         let errs = s.validate();
-        assert!(errs.iter().any(|e| matches!(e, SpecError::UncoveredMethod { id } if id == "m4")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::UncoveredMethod { id } if id == "m4")));
     }
 
     #[test]
@@ -444,7 +467,12 @@ mod tests {
         assert_eq!(s.method("m2").unwrap().arity(), 1);
         assert!(s.method("m2").unwrap().is_auto_generatable());
         let mut m = MethodSpec::new("m9", "TakesPtr", MethodCategory::Update);
-        m.params.push(ParamSpec::new("p", Domain::Pointer { class_name: "Provider".into() }));
+        m.params.push(ParamSpec::new(
+            "p",
+            Domain::Pointer {
+                class_name: "Provider".into(),
+            },
+        ));
         assert!(!m.is_auto_generatable());
     }
 }

@@ -43,7 +43,12 @@ fn main() {
     // stage it on the stack, cross-check sizes, drain, destroy.
     let composite = CompositeSpecBuilder::new("Station")
         .role("audit", coblist_spec(), "CObList", "~CObList")
-        .role("staging", bounded_stack_spec(), "BoundedStack", "~BoundedStack")
+        .role(
+            "staging",
+            bounded_stack_spec(),
+            "BoundedStack",
+            "~BoundedStack",
+        )
         .birth("create")
         .task("log", ["audit.m2", "audit.m3"]) // AddHead / AddTail
         .task("stage", ["staging.m2"]) // Push
@@ -75,13 +80,21 @@ fn main() {
     let factory = CompositeFactory::new(
         composite,
         vec![
-            ("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>),
-            ("staging".into(), Rc::new(DefaultStackFactory) as Rc<dyn ComponentFactory>),
+            (
+                "audit".into(),
+                Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>,
+            ),
+            (
+                "staging".into(),
+                Rc::new(DefaultStackFactory) as Rc<dyn ComponentFactory>,
+            ),
         ],
     )
     .expect("every role has a factory");
 
-    let suite = DriverGenerator::with_seed(2001).generate(&flat).expect("generates");
+    let suite = DriverGenerator::with_seed(2001)
+        .generate(&flat)
+        .expect("generates");
     let runner = TestRunner::new();
     let mut log = TestLog::new();
     let result = runner.run_suite(&factory, &suite, &mut log);

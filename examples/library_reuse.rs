@@ -41,7 +41,9 @@ fn main() {
         suite.len()
     );
 
-    let plan = consumer.subclass_plan(&bundle, &suite).expect("bundle carries a map");
+    let plan = consumer
+        .subclass_plan(&bundle, &suite)
+        .expect("bundle carries a map");
     let (skip, retest, obsolete) = plan.counts();
     println!("Reuse plan (transaction-level Harrold rule):");
     println!("  skip (inherited-only transactions): {skip}");
@@ -50,7 +52,11 @@ fn main() {
 
     println!("Example decisions:");
     for (case_id, decision) in plan.decisions.iter().take(6) {
-        let case = suite.cases.iter().find(|c| c.id == *case_id).expect("case exists");
+        let case = suite
+            .cases
+            .iter()
+            .find(|c| c.id == *case_id)
+            .expect("case exists");
         let methods: Vec<&str> = case.method_names();
         println!("  TC{case_id:<4} {decision:<22} {}", methods.join(" -> "));
     }

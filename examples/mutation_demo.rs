@@ -36,19 +36,34 @@ fn main() {
         .evaluate_quality(&bundle, &suite, &targets, &[4242])
         .expect("bundle carries mutation support");
 
-    println!("{}", render_score_table("Mutation analysis of Sort1", &MutationMatrix::from_run(&run, &targets)));
+    println!(
+        "{}",
+        render_score_table(
+            "Mutation analysis of Sort1",
+            &MutationMatrix::from_run(&run, &targets)
+        )
+    );
     println!("{}\n", summarize_run(&run));
 
     println!("A few individual verdicts:");
     for result in run.results.iter().take(10) {
         let verdict = match &result.status {
-            MutantStatus::Killed { reason: KillReason::Crash, by_case } => {
+            MutantStatus::Killed {
+                reason: KillReason::Crash,
+                by_case,
+            } => {
                 format!("KILLED by crash (TC{by_case})")
             }
-            MutantStatus::Killed { reason: KillReason::Assertion, by_case } => {
+            MutantStatus::Killed {
+                reason: KillReason::Assertion,
+                by_case,
+            } => {
                 format!("KILLED by assertion violation (TC{by_case})")
             }
-            MutantStatus::Killed { reason: KillReason::OutputDiff, by_case } => {
+            MutantStatus::Killed {
+                reason: KillReason::OutputDiff,
+                by_case,
+            } => {
                 format!("KILLED by output difference (TC{by_case})")
             }
             MutantStatus::Survived => "SURVIVED (a genuine test-suite escape)".to_owned(),

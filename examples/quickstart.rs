@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use concat::core::{Consumer, Producer, SelfTestableBuilder};
 use concat::components::{bounded_stack_spec, BoundedStackFactory};
+use concat::core::{Consumer, Producer, SelfTestableBuilder};
 use concat::tfm::{enumerate_transactions, to_dot};
 use concat::tspec::print_tspec;
 use std::rc::Rc;
@@ -48,7 +48,10 @@ fn main() {
         println!("  {line}");
     }
 
-    assert!(report.all_passed(), "a healthy component passes its own self-test");
+    assert!(
+        report.all_passed(),
+        "a healthy component passes its own self-test"
+    );
 
     // Bonus: the test model as Graphviz DOT, for documentation.
     println!("\n== Test model (DOT) ==\n{}", to_dot(&bundle.spec().tfm));

@@ -31,8 +31,11 @@ fn main() {
     let scenario = transactions
         .iter()
         .find(|t| {
-            let labels: Vec<&str> =
-                t.nodes.iter().map(|id| spec.tfm.node(*id).label.as_str()).collect();
+            let labels: Vec<&str> = t
+                .nodes
+                .iter()
+                .map(|id| spec.tfm.node(*id).label.as_str())
+                .collect();
             labels == FIGURE2_SCENARIO
         })
         .expect("the Figure-2 scenario is a transaction of the model");

@@ -1,0 +1,73 @@
+//! The telemetry spine end to end: run the full pipeline (generate →
+//! execute → mutation analysis) with a `MemorySink` attached, print the
+//! aggregated summary tables, and stream the same run as JSONL.
+//!
+//! Run with: `cargo run --release --example telemetry`
+
+use concat::components::{coblist_inventory, coblist_spec, CObListFactory};
+use concat::core::{Consumer, SelfTestableBuilder};
+use concat::driver::TestLog;
+use concat::mutation::MutationSwitch;
+use concat::obs::{JsonlSink, MemorySink, Telemetry};
+use concat::report::{render_model_metrics_table, render_telemetry_summary};
+use concat::tfm::ModelMetrics;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn main() {
+    let switch = MutationSwitch::new();
+    let bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+            .mutation(coblist_inventory(), switch)
+            .build();
+
+    // 1. Full pipeline under a MemorySink.
+    let sink = Arc::new(MemorySink::new());
+    let consumer = Consumer::with_seed(2001).with_telemetry(Telemetry::new(sink.clone()));
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    let report = consumer.run_suite(&bundle, &suite).expect("suite runs");
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &["AddHead"], &[2002])
+        .expect("bundle carries mutation support");
+    println!(
+        "{} cases, {} passed; {} mutants, {} killed\n",
+        suite.len(),
+        report.result.passed(),
+        run.total(),
+        run.killed()
+    );
+    println!(
+        "{}",
+        render_telemetry_summary("Telemetry summary (CObList pipeline)", &sink.summary())
+    );
+
+    // 2. The model-size side of the report.
+    println!(
+        "{}",
+        render_model_metrics_table(&[("CObList", ModelMetrics::of(&bundle.spec().tfm))])
+    );
+
+    // 3. Same pipeline streamed as JSONL (first lines shown).
+    let jsonl = Arc::new(JsonlSink::in_memory());
+    let consumer = Consumer::with_seed(2001).with_telemetry(Telemetry::new(jsonl.clone()));
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    let _ = consumer.run_suite(&bundle, &suite).expect("suite runs");
+    let trace = jsonl.contents();
+    println!(
+        "JSONL trace: {} events, first 5 lines:",
+        trace.lines().count()
+    );
+    for line in trace.lines().take(5) {
+        println!("  {line}");
+    }
+
+    // 4. An elapsed-mode Result.txt.
+    let mut log = TestLog::with_elapsed();
+    let runner = concat::driver::TestRunner::new();
+    let factory = CObListFactory::new(MutationSwitch::new());
+    let _ = runner.run_suite(&factory, &suite.filtered(&[0, 1]), &mut log);
+    println!("\nResult.txt with elapsed prefixes (first 6 lines):");
+    for line in log.render().lines().take(6) {
+        println!("  {line}");
+    }
+}

@@ -21,7 +21,8 @@
 //! * [`mutation`] — interface mutation analysis;
 //! * [`components`] — the instrumented subject components;
 //! * [`core`] — producer/consumer workflows over self-testable bundles;
-//! * [`report`] — tables and experiment records.
+//! * [`report`] — tables and experiment records;
+//! * [`obs`] — the telemetry spine (spans, counters, histograms, sinks).
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +31,7 @@ pub use concat_components as components;
 pub use concat_core as core;
 pub use concat_driver as driver;
 pub use concat_mutation as mutation;
+pub use concat_obs as obs;
 pub use concat_report as report;
 pub use concat_runtime as runtime;
 pub use concat_tfm as tfm;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat-0064a74bd780561c.d: src/lib.rs
+
+/root/repo/target/debug/deps/concat-0064a74bd780561c: src/lib.rs
+
+src/lib.rs:

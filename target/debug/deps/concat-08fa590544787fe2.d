@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat-08fa590544787fe2.d: src/lib.rs
+
+/root/repo/target/debug/deps/concat-08fa590544787fe2: src/lib.rs
+
+src/lib.rs:

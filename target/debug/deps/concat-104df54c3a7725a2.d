@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat-104df54c3a7725a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-104df54c3a7725a2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-104df54c3a7725a2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat-1e5a6de1551e39e0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat-1e5a6de1551e39e0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

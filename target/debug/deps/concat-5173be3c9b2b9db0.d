@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat-5173be3c9b2b9db0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat-5173be3c9b2b9db0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

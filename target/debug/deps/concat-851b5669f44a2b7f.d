@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat-851b5669f44a2b7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-851b5669f44a2b7f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-851b5669f44a2b7f.rmeta: src/lib.rs
+
+src/lib.rs:

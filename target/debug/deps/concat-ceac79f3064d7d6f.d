@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat-ceac79f3064d7d6f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-ceac79f3064d7d6f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-ceac79f3064d7d6f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat_bench-2e5e1700f8d31970.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/concat_bench-2e5e1700f8d31970: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

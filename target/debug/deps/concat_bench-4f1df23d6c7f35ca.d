@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat_bench-4f1df23d6c7f35ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-4f1df23d6c7f35ca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-4f1df23d6c7f35ca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

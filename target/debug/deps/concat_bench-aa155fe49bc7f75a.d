@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat_bench-aa155fe49bc7f75a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-aa155fe49bc7f75a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-aa155fe49bc7f75a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

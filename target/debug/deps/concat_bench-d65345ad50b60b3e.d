@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat_bench-d65345ad50b60b3e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/concat_bench-d65345ad50b60b3e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_bench-d96483b90add2740.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_bench-d96483b90add2740.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_bench-edd417e609f3a6cb.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_bench-edd417e609f3a6cb.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

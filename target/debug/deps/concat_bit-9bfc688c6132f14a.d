@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_bit-9bfc688c6132f14a.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_bit-9bfc688c6132f14a.rmeta: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs Cargo.toml
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_bit-f55d83dc9ed263c4.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/debug/deps/libconcat_bit-f55d83dc9ed263c4.rlib: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/debug/deps/libconcat_bit-f55d83dc9ed263c4.rmeta: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/concat_components-e594997a94c28d5d.d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/debug/deps/concat_components-e594997a94c28d5d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+crates/components/src/lib.rs:
+crates/components/src/arena.rs:
+crates/components/src/oblist.rs:
+crates/components/src/product.rs:
+crates/components/src/sortable.rs:
+crates/components/src/stack.rs:
+crates/components/src/stockdb.rs:
+crates/components/src/typed.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_core-4720334deec2b82d.d: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs
+
+/root/repo/target/debug/deps/concat_core-4720334deec2b82d: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assess.rs:
+crates/core/src/bundle.rs:
+crates/core/src/consumer.rs:
+crates/core/src/interclass.rs:
+crates/core/src/producer.rs:
+crates/core/src/regression.rs:

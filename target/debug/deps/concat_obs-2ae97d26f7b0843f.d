@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/concat_obs-2ae97d26f7b0843f.d: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/concat_obs-2ae97d26f7b0843f: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/collector.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/telemetry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/concat_obs-3e106d31caf132ca.d: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_obs-3e106d31caf132ca.rlib: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_obs-3e106d31caf132ca.rmeta: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/collector.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/telemetry.rs:

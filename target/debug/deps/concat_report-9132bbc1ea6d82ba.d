@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_report-9132bbc1ea6d82ba.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_report-9132bbc1ea6d82ba.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:
+crates/report/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

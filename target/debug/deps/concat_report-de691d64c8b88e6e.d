@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/concat_report-de691d64c8b88e6e.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/concat_report-de691d64c8b88e6e: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/concat_report-f8cb6bccc06cf0e1.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libconcat_report-f8cb6bccc06cf0e1.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libconcat_report-f8cb6bccc06cf0e1.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_tfm-2954b5a202992457.d: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_tfm-2954b5a202992457.rmeta: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs Cargo.toml
+
+crates/tfm/src/lib.rs:
+crates/tfm/src/dot.rs:
+crates/tfm/src/graph.rs:
+crates/tfm/src/metrics.rs:
+crates/tfm/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_tfm-7bcf4af17d34aaed.d: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+/root/repo/target/debug/deps/concat_tfm-7bcf4af17d34aaed: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+crates/tfm/src/lib.rs:
+crates/tfm/src/dot.rs:
+crates/tfm/src/graph.rs:
+crates/tfm/src/metrics.rs:
+crates/tfm/src/paths.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_tfm-9bc8219da72bcf89.d: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+/root/repo/target/debug/deps/libconcat_tfm-9bc8219da72bcf89.rlib: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+/root/repo/target/debug/deps/libconcat_tfm-9bc8219da72bcf89.rmeta: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+crates/tfm/src/lib.rs:
+crates/tfm/src/dot.rs:
+crates/tfm/src/graph.rs:
+crates/tfm/src/metrics.rs:
+crates/tfm/src/paths.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/concat_tspec-403ab2d530e5a690.d: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+/root/repo/target/debug/deps/libconcat_tspec-403ab2d530e5a690.rlib: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+/root/repo/target/debug/deps/libconcat_tspec-403ab2d530e5a690.rmeta: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+crates/tspec/src/lib.rs:
+crates/tspec/src/builder.rs:
+crates/tspec/src/domain.rs:
+crates/tspec/src/format/mod.rs:
+crates/tspec/src/format/lexer.rs:
+crates/tspec/src/format/parser.rs:
+crates/tspec/src/format/printer.rs:
+crates/tspec/src/lint.rs:
+crates/tspec/src/spec.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/concat_tspec-6c3da72d0971a3b2.d: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_tspec-6c3da72d0971a3b2.rmeta: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs Cargo.toml
+
+crates/tspec/src/lib.rs:
+crates/tspec/src/builder.rs:
+crates/tspec/src/domain.rs:
+crates/tspec/src/format/mod.rs:
+crates/tspec/src/format/lexer.rs:
+crates/tspec/src/format/parser.rs:
+crates/tspec/src/format/printer.rs:
+crates/tspec/src/lint.rs:
+crates/tspec/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_tspec-b2422ee8bdcba302.d: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+/root/repo/target/debug/deps/concat_tspec-b2422ee8bdcba302: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+crates/tspec/src/lib.rs:
+crates/tspec/src/builder.rs:
+crates/tspec/src/domain.rs:
+crates/tspec/src/format/mod.rs:
+crates/tspec/src/format/lexer.rs:
+crates/tspec/src/format/parser.rs:
+crates/tspec/src/format/printer.rs:
+crates/tspec/src/lint.rs:
+crates/tspec/src/spec.rs:

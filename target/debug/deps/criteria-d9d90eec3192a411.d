@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criteria-d9d90eec3192a411.d: crates/bench/benches/criteria.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriteria-d9d90eec3192a411.rmeta: crates/bench/benches/criteria.rs Cargo.toml
+
+crates/bench/benches/criteria.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-33fca7caa11a2e01.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-33fca7caa11a2e01.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

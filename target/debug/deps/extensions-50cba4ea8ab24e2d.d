@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-50cba4ea8ab24e2d.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-50cba4ea8ab24e2d: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d12de72668154c1d.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d12de72668154c1d: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-781a2cf52b7c053b.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-781a2cf52b7c053b: tests/figures.rs
+
+tests/figures.rs:

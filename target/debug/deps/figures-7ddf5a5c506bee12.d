@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-7ddf5a5c506bee12.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-7ddf5a5c506bee12.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-df6f8152ee764daf.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-df6f8152ee764daf: tests/figures.rs
+
+tests/figures.rs:

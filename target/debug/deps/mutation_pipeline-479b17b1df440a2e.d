@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation_pipeline-479b17b1df440a2e.d: tests/mutation_pipeline.rs
+
+/root/repo/target/debug/deps/mutation_pipeline-479b17b1df440a2e: tests/mutation_pipeline.rs
+
+tests/mutation_pipeline.rs:

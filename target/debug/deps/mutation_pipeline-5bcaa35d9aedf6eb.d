@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation_pipeline-5bcaa35d9aedf6eb.d: tests/mutation_pipeline.rs
+
+/root/repo/target/debug/deps/mutation_pipeline-5bcaa35d9aedf6eb: tests/mutation_pipeline.rs
+
+tests/mutation_pipeline.rs:

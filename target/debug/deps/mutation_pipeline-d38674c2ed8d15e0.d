@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation_pipeline-d38674c2ed8d15e0.d: tests/mutation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation_pipeline-d38674c2ed8d15e0.rmeta: tests/mutation_pipeline.rs Cargo.toml
+
+tests/mutation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf-55fed6d6e50a1525.d: crates/bench/benches/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf-55fed6d6e50a1525.rmeta: crates/bench/benches/perf.rs Cargo.toml
+
+crates/bench/benches/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-627dd3b5b36fd875.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/pipeline_components-627dd3b5b36fd875: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-78d86442adbf2c3f.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/pipeline_components-78d86442adbf2c3f: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

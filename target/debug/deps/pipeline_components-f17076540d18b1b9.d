@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_components-f17076540d18b1b9.d: tests/pipeline_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_components-f17076540d18b1b9.rmeta: tests/pipeline_components.rs Cargo.toml
+
+tests/pipeline_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-06a2c9d8a8e1e29a.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-06a2c9d8a8e1e29a.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7a985ce52fd64280.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7a985ce52fd64280: tests/properties.rs
+
+tests/properties.rs:

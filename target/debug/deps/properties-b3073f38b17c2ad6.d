@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b3073f38b17c2ad6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b3073f38b17c2ad6: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_flows-4a01da39305f44a7.d: tests/reuse_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_flows-4a01da39305f44a7.rmeta: tests/reuse_flows.rs Cargo.toml
+
+tests/reuse_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_flows-6582447c13803994.d: tests/reuse_flows.rs
+
+/root/repo/target/debug/deps/reuse_flows-6582447c13803994: tests/reuse_flows.rs
+
+tests/reuse_flows.rs:

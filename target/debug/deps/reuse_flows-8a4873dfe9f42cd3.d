@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_flows-8a4873dfe9f42cd3.d: tests/reuse_flows.rs
+
+/root/repo/target/debug/deps/reuse_flows-8a4873dfe9f42cd3: tests/reuse_flows.rs
+
+tests/reuse_flows.rs:

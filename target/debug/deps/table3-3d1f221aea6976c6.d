@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-3d1f221aea6976c6.d: crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-3d1f221aea6976c6.rmeta: crates/bench/benches/table3.rs Cargo.toml
+
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

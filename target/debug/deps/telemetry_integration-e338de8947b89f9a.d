@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_integration-e338de8947b89f9a.d: crates/obs/tests/telemetry_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_integration-e338de8947b89f9a.rmeta: crates/obs/tests/telemetry_integration.rs Cargo.toml
+
+crates/obs/tests/telemetry_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_integration-f0b33aa5437d9e1f.d: crates/obs/tests/telemetry_integration.rs
+
+/root/repo/target/debug/deps/telemetry_integration-f0b33aa5437d9e1f: crates/obs/tests/telemetry_integration.rs
+
+crates/obs/tests/telemetry_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_pipeline-9421aaa111701c5b.d: tests/telemetry_pipeline.rs
+
+/root/repo/target/debug/deps/telemetry_pipeline-9421aaa111701c5b: tests/telemetry_pipeline.rs
+
+tests/telemetry_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_pipeline-e8a86cf6eac05b55.d: tests/telemetry_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_pipeline-e8a86cf6eac05b55.rmeta: tests/telemetry_pipeline.rs Cargo.toml
+
+tests/telemetry_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interclass_station-1a81d9bf4a913f70.d: examples/interclass_station.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterclass_station-1a81d9bf4a913f70.rmeta: examples/interclass_station.rs Cargo.toml
+
+examples/interclass_station.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interclass_station-1bb27501b4a73562.d: examples/interclass_station.rs
+
+/root/repo/target/debug/examples/interclass_station-1bb27501b4a73562: examples/interclass_station.rs
+
+examples/interclass_station.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interclass_station-9a2b33f2caf9bf3f.d: examples/interclass_station.rs
+
+/root/repo/target/debug/examples/interclass_station-9a2b33f2caf9bf3f: examples/interclass_station.rs
+
+examples/interclass_station.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_reuse-0ebe05d06926c04e.d: examples/library_reuse.rs
+
+/root/repo/target/debug/examples/library_reuse-0ebe05d06926c04e: examples/library_reuse.rs
+
+examples/library_reuse.rs:

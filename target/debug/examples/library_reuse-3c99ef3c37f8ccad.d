@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_reuse-3c99ef3c37f8ccad.d: examples/library_reuse.rs
+
+/root/repo/target/debug/examples/library_reuse-3c99ef3c37f8ccad: examples/library_reuse.rs
+
+examples/library_reuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_reuse-811412ef4f08980c.d: examples/library_reuse.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_reuse-811412ef4f08980c.rmeta: examples/library_reuse.rs Cargo.toml
+
+examples/library_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutation_demo-658d0018692e2db8.d: examples/mutation_demo.rs
+
+/root/repo/target/debug/examples/mutation_demo-658d0018692e2db8: examples/mutation_demo.rs
+
+examples/mutation_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutation_demo-a3674184f7589db6.d: examples/mutation_demo.rs
+
+/root/repo/target/debug/examples/mutation_demo-a3674184f7589db6: examples/mutation_demo.rs
+
+examples/mutation_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mutation_demo-b818be92b98ad260.d: examples/mutation_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmutation_demo-b818be92b98ad260.rmeta: examples/mutation_demo.rs Cargo.toml
+
+examples/mutation_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

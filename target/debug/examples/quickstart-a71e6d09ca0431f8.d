@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a71e6d09ca0431f8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a71e6d09ca0431f8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-cf08e39a52d6eada.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-cf08e39a52d6eada.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cfb0c9f2be107d56.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cfb0c9f2be107d56: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stock_control-06c7cb8b221dd4be.d: examples/stock_control.rs
+
+/root/repo/target/debug/examples/stock_control-06c7cb8b221dd4be: examples/stock_control.rs
+
+examples/stock_control.rs:

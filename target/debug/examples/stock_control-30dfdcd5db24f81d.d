@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stock_control-30dfdcd5db24f81d.d: examples/stock_control.rs
+
+/root/repo/target/debug/examples/stock_control-30dfdcd5db24f81d: examples/stock_control.rs
+
+examples/stock_control.rs:

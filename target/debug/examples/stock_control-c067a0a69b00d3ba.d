@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stock_control-c067a0a69b00d3ba.d: examples/stock_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstock_control-c067a0a69b00d3ba.rmeta: examples/stock_control.rs Cargo.toml
+
+examples/stock_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry-75660d489cf8f29d.d: examples/telemetry.rs
+
+/root/repo/target/debug/examples/telemetry-75660d489cf8f29d: examples/telemetry.rs
+
+examples/telemetry.rs:

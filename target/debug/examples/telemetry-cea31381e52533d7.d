@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telemetry-cea31381e52533d7.d: examples/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelemetry-cea31381e52533d7.rmeta: examples/telemetry.rs Cargo.toml
+
+examples/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/concat-538b118a9226377f.d: src/lib.rs
+
+/root/repo/target/release/deps/libconcat-538b118a9226377f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconcat-538b118a9226377f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/concat_bench-5f15d156f3dcb5ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconcat_bench-5f15d156f3dcb5ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconcat_bench-5f15d156f3dcb5ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

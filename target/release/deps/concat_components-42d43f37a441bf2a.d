@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/concat_components-42d43f37a441bf2a.d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/release/deps/libconcat_components-42d43f37a441bf2a.rlib: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/release/deps/libconcat_components-42d43f37a441bf2a.rmeta: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+crates/components/src/lib.rs:
+crates/components/src/arena.rs:
+crates/components/src/oblist.rs:
+crates/components/src/product.rs:
+crates/components/src/sortable.rs:
+crates/components/src/stack.rs:
+crates/components/src/stockdb.rs:
+crates/components/src/typed.rs:

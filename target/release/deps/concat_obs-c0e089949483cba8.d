@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/concat_obs-c0e089949483cba8.d: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_obs-c0e089949483cba8.rlib: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_obs-c0e089949483cba8.rmeta: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/collector.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/telemetry.rs:

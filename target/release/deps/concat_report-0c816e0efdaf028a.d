@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/concat_report-0c816e0efdaf028a.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_report-0c816e0efdaf028a.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_report-0c816e0efdaf028a.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:
+crates/report/src/telemetry.rs:

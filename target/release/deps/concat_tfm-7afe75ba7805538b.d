@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/concat_tfm-7afe75ba7805538b.d: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+/root/repo/target/release/deps/libconcat_tfm-7afe75ba7805538b.rlib: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+/root/repo/target/release/deps/libconcat_tfm-7afe75ba7805538b.rmeta: crates/tfm/src/lib.rs crates/tfm/src/dot.rs crates/tfm/src/graph.rs crates/tfm/src/metrics.rs crates/tfm/src/paths.rs
+
+crates/tfm/src/lib.rs:
+crates/tfm/src/dot.rs:
+crates/tfm/src/graph.rs:
+crates/tfm/src/metrics.rs:
+crates/tfm/src/paths.rs:

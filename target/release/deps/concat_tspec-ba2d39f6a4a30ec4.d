@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/concat_tspec-ba2d39f6a4a30ec4.d: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+/root/repo/target/release/deps/libconcat_tspec-ba2d39f6a4a30ec4.rlib: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+/root/repo/target/release/deps/libconcat_tspec-ba2d39f6a4a30ec4.rmeta: crates/tspec/src/lib.rs crates/tspec/src/builder.rs crates/tspec/src/domain.rs crates/tspec/src/format/mod.rs crates/tspec/src/format/lexer.rs crates/tspec/src/format/parser.rs crates/tspec/src/format/printer.rs crates/tspec/src/lint.rs crates/tspec/src/spec.rs
+
+crates/tspec/src/lib.rs:
+crates/tspec/src/builder.rs:
+crates/tspec/src/domain.rs:
+crates/tspec/src/format/mod.rs:
+crates/tspec/src/format/lexer.rs:
+crates/tspec/src/format/parser.rs:
+crates/tspec/src/format/printer.rs:
+crates/tspec/src/lint.rs:
+crates/tspec/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf-2b2025baa706e5fa.d: crates/bench/benches/perf.rs
+
+/root/repo/target/release/deps/perf-2b2025baa706e5fa: crates/bench/benches/perf.rs
+
+crates/bench/benches/perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interclass_station-873b209377904efa.d: examples/interclass_station.rs
+
+/root/repo/target/release/examples/interclass_station-873b209377904efa: examples/interclass_station.rs
+
+examples/interclass_station.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/library_reuse-75356696be42abbe.d: examples/library_reuse.rs
+
+/root/repo/target/release/examples/library_reuse-75356696be42abbe: examples/library_reuse.rs
+
+examples/library_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mutation_demo-dc94d69148be3b18.d: examples/mutation_demo.rs
+
+/root/repo/target/release/examples/mutation_demo-dc94d69148be3b18: examples/mutation_demo.rs
+
+examples/mutation_demo.rs:

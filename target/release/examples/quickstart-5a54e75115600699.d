@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5a54e75115600699.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5a54e75115600699: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stock_control-d7eede01a57927c1.d: examples/stock_control.rs
+
+/root/repo/target/release/examples/stock_control-d7eede01a57927c1: examples/stock_control.rs
+
+examples/stock_control.rs:

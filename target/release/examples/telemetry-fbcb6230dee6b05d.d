@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry-fbcb6230dee6b05d.d: examples/telemetry.rs
+
+/root/repo/target/release/examples/telemetry-fbcb6230dee6b05d: examples/telemetry.rs
+
+examples/telemetry.rs:

@@ -67,7 +67,9 @@ fn selected_subsets_generate_and_run() {
         EnumerationConfig::default(),
     );
     let mut gen = DriverGenerator::with_seed(61);
-    let suite = gen.generate_selected(&spec, Some(&sel.transaction_indices)).unwrap();
+    let suite = gen
+        .generate_selected(&spec, Some(&sel.transaction_indices))
+        .unwrap();
     assert!(!suite.is_empty());
     let runner = TestRunner::new();
     let result = runner.run_suite(
@@ -83,7 +85,9 @@ fn typed_subclass_reuse_complements_sortable() {
     // The two subclasses demonstrate the two halves of §3.4.2:
     // CSortableObList adds methods (retests driven by NEW methods);
     // CTypedObList redefines methods (retests driven by REDEFINED ones).
-    let typed_suite = DriverGenerator::with_seed(62).generate(&typed_spec()).unwrap();
+    let typed_suite = DriverGenerator::with_seed(62)
+        .generate(&typed_spec())
+        .unwrap();
     let plan = ReusePlan::analyze(
         &TestingHistory::from_suite(&typed_suite),
         &typed_inheritance_map(),
@@ -130,7 +134,12 @@ impl ComponentFactory for DefaultStack {
 fn interclass_composite_full_pipeline_via_facade() {
     let composite = CompositeSpecBuilder::new("Station")
         .role("audit", coblist_spec(), "CObList", "~CObList")
-        .role("staging", bounded_stack_spec(), "BoundedStack", "~BoundedStack")
+        .role(
+            "staging",
+            bounded_stack_spec(),
+            "BoundedStack",
+            "~BoundedStack",
+        )
         .birth("create")
         .task("log", ["audit.m2", "audit.m3"])
         .task("stage", ["staging.m2"])
@@ -147,8 +156,14 @@ fn interclass_composite_full_pipeline_via_facade() {
     let factory = CompositeFactory::new(
         composite,
         vec![
-            ("audit".into(), Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>),
-            ("staging".into(), Rc::new(DefaultStack) as Rc<dyn ComponentFactory>),
+            (
+                "audit".into(),
+                Rc::new(CObListFactory::default()) as Rc<dyn ComponentFactory>,
+            ),
+            (
+                "staging".into(),
+                Rc::new(DefaultStack) as Rc<dyn ComponentFactory>,
+            ),
         ],
     )
     .unwrap();
@@ -156,7 +171,11 @@ fn interclass_composite_full_pipeline_via_facade() {
     let suite = DriverGenerator::with_seed(63).generate(&flat).unwrap();
     let runner = TestRunner::new();
     let result = runner.run_suite(&factory, &suite, &mut TestLog::new());
-    assert_eq!(result.failed(), 0, "the linear interclass model passes fully");
+    assert_eq!(
+        result.failed(),
+        0,
+        "the linear interclass model passes fully"
+    );
     // Interclass observability: both roles appear in one reporter.
     let case = &result.cases[0];
     let report = case.transcript.final_report.as_ref().unwrap();
@@ -199,6 +218,11 @@ fn consumer_quality_on_typed_subclass_base_mutants() {
         ..Default::default()
     });
     let suite = consumer.generate(&bundle).unwrap();
-    let run = consumer.evaluate_quality(&bundle, &suite, &["AddHead"], &[]).unwrap();
-    assert!(run.killed() > 0, "base faults observable through the subclass");
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &["AddHead"], &[])
+        .unwrap();
+    assert!(
+        run.killed() > 0,
+        "base faults observable through the subclass"
+    );
 }

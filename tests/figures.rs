@@ -37,14 +37,22 @@ fn figure2_dot_highlights_exactly_the_scenario() {
     let scenario = transactions
         .iter()
         .find(|t| {
-            let labels: Vec<&str> =
-                t.nodes.iter().map(|id| spec.tfm.node(*id).label.as_str()).collect();
+            let labels: Vec<&str> = t
+                .nodes
+                .iter()
+                .map(|id| spec.tfm.node(*id).label.as_str())
+                .collect();
             labels == FIGURE2_SCENARIO
         })
         .expect("scenario path exists");
     let dot = to_dot_highlighted(&spec.tfm, scenario);
     // Highlighted edges: n1->n4, n4->n5, n5->n6, n6->n7.
-    for edge in ["n1 -> n4 [color=red", "n4 -> n5 [color=red", "n5 -> n6 [color=red", "n6 -> n7 [color=red"] {
+    for edge in [
+        "n1 -> n4 [color=red",
+        "n4 -> n5 [color=red",
+        "n5 -> n6 [color=red",
+        "n6 -> n7 [color=red",
+    ] {
         assert!(dot.contains(edge), "missing highlighted {edge}");
     }
     // Un-highlighted render has no red at all.

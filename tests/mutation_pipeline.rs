@@ -31,7 +31,10 @@ fn small_consumer(seed: u64) -> Consumer {
 #[test]
 fn enumeration_matches_formula_on_real_inventories() {
     for (inv, methods) in [
-        (coblist_inventory(), vec!["AddHead", "RemoveAt", "RemoveHead"]),
+        (
+            coblist_inventory(),
+            vec!["AddHead", "RemoveAt", "RemoveHead"],
+        ),
         (
             sortable_inventory(),
             vec!["Sort1", "Sort2", "ShellSort", "FindMax", "FindMin"],
@@ -54,7 +57,10 @@ fn findmax_mutants_mostly_die() {
         .unwrap();
     assert!(run.total() >= 30, "enough mutants enumerated");
     assert!(run.score() > 0.7, "score was {:.2}", run.score());
-    assert_eq!(run.total(), run.killed() + run.survived() + run.equivalent());
+    assert_eq!(
+        run.total(),
+        run.killed() + run.survived() + run.equivalent()
+    );
 }
 
 #[test]
@@ -62,25 +68,29 @@ fn kill_reasons_are_diverse_for_link_surgery_faults() {
     // AddHead faults corrupt chain structure: expect assertion kills
     // (invariant) and domain/output kills; RemoveAt index faults crash.
     let switch = MutationSwitch::new();
-    let bundle = SelfTestableBuilder::new(
-        coblist_spec(),
-        Rc::new(CObListFactory::new(switch.clone())),
-    )
-    .mutation(coblist_inventory(), switch)
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+            .mutation(coblist_inventory(), switch)
+            .build();
     let consumer = small_consumer(73);
     let suite = consumer.generate(&bundle).unwrap();
     let run = consumer
         .evaluate_quality(&bundle, &suite, &["AddHead", "RemoveAt", "RemoveHead"], &[])
         .unwrap();
-    assert!(run.killed_by_assertion() > 0, "chain corruption hits the invariant");
+    assert!(
+        run.killed_by_assertion() > 0,
+        "chain corruption hits the invariant"
+    );
     let output_kills = run
         .results
         .iter()
         .filter(|r| {
             matches!(
                 r.status,
-                MutantStatus::Killed { reason: KillReason::OutputDiff, .. }
+                MutantStatus::Killed {
+                    reason: KillReason::OutputDiff,
+                    ..
+                }
             )
         })
         .count();
@@ -93,7 +103,6 @@ fn assertions_contribute_kills_that_vanish_without_bit() {
     // Run the same mutants against the same suite with BIT off: the
     // assertion-kill share must drop to zero (every kill becomes an
     // output difference or disappears).
-    use concat::bit::ComponentFactory as _;
     use concat::driver::{differing_cases, TestLog, TestRunner};
     let switch = MutationSwitch::new();
     let factory = CObListFactory::new(switch.clone());
@@ -122,7 +131,9 @@ fn assertions_contribute_kills_that_vanish_without_bit() {
     switch.disarm();
 
     // BIT on, via the engine.
-    let run = consumer.evaluate_quality(&bundle, &suite, &["AddHead"], &[]).unwrap();
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &["AddHead"], &[])
+        .unwrap();
     assert!(run.killed_by_assertion() > 0);
     assert!(
         run.killed() >= killed_without_bit,
@@ -148,8 +159,12 @@ fn reduced_subclass_suite_is_weaker_on_base_mutants() {
     // inherited methods delegate to the instrumented base.
     // Probe suites matter here: without them, survivors would be
     // misclassified as equivalent and the score would be inflated.
-    let full_run = consumer.evaluate_quality(&bundle, &suite, &targets, &[91]).unwrap();
-    let reduced_run = consumer.evaluate_quality(&bundle, &reduced, &targets, &[91]).unwrap();
+    let full_run = consumer
+        .evaluate_quality(&bundle, &suite, &targets, &[91])
+        .unwrap();
+    let reduced_run = consumer
+        .evaluate_quality(&bundle, &reduced, &targets, &[91])
+        .unwrap();
     assert!(
         reduced_run.killed() < full_run.killed(),
         "reduced {} vs full {}",
@@ -165,7 +180,9 @@ fn matrix_totals_agree_with_run_counters() {
     let consumer = small_consumer(76);
     let suite = consumer.generate(&bundle).unwrap();
     let targets = ["FindMin"];
-    let run = consumer.evaluate_quality(&bundle, &suite, &targets, &[]).unwrap();
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &targets, &[])
+        .unwrap();
     let matrix = MutationMatrix::from_run(&run, &targets);
     let overall = matrix.overall();
     assert_eq!(overall.mutants, run.total());
@@ -179,7 +196,9 @@ fn armed_switch_does_not_leak_between_analyses() {
     let bundle = sortable_bundle();
     let consumer = small_consumer(77);
     let suite = consumer.generate(&bundle).unwrap();
-    let _ = consumer.evaluate_quality(&bundle, &suite, &["FindMax"], &[]).unwrap();
+    let _ = consumer
+        .evaluate_quality(&bundle, &suite, &["FindMax"], &[])
+        .unwrap();
     assert!(bundle.switch().unwrap().armed().is_none());
     // A follow-up self-test behaves as the original program.
     let report = consumer.run_suite(&bundle, &suite).unwrap();

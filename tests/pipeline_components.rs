@@ -17,12 +17,9 @@ fn product_bundle() -> concat::core::SelfTestable {
 
 fn coblist_bundle() -> (concat::core::SelfTestable, MutationSwitch) {
     let switch = MutationSwitch::new();
-    let b = SelfTestableBuilder::new(
-        coblist_spec(),
-        Rc::new(CObListFactory::new(switch.clone())),
-    )
-    .mutation(coblist_inventory(), switch.clone())
-    .build();
+    let b = SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+        .mutation(coblist_inventory(), switch.clone())
+        .build();
     (b, switch)
 }
 
@@ -88,7 +85,12 @@ fn product_self_test_covers_figure2_scenario() {
     assert!(!scenario_cases.is_empty(), "the Figure-2 path is covered");
     // Those cases insert then read then remove: they must pass.
     for case in scenario_cases {
-        let result = report.result.cases.iter().find(|r| r.case_id == case.id).unwrap();
+        let result = report
+            .result
+            .cases
+            .iter()
+            .find(|r| r.case_id == case.id)
+            .unwrap();
         assert!(result.status.is_pass(), "scenario case {} failed", case.id);
     }
 }
@@ -121,7 +123,11 @@ fn bit_disabled_run_skips_assertions() {
     let suite = Consumer::with_seed(31).generate(&bundle).unwrap();
     let runner = TestRunner::without_bit();
     let result = runner.run_suite(bundle.factory(), &suite, &mut TestLog::new());
-    assert_eq!(runner.bit_control().checks(), 0, "deployment mode: no checks");
+    assert_eq!(
+        runner.bit_control().checks(),
+        0,
+        "deployment mode: no checks"
+    );
     // Without preconditions some cases raise domain errors instead.
     for case in &result.cases {
         assert!(
@@ -158,6 +164,11 @@ fn suite_runs_are_independent_across_cases() {
     let lone_id = suite.cases[suite.len() / 2].id;
     let lone_suite = suite.filtered(&[lone_id]);
     let lone = consumer.run_suite(&bundle, &lone_suite).unwrap();
-    let in_full = full.result.cases.iter().find(|c| c.case_id == lone_id).unwrap();
+    let in_full = full
+        .result
+        .cases
+        .iter()
+        .find(|c| c.case_id == lone_id)
+        .unwrap();
     assert_eq!(lone.result.cases[0].transcript, in_full.transcript);
 }

@@ -1,18 +1,32 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the reproduction.
+//! Randomized property tests on the core data structures and invariants
+//! of the reproduction.
+//!
+//! The original suite used `proptest`; the build environment is offline
+//! (no registry access), so the same properties are now driven by the
+//! workspace's own deterministic [`Rng`] — fixed seeds, a few dozen to a
+//! few hundred iterations per property, failure messages carrying the
+//! iteration index so a reproduction is one seed away.
 
-use concat::components::{CObList, CObListFactory};
 use concat::bit::{BitControl, BuiltInTest as _};
+use concat::components::{CObList, CObListFactory};
 use concat::driver::{
     DriverGenerator, Expansion, GeneratorConfig, InheritanceMap, InputGenerator, ReuseDecision,
     ReusePlan, TestingHistory,
 };
 use concat::mutation::MutationSwitch;
-use concat::runtime::Value;
+use concat::runtime::{Rng, Value};
 use concat::tfm::{enumerate_transactions, NodeId, NodeKind, Tfm};
 use concat::tspec::{parse_tspec, print_tspec, ClassSpecBuilder, Domain, MethodCategory};
-use proptest::prelude::*;
 use std::collections::VecDeque;
+
+/// Runs `cases` iterations of a property, handing each a fresh
+/// deterministic RNG derived from `seed` and the iteration index.
+fn for_cases(seed: u64, cases: u64, mut property: impl FnMut(&mut Rng, u64)) {
+    for i in 0..cases {
+        let mut rng = Rng::seed_from_u64(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        property(&mut rng, i);
+    }
+}
 
 // ---------------------------------------------------------------------
 // TFM: transaction enumeration on random DAGs.
@@ -21,30 +35,28 @@ use std::collections::VecDeque;
 /// Builds a random layered DAG: birth → k task layers → death, with a
 /// random subset of forward edges (always keeping one canonical chain so
 /// the model validates).
-fn arb_dag() -> impl Strategy<Value = Tfm> {
-    (2usize..6, proptest::collection::vec(any::<bool>(), 0..40)).prop_map(|(layers, coins)| {
-        let mut tfm = Tfm::new("Rand");
-        let mut ids: Vec<NodeId> = Vec::new();
-        ids.push(tfm.add_node("birth", NodeKind::Birth, ["New"]));
-        for i in 0..layers {
-            ids.push(tfm.add_node(format!("t{i}"), NodeKind::Task, [format!("M{i}")]));
-        }
-        ids.push(tfm.add_node("death", NodeKind::Death, ["Drop"]));
-        // canonical chain keeps everything reachable and co-reachable
-        for w in ids.windows(2) {
-            tfm.add_edge(w[0], w[1]);
-        }
-        // random forward skip edges
-        let mut coin = coins.into_iter();
-        for i in 0..ids.len() {
-            for j in (i + 2)..ids.len() {
-                if coin.next().unwrap_or(false) {
-                    tfm.add_edge(ids[i], ids[j]);
-                }
+fn random_dag(rng: &mut Rng) -> Tfm {
+    let layers = rng.int_in(2, 5) as usize;
+    let mut tfm = Tfm::new("Rand");
+    let mut ids: Vec<NodeId> = Vec::new();
+    ids.push(tfm.add_node("birth", NodeKind::Birth, ["New"]));
+    for i in 0..layers {
+        ids.push(tfm.add_node(format!("t{i}"), NodeKind::Task, [format!("M{i}")]));
+    }
+    ids.push(tfm.add_node("death", NodeKind::Death, ["Drop"]));
+    // canonical chain keeps everything reachable and co-reachable
+    for w in ids.windows(2) {
+        tfm.add_edge(w[0], w[1]);
+    }
+    // random forward skip edges
+    for i in 0..ids.len() {
+        for j in (i + 2)..ids.len() {
+            if rng.coin() {
+                tfm.add_edge(ids[i], ids[j]);
             }
         }
-        tfm
-    })
+    }
+    tfm
 }
 
 /// Counts birth→death paths by dynamic programming (ground truth).
@@ -56,121 +68,151 @@ fn path_count(tfm: &Tfm) -> usize {
         let c = if tfm.node(node).kind == NodeKind::Death {
             1
         } else {
-            tfm.successors(node).iter().map(|s| count(tfm, *s, memo)).sum()
+            tfm.successors(node)
+                .iter()
+                .map(|s| count(tfm, *s, memo))
+                .sum()
         };
         memo[node.index()] = Some(c);
         c
     }
     let mut memo = vec![None; tfm.node_count()];
-    tfm.birth_nodes().iter().map(|b| count(tfm, *b, &mut memo)).sum()
+    tfm.birth_nodes()
+        .iter()
+        .map(|b| count(tfm, *b, &mut memo))
+        .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_dags_validate_and_enumerate_completely(tfm in arb_dag()) {
-        prop_assert!(tfm.validate().is_empty());
+#[test]
+fn random_dags_validate_and_enumerate_completely() {
+    for_cases(0xDA6, 64, |rng, i| {
+        let tfm = random_dag(rng);
+        assert!(tfm.validate().is_empty(), "case {i}");
         let set = enumerate_transactions(&tfm);
-        prop_assert!(!set.truncated);
-        prop_assert_eq!(set.len(), path_count(&tfm));
+        assert!(!set.truncated, "case {i}");
+        assert_eq!(set.len(), path_count(&tfm), "case {i}");
         // every transaction is a real path
         for t in &set {
-            prop_assert_eq!(tfm.node(t.nodes[0]).kind, NodeKind::Birth);
-            prop_assert_eq!(tfm.node(*t.nodes.last().unwrap()).kind, NodeKind::Death);
+            assert_eq!(tfm.node(t.nodes[0]).kind, NodeKind::Birth, "case {i}");
+            assert_eq!(
+                tfm.node(*t.nodes.last().unwrap()).kind,
+                NodeKind::Death,
+                "case {i}"
+            );
             for w in t.nodes.windows(2) {
-                prop_assert!(tfm.successors(w[0]).contains(&w[1]));
+                assert!(tfm.successors(w[0]).contains(&w[1]), "case {i}");
             }
         }
         // no duplicates
         let unique: std::collections::HashSet<_> = set.iter().collect();
-        prop_assert_eq!(unique.len(), set.len());
-    }
+        assert_eq!(unique.len(), set.len(), "case {i}");
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Domains and input generation.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Domains and input generation.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn generated_inputs_lie_in_their_domain(
-        seed in any::<u64>(),
-        lo in -1000i64..1000,
-        span in 0i64..1000,
-        max_len in 1usize..40,
-        set_vals in proptest::collection::vec(-50i64..50, 1..8),
-    ) {
+#[test]
+fn generated_inputs_lie_in_their_domain() {
+    for_cases(0x1225, 64, |rng, i| {
+        let seed = rng.next_u64();
+        let lo = rng.int_in(-1000, 999);
+        let span = rng.int_in(0, 999);
+        let max_len = rng.int_in(1, 39) as usize;
+        let set_len = rng.int_in(1, 7) as usize;
+        let set_vals: Vec<Value> = (0..set_len)
+            .map(|_| Value::Int(rng.int_in(-50, 49)))
+            .collect();
         let mut gen = InputGenerator::new(seed);
         let domains = vec![
             Domain::int_range(lo, lo + span),
             Domain::float_range(lo as f64, (lo + span) as f64),
             Domain::string(max_len),
-            Domain::Set(set_vals.into_iter().map(Value::Int).collect()),
+            Domain::Set(set_vals),
         ];
         for d in &domains {
             for _ in 0..8 {
                 let (v, _) = gen.generate(d).unwrap();
-                prop_assert!(d.contains(&v), "{v:?} escaped {d}");
+                assert!(d.contains(&v), "case {i}: {v:?} escaped {d}");
                 let (b, _) = gen.generate_boundary(d).unwrap();
-                prop_assert!(d.contains(&b), "boundary {b:?} escaped {d}");
+                assert!(d.contains(&b), "case {i}: boundary {b:?} escaped {d}");
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Value ordering: a genuine total order (the sorts rely on it).
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Value ordering: a genuine total order (the sorts rely on it).
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn value_total_cmp_is_a_total_order(
-        xs in proptest::collection::vec(
-            prop_oneof![
-                Just(Value::Null),
-                any::<bool>().prop_map(Value::Bool),
-                any::<i64>().prop_map(Value::Int),
-                any::<f64>().prop_map(Value::Float),
-                "[a-z]{0,6}".prop_map(Value::from),
-            ],
-            3,
-        )
-    ) {
-        use std::cmp::Ordering;
-        let (a, b, c) = (&xs[0], &xs[1], &xs[2]);
-        // antisymmetry
-        prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
-        // reflexivity
-        prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
-        // transitivity (on the <= relation)
-        if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
+fn random_scalar(rng: &mut Rng) -> Value {
+    match rng.index(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.coin()),
+        2 => Value::Int(rng.int_in(i64::MIN, i64::MAX)),
+        3 => Value::Float(rng.float_in(-1e9, 1e9)),
+        _ => {
+            let len = rng.index(7);
+            Value::from(
+                (0..len)
+                    .map(|_| (b'a' + rng.index(26) as u8) as char)
+                    .collect::<String>(),
+            )
         }
     }
+}
 
-    // -----------------------------------------------------------------
-    // t-spec text format round trip.
-    // -----------------------------------------------------------------
+#[test]
+fn value_total_cmp_is_a_total_order() {
+    use std::cmp::Ordering;
+    for_cases(0x70FA1, 256, |rng, i| {
+        let (a, b, c) = (random_scalar(rng), random_scalar(rng), random_scalar(rng));
+        // antisymmetry
+        assert_eq!(
+            a.total_cmp(&b),
+            b.total_cmp(&a).reverse(),
+            "case {i}: {a:?} {b:?}"
+        );
+        // reflexivity
+        assert_eq!(a.total_cmp(&a), Ordering::Equal, "case {i}: {a:?}");
+        // transitivity (on the <= relation)
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            assert_ne!(
+                a.total_cmp(&c),
+                Ordering::Greater,
+                "case {i}: {a:?} {b:?} {c:?}"
+            );
+        }
+    });
+}
 
-    #[test]
-    fn tspec_round_trips(
-        n_attrs in 0usize..4,
-        n_updates in 0usize..4,
-        lo in -500i64..500,
-        span in 0i64..500,
-        max_len in 1usize..30,
-        is_abstract in any::<bool>(),
-    ) {
+// ---------------------------------------------------------------------
+// t-spec text format round trip.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tspec_round_trips() {
+    for_cases(0x75EC, 64, |rng, i| {
+        let n_attrs = rng.index(4);
+        let n_updates = rng.index(4);
+        let lo = rng.int_in(-500, 499);
+        let span = rng.int_in(0, 499);
+        let max_len = rng.int_in(1, 29) as usize;
+        let is_abstract = rng.coin();
         let mut b = ClassSpecBuilder::new("Rand");
         if is_abstract {
             b = b.abstract_class();
         }
-        for i in 0..n_attrs {
-            b = b.attribute(format!("a{i}"), Domain::int_range(lo, lo + span));
+        for a in 0..n_attrs {
+            b = b.attribute(format!("a{a}"), Domain::int_range(lo, lo + span));
         }
         b = b.constructor("m1", "Rand");
         let mut update_ids = Vec::new();
-        for i in 0..n_updates {
-            let id = format!("u{i}");
+        for u in 0..n_updates {
+            let id = format!("u{u}");
             b = b
-                .method(id.clone(), format!("Set{i}"), MethodCategory::Update)
+                .method(id.clone(), format!("Set{u}"), MethodCategory::Update)
                 .param("v", Domain::string(max_len));
             update_ids.push(id);
         }
@@ -178,27 +220,33 @@ proptest! {
         if update_ids.is_empty() {
             b = b.death_node("n2", ["m2"]).edge("n1", "n2");
         } else {
-            b = b.task_node("n2", update_ids).death_node("n3", ["m2"])
-                .edge("n1", "n2").edge("n2", "n3");
+            b = b
+                .task_node("n2", update_ids)
+                .death_node("n3", ["m2"])
+                .edge("n1", "n2")
+                .edge("n2", "n3");
         }
         let spec = b.build().unwrap();
         let text = print_tspec(&spec);
         let reparsed = parse_tspec(&text).unwrap();
-        prop_assert_eq!(reparsed, spec);
-    }
+        assert_eq!(reparsed, spec, "case {i}");
+    });
+}
 
-    // -----------------------------------------------------------------
-    // CObList vs VecDeque model equivalence.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// CObList vs VecDeque model equivalence.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn coblist_behaves_like_a_deque(ops in proptest::collection::vec(0u8..8, 1..60)) {
+#[test]
+fn coblist_behaves_like_a_deque() {
+    for_cases(0xDE9E, 64, |rng, i| {
+        let n_ops = rng.int_in(1, 59);
         let mut list = CObList::new(BitControl::new_enabled(), MutationSwitch::new());
         let mut model: VecDeque<i64> = VecDeque::new();
         let mut k = 0i64;
-        for op in ops {
+        for _ in 0..n_ops {
             k += 1;
-            match op {
+            match rng.index(8) {
                 0 => {
                     list.add_head(Value::Int(k)).unwrap();
                     model.push_front(k);
@@ -210,23 +258,23 @@ proptest! {
                 2 => {
                     let got = list.remove_head();
                     match model.pop_front() {
-                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(v)),
-                        None => prop_assert!(got.is_err()),
+                        Some(v) => assert_eq!(got.unwrap(), Value::Int(v), "case {i}"),
+                        None => assert!(got.is_err(), "case {i}"),
                     }
                 }
                 3 => {
                     let got = list.remove_tail();
                     match model.pop_back() {
-                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(v)),
-                        None => prop_assert!(got.is_err()),
+                        Some(v) => assert_eq!(got.unwrap(), Value::Int(v), "case {i}"),
+                        None => assert!(got.is_err(), "case {i}"),
                     }
                 }
                 4 => {
                     let idx = k.rem_euclid((model.len() as i64).max(1));
                     let got = list.get_at(idx);
                     match model.get(idx as usize) {
-                        Some(v) => prop_assert_eq!(got.unwrap(), Value::Int(*v)),
-                        None => prop_assert!(got.is_err()),
+                        Some(v) => assert_eq!(got.unwrap(), Value::Int(*v), "case {i}"),
+                        None => assert!(got.is_err(), "case {i}"),
                     }
                 }
                 5 => {
@@ -234,22 +282,28 @@ proptest! {
                     let got = list.remove_at(idx);
                     if (idx as usize) < model.len() {
                         let v = model.remove(idx as usize).unwrap();
-                        prop_assert_eq!(got.unwrap(), Value::Int(v));
+                        assert_eq!(got.unwrap(), Value::Int(v), "case {i}");
                     } else {
-                        prop_assert!(got.is_err());
+                        assert!(got.is_err(), "case {i}");
                     }
                 }
                 6 => {
-                    prop_assert_eq!(list.find(&Value::Int(k - 1)).unwrap(),
-                        model.iter().position(|v| *v == k - 1).map_or(-1, |i| i as i64));
+                    assert_eq!(
+                        list.find(&Value::Int(k - 1)).unwrap(),
+                        model
+                            .iter()
+                            .position(|v| *v == k - 1)
+                            .map_or(-1, |p| p as i64),
+                        "case {i}"
+                    );
                 }
                 _ => {
                     list.remove_all();
                     model.clear();
                 }
             }
-            prop_assert_eq!(list.count(), model.len() as i64);
-            prop_assert!(list.invariant_test().is_ok());
+            assert_eq!(list.count(), model.len() as i64, "case {i}");
+            assert!(list.invariant_test().is_ok(), "case {i}");
             let vals: Vec<i64> = list
                 .values()
                 .unwrap()
@@ -257,16 +311,20 @@ proptest! {
                 .map(|v| v.as_int().unwrap())
                 .collect();
             let expect: Vec<i64> = model.iter().copied().collect();
-            prop_assert_eq!(vals, expect);
+            assert_eq!(vals, expect, "case {i}");
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Covering expansion: alternatives and transactions all covered.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Covering expansion: alternatives and transactions all covered.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn covering_expansion_covers_all_alternatives(seed in any::<u64>(), repeats in 1usize..4) {
+#[test]
+fn covering_expansion_covers_all_alternatives() {
+    for_cases(0xC0FE, 64, |rng, i| {
+        let seed = rng.next_u64();
+        let repeats = rng.int_in(1, 3) as usize;
         let spec = ClassSpecBuilder::new("C")
             .constructor("m1", "C")
             .constructor("m1b", "C")
@@ -291,8 +349,8 @@ proptest! {
         // every transaction covered
         let txns: std::collections::HashSet<usize> =
             suite.iter().map(|c| c.transaction_index).collect();
-        prop_assert_eq!(txns.len(), suite.stats.transactions);
-        // every alternative of node n2 appears in some case of txn 0-1
+        assert_eq!(txns.len(), suite.stats.transactions, "case {i}");
+        // every alternative of node n2 appears in some case
         let mut seen = std::collections::HashSet::new();
         for case in &suite {
             for m in case.method_names() {
@@ -300,31 +358,38 @@ proptest! {
             }
         }
         for m in ["A1", "A2", "A3"] {
-            prop_assert!(seen.contains(m), "alternative {m} never exercised");
+            assert!(
+                seen.contains(m),
+                "case {i}: alternative {m} never exercised"
+            );
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Reuse plan laws.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Reuse plan laws.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn reuse_plan_partitions_and_is_monotone(
-        methods_per_case in proptest::collection::vec(
-            proptest::collection::vec(0u8..6, 1..5),
-            1..12,
-        )
-    ) {
-        use concat::driver::{HistoryEntry};
+#[test]
+fn reuse_plan_partitions_and_is_monotone() {
+    use concat::driver::HistoryEntry;
+    for_cases(0x2E05E, 64, |rng, i| {
+        let n_cases = rng.int_in(1, 11) as usize;
+        let methods_per_case: Vec<Vec<u8>> = (0..n_cases)
+            .map(|_| {
+                let n = rng.int_in(1, 4) as usize;
+                (0..n).map(|_| rng.index(6) as u8).collect()
+            })
+            .collect();
         let name = |m: u8| format!("M{m}");
         let history = TestingHistory {
             class_name: "C".into(),
             entries: methods_per_case
                 .iter()
                 .enumerate()
-                .map(|(i, ms)| HistoryEntry {
-                    case_id: i,
-                    transaction_index: i,
+                .map(|(c, ms)| HistoryEntry {
+                    case_id: c,
+                    transaction_index: c,
                     methods: ms.iter().map(|m| name(*m)).collect(),
                 })
                 .collect(),
@@ -337,19 +402,22 @@ proptest! {
         let plan = ReusePlan::analyze(&history, &map);
         // partition: every case decided exactly once
         let (skip, retest, obsolete) = plan.counts();
-        prop_assert_eq!(skip + retest + obsolete, history.entries.len());
+        assert_eq!(skip + retest + obsolete, history.entries.len(), "case {i}");
         // semantic check per case
         for (case_id, decision) in &plan.decisions {
             let entry = &history.entries[*case_id];
-            let has_unknown = entry.methods.iter().any(|m| !["M0","M1","M2","M3","M4","M5"].contains(&m.as_str()));
+            let has_unknown = entry
+                .methods
+                .iter()
+                .any(|m| !["M0", "M1", "M2", "M3", "M4", "M5"].contains(&m.as_str()));
             let touches_changed = entry.methods.iter().any(|m| m == "M3" || m == "M4");
             match decision {
-                ReuseDecision::Obsolete => prop_assert!(has_unknown),
+                ReuseDecision::Obsolete => assert!(has_unknown, "case {i}"),
                 ReuseDecision::RetestReused => {
-                    prop_assert!(touches_changed && !has_unknown)
+                    assert!(touches_changed && !has_unknown, "case {i}")
                 }
                 ReuseDecision::SkipRetest => {
-                    prop_assert!(!touches_changed && !has_unknown)
+                    assert!(!touches_changed && !has_unknown, "case {i}")
                 }
             }
         }
@@ -362,74 +430,110 @@ proptest! {
             .lifecycle(["M5"]);
         let plan2 = ReusePlan::analyze(&history, &stricter);
         for ((id1, d1), (id2, d2)) in plan.decisions.iter().zip(plan2.decisions.iter()) {
-            prop_assert_eq!(id1, id2);
+            assert_eq!(id1, id2, "case {i}");
             if *d1 == ReuseDecision::RetestReused {
-                prop_assert_ne!(*d2, ReuseDecision::SkipRetest);
+                assert_ne!(*d2, ReuseDecision::SkipRetest, "case {i}");
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Factory-constructed components honour per-case isolation.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Factory-constructed components honour per-case isolation.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn factory_instances_are_independent(v in -99i64..99) {
-        use concat::bit::ComponentFactory as _;
+#[test]
+fn factory_instances_are_independent() {
+    use concat::bit::ComponentFactory as _;
+    for_cases(0xFAC, 32, |rng, i| {
+        let v = rng.int_in(-99, 98);
         let f = CObListFactory::default();
-        let mut a = f.construct("CObList", &[], BitControl::new_enabled()).unwrap();
-        let b = f.construct("CObList", &[], BitControl::new_enabled()).unwrap();
+        let mut a = f
+            .construct("CObList", &[], BitControl::new_enabled())
+            .unwrap();
+        let b = f
+            .construct("CObList", &[], BitControl::new_enabled())
+            .unwrap();
         a.invoke("AddHead", &[Value::Int(v)]).unwrap();
         let ra = a.reporter();
         let rb = b.reporter();
-        prop_assert_eq!(ra.get("m_nCount"), Some(&Value::Int(1)));
-        prop_assert_eq!(rb.get("m_nCount"), Some(&Value::Int(0)));
-    }
+        assert_eq!(ra.get("m_nCount"), Some(&Value::Int(1)), "case {i}");
+        assert_eq!(rb.get("m_nCount"), Some(&Value::Int(0)), "case {i}");
+    });
 }
 
 // -------------------------------------------------------------------
 // Persistence: arbitrary suites and values round-trip through text.
 // -------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
+fn random_value(rng: &mut Rng, depth: usize) -> Value {
+    let leaf_kinds = 6;
+    let kinds = if depth == 0 {
+        leaf_kinds
+    } else {
+        leaf_kinds + 1
+    };
+    match rng.index(kinds) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.coin()),
+        2 => Value::Int(rng.int_in(i64::MIN, i64::MAX)),
         // finite floats only: NaN breaks Eq-based round-trip comparison
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[ -~]{0,12}".prop_map(Value::from), // printable ASCII incl. quotes/backslashes
-        ("[A-Za-z]{1,6}", "[A-Za-z0-9 _-]{0,8}")
-            .prop_map(|(c, k)| Value::Obj(concat::runtime::ObjRef::new(c, k))),
-    ];
-    leaf.prop_recursive(2, 16, 4, |inner| {
-        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
-    })
+        3 => Value::Float(rng.float_in(-1e12, 1e12)),
+        4 => {
+            // printable ASCII incl. quotes/backslashes
+            let len = rng.index(13);
+            Value::from(
+                (0..len)
+                    .map(|_| (b' ' + rng.index((b'~' - b' ') as usize + 1) as u8) as char)
+                    .collect::<String>(),
+            )
+        }
+        5 => {
+            let class_len = rng.int_in(1, 6) as usize;
+            let class: String = (0..class_len)
+                .map(|_| (b'A' + rng.index(26) as u8) as char)
+                .collect();
+            let key_len = rng.index(9);
+            let key: String = (0..key_len)
+                .map(|_| {
+                    const KEY_CHARS: &[u8] =
+                        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 _-";
+                    KEY_CHARS[rng.index(KEY_CHARS.len())] as char
+                })
+                .collect();
+            Value::Obj(concat::runtime::ObjRef::new(class, key))
+        }
+        _ => {
+            let len = rng.index(4);
+            Value::List((0..len).map(|_| random_value(rng, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn value_literals_round_trip(v in arb_value()) {
+#[test]
+fn value_literals_round_trip() {
+    for_cases(0x11E2A1, 256, |rng, i| {
+        let v = random_value(rng, 2);
         let text = v.to_literal();
         let back = concat::runtime::parse_value_literal(&text)
-            .unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert_eq!(back, v);
-    }
+            .unwrap_or_else(|e| panic!("case {i}: {text}: {e}"));
+        assert_eq!(back, v, "case {i}: {text}");
+    });
+}
 
-    #[test]
-    fn random_suites_round_trip_through_persistence(
-        seed in any::<u64>(),
-        n_cases in 1usize..6,
-        args in proptest::collection::vec(arb_value(), 0..3),
-    ) {
-        use concat::driver::{load_suite, save_suite, MethodCall, SuiteStats, TestCase, TestSuite};
+#[test]
+fn random_suites_round_trip_through_persistence() {
+    use concat::driver::{load_suite, save_suite, MethodCall, SuiteStats, TestCase, TestSuite};
+    for_cases(0x5417E, 128, |rng, i| {
+        let seed = rng.next_u64();
+        let n_cases = rng.int_in(1, 5) as usize;
+        let n_args = rng.index(3);
+        let args: Vec<Value> = (0..n_args).map(|_| random_value(rng, 2)).collect();
         let cases: Vec<TestCase> = (0..n_cases)
-            .map(|i| TestCase {
-                id: i,
-                transaction_index: i % 3,
-                node_path: vec![format!("n{i}"), "end".into()],
+            .map(|c| TestCase {
+                id: c,
+                transaction_index: c % 3,
+                node_path: vec![format!("n{c}"), "end".into()],
                 constructor: MethodCall::generated("m1", "C", args.clone()),
                 calls: vec![MethodCall::generated("m2", "Work", args.clone())],
             })
@@ -446,6 +550,6 @@ proptest! {
             },
         };
         let restored = load_suite(&save_suite(&suite)).unwrap();
-        prop_assert_eq!(restored, suite);
-    }
+        assert_eq!(restored, suite, "case {i}");
+    });
 }

@@ -16,11 +16,8 @@ use std::rc::Rc;
 fn retargeted_parent_suite_passes_on_subclass() {
     // The paper's template-function reuse: the parent's full suite,
     // instantiated with the subclass as class under test.
-    let parent_bundle = SelfTestableBuilder::new(
-        coblist_spec(),
-        Rc::new(CObListFactory::default()),
-    )
-    .build();
+    let parent_bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default())).build();
     let suite = Consumer::with_seed(33).generate(&parent_bundle).unwrap();
 
     let map = RetargetMap::for_subclass("CObList", "CSortableObList");
@@ -45,11 +42,12 @@ fn retargeted_suite_transcripts_match_parent() {
         SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default())).build();
     let suite = Consumer::with_seed(34).generate(&parent_bundle).unwrap();
     let runner = TestRunner::new();
-    let parent_result =
-        runner.run_suite(parent_bundle.factory(), &suite, &mut TestLog::new());
+    let parent_result = runner.run_suite(parent_bundle.factory(), &suite, &mut TestLog::new());
 
-    let sub_suite =
-        retarget_suite(&suite, &RetargetMap::for_subclass("CObList", "CSortableObList"));
+    let sub_suite = retarget_suite(
+        &suite,
+        &RetargetMap::for_subclass("CObList", "CSortableObList"),
+    );
     let factory = CSortableObListFactory::new(MutationSwitch::new());
     let sub_result = runner.run_suite(&factory, &sub_suite, &mut TestLog::new());
 
@@ -67,11 +65,9 @@ fn retargeted_suite_transcripts_match_parent() {
 
 #[test]
 fn suite_persistence_round_trips_through_text() {
-    let bundle = SelfTestableBuilder::new(
-        sortable_spec(),
-        Rc::new(CSortableObListFactory::default()),
-    )
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(sortable_spec(), Rc::new(CSortableObListFactory::default()))
+            .build();
     let suite = Consumer::with_seed(35).generate(&bundle).unwrap();
     let text = save_suite(&suite);
     let restored = load_suite(&text).unwrap();
@@ -82,11 +78,8 @@ fn suite_persistence_round_trips_through_text() {
 fn restored_suite_replays_identically() {
     // Retrieval: a consumer that saved its suite can re-run it later and
     // observe the same outcomes (regression-test usage).
-    let bundle = SelfTestableBuilder::new(
-        coblist_spec(),
-        Rc::new(CObListFactory::default()),
-    )
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::default())).build();
     let consumer = Consumer::with_seed(36);
     let suite = consumer.generate(&bundle).unwrap();
     let restored = load_suite(&save_suite(&suite)).unwrap();
@@ -97,12 +90,10 @@ fn restored_suite_replays_identically() {
 
 #[test]
 fn history_persistence_preserves_reuse_decisions() {
-    let bundle = SelfTestableBuilder::new(
-        sortable_spec(),
-        Rc::new(CSortableObListFactory::default()),
-    )
-    .inheritance(sortable_inheritance_map())
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(sortable_spec(), Rc::new(CSortableObListFactory::default()))
+            .inheritance(sortable_inheritance_map())
+            .build();
     let consumer = Consumer::with_seed(37);
     let suite = consumer.generate(&bundle).unwrap();
     let history = TestingHistory::from_suite(&suite);
@@ -123,14 +114,13 @@ fn abstract_class_workflow_via_retarget() {
     // concrete subclass.
     let mut abstract_spec = coblist_spec();
     abstract_spec.is_abstract = true;
-    let bundle = SelfTestableBuilder::new(
-        abstract_spec,
-        Rc::new(CObListFactory::default()),
-    )
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(abstract_spec, Rc::new(CObListFactory::default())).build();
     let suite = Consumer::with_seed(38).generate(&bundle).unwrap();
-    let sub_suite =
-        retarget_suite(&suite, &RetargetMap::for_subclass("CObList", "CSortableObList"));
+    let sub_suite = retarget_suite(
+        &suite,
+        &RetargetMap::for_subclass("CObList", "CSortableObList"),
+    );
     let factory = CSortableObListFactory::default();
     let runner = TestRunner::new();
     let result = runner.run_suite(&factory, &sub_suite, &mut TestLog::new());
@@ -144,11 +134,9 @@ fn regression_check_across_releases() {
     // Old release: record baseline; new release: one behavioural change
     // (modelled by arming a fault in the shared switch).
     let switch = MutationSwitch::new();
-    let bundle = SelfTestableBuilder::new(
-        coblist_spec(),
-        Rc::new(CObListFactory::new(switch.clone())),
-    )
-    .build();
+    let bundle =
+        SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+            .build();
     let suite = Consumer::with_seed(39).generate(&bundle).unwrap();
     let baseline = record_baseline(&bundle, &suite);
     assert!(regression_check(&bundle, &suite, &baseline).is_clean());
@@ -160,5 +148,8 @@ fn regression_check_across_releases() {
     });
     let report = regression_check(&bundle, &suite, &baseline);
     switch.disarm();
-    assert!(!report.is_clean(), "the substituted release must be flagged");
+    assert!(
+        !report.is_clean(),
+        "the substituted release must be flagged"
+    );
 }
