@@ -102,11 +102,13 @@ impl BitControl {
         self.inner
             .telemetry_on
             .store(telemetry.is_enabled(), Ordering::Relaxed);
+        // Recover a poisoned lock: the handle is a plain value, so a
+        // writer that panicked mid-assignment left it usable.
         *self
             .inner
             .telemetry
             .write()
-            .expect("bit telemetry poisoned") = telemetry;
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = telemetry;
     }
 
     /// A clone of the attached telemetry handle — disabled when none was
@@ -118,7 +120,7 @@ impl BitControl {
         self.inner
             .telemetry
             .read()
-            .expect("bit telemetry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -129,7 +131,11 @@ impl BitControl {
         if !self.inner.telemetry_on.load(Ordering::Relaxed) {
             return;
         }
-        let telemetry = self.inner.telemetry.read().expect("bit telemetry poisoned");
+        let telemetry = self
+            .inner
+            .telemetry
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (checks, violations) = match kind {
             AssertionKind::Invariant => ("bit.invariant.checks", "bit.invariant.violations"),
             AssertionKind::Precondition => {

@@ -9,12 +9,14 @@
 
 use crate::bundle::SelfTestable;
 use concat_driver::{
-    DriverGenerator, GenerateError, GeneratorConfig, ReusePlan, SuiteResult, TestLog, TestRunner,
-    TestSuite, TestingHistory,
+    save_suite_to_path, DriverGenerator, GenerateError, GeneratorConfig, ReusePlan, SuiteResult,
+    TestLog, TestRunner, TestSuite, TestingHistory,
 };
 use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig, MutationRun};
 use concat_obs::Telemetry;
+use concat_runtime::{Budget, IoPolicy};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// The outcome of one consumer self-test session.
 #[derive(Debug, Clone)]
@@ -37,9 +39,15 @@ impl SelfTestReport {
         self.result.failed() == 0
     }
 
+    /// Harness-degradation notes from the run (budget stops, watchdog
+    /// deadlines); empty on a healthy run. See [`SuiteResult::notes`].
+    pub fn notes(&self) -> &[String] {
+        &self.result.notes
+    }
+
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}: {} case(s), {} passed, {} failed ({} by assertion); {} assertion check(s)",
             self.suite.class_name,
             self.result.cases.len(),
@@ -47,7 +55,12 @@ impl SelfTestReport {
             self.result.failed(),
             self.result.assertion_failures(),
             self.assertion_checks
-        )
+        );
+        let stops = self.result.harness_stops();
+        if stops > 0 {
+            s.push_str(&format!("; {stops} harness stop(s)"));
+        }
+        s
     }
 }
 
@@ -94,6 +107,7 @@ impl From<GenerateError> for ConsumerError {
 pub struct Consumer {
     config: GeneratorConfig,
     telemetry: Telemetry,
+    budget: Budget,
 }
 
 impl Consumer {
@@ -102,6 +116,7 @@ impl Consumer {
         Consumer {
             config: GeneratorConfig::default(),
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -110,6 +125,7 @@ impl Consumer {
         Consumer {
             config,
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -130,6 +146,22 @@ impl Consumer {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Caps test-case execution with `budget` (call count, transcript
+    /// bytes, wall-clock deadline). It propagates to the runner of every
+    /// session this consumer drives — including golden, mutant and probe
+    /// runs during quality evaluation, where mutants that blow the budget
+    /// are quarantined instead of hanging the analysis. Unlimited — the
+    /// paper's semantics — by default.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The execution budget this consumer applies per test case.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// The telemetry handle this consumer propagates.
@@ -186,7 +218,9 @@ impl Consumer {
         suite: &TestSuite,
     ) -> Result<SelfTestReport, ConsumerError> {
         // test mode ON — "compile in test mode"
-        let runner = TestRunner::new().with_telemetry(self.telemetry.clone());
+        let runner = TestRunner::new()
+            .with_telemetry(self.telemetry.clone())
+            .with_budget(self.budget);
         runner.bit_control().reset_counters();
         let mut log = TestLog::new();
         let result = runner.run_suite(component.factory(), suite, &mut log);
@@ -255,6 +289,8 @@ impl Consumer {
                 silence_panics: true,
                 bit_enabled,
                 telemetry: self.telemetry.clone(),
+                budget: self.budget,
+                ..MutationConfig::default()
             },
         ))
     }
@@ -282,6 +318,85 @@ impl Consumer {
             self.telemetry.incr_by("reuse.obsolete", obsolete as u64);
         }
         Ok(plan)
+    }
+
+    /// Persists a session's artefacts — the `Result.txt`-style log and the
+    /// suite — under `dir`, with retrying I/O and graceful degradation.
+    ///
+    /// This never fails: transient write errors are retried under
+    /// `policy`, and an artefact whose writes are exhausted is *skipped*
+    /// with a note in [`PersistedSession::notes`] rather than aborting the
+    /// session (the in-memory report stays authoritative). Retries bump
+    /// the `harden.retry` counter; each skipped artefact bumps
+    /// `harden.degraded`.
+    pub fn persist_session(
+        &self,
+        report: &SelfTestReport,
+        dir: impl AsRef<Path>,
+        policy: &IoPolicy,
+    ) -> PersistedSession {
+        let dir = dir.as_ref();
+        let mut session = PersistedSession {
+            log_path: None,
+            suite_path: None,
+            retries: 0,
+            notes: Vec::new(),
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            session
+                .notes
+                .push(format!("could not create {}: {e}", dir.display()));
+            self.telemetry.incr("harden.degraded");
+            return session;
+        }
+        let log_path = dir.join("Result.txt");
+        let attempt = report.log.write_to_path_guarded(&log_path, policy);
+        session.retries += attempt.retries;
+        match attempt.result {
+            Ok(()) => session.log_path = Some(log_path),
+            Err(e) => {
+                session.notes.push(format!("log not persisted: {e}"));
+                self.telemetry.incr("harden.degraded");
+            }
+        }
+        let suite_path = dir.join("suite.txt");
+        match save_suite_to_path(&report.suite, &suite_path, policy) {
+            Ok(retries) => {
+                session.retries += retries;
+                session.suite_path = Some(suite_path);
+            }
+            Err(e) => {
+                session.notes.push(format!("suite not persisted: {e}"));
+                self.telemetry.incr("harden.degraded");
+            }
+        }
+        if session.retries > 0 {
+            self.telemetry
+                .incr_by("harden.retry", session.retries as u64);
+        }
+        session
+    }
+}
+
+/// What [`Consumer::persist_session`] managed to write. A `None` path
+/// means that artefact was skipped after its retries were exhausted; the
+/// reason is in [`PersistedSession::notes`].
+#[derive(Debug, Clone)]
+pub struct PersistedSession {
+    /// Where the `Result.txt` log landed, if it did.
+    pub log_path: Option<PathBuf>,
+    /// Where the suite file landed, if it did.
+    pub suite_path: Option<PathBuf>,
+    /// Total I/O retries spent across both artefacts.
+    pub retries: u32,
+    /// One entry per degradation (skipped artefact or unusable directory).
+    pub notes: Vec<String>,
+}
+
+impl PersistedSession {
+    /// True when every artefact was written (possibly after retries).
+    pub fn is_complete(&self) -> bool {
+        self.log_path.is_some() && self.suite_path.is_some() && self.notes.is_empty()
     }
 }
 
@@ -401,6 +516,77 @@ mod tests {
             consumer.subclass_plan(&bundle, &suite).unwrap_err(),
             ConsumerError::NoInheritanceMap
         );
+    }
+
+    #[test]
+    fn budget_propagates_to_the_runner() {
+        use concat_runtime::Budget;
+        let report = Consumer::with_seed(7)
+            .with_budget(Budget::unlimited().with_max_calls(0))
+            .self_test(&stack_bundle())
+            .unwrap();
+        assert!(report.result.harness_stops() > 0);
+        assert!(!report.notes().is_empty());
+        assert!(
+            report.summary().contains("harness stop(s)"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn persist_session_round_trips_artifacts() {
+        let consumer = Consumer::with_seed(7);
+        let report = consumer.self_test(&stack_bundle()).unwrap();
+        let dir = std::env::temp_dir().join("concat-core-persist-ok");
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = consumer.persist_session(&report, &dir, &IoPolicy::default());
+        assert!(session.is_complete(), "{:?}", session.notes);
+        assert_eq!(session.retries, 0);
+        let log = std::fs::read_to_string(session.log_path.as_ref().unwrap()).unwrap();
+        assert!(log.contains("OK!"));
+        let (suite, _) = concat_driver::load_suite_from_path(
+            session.suite_path.as_ref().unwrap(),
+            &IoPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(suite.len(), report.suite.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_session_degrades_instead_of_failing() {
+        use concat_obs::{MemorySink, Telemetry};
+        use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let consumer = Consumer::with_seed(7).with_telemetry(Telemetry::new(sink.clone()));
+        let report = consumer.self_test(&stack_bundle()).unwrap();
+        let dir = std::env::temp_dir().join("concat-core-persist-degraded");
+        let _ = std::fs::remove_dir_all(&dir);
+        let injector = FaultInjector::seeded(1);
+        injector.fail_always(concat_driver::LOG_WRITE_OP, FaultKind::Transient);
+        injector.fail_nth(concat_driver::SUITE_SAVE_OP, 1, FaultKind::Transient);
+        let policy = IoPolicy::with_retry(RetryPolicy::no_delay(2)).injector(injector);
+        let session = consumer.persist_session(&report, &dir, &policy);
+        assert!(session.log_path.is_none(), "log writes were exhausted");
+        assert!(
+            session.suite_path.is_some(),
+            "suite recovered after one transient: {:?}",
+            session.notes
+        );
+        assert_eq!(session.notes.len(), 1);
+        assert!(session.retries > 0);
+        let summary = concat_obs::Summary::from_events(&sink.events());
+        assert!(
+            summary
+                .counters
+                .get("harden.degraded")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(summary.counters.get("harden.retry").copied().unwrap_or(0) >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -345,10 +345,12 @@ impl BuiltInTest for CompositeComponent {
 /// `&'static str` without unsafe code. Names live for the process; the
 /// set of composite names in a test session is tiny and bounded.
 fn intern(name: &str) -> &'static str {
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, OnceLock, PoisonError};
     static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
     let table = TABLE.get_or_init(|| Mutex::new(Vec::new()));
-    let mut guard = table.lock().expect("intern table poisoned");
+    // The table only ever grows by whole entries, so a panic mid-push
+    // cannot leave it inconsistent — recover instead of propagating.
+    let mut guard = table.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(existing) = guard.iter().find(|s| **s == name) {
         return existing;
     }
@@ -430,10 +432,15 @@ impl ComponentFactory for CompositeFactory {
         }
         let mut members = Vec::with_capacity(self.spec.roles().len());
         for role in self.spec.roles() {
-            let factory = self
-                .factories
-                .get(&role.name)
-                .expect("validated by CompositeFactory::new");
+            let Some(factory) = self.factories.get(&role.name) else {
+                // `new` validates role/factory agreement, but surface a
+                // test exception rather than crashing the whole run if a
+                // spec is mutated after construction.
+                return Err(TestException::domain(
+                    constructor,
+                    format!("composite role `{}` has no factory", role.name),
+                ));
+            };
             let member = factory.construct(&role.constructor, &[], ctl.clone())?;
             members.push((role.name.clone(), member, role.destructor.clone()));
         }

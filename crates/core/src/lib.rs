@@ -44,7 +44,7 @@ mod regression;
 
 pub use assess::{assess, TestabilityReport};
 pub use bundle::{SelfTestable, SelfTestableBuilder};
-pub use consumer::{Consumer, ConsumerError, SelfTestReport};
+pub use consumer::{Consumer, ConsumerError, PersistedSession, SelfTestReport};
 pub use interclass::{CompositeFactory, CompositeSpec, CompositeSpecBuilder, Role};
 pub use producer::{PackagingError, Producer};
 pub use regression::{record_baseline, regression_check, RegressionFinding, RegressionReport};

@@ -78,6 +78,13 @@ pub enum GenerateError {
     NoTransactions,
     /// An argument domain failed (empty domain slipping past validation).
     Input(InputError),
+    /// A transaction step references a method id the spec does not
+    /// declare — a model/interface mismatch that validation should have
+    /// caught; reported instead of panicking mid-generation.
+    UnknownMethodId {
+        /// The dangling method id.
+        method_id: String,
+    },
 }
 
 impl fmt::Display for GenerateError {
@@ -96,6 +103,9 @@ impl fmt::Display for GenerateError {
             }
             GenerateError::NoTransactions => f.write_str("model yields no transactions"),
             GenerateError::Input(e) => write!(f, "input generation failed: {e}"),
+            GenerateError::UnknownMethodId { method_id } => {
+                write!(f, "transaction references undeclared method id {method_id}")
+            }
         }
     }
 }
@@ -251,7 +261,11 @@ impl DriverGenerator {
             for seq in sequences {
                 let mut calls = Vec::with_capacity(seq.len());
                 for (pos, method_id) in seq.iter().enumerate() {
-                    let m = spec.method(method_id).expect("validated spec");
+                    let m =
+                        spec.method(method_id)
+                            .ok_or_else(|| GenerateError::UnknownMethodId {
+                                method_id: method_id.clone(),
+                            })?;
                     let is_first = pos == 0;
                     let is_last = pos == seq.len() - 1;
                     if is_first && m.category != MethodCategory::Constructor {

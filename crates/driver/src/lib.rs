@@ -70,9 +70,12 @@ pub use history::{
     TestingHistory,
 };
 pub use inputs::{InputError, InputGenerator, ObjectProvider};
-pub use log::TestLog;
+pub use log::{TestLog, LOG_WRITE_OP};
 pub use oracle::{compare_transcripts, differing_cases, Divergence, ManualOracle, Verdict};
-pub use persist::{load_history, load_suite, save_history, save_suite, PersistError};
+pub use persist::{
+    load_history, load_suite, load_suite_from_path, save_history, save_suite, save_suite_to_path,
+    PersistError, SuiteIoError, SUITE_LOAD_OP, SUITE_SAVE_OP,
+};
 pub use render::{render_cpp_suite, render_cpp_test_case};
 pub use retarget::{retarget_suite, RetargetMap};
 pub use runner::{

@@ -12,10 +12,15 @@
 //! with `case` span durations in a `concat-obs` trace.
 
 use concat_bit::StateReport;
+use concat_runtime::{IoAttempt, IoPolicy};
 use std::fmt;
 use std::io::{self, Write};
 use std::path::Path;
 use std::time::Instant;
+
+/// Operation label under which guarded log writes consult the fault
+/// injector of their [`IoPolicy`].
+pub const LOG_WRITE_OP: &str = "driver.log.write";
 
 /// An append-only textual test log in the `Result.txt` format.
 ///
@@ -144,6 +149,29 @@ impl TestLog {
         self.write_to(io::BufWriter::new(file))
             .map_err(with_context)
     }
+
+    /// Writes the log to a file under an [`IoPolicy`]: transient failures
+    /// (including injected ones, op [`LOG_WRITE_OP`]) are retried with
+    /// backoff; the returned [`IoAttempt`] carries the retry count so
+    /// callers can account `harden.retry` telemetry. Errors name the path.
+    pub fn write_to_path_guarded(
+        &self,
+        path: impl AsRef<Path>,
+        policy: &IoPolicy,
+    ) -> IoAttempt<()> {
+        let path = path.as_ref();
+        let mut attempt = policy.run(LOG_WRITE_OP, || {
+            let file = std::fs::File::create(path)?;
+            self.write_to(io::BufWriter::new(file))
+        });
+        attempt.result = attempt.result.map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("failed to write test log to {}: {e}", path.display()),
+            )
+        });
+        attempt
+    }
 }
 
 impl fmt::Display for TestLog {
@@ -251,5 +279,43 @@ mod tests {
             "error must name the path: {err}"
         );
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn guarded_write_retries_injected_transients() {
+        use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
+        let dir = std::env::temp_dir().join("concat_log_guarded_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Result.txt");
+        let injector = FaultInjector::seeded(11);
+        injector.fail_nth(LOG_WRITE_OP, 1, FaultKind::Transient);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let mut log = TestLog::new();
+        log.line("guarded");
+        let attempt = log.write_to_path_guarded(&path, &policy);
+        assert!(attempt.result.is_ok());
+        assert_eq!(attempt.retries, 1);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "guarded\n");
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn guarded_write_reports_persistent_failure_with_path() {
+        use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
+        let injector = FaultInjector::seeded(11);
+        injector.fail_always(LOG_WRITE_OP, FaultKind::Persistent);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let log = TestLog::new();
+        let attempt = log.write_to_path_guarded("/tmp/concat_never_written.txt", &policy);
+        let err = attempt.result.unwrap_err();
+        assert!(err.to_string().contains("concat_never_written.txt"));
+        assert_eq!(attempt.attempts, 1, "persistent faults are not retried");
     }
 }

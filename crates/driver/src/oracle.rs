@@ -300,6 +300,7 @@ mod tests {
                 c.case_id = 1;
                 c
             }],
+            notes: vec![],
         };
         let observed = SuiteResult {
             class_name: "C".into(),
@@ -308,6 +309,7 @@ mod tests {
                 c.case_id = 1;
                 c
             }],
+            notes: vec![],
         };
         assert_eq!(differing_cases(&golden, &observed), vec![1]);
     }

@@ -23,9 +23,16 @@
 
 use crate::history::{HistoryEntry, TestingHistory};
 use crate::testcase::{ArgOrigin, MethodCall, SuiteStats, TestCase, TestSuite};
-use concat_runtime::{parse_value_literal, Value};
+use concat_runtime::{parse_value_literal, IoPolicy, Value};
 use std::fmt;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Operation label for guarded suite saves (fault-injection hook).
+pub const SUITE_SAVE_OP: &str = "driver.suite.save";
+/// Operation label for guarded suite loads (fault-injection hook).
+pub const SUITE_LOAD_OP: &str = "driver.suite.load";
 
 /// A persistence parse failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +152,80 @@ pub fn save_suite(suite: &TestSuite) -> String {
         let _ = writeln!(out, "endcase");
     }
     out
+}
+
+/// A failure saving or loading a suite through the filesystem: either the
+/// environment (I/O, possibly injected) or the stored text (parse).
+#[derive(Debug)]
+pub enum SuiteIoError {
+    /// The filesystem operation failed after any retries; the error
+    /// message names the path.
+    Io(io::Error),
+    /// The file was read but did not parse as a persisted suite.
+    Parse(PersistError),
+}
+
+impl fmt::Display for SuiteIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteIoError::Io(e) => write!(f, "suite I/O failed: {e}"),
+            SuiteIoError::Parse(e) => write!(f, "suite parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteIoError {}
+
+fn path_context(e: io::Error, verb: &str, path: &Path) -> io::Error {
+    io::Error::new(
+        e.kind(),
+        format!("failed to {verb} suite at {}: {e}", path.display()),
+    )
+}
+
+/// Saves a suite to a file under an [`IoPolicy`]: transient write
+/// failures (including injected ones, op [`SUITE_SAVE_OP`]) retry with
+/// backoff. Returns the number of retries spent, for `harden.retry`
+/// accounting.
+///
+/// # Errors
+///
+/// [`SuiteIoError::Io`] with the path named, after retries are exhausted
+/// or on a persistent failure.
+pub fn save_suite_to_path(
+    suite: &TestSuite,
+    path: impl AsRef<Path>,
+    policy: &IoPolicy,
+) -> Result<u32, SuiteIoError> {
+    let path = path.as_ref();
+    let text = save_suite(suite);
+    let attempt = policy.run(SUITE_SAVE_OP, || std::fs::write(path, &text));
+    match attempt.result {
+        Ok(()) => Ok(attempt.retries),
+        Err(e) => Err(SuiteIoError::Io(path_context(e, "save", path))),
+    }
+}
+
+/// Loads a suite from a file under an [`IoPolicy`] (op
+/// [`SUITE_LOAD_OP`]). Returns the suite and the retries spent.
+///
+/// # Errors
+///
+/// [`SuiteIoError::Io`] when reading fails past the retry budget,
+/// [`SuiteIoError::Parse`] when the text is not a persisted suite.
+pub fn load_suite_from_path(
+    path: impl AsRef<Path>,
+    policy: &IoPolicy,
+) -> Result<(TestSuite, u32), SuiteIoError> {
+    let path = path.as_ref();
+    let attempt = policy.run(SUITE_LOAD_OP, || std::fs::read_to_string(path));
+    match attempt.result {
+        Ok(text) => match load_suite(&text) {
+            Ok(suite) => Ok((suite, attempt.retries)),
+            Err(e) => Err(SuiteIoError::Parse(e)),
+        },
+        Err(e) => Err(SuiteIoError::Io(path_context(e, "load", path))),
+    }
 }
 
 /// Parses a suite from the persistence text format.
@@ -464,5 +545,68 @@ mod tests {
         let suite = DriverGenerator::with_seed(17).generate(&spec).unwrap();
         let text = save_suite(&suite);
         assert_eq!(load_suite(&text).unwrap(), suite);
+    }
+
+    #[test]
+    fn guarded_save_load_round_trips_through_injected_transients() {
+        use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
+        let suite = TestSuite {
+            class_name: "C".into(),
+            seed: 5,
+            cases: vec![],
+            stats: SuiteStats::default(),
+        };
+        let dir = std::env::temp_dir().join("concat_persist_guarded_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.txt");
+
+        let injector = FaultInjector::seeded(23);
+        injector.fail_nth(SUITE_SAVE_OP, 1, FaultKind::Transient);
+        injector.fail_nth(SUITE_LOAD_OP, 1, FaultKind::Transient);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let save_retries = save_suite_to_path(&suite, &path, &policy).unwrap();
+        assert_eq!(save_retries, 1);
+        let (loaded, load_retries) = load_suite_from_path(&path, &policy).unwrap();
+        assert_eq!(loaded, suite);
+        assert_eq!(load_retries, 1);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn guarded_save_surfaces_persistent_failures_with_path() {
+        use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
+        let suite = TestSuite {
+            class_name: "C".into(),
+            seed: 5,
+            cases: vec![],
+            stats: SuiteStats::default(),
+        };
+        let injector = FaultInjector::seeded(23);
+        injector.fail_always(SUITE_SAVE_OP, FaultKind::Persistent);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let err = save_suite_to_path(&suite, "/tmp/concat_never_saved.txt", &policy).unwrap_err();
+        match err {
+            SuiteIoError::Io(e) => assert!(e.to_string().contains("concat_never_saved.txt")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_load_distinguishes_parse_errors() {
+        let dir = std::env::temp_dir().join("concat_persist_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "not a suite\n").unwrap();
+        let err = load_suite_from_path(&path, &IoPolicy::default()).unwrap_err();
+        assert!(matches!(err, SuiteIoError::Parse(_)));
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -10,7 +10,9 @@ use crate::log::TestLog;
 use crate::testcase::{TestCase, TestSuite};
 use concat_bit::{BitControl, ComponentFactory, StateReport};
 use concat_obs::Telemetry;
-use concat_runtime::{TestException, Value};
+use concat_runtime::{
+    Budget, BudgetResource, CancelToken, TestException, Value, Watchdog, DEADLINE_PANIC_PAYLOAD,
+};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -87,6 +89,20 @@ pub enum CaseStatus {
         /// The call that panicked.
         at_call: usize,
     },
+    /// The case hit its wall-clock deadline: the watchdog cancelled the
+    /// execution and a cooperative checkpoint unwound it. A verdict, not
+    /// a crash — mutation analysis quarantines rather than kills on it.
+    DeadlineExceeded {
+        /// The call that was interrupted (or about to run).
+        at_call: usize,
+    },
+    /// The case ran out of a budgeted resource (calls, transcript bytes).
+    BudgetExhausted {
+        /// Which resource ran out.
+        resource: BudgetResource,
+        /// The call at which the budget tripped.
+        at_call: usize,
+    },
 }
 
 impl CaseStatus {
@@ -98,6 +114,16 @@ impl CaseStatus {
     /// True when the failure came from the BIT partial oracle.
     pub fn is_assertion(&self) -> bool {
         matches!(self, CaseStatus::AssertionViolated { .. })
+    }
+
+    /// True when the harness (not the component) terminated the case:
+    /// deadline or budget. Such outcomes describe the execution
+    /// environment, so the oracle must not treat them as behaviour.
+    pub fn is_harness_stop(&self) -> bool {
+        matches!(
+            self,
+            CaseStatus::DeadlineExceeded { .. } | CaseStatus::BudgetExhausted { .. }
+        )
     }
 }
 
@@ -112,6 +138,12 @@ impl fmt::Display for CaseStatus {
                 write!(f, "exception [{tag}]: {message}")
             }
             CaseStatus::Panicked { message, .. } => write!(f, "panicked: {message}"),
+            CaseStatus::DeadlineExceeded { at_call } => {
+                write!(f, "deadline exceeded at call {at_call}")
+            }
+            CaseStatus::BudgetExhausted { resource, at_call } => {
+                write!(f, "budget exhausted ({resource}) at call {at_call}")
+            }
         }
     }
 }
@@ -134,6 +166,9 @@ pub struct SuiteResult {
     pub class_name: String,
     /// Per-case results, in suite order.
     pub cases: Vec<CaseResult>,
+    /// Harness-level annotations: deadline/budget stops, degraded I/O.
+    /// Empty for a fully clean run; reports surface these verbatim.
+    pub notes: Vec<String>,
 }
 
 impl SuiteResult {
@@ -154,6 +189,19 @@ impl SuiteResult {
             .filter(|c| c.status.is_assertion())
             .count()
     }
+
+    /// Number of cases the harness stopped (deadline/budget).
+    pub fn harness_stops(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.status.is_harness_stop())
+            .count()
+    }
+
+    /// Appends a harness note (degraded I/O, etc.).
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
 }
 
 /// Executes test suites against a component factory.
@@ -167,6 +215,9 @@ pub struct TestRunner {
     ctl: BitControl,
     check_invariants: bool,
     telemetry: Telemetry,
+    budget: Budget,
+    token: CancelToken,
+    watchdog: Option<Watchdog>,
 }
 
 impl TestRunner {
@@ -177,6 +228,9 @@ impl TestRunner {
             ctl: BitControl::new_enabled(),
             check_invariants: true,
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
+            token: CancelToken::new(),
+            watchdog: None,
         }
     }
 
@@ -186,7 +240,35 @@ impl TestRunner {
             ctl: BitControl::new(),
             check_invariants: false,
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
+            token: CancelToken::new(),
+            watchdog: None,
         }
+    }
+
+    /// Applies per-case execution limits. When the budget carries a
+    /// wall-clock deadline a watchdog thread is started; it cancels the
+    /// runner's [`CancelToken`] at the deadline, and cooperative
+    /// checkpoints (the mutation switch's read sites, or a component's own
+    /// [`CancelToken::checkpoint`] calls) unwind the hung execution back
+    /// to the `catch_unwind` boundary, where the case is classified
+    /// [`CaseStatus::DeadlineExceeded`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self.watchdog = budget.deadline.map(|_| Watchdog::spawn());
+        self
+    }
+
+    /// The per-case budget (unlimited unless [`TestRunner::with_budget`]).
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The cancellation token the watchdog trips at the deadline. Share
+    /// it with anything that should stop when a case overruns — the
+    /// mutation harness hands it to its `MutationSwitch`.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.token
     }
 
     /// Attaches a telemetry handle: suite/case spans, per-status case
@@ -219,12 +301,18 @@ impl TestRunner {
     ) -> SuiteResult {
         let _span = self.telemetry.span("suite", &suite.class_name);
         let mut cases = Vec::with_capacity(suite.len());
+        let mut notes = Vec::new();
         for case in suite {
-            cases.push(self.run_case(factory, case, log));
+            let result = self.run_case(factory, case, log);
+            if result.status.is_harness_stop() {
+                notes.push(format!("case {}: {}", result.case_id, result.status));
+            }
+            cases.push(result);
         }
         SuiteResult {
             class_name: suite.class_name.clone(),
             cases,
+            notes,
         }
     }
 
@@ -240,7 +328,17 @@ impl TestRunner {
         log: &mut TestLog,
     ) -> CaseResult {
         let span = self.telemetry.span("case", &case.name());
+        // Arm the deadline; the token is reset afterwards so a firing
+        // near the end of one case can never bleed into the next.
+        if let (Some(wd), Some(deadline)) = (&self.watchdog, self.budget.deadline) {
+            self.token.reset();
+            wd.arm(&self.token, deadline);
+        }
         let result = self.run_case_impl(factory, case, log);
+        if let Some(wd) = &self.watchdog {
+            wd.disarm();
+            self.token.reset();
+        }
         span.finish();
         if self.telemetry.is_enabled() {
             let ok = result
@@ -257,6 +355,8 @@ impl TestRunner {
                 CaseStatus::AssertionViolated { .. } => "case.assertion_violated",
                 CaseStatus::ExceptionRaised { .. } => "case.exception",
                 CaseStatus::Panicked { .. } => "case.panicked",
+                CaseStatus::DeadlineExceeded { .. } => "case.deadline_exceeded",
+                CaseStatus::BudgetExhausted { .. } => "case.budget_exhausted",
             });
         }
         result
@@ -308,21 +408,29 @@ impl TestRunner {
                 };
             }
             Err(panic) => {
+                let deadline = is_deadline_payload(panic.as_ref());
                 let message = panic_message(panic);
                 records.push(CallRecord {
                     call: ctor_render,
                     outcome: CallOutcome::Raised {
-                        tag: "PANIC".into(),
+                        tag: if deadline { "DEADLINE" } else { "PANIC" }.into(),
                         message: message.clone(),
                     },
                 });
                 log.log_failure(&case.name(), &case.constructor.render(), &message);
-                return CaseResult {
-                    case_id: case.id,
-                    status: CaseStatus::Panicked {
+                let status = if deadline {
+                    CaseStatus::DeadlineExceeded {
+                        at_call: call_index,
+                    }
+                } else {
+                    CaseStatus::Panicked {
                         message,
                         at_call: call_index,
-                    },
+                    }
+                };
+                return CaseResult {
+                    case_id: case.id,
+                    status,
                     transcript: Transcript {
                         records,
                         final_report: None,
@@ -358,12 +466,44 @@ impl TestRunner {
             }
         }
 
+        let mut transcript_bytes: usize = records.iter().map(record_size).sum();
         for call in &case.calls {
+            if let Some(max) = self.budget.max_calls {
+                if call_index >= max {
+                    log.log_failure(&case.name(), &call.render(), "call budget exhausted");
+                    return CaseResult {
+                        case_id: case.id,
+                        status: CaseStatus::BudgetExhausted {
+                            resource: BudgetResource::Calls,
+                            at_call: call_index,
+                        },
+                        transcript: Transcript {
+                            records,
+                            final_report: Some(component.reporter()),
+                        },
+                    };
+                }
+            }
             call_index += 1;
             let rendered = call.render();
             let invoked = catch_unwind(AssertUnwindSafe(|| {
                 component.invoke(&call.method, &call.args)
             }));
+            // The watchdog may have fired between checkpoints while the
+            // call still returned; honour the deadline either way.
+            if self.token.is_cancelled() && invoked.is_ok() {
+                log.log_failure(&case.name(), &rendered, "execution deadline exceeded");
+                return CaseResult {
+                    case_id: case.id,
+                    status: CaseStatus::DeadlineExceeded {
+                        at_call: call_index,
+                    },
+                    transcript: Transcript {
+                        records,
+                        final_report: None,
+                    },
+                };
+            }
             match invoked {
                 Ok(Ok(value)) => {
                     records.push(CallRecord {
@@ -391,24 +531,50 @@ impl TestRunner {
                     };
                 }
                 Err(panic) => {
+                    let deadline = is_deadline_payload(panic.as_ref());
                     let message = panic_message(panic);
                     records.push(CallRecord {
                         call: rendered.clone(),
                         outcome: CallOutcome::Raised {
-                            tag: "PANIC".into(),
+                            tag: if deadline { "DEADLINE" } else { "PANIC" }.into(),
                             message: message.clone(),
                         },
                     });
                     log.log_failure(&case.name(), &rendered, &message);
+                    let status = if deadline {
+                        CaseStatus::DeadlineExceeded {
+                            at_call: call_index,
+                        }
+                    } else {
+                        CaseStatus::Panicked {
+                            message,
+                            at_call: call_index,
+                        }
+                    };
                     return CaseResult {
                         case_id: case.id,
-                        status: CaseStatus::Panicked {
-                            message,
+                        status,
+                        transcript: Transcript {
+                            records,
+                            final_report: None,
+                        },
+                    };
+                }
+            }
+            if let Some(max) = self.budget.max_transcript_bytes {
+                transcript_bytes += records.last().map_or(0, record_size);
+                if transcript_bytes > max {
+                    let last_call = records.last().map_or("", |r| r.call.as_str()).to_owned();
+                    log.log_failure(&case.name(), &last_call, "transcript byte budget exhausted");
+                    return CaseResult {
+                        case_id: case.id,
+                        status: CaseStatus::BudgetExhausted {
+                            resource: BudgetResource::TranscriptBytes,
                             at_call: call_index,
                         },
                         transcript: Transcript {
                             records,
-                            final_report: None,
+                            final_report: Some(component.reporter()),
                         },
                     };
                 }
@@ -476,6 +642,22 @@ fn status_from_exception(exc: &TestException, at_call: usize) -> CaseStatus {
     }
 }
 
+/// Approximate transcript footprint of one record, for the byte budget.
+/// Returned values count a small constant; raised outcomes count their
+/// rendered tag + message (the parts that actually grow unbounded when a
+/// mutant spews output).
+fn record_size(record: &CallRecord) -> usize {
+    record.call.len()
+        + match &record.outcome {
+            CallOutcome::Returned(_) => 8,
+            CallOutcome::Raised { tag, message } => tag.len() + message.len(),
+        }
+}
+
+fn is_deadline_payload(panic: &(dyn std::any::Any + Send)) -> bool {
+    panic.downcast_ref::<&str>() == Some(&DEADLINE_PANIC_PAYLOAD)
+}
+
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -505,7 +687,9 @@ mod tests {
             "Chaos"
         }
         fn method_names(&self) -> Vec<&'static str> {
-            vec!["Add", "Corrupt", "Panic", "Refuse", "Total", "~Chaos"]
+            vec![
+                "Add", "Corrupt", "Panic", "Stall", "Refuse", "Total", "~Chaos",
+            ]
         }
         fn invoke(&mut self, m: &str, a: &[Value]) -> InvokeResult {
             match m {
@@ -518,6 +702,7 @@ mod tests {
                     Ok(Value::Null)
                 }
                 "Panic" => panic!("chaos reigns"),
+                "Stall" => std::panic::panic_any(DEADLINE_PANIC_PAYLOAD),
                 "Refuse" => Err(TestException::domain(m, "refused")),
                 "Total" => Ok(Value::Int(self.n)),
                 "~Chaos" => Ok(Value::Null),
@@ -637,6 +822,29 @@ mod tests {
     }
 
     #[test]
+    fn deadline_payload_is_classified_not_treated_as_crash() {
+        // Regression: the payload check must inspect the *panic payload*,
+        // not the Box around it — `&Box<dyn Any>` unsize-coerces to a
+        // `&dyn Any` whose concrete type is the Box, and every downcast
+        // fails, turning every deadline into a phantom component crash.
+        let runner = TestRunner::new();
+        let mut log = TestLog::new();
+        let case = case_with(vec![MethodCall::generated("m2", "Stall", vec![]), dtor()]);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        std::panic::set_hook(prev);
+        assert_eq!(r.status, CaseStatus::DeadlineExceeded { at_call: 1 });
+        assert_eq!(
+            r.transcript.records.last().map(|rec| match &rec.outcome {
+                CallOutcome::Raised { tag, .. } => tag.clone(),
+                other => format!("{other:?}"),
+            }),
+            Some("DEADLINE".into())
+        );
+    }
+
+    #[test]
     fn domain_exception_ends_case_with_report() {
         let runner = TestRunner::new();
         let mut log = TestLog::new();
@@ -730,5 +938,89 @@ mod tests {
             at_call: 2,
         };
         assert!(s.to_string().contains("boom"));
+        let d = CaseStatus::DeadlineExceeded { at_call: 3 };
+        assert!(d.to_string().contains("deadline"));
+        let b = CaseStatus::BudgetExhausted {
+            resource: BudgetResource::Calls,
+            at_call: 1,
+        };
+        assert!(b.to_string().contains("calls"));
+    }
+
+    #[test]
+    fn call_budget_stops_the_case() {
+        let runner = TestRunner::new().with_budget(Budget::unlimited().with_max_calls(1));
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Add", vec![Value::Int(1)]),
+            MethodCall::generated("m3", "Add", vec![Value::Int(1)]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        match &r.status {
+            CaseStatus::BudgetExhausted { resource, at_call } => {
+                assert_eq!(*resource, BudgetResource::Calls);
+                assert_eq!(*at_call, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(r.status.is_harness_stop());
+        // Constructor plus the single budgeted call made it in.
+        assert_eq!(r.transcript.records.len(), 2);
+        assert!(r.transcript.final_report.is_some(), "state still reported");
+    }
+
+    #[test]
+    fn transcript_byte_budget_stops_the_case() {
+        let runner =
+            TestRunner::new().with_budget(Budget::unlimited().with_max_transcript_bytes(1));
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Add", vec![Value::Int(1)]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        assert!(matches!(
+            r.status,
+            CaseStatus::BudgetExhausted {
+                resource: BudgetResource::TranscriptBytes,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn suite_notes_surface_harness_stops() {
+        let runner = TestRunner::new().with_budget(Budget::unlimited().with_max_calls(0));
+        let mut log = TestLog::new();
+        let suite = TestSuite {
+            class_name: "Chaos".into(),
+            seed: 0,
+            cases: vec![case_with(vec![dtor()])],
+            stats: Default::default(),
+        };
+        let result = runner.run_suite(&ChaosFactory, &suite, &mut log);
+        assert_eq!(result.harness_stops(), 1);
+        assert_eq!(result.notes.len(), 1);
+        assert!(
+            result.notes[0].contains("budget exhausted"),
+            "{:?}",
+            result.notes
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let runner = TestRunner::new().with_budget(Budget::unlimited());
+        assert!(runner.budget().is_unlimited());
+        assert!(!runner.cancel_token().is_cancelled());
+        let mut log = TestLog::new();
+        let case = case_with(vec![
+            MethodCall::generated("m2", "Add", vec![Value::Int(4)]),
+            dtor(),
+        ]);
+        let r = runner.run_case(&ChaosFactory, &case, &mut log);
+        assert!(r.status.is_pass());
+        assert!(!r.status.is_harness_stop());
     }
 }

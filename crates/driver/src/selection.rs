@@ -123,18 +123,20 @@ pub fn select_transactions(
         }
         SelectionCriterion::AllEdges => {
             let universe: BTreeSet<usize> = (0..tfm.edge_count()).collect();
+            // A step not matching any model edge would mean the
+            // transaction set and the TFM disagree; skip it (weakening
+            // coverage accounting) rather than panicking mid-selection.
             let edge_index = |from: usize, to: usize| {
                 tfm.edges()
                     .iter()
                     .position(|e| e.from.index() == from && e.to.index() == to)
-                    .expect("transaction steps follow model edges")
             };
             let items: Vec<BTreeSet<usize>> = set
                 .iter()
                 .map(|t| {
                     t.nodes
                         .windows(2)
-                        .map(|w| edge_index(w[0].index(), w[1].index()))
+                        .filter_map(|w| edge_index(w[0].index(), w[1].index()))
                         .collect()
                 })
                 .collect();

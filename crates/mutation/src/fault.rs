@@ -9,9 +9,9 @@
 //! active the component *is* the original program.
 
 use crate::operators::ReqConst;
-use concat_runtime::Value;
+use concat_runtime::{CancelToken, Value};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// What to substitute at the matched use site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,11 +113,24 @@ pub fn coerce_int(v: &Value) -> i64 {
     }
 }
 
+#[derive(Debug, Default)]
+struct SwitchState {
+    plan: Option<FaultPlan>,
+    cancel: Option<CancelToken>,
+}
+
 /// Shared mutation switch: the engine arms a plan, instrumented components
 /// consult it. Cloning shares the switch.
+///
+/// Every instrumented read is also a cooperative cancellation point: when
+/// a [`CancelToken`] is attached ([`MutationSwitch::set_cancel_token`])
+/// and trips — the runner's watchdog at a deadline — the next read
+/// unwinds via [`CancelToken::checkpoint`] instead of returning, which is
+/// what lets an infinite-loop mutant be interrupted and quarantined: any
+/// mutant-induced loop re-reads the mutated site each iteration.
 #[derive(Debug, Clone, Default)]
 pub struct MutationSwitch {
-    active: Arc<Mutex<Option<FaultPlan>>>,
+    active: Arc<Mutex<SwitchState>>,
 }
 
 impl MutationSwitch {
@@ -126,22 +139,37 @@ impl MutationSwitch {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, SwitchState> {
+        // The state is a plain plan/token pair; recovering from a poisoned
+        // lock keeps the switch usable after a panicking case.
+        self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Arms a fault plan (replacing any previous one).
     pub fn arm(&self, plan: FaultPlan) {
-        *self.active.lock().expect("mutation switch poisoned") = Some(plan);
+        self.lock().plan = Some(plan);
     }
 
     /// Disarms: back to the original program.
     pub fn disarm(&self) {
-        *self.active.lock().expect("mutation switch poisoned") = None;
+        self.lock().plan = None;
     }
 
     /// The currently armed plan, if any.
     pub fn armed(&self) -> Option<FaultPlan> {
-        self.active
-            .lock()
-            .expect("mutation switch poisoned")
-            .clone()
+        self.lock().plan.clone()
+    }
+
+    /// Attaches the cancellation token instrumented reads poll; pass the
+    /// runner's `TestRunner::cancel_token` so watchdog deadlines can
+    /// interrupt mutant-induced infinite loops.
+    pub fn set_cancel_token(&self, token: CancelToken) {
+        self.lock().cancel = Some(token);
+    }
+
+    /// Detaches any cancellation token.
+    pub fn clear_cancel_token(&self) {
+        self.lock().cancel = None;
     }
 
     /// Instrumented *integer* read of local `var` at `(method, site)`.
@@ -194,11 +222,19 @@ impl MutationSwitch {
     }
 
     fn matching_plan(&self, method: &str, site: u32) -> Option<FaultPlan> {
-        let guard = self.active.lock().expect("mutation switch poisoned");
-        match guard.as_ref() {
+        let guard = self.lock();
+        // Cooperative cancellation point: drop the guard first so the
+        // unwinding checkpoint can never poison the switch.
+        let cancelled = guard.cancel.clone();
+        let plan = match guard.plan.as_ref() {
             Some(p) if p.method == method && p.site == site => Some(p.clone()),
             _ => None,
+        };
+        drop(guard);
+        if let Some(token) = cancelled {
+            token.checkpoint();
         }
+        plan
     }
 }
 
@@ -332,6 +368,29 @@ mod tests {
         assert_eq!(coerce_int(&Value::Float(2.9)), 2);
         assert_eq!(coerce_int(&Value::Null), 0);
         assert_eq!(coerce_int(&Value::Str("9".into())), 0);
+    }
+
+    #[test]
+    fn cancelled_token_unwinds_instrumented_reads() {
+        use concat_runtime::{CancelToken, DEADLINE_PANIC_PAYLOAD};
+        let sw = MutationSwitch::new();
+        let token = CancelToken::new();
+        sw.set_cancel_token(token.clone());
+        assert_eq!(sw.read_int("M", 0, "i", 1, &VarEnv::new()), 1);
+        token.cancel();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(|| sw.read_int("M", 0, "i", 1, &VarEnv::new()));
+        std::panic::set_hook(prev);
+        let payload = r.unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&DEADLINE_PANIC_PAYLOAD)
+        );
+        // The switch survives the unwind (no poisoning) and can detach.
+        token.reset();
+        sw.clear_cancel_token();
+        assert_eq!(sw.read_int("M", 0, "i", 1, &VarEnv::new()), 1);
     }
 
     #[test]

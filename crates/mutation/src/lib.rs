@@ -50,6 +50,7 @@ mod operators;
 
 pub use analysis::{
     run_mutation_analysis, KillReason, MutantResult, MutantStatus, MutationConfig, MutationRun,
+    QuarantineReason,
 };
 pub use enumerate::{enumerate_mutants, expected_count, Mutant};
 pub use fault::{coerce_int, FaultPlan, MutationSwitch, Replacement, VarEnv};

@@ -2,7 +2,8 @@
 //!
 //! The paper's result tables have one row per target method showing mutant
 //! counts per operator, then summary rows: `#mutants`, `#killed`,
-//! `#equivalent` and the per-operator and total mutation scores.
+//! `#equivalent` (and, beyond the paper, `#quarantined` — mutants the
+//! harness stopped) and the per-operator and total mutation scores.
 
 use crate::analysis::{MutantResult, MutantStatus, MutationRun};
 use crate::operators::MutationOperator;
@@ -17,18 +18,21 @@ pub struct CellStats {
     pub killed: usize,
     /// Presumed-equivalent mutants.
     pub equivalent: usize,
+    /// Quarantined mutants (harness stops: deadline/budget/crashes).
+    pub quarantined: usize,
 }
 
 impl CellStats {
     /// Genuine survivors.
     pub fn survived(&self) -> usize {
-        self.mutants - self.killed - self.equivalent
+        self.mutants - self.killed - self.equivalent - self.quarantined
     }
 
-    /// The mutation score `killed / (mutants - equivalent)`; 1.0 when the
-    /// denominator is zero.
+    /// The mutation score `killed / (mutants - equivalent - quarantined)`;
+    /// 1.0 when the denominator is zero. Quarantined mutants produced no
+    /// verdict, so they leave the denominator like equivalents do.
     pub fn score(&self) -> f64 {
-        let denom = self.mutants - self.equivalent;
+        let denom = self.mutants - self.equivalent - self.quarantined;
         if denom == 0 {
             1.0
         } else {
@@ -46,6 +50,7 @@ impl CellStats {
         match r.status {
             MutantStatus::Killed { .. } => self.killed += 1,
             MutantStatus::PresumedEquivalent => self.equivalent += 1,
+            MutantStatus::Quarantined { .. } => self.quarantined += 1,
             MutantStatus::Survived => {}
         }
     }
@@ -109,6 +114,7 @@ impl MutationMatrix {
             agg.mutants += c.mutants;
             agg.killed += c.killed;
             agg.equivalent += c.equivalent;
+            agg.quarantined += c.quarantined;
         }
         agg
     }
@@ -122,6 +128,7 @@ impl MutationMatrix {
             agg.mutants += c.mutants;
             agg.killed += c.killed;
             agg.equivalent += c.equivalent;
+            agg.quarantined += c.quarantined;
         }
         agg
     }
@@ -163,6 +170,7 @@ mod tests {
             golden: SuiteResult {
                 class_name: "C".into(),
                 cases: vec![],
+                notes: vec![],
             },
         }
     }
@@ -241,8 +249,30 @@ mod tests {
             mutants: 700,
             killed: 652,
             equivalent: 19,
+            quarantined: 0,
         };
         // 652 / 681 = 0.9574… → 95.7 %
         assert_eq!(c.score_pct(), 95.7);
+    }
+
+    #[test]
+    fn quarantined_mutants_leave_the_denominator() {
+        let run = run_with(vec![
+            result("Sort1", MutationOperator::IndVarBitNeg, killed()),
+            result(
+                "Sort1",
+                MutationOperator::IndVarBitNeg,
+                MutantStatus::Quarantined {
+                    reason: crate::analysis::QuarantineReason::Timeout,
+                },
+            ),
+        ]);
+        let m = MutationMatrix::from_run(&run, &["Sort1"]);
+        let c = m.cell("Sort1", MutationOperator::IndVarBitNeg);
+        assert_eq!(c.mutants, 2);
+        assert_eq!(c.quarantined, 1);
+        assert_eq!(c.survived(), 0);
+        assert_eq!(c.score(), 1.0, "1 killed / (2 - 0 - 1)");
+        assert_eq!(m.overall().quarantined, 1);
     }
 }

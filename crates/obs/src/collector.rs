@@ -10,11 +10,38 @@
 //!   [`crate::Summary`].
 //! * [`JsonlSink`] — serializes one JSON object per line into any writer,
 //!   the interchange format future benchmark trajectories consume.
+//!
+//! Sinks are fail-safe on two axes. Lock poisoning is recovered, not
+//! propagated: a panicking instrumented thread must not take telemetry on
+//! every other thread down with it (recoveries are counted via
+//! `poisoned_recoveries`). And the [`JsonlSink`] retries transiently
+//! failing writes per its [`IoPolicy`]; once retries are exhausted it
+//! *degrades* into a counting null sink — subsequent events are dropped
+//! and counted instead of erroring the run they observe.
 
 use crate::event::Event;
 use crate::summary::Summary;
+use concat_runtime::IoPolicy;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The operation label under which [`JsonlSink`] writes consult the
+/// fault injector of their [`IoPolicy`].
+pub const JSONL_WRITE_OP: &str = "obs.jsonl.write";
+
+fn recover<'a, T: ?Sized>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+    recoveries: &AtomicU64,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|poisoned| {
+        // The protected data (an event vector / a line writer) is valid
+        // after any interrupted append; recovering keeps telemetry alive
+        // when an instrumented thread panics mid-record.
+        recoveries.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
 
 /// A thread-safe event sink.
 pub trait Collector: Send + Sync {
@@ -56,6 +83,7 @@ impl Collector for NullSink {
 #[derive(Debug, Default)]
 pub struct MemorySink {
     events: Mutex<Vec<Event>>,
+    poisoned_recoveries: AtomicU64,
 }
 
 impl MemorySink {
@@ -64,14 +92,18 @@ impl MemorySink {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, Vec<Event>> {
+        recover(self.events.lock(), &self.poisoned_recoveries)
+    }
+
     /// A snapshot of every recorded event, in arrival order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.lock().clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink poisoned").len()
+        self.lock().len()
     }
 
     /// True when nothing was recorded.
@@ -79,11 +111,14 @@ impl MemorySink {
         self.len() == 0
     }
 
+    /// How many times a poisoned lock was recovered.
+    pub fn poisoned_recoveries(&self) -> u64 {
+        self.poisoned_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Sum of all increments of one counter.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
+        self.lock()
             .iter()
             .filter_map(|e| match e {
                 Event::Counter { name: n, delta } if *n == name => Some(*delta),
@@ -94,9 +129,7 @@ impl MemorySink {
 
     /// Number of *completed* spans of one kind.
     pub fn span_count(&self, kind: &str) -> usize {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
+        self.lock()
             .iter()
             .filter(|e| matches!(e, Event::SpanEnd { kind: k, .. } if *k == kind))
             .count()
@@ -104,58 +137,91 @@ impl MemorySink {
 
     /// Last-set value of one gauge.
     pub fn gauge_value(&self, name: &str) -> Option<i64> {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
-            .iter()
-            .rev()
-            .find_map(|e| match e {
-                Event::Gauge { name: n, value } if *n == name => Some(*value),
-                _ => None,
-            })
+        self.lock().iter().rev().find_map(|e| match e {
+            Event::Gauge { name: n, value } if *n == name => Some(*value),
+            _ => None,
+        })
     }
 
     /// Aggregates everything recorded so far.
     pub fn summary(&self) -> Summary {
-        Summary::from_events(self.events.lock().expect("memory sink poisoned").iter())
+        Summary::from_events(self.lock().iter())
     }
 
     /// Drops all recorded events.
     pub fn clear(&self) {
-        self.events.lock().expect("memory sink poisoned").clear();
+        self.lock().clear();
     }
 }
 
 impl Collector for MemorySink {
     fn record(&self, event: Event) {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
-            .push(event);
+        self.lock().push(event);
     }
 }
 
 /// A sink writing one JSON object per line to any writer.
 ///
-/// Write errors are swallowed: telemetry is advisory and must never fail
-/// the run it observes (the paper's driver likewise treats `Result.txt`
-/// as best-effort output).
+/// Telemetry is advisory and must never fail the run it observes (the
+/// paper's driver likewise treats `Result.txt` as best-effort output), so
+/// the failure policy is *retry, then degrade*: transient write errors
+/// retry per the sink's [`IoPolicy`]; once a write fails for good the
+/// sink flips to a degraded mode in which later events are dropped and
+/// counted ([`JsonlSink::dropped_events`]) rather than attempted.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     writer: Mutex<W>,
+    policy: IoPolicy,
+    degraded: AtomicBool,
+    dropped: AtomicU64,
+    retries: AtomicU64,
+    poisoned_recoveries: AtomicU64,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer.
+    /// Wraps a writer with the default policy (3 attempts, no injection).
     pub fn new(writer: W) -> Self {
+        Self::with_policy(writer, IoPolicy::default())
+    }
+
+    /// Wraps a writer with an explicit retry/fault-injection policy.
+    pub fn with_policy(writer: W, policy: IoPolicy) -> Self {
         JsonlSink {
             writer: Mutex::new(writer),
+            policy,
+            degraded: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            poisoned_recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// True once a write failed past its retry budget; the sink now drops
+    /// (and counts) events instead of writing.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped since the sink degraded.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total write retries performed (successful or not).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// How many times a poisoned lock was recovered.
+    pub fn poisoned_recoveries(&self) -> u64 {
+        self.poisoned_recoveries.load(Ordering::Relaxed)
     }
 
     /// Unwraps the writer (flushing is the caller's business).
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().expect("jsonl sink poisoned")
+        self.writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -165,22 +231,42 @@ impl JsonlSink<Vec<u8>> {
         JsonlSink::new(Vec::new())
     }
 
+    /// An in-memory JSONL sink with an explicit policy (chaos tests).
+    pub fn in_memory_with_policy(policy: IoPolicy) -> Self {
+        JsonlSink::with_policy(Vec::new(), policy)
+    }
+
     /// The UTF-8 contents written so far.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.writer.lock().expect("jsonl sink poisoned")).into_owned()
+        String::from_utf8_lossy(&recover(self.writer.lock(), &self.poisoned_recoveries))
+            .into_owned()
     }
 }
 
 impl<W: Write + Send> Collector for JsonlSink<W> {
     fn record(&self, event: Event) {
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
-        let _ = writeln!(w, "{}", event.to_json());
+        if self.is_degraded() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let line = event.to_json();
+        let mut w = recover(self.writer.lock(), &self.poisoned_recoveries);
+        let attempt = self.policy.run(JSONL_WRITE_OP, || writeln!(w, "{line}"));
+        drop(w);
+        self.retries
+            .fetch_add(u64::from(attempt.retries), Ordering::Relaxed);
+        if attempt.result.is_err() {
+            // Exhausted or non-transient: become a counting null sink.
+            self.degraded.store(true, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use concat_runtime::{FaultInjector, FaultKind, RetryPolicy};
 
     #[test]
     fn null_sink_reports_null() {
@@ -222,6 +308,7 @@ mod tests {
         assert_eq!(sink.span_count("k"), 1);
         assert_eq!(sink.len(), 5);
         assert!(!sink.is_empty());
+        assert_eq!(sink.poisoned_recoveries(), 0);
         sink.clear();
         assert!(sink.is_empty());
     }
@@ -241,7 +328,65 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(!sink.is_degraded());
+        assert_eq!(sink.dropped_events(), 0);
         let bytes = sink.into_inner();
         assert_eq!(String::from_utf8(bytes).unwrap(), text);
+    }
+
+    #[test]
+    fn jsonl_sink_retries_transient_write_failures() {
+        let injector = FaultInjector::seeded(3);
+        injector.fail_next(JSONL_WRITE_OP, 2, FaultKind::Transient);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let sink = JsonlSink::in_memory_with_policy(policy);
+        sink.record(Event::Counter {
+            name: "a",
+            delta: 1,
+        });
+        assert!(!sink.is_degraded(), "retries absorbed the faults");
+        assert_eq!(sink.retries(), 2);
+        assert_eq!(sink.contents().lines().count(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_degrades_to_counting_drops() {
+        let injector = FaultInjector::seeded(3);
+        injector.fail_always(JSONL_WRITE_OP, FaultKind::Persistent);
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector,
+        };
+        let sink = JsonlSink::in_memory_with_policy(policy);
+        for _ in 0..4 {
+            sink.record(Event::Counter {
+                name: "a",
+                delta: 1,
+            });
+        }
+        assert!(sink.is_degraded());
+        assert_eq!(sink.dropped_events(), 4);
+        assert_eq!(sink.contents(), "", "nothing was written");
+    }
+
+    #[test]
+    fn poisoned_memory_sink_recovers_and_counts() {
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let for_thread = std::sync::Arc::clone(&sink);
+        // Poison the events mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = for_thread.events.lock().unwrap();
+            panic!("poison the sink");
+        })
+        .join();
+        sink.record(Event::Counter {
+            name: "after",
+            delta: 1,
+        });
+        assert_eq!(sink.counter_total("after"), 1);
+        assert!(sink.poisoned_recoveries() >= 1);
     }
 }

@@ -39,6 +39,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod collector;
 mod event;
@@ -46,7 +48,7 @@ mod histogram;
 mod summary;
 mod telemetry;
 
-pub use collector::{Collector, JsonlSink, MemorySink, NullSink};
+pub use collector::{Collector, JsonlSink, MemorySink, NullSink, JSONL_WRITE_OP};
 pub use event::{escape_json, Event};
 pub use histogram::{Histogram, BUCKET_BOUNDS_NANOS};
 pub use summary::{SpanStats, Summary};

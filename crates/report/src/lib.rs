@@ -11,6 +11,8 @@
 //! * [`Comparison`] — paper-vs-measured records feeding EXPERIMENTS.md;
 //! * [`render_telemetry_summary`] — timing/counter tables over a
 //!   `concat-obs` [`concat_obs::Summary`];
+//! * [`render_harness_health`] — the fail-safe execution counters
+//!   (retries, degraded sinks, quarantined mutants, budget stops);
 //! * [`render_model_metrics_table`] — per-class TFM size figures.
 
 #![forbid(unsafe_code)]
@@ -26,4 +28,4 @@ pub use mutation_tables::{
     render_mutant_catalog, render_operator_table, render_score_table, summarize_run,
 };
 pub use table::{Align, AsciiTable};
-pub use telemetry::{render_model_metrics_table, render_telemetry_summary};
+pub use telemetry::{render_harness_health, render_model_metrics_table, render_telemetry_summary};

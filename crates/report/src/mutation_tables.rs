@@ -61,6 +61,7 @@ pub fn render_score_table(title: &str, matrix: &MutationMatrix) -> String {
     t.row(summary("#mutants", &|c| c.mutants.to_string()));
     t.row(summary("#killed", &|c| c.killed.to_string()));
     t.row(summary("#equivalent", &|c| c.equivalent.to_string()));
+    t.row(summary("#quarantined", &|c| c.quarantined.to_string()));
     t.row(summary("Score", &|c| format!("{:.1}%", c.score_pct())));
     format!("{title}\n{}", t.render())
 }
@@ -99,23 +100,32 @@ pub fn render_mutant_catalog(mutants: &[Mutant]) -> String {
 /// the share of kills owed to the assertion partial oracle — the paper's
 /// "59 of the 652 mutants killed were due to assertion violation").
 pub fn summarize_run(run: &MutationRun) -> String {
-    format!(
+    let mut s = format!(
         "{} mutants: {} killed ({} by assertion violation), {} presumed equivalent, \
-         {} survived; mutation score {:.1}%",
+         {} survived",
         run.total(),
         run.killed(),
         run.killed_by_assertion(),
         run.equivalent(),
         run.survived(),
-        run.score() * 100.0
-    )
+    );
+    if run.quarantined() > 0 {
+        s.push_str(&format!(
+            ", {} quarantined (excluded from score)",
+            run.quarantined()
+        ));
+    }
+    s.push_str(&format!("; mutation score {:.1}%", run.score() * 100.0));
+    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use concat_driver::SuiteResult;
-    use concat_mutation::{FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, Replacement};
+    use concat_mutation::{
+        FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, QuarantineReason, Replacement,
+    };
 
     fn run() -> MutationRun {
         let mk = |method: &str, op: MutationOperator, status: MutantStatus| MutantResult {
@@ -156,10 +166,18 @@ mod tests {
                     MutationOperator::IndVarRepLoc,
                     MutantStatus::Survived,
                 ),
+                mk(
+                    "FindMax",
+                    MutationOperator::IndVarRepLoc,
+                    MutantStatus::Quarantined {
+                        reason: QuarantineReason::Timeout,
+                    },
+                ),
             ],
             golden: SuiteResult {
                 class_name: "C".into(),
                 cases: vec![],
+                notes: vec![],
             },
         }
     }
@@ -185,6 +203,7 @@ mod tests {
         assert!(s.contains("#mutants"));
         assert!(s.contains("#killed"));
         assert!(s.contains("#equivalent"));
+        assert!(s.contains("#quarantined"));
         assert!(s.contains("Score"));
         assert!(s.contains("IndVarRepReq"));
     }
@@ -193,7 +212,7 @@ mod tests {
     fn mutant_catalog_lists_every_mutant() {
         let mutants: Vec<Mutant> = run().results.into_iter().map(|r| r.mutant).collect();
         let s = render_mutant_catalog(&mutants);
-        assert!(s.contains("Mutant catalogue (4 mutants)"));
+        assert!(s.contains("Mutant catalogue (5 mutants)"));
         assert!(s.contains("IndVarBitNeg"));
         assert!(s.contains("Sort1"));
         assert!(s.contains("~(value)"));
@@ -202,9 +221,20 @@ mod tests {
     #[test]
     fn summary_mentions_assertion_kills() {
         let s = summarize_run(&run());
-        assert!(s.contains("4 mutants"));
+        assert!(s.contains("5 mutants"));
         assert!(s.contains("2 killed (1 by assertion violation)"));
         assert!(s.contains("1 presumed equivalent"));
         assert!(s.contains("1 survived"));
+        assert!(s.contains("1 quarantined (excluded from score)"));
+        assert!(s.contains("mutation score"));
+    }
+
+    #[test]
+    fn summary_omits_quarantine_when_none() {
+        let mut r = run();
+        r.results.pop(); // drop the quarantined mutant
+        let s = summarize_run(&r);
+        assert!(!s.contains("quarantined"));
+        assert!(s.contains("mutation score"));
     }
 }

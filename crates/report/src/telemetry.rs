@@ -78,6 +78,35 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
     out
 }
 
+/// The hardening counters surfaced by [`render_harness_health`], with a
+/// short description each. Listed explicitly (rather than filtering the
+/// summary by prefix) so a healthy run still renders every row with an
+/// explicit `0` — absence of evidence is made visible.
+const HARNESS_COUNTERS: [(&str, &str); 5] = [
+    ("harden.retry", "I/O retries after transient failures"),
+    ("harden.degraded", "sinks degraded after retry exhaustion"),
+    ("mutation.quarantined", "mutants excluded from the score"),
+    (
+        "case.deadline_exceeded",
+        "test cases stopped by the watchdog",
+    ),
+    ("case.budget_exhausted", "test cases stopped by a budget"),
+];
+
+/// Renders the fail-safe execution health table: retry, degradation,
+/// quarantine and budget counters from a telemetry [`Summary`]. Every
+/// row is always present — a zero means the mechanism was armed and
+/// never fired, which is the expected healthy reading.
+pub fn render_harness_health(title: &str, summary: &Summary) -> String {
+    let mut t = AsciiTable::new(vec!["Counter".into(), "Total".into(), "Meaning".into()]);
+    t.align(1, crate::table::Align::Right);
+    for (name, meaning) in HARNESS_COUNTERS {
+        let total = summary.counters.get(name).copied().unwrap_or(0);
+        t.row(vec![name.into(), total.to_string(), meaning.into()]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
 /// Renders one row per subject class with its TFM size and complexity
 /// figures: nodes, links, births/deaths, transaction count, cyclomatic
 /// complexity, and transaction path lengths.
@@ -164,6 +193,35 @@ mod tests {
         assert!(s.contains("gen.transactions"));
         assert!(s.contains("P95"));
         assert!(s.contains("1.0us"), "min duration rendered: {s}");
+    }
+
+    #[test]
+    fn harness_health_lists_every_counter_with_explicit_zeros() {
+        let s = render_harness_health("Harness health", &Summary::default());
+        assert!(s.starts_with("Harness health\n"));
+        for (name, _) in HARNESS_COUNTERS {
+            assert!(s.contains(name), "{name} row missing: {s}");
+        }
+        assert!(s.contains(" 0 |"), "zeros rendered explicitly: {s}");
+    }
+
+    #[test]
+    fn harness_health_shows_recorded_totals() {
+        let events = vec![
+            Event::Counter {
+                name: "harden.retry",
+                delta: 3,
+            },
+            Event::Counter {
+                name: "mutation.quarantined",
+                delta: 2,
+            },
+        ];
+        let summary = Summary::from_events(&events);
+        let s = render_harness_health("Harness health", &summary);
+        assert!(s.contains(" 3 |"), "retry total: {s}");
+        assert!(s.contains(" 2 |"), "quarantine total: {s}");
+        assert!(s.contains("harden.degraded"), "zero rows kept: {s}");
     }
 
     #[test]

@@ -1,0 +1,943 @@
+//! Fail-safe execution primitives: budgets, cancellation, watchdog,
+//! deterministic fault injection and retry policies.
+//!
+//! The paper's premise is that a self-testable component must keep
+//! producing a *verdict* even when the implementation under test
+//! misbehaves: a mutant that hangs, blows a resource bound or corrupts
+//! state has to be classified, not allowed to take the campaign down.
+//! This module is the harness's own fault model:
+//!
+//! * [`Budget`] — per-test-case execution limits (call count, transcript
+//!   bytes, wall-clock deadline);
+//! * [`CancelToken`] / [`Watchdog`] — cooperative cancellation armed by a
+//!   watchdog thread; instrumented read sites and harness checkpoints
+//!   poll the token and unwind with [`DEADLINE_PANIC_PAYLOAD`], which the
+//!   driver's `catch_unwind` boundary converts into a terminal outcome;
+//! * [`FaultInjector`] — a deterministic (SplitMix64-seeded) environment
+//!   fault source, so the harness's *own* degradation paths are testable;
+//! * [`RetryPolicy`] / [`IoPolicy`] — bounded-exponential-backoff retry
+//!   for transiently failing I/O, the building block of the pipeline's
+//!   retry-then-degrade behaviour.
+//!
+//! Everything here is deterministic given a seed: identical arming plus
+//! identical operation sequences yield identical injected faults.
+
+use crate::rng::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Panic payload used for deadline unwinding.
+///
+/// When a [`CancelToken`] checkpoint finds the token cancelled it panics
+/// with exactly this payload; the driver's `catch_unwind` boundary
+/// recognizes it and classifies the case as *deadline exceeded* rather
+/// than a component crash.
+pub const DEADLINE_PANIC_PAYLOAD: &str = "concat-harden: execution deadline exceeded";
+
+fn recover<'a, T: ?Sized>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A panic while holding one of these short critical sections leaves
+    // the data fully written; recovering the guard keeps the fail-safe
+    // layer itself panic-free.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Budget
+// ---------------------------------------------------------------------------
+
+/// Execution limits for one test case. Unlimited by default.
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::unlimited()
+///     .with_max_calls(100)
+///     .with_deadline(Duration::from_secs(2));
+/// assert_eq!(b.max_calls, Some(100));
+/// assert!(Budget::unlimited().is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum number of task-method calls executed per case.
+    pub max_calls: Option<usize>,
+    /// Maximum (approximate) transcript size per case, in bytes.
+    pub max_transcript_bytes: Option<usize>,
+    /// Wall-clock deadline per case, enforced by a [`Watchdog`].
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits — the historical behaviour.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-case call limit.
+    pub fn with_max_calls(mut self, n: usize) -> Self {
+        self.max_calls = Some(n);
+        self
+    }
+
+    /// Sets the per-case transcript byte limit.
+    pub fn with_max_transcript_bytes(mut self, n: usize) -> Self {
+        self.max_transcript_bytes = Some(n);
+        self
+    }
+
+    /// Sets the per-case wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetResource {
+    /// The per-case call limit.
+    Calls,
+    /// The per-case transcript byte limit.
+    TranscriptBytes,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Calls => f.write_str("calls"),
+            BudgetResource::TranscriptBytes => f.write_str("transcript bytes"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken + Watchdog
+// ---------------------------------------------------------------------------
+
+/// A shared cancellation flag polled by instrumented code.
+///
+/// Cancellation is *cooperative*: the harness cannot kill a thread, so a
+/// hung execution is interrupted at the next point that polls the token —
+/// every `MutationSwitch` read site does, as may any long-running
+/// component loop via [`CancelToken::checkpoint`].
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::CancelToken;
+///
+/// let t = CancelToken::new();
+/// assert!(!t.is_cancelled());
+/// t.cancel();
+/// assert!(t.is_cancelled());
+/// t.reset();
+/// t.checkpoint(); // no-op while not cancelled
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once [`CancelToken::cancel`] was called (until reset).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the flag (the runner re-arms per test case).
+    pub fn reset(&self) {
+        self.cancelled.store(false, Ordering::Relaxed);
+    }
+
+    /// Cooperative cancellation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`DEADLINE_PANIC_PAYLOAD`] when the token is
+    /// cancelled, unwinding the hung execution back to the harness's
+    /// `catch_unwind` boundary, where it is classified — the panic is the
+    /// mechanism, not a failure.
+    pub fn checkpoint(&self) {
+        if self.is_cancelled() {
+            std::panic::panic_any(DEADLINE_PANIC_PAYLOAD);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WatchdogJob {
+    deadline: Instant,
+    token: CancelToken,
+}
+
+#[derive(Debug, Default)]
+struct WatchdogState {
+    job: Option<WatchdogJob>,
+    fired: u64,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct WatchdogShared {
+    state: Mutex<WatchdogState>,
+    cv: Condvar,
+}
+
+/// A watchdog thread that cancels a [`CancelToken`] at a deadline.
+///
+/// One watchdog serves many consecutive executions: the runner re-arms it
+/// per test case (a mutex handshake, not a thread spawn). Arming replaces
+/// any pending job, so a stale deadline from a finished case can never
+/// cancel the next one.
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::{CancelToken, Watchdog};
+/// use std::time::Duration;
+///
+/// let wd = Watchdog::spawn();
+/// let token = CancelToken::new();
+/// wd.arm(&token, Duration::from_millis(10));
+/// while !token.is_cancelled() {
+///     std::thread::sleep(Duration::from_millis(1));
+/// }
+/// assert_eq!(wd.fired(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread.
+    ///
+    /// If the OS refuses to spawn a thread the watchdog degrades to a
+    /// no-op (deadlines go unenforced rather than aborting the harness).
+    pub fn spawn() -> Self {
+        let shared = Arc::new(WatchdogShared::default());
+        let for_thread = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("concat-watchdog".into())
+            .spawn(move || Self::run(&for_thread))
+            .ok();
+        Watchdog { shared, thread }
+    }
+
+    fn run(shared: &WatchdogShared) {
+        let mut state = recover(shared.state.lock());
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let wait_for = match &state.job {
+                None => None,
+                Some(job) => {
+                    let now = Instant::now();
+                    if now >= job.deadline {
+                        job.token.cancel();
+                        state.fired += 1;
+                        state.job = None;
+                        continue;
+                    }
+                    Some(job.deadline - now)
+                }
+            };
+            state = match wait_for {
+                Some(d) => recover(
+                    shared
+                        .cv
+                        .wait_timeout(state, d)
+                        .map(|(g, _)| g)
+                        .map_err(|e| PoisonError::new(e.into_inner().0)),
+                ),
+                None => recover(shared.cv.wait(state)),
+            };
+        }
+    }
+
+    /// Arms the watchdog: `token` is cancelled once `timeout` elapses,
+    /// unless [`Watchdog::disarm`] is called first. Re-arming replaces any
+    /// pending deadline.
+    pub fn arm(&self, token: &CancelToken, timeout: Duration) {
+        let mut state = recover(self.shared.state.lock());
+        state.job = Some(WatchdogJob {
+            deadline: Instant::now() + timeout,
+            token: token.clone(),
+        });
+        drop(state);
+        self.shared.cv.notify_all();
+    }
+
+    /// Clears any pending deadline.
+    pub fn disarm(&self) {
+        let mut state = recover(self.shared.state.lock());
+        state.job = None;
+        drop(state);
+        self.shared.cv.notify_all();
+    }
+
+    /// Number of deadlines that actually fired.
+    pub fn fired(&self) -> u64 {
+        recover(self.shared.state.lock()).fired
+    }
+
+    /// True when the background thread is running.
+    pub fn is_running(&self) -> bool {
+        self.thread.is_some()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        {
+            let mut state = recover(self.shared.state.lock());
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+/// Whether an injected fault models a transient or a persistent failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Goes away on retry (maps to [`io::ErrorKind::Interrupted`]).
+    Transient,
+    /// Stays broken (maps to [`io::ErrorKind::Other`]).
+    Persistent,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => f.write_str("transient"),
+            FaultKind::Persistent => f.write_str("persistent"),
+        }
+    }
+}
+
+/// A fault produced by the [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The operation label the fault was injected into.
+    pub op: String,
+    /// Transient or persistent.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected {} fault in `{}`", self.kind, self.op)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+impl InjectedFault {
+    /// Converts into the `io::Error` the faulted operation would report.
+    pub fn into_io_error(self) -> io::Error {
+        let kind = match self.kind {
+            FaultKind::Transient => io::ErrorKind::Interrupted,
+            FaultKind::Persistent => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, self.to_string())
+    }
+}
+
+#[derive(Debug)]
+enum FailMode {
+    /// Fail exactly the `nth` evaluation of the op (1-based), once.
+    Nth(u64),
+    /// Fail the next `remaining` evaluations.
+    Next(u64),
+    /// Fail every evaluation.
+    Always,
+    /// Fail each evaluation independently with probability `p` drawn from
+    /// the injector's seeded RNG.
+    Probability(f64),
+}
+
+#[derive(Debug)]
+struct ArmedFault {
+    op: String,
+    mode: FailMode,
+    kind: FaultKind,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OpStats {
+    evaluations: u64,
+    injected: u64,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: Rng,
+    arms: Vec<ArmedFault>,
+    stats: BTreeMap<String, OpStats>,
+}
+
+/// A deterministic environment fault source.
+///
+/// I/O sites in the pipeline (telemetry sinks, `Result.txt` writes, suite
+/// persistence) consult an injector before touching the real environment;
+/// chaos tests arm it to make those sites fail on demand. The default
+/// injector is disabled and free: `check` on it is a single `Option`
+/// test.
+///
+/// Clones share state, so a test can keep a handle while the pipeline
+/// holds another. All scheduling is deterministic: `fail_nth` counts
+/// evaluations, and `fail_with_probability` draws from the in-repo
+/// SplitMix64 seeded at construction.
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::{FaultInjector, FaultKind};
+///
+/// let inj = FaultInjector::seeded(7);
+/// inj.fail_nth("sink.write", 2, FaultKind::Transient);
+/// assert!(inj.check("sink.write").is_ok());
+/// assert!(inj.check("sink.write").is_err()); // the 2nd evaluation
+/// assert!(inj.check("sink.write").is_ok());
+/// assert_eq!(inj.injected("sink.write"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Mutex<InjectorState>>>,
+}
+
+impl FaultInjector {
+    /// The disabled injector: never fails anything, costs one branch.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled injector seeded for deterministic probability draws.
+    pub fn seeded(seed: u64) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(Mutex::new(InjectorState {
+                rng: Rng::seed_from_u64(seed),
+                arms: Vec::new(),
+                stats: BTreeMap::new(),
+            }))),
+        }
+    }
+
+    /// True when faults can be armed (i.e. not the disabled handle).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_state<T>(&self, f: impl FnOnce(&mut InjectorState) -> T) -> Option<T> {
+        self.inner.as_ref().map(|m| f(&mut recover(m.lock())))
+    }
+
+    fn arm(&self, op: &str, mode: FailMode, kind: FaultKind) {
+        self.with_state(|s| {
+            s.arms.push(ArmedFault {
+                op: op.to_owned(),
+                mode,
+                kind,
+            });
+        });
+    }
+
+    /// Fails the `nth` evaluation (1-based) of `op`, once.
+    pub fn fail_nth(&self, op: &str, nth: u64, kind: FaultKind) {
+        self.arm(op, FailMode::Nth(nth), kind);
+    }
+
+    /// Fails the next `count` evaluations of `op`.
+    pub fn fail_next(&self, op: &str, count: u64, kind: FaultKind) {
+        self.arm(op, FailMode::Next(count), kind);
+    }
+
+    /// Fails every evaluation of `op`.
+    pub fn fail_always(&self, op: &str, kind: FaultKind) {
+        self.arm(op, FailMode::Always, kind);
+    }
+
+    /// Fails each evaluation of `op` independently with probability `p`
+    /// (clamped to `[0, 1]`), drawn from the seeded RNG.
+    pub fn fail_with_probability(&self, op: &str, p: f64, kind: FaultKind) {
+        self.arm(op, FailMode::Probability(p.clamp(0.0, 1.0)), kind);
+    }
+
+    /// Evaluates one operation: `Ok(())` to proceed, `Err` when a fault
+    /// fires. Counts every evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`InjectedFault`] of the first armed fault that fires
+    /// for this evaluation.
+    pub fn check(&self, op: &str) -> Result<(), InjectedFault> {
+        let Some(fired) = self.with_state(|s| {
+            let stats = s.stats.entry(op.to_owned()).or_default();
+            stats.evaluations += 1;
+            let evaluation = stats.evaluations;
+            let mut fired: Option<FaultKind> = None;
+            let rng = &mut s.rng;
+            for arm in s.arms.iter_mut().filter(|a| a.op == op) {
+                let fire = match &mut arm.mode {
+                    FailMode::Nth(n) => evaluation == *n,
+                    FailMode::Next(remaining) => {
+                        if *remaining > 0 {
+                            *remaining -= 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FailMode::Always => true,
+                    FailMode::Probability(p) => rng.float_in(0.0, 1.0) < *p,
+                };
+                if fire {
+                    fired = Some(arm.kind);
+                    break;
+                }
+            }
+            if fired.is_some() {
+                // `entry` above may have moved; re-fetch to bump the count.
+                if let Some(stats) = s.stats.get_mut(op) {
+                    stats.injected += 1;
+                }
+            }
+            fired
+        }) else {
+            return Ok(());
+        };
+        match fired {
+            Some(kind) => Err(InjectedFault {
+                op: op.to_owned(),
+                kind,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`FaultInjector::check`], as an `io::Result` for I/O sites.
+    ///
+    /// # Errors
+    ///
+    /// The fired fault converted via [`InjectedFault::into_io_error`].
+    pub fn check_io(&self, op: &str) -> io::Result<()> {
+        self.check(op).map_err(InjectedFault::into_io_error)
+    }
+
+    /// How many times `op` was evaluated.
+    pub fn evaluations(&self, op: &str) -> u64 {
+        self.with_state(|s| s.stats.get(op).map_or(0, |st| st.evaluations))
+            .unwrap_or(0)
+    }
+
+    /// How many faults fired for `op`.
+    pub fn injected(&self, op: &str) -> u64 {
+        self.with_state(|s| s.stats.get(op).map_or(0, |st| st.injected))
+            .unwrap_or(0)
+    }
+
+    /// Total faults fired across all operations.
+    pub fn total_injected(&self) -> u64 {
+        self.with_state(|s| s.stats.values().map(|st| st.injected).sum())
+            .unwrap_or(0)
+    }
+
+    /// Disarms every fault (statistics are kept).
+    pub fn clear(&self) {
+        self.with_state(|s| s.arms.clear());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+// ---------------------------------------------------------------------------
+
+/// True for `io::Error` kinds worth retrying.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded exponential backoff for transient I/O failures.
+///
+/// # Examples
+///
+/// ```
+/// use concat_runtime::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let p = RetryPolicy::default();
+/// assert_eq!(p.max_attempts, 3);
+/// assert!(p.backoff_delay(10) <= p.max_delay);
+/// let fast = RetryPolicy::no_delay(5); // tests: no sleeping
+/// assert_eq!(fast.backoff_delay(3), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Cap on the per-retry delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries without sleeping (chaos tests).
+    pub fn no_delay(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The delay before retry number `retry` (1-based): `base * 2^(retry-1)`,
+    /// capped at `max_delay`.
+    pub fn backoff_delay(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// The result of running an operation under an [`IoPolicy`].
+#[derive(Debug)]
+pub struct IoAttempt<T> {
+    /// Final result: the success value, or the last error after retries
+    /// were exhausted (or a non-transient error was seen).
+    pub result: io::Result<T>,
+    /// Total attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries performed (`attempts - 1`).
+    pub retries: u32,
+}
+
+impl<T> IoAttempt<T> {
+    /// True when the operation ultimately succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Retry policy plus fault injector: everything an I/O site needs to be
+/// both fail-safe and chaos-testable.
+#[derive(Debug, Clone, Default)]
+pub struct IoPolicy {
+    /// How to retry transient failures.
+    pub retry: RetryPolicy,
+    /// The environment fault source (disabled by default).
+    pub injector: FaultInjector,
+}
+
+impl IoPolicy {
+    /// A policy with the given retry schedule and no fault injection.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        IoPolicy {
+            retry,
+            injector: FaultInjector::disabled(),
+        }
+    }
+
+    /// A policy with the given injector and the default retry schedule.
+    pub fn with_injector(injector: FaultInjector) -> Self {
+        IoPolicy {
+            retry: RetryPolicy::default(),
+            injector,
+        }
+    }
+
+    /// Sets the injector.
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Runs `f`, retrying transient failures per the policy. The injector
+    /// is consulted before each attempt under the label `op`; an injected
+    /// fault replaces the attempt.
+    ///
+    /// Non-transient errors and exhausted budgets end the loop; the caller
+    /// decides whether to propagate or degrade.
+    pub fn run<T>(&self, op: &str, mut f: impl FnMut() -> io::Result<T>) -> IoAttempt<T> {
+        let max = self.retry.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let outcome = match self.injector.check_io(op) {
+                Ok(()) => f(),
+                Err(injected) => Err(injected),
+            };
+            match outcome {
+                Ok(v) => {
+                    return IoAttempt {
+                        result: Ok(v),
+                        attempts,
+                        retries: attempts - 1,
+                    }
+                }
+                Err(e) => {
+                    if attempts >= max || !is_transient_io(&e) {
+                        return IoAttempt {
+                            result: Err(e),
+                            attempts,
+                            retries: attempts - 1,
+                        };
+                    }
+                    let delay = self.retry.backoff_delay(attempts);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_builders_and_default() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        let b = b
+            .with_max_calls(3)
+            .with_max_transcript_bytes(1024)
+            .with_deadline(Duration::from_secs(1));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_calls, Some(3));
+        assert_eq!(b.max_transcript_bytes, Some(1024));
+        assert_eq!(b.deadline, Some(Duration::from_secs(1)));
+        assert_eq!(BudgetResource::Calls.to_string(), "calls");
+        assert_eq!(
+            BudgetResource::TranscriptBytes.to_string(),
+            "transcript bytes"
+        );
+    }
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        t.checkpoint(); // must not panic
+        clone.cancel();
+        assert!(t.is_cancelled());
+        t.reset();
+        assert!(!clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_checkpoint_panics_with_payload() {
+        let t = CancelToken::new();
+        t.cancel();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(|| t.checkpoint());
+        std::panic::set_hook(prev);
+        let payload = r.unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&DEADLINE_PANIC_PAYLOAD)
+        );
+    }
+
+    #[test]
+    fn watchdog_fires_at_deadline() {
+        let wd = Watchdog::spawn();
+        assert!(wd.is_running());
+        let token = CancelToken::new();
+        wd.arm(&token, Duration::from_millis(5));
+        let start = Instant::now();
+        while !token.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(5), "watchdog hung");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(wd.fired(), 1);
+    }
+
+    #[test]
+    fn disarmed_watchdog_does_not_fire() {
+        let wd = Watchdog::spawn();
+        let token = CancelToken::new();
+        wd.arm(&token, Duration::from_millis(30));
+        wd.disarm();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!token.is_cancelled());
+        assert_eq!(wd.fired(), 0);
+    }
+
+    #[test]
+    fn rearming_replaces_the_deadline() {
+        let wd = Watchdog::spawn();
+        let stale = CancelToken::new();
+        wd.arm(&stale, Duration::from_millis(10));
+        let fresh = CancelToken::new();
+        wd.arm(&fresh, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!stale.is_cancelled(), "replaced job must not fire");
+        assert!(fresh.is_cancelled());
+        assert_eq!(wd.fired(), 1);
+    }
+
+    #[test]
+    fn disabled_injector_never_fails() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        inj.fail_always("x", FaultKind::Persistent); // no-op
+        assert!(inj.check("x").is_ok());
+        assert_eq!(inj.evaluations("x"), 0);
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn nth_next_and_always_modes() {
+        let inj = FaultInjector::seeded(1);
+        inj.fail_nth("a", 2, FaultKind::Transient);
+        assert!(inj.check("a").is_ok());
+        let fault = inj.check("a").unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Transient);
+        assert!(inj.check("a").is_ok());
+
+        inj.fail_next("b", 2, FaultKind::Persistent);
+        assert!(inj.check("b").is_err());
+        assert!(inj.check("b").is_err());
+        assert!(inj.check("b").is_ok());
+
+        inj.fail_always("c", FaultKind::Persistent);
+        for _ in 0..5 {
+            assert!(inj.check("c").is_err());
+        }
+        assert_eq!(inj.evaluations("a"), 3);
+        assert_eq!(inj.injected("a"), 1);
+        assert_eq!(inj.injected("b"), 2);
+        assert_eq!(inj.injected("c"), 5);
+        assert_eq!(inj.total_injected(), 8);
+        inj.clear();
+        assert!(inj.check("c").is_ok());
+    }
+
+    #[test]
+    fn probability_mode_is_deterministic_per_seed() {
+        let trace = |seed| {
+            let inj = FaultInjector::seeded(seed);
+            inj.fail_with_probability("p", 0.5, FaultKind::Transient);
+            (0..32).map(|_| inj.check("p").is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(trace(42), trace(42), "same seed, same faults");
+        assert_ne!(trace(42), trace(43), "different seed, different faults");
+    }
+
+    #[test]
+    fn injected_fault_maps_to_io_kinds() {
+        let t = InjectedFault {
+            op: "w".into(),
+            kind: FaultKind::Transient,
+        };
+        assert!(is_transient_io(&t.clone().into_io_error()));
+        let p = InjectedFault {
+            op: "w".into(),
+            kind: FaultKind::Persistent,
+        };
+        let e = p.into_io_error();
+        assert!(!is_transient_io(&e));
+        assert!(e.to_string().contains("persistent fault in `w`"));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(3),
+            injector: FaultInjector::seeded(0),
+        };
+        policy.injector.fail_next("op", 2, FaultKind::Transient);
+        let attempt = policy.run("op", || Ok::<_, io::Error>(7));
+        assert_eq!(attempt.result.unwrap(), 7);
+        assert_eq!(attempt.attempts, 3);
+        assert_eq!(attempt.retries, 2);
+    }
+
+    #[test]
+    fn retry_gives_up_on_persistent_failures_immediately() {
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(5),
+            injector: FaultInjector::seeded(0),
+        };
+        policy.injector.fail_always("op", FaultKind::Persistent);
+        let attempt = policy.run("op", || Ok::<_, io::Error>(()));
+        assert!(attempt.result.is_err());
+        assert_eq!(attempt.attempts, 1, "persistent errors are not retried");
+    }
+
+    #[test]
+    fn retry_exhausts_on_endless_transients() {
+        let policy = IoPolicy {
+            retry: RetryPolicy::no_delay(4),
+            injector: FaultInjector::seeded(0),
+        };
+        policy.injector.fail_always("op", FaultKind::Transient);
+        let attempt = policy.run("op", || Ok::<_, io::Error>(()));
+        assert!(attempt.result.is_err());
+        assert_eq!(attempt.attempts, 4);
+        assert_eq!(attempt.retries, 3);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff_delay(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_delay(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_delay(3), Duration::from_millis(8));
+        assert_eq!(p.backoff_delay(4), Duration::from_millis(10), "capped");
+        assert_eq!(p.backoff_delay(30), Duration::from_millis(10));
+    }
+}

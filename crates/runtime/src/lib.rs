@@ -42,15 +42,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod component;
 mod error;
+mod harden;
 mod literal;
 mod rng;
 mod value;
 
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
+pub use harden::{
+    is_transient_io, Budget, BudgetResource, CancelToken, FaultInjector, FaultKind, InjectedFault,
+    IoAttempt, IoPolicy, RetryPolicy, Watchdog, DEADLINE_PANIC_PAYLOAD,
+};
 pub use literal::{parse_value_literal, ParseValueError};
 pub use rng::Rng;
 pub use value::{ObjRef, Value, ValueKind};

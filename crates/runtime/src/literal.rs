@@ -91,7 +91,9 @@ impl<'a> Cursor<'a> {
                 s.push(c);
                 self.chars.next();
                 if (c == 'e' || c == 'E') && matches!(self.chars.peek(), Some('+') | Some('-')) {
-                    s.push(self.chars.next().expect("peeked"));
+                    if let Some(sign) = self.chars.next() {
+                        s.push(sign);
+                    }
                 }
             } else {
                 break;

@@ -68,6 +68,9 @@ fn main() {
             }
             MutantStatus::Survived => "SURVIVED (a genuine test-suite escape)".to_owned(),
             MutantStatus::PresumedEquivalent => "presumed equivalent".to_owned(),
+            MutantStatus::Quarantined { reason } => {
+                format!("QUARANTINED ({reason}; excluded from score)")
+            }
         };
         println!("  {:55} {verdict}", result.mutant.to_string());
     }

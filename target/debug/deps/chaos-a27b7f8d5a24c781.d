@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a27b7f8d5a24c781.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a27b7f8d5a24c781: tests/chaos.rs
+
+tests/chaos.rs:

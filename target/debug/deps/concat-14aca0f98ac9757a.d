@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat-14aca0f98ac9757a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat-14aca0f98ac9757a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

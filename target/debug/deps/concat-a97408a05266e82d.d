@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat-a97408a05266e82d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-a97408a05266e82d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconcat-a97408a05266e82d.rmeta: src/lib.rs
+
+src/lib.rs:

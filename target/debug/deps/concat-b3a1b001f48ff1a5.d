@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat-b3a1b001f48ff1a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/concat-b3a1b001f48ff1a5: src/lib.rs
+
+src/lib.rs:

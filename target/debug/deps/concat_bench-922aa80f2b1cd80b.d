@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_bench-922aa80f2b1cd80b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_bench-922aa80f2b1cd80b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

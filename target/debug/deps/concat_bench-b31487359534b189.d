@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/concat_bench-b31487359534b189.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-b31487359534b189.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconcat_bench-b31487359534b189.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concat_bench-d0e6620b1355f456.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/concat_bench-d0e6620b1355f456: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_bit-334cad84ff2bfac0.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/debug/deps/libconcat_bit-334cad84ff2bfac0.rlib: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/debug/deps/libconcat_bit-334cad84ff2bfac0.rmeta: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_bit-564bcfda4152a7d1.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/debug/deps/concat_bit-564bcfda4152a7d1: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:

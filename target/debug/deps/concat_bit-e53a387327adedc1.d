@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_bit-e53a387327adedc1.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_bit-e53a387327adedc1.rmeta: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs Cargo.toml
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

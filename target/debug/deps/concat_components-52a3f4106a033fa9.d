@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/concat_components-52a3f4106a033fa9.d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_components-52a3f4106a033fa9.rmeta: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs Cargo.toml
+
+crates/components/src/lib.rs:
+crates/components/src/arena.rs:
+crates/components/src/oblist.rs:
+crates/components/src/product.rs:
+crates/components/src/sortable.rs:
+crates/components/src/stack.rs:
+crates/components/src/stockdb.rs:
+crates/components/src/typed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

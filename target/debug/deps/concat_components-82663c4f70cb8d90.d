@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/concat_components-82663c4f70cb8d90.d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/debug/deps/concat_components-82663c4f70cb8d90: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+crates/components/src/lib.rs:
+crates/components/src/arena.rs:
+crates/components/src/oblist.rs:
+crates/components/src/product.rs:
+crates/components/src/sortable.rs:
+crates/components/src/stack.rs:
+crates/components/src/stockdb.rs:
+crates/components/src/typed.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/concat_core-bcb9d2beffc2627f.d: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_core-bcb9d2beffc2627f.rmeta: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assess.rs:
+crates/core/src/bundle.rs:
+crates/core/src/consumer.rs:
+crates/core/src/interclass.rs:
+crates/core/src/producer.rs:
+crates/core/src/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_core-f97d41fab0f35516.d: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs
+
+/root/repo/target/debug/deps/libconcat_core-f97d41fab0f35516.rlib: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs
+
+/root/repo/target/debug/deps/libconcat_core-f97d41fab0f35516.rmeta: crates/core/src/lib.rs crates/core/src/assess.rs crates/core/src/bundle.rs crates/core/src/consumer.rs crates/core/src/interclass.rs crates/core/src/producer.rs crates/core/src/regression.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assess.rs:
+crates/core/src/bundle.rs:
+crates/core/src/consumer.rs:
+crates/core/src/interclass.rs:
+crates/core/src/producer.rs:
+crates/core/src/regression.rs:

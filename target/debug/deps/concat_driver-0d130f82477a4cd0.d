@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/concat_driver-0d130f82477a4cd0.d: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs
+
+/root/repo/target/debug/deps/concat_driver-0d130f82477a4cd0: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/generator.rs:
+crates/driver/src/history.rs:
+crates/driver/src/inputs.rs:
+crates/driver/src/log.rs:
+crates/driver/src/oracle.rs:
+crates/driver/src/persist.rs:
+crates/driver/src/render.rs:
+crates/driver/src/retarget.rs:
+crates/driver/src/runner.rs:
+crates/driver/src/selection.rs:
+crates/driver/src/testcase.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/concat_driver-9a4f5da09c4d86bd.d: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_driver-9a4f5da09c4d86bd.rmeta: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs Cargo.toml
+
+crates/driver/src/lib.rs:
+crates/driver/src/generator.rs:
+crates/driver/src/history.rs:
+crates/driver/src/inputs.rs:
+crates/driver/src/log.rs:
+crates/driver/src/oracle.rs:
+crates/driver/src/persist.rs:
+crates/driver/src/render.rs:
+crates/driver/src/retarget.rs:
+crates/driver/src/runner.rs:
+crates/driver/src/selection.rs:
+crates/driver/src/testcase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/concat_mutation-69bd9abec233a10d.d: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_mutation-69bd9abec233a10d.rmeta: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs Cargo.toml
+
+crates/mutation/src/lib.rs:
+crates/mutation/src/analysis.rs:
+crates/mutation/src/enumerate.rs:
+crates/mutation/src/fault.rs:
+crates/mutation/src/inventory.rs:
+crates/mutation/src/matrix.rs:
+crates/mutation/src/operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

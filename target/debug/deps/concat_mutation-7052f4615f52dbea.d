@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_mutation-7052f4615f52dbea.d: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+/root/repo/target/debug/deps/concat_mutation-7052f4615f52dbea: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+crates/mutation/src/lib.rs:
+crates/mutation/src/analysis.rs:
+crates/mutation/src/enumerate.rs:
+crates/mutation/src/fault.rs:
+crates/mutation/src/inventory.rs:
+crates/mutation/src/matrix.rs:
+crates/mutation/src/operators.rs:

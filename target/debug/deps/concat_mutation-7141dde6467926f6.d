@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/concat_mutation-7141dde6467926f6.d: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+/root/repo/target/debug/deps/libconcat_mutation-7141dde6467926f6.rlib: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+/root/repo/target/debug/deps/libconcat_mutation-7141dde6467926f6.rmeta: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+crates/mutation/src/lib.rs:
+crates/mutation/src/analysis.rs:
+crates/mutation/src/enumerate.rs:
+crates/mutation/src/fault.rs:
+crates/mutation/src/inventory.rs:
+crates/mutation/src/matrix.rs:
+crates/mutation/src/operators.rs:

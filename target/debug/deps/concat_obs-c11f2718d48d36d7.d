@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/concat_obs-c11f2718d48d36d7.d: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcat_obs-c11f2718d48d36d7.rmeta: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/collector.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/concat_obs-e5a9be1c27aa37f1.d: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_obs-e5a9be1c27aa37f1.rlib: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_obs-e5a9be1c27aa37f1.rmeta: crates/obs/src/lib.rs crates/obs/src/collector.rs crates/obs/src/event.rs crates/obs/src/histogram.rs crates/obs/src/summary.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/collector.rs:
+crates/obs/src/event.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/telemetry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/concat_report-4c684302baa80f26.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_report-4c684302baa80f26.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/debug/deps/libconcat_report-4c684302baa80f26.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:
+crates/report/src/telemetry.rs:

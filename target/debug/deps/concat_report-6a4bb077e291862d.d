@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concat_report-6a4bb077e291862d.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/debug/deps/concat_report-6a4bb077e291862d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:
+crates/report/src/telemetry.rs:

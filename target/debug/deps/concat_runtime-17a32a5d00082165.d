@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/concat_runtime-17a32a5d00082165.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/concat_runtime-17a32a5d00082165.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libconcat_runtime-17a32a5d00082165.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libconcat_runtime-17a32a5d00082165.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs Cargo.toml
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/component.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/harden.rs:
 crates/runtime/src/literal.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/value.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/concat_runtime-380956dc1d8c246a.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/debug/deps/concat_runtime-380956dc1d8c246a.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
-/root/repo/target/debug/deps/libconcat_runtime-380956dc1d8c246a.rlib: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/debug/deps/libconcat_runtime-380956dc1d8c246a.rlib: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
-/root/repo/target/debug/deps/libconcat_runtime-380956dc1d8c246a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/debug/deps/libconcat_runtime-380956dc1d8c246a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/component.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/harden.rs:
 crates/runtime/src/literal.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/value.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/concat_runtime-f37e20f6bd822d71.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/debug/deps/concat_runtime-f37e20f6bd822d71.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
-/root/repo/target/debug/deps/concat_runtime-f37e20f6bd822d71: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/debug/deps/concat_runtime-f37e20f6bd822d71: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/component.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/harden.rs:
 crates/runtime/src/literal.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/value.rs:

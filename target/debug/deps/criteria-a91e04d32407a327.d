@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criteria-a91e04d32407a327.d: crates/bench/benches/criteria.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriteria-a91e04d32407a327.rmeta: crates/bench/benches/criteria.rs Cargo.toml
+
+crates/bench/benches/criteria.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-74508a1d6a053359.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-74508a1d6a053359.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

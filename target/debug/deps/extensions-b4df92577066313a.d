@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b4df92577066313a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b4df92577066313a: tests/extensions.rs
+
+tests/extensions.rs:

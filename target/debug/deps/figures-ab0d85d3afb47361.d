@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ab0d85d3afb47361.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-ab0d85d3afb47361: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation_pipeline-c0d3e09a451a009f.d: tests/mutation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation_pipeline-c0d3e09a451a009f.rmeta: tests/mutation_pipeline.rs Cargo.toml
+
+tests/mutation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

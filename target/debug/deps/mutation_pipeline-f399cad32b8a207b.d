@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation_pipeline-f399cad32b8a207b.d: tests/mutation_pipeline.rs
+
+/root/repo/target/debug/deps/mutation_pipeline-f399cad32b8a207b: tests/mutation_pipeline.rs
+
+tests/mutation_pipeline.rs:

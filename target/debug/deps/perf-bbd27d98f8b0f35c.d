@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf-bbd27d98f8b0f35c.d: crates/bench/benches/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf-bbd27d98f8b0f35c.rmeta: crates/bench/benches/perf.rs Cargo.toml
+
+crates/bench/benches/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_components-054ae4483705cce3.d: tests/pipeline_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_components-054ae4483705cce3.rmeta: tests/pipeline_components.rs Cargo.toml
+
+tests/pipeline_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-db96be610ecb1e08.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/pipeline_components-db96be610ecb1e08: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

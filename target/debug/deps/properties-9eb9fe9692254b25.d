@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9eb9fe9692254b25.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9eb9fe9692254b25: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_flows-9b06d837d4a76759.d: tests/reuse_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_flows-9b06d837d4a76759.rmeta: tests/reuse_flows.rs Cargo.toml
+
+tests/reuse_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_flows-ac867e50e1ef3d07.d: tests/reuse_flows.rs
+
+/root/repo/target/debug/deps/reuse_flows-ac867e50e1ef3d07: tests/reuse_flows.rs
+
+tests/reuse_flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-04bf7efab0bcb0e7.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-04bf7efab0bcb0e7.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-dc3a793455fdecf4.d: crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-dc3a793455fdecf4.rmeta: crates/bench/benches/table2.rs Cargo.toml
+
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

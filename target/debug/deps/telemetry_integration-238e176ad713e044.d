@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_integration-238e176ad713e044.d: crates/obs/tests/telemetry_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_integration-238e176ad713e044.rmeta: crates/obs/tests/telemetry_integration.rs Cargo.toml
+
+crates/obs/tests/telemetry_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_integration-c200b26274558861.d: crates/obs/tests/telemetry_integration.rs
+
+/root/repo/target/debug/deps/telemetry_integration-c200b26274558861: crates/obs/tests/telemetry_integration.rs
+
+crates/obs/tests/telemetry_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_pipeline-503a064645b4b044.d: tests/telemetry_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_pipeline-503a064645b4b044.rmeta: tests/telemetry_pipeline.rs Cargo.toml
+
+tests/telemetry_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

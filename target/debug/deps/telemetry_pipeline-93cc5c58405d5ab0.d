@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_pipeline-93cc5c58405d5ab0.d: tests/telemetry_pipeline.rs
+
+/root/repo/target/debug/deps/telemetry_pipeline-93cc5c58405d5ab0: tests/telemetry_pipeline.rs
+
+tests/telemetry_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_chaos-9513547f67fcd42d.d: examples/dbg_chaos.rs
+
+/root/repo/target/debug/examples/dbg_chaos-9513547f67fcd42d: examples/dbg_chaos.rs
+
+examples/dbg_chaos.rs:

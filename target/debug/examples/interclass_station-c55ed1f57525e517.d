@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interclass_station-c55ed1f57525e517.d: examples/interclass_station.rs
+
+/root/repo/target/debug/examples/interclass_station-c55ed1f57525e517: examples/interclass_station.rs
+
+examples/interclass_station.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interclass_station-e7710bf83208c914.d: examples/interclass_station.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterclass_station-e7710bf83208c914.rmeta: examples/interclass_station.rs Cargo.toml
+
+examples/interclass_station.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

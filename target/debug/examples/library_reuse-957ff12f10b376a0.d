@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_reuse-957ff12f10b376a0.d: examples/library_reuse.rs
+
+/root/repo/target/debug/examples/library_reuse-957ff12f10b376a0: examples/library_reuse.rs
+
+examples/library_reuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_reuse-d1f21c935ba202a4.d: examples/library_reuse.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_reuse-d1f21c935ba202a4.rmeta: examples/library_reuse.rs Cargo.toml
+
+examples/library_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutation_demo-11007394dded6690.d: examples/mutation_demo.rs
+
+/root/repo/target/debug/examples/mutation_demo-11007394dded6690: examples/mutation_demo.rs
+
+examples/mutation_demo.rs:

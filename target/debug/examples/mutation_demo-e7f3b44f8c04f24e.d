@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mutation_demo-e7f3b44f8c04f24e.d: examples/mutation_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmutation_demo-e7f3b44f8c04f24e.rmeta: examples/mutation_demo.rs Cargo.toml
+
+examples/mutation_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

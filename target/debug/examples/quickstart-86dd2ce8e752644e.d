@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-86dd2ce8e752644e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-86dd2ce8e752644e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stock_control-a8b8b5228f2fef07.d: examples/stock_control.rs
+
+/root/repo/target/debug/examples/stock_control-a8b8b5228f2fef07: examples/stock_control.rs
+
+examples/stock_control.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stock_control-bf72507b86806fdf.d: examples/stock_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstock_control-bf72507b86806fdf.rmeta: examples/stock_control.rs Cargo.toml
+
+examples/stock_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

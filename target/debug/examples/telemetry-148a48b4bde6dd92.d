@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telemetry-148a48b4bde6dd92.d: examples/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelemetry-148a48b4bde6dd92.rmeta: examples/telemetry.rs Cargo.toml
+
+examples/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

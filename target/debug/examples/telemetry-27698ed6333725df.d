@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry-27698ed6333725df.d: examples/telemetry.rs
+
+/root/repo/target/debug/examples/telemetry-27698ed6333725df: examples/telemetry.rs
+
+examples/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-10608b2f8b29c70b.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-10608b2f8b29c70b: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

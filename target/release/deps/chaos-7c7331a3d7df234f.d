@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-7c7331a3d7df234f.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-7c7331a3d7df234f: tests/chaos.rs
+
+tests/chaos.rs:

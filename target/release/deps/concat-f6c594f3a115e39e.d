@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/concat-f6c594f3a115e39e.d: src/lib.rs
+
+/root/repo/target/release/deps/libconcat-f6c594f3a115e39e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconcat-f6c594f3a115e39e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/concat_bench-90683f9e484729bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconcat_bench-90683f9e484729bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconcat_bench-90683f9e484729bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/concat_bit-e1d2e0f02f8d26ca.d: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/release/deps/libconcat_bit-e1d2e0f02f8d26ca.rlib: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+/root/repo/target/release/deps/libconcat_bit-e1d2e0f02f8d26ca.rmeta: crates/bit/src/lib.rs crates/bit/src/assertions.rs crates/bit/src/built_in_test.rs crates/bit/src/control.rs crates/bit/src/report.rs
+
+crates/bit/src/lib.rs:
+crates/bit/src/assertions.rs:
+crates/bit/src/built_in_test.rs:
+crates/bit/src/control.rs:
+crates/bit/src/report.rs:

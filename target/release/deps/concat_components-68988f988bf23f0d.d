@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/concat_components-68988f988bf23f0d.d: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/release/deps/libconcat_components-68988f988bf23f0d.rlib: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+/root/repo/target/release/deps/libconcat_components-68988f988bf23f0d.rmeta: crates/components/src/lib.rs crates/components/src/arena.rs crates/components/src/oblist.rs crates/components/src/product.rs crates/components/src/sortable.rs crates/components/src/stack.rs crates/components/src/stockdb.rs crates/components/src/typed.rs
+
+crates/components/src/lib.rs:
+crates/components/src/arena.rs:
+crates/components/src/oblist.rs:
+crates/components/src/product.rs:
+crates/components/src/sortable.rs:
+crates/components/src/stack.rs:
+crates/components/src/stockdb.rs:
+crates/components/src/typed.rs:

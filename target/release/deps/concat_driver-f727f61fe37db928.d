@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/concat_driver-f727f61fe37db928.d: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs
+
+/root/repo/target/release/deps/libconcat_driver-f727f61fe37db928.rlib: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs
+
+/root/repo/target/release/deps/libconcat_driver-f727f61fe37db928.rmeta: crates/driver/src/lib.rs crates/driver/src/generator.rs crates/driver/src/history.rs crates/driver/src/inputs.rs crates/driver/src/log.rs crates/driver/src/oracle.rs crates/driver/src/persist.rs crates/driver/src/render.rs crates/driver/src/retarget.rs crates/driver/src/runner.rs crates/driver/src/selection.rs crates/driver/src/testcase.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/generator.rs:
+crates/driver/src/history.rs:
+crates/driver/src/inputs.rs:
+crates/driver/src/log.rs:
+crates/driver/src/oracle.rs:
+crates/driver/src/persist.rs:
+crates/driver/src/render.rs:
+crates/driver/src/retarget.rs:
+crates/driver/src/runner.rs:
+crates/driver/src/selection.rs:
+crates/driver/src/testcase.rs:

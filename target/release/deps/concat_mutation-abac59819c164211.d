@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/concat_mutation-abac59819c164211.d: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+/root/repo/target/release/deps/libconcat_mutation-abac59819c164211.rlib: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+/root/repo/target/release/deps/libconcat_mutation-abac59819c164211.rmeta: crates/mutation/src/lib.rs crates/mutation/src/analysis.rs crates/mutation/src/enumerate.rs crates/mutation/src/fault.rs crates/mutation/src/inventory.rs crates/mutation/src/matrix.rs crates/mutation/src/operators.rs
+
+crates/mutation/src/lib.rs:
+crates/mutation/src/analysis.rs:
+crates/mutation/src/enumerate.rs:
+crates/mutation/src/fault.rs:
+crates/mutation/src/inventory.rs:
+crates/mutation/src/matrix.rs:
+crates/mutation/src/operators.rs:

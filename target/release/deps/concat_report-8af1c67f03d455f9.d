@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/concat_report-8af1c67f03d455f9.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_report-8af1c67f03d455f9.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+/root/repo/target/release/deps/libconcat_report-8af1c67f03d455f9.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/mutation_tables.rs crates/report/src/table.rs crates/report/src/telemetry.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/mutation_tables.rs:
+crates/report/src/table.rs:
+crates/report/src/telemetry.rs:

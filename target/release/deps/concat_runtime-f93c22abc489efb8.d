@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/concat_runtime-f93c22abc489efb8.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/release/deps/concat_runtime-f93c22abc489efb8.d: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
-/root/repo/target/release/deps/libconcat_runtime-f93c22abc489efb8.rlib: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/release/deps/libconcat_runtime-f93c22abc489efb8.rlib: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
-/root/repo/target/release/deps/libconcat_runtime-f93c22abc489efb8.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
+/root/repo/target/release/deps/libconcat_runtime-f93c22abc489efb8.rmeta: crates/runtime/src/lib.rs crates/runtime/src/component.rs crates/runtime/src/error.rs crates/runtime/src/harden.rs crates/runtime/src/literal.rs crates/runtime/src/rng.rs crates/runtime/src/value.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/component.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/harden.rs:
 crates/runtime/src/literal.rs:
 crates/runtime/src/rng.rs:
 crates/runtime/src/value.rs:

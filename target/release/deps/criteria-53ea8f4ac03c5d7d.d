@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criteria-53ea8f4ac03c5d7d.d: crates/bench/benches/criteria.rs
+
+/root/repo/target/release/deps/criteria-53ea8f4ac03c5d7d: crates/bench/benches/criteria.rs
+
+crates/bench/benches/criteria.rs:

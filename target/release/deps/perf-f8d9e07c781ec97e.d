@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf-f8d9e07c781ec97e.d: crates/bench/benches/perf.rs
+
+/root/repo/target/release/deps/perf-f8d9e07c781ec97e: crates/bench/benches/perf.rs
+
+crates/bench/benches/perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5364cd1cdd3dae91.d: crates/bench/benches/table2.rs
+
+/root/repo/target/release/deps/table2-5364cd1cdd3dae91: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-f41838569fdc7643.d: crates/bench/benches/table3.rs
+
+/root/repo/target/release/deps/table3-f41838569fdc7643: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

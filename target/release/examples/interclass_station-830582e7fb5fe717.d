@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interclass_station-830582e7fb5fe717.d: examples/interclass_station.rs
+
+/root/repo/target/release/examples/interclass_station-830582e7fb5fe717: examples/interclass_station.rs
+
+examples/interclass_station.rs:

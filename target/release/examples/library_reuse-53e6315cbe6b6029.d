@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/library_reuse-53e6315cbe6b6029.d: examples/library_reuse.rs
+
+/root/repo/target/release/examples/library_reuse-53e6315cbe6b6029: examples/library_reuse.rs
+
+examples/library_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mutation_demo-39f0b5f36404bd4c.d: examples/mutation_demo.rs
+
+/root/repo/target/release/examples/mutation_demo-39f0b5f36404bd4c: examples/mutation_demo.rs
+
+examples/mutation_demo.rs:

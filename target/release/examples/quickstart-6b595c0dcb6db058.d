@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6b595c0dcb6db058.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6b595c0dcb6db058: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stock_control-05749365cfe0260f.d: examples/stock_control.rs
+
+/root/repo/target/release/examples/stock_control-05749365cfe0260f: examples/stock_control.rs
+
+examples/stock_control.rs:

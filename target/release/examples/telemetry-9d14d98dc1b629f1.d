@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry-9d14d98dc1b629f1.d: examples/telemetry.rs
+
+/root/repo/target/release/examples/telemetry-9d14d98dc1b629f1: examples/telemetry.rs
+
+examples/telemetry.rs:
