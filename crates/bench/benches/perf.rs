@@ -14,10 +14,12 @@
 //! Run with: `cargo bench -p concat-bench --bench perf`
 
 use concat_bench::{coblist_bundle, sortable_bundle, SEED};
-use concat_components::{sortable_inventory, sortable_spec};
+use concat_components::{sortable_inventory, sortable_spec, CSortableObListFactory};
 use concat_core::Consumer;
 use concat_driver::{TestLog, TestRunner};
-use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig};
+use concat_mutation::{
+    enumerate_mutants, run_mutation_analysis, run_mutation_analysis_parallel, MutationConfig,
+};
 use concat_obs::{NullSink, Telemetry};
 use concat_tfm::{enumerate_transactions, NodeKind, Tfm};
 use std::hint::black_box;
@@ -149,6 +151,31 @@ fn main() {
             );
             black_box(run.killed());
         }),
+    );
+
+    // Parallel engine smoke: one-shot wall-clock, workers=1 vs workers=4,
+    // on the same findmax workload. This subject is CPU-bound, so the
+    // figures document merge/spawn overhead rather than a speedup (the
+    // stall-prone subject in examples/mutation_demo.rs shows the speedup);
+    // the verdict check guards the deterministic merge under bench load.
+    let shards = CSortableObListFactory::default();
+    let mut smoke = Vec::new();
+    for workers in [1usize, 4] {
+        let config = MutationConfig {
+            workers,
+            ..MutationConfig::default()
+        };
+        let t0 = Instant::now();
+        let run = run_mutation_analysis_parallel(&shards, &small, &mutants, &config);
+        smoke.push((run, t0.elapsed()));
+    }
+    assert_eq!(
+        smoke[0].0.results, smoke[1].0.results,
+        "parallel smoke: verdicts must not depend on the worker count"
+    );
+    println!(
+        "mutation/findmax parallel smoke: workers=1 {:?}, workers=4 {:?} (verdicts identical)",
+        smoke[0].1, smoke[1].1
     );
 
     let spec = sortable_spec();

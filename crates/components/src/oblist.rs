@@ -14,7 +14,7 @@
 
 use crate::arena::{BadLink, NodeArena, NIL};
 use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
-use concat_mutation::{ClassInventory, MethodInventory, MutationSwitch, VarEnv};
+use concat_mutation::{ClassInventory, ClonableFactory, MethodInventory, MutationSwitch, VarEnv};
 use concat_runtime::{
     args, unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
 };
@@ -617,6 +617,16 @@ impl ComponentFactory for CObListFactory {
             },
             other => Err(unknown_method(CObList::CLASS, other)),
         }
+    }
+}
+
+impl ClonableFactory for CObListFactory {
+    fn class_name(&self) -> &str {
+        CObList::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(CObListFactory::new(switch.clone()))
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::oblist::{coblist_inventory, CObList, WATCHDOG};
 use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat_driver::InheritanceMap;
-use concat_mutation::{ClassInventory, MethodInventory, MutationSwitch, VarEnv};
+use concat_mutation::{ClassInventory, ClonableFactory, MethodInventory, MutationSwitch, VarEnv};
 use concat_runtime::{
     args, unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
 };
@@ -531,6 +531,16 @@ impl ComponentFactory for CSortableObListFactory {
             },
             other => Err(unknown_method(CSortableObList::CLASS, other)),
         }
+    }
+}
+
+impl ClonableFactory for CSortableObListFactory {
+    fn class_name(&self) -> &str {
+        CSortableObList::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(CSortableObListFactory::new(switch.clone()))
     }
 }
 

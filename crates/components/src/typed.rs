@@ -13,7 +13,7 @@
 use crate::oblist::CObList;
 use concat_bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat_driver::InheritanceMap;
-use concat_mutation::MutationSwitch;
+use concat_mutation::{ClonableFactory, MutationSwitch};
 use concat_runtime::{
     args, unknown_method, AssertionViolation, Component, InvokeResult, TestException, Value,
 };
@@ -151,6 +151,16 @@ impl ComponentFactory for CTypedObListFactory {
             }
             other => Err(unknown_method(CTypedObList::CLASS, other)),
         }
+    }
+}
+
+impl ClonableFactory for CTypedObListFactory {
+    fn class_name(&self) -> &str {
+        CTypedObList::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(CTypedObListFactory::new(switch.clone()))
     }
 }
 

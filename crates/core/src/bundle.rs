@@ -9,10 +9,11 @@
 
 use concat_bit::ComponentFactory;
 use concat_driver::InheritanceMap;
-use concat_mutation::{ClassInventory, MutationSwitch};
+use concat_mutation::{ClassInventory, ClonableFactory, MutationSwitch};
 use concat_tspec::ClassSpec;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A packaged self-testable component.
 ///
@@ -24,6 +25,7 @@ pub struct SelfTestable {
     factory: Rc<dyn ComponentFactory>,
     inventory: Option<ClassInventory>,
     switch: Option<MutationSwitch>,
+    shards: Option<Arc<dyn ClonableFactory>>,
     inheritance: Option<InheritanceMap>,
 }
 
@@ -33,6 +35,7 @@ impl fmt::Debug for SelfTestable {
             .field("class_name", &self.spec.class_name)
             .field("methods", &self.spec.methods.len())
             .field("has_inventory", &self.inventory.is_some())
+            .field("has_shards", &self.shards.is_some())
             .field("has_inheritance", &self.inheritance.is_some())
             .finish_non_exhaustive()
     }
@@ -59,6 +62,13 @@ impl SelfTestable {
         self.switch.as_ref()
     }
 
+    /// The sharding seam for parallel mutation analysis, when the producer
+    /// packaged one. Each analysis worker builds its own factory (and
+    /// switch) through it, so mutant executions can run concurrently.
+    pub fn shards(&self) -> Option<&dyn ClonableFactory> {
+        self.shards.as_deref()
+    }
+
     /// The inheritance map relating this component to its superclass.
     pub fn inheritance(&self) -> Option<&InheritanceMap> {
         self.inheritance.as_ref()
@@ -76,6 +86,7 @@ pub struct SelfTestableBuilder {
     factory: Rc<dyn ComponentFactory>,
     inventory: Option<ClassInventory>,
     switch: Option<MutationSwitch>,
+    shards: Option<Arc<dyn ClonableFactory>>,
     inheritance: Option<InheritanceMap>,
 }
 
@@ -95,6 +106,7 @@ impl SelfTestableBuilder {
             factory,
             inventory: None,
             switch: None,
+            shards: None,
             inheritance: None,
         }
     }
@@ -103,6 +115,15 @@ impl SelfTestableBuilder {
     pub fn mutation(mut self, inventory: ClassInventory, switch: MutationSwitch) -> Self {
         self.inventory = Some(inventory);
         self.switch = Some(switch);
+        self
+    }
+
+    /// Attaches the sharding seam that lets quality evaluation run across
+    /// a worker pool ([`concat_mutation::run_mutation_analysis_parallel`]).
+    /// Optional: without it, evaluation runs sequentially on the bundle's
+    /// own factory/switch pair.
+    pub fn mutation_shards(mut self, shards: Arc<dyn ClonableFactory>) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -119,6 +140,7 @@ impl SelfTestableBuilder {
             factory: self.factory,
             inventory: self.inventory,
             switch: self.switch,
+            shards: self.shards,
             inheritance: self.inheritance,
         }
     }
@@ -175,7 +197,27 @@ mod tests {
         let st = SelfTestableBuilder::new(spec(), Rc::new(NullFactory)).build();
         assert!(st.inventory().is_none());
         assert!(st.switch().is_none());
+        assert!(st.shards().is_none());
         assert!(st.inheritance().is_none());
+    }
+
+    #[test]
+    fn shards_ride_along_when_attached() {
+        struct NullShards;
+        impl ClonableFactory for NullShards {
+            fn class_name(&self) -> &str {
+                "C"
+            }
+            fn build_factory(&self, _switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+                Box::new(NullFactory)
+            }
+        }
+        let st = SelfTestableBuilder::new(spec(), Rc::new(NullFactory))
+            .mutation_shards(Arc::new(NullShards))
+            .build();
+        let shards = st.shards().expect("shards attached");
+        assert_eq!(shards.class_name(), "C");
+        assert!(format!("{st:?}").contains("has_shards: true"));
     }
 
     #[test]

@@ -12,9 +12,12 @@ use concat_driver::{
     save_suite_to_path, DriverGenerator, GenerateError, GeneratorConfig, ReusePlan, SuiteResult,
     TestLog, TestRunner, TestSuite, TestingHistory,
 };
-use concat_mutation::{enumerate_mutants, run_mutation_analysis, MutationConfig, MutationRun};
+use concat_mutation::{
+    enumerate_mutants, run_mutation_analysis, run_mutation_analysis_parallel, MutationConfig,
+    MutationRun,
+};
 use concat_obs::Telemetry;
-use concat_runtime::{Budget, IoPolicy};
+use concat_runtime::{recommended_workers, Budget, IoPolicy};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -108,6 +111,7 @@ pub struct Consumer {
     config: GeneratorConfig,
     telemetry: Telemetry,
     budget: Budget,
+    workers: Option<usize>,
 }
 
 impl Consumer {
@@ -117,6 +121,7 @@ impl Consumer {
             config: GeneratorConfig::default(),
             telemetry: Telemetry::disabled(),
             budget: Budget::unlimited(),
+            workers: None,
         }
     }
 
@@ -126,6 +131,7 @@ impl Consumer {
             config,
             telemetry: Telemetry::disabled(),
             budget: Budget::unlimited(),
+            workers: None,
         }
     }
 
@@ -162,6 +168,21 @@ impl Consumer {
     /// The execution budget this consumer applies per test case.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+
+    /// Sets the worker count for quality evaluation. Only takes effect
+    /// when the bundle carries a sharding seam
+    /// ([`SelfTestable::shards`]); verdicts are identical for every
+    /// value. Defaults to [`recommended_workers`] (the machine's
+    /// available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The worker count quality evaluation will use on a sharded bundle.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(recommended_workers)
     }
 
     /// The telemetry handle this consumer propagates.
@@ -279,20 +300,22 @@ impl Consumer {
             .with_telemetry(self.telemetry.clone());
             probe_suites.push(consumer.generate(component)?);
         }
-        Ok(run_mutation_analysis(
-            component.factory(),
-            switch,
-            suite,
-            &mutants,
-            &MutationConfig {
-                probe_suites,
-                silence_panics: true,
-                bit_enabled,
-                telemetry: self.telemetry.clone(),
-                budget: self.budget,
-                ..MutationConfig::default()
-            },
-        ))
+        let config = MutationConfig {
+            probe_suites,
+            silence_panics: true,
+            bit_enabled,
+            telemetry: self.telemetry.clone(),
+            budget: self.budget,
+            workers: self.workers(),
+            ..MutationConfig::default()
+        };
+        Ok(match component.shards() {
+            // A sharded bundle analyzes across the worker pool; the merge
+            // is deterministic, so the run is byte-identical to the
+            // sequential path below.
+            Some(shards) => run_mutation_analysis_parallel(shards, suite, &mutants, &config),
+            None => run_mutation_analysis(component.factory(), switch, suite, &mutants, &config),
+        })
     }
 
     /// Applies the §3.4.2 incremental reuse rule: partitions a parent
@@ -492,6 +515,41 @@ mod tests {
             .unwrap();
         assert!(run.total() > 10);
         assert!(run.killed() > 0);
+    }
+
+    fn sharded_sortable_bundle() -> SelfTestable {
+        let switch = concat_mutation::MutationSwitch::new();
+        SelfTestableBuilder::new(
+            sortable_spec(),
+            Rc::new(CSortableObListFactory::new(switch.clone())),
+        )
+        .mutation(sortable_inventory(), switch)
+        .mutation_shards(std::sync::Arc::new(CSortableObListFactory::default()))
+        .inheritance(sortable_inheritance_map())
+        .build()
+    }
+
+    #[test]
+    fn sharded_quality_evaluation_matches_sequential() {
+        let consumer = Consumer::with_seed(3);
+        let bundle = sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(40).collect();
+        let small = suite.filtered(&ids);
+        let sequential = consumer
+            .evaluate_quality(&bundle, &small, &["FindMax"], &[])
+            .unwrap();
+        for workers in [1, 3] {
+            let run = Consumer::with_seed(3)
+                .with_workers(workers)
+                .evaluate_quality(&sharded_sortable_bundle(), &small, &["FindMax"], &[])
+                .unwrap();
+            assert_eq!(
+                run.results, sequential.results,
+                "workers = {workers}: sharded run must match the sequential verdicts"
+            );
+            assert_eq!(run.score(), sequential.score());
+        }
     }
 
     #[test]

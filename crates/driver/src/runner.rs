@@ -484,15 +484,14 @@ impl TestRunner {
                     };
                 }
             }
-            call_index += 1;
-            let rendered = call.render();
-            let invoked = catch_unwind(AssertUnwindSafe(|| {
-                component.invoke(&call.method, &call.args)
-            }));
-            // The watchdog may have fired between checkpoints while the
-            // call still returned; honour the deadline either way.
-            if self.token.is_cancelled() && invoked.is_ok() {
-                log.log_failure(&case.name(), &rendered, "execution deadline exceeded");
+            // A deadline that fired between checkpoints preempts the
+            // *next* call. A call that already returned keeps its
+            // recorded outcome — a late-firing watchdog must never flip
+            // finished work into a deadline stop; mid-call overruns
+            // unwind with the deadline payload and are classified below.
+            if self.token.is_cancelled() {
+                call_index += 1;
+                log.log_failure(&case.name(), &call.render(), "execution deadline exceeded");
                 return CaseResult {
                     case_id: case.id,
                     status: CaseStatus::DeadlineExceeded {
@@ -504,6 +503,11 @@ impl TestRunner {
                     },
                 };
             }
+            call_index += 1;
+            let rendered = call.render();
+            let invoked = catch_unwind(AssertUnwindSafe(|| {
+                component.invoke(&call.method, &call.args)
+            }));
             match invoked {
                 Ok(Ok(value)) => {
                     records.push(CallRecord {
@@ -842,6 +846,125 @@ mod tests {
             }),
             Some("DEADLINE".into())
         );
+    }
+
+    /// A component whose `CancelThenOk` method trips the captured token
+    /// *during* an otherwise successful invocation — the late-firing
+    /// watchdog race: the call completes, the cancellation lands after.
+    struct LateCancel {
+        token: CancelToken,
+        ctl: BitControl,
+    }
+
+    impl Component for LateCancel {
+        fn class_name(&self) -> &'static str {
+            "LateCancel"
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            vec!["CancelThenOk", "Total", "~LateCancel"]
+        }
+        fn invoke(&mut self, m: &str, _a: &[Value]) -> InvokeResult {
+            match m {
+                "CancelThenOk" => {
+                    self.token.cancel();
+                    Ok(Value::Int(7))
+                }
+                "Total" => Ok(Value::Int(0)),
+                "~LateCancel" => Ok(Value::Null),
+                _ => Err(unknown_method(self.class_name(), m)),
+            }
+        }
+    }
+
+    impl BuiltInTest for LateCancel {
+        fn bit_control(&self) -> &BitControl {
+            &self.ctl
+        }
+        fn invariant_test(&self) -> Result<(), AssertionViolation> {
+            Ok(())
+        }
+        fn reporter(&self) -> StateReport {
+            StateReport::new()
+        }
+    }
+
+    struct LateCancelFactory {
+        token: CancelToken,
+    }
+
+    impl ComponentFactory for LateCancelFactory {
+        fn class_name(&self) -> &str {
+            "LateCancel"
+        }
+        fn construct(
+            &self,
+            constructor: &str,
+            _args: &[Value],
+            ctl: BitControl,
+        ) -> Result<Box<dyn TestableComponent>, TestException> {
+            match constructor {
+                "LateCancel" => Ok(Box::new(LateCancel {
+                    token: self.token.clone(),
+                    ctl,
+                })),
+                other => Err(unknown_method("LateCancel", other)),
+            }
+        }
+    }
+
+    fn late_cancel_case(calls: Vec<MethodCall>) -> TestCase {
+        TestCase {
+            id: 0,
+            transaction_index: 0,
+            node_path: vec!["n1".into()],
+            constructor: MethodCall::generated("m1", "LateCancel", vec![]),
+            calls,
+        }
+    }
+
+    #[test]
+    fn token_cancelled_post_invoke_keeps_the_finished_case() {
+        // Regression for the late-firing watchdog race: the token trips
+        // while the final call is returning successfully. The completed
+        // case must stay Passed with its full transcript — not flip to
+        // DeadlineExceeded.
+        let runner = TestRunner::new();
+        let factory = LateCancelFactory {
+            token: runner.cancel_token().clone(),
+        };
+        let mut log = TestLog::new();
+        let case = late_cancel_case(vec![MethodCall::generated("m2", "CancelThenOk", vec![])]);
+        let r = runner.run_case(&factory, &case, &mut log);
+        assert!(r.status.is_pass(), "finished work kept: {:?}", r.status);
+        assert_eq!(r.transcript.records.len(), 2);
+        assert_eq!(
+            r.transcript.records[1].outcome,
+            CallOutcome::Returned(Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn token_cancelled_post_invoke_preempts_only_the_next_call() {
+        // Same race with a following call: the completed call keeps its
+        // recorded outcome, and the deadline stop lands on the call the
+        // cancellation actually preempted.
+        let runner = TestRunner::new();
+        let factory = LateCancelFactory {
+            token: runner.cancel_token().clone(),
+        };
+        let mut log = TestLog::new();
+        let case = late_cancel_case(vec![
+            MethodCall::generated("m2", "CancelThenOk", vec![]),
+            MethodCall::generated("m3", "Total", vec![]),
+        ]);
+        let r = runner.run_case(&factory, &case, &mut log);
+        assert_eq!(r.status, CaseStatus::DeadlineExceeded { at_call: 2 });
+        assert_eq!(
+            r.transcript.records[1].outcome,
+            CallOutcome::Returned(Value::Int(7)),
+            "the call that finished before the stop keeps its outcome"
+        );
+        assert!(log.render().contains("deadline"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! active the component *is* the original program.
 
 use crate::operators::ReqConst;
+use concat_bit::ComponentFactory;
 use concat_runtime::{CancelToken, Value};
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -111,6 +112,26 @@ pub fn coerce_int(v: &Value) -> i64 {
         Value::Float(x) => *x as i64,
         Value::Null | Value::Str(_) | Value::List(_) | Value::Obj(_) => 0,
     }
+}
+
+/// The per-worker factory seam of the sharded mutation engine.
+///
+/// A [`MutationSwitch`] holds exactly one armed plan, so concurrent
+/// workers cannot share one: each worker needs its own switch and a
+/// component factory whose instrumented reads go through *that* switch.
+/// A `ClonableFactory` is the prototype that rebinds the component
+/// family to a worker-local switch.
+///
+/// The builder crosses threads (hence `Send + Sync`); the factory it
+/// builds never leaves its worker, so `build_factory` can return plain
+/// single-threaded factories — including ones that are not `Send`.
+pub trait ClonableFactory: Send + Sync {
+    /// Class name of the components the built factories construct.
+    fn class_name(&self) -> &str;
+
+    /// Builds a fresh factory whose components read their instrumented
+    /// variables through `switch`.
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory>;
 }
 
 #[derive(Debug, Default)]

@@ -18,6 +18,10 @@
 //! * [`run_mutation_analysis`] — golden run, per-mutant execution, kill
 //!   classification (crash / assertion violation / output difference),
 //!   equivalence probing, and the [`MutationRun`] scores;
+//! * [`run_mutation_analysis_parallel`] / [`ClonableFactory`] — the same
+//!   analysis sharded across a worker pool, each worker owning its own
+//!   factory/switch/runner/watchdog, with a deterministic merge so every
+//!   worker count yields byte-identical verdicts;
 //! * [`MutationMatrix`] — the method × operator aggregation behind the
 //!   paper's Tables 2 and 3.
 //!
@@ -49,11 +53,11 @@ mod matrix;
 mod operators;
 
 pub use analysis::{
-    run_mutation_analysis, KillReason, MutantResult, MutantStatus, MutationConfig, MutationRun,
-    QuarantineReason,
+    run_mutation_analysis, run_mutation_analysis_parallel, KillReason, MutantResult, MutantStatus,
+    MutationConfig, MutationRun, QuarantineReason,
 };
 pub use enumerate::{enumerate_mutants, expected_count, Mutant};
-pub use fault::{coerce_int, FaultPlan, MutationSwitch, Replacement, VarEnv};
+pub use fault::{coerce_int, ClonableFactory, FaultPlan, MutationSwitch, Replacement, VarEnv};
 pub use inventory::{ClassInventory, MethodInventory, UseSite};
 pub use matrix::{CellStats, MutationMatrix};
 pub use operators::{MutationOperator, ReqConst};

@@ -49,6 +49,10 @@ pub struct Summary {
     pub counters: BTreeMap<&'static str, u64>,
     /// Last-set gauge values, ordered by name.
     pub gauges: BTreeMap<&'static str, i64>,
+    /// The underlying per-kind histograms `spans` was derived from, kept
+    /// so two summaries can [`Summary::merge`] with exact bucket counts
+    /// instead of re-deriving statistics from already-rounded quantiles.
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl Summary {
@@ -78,6 +82,33 @@ impl Summary {
                 .collect(),
             counters,
             gauges,
+            histograms,
+        }
+    }
+
+    /// Merges another summary into this one — the aggregation path for
+    /// per-worker telemetry collectors.
+    ///
+    /// Span statistics merge exactly (the underlying histograms are
+    /// bucket-wise additive), counter totals sum, and gauge values *sum*
+    /// as well: across workers a gauge holds a shard-local count (e.g.
+    /// each worker's equivalent-mutant tally), so addition is the
+    /// aggregation that preserves the run-wide reading. Merging summaries
+    /// whose gauges are not additive is a caller error.
+    pub fn merge(&mut self, other: &Summary) {
+        for (kind, h) in &other.histograms {
+            self.histograms.entry(kind).or_default().merge(h);
+        }
+        self.spans = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (*k, SpanStats::of(h)))
+            .collect();
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name).or_insert(0) += value;
         }
     }
 
@@ -155,5 +186,84 @@ mod tests {
         assert_eq!(s.counter("never"), 0);
         assert_eq!(s.gauge("g"), Some(7));
         assert_eq!(s.gauge("absent"), None);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_aggregation() {
+        // Two shards' event streams, summarized separately then merged,
+        // must agree exactly with one summary over the concatenation.
+        let shard_a = vec![
+            Event::SpanEnd {
+                kind: "mutant",
+                label: "a".into(),
+                id: 1,
+                nanos: 1_000,
+            },
+            Event::Counter {
+                name: "mutant.survived",
+                delta: 2,
+            },
+            Event::Gauge {
+                name: "equivalents",
+                value: 3,
+            },
+        ];
+        let shard_b = vec![
+            Event::SpanEnd {
+                kind: "mutant",
+                label: "b".into(),
+                id: 1,
+                nanos: 9_000,
+            },
+            Event::SpanEnd {
+                kind: "golden",
+                label: "g".into(),
+                id: 2,
+                nanos: 4_000,
+            },
+            Event::Counter {
+                name: "mutant.survived",
+                delta: 1,
+            },
+            Event::Gauge {
+                name: "equivalents",
+                value: 4,
+            },
+        ];
+        let mut merged = Summary::from_events(&shard_a);
+        merged.merge(&Summary::from_events(&shard_b));
+
+        let mutant = merged.span("mutant").unwrap();
+        assert_eq!(mutant.count, 2);
+        assert_eq!(mutant.min_nanos, 1_000);
+        assert_eq!(mutant.max_nanos, 9_000);
+        assert_eq!(mutant.mean_nanos, 5_000);
+        assert_eq!(merged.span("golden").unwrap().count, 1);
+        assert_eq!(merged.counter("mutant.survived"), 3);
+        // Gauges are shard-local counts: they sum.
+        assert_eq!(merged.gauge("equivalents"), Some(7));
+
+        let combined: Vec<Event> = shard_a.iter().chain(&shard_b).cloned().collect();
+        let whole = Summary::from_events(&combined);
+        assert_eq!(merged.spans, whole.spans);
+        assert_eq!(merged.counters, whole.counters);
+        // (gauges differ by design: last-write vs additive)
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity_for_spans_and_counters() {
+        let events = vec![Event::SpanEnd {
+            kind: "case",
+            label: "c".into(),
+            id: 1,
+            nanos: 2_000,
+        }];
+        let other = Summary::from_events(&events);
+        let mut merged = Summary::default();
+        merged.merge(&other);
+        assert_eq!(merged.spans, other.spans);
+        // A second merge keeps exact bucket counts (not re-derived).
+        merged.merge(&other);
+        assert_eq!(merged.span("case").unwrap().count, 2);
     }
 }

@@ -135,6 +135,48 @@ impl Telemetry {
             shared.sink.record(Event::Gauge { name, value });
         }
     }
+
+    /// Replays events recorded elsewhere — typically a worker's private
+    /// `MemorySink` — into this handle's sink, remapping span ids into
+    /// this handle's id space so replayed start/end pairs stay paired and
+    /// can never collide with natively emitted spans. A no-op on a
+    /// disabled handle.
+    ///
+    /// Workers absorb in a deterministic order (worker index) so the
+    /// parent's event stream is reproducible for a fixed worker count.
+    pub fn absorb(&self, events: &[Event]) {
+        let Some(shared) = &self.inner else {
+            return;
+        };
+        let mut remap: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for event in events {
+            let mut fresh_id = |old: u64| {
+                *remap
+                    .entry(old)
+                    .or_insert_with(|| shared.next_span_id.fetch_add(1, Ordering::Relaxed))
+            };
+            let replayed = match event {
+                Event::SpanStart { kind, label, id } => Event::SpanStart {
+                    kind,
+                    label: label.clone(),
+                    id: fresh_id(*id),
+                },
+                Event::SpanEnd {
+                    kind,
+                    label,
+                    id,
+                    nanos,
+                } => Event::SpanEnd {
+                    kind,
+                    label: label.clone(),
+                    id: fresh_id(*id),
+                    nanos: *nanos,
+                },
+                other => other.clone(),
+            };
+            shared.sink.record(replayed);
+        }
+    }
 }
 
 struct SpanState {
@@ -242,6 +284,62 @@ mod tests {
         tel.incr("n");
         tel2.incr("n");
         assert_eq!(sink.counter_total("n"), 2);
+    }
+
+    #[test]
+    fn absorb_replays_with_remapped_span_ids() {
+        let worker_sink = Arc::new(MemorySink::new());
+        let worker = Telemetry::new(worker_sink.clone());
+        worker.span("mutant", "w0").finish();
+        worker.incr("mutant.survived");
+        worker.gauge("g", 4);
+
+        let parent_sink = Arc::new(MemorySink::new());
+        let parent = Telemetry::new(parent_sink.clone());
+        // Claim id 0 natively so the worker's id 0 must be remapped.
+        parent.span("golden", "base").finish();
+        parent.absorb(&worker_sink.events());
+
+        let events = parent_sink.events();
+        assert_eq!(parent_sink.span_count("mutant"), 1);
+        assert_eq!(parent_sink.counter_total("mutant.survived"), 1);
+        assert_eq!(parent_sink.gauge_value("g"), Some(4));
+        // The replayed pair shares one fresh id, distinct from the native
+        // span's id.
+        let ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart {
+                    kind: "mutant", id, ..
+                }
+                | Event::SpanEnd {
+                    kind: "mutant", id, ..
+                } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], ids[1]);
+        let native_ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart {
+                    kind: "golden", id, ..
+                } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.contains(&native_ids[0]), "no id collision");
+    }
+
+    #[test]
+    fn absorb_on_disabled_handle_is_a_noop() {
+        let off = Telemetry::disabled();
+        off.absorb(&[Event::Counter {
+            name: "n",
+            delta: 1,
+        }]);
+        assert!(!off.is_enabled());
     }
 
     #[test]

@@ -96,13 +96,22 @@ const HARNESS_COUNTERS: [(&str, &str); 5] = [
 /// Renders the fail-safe execution health table: retry, degradation,
 /// quarantine and budget counters from a telemetry [`Summary`]. Every
 /// row is always present — a zero means the mechanism was armed and
-/// never fired, which is the expected healthy reading.
+/// never fired, which is the expected healthy reading. When the summary
+/// carries a `mutation.workers` gauge (set by the parallel mutation
+/// engine), a final row reports the worker-pool size of the run.
 pub fn render_harness_health(title: &str, summary: &Summary) -> String {
     let mut t = AsciiTable::new(vec!["Counter".into(), "Total".into(), "Meaning".into()]);
     t.align(1, crate::table::Align::Right);
     for (name, meaning) in HARNESS_COUNTERS {
         let total = summary.counters.get(name).copied().unwrap_or(0);
         t.row(vec![name.into(), total.to_string(), meaning.into()]);
+    }
+    if let Some(workers) = summary.gauge("mutation.workers") {
+        t.row(vec![
+            "mutation.workers".into(),
+            workers.to_string(),
+            "mutation analysis worker pool size".into(),
+        ]);
     }
     format!("{title}\n{}", t.render())
 }
@@ -222,6 +231,23 @@ mod tests {
         assert!(s.contains(" 3 |"), "retry total: {s}");
         assert!(s.contains(" 2 |"), "quarantine total: {s}");
         assert!(s.contains("harden.degraded"), "zero rows kept: {s}");
+        assert!(
+            !s.contains("mutation.workers"),
+            "no worker row without the gauge: {s}"
+        );
+    }
+
+    #[test]
+    fn harness_health_reports_worker_pool_size_when_gauged() {
+        let events = vec![Event::Gauge {
+            name: "mutation.workers",
+            value: 4,
+        }];
+        let summary = Summary::from_events(&events);
+        let s = render_harness_health("Harness health", &summary);
+        assert!(s.contains("mutation.workers"), "{s}");
+        assert!(s.contains(" 4 |"), "worker count rendered: {s}");
+        assert!(s.contains("worker pool size"), "{s}");
     }
 
     #[test]

@@ -105,6 +105,19 @@ impl Budget {
     }
 }
 
+/// The worker count a parallel harness should default to: the machine's
+/// available parallelism, with 1 as the fallback when the runtime cannot
+/// tell (containers with no CPU affinity information, exotic platforms).
+///
+/// # Examples
+///
+/// ```
+/// assert!(concat_runtime::recommended_workers() >= 1);
+/// ```
+pub fn recommended_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Which budgeted resource ran out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BudgetResource {

@@ -55,8 +55,8 @@ mod value;
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
 pub use harden::{
-    is_transient_io, Budget, BudgetResource, CancelToken, FaultInjector, FaultKind, InjectedFault,
-    IoAttempt, IoPolicy, RetryPolicy, Watchdog, DEADLINE_PANIC_PAYLOAD,
+    is_transient_io, recommended_workers, Budget, BudgetResource, CancelToken, FaultInjector,
+    FaultKind, InjectedFault, IoAttempt, IoPolicy, RetryPolicy, Watchdog, DEADLINE_PANIC_PAYLOAD,
 };
 pub use literal::{parse_value_literal, ParseValueError};
 pub use rng::Rng;

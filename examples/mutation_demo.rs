@@ -4,15 +4,28 @@
 //! mutants with the Table-1 operators, execute the generated suite against
 //! every mutant, classify kills (crash / assertion violation / output
 //! difference), probe survivors for equivalence, and print the score
-//! table.
+//! table. A second section demonstrates the `workers` knob on a
+//! stall-prone subject: hanging mutants wait out their watchdog deadlines
+//! concurrently, so the sharded analysis finishes measurably faster while
+//! producing verdict-for-verdict identical results.
 //!
 //! Run with: `cargo run --release --example mutation_demo`
 
+use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
-use concat::core::{Consumer, SelfTestableBuilder};
-use concat::mutation::{KillReason, MutantStatus, MutationMatrix, MutationSwitch};
+use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
+use concat::mutation::{
+    ClassInventory, ClonableFactory, KillReason, MethodInventory, MutantStatus, MutationMatrix,
+    MutationSwitch, VarEnv,
+};
 use concat::report::{render_score_table, summarize_run};
+use concat::runtime::{
+    unknown_method, AssertionViolation, Budget, Component, InvokeResult, TestException, Value,
+};
+use concat::tspec::{ClassSpec, ClassSpecBuilder, MethodCategory};
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() {
     let switch = MutationSwitch::new();
@@ -74,4 +87,198 @@ fn main() {
         };
         println!("  {:55} {verdict}", result.mutant.to_string());
     }
+
+    parallel_section();
+}
+
+/// A component whose two methods each read a loop guard through the
+/// mutation switch; mutants forcing a guard `<= 0` loop until the
+/// watchdog deadline fires. That wait is wall-clock, not CPU, so shards
+/// serve their deadlines concurrently even on a single core — the
+/// workload where the `workers` knob pays off most.
+struct Delay {
+    ctl: BitControl,
+    switch: MutationSwitch,
+}
+
+impl Delay {
+    const CLASS: &'static str = "Delay";
+
+    fn guarded_loop(&self, method: &'static str, var: &'static str) -> InvokeResult {
+        let env = VarEnv::new();
+        loop {
+            let guard = self.switch.read_int(method, 0, var, 1, &env);
+            if guard > 0 {
+                return Ok(Value::Int(guard));
+            }
+            // Sleep between instrumented reads (each is a cancellation
+            // point) so a hanging mutant waits rather than burns CPU.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Component for Delay {
+    fn class_name(&self) -> &'static str {
+        Self::CLASS
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        vec!["Work", "Rest", "~Delay"]
+    }
+
+    fn invoke(&mut self, method: &str, _a: &[Value]) -> InvokeResult {
+        match method {
+            "Work" => self.guarded_loop("Work", "step"),
+            "Rest" => self.guarded_loop("Rest", "pause"),
+            "~Delay" => Ok(Value::Null),
+            _ => Err(unknown_method(self.class_name(), method)),
+        }
+    }
+}
+
+impl BuiltInTest for Delay {
+    fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    fn invariant_test(&self) -> Result<(), AssertionViolation> {
+        Ok(())
+    }
+
+    fn reporter(&self) -> StateReport {
+        StateReport::new()
+    }
+}
+
+struct DelayFactory {
+    switch: MutationSwitch,
+}
+
+impl ComponentFactory for DelayFactory {
+    fn class_name(&self) -> &str {
+        Delay::CLASS
+    }
+
+    fn construct(
+        &self,
+        constructor: &str,
+        _a: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn TestableComponent>, TestException> {
+        match constructor {
+            "Delay" => Ok(Box::new(Delay {
+                ctl,
+                switch: self.switch.clone(),
+            })),
+            other => Err(unknown_method(Delay::CLASS, other)),
+        }
+    }
+}
+
+struct DelayShards;
+
+impl ClonableFactory for DelayShards {
+    fn class_name(&self) -> &str {
+        Delay::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(DelayFactory {
+            switch: switch.clone(),
+        })
+    }
+}
+
+fn delay_spec() -> ClassSpec {
+    ClassSpecBuilder::new(Delay::CLASS)
+        .constructor("m1", "Delay")
+        .method("m2", "Work", MethodCategory::Update)
+        .returns("int")
+        .method("m3", "Rest", MethodCategory::Update)
+        .returns("int")
+        .destructor("m4", "~Delay")
+        .birth_node("n1", ["m1"])
+        .task_node("n2", ["m2"])
+        .task_node("n3", ["m3"])
+        .death_node("n4", ["m4"])
+        .edge("n1", "n2")
+        .edge("n2", "n3")
+        .edge("n1", "n3")
+        .edge("n2", "n4")
+        .edge("n3", "n4")
+        .edge("n1", "n4")
+        .build()
+        .expect("Delay spec is valid")
+}
+
+fn delay_inventory() -> ClassInventory {
+    ClassInventory::new(Delay::CLASS)
+        .method(
+            MethodInventory::new("Work")
+                .locals(["step"])
+                .site(0, "step", "loop guard"),
+        )
+        .method(
+            MethodInventory::new("Rest")
+                .locals(["pause"])
+                .site(0, "pause", "loop guard"),
+        )
+}
+
+fn delay_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        delay_spec(),
+        Rc::new(DelayFactory {
+            switch: switch.clone(),
+        }),
+    )
+    .mutation(delay_inventory(), switch)
+    .mutation_shards(Arc::new(DelayShards))
+    .build()
+}
+
+fn parallel_section() {
+    println!("\n=== Parallel mutation analysis (the `workers` knob) ===\n");
+    let deadline = Duration::from_millis(150);
+    let bundle = delay_bundle();
+    let suite = Consumer::with_seed(2024)
+        .with_budget(Budget::unlimited().with_deadline(deadline))
+        .generate(&bundle)
+        .expect("generation succeeds");
+    let targets = ["Work", "Rest"];
+
+    let mut timed = Vec::new();
+    for workers in [1usize, 4] {
+        let consumer = Consumer::with_seed(2024)
+            .with_budget(Budget::unlimited().with_deadline(deadline))
+            .with_workers(workers);
+        let started = Instant::now();
+        let run = consumer
+            .evaluate_quality(&bundle, &suite, &targets, &[])
+            .expect("bundle carries mutation support and shards");
+        let elapsed = started.elapsed();
+        println!(
+            "workers = {workers}: {} mutants ({} quarantined by watchdog) in {elapsed:?}",
+            run.total(),
+            run.quarantined(),
+        );
+        timed.push((run, elapsed));
+    }
+    let (sequential, sequential_elapsed) = &timed[0];
+    let (parallel, parallel_elapsed) = &timed[1];
+    assert_eq!(
+        sequential.results, parallel.results,
+        "verdicts must be byte-identical for every worker count"
+    );
+    let speedup = sequential_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64();
+    println!(
+        "\nIdentical verdicts, mutation score {:.2} both ways; speedup {speedup:.1}x",
+        parallel.score()
+    );
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x from overlapping deadline waits, measured {speedup:.2}x"
+    );
 }

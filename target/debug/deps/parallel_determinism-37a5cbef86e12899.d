@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-37a5cbef86e12899.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-37a5cbef86e12899: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

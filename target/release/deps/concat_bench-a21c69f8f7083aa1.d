@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concat_bench-a21c69f8f7083aa1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/concat_bench-a21c69f8f7083aa1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-afd989c75c47fbde.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-afd989c75c47fbde: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-6e03991d07f50dc2.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-6e03991d07f50dc2: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

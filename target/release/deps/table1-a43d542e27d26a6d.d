@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a43d542e27d26a6d.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-a43d542e27d26a6d: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

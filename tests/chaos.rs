@@ -151,6 +151,36 @@ fn spinner_bundle() -> (concat::core::SelfTestable, MutationSwitch) {
     (bundle, switch)
 }
 
+/// The sharding seam for `Spinner`: each analysis worker gets a factory
+/// bound to its own switch, so one worker's hanging mutant cannot stall
+/// a sibling's instrumented reads.
+struct SpinnerShards;
+
+impl concat::mutation::ClonableFactory for SpinnerShards {
+    fn class_name(&self) -> &str {
+        Spinner::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(SpinnerFactory {
+            switch: switch.clone(),
+        })
+    }
+}
+
+fn spinner_sharded_bundle() -> concat::core::SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        spinner_spec(),
+        Rc::new(SpinnerFactory {
+            switch: switch.clone(),
+        }),
+    )
+    .mutation(spinner_inventory(), switch)
+    .mutation_shards(Arc::new(SpinnerShards))
+    .build()
+}
+
 fn deadline_consumer(seed: u64, deadline: Duration) -> Consumer {
     Consumer::with_config(GeneratorConfig {
         seed,
@@ -230,6 +260,52 @@ fn quarantine_verdicts_are_deterministic_across_identical_runs() {
     assert!(
         first.iter().any(|(_, s)| s.contains("Quarantined")),
         "the scenario actually quarantines: {first:?}"
+    );
+}
+
+#[test]
+fn parallel_analysis_quarantines_hangers_without_stalling_siblings() {
+    // The CI chaos matrix sets CONCAT_CHAOS_WORKERS to exercise both the
+    // workers=1 and workers=N legs of this scenario.
+    let workers = std::env::var("CONCAT_CHAOS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let deadline = Duration::from_millis(200);
+    let sequential = quarantine_statuses(&deadline_consumer(11, deadline));
+
+    let bundle = spinner_sharded_bundle();
+    let consumer = deadline_consumer(11, deadline).with_workers(workers);
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    let started = Instant::now();
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &["Work"], &[])
+        .expect("parallel analysis completes instead of hanging");
+    let elapsed = started.elapsed();
+
+    let parallel: Vec<(usize, String)> = run
+        .results
+        .iter()
+        .map(|r| (r.mutant.id, format!("{:?}", r.status)))
+        .collect();
+    assert_eq!(
+        parallel, sequential,
+        "workers = {workers}: sharded verdicts must match the sequential run"
+    );
+    assert!(
+        run.quarantined() >= 2,
+        "the <=0 loop-guard replacements hang: {:?}",
+        run.results
+    );
+    // A hanging mutant blocks only the worker that claimed it — the
+    // analysis drains every other mutant meanwhile and the whole run
+    // stays within a ceiling far below hangers x cases x deadline run
+    // back to back with no overlap.
+    let ceiling = Duration::from_secs(2) * (run.total() as u32);
+    assert!(
+        elapsed < ceiling,
+        "parallel analysis took {elapsed:?} for {} mutants with {workers} worker(s)",
+        run.total()
     );
 }
 

@@ -1,0 +1,109 @@
+//! Determinism of the parallel mutation engine: for a fixed seed, every
+//! worker count must yield byte-identical verdict vectors, scores and
+//! report tables. The merge is by mutant index, so scheduling noise in
+//! the worker pool can reorder *execution* but never *results*.
+
+use concat::components::*;
+use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
+use concat::driver::{Expansion, GeneratorConfig};
+use concat::mutation::{MutationMatrix, MutationRun, MutationSwitch};
+use concat::obs::{MemorySink, Summary, Telemetry};
+use concat::report::{render_score_table, summarize_run};
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn sharded_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .inheritance(sortable_inheritance_map())
+    .build()
+}
+
+fn small_consumer(seed: u64) -> Consumer {
+    Consumer::with_config(GeneratorConfig {
+        seed,
+        expansion: Expansion::Covering { repeats: 1 },
+        ..GeneratorConfig::default()
+    })
+}
+
+const TARGETS: [&str; 2] = ["FindMax", "FindMin"];
+
+fn run_with_workers(workers: usize, telemetry: Telemetry) -> MutationRun {
+    let bundle = sharded_bundle();
+    let consumer = small_consumer(71)
+        .with_workers(workers)
+        .with_telemetry(telemetry);
+    let suite = consumer.generate(&bundle).unwrap();
+    consumer
+        .evaluate_quality(&bundle, &suite, &TARGETS, &[72])
+        .unwrap()
+}
+
+#[test]
+fn verdicts_scores_and_tables_are_identical_across_worker_counts() {
+    let reference = run_with_workers(1, Telemetry::disabled());
+    assert!(
+        reference.total() >= 60,
+        "enough mutants to make races likely"
+    );
+    let reference_table = render_score_table(
+        "Table 2 (parallel determinism)",
+        &MutationMatrix::from_run(&reference, &TARGETS),
+    );
+    for workers in [2, 8] {
+        let run = run_with_workers(workers, Telemetry::disabled());
+        assert_eq!(
+            run.results, reference.results,
+            "workers = {workers}: verdict vector diverged"
+        );
+        assert_eq!(run.score(), reference.score(), "workers = {workers}");
+        assert_eq!(summarize_run(&run), summarize_run(&reference));
+        let table = render_score_table(
+            "Table 2 (parallel determinism)",
+            &MutationMatrix::from_run(&run, &TARGETS),
+        );
+        assert_eq!(table, reference_table, "workers = {workers}");
+    }
+}
+
+#[test]
+fn telemetry_totals_are_identical_across_worker_counts() {
+    // Span *durations* differ run to run, but counter totals, span
+    // counts and classification tallies must not.
+    let mut summaries = Vec::new();
+    for workers in [1, 2, 8] {
+        let sink = Arc::new(MemorySink::new());
+        let run = run_with_workers(workers, Telemetry::new(sink.clone()));
+        let summary = Summary::from_events(&sink.events());
+        assert_eq!(
+            summary.span("mutant").map(|s| s.count),
+            Some(run.total() as u64),
+            "workers = {workers}: one mutant span per mutant"
+        );
+        assert_eq!(summary.gauge("mutation.workers"), Some(workers as i64));
+        summaries.push((workers, summary, run));
+    }
+    let (_, reference, _) = &summaries[0];
+    for (workers, summary, _) in &summaries[1..] {
+        // The sequential entry point records no workers gauge-equivalent
+        // difference: every classification counter matches exactly.
+        let mutant_counters = |s: &Summary| {
+            s.counters
+                .iter()
+                .filter(|(name, _)| name.starts_with("mutant.") || name.starts_with("mutation."))
+                .map(|(name, total)| (*name, *total))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            mutant_counters(summary),
+            mutant_counters(reference),
+            "workers = {workers}: classification counters diverged"
+        );
+    }
+}
