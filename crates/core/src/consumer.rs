@@ -112,6 +112,7 @@ pub struct Consumer {
     telemetry: Telemetry,
     budget: Budget,
     workers: Option<usize>,
+    journal: Option<PathBuf>,
 }
 
 impl Consumer {
@@ -122,6 +123,7 @@ impl Consumer {
             telemetry: Telemetry::disabled(),
             budget: Budget::unlimited(),
             workers: None,
+            journal: None,
         }
     }
 
@@ -132,6 +134,7 @@ impl Consumer {
             telemetry: Telemetry::disabled(),
             budget: Budget::unlimited(),
             workers: None,
+            journal: None,
         }
     }
 
@@ -183,6 +186,23 @@ impl Consumer {
     /// The worker count quality evaluation will use on a sharded bundle.
     pub fn workers(&self) -> usize {
         self.workers.unwrap_or_else(recommended_workers)
+    }
+
+    /// Journals quality-evaluation verdicts to `path` (the paper's §3.4
+    /// test-history mandate): each mutant verdict is durably appended as
+    /// it lands, and a killed campaign rerun with the same journal path
+    /// replays the recorded verdicts and re-executes only unfinished
+    /// mutants — the resumed run's verdicts, score and report are
+    /// byte-identical to an uninterrupted one. No journal — and no extra
+    /// I/O — by default.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// The verdict-journal path quality evaluation will use, if any.
+    pub fn journal(&self) -> Option<&Path> {
+        self.journal.as_deref()
     }
 
     /// The telemetry handle this consumer propagates.
@@ -307,6 +327,7 @@ impl Consumer {
             telemetry: self.telemetry.clone(),
             budget: self.budget,
             workers: self.workers(),
+            journal_path: self.journal.clone(),
             ..MutationConfig::default()
         };
         Ok(match component.shards() {
@@ -550,6 +571,31 @@ mod tests {
             );
             assert_eq!(run.score(), sequential.score());
         }
+    }
+
+    #[test]
+    fn journaled_quality_evaluation_replays_on_rerun() {
+        let dir = std::env::temp_dir().join("concat-core-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.journal");
+        let consumer = Consumer::with_seed(3).with_workers(2).with_journal(&path);
+        assert_eq!(consumer.journal(), Some(path.as_path()));
+        let bundle = sharded_sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(40).collect();
+        let small = suite.filtered(&ids);
+        let first = consumer
+            .evaluate_quality(&bundle, &small, &["FindMax"], &[])
+            .unwrap();
+        // Rerun against the completed journal: every verdict replays and
+        // the run is byte-identical.
+        let again = consumer
+            .evaluate_quality(&sharded_sortable_bundle(), &small, &["FindMax"], &[])
+            .unwrap();
+        assert_eq!(again.results, first.results);
+        assert_eq!(again.score(), first.score());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

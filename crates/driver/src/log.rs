@@ -130,7 +130,10 @@ impl TestLog {
         w.write_all(self.render().as_bytes())
     }
 
-    /// Writes the log to a file, creating or truncating it.
+    /// Writes the log to a file atomically: the text lands in a temp file
+    /// that is fsynced and renamed over `path`, so a kill mid-write can
+    /// never leave a torn `Result.txt` — readers see the old log or the
+    /// new one, nothing in between.
     ///
     /// # Errors
     ///
@@ -139,21 +142,20 @@ impl TestLog {
     /// debugging time before.
     pub fn write_to_path(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
-        let with_context = |e: io::Error| {
+        concat_runtime::write_atomic(path, self.render().as_bytes()).map_err(|e| {
             io::Error::new(
                 e.kind(),
                 format!("failed to write test log to {}: {e}", path.display()),
             )
-        };
-        let file = std::fs::File::create(path).map_err(with_context)?;
-        self.write_to(io::BufWriter::new(file))
-            .map_err(with_context)
+        })
     }
 
     /// Writes the log to a file under an [`IoPolicy`]: transient failures
     /// (including injected ones, op [`LOG_WRITE_OP`]) are retried with
     /// backoff; the returned [`IoAttempt`] carries the retry count so
     /// callers can account `harden.retry` telemetry. Errors name the path.
+    /// The write itself is atomic (temp + fsync + rename), so even an
+    /// attempt that dies mid-write leaves the previous log intact.
     pub fn write_to_path_guarded(
         &self,
         path: impl AsRef<Path>,
@@ -161,8 +163,7 @@ impl TestLog {
     ) -> IoAttempt<()> {
         let path = path.as_ref();
         let mut attempt = policy.run(LOG_WRITE_OP, || {
-            let file = std::fs::File::create(path)?;
-            self.write_to(io::BufWriter::new(file))
+            concat_runtime::write_atomic(path, self.render().as_bytes())
         });
         attempt.result = attempt.result.map_err(|e| {
             io::Error::new(

@@ -185,8 +185,9 @@ fn path_context(e: io::Error, verb: &str, path: &Path) -> io::Error {
 
 /// Saves a suite to a file under an [`IoPolicy`]: transient write
 /// failures (including injected ones, op [`SUITE_SAVE_OP`]) retry with
-/// backoff. Returns the number of retries spent, for `harden.retry`
-/// accounting.
+/// backoff, and the write is atomic (temp + fsync + rename) so a kill
+/// mid-save leaves the previous file intact. Returns the number of
+/// retries spent, for `harden.retry` accounting.
 ///
 /// # Errors
 ///
@@ -199,7 +200,11 @@ pub fn save_suite_to_path(
 ) -> Result<u32, SuiteIoError> {
     let path = path.as_ref();
     let text = save_suite(suite);
-    let attempt = policy.run(SUITE_SAVE_OP, || std::fs::write(path, &text));
+    // Atomic temp + fsync + rename: a kill mid-save can never leave a
+    // torn suite file behind.
+    let attempt = policy.run(SUITE_SAVE_OP, || {
+        concat_runtime::write_atomic(path, text.as_bytes())
+    });
     match attempt.result {
         Ok(()) => Ok(attempt.retries),
         Err(e) => Err(SuiteIoError::Io(path_context(e, "save", path))),

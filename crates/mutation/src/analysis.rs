@@ -16,14 +16,17 @@
 
 use crate::enumerate::Mutant;
 use crate::fault::{ClonableFactory, MutationSwitch};
+use crate::journal::{campaign_fingerprint, CampaignJournal};
 use concat_bit::ComponentFactory;
 use concat_driver::{differing_cases, CaseStatus, SuiteResult, TestLog, TestRunner, TestSuite};
 use concat_obs::{MemorySink, Telemetry};
 use concat_runtime::{recommended_workers, Budget};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// Why a mutant died.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +61,11 @@ pub enum QuarantineReason {
     /// The mutant crashed in at least the configured number of cases —
     /// environment-threatening rather than informative.
     RepeatedCrash,
+    /// The worker executing this mutant panicked outside the runner's
+    /// catch boundary (an engine-adjacent crash, e.g. a panicking
+    /// reporter). The supervisor contained the crash: only this in-flight
+    /// mutant is quarantined and the campaign continues.
+    WorkerCrash,
 }
 
 impl fmt::Display for QuarantineReason {
@@ -66,6 +74,7 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::Timeout => "timeout",
             QuarantineReason::Budget => "budget",
             QuarantineReason::RepeatedCrash => "repeated crash",
+            QuarantineReason::WorkerCrash => "worker crash",
         };
         f.write_str(s)
     }
@@ -161,6 +170,23 @@ pub struct MutationConfig {
     /// `workers = 1` instantiation of the engine), and verdicts are
     /// byte-identical for every value.
     pub workers: usize,
+    /// Path of the durable per-campaign verdict journal. When set, every
+    /// verdict is appended (checksummed, fsynced) as its mutant finishes,
+    /// and a rerun over the same campaign replays the journal's verified
+    /// prefix instead of re-executing finished mutants — the resumed run
+    /// is byte-identical to an uninterrupted one. `None` (default) keeps
+    /// the analysis purely in-memory. Journal I/O failures degrade (the
+    /// campaign continues without durability, counting `harden.degraded`)
+    /// rather than aborting the run.
+    pub journal_path: Option<PathBuf>,
+    /// How many crashed workers the parallel supervisor may replace
+    /// before degrading to the surviving workers. Each worker panic
+    /// quarantines only its in-flight mutant; the replacement worker
+    /// keeps draining the shared queue. Once the budget is spent the
+    /// campaign still completes — remaining mutants run on the surviving
+    /// workers, or inline on the supervisor when none survive. Partial
+    /// results are never discarded.
+    pub worker_restarts: usize,
 }
 
 impl Default for MutationConfig {
@@ -173,6 +199,8 @@ impl Default for MutationConfig {
             budget: Budget::unlimited(),
             crash_quarantine_threshold: None,
             workers: recommended_workers(),
+            journal_path: None,
+            worker_restarts: 4,
         }
     }
 }
@@ -189,6 +217,8 @@ impl fmt::Debug for MutationConfig {
                 &self.crash_quarantine_threshold,
             )
             .field("workers", &self.workers)
+            .field("journal_path", &self.journal_path)
+            .field("worker_restarts", &self.worker_restarts)
             .finish()
     }
 }
@@ -306,6 +336,21 @@ struct Engine<'a> {
     golden_index: StatusIndex<'a>,
     probe_indexes: Vec<StatusIndex<'a>>,
     next: AtomicUsize,
+    /// Mutants whose verdicts were replayed from a journal: claimed
+    /// indices in `done` are skipped, so a resumed run re-executes only
+    /// unfinished mutants.
+    done: Vec<bool>,
+}
+
+/// How one worker's drain loop ended.
+enum DrainEnd {
+    /// The shared queue is empty; the worker retires healthy.
+    Drained,
+    /// A classification panicked outside the runner's catch boundary.
+    /// The in-flight mutant was quarantined and emitted; the worker's
+    /// harness state is suspect, so it retires and the supervisor decides
+    /// whether to replace it.
+    Crashed,
 }
 
 impl<'a> Engine<'a> {
@@ -314,6 +359,7 @@ impl<'a> Engine<'a> {
         mutants: &'a [Mutant],
         config: &'a MutationConfig,
         baseline: &'a GoldenBaseline,
+        done: Vec<bool>,
     ) -> Self {
         Engine {
             suite,
@@ -323,34 +369,69 @@ impl<'a> Engine<'a> {
             golden_index: StatusIndex::of(&baseline.golden),
             probe_indexes: baseline.probes.iter().map(StatusIndex::of).collect(),
             next: AtomicUsize::new(0),
+            done,
         }
+    }
+
+    /// True while unclaimed mutant indices remain on the shared queue.
+    fn has_unclaimed_work(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.mutants.len()
     }
 
     /// One shard's work loop: pull the next unclaimed mutant index until
     /// the queue is drained. Slow mutants delay only their own slot;
-    /// siblings keep pulling.
+    /// siblings keep pulling. Each classification runs inside
+    /// `catch_unwind`, so a panic that escapes the runner (an
+    /// engine-adjacent crash) costs exactly one mutant — quarantined as
+    /// [`QuarantineReason::WorkerCrash`] and emitted like any other
+    /// verdict — after which the loop returns [`DrainEnd::Crashed`] so
+    /// the caller can retire this worker's (possibly corrupted) harness.
     fn drain(
         &self,
         factory: &dyn ComponentFactory,
         switch: &MutationSwitch,
         runner: &TestRunner,
         telemetry: &Telemetry,
-        out: &mut Vec<(usize, MutantResult)>,
-    ) {
+        emit: &mut dyn FnMut(usize, MutantResult),
+    ) -> DrainEnd {
         loop {
             let index = self.next.fetch_add(1, Ordering::Relaxed);
             let Some(mutant) = self.mutants.get(index) else {
-                break;
+                return DrainEnd::Drained;
             };
-            let status = self.classify(factory, switch, runner, telemetry, mutant);
-            record_status(telemetry, &status);
-            out.push((
-                index,
-                MutantResult {
-                    mutant: mutant.clone(),
-                    status,
-                },
-            ));
+            if self.done[index] {
+                continue;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.classify(factory, switch, runner, telemetry, mutant)
+            }));
+            match outcome {
+                Ok(status) => {
+                    record_status(telemetry, &status);
+                    emit(
+                        index,
+                        MutantResult {
+                            mutant: mutant.clone(),
+                            status,
+                        },
+                    );
+                }
+                Err(_panic) => {
+                    let status = MutantStatus::Quarantined {
+                        reason: QuarantineReason::WorkerCrash,
+                    };
+                    telemetry.incr("mutation.worker_crash");
+                    record_status(telemetry, &status);
+                    emit(
+                        index,
+                        MutantResult {
+                            mutant: mutant.clone(),
+                            status,
+                        },
+                    );
+                    return DrainEnd::Crashed;
+                }
+            }
         }
     }
 
@@ -478,6 +559,9 @@ fn record_status(telemetry: &Telemetry, status: &MutantStatus) {
         MutantStatus::Quarantined {
             reason: QuarantineReason::RepeatedCrash,
         } => "mutant.quarantined.repeated_crash",
+        MutantStatus::Quarantined {
+            reason: QuarantineReason::WorkerCrash,
+        } => "mutant.quarantined.worker_crash",
     });
     if status.is_quarantined() {
         telemetry.incr("mutation.quarantined");
@@ -494,6 +578,109 @@ fn finish_run(
     let equivalents = results.iter().filter(|r| r.status.is_equivalent()).count();
     telemetry.gauge("mutant.equivalent", equivalents as i64);
     MutationRun { results, golden }
+}
+
+/// Journal wiring for one run: opened (with torn-tail recovery) from
+/// `config.journal_path`, it surfaces the replayed verdicts and appends
+/// new ones. Journal I/O failures *degrade* — the campaign continues
+/// without durability and `harden.degraded` is counted — because losing
+/// the journal must never lose the run (the in-memory results stay
+/// authoritative, exactly like the other retry-then-degrade consumers).
+struct JournalState {
+    inner: Option<CampaignJournal>,
+    telemetry: Telemetry,
+}
+
+impl JournalState {
+    fn open(
+        class_name: &str,
+        suite: &TestSuite,
+        mutants: &[Mutant],
+        config: &MutationConfig,
+    ) -> (JournalState, Vec<(usize, MutantStatus)>) {
+        let telemetry = config.telemetry.clone();
+        let Some(path) = &config.journal_path else {
+            return (
+                JournalState {
+                    inner: None,
+                    telemetry,
+                },
+                Vec::new(),
+            );
+        };
+        let fingerprint = campaign_fingerprint(class_name, suite, mutants, config);
+        match CampaignJournal::resume(path, fingerprint, mutants.len()) {
+            Ok((journal, replayed)) => (
+                JournalState {
+                    inner: Some(journal),
+                    telemetry,
+                },
+                replayed,
+            ),
+            Err(_) => {
+                telemetry.incr("harden.degraded");
+                (
+                    JournalState {
+                        inner: None,
+                        telemetry,
+                    },
+                    Vec::new(),
+                )
+            }
+        }
+    }
+
+    /// Write-ahead append of one verdict; called by the supervisor before
+    /// the verdict is merged into its slot.
+    fn record(&mut self, index: usize, status: &MutantStatus) {
+        if let Some(journal) = &mut self.inner {
+            if journal.record(index, status).is_err() {
+                self.telemetry.incr("harden.degraded");
+                self.inner = None;
+            }
+        }
+    }
+}
+
+/// Pre-fills the merge slots with journal-replayed verdicts. Their
+/// classification counters are re-emitted (plus one `mutation.replayed`
+/// each) so a resumed run's per-status counter totals match an
+/// uninterrupted run's. Returns the slots and the done mask the engine
+/// skips by.
+fn replay_slots(
+    mutants: &[Mutant],
+    replayed: Vec<(usize, MutantStatus)>,
+    telemetry: &Telemetry,
+) -> (Vec<Option<MutantResult>>, Vec<bool>) {
+    let mut slots: Vec<Option<MutantResult>> = Vec::new();
+    slots.resize_with(mutants.len(), || None);
+    let mut done = vec![false; mutants.len()];
+    for (index, status) in replayed {
+        if done[index] {
+            continue;
+        }
+        record_status(telemetry, &status);
+        telemetry.incr("mutation.replayed");
+        slots[index] = Some(MutantResult {
+            mutant: mutants[index].clone(),
+            status,
+        });
+        done[index] = true;
+    }
+    (slots, done)
+}
+
+/// Messages workers stream to the supervising thread.
+enum WorkerMsg {
+    /// One classified mutant (including worker-crash quarantines); the
+    /// supervisor journals it, then merges it into its slot.
+    Verdict(usize, MutantResult),
+    /// The sending worker retired: queue drained, or crashed.
+    Retired {
+        /// True when the worker's drain ended in a contained crash (or a
+        /// panic outside the drain loop entirely).
+        crashed: bool,
+    },
 }
 
 /// Runs a full mutation analysis, sequentially.
@@ -519,19 +706,34 @@ pub fn run_mutation_analysis(
     let _hook_guard = config.silence_panics.then(PanicSilencer::install);
     let telemetry = &config.telemetry;
     let _run_span = telemetry.span("mutation", factory.class_name());
+    let (mut journal, replayed) = JournalState::open(factory.class_name(), suite, mutants, config);
     let runner = build_runner(config, telemetry);
     // Instrumented reads double as cancellation points: the watchdog's
     // token must be visible to the switch for a hung mutant to unwind.
     switch.set_cancel_token(runner.cancel_token().clone());
     switch.disarm();
     let baseline = run_golden(&runner, factory, suite, config, telemetry);
-    let engine = Engine::new(suite, mutants, config, &baseline);
-    let mut out = Vec::with_capacity(mutants.len());
-    engine.drain(factory, switch, &runner, telemetry, &mut out);
+    let (mut slots, done) = replay_slots(mutants, replayed, telemetry);
+    let engine = Engine::new(suite, mutants, config, &baseline, done);
+    // Crash containment without a replacement harness: the caller owns
+    // this factory/switch pair, so after a contained crash the same
+    // harness keeps draining. Progress is guaranteed — every crash
+    // consumes (and quarantines) exactly one mutant.
+    loop {
+        let mut emit = |index: usize, result: MutantResult| {
+            journal.record(index, &result.status);
+            slots[index] = Some(result);
+        };
+        if let DrainEnd::Drained = engine.drain(factory, switch, &runner, telemetry, &mut emit) {
+            break;
+        }
+    }
     switch.disarm();
     switch.clear_cancel_token();
-    // A single drain claims indices in ascending order: already sorted.
-    let results = out.into_iter().map(|(_, result)| result).collect();
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every mutant index was claimed, classified or replayed"))
+        .collect();
     finish_run(telemetry, results, baseline.golden)
 }
 
@@ -547,10 +749,25 @@ pub fn run_mutation_analysis(
 ///
 /// The golden run and golden probe runs are computed once, up front, and
 /// shared immutably. Each worker records telemetry into a private buffer
-/// that is absorbed into `config.telemetry` in worker order after the
-/// join ([`Telemetry::absorb`]), so counter totals and span histograms
-/// aggregate across workers; a `mutation.workers` gauge records the
-/// effective worker count.
+/// that is absorbed into `config.telemetry` in worker spawn order after
+/// the pool retires ([`Telemetry::absorb`]), so counter totals and span
+/// histograms aggregate across workers; a `mutation.workers` gauge records
+/// the effective worker count.
+///
+/// # Supervision and durability
+///
+/// Workers stream each verdict to a supervising loop on the calling
+/// thread, which journals it (when `config.journal_path` is set) before
+/// merging it into its enumeration-order slot. A worker panic is
+/// contained: the in-flight mutant is quarantined with
+/// [`QuarantineReason::WorkerCrash`], and the supervisor respawns a
+/// replacement worker while the `config.worker_restarts` budget lasts —
+/// once exhausted the campaign degrades to the surviving workers (and,
+/// if all are gone, finishes inline on the calling thread) rather than
+/// aborting and discarding partial results. On restart with the same
+/// journal path, verified verdicts are replayed and only unfinished
+/// mutants re-execute; the merged output stays byte-identical to an
+/// uninterrupted run.
 pub fn run_mutation_analysis_parallel(
     shards: &dyn ClonableFactory,
     suite: &TestSuite,
@@ -560,6 +777,7 @@ pub fn run_mutation_analysis_parallel(
     let _hook_guard = config.silence_panics.then(PanicSilencer::install);
     let telemetry = &config.telemetry;
     let _run_span = telemetry.span("mutation", shards.class_name());
+    let (mut journal, replayed) = JournalState::open(shards.class_name(), suite, mutants, config);
 
     // Golden shard: the baseline is computed once and shared read-only.
     let golden_switch = MutationSwitch::new();
@@ -567,86 +785,127 @@ pub fn run_mutation_analysis_parallel(
     let runner = build_runner(config, telemetry);
     golden_switch.set_cancel_token(runner.cancel_token().clone());
     let baseline = run_golden(&runner, golden_factory.as_ref(), suite, config, telemetry);
-
-    let workers = config.workers.clamp(1, mutants.len().max(1));
-    telemetry.gauge("mutation.workers", workers as i64);
-    let engine = Engine::new(suite, mutants, config, &baseline);
-
-    if workers == 1 {
-        // Inline on the caller's thread, reusing the golden shard.
-        let mut out = Vec::with_capacity(mutants.len());
-        engine.drain(
-            golden_factory.as_ref(),
-            &golden_switch,
-            &runner,
-            telemetry,
-            &mut out,
-        );
-        golden_switch.disarm();
-        golden_switch.clear_cancel_token();
-        let results = out.into_iter().map(|(_, result)| result).collect();
-        return finish_run(telemetry, results, baseline.golden);
-    }
     golden_switch.clear_cancel_token();
 
-    // Deterministic merge: every claimed index owns one slot, so the
-    // assembled vector is in enumeration order no matter which worker
-    // finished when.
-    let mut slots: Vec<Option<MutantResult>> = Vec::new();
-    slots.resize_with(mutants.len(), || None);
-    // One private event buffer per worker, absorbed in worker order after
-    // the join so the parent's event stream is reproducible.
-    let sinks: Vec<Option<Arc<MemorySink>>> = (0..workers)
-        .map(|_| telemetry.is_enabled().then(|| Arc::new(MemorySink::new())))
-        .collect();
-    std::thread::scope(|scope| {
-        let engine = &engine;
-        let handles: Vec<_> = sinks
-            .iter()
-            .map(|sink| {
+    // The gauge reflects the configured pool for the whole campaign (not
+    // the post-replay remainder), so a resumed run renders the same
+    // harness-health row as the uninterrupted one.
+    let workers = config.workers.clamp(1, mutants.len().max(1));
+    telemetry.gauge("mutation.workers", workers as i64);
+
+    let (mut slots, done) = replay_slots(mutants, replayed, telemetry);
+    let engine = Engine::new(suite, mutants, config, &baseline, done);
+    let remaining = slots.iter().filter(|slot| slot.is_none()).count();
+
+    // One private event buffer per worker (including respawned ones),
+    // absorbed in spawn order after the pool retires so the parent's
+    // event stream is reproducible.
+    let mut sinks: Vec<Arc<MemorySink>> = Vec::new();
+    if remaining > 0 {
+        std::thread::scope(|scope| {
+            let engine = &engine;
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            let spawn_worker = |sink: Option<Arc<MemorySink>>| {
+                let tx = tx.clone();
                 scope.spawn(move || {
-                    let worker_telemetry = match sink {
+                    let worker_telemetry = match &sink {
                         Some(sink) => Telemetry::new(sink.clone()),
                         None => Telemetry::disabled(),
                     };
-                    let switch = MutationSwitch::new();
-                    let factory = shards.build_factory(&switch);
-                    let runner = build_runner(engine.config, &worker_telemetry);
-                    switch.set_cancel_token(runner.cancel_token().clone());
-                    let mut out = Vec::new();
-                    engine.drain(
-                        factory.as_ref(),
-                        &switch,
-                        &runner,
-                        &worker_telemetry,
-                        &mut out,
-                    );
-                    switch.disarm();
-                    switch.clear_cancel_token();
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(out) => {
-                    for (index, result) in out {
+                    let verdict_tx = tx.clone();
+                    // The drain already contains classifier panics; this
+                    // outer catch additionally contains harness panics
+                    // (factory construction, runner setup), so no panic
+                    // path can take the campaign down with it.
+                    let body = AssertUnwindSafe(|| {
+                        let switch = MutationSwitch::new();
+                        let factory = shards.build_factory(&switch);
+                        let runner = build_runner(engine.config, &worker_telemetry);
+                        switch.set_cancel_token(runner.cancel_token().clone());
+                        let mut emit = |index: usize, result: MutantResult| {
+                            let _ = verdict_tx.send(WorkerMsg::Verdict(index, result));
+                        };
+                        let end = engine.drain(
+                            factory.as_ref(),
+                            &switch,
+                            &runner,
+                            &worker_telemetry,
+                            &mut emit,
+                        );
+                        switch.disarm();
+                        switch.clear_cancel_token();
+                        end
+                    });
+                    let crashed = !matches!(catch_unwind(body), Ok(DrainEnd::Drained));
+                    let _ = tx.send(WorkerMsg::Retired { crashed });
+                });
+            };
+            let mut fresh_sink = || {
+                let sink = telemetry.is_enabled().then(|| Arc::new(MemorySink::new()));
+                if let Some(sink) = &sink {
+                    sinks.push(sink.clone());
+                }
+                sink
+            };
+            let mut active = 0usize;
+            for _ in 0..workers {
+                spawn_worker(fresh_sink());
+                active += 1;
+            }
+            // Supervisor: per-sender FIFO guarantees a worker's verdicts
+            // all arrive before its retirement message, so when the last
+            // worker retires every streamed verdict has been merged.
+            let mut restarts_left = config.worker_restarts;
+            while active > 0 {
+                match rx.recv() {
+                    Ok(WorkerMsg::Verdict(index, result)) => {
+                        journal.record(index, &result.status);
                         slots[index] = Some(result);
                     }
+                    Ok(WorkerMsg::Retired { crashed }) => {
+                        active -= 1;
+                        if crashed && restarts_left > 0 && engine.has_unclaimed_work() {
+                            restarts_left -= 1;
+                            spawn_worker(fresh_sink());
+                            active += 1;
+                        }
+                    }
+                    Err(_) => break,
                 }
-                // Component panics are caught inside the runner; a worker
-                // panic is an engine bug and must surface, not vanish
-                // into a half-merged run.
-                Err(panic) => std::panic::resume_unwind(panic),
             }
+        });
+    }
+    // Degraded completion: if the restart budget ran out with work still
+    // unclaimed (every worker crashed), finish inline on this thread —
+    // partial results are never discarded.
+    while engine.has_unclaimed_work() {
+        let switch = MutationSwitch::new();
+        let factory = shards.build_factory(&switch);
+        let inline_runner = build_runner(config, telemetry);
+        switch.set_cancel_token(inline_runner.cancel_token().clone());
+        let mut emit = |index: usize, result: MutantResult| {
+            journal.record(index, &result.status);
+            slots[index] = Some(result);
+        };
+        let end = engine.drain(
+            factory.as_ref(),
+            &switch,
+            &inline_runner,
+            telemetry,
+            &mut emit,
+        );
+        switch.disarm();
+        switch.clear_cancel_token();
+        if let DrainEnd::Drained = end {
+            break;
         }
-    });
-    for sink in sinks.into_iter().flatten() {
+    }
+    for sink in sinks {
         telemetry.absorb(&sink.events());
     }
     let results = slots
         .into_iter()
-        .map(|slot| slot.expect("every queued mutant index was claimed and classified"))
+        .map(|slot| slot.expect("every mutant index was claimed, classified or replayed"))
         .collect();
     finish_run(telemetry, results, baseline.golden)
 }
@@ -978,6 +1237,7 @@ mod tests {
             QuarantineReason::RepeatedCrash.to_string(),
             "repeated crash"
         );
+        assert_eq!(QuarantineReason::WorkerCrash.to_string(), "worker crash");
     }
 
     #[test]
@@ -1125,6 +1385,225 @@ mod tests {
             + sink.counter_total("mutant.quarantined.budget")
             + sink.counter_total("mutant.quarantined.repeated_crash");
         assert_eq!(classified as usize, run.total());
+    }
+
+    /// `Acc` behind a reporter that panics when the accumulated total has
+    /// gone negative. The reporter runs *outside* the runner's
+    /// `catch_unwind` boundary, so a mutant driving the total negative
+    /// (BitNeg/MININT on the add sites) takes the whole worker down —
+    /// the crash-containment vehicle.
+    struct GrenadeAcc {
+        inner: Acc,
+    }
+
+    impl Component for GrenadeAcc {
+        fn class_name(&self) -> &'static str {
+            self.inner.class_name()
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            self.inner.method_names()
+        }
+        fn invoke(&mut self, m: &str, a: &[Value]) -> InvokeResult {
+            self.inner.invoke(m, a)
+        }
+    }
+
+    impl BuiltInTest for GrenadeAcc {
+        fn bit_control(&self) -> &BitControl {
+            self.inner.bit_control()
+        }
+        fn invariant_test(&self) -> Result<(), AssertionViolation> {
+            self.inner.invariant_test()
+        }
+        fn reporter(&self) -> StateReport {
+            assert!(
+                self.inner.total >= 0,
+                "grenade reporter: total went negative"
+            );
+            self.inner.reporter()
+        }
+    }
+
+    struct GrenadeFactory {
+        switch: MutationSwitch,
+    }
+
+    impl ComponentFactory for GrenadeFactory {
+        fn class_name(&self) -> &str {
+            "Acc"
+        }
+        fn construct(
+            &self,
+            constructor: &str,
+            _args: &[Value],
+            ctl: BitControl,
+        ) -> Result<Box<dyn TestableComponent>, TestException> {
+            match constructor {
+                "Acc" => Ok(Box::new(GrenadeAcc {
+                    inner: Acc {
+                        total: 0,
+                        limit: 1_000,
+                        ctl,
+                        switch: self.switch.clone(),
+                    },
+                })),
+                other => Err(unknown_method("Acc", other)),
+            }
+        }
+    }
+
+    struct GrenadeShards;
+
+    impl ClonableFactory for GrenadeShards {
+        fn class_name(&self) -> &str {
+            "Acc"
+        }
+        fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+            Box::new(GrenadeFactory {
+                switch: switch.clone(),
+            })
+        }
+    }
+
+    /// Indices of the grenade run's worker-crash quarantines, after
+    /// checking they exist and every other verdict matches the panic-free
+    /// baseline.
+    fn assert_contained(run: &MutationRun, baseline: &MutationRun) -> Vec<usize> {
+        let crashed: Vec<usize> = run
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.status
+                    == MutantStatus::Quarantined {
+                        reason: QuarantineReason::WorkerCrash,
+                    }
+            })
+            .map(|(index, _)| index)
+            .collect();
+        assert!(!crashed.is_empty(), "grenade mutants must crash a worker");
+        assert_eq!(run.results.len(), baseline.results.len());
+        for (index, (got, want)) in run.results.iter().zip(&baseline.results).enumerate() {
+            if crashed.contains(&index) {
+                continue;
+            }
+            assert_eq!(got, want, "non-crashing mutant {index} must be unaffected");
+        }
+        crashed
+    }
+
+    #[test]
+    fn sequential_worker_crash_quarantines_only_inflight_mutant() {
+        let mutants = enumerate_mutants(&inventory(), &["AddTwice"]);
+        let baseline = analyze(5, vec![]);
+        let switch = MutationSwitch::new();
+        let factory = GrenadeFactory {
+            switch: switch.clone(),
+        };
+        let sink = Arc::new(MemorySink::new());
+        let run = run_mutation_analysis(
+            &factory,
+            &switch,
+            &suite(5),
+            &mutants,
+            &MutationConfig {
+                telemetry: Telemetry::new(sink.clone()),
+                ..MutationConfig::default()
+            },
+        );
+        let crashed = assert_contained(&run, &baseline);
+        assert_eq!(
+            sink.counter_total("mutation.worker_crash") as usize,
+            crashed.len()
+        );
+        assert_eq!(
+            sink.counter_total("mutant.quarantined.worker_crash") as usize,
+            crashed.len()
+        );
+        assert!(switch.armed().is_none(), "switch disarmed after crashes");
+    }
+
+    #[test]
+    fn parallel_worker_crashes_are_contained_and_respawned() {
+        let mutants = enumerate_mutants(&inventory(), &["AddTwice"]);
+        let baseline = analyze(5, vec![]);
+        for workers in [1, 2, 4] {
+            let sink = Arc::new(MemorySink::new());
+            let run = run_mutation_analysis_parallel(
+                &GrenadeShards,
+                &suite(5),
+                &mutants,
+                &MutationConfig {
+                    workers,
+                    telemetry: Telemetry::new(sink.clone()),
+                    ..MutationConfig::default()
+                },
+            );
+            let crashed = assert_contained(&run, &baseline);
+            assert_eq!(
+                sink.counter_total("mutation.worker_crash") as usize,
+                crashed.len(),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_restart_budget_degrades_but_still_completes() {
+        let mutants = enumerate_mutants(&inventory(), &["AddTwice"]);
+        let baseline = analyze(5, vec![]);
+        let run = run_mutation_analysis_parallel(
+            &GrenadeShards,
+            &suite(5),
+            &mutants,
+            &MutationConfig {
+                workers: 2,
+                worker_restarts: 0,
+                ..MutationConfig::default()
+            },
+        );
+        // No respawns: once both workers crash, the campaign finishes
+        // inline on the calling thread — never aborting with partial
+        // results discarded.
+        assert_contained(&run, &baseline);
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join("concat-mutation-analysis-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("acc.journal");
+        let mutants = enumerate_mutants(&inventory(), &["AddTwice"]);
+        let config = |sink: &Arc<MemorySink>| MutationConfig {
+            workers: 2,
+            journal_path: Some(path.clone()),
+            telemetry: Telemetry::new(sink.clone()),
+            ..MutationConfig::default()
+        };
+        let sink = Arc::new(MemorySink::new());
+        let first = run_mutation_analysis_parallel(&AccShards, &suite(5), &mutants, &config(&sink));
+        assert_eq!(sink.counter_total("mutation.replayed"), 0);
+
+        // The journal now holds every verdict: a rerun replays them all
+        // and produces a byte-identical run without re-executing mutants.
+        let sink = Arc::new(MemorySink::new());
+        let again = run_mutation_analysis_parallel(&AccShards, &suite(5), &mutants, &config(&sink));
+        assert_eq!(again.results, first.results);
+        assert_eq!(again.score(), first.score());
+        assert_eq!(
+            sink.counter_total("mutation.replayed") as usize,
+            mutants.len()
+        );
+        assert_eq!(sink.gauge_value("mutation.workers"), Some(2));
+
+        // A different campaign fingerprint (different suite) resets the
+        // journal instead of replaying foreign verdicts.
+        let sink = Arc::new(MemorySink::new());
+        let other = run_mutation_analysis_parallel(&AccShards, &suite(7), &mutants, &config(&sink));
+        assert_eq!(sink.counter_total("mutation.replayed"), 0);
+        assert_eq!(other.total(), mutants.len());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Component whose instrumented site is reached only by `Spin`: the

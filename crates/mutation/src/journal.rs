@@ -1,0 +1,317 @@
+//! The durable verdict journal behind resumable mutation campaigns.
+//!
+//! The paper's test infrastructure mandates "test history creation and
+//! maintenance" and "test retrieval" (§3.4): a consumer can stop testing
+//! a component and pick it back up later. For mutation analysis the unit
+//! of history is the per-mutant verdict, so the engine appends one
+//! checksummed record to a [`concat_runtime::Journal`] as each mutant
+//! finishes (write-ahead: the record is fsynced before the verdict is
+//! merged). On restart the journal's verified prefix is replayed and only
+//! unfinished mutants re-execute — with a deterministic engine the
+//! resumed run is byte-identical to an uninterrupted one.
+//!
+//! Journal layout (each line checksum-framed by the runtime journal; see
+//! `concat_runtime::scan_journal` for the `crc32 payload` framing):
+//!
+//! ```text
+//! campaign <fingerprint, 8 hex digits>
+//! verdict <mutant id> killed crash <case id>
+//! verdict <mutant id> survived
+//! verdict <mutant id> quarantined worker-crash
+//! ...
+//! ```
+//!
+//! The header fingerprint binds the journal to one campaign — subject
+//! class, suite, probe suites, budget, mutant list. A journal whose
+//! header does not match the resuming campaign is discarded wholesale
+//! rather than replayed into the wrong run.
+
+use crate::analysis::{KillReason, MutantStatus, MutationConfig, QuarantineReason};
+use crate::enumerate::Mutant;
+use concat_driver::TestSuite;
+use concat_runtime::{crc32, recover_journal, Journal};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Computes the campaign fingerprint recorded in the journal header:
+/// a CRC-32 over everything that determines the verdict vector — the
+/// subject class, the killing suite, the probe suites, the BIT/budget/
+/// threshold configuration, and the enumerated mutant list. The worker
+/// count is deliberately excluded (verdicts are byte-identical for every
+/// worker count, so a journal written by a 4-worker run resumes cleanly
+/// under 1 worker and vice versa).
+pub fn campaign_fingerprint(
+    class_name: &str,
+    suite: &TestSuite,
+    mutants: &[Mutant],
+    config: &MutationConfig,
+) -> u32 {
+    let mut text = String::new();
+    let _ = writeln!(text, "class {class_name}");
+    let _ = writeln!(text, "suite {} {}", suite.seed, suite.cases.len());
+    for case in &suite.cases {
+        let _ = writeln!(text, "case {case:?}");
+    }
+    for probe in &config.probe_suites {
+        let _ = writeln!(text, "probe {} {}", probe.seed, probe.cases.len());
+        for case in &probe.cases {
+            let _ = writeln!(text, "probe-case {case:?}");
+        }
+    }
+    let _ = writeln!(text, "bit {}", config.bit_enabled);
+    let _ = writeln!(
+        text,
+        "crash_threshold {:?}",
+        config.crash_quarantine_threshold
+    );
+    let _ = writeln!(text, "budget {:?}", config.budget);
+    for mutant in mutants {
+        let _ = writeln!(text, "mutant {mutant}");
+    }
+    crc32(text.as_bytes())
+}
+
+fn header(fingerprint: u32) -> String {
+    format!("campaign {fingerprint:08x}")
+}
+
+/// Encodes one mutant verdict as a journal record payload.
+pub fn encode_verdict(id: usize, status: &MutantStatus) -> String {
+    let code = match status {
+        MutantStatus::Killed { reason, by_case } => {
+            let reason = match reason {
+                KillReason::Crash => "crash",
+                KillReason::Assertion => "assertion",
+                KillReason::OutputDiff => "output",
+            };
+            format!("killed {reason} {by_case}")
+        }
+        MutantStatus::Survived => "survived".to_owned(),
+        MutantStatus::PresumedEquivalent => "equivalent".to_owned(),
+        MutantStatus::Quarantined { reason } => {
+            let reason = match reason {
+                QuarantineReason::Timeout => "timeout",
+                QuarantineReason::Budget => "budget",
+                QuarantineReason::RepeatedCrash => "repeated-crash",
+                QuarantineReason::WorkerCrash => "worker-crash",
+            };
+            format!("quarantined {reason}")
+        }
+    };
+    format!("verdict {id} {code}")
+}
+
+/// Decodes a journal record payload back into `(mutant id, status)`;
+/// `None` for anything that is not a well-formed verdict record (the
+/// checksum already passed, so this only rejects foreign payloads).
+pub fn decode_verdict(record: &str) -> Option<(usize, MutantStatus)> {
+    let mut parts = record.split(' ');
+    if parts.next()? != "verdict" {
+        return None;
+    }
+    let id: usize = parts.next()?.parse().ok()?;
+    let status = match parts.next()? {
+        "killed" => {
+            let reason = match parts.next()? {
+                "crash" => KillReason::Crash,
+                "assertion" => KillReason::Assertion,
+                "output" => KillReason::OutputDiff,
+                _ => return None,
+            };
+            let by_case: usize = parts.next()?.parse().ok()?;
+            MutantStatus::Killed { reason, by_case }
+        }
+        "survived" => MutantStatus::Survived,
+        "equivalent" => MutantStatus::PresumedEquivalent,
+        "quarantined" => {
+            let reason = match parts.next()? {
+                "timeout" => QuarantineReason::Timeout,
+                "budget" => QuarantineReason::Budget,
+                "repeated-crash" => QuarantineReason::RepeatedCrash,
+                "worker-crash" => QuarantineReason::WorkerCrash,
+                _ => return None,
+            };
+            MutantStatus::Quarantined { reason }
+        }
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((id, status))
+}
+
+/// A per-campaign verdict journal: opened (with recovery and replay) by
+/// [`CampaignJournal::resume`], appended to as each mutant finishes.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    journal: Journal,
+}
+
+impl CampaignJournal {
+    /// Opens the journal at `path`, repairing any torn/corrupt tail, and
+    /// returns it together with the verdicts to replay.
+    ///
+    /// * Missing file, or a header from a *different* campaign: the
+    ///   journal is reset to a fresh header and nothing is replayed.
+    /// * Matching header: every verified verdict record for a known
+    ///   mutant id is returned for replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from recovery, reset or the header append.
+    pub fn resume(
+        path: &Path,
+        fingerprint: u32,
+        mutant_count: usize,
+    ) -> io::Result<(CampaignJournal, Vec<(usize, MutantStatus)>)> {
+        let (mut journal, scan) = recover_journal(path)?;
+        let expected = header(fingerprint);
+        if scan.records.first() == Some(&expected) {
+            let replayed = scan.records[1..]
+                .iter()
+                .filter_map(|record| decode_verdict(record))
+                .filter(|(id, _)| *id < mutant_count)
+                .collect();
+            return Ok((CampaignJournal { journal }, replayed));
+        }
+        // Not ours (or empty): start a fresh journal for this campaign.
+        journal.clear()?;
+        journal.append(&expected)?;
+        Ok((CampaignJournal { journal }, Vec::new()))
+    }
+
+    /// Durably appends one verdict; when this returns `Ok` the verdict
+    /// survives a process kill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the append/fsync error.
+    pub fn record(&mut self, id: usize, status: &MutantStatus) -> io::Result<()> {
+        self.journal.append(&encode_verdict(id, status))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        self.journal.path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("concat-mutation-journal-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn all_statuses() -> Vec<MutantStatus> {
+        vec![
+            MutantStatus::Killed {
+                reason: KillReason::Crash,
+                by_case: 3,
+            },
+            MutantStatus::Killed {
+                reason: KillReason::Assertion,
+                by_case: 0,
+            },
+            MutantStatus::Killed {
+                reason: KillReason::OutputDiff,
+                by_case: 17,
+            },
+            MutantStatus::Survived,
+            MutantStatus::PresumedEquivalent,
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::Timeout,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::Budget,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::RepeatedCrash,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::WorkerCrash,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_status_round_trips() {
+        for (id, status) in all_statuses().into_iter().enumerate() {
+            let record = encode_verdict(id, &status);
+            assert_eq!(
+                decode_verdict(&record),
+                Some((id, status)),
+                "record {record:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        for bad in [
+            "",
+            "verdict",
+            "verdict x survived",
+            "verdict 1",
+            "verdict 1 killed",
+            "verdict 1 killed crash",
+            "verdict 1 killed crash x",
+            "verdict 1 killed slowly 2",
+            "verdict 1 quarantined",
+            "verdict 1 quarantined vibes",
+            "verdict 1 survived extra",
+            "campaign deadbeef",
+        ] {
+            assert_eq!(decode_verdict(bad), None, "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn resume_replays_matching_campaign_and_resets_foreign_one() {
+        let dir = scratch("resume");
+        let path = dir.join("campaign.journal");
+        let (mut journal, replayed) = CampaignJournal::resume(&path, 0xABCD, 10).unwrap();
+        assert!(replayed.is_empty());
+        journal.record(2, &MutantStatus::Survived).unwrap();
+        journal
+            .record(
+                5,
+                &MutantStatus::Quarantined {
+                    reason: QuarantineReason::WorkerCrash,
+                },
+            )
+            .unwrap();
+        // Out-of-range record is ignored on replay, not an error.
+        journal.record(99, &MutantStatus::Survived).unwrap();
+        drop(journal);
+
+        let (_journal, replayed) = CampaignJournal::resume(&path, 0xABCD, 10).unwrap();
+        assert_eq!(
+            replayed,
+            vec![
+                (2, MutantStatus::Survived),
+                (
+                    5,
+                    MutantStatus::Quarantined {
+                        reason: QuarantineReason::WorkerCrash
+                    }
+                ),
+            ]
+        );
+
+        // A different fingerprint discards the stored verdicts.
+        let (_journal, replayed) = CampaignJournal::resume(&path, 0x1234, 10).unwrap();
+        assert!(replayed.is_empty());
+        let (_journal, replayed) = CampaignJournal::resume(&path, 0x1234, 10).unwrap();
+        assert!(replayed.is_empty(), "old campaign's verdicts are gone");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,9 +19,15 @@
 //!   classification (crash / assertion violation / output difference),
 //!   equivalence probing, and the [`MutationRun`] scores;
 //! * [`run_mutation_analysis_parallel`] / [`ClonableFactory`] — the same
-//!   analysis sharded across a worker pool, each worker owning its own
-//!   factory/switch/runner/watchdog, with a deterministic merge so every
+//!   analysis sharded across a supervised worker pool, each worker owning
+//!   its own factory/switch/runner/watchdog, with crash containment
+//!   (a panicking worker quarantines only its in-flight mutant and is
+//!   respawned under a restart budget) and a deterministic merge so every
 //!   worker count yields byte-identical verdicts;
+//! * [`CampaignJournal`] / [`campaign_fingerprint`] — the durable
+//!   write-ahead verdict journal behind resumable campaigns (the paper's
+//!   §3.4 test-history mandate): set `MutationConfig::journal_path` and a
+//!   killed campaign resumes with only unfinished mutants re-executed;
 //! * [`MutationMatrix`] — the method × operator aggregation behind the
 //!   paper's Tables 2 and 3.
 //!
@@ -49,6 +55,7 @@ mod analysis;
 mod enumerate;
 mod fault;
 mod inventory;
+mod journal;
 mod matrix;
 mod operators;
 
@@ -59,5 +66,6 @@ pub use analysis::{
 pub use enumerate::{enumerate_mutants, expected_count, Mutant};
 pub use fault::{coerce_int, ClonableFactory, FaultPlan, MutationSwitch, Replacement, VarEnv};
 pub use inventory::{ClassInventory, MethodInventory, UseSite};
+pub use journal::{campaign_fingerprint, decode_verdict, encode_verdict, CampaignJournal};
 pub use matrix::{CellStats, MutationMatrix};
 pub use operators::{MutationOperator, ReqConst};

@@ -225,6 +225,47 @@ impl<W: Write + Send> JsonlSink<W> {
     }
 }
 
+impl JsonlSink<std::io::BufWriter<concat_runtime::AtomicFile>> {
+    /// Opens a JSONL sink over an atomic file: events buffer into a temp
+    /// file next to `path`, and only [`JsonlSink::finish`] fsyncs and
+    /// renames it into place. A kill mid-trace leaves any previous trace
+    /// at `path` intact — never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates temp-file creation errors.
+    pub fn create_path(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Self::create_path_with_policy(path, IoPolicy::default())
+    }
+
+    /// [`JsonlSink::create_path`] with an explicit retry/fault-injection
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates temp-file creation errors.
+    pub fn create_path_with_policy(
+        path: impl AsRef<std::path::Path>,
+        policy: IoPolicy,
+    ) -> std::io::Result<Self> {
+        let file = concat_runtime::AtomicFile::create(path.as_ref())?;
+        Ok(Self::with_policy(std::io::BufWriter::new(file), policy))
+    }
+
+    /// Flushes, fsyncs and renames the trace into its destination,
+    /// returning the final path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/fsync/rename errors; on error the destination is
+    /// left untouched and the temp file is cleaned up.
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        let writer = self.into_inner();
+        let file = writer.into_inner().map_err(|e| e.into_error())?;
+        file.commit()
+    }
+}
+
 impl JsonlSink<Vec<u8>> {
     /// An in-memory JSONL sink, convenient for tests.
     pub fn in_memory() -> Self {
@@ -370,6 +411,42 @@ mod tests {
         assert!(sink.is_degraded());
         assert_eq!(sink.dropped_events(), 4);
         assert_eq!(sink.contents(), "", "nothing was written");
+    }
+
+    #[test]
+    fn jsonl_sink_atomic_path_commits_on_finish() {
+        let dir = std::env::temp_dir().join("concat-obs-jsonl-atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, "old trace\n").unwrap();
+        let sink = JsonlSink::create_path(&path).unwrap();
+        sink.record(Event::Counter {
+            name: "a",
+            delta: 1,
+        });
+        // Not committed yet: the previous trace is still intact.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old trace\n");
+        let finished = sink.finish().unwrap();
+        assert_eq!(finished, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with('{'));
+        // An unfinished sink (a killed run) leaves the destination alone
+        // and its drop cleans the temp file up.
+        let sink = JsonlSink::create_path(&path).unwrap();
+        sink.record(Event::Counter {
+            name: "b",
+            delta: 1,
+        });
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "no temp litter"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

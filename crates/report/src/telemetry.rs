@@ -82,7 +82,7 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 5] = [
+const HARNESS_COUNTERS: [(&str, &str); 7] = [
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
     ("mutation.quarantined", "mutants excluded from the score"),
@@ -91,6 +91,14 @@ const HARNESS_COUNTERS: [(&str, &str); 5] = [
         "test cases stopped by the watchdog",
     ),
     ("case.budget_exhausted", "test cases stopped by a budget"),
+    (
+        "mutation.worker_crash",
+        "worker panics contained (#worker_crashes)",
+    ),
+    (
+        "mutation.replayed",
+        "journal verdicts replayed on resume (#replayed)",
+    ),
 ];
 
 /// Renders the fail-safe execution health table: retry, degradation,

@@ -45,6 +45,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod atomic_io;
 mod component;
 mod error;
 mod harden;
@@ -52,6 +53,9 @@ mod literal;
 mod rng;
 mod value;
 
+pub use atomic_io::{
+    crc32, recover_journal, scan_journal, write_atomic, AtomicFile, Journal, JournalScan,
+};
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
 pub use harden::{

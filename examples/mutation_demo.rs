@@ -10,6 +10,15 @@
 //! producing verdict-for-verdict identical results.
 //!
 //! Run with: `cargo run --release --example mutation_demo`
+//!
+//! A second mode exercises the durable, resumable campaign path:
+//! `mutation_demo campaign <journal> <report>` runs a multi-second
+//! analysis journaling every verdict to `<journal>`, then writes the
+//! score table to `<report>` (atomically — a kill mid-campaign leaves no
+//! report). Killed and rerun with the same journal, the campaign resumes
+//! from the recorded verdicts and the final report is byte-identical to
+//! an uninterrupted run; CI's `resume` job SIGKILLs this mode mid-flight
+//! and diffs the reports.
 
 use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
@@ -28,6 +37,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "campaign" {
+        campaign_mode(&args[2], &args[3]);
+        return;
+    }
     let switch = MutationSwitch::new();
     let bundle = SelfTestableBuilder::new(
         sortable_spec(),
@@ -237,6 +251,45 @@ fn delay_bundle() -> SelfTestable {
     .mutation(delay_inventory(), switch)
     .mutation_shards(Arc::new(DelayShards))
     .build()
+}
+
+/// The `campaign <journal> <report>` mode: a deliberately slow, journaled
+/// campaign on the `Delay` subject — its hanging mutants wait out watchdog
+/// deadlines, stretching the run past the point where CI's `resume` job
+/// SIGKILLs it. Verdicts are journaled as they land, so the rerun replays
+/// the survivors and re-executes only unfinished mutants; the report is
+/// written atomically at the end and must be byte-identical whether or
+/// not the campaign was interrupted.
+fn campaign_mode(journal: &str, report: &str) {
+    // ~10 hanging mutants x one 300 ms deadline per reached case, over 2
+    // workers: the uninterrupted campaign takes well over 5 s, so CI's
+    // kill at 2 s lands mid-flight with verdicts already journaled.
+    let deadline = Duration::from_millis(300);
+    let bundle = delay_bundle();
+    let consumer = Consumer::with_seed(2024)
+        .with_budget(Budget::unlimited().with_deadline(deadline))
+        .with_workers(2)
+        .with_journal(journal);
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    let targets = ["Work", "Rest"];
+    let started = Instant::now();
+    let run = consumer
+        .evaluate_quality(&bundle, &suite, &targets, &[])
+        .expect("bundle carries mutation support and shards");
+    let text = format!(
+        "{}\n{}\n",
+        render_score_table(
+            "Delay campaign (resumable)",
+            &MutationMatrix::from_run(&run, &targets)
+        ),
+        summarize_run(&run)
+    );
+    concat::runtime::write_atomic(report, text.as_bytes()).expect("report written atomically");
+    println!(
+        "campaign complete in {:?}: {}",
+        started.elapsed(),
+        summarize_run(&run)
+    );
 }
 
 fn parallel_section() {

@@ -309,6 +309,206 @@ fn parallel_analysis_quarantines_hangers_without_stalling_siblings() {
     );
 }
 
+/// A component whose reporter blows up when its charge has gone
+/// negative. The reporter runs *outside* the runner's panic-catch
+/// boundary, so a mutant that drives the charge negative (`-1`, `MININT`,
+/// `~5`) takes the whole analysis worker down with it — the seeded
+/// worker-crash scenario. With `live: false` the fuse is inert and the
+/// same mutants are classified normally (the panic-free baseline).
+#[derive(Debug)]
+struct Fuse {
+    charge: i64,
+    live: bool,
+    ctl: BitControl,
+    switch: MutationSwitch,
+}
+
+impl Fuse {
+    const CLASS: &'static str = "Fuse";
+}
+
+impl Component for Fuse {
+    fn class_name(&self) -> &'static str {
+        Self::CLASS
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        vec!["Charge", "~Fuse"]
+    }
+
+    fn invoke(&mut self, method: &str, _a: &[Value]) -> InvokeResult {
+        match method {
+            "Charge" => {
+                let env = VarEnv::new().bind("level", 5);
+                self.charge = self.switch.read_int("Charge", 0, "level", 5, &env);
+                Ok(Value::Int(self.charge))
+            }
+            "~Fuse" => Ok(Value::Null),
+            _ => Err(unknown_method(self.class_name(), method)),
+        }
+    }
+}
+
+impl BuiltInTest for Fuse {
+    fn bit_control(&self) -> &BitControl {
+        &self.ctl
+    }
+
+    fn invariant_test(&self) -> Result<(), AssertionViolation> {
+        Ok(())
+    }
+
+    fn reporter(&self) -> StateReport {
+        assert!(!self.live || self.charge >= 0, "live fuse: negative charge");
+        let mut r = StateReport::new();
+        r.set("charge", Value::Int(self.charge));
+        r
+    }
+}
+
+#[derive(Debug)]
+struct FuseFactory {
+    live: bool,
+    switch: MutationSwitch,
+}
+
+impl ComponentFactory for FuseFactory {
+    fn class_name(&self) -> &str {
+        Fuse::CLASS
+    }
+
+    fn construct(
+        &self,
+        constructor: &str,
+        _a: &[Value],
+        ctl: BitControl,
+    ) -> Result<Box<dyn TestableComponent>, TestException> {
+        match constructor {
+            "Fuse" => Ok(Box::new(Fuse {
+                charge: 0,
+                live: self.live,
+                ctl,
+                switch: self.switch.clone(),
+            })),
+            other => Err(unknown_method(Fuse::CLASS, other)),
+        }
+    }
+}
+
+struct FuseShards {
+    live: bool,
+}
+
+impl concat::mutation::ClonableFactory for FuseShards {
+    fn class_name(&self) -> &str {
+        Fuse::CLASS
+    }
+
+    fn build_factory(&self, switch: &MutationSwitch) -> Box<dyn ComponentFactory> {
+        Box::new(FuseFactory {
+            live: self.live,
+            switch: switch.clone(),
+        })
+    }
+}
+
+fn fuse_spec() -> ClassSpec {
+    ClassSpecBuilder::new(Fuse::CLASS)
+        .constructor("m1", "Fuse")
+        .method("m2", "Charge", MethodCategory::Update)
+        .returns("int")
+        .destructor("m3", "~Fuse")
+        .birth_node("n1", ["m1"])
+        .task_node("n2", ["m2"])
+        .death_node("n3", ["m3"])
+        .edge("n1", "n2")
+        .edge("n2", "n3")
+        .edge("n1", "n3")
+        .build()
+        .expect("Fuse spec is valid")
+}
+
+fn fuse_bundle(live: bool) -> concat::core::SelfTestable {
+    let switch = MutationSwitch::new();
+    let inventory = ClassInventory::new(Fuse::CLASS).method(
+        MethodInventory::new("Charge")
+            .locals(["level"])
+            .site(0, "level", "charge level"),
+    );
+    SelfTestableBuilder::new(
+        fuse_spec(),
+        Rc::new(FuseFactory {
+            live,
+            switch: switch.clone(),
+        }),
+    )
+    .mutation(inventory, switch)
+    .mutation_shards(Arc::new(FuseShards { live }))
+    .build()
+}
+
+#[test]
+fn worker_panics_are_contained_and_the_campaign_completes() {
+    let workers = std::env::var("CONCAT_CHAOS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let run_fuse = |live: bool, telemetry: Telemetry| {
+        let bundle = fuse_bundle(live);
+        let consumer = Consumer::with_seed(53)
+            .with_workers(workers)
+            .with_telemetry(telemetry);
+        let suite = consumer.generate(&bundle).expect("generation succeeds");
+        consumer
+            .evaluate_quality(&bundle, &suite, &["Charge"], &[])
+            .expect("campaign completes despite worker panics")
+    };
+    let baseline = run_fuse(false, Telemetry::disabled());
+    let sink = Arc::new(concat::obs::MemorySink::new());
+    let run = run_fuse(true, Telemetry::new(sink.clone()));
+
+    let crashed: Vec<usize> = run
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            r.status
+                == MutantStatus::Quarantined {
+                    reason: QuarantineReason::WorkerCrash,
+                }
+        })
+        .map(|(index, _)| index)
+        .collect();
+    assert!(
+        !crashed.is_empty(),
+        "negative-charge mutants must crash a worker: {:?}",
+        run.results
+    );
+    // Only the in-flight mutants were quarantined; every other verdict
+    // matches the panic-free baseline exactly.
+    assert_eq!(run.results.len(), baseline.results.len());
+    for (index, (got, want)) in run.results.iter().zip(&baseline.results).enumerate() {
+        if crashed.contains(&index) {
+            continue;
+        }
+        assert_eq!(got, want, "mutant {index} must be unaffected by crashes");
+    }
+    assert_eq!(
+        run.killed() + run.survived() + run.equivalent() + run.quarantined(),
+        run.total(),
+        "campaign completed with a verdict for every mutant"
+    );
+    let summary = Summary::from_events(&sink.events());
+    assert_eq!(
+        summary
+            .counters
+            .get("mutation.worker_crash")
+            .copied()
+            .unwrap_or(0) as usize,
+        crashed.len()
+    );
+}
+
 #[test]
 fn jsonl_write_faults_retry_then_degrade_while_the_run_stays_green() {
     // Nth-write fault: one transient fault is absorbed by retries.
