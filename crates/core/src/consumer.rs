@@ -13,8 +13,8 @@ use concat_driver::{
     TestLog, TestRunner, TestSuite, TestingHistory,
 };
 use concat_mutation::{
-    enumerate_mutants, run_mutation_analysis, run_mutation_analysis_parallel, MutationConfig,
-    MutationRun,
+    amplify_suite, amplify_suite_parallel, enumerate_mutants, run_mutation_analysis,
+    run_mutation_analysis_parallel, AmplifyConfig, AmplifyOutcome, MutationConfig, MutationRun,
 };
 use concat_obs::Telemetry;
 use concat_runtime::{recommended_workers, Budget, IoPolicy};
@@ -223,13 +223,7 @@ impl Consumer {
     /// Propagates [`GenerateError`] from the driver generator.
     pub fn generate(&self, component: &SelfTestable) -> Result<TestSuite, ConsumerError> {
         let mut gen = DriverGenerator::new(self.config).with_telemetry(self.telemetry.clone());
-        if component
-            .spec()
-            .methods
-            .iter()
-            .flat_map(|m| &m.params)
-            .any(|p| matches!(p.domain, concat_tspec::Domain::Pointer { ref class_name, .. } if class_name == "Provider"))
-        {
+        if spec_uses_provider(component.spec()) {
             concat_components_provider_shim(gen.inputs_mut());
         }
         Ok(gen.generate(component.spec())?)
@@ -311,6 +305,92 @@ impl Consumer {
             _ => return Err(ConsumerError::NoMutationSupport),
         };
         let mutants = enumerate_mutants(inventory, target_methods);
+        let config = self.mutation_config(component, probe_seeds, bit_enabled)?;
+        Ok(match component.shards() {
+            // A sharded bundle analyzes across the worker pool; the merge
+            // is deterministic, so the run is byte-identical to the
+            // sequential path below.
+            Some(shards) => run_mutation_analysis_parallel(shards, suite, &mutants, &config),
+            None => run_mutation_analysis(component.factory(), switch, suite, &mutants, &config),
+        })
+    }
+
+    /// Runs [`Consumer::evaluate_quality`] and then the mutation-driven
+    /// amplification loop: surviving mutants direct the driver generator
+    /// to synthesize targeted candidates (boundary values, re-seeded
+    /// draws, deeper TFM paths through the mutated feature), and each
+    /// candidate that kills a survivor joins the amplified suite. The
+    /// loop is deterministic per (consumer seed, suite, targets) and
+    /// byte-identical across worker counts on sharded bundles; with a
+    /// journal configured, every round journals and resumes like a plain
+    /// campaign.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Consumer::evaluate_quality`], plus generation errors from
+    /// candidate synthesis.
+    pub fn amplify_quality(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+        target_methods: &[&str],
+        probe_seeds: &[u64],
+        amplify: &AmplifyConfig,
+    ) -> Result<AmplifyOutcome, ConsumerError> {
+        let (inventory, switch) = match (component.inventory(), component.switch()) {
+            (Some(i), Some(s)) => (i, s),
+            _ => return Err(ConsumerError::NoMutationSupport),
+        };
+        let mutants = enumerate_mutants(inventory, target_methods);
+        let config = self.mutation_config(component, probe_seeds, true)?;
+        let spec = component.spec();
+        let base = self.config;
+        let needs_provider = spec_uses_provider(spec);
+        let mut synth = |existing: &TestSuite,
+                         features: &[String],
+                         round: usize,
+                         max: usize|
+         -> Result<TestSuite, GenerateError> {
+            let synthesis = concat_driver::synthesize_candidates(
+                spec,
+                base,
+                existing,
+                features,
+                round,
+                max,
+                |inputs| {
+                    if needs_provider {
+                        concat_components_provider_shim(inputs);
+                    }
+                },
+            )?;
+            Ok(synthesis.suite)
+        };
+        Ok(match component.shards() {
+            Some(shards) => {
+                amplify_suite_parallel(shards, suite, &mutants, &config, amplify, &mut synth)?
+            }
+            None => amplify_suite(
+                component.factory(),
+                switch,
+                suite,
+                &mutants,
+                &config,
+                amplify,
+                &mut synth,
+            )?,
+        })
+    }
+
+    /// Builds the analysis configuration shared by quality evaluation and
+    /// amplification: probe suites generated per seed, this consumer's
+    /// telemetry/budget/workers/journal threaded through.
+    fn mutation_config(
+        &self,
+        component: &SelfTestable,
+        probe_seeds: &[u64],
+        bit_enabled: bool,
+    ) -> Result<MutationConfig, ConsumerError> {
         let mut probe_suites = Vec::with_capacity(probe_seeds.len());
         for seed in probe_seeds {
             let consumer = Consumer::with_config(GeneratorConfig {
@@ -320,7 +400,7 @@ impl Consumer {
             .with_telemetry(self.telemetry.clone());
             probe_suites.push(consumer.generate(component)?);
         }
-        let config = MutationConfig {
+        Ok(MutationConfig {
             probe_suites,
             silence_panics: true,
             bit_enabled,
@@ -329,13 +409,6 @@ impl Consumer {
             workers: self.workers(),
             journal_path: self.journal.clone(),
             ..MutationConfig::default()
-        };
-        Ok(match component.shards() {
-            // A sharded bundle analyzes across the worker pool; the merge
-            // is deterministic, so the run is byte-identical to the
-            // sequential path below.
-            Some(shards) => run_mutation_analysis_parallel(shards, suite, &mutants, &config),
-            None => run_mutation_analysis(component.factory(), switch, suite, &mutants, &config),
         })
     }
 
@@ -448,6 +521,15 @@ impl Default for Consumer {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// True when the spec takes `Provider*` parameters (the warehouse demo
+/// family), which the consumer satisfies from the demo provider pool.
+fn spec_uses_provider(spec: &concat_tspec::ClassSpec) -> bool {
+    spec.methods
+        .iter()
+        .flat_map(|m| &m.params)
+        .any(|p| matches!(p.domain, concat_tspec::Domain::Pointer { ref class_name, .. } if class_name == "Provider"))
 }
 
 /// Registers the demo provider pool for `Provider*` parameters so the
@@ -596,6 +678,36 @@ mod tests {
         assert_eq!(again.results, first.results);
         assert_eq!(again.score(), first.score());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn amplification_improves_quality_on_sortable() {
+        let consumer = Consumer::with_seed(3);
+        let bundle = sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        // A deliberately thin base suite so mutants survive it.
+        let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(8).collect();
+        let small = suite.filtered(&ids);
+        let amplify = AmplifyConfig {
+            max_rounds: 2,
+            max_candidates_per_round: 24,
+            ..AmplifyConfig::default()
+        };
+        let outcome = consumer
+            .amplify_quality(&bundle, &small, &["FindMax"], &[4242], &amplify)
+            .unwrap();
+        assert!(outcome.final_score() >= outcome.baseline_score);
+        assert_eq!(
+            outcome.suite.len(),
+            small.len() + outcome.total_kept(),
+            "amplified suite = base + kept candidates"
+        );
+        // Determinism: the same consumer reproduces the outcome exactly.
+        let again = Consumer::with_seed(3)
+            .amplify_quality(&sortable_bundle(), &small, &["FindMax"], &[4242], &amplify)
+            .unwrap();
+        assert_eq!(again.run.results, outcome.run.results);
+        assert_eq!(again.rounds, outcome.rounds);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Candidate synthesis for mutation-driven test amplification.
+//!
+//! The amplification loop (in `concat-mutation`) asks the generator for
+//! *targeted* candidate cases aimed at the features (interface methods)
+//! whose mutants survived the current suite. Three complementary
+//! strategies are combined per round:
+//!
+//! 1. **boundary** — re-generate the covering suite drawing every
+//!    argument from its domain's boundary set (min/max of ranges,
+//!    empty/max-length collections) via
+//!    [`GeneratorConfig::boundary_inputs`];
+//! 2. **re-seed** — a fresh uniform draw under a round-derived seed, so
+//!    each round explores new argument values;
+//! 3. **deeper paths** — raise the TFM cycle bound by one and generate
+//!    only the longest transactions that traverse a surviving feature,
+//!    exercising the mutated method in longer call contexts.
+//!
+//! Candidates that cannot reach any surviving feature are dropped at the
+//! source (the same static coverage argument the selection fast path
+//! uses), duplicates of existing or earlier candidate cases are removed,
+//! and ids are renumbered to continue after the existing suite so an
+//! amplified suite remains a well-formed [`TestSuite`].
+
+use crate::generator::{DriverGenerator, Expansion, GenerateError, GeneratorConfig};
+use crate::inputs::InputGenerator;
+use crate::testcase::{TestCase, TestSuite};
+use concat_tfm::{enumerate_transactions_with, EnumerationConfig};
+use concat_tspec::ClassSpec;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Mixes the round number into the base seed so every amplification
+/// round draws fresh values, deterministically per (seed, round).
+fn round_seed(base: u64, round: usize) -> u64 {
+    base ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// How many feature-traversing transactions the deeper-path strategy
+/// expands per round (the longest ones are preferred).
+const DEEPER_TRANSACTIONS: usize = 6;
+
+/// The outcome of one round of candidate synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSynthesis {
+    /// Deduplicated candidate cases, ids numbered after the existing
+    /// suite's largest id. `transaction_index` values of deeper-path
+    /// candidates refer to the widened (cycle bound + 1) enumeration.
+    pub suite: TestSuite,
+    /// Candidates contributed by the boundary-value strategy.
+    pub from_boundary: usize,
+    /// Candidates contributed by the re-seeded uniform strategy.
+    pub from_reseed: usize,
+    /// Candidates contributed by the deeper-path strategy.
+    pub from_deeper: usize,
+}
+
+/// Synthesizes up to `max_candidates` targeted candidate cases for the
+/// given surviving `features`, deterministic per (spec, base config,
+/// existing suite, features, round).
+///
+/// `configure` is applied to each strategy's [`InputGenerator`] before
+/// generation — register object providers there.
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] from the underlying generator runs.
+pub fn synthesize_candidates(
+    spec: &ClassSpec,
+    base: GeneratorConfig,
+    existing: &TestSuite,
+    features: &[String],
+    round: usize,
+    max_candidates: usize,
+    configure: impl Fn(&mut InputGenerator),
+) -> Result<CandidateSynthesis, GenerateError> {
+    let seed = round_seed(base.seed, round);
+    let generate = |config: GeneratorConfig, selection: Option<&[usize]>| {
+        let mut generator = DriverGenerator::new(config);
+        configure(generator.inputs_mut());
+        generator.generate_selected(spec, selection)
+    };
+
+    let boundary = generate(
+        GeneratorConfig {
+            seed,
+            expansion: Expansion::Covering { repeats: 1 },
+            boundary_inputs: true,
+            ..base
+        },
+        None,
+    )?;
+    let reseed = generate(
+        GeneratorConfig {
+            seed: seed ^ 0x5EED_5EED,
+            ..base
+        },
+        None,
+    )?;
+    let deeper_config = GeneratorConfig {
+        seed: seed ^ 0xD00D,
+        cycle_bound: base.cycle_bound + 1,
+        expansion: Expansion::Covering { repeats: 1 },
+        ..base
+    };
+    let deeper_selection = feature_transactions(spec, deeper_config, features);
+    let deeper = if deeper_selection.is_empty() {
+        None
+    } else {
+        Some(generate(deeper_config, Some(&deeper_selection))?)
+    };
+
+    let mut seen: BTreeSet<String> = existing.iter().map(signature).collect();
+    let mut next_id = existing.iter().map(|c| c.id + 1).max().unwrap_or(0);
+    let mut cases = Vec::new();
+    let mut counts = [0usize; 3];
+    let sources = [(0, Some(boundary)), (1, Some(reseed)), (2, deeper)];
+    for (strategy, source) in sources {
+        let Some(suite) = source else { continue };
+        for case in &suite {
+            if cases.len() >= max_candidates {
+                break;
+            }
+            let touches_feature = case
+                .method_names()
+                .iter()
+                .any(|m| features.iter().any(|f| f == m));
+            if !touches_feature || !seen.insert(signature(case)) {
+                continue;
+            }
+            let mut candidate = case.clone();
+            candidate.id = next_id;
+            next_id += 1;
+            counts[strategy] += 1;
+            cases.push(candidate);
+        }
+    }
+
+    let mut stats = existing.stats;
+    stats.cases = cases.len();
+    stats.manual_args = cases.iter().filter(|c| c.needs_manual_completion()).count();
+    Ok(CandidateSynthesis {
+        suite: TestSuite {
+            class_name: spec.class_name.clone(),
+            seed,
+            cases,
+            stats,
+        },
+        from_boundary: counts[0],
+        from_reseed: counts[1],
+        from_deeper: counts[2],
+    })
+}
+
+/// Indices (in the widened enumeration of `config`) of the longest
+/// transactions that traverse at least one of `features`, capped at
+/// [`DEEPER_TRANSACTIONS`]; returned in ascending index order.
+fn feature_transactions(
+    spec: &ClassSpec,
+    config: GeneratorConfig,
+    features: &[String],
+) -> Vec<usize> {
+    let set = enumerate_transactions_with(
+        &spec.tfm,
+        EnumerationConfig {
+            cycle_bound: config.cycle_bound,
+            max_transactions: config.max_transactions,
+        },
+    );
+    let mut matching: Vec<(usize, usize)> = set
+        .iter()
+        .enumerate()
+        .filter(|(_, txn)| {
+            txn.nodes.iter().any(|id| {
+                spec.tfm.node(*id).methods.iter().any(|method_id| {
+                    spec.method(method_id)
+                        .is_some_and(|m| features.contains(&m.name))
+                })
+            })
+        })
+        .map(|(index, txn)| (index, txn.nodes.len()))
+        .collect();
+    matching.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    matching.truncate(DEEPER_TRANSACTIONS);
+    let mut indices: Vec<usize> = matching.into_iter().map(|(index, _)| index).collect();
+    indices.sort_unstable();
+    indices
+}
+
+/// Behavioural identity of a case for deduplication: methods and
+/// argument values, ignoring ids and argument origins.
+fn signature(case: &TestCase) -> String {
+    let mut s = format!("{}{:?}", case.constructor.method, case.constructor.args);
+    for call in &case.calls {
+        let _ = write!(s, "|{}{:?}", call.method, call.args);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_tspec::{ClassSpecBuilder, Domain, MethodCategory};
+
+    fn spec() -> ClassSpec {
+        ClassSpecBuilder::new("Counter")
+            .constructor("m1", "Counter")
+            .method("m2", "Add", MethodCategory::Update)
+            .param("q", Domain::int_range(0, 9))
+            .method("m3", "Reset", MethodCategory::Update)
+            .destructor("m4", "~Counter")
+            .birth_node("n1", ["m1"])
+            .task_node("n2", ["m2"])
+            .task_node("n3", ["m3"])
+            .death_node("n4", ["m4"])
+            .edge("n1", "n2")
+            .edge("n2", "n2")
+            .edge("n2", "n3")
+            .edge("n2", "n4")
+            .edge("n3", "n4")
+            .edge("n1", "n4")
+            .build()
+            .unwrap()
+    }
+
+    fn base_suite() -> TestSuite {
+        DriverGenerator::with_seed(7).generate(&spec()).unwrap()
+    }
+
+    #[test]
+    fn candidates_target_features_and_renumber() {
+        let existing = base_suite();
+        let next_id = existing.cases.iter().map(|c| c.id + 1).max().unwrap();
+        let out = synthesize_candidates(
+            &spec(),
+            GeneratorConfig {
+                seed: 7,
+                ..GeneratorConfig::default()
+            },
+            &existing,
+            &["Add".to_owned()],
+            1,
+            64,
+            |_| {},
+        )
+        .unwrap();
+        assert!(!out.suite.cases.is_empty());
+        for (offset, case) in out.suite.iter().enumerate() {
+            assert_eq!(case.id, next_id + offset);
+            assert!(case.method_names().contains(&"Add"));
+        }
+        assert_eq!(
+            out.from_boundary + out.from_reseed + out.from_deeper,
+            out.suite.len()
+        );
+    }
+
+    #[test]
+    fn boundary_values_present_among_candidates() {
+        let out = synthesize_candidates(
+            &spec(),
+            GeneratorConfig::default(),
+            &base_suite(),
+            &["Add".to_owned()],
+            1,
+            256,
+            |_| {},
+        )
+        .unwrap();
+        let args: Vec<i64> = out
+            .suite
+            .iter()
+            .flat_map(|c| &c.calls)
+            .filter(|call| call.method == "Add")
+            .filter_map(|call| call.args[0].as_int().ok())
+            .collect();
+        assert!(
+            args.contains(&0) || args.contains(&9),
+            "boundary draws reach range ends: {args:?}"
+        );
+        assert!(args.iter().all(|v| (0..=9).contains(v)));
+    }
+
+    #[test]
+    fn deterministic_per_round_and_distinct_across_rounds() {
+        let existing = base_suite();
+        let features = ["Add".to_owned()];
+        let run = |round| {
+            synthesize_candidates(
+                &spec(),
+                GeneratorConfig::default(),
+                &existing,
+                &features,
+                round,
+                64,
+                |_| {},
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        let (one, two) = (run(1), run(2));
+        assert_ne!(one.suite.seed, two.suite.seed);
+    }
+
+    #[test]
+    fn duplicates_of_existing_cases_are_dropped() {
+        let existing = base_suite();
+        // Synthesizing against an existing suite that already contains
+        // every candidate (same seed derivation) yields nothing new.
+        let first = synthesize_candidates(
+            &spec(),
+            GeneratorConfig::default(),
+            &existing,
+            &["Add".to_owned()],
+            1,
+            256,
+            |_| {},
+        )
+        .unwrap();
+        let mut amplified = existing.clone();
+        amplified.cases.extend(first.suite.cases.iter().cloned());
+        let second = synthesize_candidates(
+            &spec(),
+            GeneratorConfig::default(),
+            &amplified,
+            &["Add".to_owned()],
+            1,
+            256,
+            |_| {},
+        )
+        .unwrap();
+        assert!(second.suite.cases.is_empty(), "{:?}", second.suite.cases);
+    }
+
+    #[test]
+    fn unknown_feature_yields_no_candidates() {
+        let out = synthesize_candidates(
+            &spec(),
+            GeneratorConfig::default(),
+            &base_suite(),
+            &["Nope".to_owned()],
+            1,
+            64,
+            |_| {},
+        )
+        .unwrap();
+        assert!(out.suite.cases.is_empty());
+    }
+}

@@ -47,6 +47,11 @@ pub struct GeneratorConfig {
     pub max_transactions: usize,
     /// Alternative-expansion strategy.
     pub expansion: Expansion,
+    /// Draw argument values from each domain's boundary set (min/max of
+    /// ranges, empty/max-length collections) instead of uniformly. Used
+    /// by the test amplifier's boundary strategy; domains without
+    /// boundary values fall back to uniform draws.
+    pub boundary_inputs: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -56,6 +61,7 @@ impl Default for GeneratorConfig {
             cycle_bound: 1,
             max_transactions: 50_000,
             expansion: Expansion::Covering { repeats: 3 },
+            boundary_inputs: false,
         }
     }
 }
@@ -324,7 +330,12 @@ impl DriverGenerator {
         let mut args = Vec::with_capacity(m.params.len());
         let mut origins = Vec::with_capacity(m.params.len());
         for p in &m.params {
-            match self.inputs.generate(&p.domain) {
+            let drawn = if self.config.boundary_inputs {
+                self.inputs.generate_boundary(&p.domain)
+            } else {
+                self.inputs.generate(&p.domain)
+            };
+            match drawn {
                 Ok((v, origin)) => {
                     *domains_sampled += 1;
                     args.push(v);
@@ -610,6 +621,7 @@ mod tests {
             expansion: Expansion::Cartesian {
                 max_cases_per_transaction: 2,
             },
+            boundary_inputs: false,
         });
         let suite = gen.generate(&spec).unwrap();
         assert_eq!(suite.len(), 2);

@@ -51,7 +51,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod amplify;
+mod coverage;
 mod generator;
 mod history;
 mod inputs;
@@ -64,6 +68,8 @@ mod runner;
 mod selection;
 mod testcase;
 
+pub use amplify::{synthesize_candidates, CandidateSynthesis};
+pub use coverage::CoverageMatrix;
 pub use generator::{DriverGenerator, Expansion, GenerateError, GeneratorConfig};
 pub use history::{
     new_method_cases, HistoryEntry, InheritanceMap, MethodStatus, ReuseDecision, ReusePlan,

@@ -6,6 +6,7 @@
 //! [`TestRunner`] reproduces that behaviour and additionally records a full
 //! [`Transcript`] per case so the mutation oracle can compare runs.
 
+use crate::coverage::CoverageMatrix;
 use crate::log::TestLog;
 use crate::testcase::{TestCase, TestSuite};
 use concat_bit::{BitControl, ComponentFactory, StateReport};
@@ -299,21 +300,38 @@ impl TestRunner {
         suite: &TestSuite,
         log: &mut TestLog,
     ) -> SuiteResult {
+        self.run_suite_with_coverage(factory, suite, log).0
+    }
+
+    /// Runs a whole suite while recording the case × feature
+    /// [`CoverageMatrix`]: for each executed case, the static set of
+    /// interface methods its transaction invokes. Mutation analysis uses
+    /// the matrix of the golden run to skip cases that cannot reach a
+    /// mutated method.
+    pub fn run_suite_with_coverage(
+        &self,
+        factory: &dyn ComponentFactory,
+        suite: &TestSuite,
+        log: &mut TestLog,
+    ) -> (SuiteResult, CoverageMatrix) {
         let _span = self.telemetry.span("suite", &suite.class_name);
+        let mut coverage = CoverageMatrix::new(suite.class_name.clone());
         let mut cases = Vec::with_capacity(suite.len());
         let mut notes = Vec::new();
         for case in suite {
+            coverage.record(case.id, case.method_names().iter().map(|m| (*m).to_owned()));
             let result = self.run_case(factory, case, log);
             if result.status.is_harness_stop() {
                 notes.push(format!("case {}: {}", result.case_id, result.status));
             }
             cases.push(result);
         }
-        SuiteResult {
+        let result = SuiteResult {
             class_name: suite.class_name.clone(),
             cases,
             notes,
-        }
+        };
+        (result, coverage)
     }
 
     /// Runs one test case: construct → (invariant, call)* → reporter.

@@ -18,10 +18,12 @@ use crate::enumerate::Mutant;
 use crate::fault::{ClonableFactory, MutationSwitch};
 use crate::journal::{campaign_fingerprint, CampaignJournal};
 use concat_bit::ComponentFactory;
-use concat_driver::{differing_cases, CaseStatus, SuiteResult, TestLog, TestRunner, TestSuite};
+use concat_driver::{
+    differing_cases, CaseStatus, CoverageMatrix, SuiteResult, TestLog, TestRunner, TestSuite,
+};
 use concat_obs::{MemorySink, Telemetry};
-use concat_runtime::{recommended_workers, Budget};
-use std::collections::HashMap;
+use concat_runtime::{recommended_workers, write_atomic, Budget};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -187,6 +189,15 @@ pub struct MutationConfig {
     /// workers, or inline on the supervisor when none survive. Partial
     /// results are never discarded.
     pub worker_restarts: usize,
+    /// Coverage-matrix selection (the fast path): per mutant, execute
+    /// only the cases whose transactions statically invoke the mutated
+    /// method — every other case cannot reach an armed site (see
+    /// DESIGN.md §12 for the coverage contract) and is skipped, counted
+    /// under the `selection.skipped` telemetry counter. Verdicts are
+    /// identical with the flag on or off (and it is deliberately absent
+    /// from the campaign fingerprint, so journals stay interchangeable);
+    /// `true` by default.
+    pub coverage_selection: bool,
 }
 
 impl Default for MutationConfig {
@@ -201,6 +212,7 @@ impl Default for MutationConfig {
             workers: recommended_workers(),
             journal_path: None,
             worker_restarts: 4,
+            coverage_selection: true,
         }
     }
 }
@@ -219,6 +231,7 @@ impl fmt::Debug for MutationConfig {
             .field("workers", &self.workers)
             .field("journal_path", &self.journal_path)
             .field("worker_restarts", &self.worker_restarts)
+            .field("coverage_selection", &self.coverage_selection)
             .finish()
     }
 }
@@ -303,6 +316,94 @@ impl MutationRun {
 struct GoldenBaseline {
     golden: SuiteResult,
     probes: Vec<SuiteResult>,
+    /// Case × feature coverage of the golden run, persisted alongside
+    /// the campaign journal for post-mortem inspection.
+    coverage: CoverageMatrix,
+    /// Per-feature filtered execution scopes (one per distinct mutated
+    /// method), built when [`MutationConfig::coverage_selection`] is on.
+    views: HashMap<String, FeatureView>,
+}
+
+/// The filtered execution scope for mutants of one feature (interface
+/// method): the sub-suite of cases whose transactions statically invoke
+/// the method, with the matching slice of the golden results. Cases
+/// outside the view can never reach an armed site of the feature (the
+/// coverage contract), so running only the view yields the exact verdict
+/// of a full run while skipping `skipped` case executions per mutant.
+struct FeatureView {
+    suite: TestSuite,
+    golden: SuiteResult,
+    probes: Vec<TestSuite>,
+    probe_goldens: Vec<SuiteResult>,
+    /// Main-suite cases this view skips per mutant execution.
+    skipped: u64,
+    /// Cases skipped per probe suite, by probe index.
+    probe_skipped: Vec<u64>,
+}
+
+/// Filters a golden [`SuiteResult`] down to the cases in `ids`. Valid
+/// because the runner constructs a fresh component per case: a case's
+/// result does not depend on which other cases ran around it.
+fn filter_golden(golden: &SuiteResult, ids: &BTreeSet<usize>) -> SuiteResult {
+    SuiteResult {
+        class_name: golden.class_name.clone(),
+        cases: golden
+            .cases
+            .iter()
+            .filter(|c| ids.contains(&c.case_id))
+            .cloned()
+            .collect(),
+        notes: golden.notes.clone(),
+    }
+}
+
+/// Builds the per-feature views for every distinct mutated method.
+fn build_feature_views(
+    suite: &TestSuite,
+    golden: &SuiteResult,
+    probes_in: &[TestSuite],
+    probe_goldens: &[SuiteResult],
+    coverage: &CoverageMatrix,
+    probe_coverage: &[CoverageMatrix],
+    mutants: &[Mutant],
+) -> HashMap<String, FeatureView> {
+    let features: BTreeSet<&str> = mutants.iter().map(|m| m.method()).collect();
+    let mut views = HashMap::new();
+    for feature in features {
+        let ids: BTreeSet<usize> = suite
+            .iter()
+            .filter(|c| coverage.covers(c.id, feature))
+            .map(|c| c.id)
+            .collect();
+        let id_list: Vec<usize> = ids.iter().copied().collect();
+        let mut view = FeatureView {
+            suite: suite.filtered(&id_list),
+            golden: filter_golden(golden, &ids),
+            probes: Vec::with_capacity(probes_in.len()),
+            probe_goldens: Vec::with_capacity(probes_in.len()),
+            skipped: (suite.len() - ids.len()) as u64,
+            probe_skipped: Vec::with_capacity(probes_in.len()),
+        };
+        for ((probe, probe_golden), matrix) in probes_in
+            .iter()
+            .zip(probe_goldens.iter())
+            .zip(probe_coverage.iter())
+        {
+            let probe_ids: BTreeSet<usize> = probe
+                .iter()
+                .filter(|c| matrix.covers(c.id, feature))
+                .map(|c| c.id)
+                .collect();
+            let probe_id_list: Vec<usize> = probe_ids.iter().copied().collect();
+            view.probe_skipped
+                .push((probe.len() - probe_ids.len()) as u64);
+            view.probes.push(probe.filtered(&probe_id_list));
+            view.probe_goldens
+                .push(filter_golden(probe_golden, &probe_ids));
+        }
+        views.insert(feature.to_owned(), view);
+    }
+    views
 }
 
 /// Case statuses of one golden run indexed by `case_id`, built once per
@@ -325,6 +426,13 @@ impl<'a> StatusIndex<'a> {
     }
 }
 
+/// Status indexes of one feature view's golden slices, built once per
+/// engine so scoped classification stays O(cases).
+struct ViewIndexes<'a> {
+    golden: StatusIndex<'a>,
+    probes: Vec<StatusIndex<'a>>,
+}
+
 /// Read-only inputs every shard works from, plus the shared work queue.
 /// Workers pull mutant indices from `next` and report `(index, result)`
 /// pairs; the index is what makes the merge deterministic.
@@ -335,6 +443,9 @@ struct Engine<'a> {
     baseline: &'a GoldenBaseline,
     golden_index: StatusIndex<'a>,
     probe_indexes: Vec<StatusIndex<'a>>,
+    /// Pre-built status indexes of every feature view's golden slices,
+    /// keyed like [`GoldenBaseline::views`].
+    view_indexes: HashMap<&'a str, ViewIndexes<'a>>,
     next: AtomicUsize,
     /// Mutants whose verdicts were replayed from a journal: claimed
     /// indices in `done` are skipped, so a resumed run re-executes only
@@ -368,9 +479,30 @@ impl<'a> Engine<'a> {
             baseline,
             golden_index: StatusIndex::of(&baseline.golden),
             probe_indexes: baseline.probes.iter().map(StatusIndex::of).collect(),
+            view_indexes: baseline
+                .views
+                .iter()
+                .map(|(feature, view)| {
+                    (
+                        feature.as_str(),
+                        ViewIndexes {
+                            golden: StatusIndex::of(&view.golden),
+                            probes: view.probe_goldens.iter().map(StatusIndex::of).collect(),
+                        },
+                    )
+                })
+                .collect(),
             next: AtomicUsize::new(0),
             done,
         }
+    }
+
+    /// The feature view (and its status indexes) for `mutant`, when
+    /// coverage selection built one for its method.
+    fn view_of(&self, mutant: &Mutant) -> Option<(&'a FeatureView, &ViewIndexes<'a>)> {
+        let view = self.baseline.views.get(mutant.method())?;
+        let indexes = self.view_indexes.get(mutant.method())?;
+        Some((view, indexes))
     }
 
     /// True while unclaimed mutant indices remain on the shared queue.
@@ -447,22 +579,35 @@ impl<'a> Engine<'a> {
     ) -> MutantStatus {
         let mutant_span = telemetry.span_with("mutant", || mutant.to_string());
         switch.arm(mutant.plan.clone());
-        let observed = runner.run_suite(factory, self.suite, &mut TestLog::new());
+        // Coverage-matrix selection: mutants with a feature view execute
+        // only the cases that can reach the mutated method; the rest are
+        // statically identical to golden and skipped.
+        let scoped = self.view_of(mutant);
+        let (scope_suite, scope_golden, scope_index) = match scoped {
+            Some((view, indexes)) => (&view.suite, &view.golden, &indexes.golden),
+            None => (self.suite, &self.baseline.golden, &self.golden_index),
+        };
+        if let Some((view, _)) = scoped {
+            if view.skipped > 0 {
+                telemetry.incr_by("selection.skipped", view.skipped);
+            }
+        }
+        let observed = runner.run_suite(factory, scope_suite, &mut TestLog::new());
         // Harness stops describe the execution environment, not the
         // component's behaviour — quarantine before the kill classifier
         // so a timed-out mutant is never miscounted as a crash kill.
         let status = match quarantine_reason(
-            &self.golden_index,
+            scope_index,
             &observed,
             self.config.crash_quarantine_threshold,
         ) {
             Some(reason) => MutantStatus::Quarantined { reason },
-            None => match first_difference(&self.baseline.golden, &observed) {
+            None => match first_difference(scope_golden, &observed) {
                 Some((case_id, reason)) => MutantStatus::Killed {
                     reason,
                     by_case: case_id,
                 },
-                None => self.probe(factory, runner),
+                None => self.probe(factory, runner, telemetry, mutant),
             },
         };
         mutant_span.finish();
@@ -475,14 +620,39 @@ impl<'a> Engine<'a> {
     /// behavioural verdict and lands in quarantine — previously its
     /// deadline-truncated transcript counted as a "difference" and the
     /// mutant was misfiled as `Survived`.
-    fn probe(&self, factory: &dyn ComponentFactory, runner: &TestRunner) -> MutantStatus {
-        for ((probe, probe_golden), probe_index) in self
-            .config
-            .probe_suites
+    fn probe(
+        &self,
+        factory: &dyn ComponentFactory,
+        runner: &TestRunner,
+        telemetry: &Telemetry,
+        mutant: &Mutant,
+    ) -> MutantStatus {
+        let scoped = self.view_of(mutant);
+        let (probes, probe_goldens, probe_indexes, probe_skipped) = match scoped {
+            Some((view, indexes)) => (
+                view.probes.as_slice(),
+                view.probe_goldens.as_slice(),
+                indexes.probes.as_slice(),
+                Some(view.probe_skipped.as_slice()),
+            ),
+            None => (
+                self.config.probe_suites.as_slice(),
+                self.baseline.probes.as_slice(),
+                self.probe_indexes.as_slice(),
+                None,
+            ),
+        };
+        for (probe_pos, ((probe, probe_golden), probe_index)) in probes
             .iter()
-            .zip(self.baseline.probes.iter())
-            .zip(self.probe_indexes.iter())
+            .zip(probe_goldens.iter())
+            .zip(probe_indexes.iter())
+            .enumerate()
         {
+            if let Some(skipped) = probe_skipped.and_then(|s| s.get(probe_pos)) {
+                if *skipped > 0 {
+                    telemetry.incr_by("selection.skipped", *skipped);
+                }
+            }
             let probed = runner.run_suite(factory, probe, &mut TestLog::new());
             if let Some(reason) =
                 quarantine_reason(probe_index, &probed, self.config.crash_quarantine_threshold)
@@ -511,23 +681,59 @@ fn build_runner(config: &MutationConfig, telemetry: &Telemetry) -> TestRunner {
 }
 
 /// Runs the golden suite and golden probe suites (switch disarmed — the
-/// original program).
+/// original program), records their case × feature coverage, and builds
+/// the per-feature views when coverage selection is enabled.
 fn run_golden(
     runner: &TestRunner,
     factory: &dyn ComponentFactory,
     suite: &TestSuite,
+    mutants: &[Mutant],
     config: &MutationConfig,
     telemetry: &Telemetry,
 ) -> GoldenBaseline {
     let golden_span = telemetry.span("golden", factory.class_name());
-    let golden = runner.run_suite(factory, suite, &mut TestLog::new());
-    let probes: Vec<SuiteResult> = config
-        .probe_suites
-        .iter()
-        .map(|s| runner.run_suite(factory, s, &mut TestLog::new()))
-        .collect();
+    let (golden, coverage) = runner.run_suite_with_coverage(factory, suite, &mut TestLog::new());
+    let mut probes = Vec::with_capacity(config.probe_suites.len());
+    let mut probe_coverage = Vec::with_capacity(config.probe_suites.len());
+    for probe in &config.probe_suites {
+        let (result, matrix) = runner.run_suite_with_coverage(factory, probe, &mut TestLog::new());
+        probes.push(result);
+        probe_coverage.push(matrix);
+    }
     golden_span.finish();
-    GoldenBaseline { golden, probes }
+    let views = if config.coverage_selection {
+        build_feature_views(
+            suite,
+            &golden,
+            &config.probe_suites,
+            &probes,
+            &coverage,
+            &probe_coverage,
+            mutants,
+        )
+    } else {
+        HashMap::new()
+    };
+    GoldenBaseline {
+        golden,
+        probes,
+        coverage,
+        views,
+    }
+}
+
+/// Persists the golden run's coverage matrix next to the campaign
+/// journal (`<journal>.coverage`), atomically. Like every other
+/// durability consumer, a write failure degrades (counted under
+/// `harden.degraded`) instead of aborting the campaign.
+fn persist_coverage(config: &MutationConfig, baseline: &GoldenBaseline, telemetry: &Telemetry) {
+    let Some(path) = &config.journal_path else {
+        return;
+    };
+    let coverage_path = PathBuf::from(format!("{}.coverage", path.display()));
+    if write_atomic(&coverage_path, baseline.coverage.to_text().as_bytes()).is_err() {
+        telemetry.incr("harden.degraded");
+    }
 }
 
 /// Emits the per-status counters for one classified mutant.
@@ -712,7 +918,8 @@ pub fn run_mutation_analysis(
     // token must be visible to the switch for a hung mutant to unwind.
     switch.set_cancel_token(runner.cancel_token().clone());
     switch.disarm();
-    let baseline = run_golden(&runner, factory, suite, config, telemetry);
+    let baseline = run_golden(&runner, factory, suite, mutants, config, telemetry);
+    persist_coverage(config, &baseline, telemetry);
     let (mut slots, done) = replay_slots(mutants, replayed, telemetry);
     let engine = Engine::new(suite, mutants, config, &baseline, done);
     // Crash containment without a replacement harness: the caller owns
@@ -730,11 +937,27 @@ pub fn run_mutation_analysis(
     }
     switch.disarm();
     switch.clear_cancel_token();
-    let results = slots
-        .into_iter()
-        .map(|slot| slot.expect("every mutant index was claimed, classified or replayed"))
-        .collect();
+    let results = collect_slots(mutants, slots);
     finish_run(telemetry, results, baseline.golden)
+}
+
+/// Collapses the merge slots into the final result vector. The engine
+/// guarantees every slot was claimed, classified or replayed; should
+/// that invariant ever break, the affected mutant is quarantined
+/// (fail-safe) instead of panicking away an otherwise complete campaign.
+fn collect_slots(mutants: &[Mutant], slots: Vec<Option<MutantResult>>) -> Vec<MutantResult> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| MutantResult {
+                mutant: mutants[index].clone(),
+                status: MutantStatus::Quarantined {
+                    reason: QuarantineReason::WorkerCrash,
+                },
+            })
+        })
+        .collect()
 }
 
 /// Runs a full mutation analysis across `config.workers` sharded workers.
@@ -784,8 +1007,16 @@ pub fn run_mutation_analysis_parallel(
     let golden_factory = shards.build_factory(&golden_switch);
     let runner = build_runner(config, telemetry);
     golden_switch.set_cancel_token(runner.cancel_token().clone());
-    let baseline = run_golden(&runner, golden_factory.as_ref(), suite, config, telemetry);
+    let baseline = run_golden(
+        &runner,
+        golden_factory.as_ref(),
+        suite,
+        mutants,
+        config,
+        telemetry,
+    );
     golden_switch.clear_cancel_token();
+    persist_coverage(config, &baseline, telemetry);
 
     // The gauge reflects the configured pool for the whole campaign (not
     // the post-replay remainder), so a resumed run renders the same
@@ -903,10 +1134,7 @@ pub fn run_mutation_analysis_parallel(
     for sink in sinks {
         telemetry.absorb(&sink.events());
     }
-    let results = slots
-        .into_iter()
-        .map(|slot| slot.expect("every mutant index was claimed, classified or replayed"))
-        .collect();
+    let results = collect_slots(mutants, slots);
     finish_run(telemetry, results, baseline.golden)
 }
 

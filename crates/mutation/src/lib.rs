@@ -50,7 +50,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod amplify;
 mod analysis;
 mod enumerate;
 mod fault;
@@ -59,6 +62,9 @@ mod journal;
 mod matrix;
 mod operators;
 
+pub use amplify::{
+    amplify_suite, amplify_suite_parallel, AmplifyConfig, AmplifyOutcome, RoundReport,
+};
 pub use analysis::{
     run_mutation_analysis, run_mutation_analysis_parallel, KillReason, MutantResult, MutantStatus,
     MutationConfig, MutationRun, QuarantineReason,

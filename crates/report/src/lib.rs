@@ -25,7 +25,8 @@ mod telemetry;
 
 pub use experiments::{Comparison, ComparisonRow};
 pub use mutation_tables::{
-    render_mutant_catalog, render_operator_table, render_score_table, summarize_run,
+    render_amplification_table, render_mutant_catalog, render_operator_table, render_score_table,
+    summarize_run,
 };
 pub use table::{Align, AsciiTable};
 pub use telemetry::{render_harness_health, render_model_metrics_table, render_telemetry_summary};

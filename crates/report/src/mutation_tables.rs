@@ -6,7 +6,7 @@
 //!   `#killed`, `#equivalent` and `Score` summary rows.
 
 use crate::table::AsciiTable;
-use concat_mutation::{Mutant, MutationMatrix, MutationOperator, MutationRun};
+use concat_mutation::{Mutant, MutationMatrix, MutationOperator, MutationRun, RoundReport};
 
 /// Renders Table 1: the interface mutation operators and the G/L/E/RC
 /// legend.
@@ -94,6 +94,60 @@ pub fn render_mutant_catalog(mutants: &[Mutant]) -> String {
         mutants.len(),
         t.render()
     )
+}
+
+/// Renders the amplification-loop report: one row per round (candidates
+/// synthesized, candidates kept, surviving mutants killed), a totals
+/// row, and the before/after mutation scores. A loop that ran no rounds
+/// (target already met) renders an explanatory line instead of an empty
+/// table.
+pub fn render_amplification_table(
+    title: &str,
+    rounds: &[RoundReport],
+    baseline_score: f64,
+    final_score: f64,
+) -> String {
+    let mut out = format!("{title}\n");
+    if rounds.is_empty() {
+        out.push_str(&format!(
+            "(no amplification rounds: score target already met at {:.1}%)\n",
+            baseline_score * 100.0
+        ));
+        return out;
+    }
+    let mut t = AsciiTable::new(vec![
+        "Round".into(),
+        "Candidates".into(),
+        "Kept".into(),
+        "Kills".into(),
+    ]);
+    t.numeric();
+    for r in rounds {
+        t.row(vec![
+            r.round.to_string(),
+            r.candidates.to_string(),
+            r.kept.to_string(),
+            r.kills.to_string(),
+        ]);
+    }
+    t.separator();
+    t.row(vec![
+        "Total".into(),
+        rounds
+            .iter()
+            .map(|r| r.candidates)
+            .sum::<usize>()
+            .to_string(),
+        rounds.iter().map(|r| r.kept).sum::<usize>().to_string(),
+        rounds.iter().map(|r| r.kills).sum::<usize>().to_string(),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "Mutation score: {:.1}% -> {:.1}%\n",
+        baseline_score * 100.0,
+        final_score * 100.0
+    ));
+    out
 }
 
 /// One-paragraph textual summary of a mutation run (totals, score, and
@@ -216,6 +270,39 @@ mod tests {
         assert!(s.contains("IndVarBitNeg"));
         assert!(s.contains("Sort1"));
         assert!(s.contains("~(value)"));
+    }
+
+    #[test]
+    fn amplification_table_lists_rounds_and_scores() {
+        let rounds = vec![
+            RoundReport {
+                round: 1,
+                candidates: 12,
+                kept: 2,
+                kills: 3,
+            },
+            RoundReport {
+                round: 2,
+                candidates: 9,
+                kept: 1,
+                kills: 1,
+            },
+        ];
+        let s = render_amplification_table("Amplification", &rounds, 0.75, 0.9);
+        assert!(s.starts_with("Amplification\n"));
+        assert!(s.contains("Candidates"));
+        assert!(s.contains(" 12 |"));
+        assert!(s.contains("Total"));
+        assert!(s.contains(" 21 |"), "candidate total: {s}");
+        assert!(s.contains(" 4 |"), "kill total: {s}");
+        assert!(s.contains("75.0% -> 90.0%"), "{s}");
+    }
+
+    #[test]
+    fn amplification_table_explains_empty_loop() {
+        let s = render_amplification_table("Amplification", &[], 1.0, 1.0);
+        assert!(s.contains("no amplification rounds"), "{s}");
+        assert!(s.contains("100.0%"), "{s}");
     }
 
     #[test]

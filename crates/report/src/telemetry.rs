@@ -82,7 +82,7 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 7] = [
+const HARNESS_COUNTERS: [(&str, &str); 10] = [
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
     ("mutation.quarantined", "mutants excluded from the score"),
@@ -98,6 +98,15 @@ const HARNESS_COUNTERS: [(&str, &str); 7] = [
     (
         "mutation.replayed",
         "journal verdicts replayed on resume (#replayed)",
+    ),
+    (
+        "selection.skipped",
+        "case executions skipped by coverage selection",
+    ),
+    ("amplify.rounds", "amplification rounds executed"),
+    (
+        "amplify.kills",
+        "surviving mutants killed by amplified cases",
     ),
 ];
 

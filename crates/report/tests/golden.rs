@@ -1,0 +1,160 @@
+//! Golden-file test: the report surfaces consumed by CI (`cmp`-compared
+//! across reruns and worker counts) must render byte-stably. The golden
+//! lives at `tests/golden/report.txt`; regenerate it after an intentional
+//! layout change with `BLESS=1 cargo test -p concat-report --test golden`.
+
+use concat_driver::SuiteResult;
+use concat_mutation::{
+    FaultPlan, KillReason, Mutant, MutantResult, MutantStatus, MutationMatrix, MutationOperator,
+    QuarantineReason, Replacement, RoundReport,
+};
+use concat_obs::{Event, Summary};
+use concat_report::{
+    render_amplification_table, render_harness_health, render_score_table, summarize_run,
+};
+
+fn fixture_run() -> concat_mutation::MutationRun {
+    let mk = |id: usize, method: &str, op: MutationOperator, status: MutantStatus| MutantResult {
+        mutant: Mutant {
+            id,
+            operator: op,
+            plan: FaultPlan {
+                method: method.into(),
+                site: 0,
+                replacement: Replacement::BitNeg,
+            },
+        },
+        status,
+    };
+    concat_mutation::MutationRun {
+        results: vec![
+            mk(
+                0,
+                "Sort1",
+                MutationOperator::IndVarBitNeg,
+                MutantStatus::Killed {
+                    reason: KillReason::Crash,
+                    by_case: 3,
+                },
+            ),
+            mk(
+                1,
+                "Sort1",
+                MutationOperator::IndVarRepReq,
+                MutantStatus::Killed {
+                    reason: KillReason::Assertion,
+                    by_case: 5,
+                },
+            ),
+            mk(
+                2,
+                "Sort1",
+                MutationOperator::IndVarRepReq,
+                MutantStatus::PresumedEquivalent,
+            ),
+            mk(
+                3,
+                "FindMax",
+                MutationOperator::IndVarRepLoc,
+                MutantStatus::Survived,
+            ),
+            mk(
+                4,
+                "FindMax",
+                MutationOperator::IndVarRepLoc,
+                MutantStatus::Quarantined {
+                    reason: QuarantineReason::Timeout,
+                },
+            ),
+        ],
+        golden: SuiteResult {
+            class_name: "CSortableObList".into(),
+            cases: vec![],
+            notes: vec![],
+        },
+    }
+}
+
+fn fixture_summary() -> Summary {
+    Summary::from_events(&[
+        Event::Counter {
+            name: "harden.retry",
+            delta: 2,
+        },
+        Event::Counter {
+            name: "mutation.quarantined",
+            delta: 1,
+        },
+        Event::Counter {
+            name: "selection.skipped",
+            delta: 37,
+        },
+        Event::Counter {
+            name: "amplify.rounds",
+            delta: 2,
+        },
+        Event::Counter {
+            name: "amplify.kills",
+            delta: 4,
+        },
+        Event::Gauge {
+            name: "mutation.workers",
+            value: 4,
+        },
+    ])
+}
+
+fn render_report() -> String {
+    let run = fixture_run();
+    let matrix = MutationMatrix::from_run(&run, &["Sort1", "FindMax"]);
+    let rounds = [
+        RoundReport {
+            round: 1,
+            candidates: 12,
+            kept: 2,
+            kills: 3,
+        },
+        RoundReport {
+            round: 2,
+            candidates: 9,
+            kept: 1,
+            kills: 1,
+        },
+    ];
+    let mut out = render_score_table("Table 3. CSortableObList results", &matrix);
+    out.push('\n');
+    out.push_str(&summarize_run(&run));
+    out.push('\n');
+    out.push('\n');
+    out.push_str(&render_amplification_table(
+        "Amplification (CSortableObList)",
+        &rounds,
+        0.5,
+        0.75,
+    ));
+    out.push('\n');
+    out.push_str(&render_harness_health("Harness health", &fixture_summary()));
+    out
+}
+
+#[test]
+fn report_rendering_matches_golden() {
+    let rendered = render_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file missing; run with BLESS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "report rendering drifted from tests/golden/report.txt; \
+         rerun with BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn report_rendering_is_deterministic() {
+    assert_eq!(render_report(), render_report());
+}

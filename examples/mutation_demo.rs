@@ -24,10 +24,10 @@ use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, Testab
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
 use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
 use concat::mutation::{
-    ClassInventory, ClonableFactory, KillReason, MethodInventory, MutantStatus, MutationMatrix,
-    MutationSwitch, VarEnv,
+    AmplifyConfig, ClassInventory, ClonableFactory, KillReason, MethodInventory, MutantStatus,
+    MutationMatrix, MutationSwitch, VarEnv,
 };
-use concat::report::{render_score_table, summarize_run};
+use concat::report::{render_amplification_table, render_score_table, summarize_run};
 use concat::runtime::{
     unknown_method, AssertionViolation, Budget, Component, InvokeResult, TestException, Value,
 };
@@ -40,6 +40,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 4 && args[1] == "campaign" {
         campaign_mode(&args[2], &args[3]);
+        return;
+    }
+    if (args.len() == 3 || args.len() == 4) && args[1] == "amplify" {
+        let workers = args.get(3).map(|w| w.parse().expect("workers is a number"));
+        amplify_mode(&args[2], workers);
         return;
     }
     let switch = MutationSwitch::new();
@@ -289,6 +294,76 @@ fn campaign_mode(journal: &str, report: &str) {
         "campaign complete in {:?}: {}",
         started.elapsed(),
         summarize_run(&run)
+    );
+}
+
+/// The `amplify <report> [workers]` mode: mutation-driven test
+/// amplification on `CSortableObList`. A deliberately thin base suite
+/// leaves survivors; the loop synthesizes targeted candidates (boundary
+/// values, re-seeded draws, deeper TFM paths) and keeps the killers. The
+/// report (score table, amplification rounds, summary) is written
+/// atomically and contains no volatile counters, so CI `cmp`s it across
+/// worker counts and across seeded reruns.
+fn amplify_mode(report: &str, workers: Option<usize>) {
+    let switch = MutationSwitch::new();
+    let bundle = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .build();
+    let mut consumer = Consumer::with_config(concat::driver::GeneratorConfig {
+        seed: 1999,
+        expansion: concat::driver::Expansion::Covering { repeats: 1 },
+        ..concat::driver::GeneratorConfig::default()
+    });
+    if let Some(workers) = workers {
+        consumer = consumer.with_workers(workers);
+    }
+    let full = consumer.generate(&bundle).expect("generation succeeds");
+    // A thin slice of the covering suite: weak enough to leave survivors.
+    let ids: Vec<usize> = full.cases.iter().map(|c| c.id).take(6).collect();
+    let base = full.filtered(&ids);
+    let targets = ["Sort1", "FindMax"];
+    let started = Instant::now();
+    let outcome = consumer
+        .amplify_quality(&bundle, &base, &targets, &[4242], &AmplifyConfig::default())
+        .expect("bundle carries mutation support and shards");
+    assert!(
+        outcome.final_score() > outcome.baseline_score,
+        "amplification must strictly improve the score: {:.3} -> {:.3}",
+        outcome.baseline_score,
+        outcome.final_score()
+    );
+    assert!(
+        outcome.total_kills() >= 3,
+        "amplification killed only {} previously surviving mutant(s): {:?}",
+        outcome.total_kills(),
+        outcome.rounds
+    );
+    let text = format!(
+        "{}\n{}\n{}\n",
+        render_score_table(
+            "CSortableObList after amplification",
+            &MutationMatrix::from_run(&outcome.run, &targets)
+        ),
+        render_amplification_table(
+            "Amplification rounds",
+            &outcome.rounds,
+            outcome.baseline_score,
+            outcome.final_score()
+        ),
+        summarize_run(&outcome.run)
+    );
+    concat::runtime::write_atomic(report, text.as_bytes()).expect("report written atomically");
+    println!(
+        "amplification complete in {:?}: {} case(s) -> {} case(s), score {:.1}% -> {:.1}%",
+        started.elapsed(),
+        base.len(),
+        outcome.suite.len(),
+        outcome.baseline_score * 100.0,
+        outcome.final_score() * 100.0
     );
 }
 

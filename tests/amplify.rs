@@ -1,0 +1,238 @@
+//! Cross-crate integration: mutation-driven test amplification and the
+//! coverage-matrix selection fast path, end to end.
+//!
+//! Covers the headline guarantees: amplification kills previously
+//! surviving mutants within the default budget; outcomes (verdicts,
+//! rounds, rendered tables) are byte-identical across worker counts and
+//! across journal replays; and coverage selection skips a substantial
+//! share of case executions without changing a single verdict.
+
+use concat::components::*;
+use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
+use concat::driver::{Expansion, GeneratorConfig, TestSuite};
+use concat::mutation::*;
+use concat::obs::{MemorySink, Summary, Telemetry};
+use concat::report::{render_amplification_table, render_score_table};
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn sortable_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .build()
+}
+
+fn sharded_sortable_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .build()
+}
+
+fn coblist_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+        .mutation(coblist_inventory(), switch)
+        .build()
+}
+
+fn small_consumer(seed: u64) -> Consumer {
+    Consumer::with_config(GeneratorConfig {
+        seed,
+        expansion: Expansion::Covering { repeats: 1 },
+        ..GeneratorConfig::default()
+    })
+}
+
+/// A deliberately thin base suite: enough to exercise the subject, weak
+/// enough to leave survivors for the loop to chase.
+fn thin_suite(consumer: &Consumer, bundle: &SelfTestable, cases: usize) -> TestSuite {
+    let suite = consumer.generate(bundle).unwrap();
+    let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(cases).collect();
+    suite.filtered(&ids)
+}
+
+const TARGETS: [&str; 2] = ["Sort1", "FindMax"];
+
+/// A trimmed loop for the determinism tests — the default budget is
+/// exercised by the kill test; determinism does not need four rounds.
+fn small_budget() -> AmplifyConfig {
+    AmplifyConfig {
+        max_rounds: 2,
+        max_candidates_per_round: 32,
+        ..AmplifyConfig::default()
+    }
+}
+
+#[test]
+fn amplification_kills_surviving_mutants_within_default_budget() {
+    let consumer = small_consumer(1999);
+    let bundle = sortable_bundle();
+    let base = thin_suite(&consumer, &bundle, 6);
+    let baseline = consumer
+        .evaluate_quality(&bundle, &base, &TARGETS, &[4242])
+        .unwrap();
+    assert!(
+        baseline.survived() + baseline.equivalent() >= 3,
+        "the thin suite must leave survivors to chase: {}",
+        baseline.survived() + baseline.equivalent()
+    );
+    let outcome = consumer
+        .amplify_quality(&bundle, &base, &TARGETS, &[4242], &AmplifyConfig::default())
+        .unwrap();
+    assert!(
+        outcome.total_kills() >= 3,
+        "amplification killed only {} survivor(s): {:?}",
+        outcome.total_kills(),
+        outcome.rounds
+    );
+    assert!(outcome.final_score() > outcome.baseline_score);
+    assert_eq!(outcome.suite.len(), base.len() + outcome.total_kept());
+    // Every kept case kills: kept == 0 iff kills == 0, per round.
+    for round in &outcome.rounds {
+        assert_eq!(round.kept == 0, round.kills == 0, "{round:?}");
+    }
+}
+
+#[test]
+fn amplified_outcomes_are_identical_across_worker_counts() {
+    let bundle = sharded_sortable_bundle();
+    let base = thin_suite(&small_consumer(1999), &bundle, 6);
+    let outcomes: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&workers| {
+            small_consumer(1999)
+                .with_workers(workers)
+                .amplify_quality(
+                    &sharded_sortable_bundle(),
+                    &base,
+                    &TARGETS,
+                    &[4242],
+                    &small_budget(),
+                )
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(outcomes[0].run.results, outcomes[1].run.results);
+    assert_eq!(outcomes[0].rounds, outcomes[1].rounds);
+    assert_eq!(outcomes[0].suite, outcomes[1].suite);
+    // The rendered report artefacts are byte-identical too (CI `cmp`s
+    // them across worker counts).
+    let render = |o: &AmplifyOutcome| {
+        let matrix = MutationMatrix::from_run(&o.run, &TARGETS);
+        format!(
+            "{}{}",
+            render_score_table("Results", &matrix),
+            render_amplification_table(
+                "Amplification",
+                &o.rounds,
+                o.baseline_score,
+                o.final_score()
+            )
+        )
+    };
+    assert_eq!(render(&outcomes[0]), render(&outcomes[1]));
+}
+
+#[test]
+fn amplification_replays_byte_identically_from_journals() {
+    let dir = std::env::temp_dir().join("concat-amplify-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verdicts.journal");
+    let bundle = sharded_sortable_bundle();
+    let base = thin_suite(&small_consumer(1999), &bundle, 6);
+    let run = || {
+        small_consumer(1999)
+            .with_workers(2)
+            .with_journal(&path)
+            .amplify_quality(
+                &sharded_sortable_bundle(),
+                &base,
+                &TARGETS,
+                &[4242],
+                &small_budget(),
+            )
+            .unwrap()
+    };
+    let first = run();
+    assert!(path.exists(), "round-0 journal written");
+    // Every amplification round journals alongside the main campaign.
+    for round in &first.rounds {
+        let round_path = dir.join(format!("verdicts.journal.r{}", round.round));
+        assert!(round_path.exists(), "round {} journal missing", round.round);
+    }
+    // A rerun over the completed journals replays every verdict; the
+    // outcome is byte-identical to the uninterrupted one.
+    let again = run();
+    assert_eq!(again.run.results, first.run.results);
+    assert_eq!(again.rounds, first.rounds);
+    assert_eq!(again.suite, first.suite);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn coblist_run(coverage_selection: bool, sink: &Arc<MemorySink>) -> MutationRun {
+    let bundle = coblist_bundle();
+    let consumer = small_consumer(7).with_telemetry(Telemetry::new(sink.clone()));
+    let suite = consumer.generate(&bundle).unwrap();
+    let targets = ["AddHead", "RemoveAt", "RemoveHead"];
+    let mutants = enumerate_mutants(bundle.inventory().unwrap(), &targets);
+    let config = MutationConfig {
+        silence_panics: true,
+        telemetry: consumer.telemetry().clone(),
+        coverage_selection,
+        ..MutationConfig::default()
+    };
+    run_mutation_analysis(
+        bundle.factory(),
+        bundle.switch().unwrap(),
+        &suite,
+        &mutants,
+        &config,
+    )
+}
+
+#[test]
+fn coverage_selection_skips_executions_without_changing_verdicts() {
+    let sink_on = Arc::new(MemorySink::new());
+    let sink_off = Arc::new(MemorySink::new());
+    let selected = coblist_run(true, &sink_on);
+    let full = coblist_run(false, &sink_off);
+    // Zero verdict change: the fast path is an optimization, not an
+    // approximation.
+    assert_eq!(selected.results, full.results);
+    assert_eq!(selected.score(), full.score());
+    let skipped = Summary::from_events(&sink_on.events())
+        .counters
+        .get("selection.skipped")
+        .copied()
+        .unwrap_or(0);
+    let total_mutant_executions: u64 = {
+        let bundle = coblist_bundle();
+        let suite = small_consumer(7).generate(&bundle).unwrap();
+        let mutants = enumerate_mutants(
+            bundle.inventory().unwrap(),
+            &["AddHead", "RemoveAt", "RemoveHead"],
+        );
+        (suite.len() * mutants.len()) as u64
+    };
+    assert!(
+        skipped * 5 >= total_mutant_executions,
+        "selection skipped {skipped} of {total_mutant_executions} mutant-phase \
+         case executions (< 20%)"
+    );
+    let off_summary = Summary::from_events(&sink_off.events());
+    assert_eq!(
+        off_summary.counters.get("selection.skipped"),
+        None,
+        "the disabled fast path must not skip anything"
+    );
+}

@@ -142,6 +142,139 @@ fn generated_inputs_lie_in_their_domain() {
     });
 }
 
+#[test]
+fn input_generation_is_seed_deterministic() {
+    for_cases(0x5EED5, 64, |rng, i| {
+        let seed = rng.next_u64();
+        let lo = rng.int_in(-1000, 999);
+        let span = rng.int_in(0, 999);
+        let domains = vec![
+            Domain::int_range(lo, lo + span),
+            Domain::float_range(lo as f64, (lo + span) as f64),
+            Domain::string(rng.int_in(1, 19) as usize),
+            Domain::Set(vec![Value::Bool(false), Value::Bool(true)]),
+        ];
+        let draw = |boundary: bool| {
+            let mut gen = InputGenerator::new(seed);
+            let mut out = Vec::new();
+            for d in &domains {
+                for _ in 0..8 {
+                    let (v, _) = if boundary {
+                        gen.generate_boundary(d).unwrap()
+                    } else {
+                        gen.generate(d).unwrap()
+                    };
+                    out.push(v);
+                }
+            }
+            out
+        };
+        assert_eq!(draw(false), draw(false), "case {i}: uniform draws");
+        assert_eq!(draw(true), draw(true), "case {i}: boundary draws");
+    });
+}
+
+#[test]
+fn boundary_generation_reaches_domain_edges() {
+    for_cases(0xB0DE, 64, |rng, i| {
+        let seed = rng.next_u64();
+        let lo = rng.int_in(-1000, 999);
+        let span = rng.int_in(1, 999);
+        let hi = lo + span;
+        let mut gen = InputGenerator::new(seed);
+        let d = Domain::int_range(lo, hi);
+        let drawn: Vec<i64> = (0..64)
+            .map(|_| gen.generate_boundary(&d).unwrap().0.as_int().unwrap())
+            .collect();
+        assert!(
+            drawn.contains(&lo),
+            "case {i}: min {lo} unreached: {drawn:?}"
+        );
+        assert!(
+            drawn.contains(&hi),
+            "case {i}: max {hi} unreached: {drawn:?}"
+        );
+        let max_len = rng.int_in(1, 19) as usize;
+        let s = Domain::string(max_len);
+        let lens: Vec<usize> = (0..64)
+            .map(|_| match gen.generate_boundary(&s).unwrap().0 {
+                Value::Str(v) => v.chars().count(),
+                other => panic!("case {i}: string domain produced {other:?}"),
+            })
+            .collect();
+        assert!(lens.contains(&0), "case {i}: empty string unreached");
+        assert!(
+            lens.contains(&max_len),
+            "case {i}: max length {max_len} unreached: {lens:?}"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Selection criteria on random TFMs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn selection_covers_random_dags() {
+    use concat::driver::{select_transactions, SelectionCriterion};
+    use concat::tfm::EnumerationConfig;
+    for_cases(0x5E1EC7, 64, |rng, i| {
+        let tfm = random_dag(rng);
+        let config = EnumerationConfig::default();
+        let set = enumerate_transactions(&tfm);
+        for criterion in SelectionCriterion::LADDER {
+            let sel = select_transactions(&tfm, criterion, config);
+            assert!(sel.is_complete(), "case {i}: {criterion} incomplete");
+            // indices are valid, unique and in enumeration order
+            let unique: std::collections::BTreeSet<usize> =
+                sel.transaction_indices.iter().copied().collect();
+            assert_eq!(
+                unique.len(),
+                sel.transaction_indices.len(),
+                "case {i}: {criterion} picked a transaction twice"
+            );
+            assert!(
+                sel.transaction_indices.iter().all(|t| *t < set.len()),
+                "case {i}: {criterion} index out of range"
+            );
+            // re-walk the cover and check it against the claimed units
+            match criterion {
+                SelectionCriterion::AllTransactions => {
+                    assert_eq!(
+                        sel.transaction_indices,
+                        (0..set.len()).collect::<Vec<_>>(),
+                        "case {i}: every birth->death transaction exactly once"
+                    );
+                }
+                SelectionCriterion::AllNodes => {
+                    let covered: std::collections::BTreeSet<usize> = sel
+                        .transaction_indices
+                        .iter()
+                        .flat_map(|t| set.iter().nth(*t).unwrap().nodes.iter())
+                        .map(|n| n.index())
+                        .collect();
+                    assert_eq!(covered.len(), tfm.node_count(), "case {i}: nodes uncovered");
+                }
+                SelectionCriterion::AllEdges => {
+                    let covered: std::collections::BTreeSet<(usize, usize)> = sel
+                        .transaction_indices
+                        .iter()
+                        .flat_map(|t| set.iter().nth(*t).unwrap().nodes.windows(2))
+                        .map(|w| (w[0].index(), w[1].index()))
+                        .collect();
+                    assert_eq!(covered.len(), tfm.edge_count(), "case {i}: edges uncovered");
+                }
+            }
+            // determinism: selection is a pure function of the model
+            assert_eq!(
+                sel,
+                select_transactions(&tfm, criterion, config),
+                "case {i}: {criterion} not deterministic"
+            );
+        }
+    });
+}
+
 // ---------------------------------------------------------------------
 // Value ordering: a genuine total order (the sorts rely on it).
 // ---------------------------------------------------------------------
