@@ -1,0 +1,215 @@
+//! The perf-trajectory harness: runs the two paper subjects
+//! (`CObList`, `CSortableObList`) through the full mutation campaign at
+//! workers ∈ {1, 4} with the telemetry spine recording, and writes the
+//! measured trajectory to `BENCH_6.json` at the workspace root —
+//! phase-level wall-clock attribution (total and self time per span
+//! kind), per-mutant execution latency quantiles (p50/p99 from the
+//! fixed-bucket histogram), and the coverage-selection skip ratio.
+//!
+//! Two invariants are asserted while measuring, so the artifact can only
+//! be produced by a healthy build:
+//!
+//! * verdicts are byte-identical across worker counts, and
+//! * verdicts are byte-identical with telemetry attached vs. detached
+//!   (the flight recorder must not perturb the campaign).
+//!
+//! Run with: `cargo bench -p concat-bench --bench trajectory`
+//!
+//! The harness is hand-rolled (offline build: no criterion, no serde);
+//! the JSON is assembled by string building over `escape_json`.
+
+use concat_bench::{
+    coblist_bundle_sharded, sortable_bundle_sharded, PROBE_SEEDS, SEED, TABLE2_METHODS,
+    TABLE3_METHODS,
+};
+use concat_core::{Consumer, SelfTestable};
+use concat_mutation::MutationRun;
+use concat_obs::{escape_json, Histogram, MemorySink, Summary, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Span kinds reported in the phase breakdown, in emission order.
+const PHASES: [&str; 9] = [
+    "mutation", "golden", "worker", "mutant", "probe", "suite", "case", "merge", "journal",
+];
+
+/// Worker counts the trajectory is measured at.
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+/// One measured campaign: the run, its telemetry summary, and the
+/// wall-clock the harness observed around it.
+struct Measured {
+    workers: usize,
+    run: MutationRun,
+    summary: Summary,
+    wall_nanos: u64,
+}
+
+fn run_campaign(bundle: &SelfTestable, methods: &[&str], workers: usize) -> Measured {
+    let sink = Arc::new(MemorySink::new());
+    let consumer = Consumer::with_seed(SEED)
+        .with_telemetry(Telemetry::new(sink.clone()))
+        .with_workers(workers);
+    let suite = consumer.generate(bundle).expect("spec generates");
+    let t0 = Instant::now();
+    let run = consumer
+        .evaluate_quality(bundle, &suite, methods, &PROBE_SEEDS)
+        .expect("bundle carries mutation support and shards");
+    let wall_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Measured {
+        workers,
+        run,
+        summary: sink.summary(),
+        wall_nanos,
+    }
+}
+
+/// The same campaign with telemetry fully detached — the baseline the
+/// traced runs must agree with verdict for verdict.
+fn run_untraced(bundle: &SelfTestable, methods: &[&str], workers: usize) -> MutationRun {
+    let consumer = Consumer::with_seed(SEED).with_workers(workers);
+    let suite = consumer.generate(bundle).expect("spec generates");
+    consumer
+        .evaluate_quality(bundle, &suite, methods, &PROBE_SEEDS)
+        .expect("bundle carries mutation support and shards")
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{},\"mean_nanos\":{},\"max_nanos\":{}}}",
+        h.count(),
+        h.quantile_nanos(0.50),
+        h.quantile_nanos(0.99),
+        h.mean_nanos(),
+        h.max_nanos()
+    )
+}
+
+fn phases_json(summary: &Summary) -> String {
+    let mut parts = Vec::new();
+    for kind in PHASES {
+        let Some(h) = summary.histogram(kind) else {
+            continue;
+        };
+        let self_nanos = summary
+            .self_histogram(kind)
+            .map(Histogram::sum_nanos)
+            .unwrap_or(0);
+        parts.push(format!(
+            "\"{}\":{{\"count\":{},\"total_nanos\":{},\"self_nanos\":{}}}",
+            escape_json(kind),
+            h.count(),
+            h.sum_nanos(),
+            self_nanos
+        ));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn run_json(m: &Measured) -> String {
+    let skipped = m.summary.counter("selection.skipped");
+    let executed = m
+        .summary
+        .histogram("case")
+        .map(Histogram::count)
+        .unwrap_or(0);
+    let skip_ratio = if skipped + executed == 0 {
+        0.0
+    } else {
+        skipped as f64 / (skipped + executed) as f64
+    };
+    let mutant_latency = m
+        .summary
+        .histogram("mutant")
+        .map(histogram_json)
+        .unwrap_or_else(|| "null".to_owned());
+    format!(
+        "{{\"workers\":{},\"wall_nanos\":{},\"score\":{:.4},\"mutants\":{},\"killed\":{},\
+         \"quarantined\":{},\"phases\":{},\"mutant_latency\":{},\
+         \"selection\":{{\"skipped\":{},\"executed_cases\":{},\"skip_ratio\":{:.4}}},\
+         \"heartbeats\":{}}}",
+        m.workers,
+        m.wall_nanos,
+        m.run.score(),
+        m.run.total(),
+        m.run.killed(),
+        m.run.quarantined(),
+        phases_json(&m.summary),
+        mutant_latency,
+        skipped,
+        executed,
+        skip_ratio,
+        m.summary.snapshots.len()
+    )
+}
+
+fn subject_json(class: &str, methods: &[&str], runs: &[Measured]) -> String {
+    let methods_json: Vec<String> = methods
+        .iter()
+        .map(|m| format!("\"{}\"", escape_json(m)))
+        .collect();
+    let runs_json: Vec<String> = runs.iter().map(run_json).collect();
+    format!(
+        "{{\"class\":\"{}\",\"methods\":[{}],\"runs\":[{}]}}",
+        escape_json(class),
+        methods_json.join(","),
+        runs_json.join(",")
+    )
+}
+
+/// One measurable subject: class name, bundle builder, target methods.
+type Subject = (&'static str, fn() -> SelfTestable, &'static [&'static str]);
+
+fn main() {
+    println!("== trajectory: phase attribution + per-mutant latency ==\n");
+    let subjects: [Subject; 2] = [
+        ("CObList", coblist_bundle_sharded, &TABLE3_METHODS),
+        ("CSortableObList", sortable_bundle_sharded, &TABLE2_METHODS),
+    ];
+
+    let mut subject_blobs = Vec::new();
+    for (class, build, methods) in subjects {
+        let bundle = build();
+        let mut runs = Vec::new();
+        for workers in WORKER_COUNTS {
+            let measured = run_campaign(&bundle, methods, workers);
+            let untraced = run_untraced(&bundle, methods, workers);
+            assert_eq!(
+                measured.run.results, untraced.results,
+                "{class}: tracing must not perturb verdicts (workers={workers})"
+            );
+            let mutation_total = measured
+                .summary
+                .histogram("mutation")
+                .map(Histogram::sum_nanos)
+                .unwrap_or(0);
+            println!(
+                "{class:<16} workers={workers}: wall {:>12} ns, campaign span {:>12} ns, \
+                 {} mutants, score {:.3}, {} heartbeat(s)",
+                measured.wall_nanos,
+                mutation_total,
+                measured.run.total(),
+                measured.run.score(),
+                measured.summary.snapshots.len()
+            );
+            runs.push(measured);
+        }
+        assert_eq!(
+            runs[0].run.results, runs[1].run.results,
+            "{class}: verdicts must be identical for every worker count"
+        );
+        subject_blobs.push(subject_json(class, methods, &runs));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"trajectory\",\"seed\":{},\"probe_seeds\":[{}],\"workers\":[{}],\
+         \"subjects\":[{}]}}\n",
+        SEED,
+        PROBE_SEEDS.map(|s| s.to_string()).join(","),
+        WORKER_COUNTS.map(|w| w.to_string()).join(","),
+        subject_blobs.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    std::fs::write(path, &json).expect("BENCH_6.json written");
+    println!("\nwrote {} ({} bytes)", path, json.len());
+}

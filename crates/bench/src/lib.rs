@@ -26,6 +26,7 @@ use concat_core::{Consumer, SelfTestable, SelfTestableBuilder};
 use concat_driver::TestSuite;
 use concat_mutation::{MutationMatrix, MutationRun, MutationSwitch};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The canonical experiment seed (the publication year of the paper).
 pub const SEED: u64 = 2001;
@@ -56,6 +57,29 @@ pub fn coblist_bundle() -> SelfTestable {
     let switch = MutationSwitch::new();
     SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
         .mutation(coblist_inventory(), switch)
+        .build()
+}
+
+/// [`sortable_bundle`] plus mutation shards, so the consumer can route
+/// the campaign through the parallel engine (any worker count).
+pub fn sortable_bundle_sharded() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .inheritance(sortable_inheritance_map())
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .build()
+}
+
+/// [`coblist_bundle`] plus mutation shards.
+pub fn coblist_bundle_sharded() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
+        .mutation(coblist_inventory(), switch)
+        .mutation_shards(Arc::new(CObListFactory::default()))
         .build()
 }
 

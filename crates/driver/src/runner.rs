@@ -10,7 +10,7 @@ use crate::coverage::CoverageMatrix;
 use crate::log::TestLog;
 use crate::testcase::{TestCase, TestSuite};
 use concat_bit::{BitControl, ComponentFactory, StateReport};
-use concat_obs::Telemetry;
+use concat_obs::{SpanId, Telemetry};
 use concat_runtime::{
     Budget, BudgetResource, CancelToken, TestException, Value, Watchdog, DEADLINE_PANIC_PAYLOAD,
 };
@@ -303,6 +303,21 @@ impl TestRunner {
         self.run_suite_with_coverage(factory, suite, log).0
     }
 
+    /// [`TestRunner::run_suite`] with the suite span parented under
+    /// `parent` — how the mutation engine attributes a suite execution to
+    /// the mutant (and transitively the worker and campaign) that caused
+    /// it. [`SpanId::NONE`] leaves the suite a root span.
+    pub fn run_suite_under(
+        &self,
+        factory: &dyn ComponentFactory,
+        suite: &TestSuite,
+        log: &mut TestLog,
+        parent: SpanId,
+    ) -> SuiteResult {
+        self.run_suite_with_coverage_under(factory, suite, log, parent)
+            .0
+    }
+
     /// Runs a whole suite while recording the case × feature
     /// [`CoverageMatrix`]: for each executed case, the static set of
     /// interface methods its transaction invokes. Mutation analysis uses
@@ -314,13 +329,27 @@ impl TestRunner {
         suite: &TestSuite,
         log: &mut TestLog,
     ) -> (SuiteResult, CoverageMatrix) {
-        let _span = self.telemetry.span("suite", &suite.class_name);
+        self.run_suite_with_coverage_under(factory, suite, log, SpanId::NONE)
+    }
+
+    /// [`TestRunner::run_suite_with_coverage`] with the suite span
+    /// parented under `parent`.
+    pub fn run_suite_with_coverage_under(
+        &self,
+        factory: &dyn ComponentFactory,
+        suite: &TestSuite,
+        log: &mut TestLog,
+        parent: SpanId,
+    ) -> (SuiteResult, CoverageMatrix) {
+        let span = self.telemetry.at(parent).span("suite", &suite.class_name);
+        // Case spans nest under the suite span.
+        let scoped = self.telemetry.at(span.id());
         let mut coverage = CoverageMatrix::new(suite.class_name.clone());
         let mut cases = Vec::with_capacity(suite.len());
         let mut notes = Vec::new();
         for case in suite {
             coverage.record(case.id, case.method_names().iter().map(|m| (*m).to_owned()));
-            let result = self.run_case(factory, case, log);
+            let result = self.run_case_with(&scoped, factory, case, log);
             if result.status.is_harness_stop() {
                 notes.push(format!("case {}: {}", result.case_id, result.status));
             }
@@ -345,7 +374,19 @@ impl TestRunner {
         case: &TestCase,
         log: &mut TestLog,
     ) -> CaseResult {
-        let span = self.telemetry.span("case", &case.name());
+        self.run_case_with(&self.telemetry, factory, case, log)
+    }
+
+    /// [`TestRunner::run_case`] emitting into `telemetry` — the handle a
+    /// suite run positions under its own span so case spans nest.
+    fn run_case_with(
+        &self,
+        telemetry: &Telemetry,
+        factory: &dyn ComponentFactory,
+        case: &TestCase,
+        log: &mut TestLog,
+    ) -> CaseResult {
+        let span = telemetry.span("case", &case.name());
         // Arm the deadline; the token is reset afterwards so a firing
         // near the end of one case can never bleed into the next.
         if let (Some(wd), Some(deadline)) = (&self.watchdog, self.budget.deadline) {
@@ -358,7 +399,7 @@ impl TestRunner {
             self.token.reset();
         }
         span.finish();
-        if self.telemetry.is_enabled() {
+        if telemetry.is_enabled() {
             let ok = result
                 .transcript
                 .records
@@ -366,9 +407,9 @@ impl TestRunner {
                 .filter(|r| r.outcome.is_ok())
                 .count() as u64;
             let raised = result.transcript.records.len() as u64 - ok;
-            self.telemetry.incr_by("call.ok", ok);
-            self.telemetry.incr_by("call.raised", raised);
-            self.telemetry.incr(match result.status {
+            telemetry.incr_by("call.ok", ok);
+            telemetry.incr_by("call.raised", raised);
+            telemetry.incr(match result.status {
                 CaseStatus::Passed => "case.passed",
                 CaseStatus::AssertionViolated { .. } => "case.assertion_violated",
                 CaseStatus::ExceptionRaised { .. } => "case.exception",

@@ -26,6 +26,7 @@ use crate::enumerate::Mutant;
 use crate::fault::{ClonableFactory, MutationSwitch};
 use concat_bit::ComponentFactory;
 use concat_driver::{GenerateError, TestSuite};
+use concat_obs::Telemetry;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -188,12 +189,15 @@ pub fn amplify_suite_parallel(
 /// The per-round analysis configuration: no probes (survival vs. kill on
 /// the candidates is the only question) and a round-suffixed journal so
 /// resumed campaigns replay each round independently.
-fn round_config(config: &MutationConfig, round: usize) -> MutationConfig {
+/// The mini-campaign's config for one amplification round. `telemetry`
+/// is the round-scoped handle, so the mini-run's `mutation` span nests
+/// under the `amplify.round` span in the flight recorder.
+fn round_config(config: &MutationConfig, round: usize, telemetry: &Telemetry) -> MutationConfig {
     MutationConfig {
         probe_suites: Vec::new(),
         silence_panics: config.silence_panics,
         bit_enabled: config.bit_enabled,
-        telemetry: config.telemetry.clone(),
+        telemetry: telemetry.clone(),
         budget: config.budget,
         crash_quarantine_threshold: config.crash_quarantine_threshold,
         workers: config.workers,
@@ -278,6 +282,9 @@ fn amplify_with(
             .collect::<BTreeSet<String>>()
             .into_iter()
             .collect();
+        // The round span covers synthesis and the mini-campaign; it drops
+        // at the end of the iteration (or any break out of it).
+        let round_span = telemetry.span_with("amplify.round", || format!("r{round}"));
         let candidates = synth(
             &amplified,
             &features,
@@ -299,7 +306,11 @@ fn amplify_with(
             .iter()
             .map(|&index| run.results[index].mutant.clone())
             .collect();
-        let mini = exec.run(&candidates, &alive_mutants, &round_config(config, round));
+        let mini = exec.run(
+            &candidates,
+            &alive_mutants,
+            &round_config(config, round, &telemetry.at(round_span.id())),
+        );
 
         let mut killer_ids: BTreeSet<usize> = BTreeSet::new();
         let mut kills = 0usize;

@@ -21,7 +21,7 @@ use concat_bit::ComponentFactory;
 use concat_driver::{
     differing_cases, CaseStatus, CoverageMatrix, SuiteResult, TestLog, TestRunner, TestSuite,
 };
-use concat_obs::{MemorySink, Telemetry};
+use concat_obs::{MemorySink, SpanId, Telemetry};
 use concat_runtime::{recommended_workers, write_atomic, Budget};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -29,6 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Why a mutant died.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -592,7 +593,8 @@ impl<'a> Engine<'a> {
                 telemetry.incr_by("selection.skipped", view.skipped);
             }
         }
-        let observed = runner.run_suite(factory, scope_suite, &mut TestLog::new());
+        let observed =
+            runner.run_suite_under(factory, scope_suite, &mut TestLog::new(), mutant_span.id());
         // Harness stops describe the execution environment, not the
         // component's behaviour — quarantine before the kill classifier
         // so a timed-out mutant is never miscounted as a crash kill.
@@ -607,7 +609,7 @@ impl<'a> Engine<'a> {
                     reason,
                     by_case: case_id,
                 },
-                None => self.probe(factory, runner, telemetry, mutant),
+                None => self.probe(factory, runner, telemetry, mutant, mutant_span.id()),
             },
         };
         mutant_span.finish();
@@ -626,7 +628,12 @@ impl<'a> Engine<'a> {
         runner: &TestRunner,
         telemetry: &Telemetry,
         mutant: &Mutant,
+        parent: SpanId,
     ) -> MutantStatus {
+        // The probe phase gets its own span under the mutant, so the
+        // attribution table can split first-suite time from re-attack
+        // time.
+        let probe_span = telemetry.at(parent).span("probe", mutant.method());
         let scoped = self.view_of(mutant);
         let (probes, probe_goldens, probe_indexes, probe_skipped) = match scoped {
             Some((view, indexes)) => (
@@ -653,7 +660,8 @@ impl<'a> Engine<'a> {
                     telemetry.incr_by("selection.skipped", *skipped);
                 }
             }
-            let probed = runner.run_suite(factory, probe, &mut TestLog::new());
+            let probed =
+                runner.run_suite_under(factory, probe, &mut TestLog::new(), probe_span.id());
             if let Some(reason) =
                 quarantine_reason(probe_index, &probed, self.config.crash_quarantine_threshold)
             {
@@ -692,11 +700,17 @@ fn run_golden(
     telemetry: &Telemetry,
 ) -> GoldenBaseline {
     let golden_span = telemetry.span("golden", factory.class_name());
-    let (golden, coverage) = runner.run_suite_with_coverage(factory, suite, &mut TestLog::new());
+    let (golden, coverage) =
+        runner.run_suite_with_coverage_under(factory, suite, &mut TestLog::new(), golden_span.id());
     let mut probes = Vec::with_capacity(config.probe_suites.len());
     let mut probe_coverage = Vec::with_capacity(config.probe_suites.len());
     for probe in &config.probe_suites {
-        let (result, matrix) = runner.run_suite_with_coverage(factory, probe, &mut TestLog::new());
+        let (result, matrix) = runner.run_suite_with_coverage_under(
+            factory,
+            probe,
+            &mut TestLog::new(),
+            golden_span.id(),
+        );
         probes.push(result);
         probe_coverage.push(matrix);
     }
@@ -798,13 +812,16 @@ struct JournalState {
 }
 
 impl JournalState {
+    /// `telemetry` is the campaign-scoped handle, so `journal` spans nest
+    /// under the `mutation` span in the flight recorder.
     fn open(
         class_name: &str,
         suite: &TestSuite,
         mutants: &[Mutant],
         config: &MutationConfig,
+        telemetry: &Telemetry,
     ) -> (JournalState, Vec<(usize, MutantStatus)>) {
-        let telemetry = config.telemetry.clone();
+        let telemetry = telemetry.clone();
         let Some(path) = &config.journal_path else {
             return (
                 JournalState {
@@ -814,8 +831,11 @@ impl JournalState {
                 Vec::new(),
             );
         };
+        let open_span = telemetry.span("journal", "open");
         let fingerprint = campaign_fingerprint(class_name, suite, mutants, config);
-        match CampaignJournal::resume(path, fingerprint, mutants.len()) {
+        let resumed = CampaignJournal::resume(path, fingerprint, mutants.len());
+        open_span.finish();
+        match resumed {
             Ok((journal, replayed)) => (
                 JournalState {
                     inner: Some(journal),
@@ -840,12 +860,39 @@ impl JournalState {
     /// the verdict is merged into its slot.
     fn record(&mut self, index: usize, status: &MutantStatus) {
         if let Some(journal) = &mut self.inner {
+            let _span = self.telemetry.span("journal", "append");
             if journal.record(index, status).is_err() {
                 self.telemetry.incr("harden.degraded");
                 self.inner = None;
             }
         }
     }
+}
+
+/// Emits the `campaign.progress` heartbeat: mutants done / queued /
+/// quarantined, plus each worker's verdict count. The readings closure is
+/// lazy, so a disabled handle pays nothing.
+fn campaign_heartbeat(
+    telemetry: &Telemetry,
+    slots: &[Option<MutantResult>],
+    done_by_worker: &[u64],
+) {
+    telemetry.snapshot("campaign.progress", || {
+        let done = slots.iter().filter(|s| s.is_some()).count() as i64;
+        let quarantined = slots
+            .iter()
+            .filter(|s| matches!(s, Some(r) if r.status.is_quarantined()))
+            .count() as i64;
+        let mut readings = vec![
+            ("done".to_owned(), done),
+            ("queued".to_owned(), slots.len() as i64 - done),
+            ("quarantined".to_owned(), quarantined),
+        ];
+        for (worker, count) in done_by_worker.iter().enumerate() {
+            readings.push((format!("w{worker}.done"), *count as i64));
+        }
+        readings
+    });
 }
 
 /// Pre-fills the merge slots with journal-replayed verdicts. Their
@@ -876,11 +923,24 @@ fn replay_slots(
     (slots, done)
 }
 
+/// Sequential heartbeat cadence: one `campaign.progress` snapshot per
+/// this many verdicts (plus a final one).
+const HEARTBEAT_EVERY_VERDICTS: usize = 32;
+
+/// Parallel heartbeat cadence: the supervisor emits a snapshot when at
+/// least this long has passed since the previous one.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
+
+/// How long the supervisor blocks on the verdict channel before waking
+/// to consider a heartbeat.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(100);
+
 /// Messages workers stream to the supervising thread.
 enum WorkerMsg {
-    /// One classified mutant (including worker-crash quarantines); the
-    /// supervisor journals it, then merges it into its slot.
-    Verdict(usize, MutantResult),
+    /// One classified mutant (including worker-crash quarantines) from
+    /// the given worker; the supervisor journals it, then merges it into
+    /// its slot.
+    Verdict(usize, usize, MutantResult),
     /// The sending worker retired: queue drained, or crashed.
     Retired {
         /// True when the worker's drain ended in a contained crash (or a
@@ -910,9 +970,13 @@ pub fn run_mutation_analysis(
     config: &MutationConfig,
 ) -> MutationRun {
     let _hook_guard = config.silence_panics.then(PanicSilencer::install);
-    let telemetry = &config.telemetry;
-    let _run_span = telemetry.span("mutation", factory.class_name());
-    let (mut journal, replayed) = JournalState::open(factory.class_name(), suite, mutants, config);
+    let run_span = config.telemetry.span("mutation", factory.class_name());
+    // Everything inside the campaign emits through the scoped handle, so
+    // golden/journal/mutant spans nest under the `mutation` root.
+    let scoped = config.telemetry.at(run_span.id());
+    let telemetry = &scoped;
+    let (mut journal, replayed) =
+        JournalState::open(factory.class_name(), suite, mutants, config, telemetry);
     let runner = build_runner(config, telemetry);
     // Instrumented reads double as cancellation points: the watchdog's
     // token must be visible to the switch for a hung mutant to unwind.
@@ -927,9 +991,15 @@ pub fn run_mutation_analysis(
     // harness keeps draining. Progress is guaranteed — every crash
     // consumes (and quarantines) exactly one mutant.
     loop {
+        let mut since_beat = 0usize;
         let mut emit = |index: usize, result: MutantResult| {
             journal.record(index, &result.status);
             slots[index] = Some(result);
+            since_beat += 1;
+            if since_beat >= HEARTBEAT_EVERY_VERDICTS {
+                since_beat = 0;
+                campaign_heartbeat(telemetry, &slots, &[]);
+            }
         };
         if let DrainEnd::Drained = engine.drain(factory, switch, &runner, telemetry, &mut emit) {
             break;
@@ -937,6 +1007,7 @@ pub fn run_mutation_analysis(
     }
     switch.disarm();
     switch.clear_cancel_token();
+    campaign_heartbeat(telemetry, &slots, &[]);
     let results = collect_slots(mutants, slots);
     finish_run(telemetry, results, baseline.golden)
 }
@@ -998,9 +1069,11 @@ pub fn run_mutation_analysis_parallel(
     config: &MutationConfig,
 ) -> MutationRun {
     let _hook_guard = config.silence_panics.then(PanicSilencer::install);
-    let telemetry = &config.telemetry;
-    let _run_span = telemetry.span("mutation", shards.class_name());
-    let (mut journal, replayed) = JournalState::open(shards.class_name(), suite, mutants, config);
+    let run_span = config.telemetry.span("mutation", shards.class_name());
+    let scoped = config.telemetry.at(run_span.id());
+    let telemetry = &scoped;
+    let (mut journal, replayed) =
+        JournalState::open(shards.class_name(), suite, mutants, config, telemetry);
 
     // Golden shard: the baseline is computed once and shared read-only.
     let golden_switch = MutationSwitch::new();
@@ -1032,11 +1105,12 @@ pub fn run_mutation_analysis_parallel(
     // absorbed in spawn order after the pool retires so the parent's
     // event stream is reproducible.
     let mut sinks: Vec<Arc<MemorySink>> = Vec::new();
+    let mut done_by_worker: Vec<u64> = vec![0; workers];
     if remaining > 0 {
         std::thread::scope(|scope| {
             let engine = &engine;
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
-            let spawn_worker = |sink: Option<Arc<MemorySink>>| {
+            let spawn_worker = |worker: usize, sink: Option<Arc<MemorySink>>| {
                 let tx = tx.clone();
                 scope.spawn(move || {
                     let worker_telemetry = match &sink {
@@ -1049,22 +1123,30 @@ pub fn run_mutation_analysis_parallel(
                     // (factory construction, runner setup), so no panic
                     // path can take the campaign down with it.
                     let body = AssertUnwindSafe(|| {
+                        // The worker span roots this worker's private
+                        // stream; absorb_under grafts it beneath the
+                        // campaign span, and the trace exporter gives it
+                        // its own thread track.
+                        let worker_span =
+                            worker_telemetry.span_with("worker", || format!("w{worker}"));
+                        let worker_scoped = worker_telemetry.at(worker_span.id());
                         let switch = MutationSwitch::new();
                         let factory = shards.build_factory(&switch);
-                        let runner = build_runner(engine.config, &worker_telemetry);
+                        let runner = build_runner(engine.config, &worker_scoped);
                         switch.set_cancel_token(runner.cancel_token().clone());
                         let mut emit = |index: usize, result: MutantResult| {
-                            let _ = verdict_tx.send(WorkerMsg::Verdict(index, result));
+                            let _ = verdict_tx.send(WorkerMsg::Verdict(worker, index, result));
                         };
                         let end = engine.drain(
                             factory.as_ref(),
                             &switch,
                             &runner,
-                            &worker_telemetry,
+                            &worker_scoped,
                             &mut emit,
                         );
                         switch.disarm();
                         switch.clear_cancel_token();
+                        worker_span.finish();
                         end
                     });
                     let crashed = !matches!(catch_unwind(body), Ok(DrainEnd::Drained));
@@ -1079,29 +1161,44 @@ pub fn run_mutation_analysis_parallel(
                 sink
             };
             let mut active = 0usize;
+            let mut next_worker = 0usize;
             for _ in 0..workers {
-                spawn_worker(fresh_sink());
+                spawn_worker(next_worker, fresh_sink());
+                next_worker += 1;
                 active += 1;
             }
             // Supervisor: per-sender FIFO guarantees a worker's verdicts
             // all arrive before its retirement message, so when the last
-            // worker retires every streamed verdict has been merged.
+            // worker retires every streamed verdict has been merged. The
+            // bounded wait keeps the heartbeat alive while a slow mutant
+            // holds every worker busy.
             let mut restarts_left = config.worker_restarts;
+            let mut last_beat = Instant::now();
             while active > 0 {
-                match rx.recv() {
-                    Ok(WorkerMsg::Verdict(index, result)) => {
+                match rx.recv_timeout(SUPERVISOR_POLL) {
+                    Ok(WorkerMsg::Verdict(worker, index, result)) => {
                         journal.record(index, &result.status);
                         slots[index] = Some(result);
+                        if worker >= done_by_worker.len() {
+                            done_by_worker.resize(worker + 1, 0);
+                        }
+                        done_by_worker[worker] += 1;
                     }
                     Ok(WorkerMsg::Retired { crashed }) => {
                         active -= 1;
                         if crashed && restarts_left > 0 && engine.has_unclaimed_work() {
                             restarts_left -= 1;
-                            spawn_worker(fresh_sink());
+                            spawn_worker(next_worker, fresh_sink());
+                            next_worker += 1;
                             active += 1;
                         }
                     }
-                    Err(_) => break,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                if telemetry.is_enabled() && last_beat.elapsed() >= HEARTBEAT_INTERVAL {
+                    last_beat = Instant::now();
+                    campaign_heartbeat(telemetry, &slots, &done_by_worker);
                 }
             }
         });
@@ -1131,10 +1228,16 @@ pub fn run_mutation_analysis_parallel(
             break;
         }
     }
+    campaign_heartbeat(telemetry, &slots, &done_by_worker);
+    // The merge span covers absorbing the per-worker streams (grafted
+    // under the campaign span so worker trees stay causal subtrees) and
+    // collapsing the verdict slots.
+    let merge_span = telemetry.span("merge", shards.class_name());
     for sink in sinks {
-        telemetry.absorb(&sink.events());
+        telemetry.absorb_under(&sink.events(), run_span.id());
     }
     let results = collect_slots(mutants, slots);
+    merge_span.finish();
     finish_run(telemetry, results, baseline.golden)
 }
 

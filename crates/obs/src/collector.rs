@@ -217,6 +217,23 @@ impl<W: Write + Send> JsonlSink<W> {
         self.poisoned_recoveries.load(Ordering::Relaxed)
     }
 
+    /// The sink's degraded-mode statistics as counter events
+    /// (`obs.dropped` / `obs.retries`), for folding into a run's summary
+    /// so the harness-health table surfaces telemetry loss instead of
+    /// leaving it query-only.
+    pub fn health_events(&self) -> Vec<Event> {
+        vec![
+            Event::Counter {
+                name: "obs.dropped",
+                delta: self.dropped_events(),
+            },
+            Event::Counter {
+                name: "obs.retries",
+                delta: self.retries(),
+            },
+        ]
+    }
+
     /// Unwraps the writer (flushing is the caller's business).
     pub fn into_inner(self) -> W {
         self.writer
@@ -343,6 +360,7 @@ mod tests {
             label: "l".into(),
             id: 0,
             nanos: 5,
+            ts_nanos: 5,
         });
         assert_eq!(sink.counter_total("a"), 5);
         assert_eq!(sink.gauge_value("g"), Some(9));
@@ -411,6 +429,21 @@ mod tests {
         assert!(sink.is_degraded());
         assert_eq!(sink.dropped_events(), 4);
         assert_eq!(sink.contents(), "", "nothing was written");
+        let health = sink.health_events();
+        assert_eq!(
+            health[0],
+            Event::Counter {
+                name: "obs.dropped",
+                delta: 4,
+            }
+        );
+        assert!(matches!(
+            health[1],
+            Event::Counter {
+                name: "obs.retries",
+                delta,
+            } if delta == sink.retries()
+        ));
     }
 
     #[test]

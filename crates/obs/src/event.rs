@@ -2,8 +2,15 @@
 //!
 //! Everything the instrumented pipeline reports flows through one small
 //! enum: span boundaries (with monotonic timing measured by the emitting
-//! [`crate::Telemetry`] handle), counter increments and gauge sets. Sinks
-//! consume [`Event`]s; they never see clocks or atomics.
+//! [`crate::Telemetry`] handle), counter increments, gauge sets and
+//! periodic progress snapshots. Sinks consume [`Event`]s; they never see
+//! clocks or atomics.
+//!
+//! Spans are *causal*: every start carries the id of its parent span (if
+//! any) and a timestamp against the process trace epoch
+//! ([`concat_runtime::monotonic_nanos`]), so a recorded stream is a
+//! forest of span trees that consumers — the hot-path attribution table,
+//! the Chrome-trace exporter — can reconstruct exactly.
 
 use std::fmt;
 
@@ -26,6 +33,12 @@ pub enum Event {
         label: String,
         /// Process-unique pairing id.
         id: u64,
+        /// Id of the enclosing span, `None` for a root span. Parent and
+        /// child always share a sink id space (the emitting handle's), so
+        /// the recorded stream forms a well-founded forest.
+        parent: Option<u64>,
+        /// Start time, nanoseconds since the process trace epoch.
+        ts_nanos: u64,
     },
     /// A span finished after `nanos` nanoseconds of wall time.
     SpanEnd {
@@ -37,6 +50,10 @@ pub enum Event {
         id: u64,
         /// Elapsed monotonic wall time in nanoseconds.
         nanos: u64,
+        /// End time, nanoseconds since the process trace epoch (the
+        /// matching start's `ts_nanos` plus `nanos`, so a start/end pair
+        /// is always self-consistent).
+        ts_nanos: u64,
     },
     /// A named counter moved up by `delta`.
     Counter {
@@ -52,6 +69,21 @@ pub enum Event {
         /// The new value.
         value: i64,
     },
+    /// A periodic multi-reading snapshot — the live progress heartbeat
+    /// (e.g. `campaign.progress`: mutants done/queued/quarantined per
+    /// worker). Unlike a [`Event::Gauge`], a snapshot carries several
+    /// named readings taken at one instant, plus a sequence number so
+    /// merged streams keep their emission order.
+    Snapshot {
+        /// Snapshot name, e.g. `"campaign.progress"`.
+        name: &'static str,
+        /// Per-handle emission sequence number.
+        seq: u64,
+        /// Snapshot time, nanoseconds since the process trace epoch.
+        ts_nanos: u64,
+        /// Named readings, in emission order.
+        readings: Vec<(String, i64)>,
+    },
 }
 
 impl Event {
@@ -60,18 +92,39 @@ impl Event {
     /// runs without registry dependencies, so there is no serde here.
     pub fn to_json(&self) -> String {
         match self {
-            Event::SpanStart { kind, label, id } => format!(
-                "{{\"event\":\"span_start\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{}}}",
-                escape_json(kind),
-                escape_json(label),
-                id
-            ),
-            Event::SpanEnd { kind, label, id, nanos } => format!(
-                "{{\"event\":\"span_end\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{},\"nanos\":{}}}",
+            Event::SpanStart {
+                kind,
+                label,
+                id,
+                parent,
+                ts_nanos,
+            } => {
+                let parent = match parent {
+                    Some(p) => format!(",\"parent\":{p}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"event\":\"span_start\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{}{},\"ts\":{}}}",
+                    escape_json(kind),
+                    escape_json(label),
+                    id,
+                    parent,
+                    ts_nanos
+                )
+            }
+            Event::SpanEnd {
+                kind,
+                label,
+                id,
+                nanos,
+                ts_nanos,
+            } => format!(
+                "{{\"event\":\"span_end\",\"kind\":\"{}\",\"label\":\"{}\",\"id\":{},\"nanos\":{},\"ts\":{}}}",
                 escape_json(kind),
                 escape_json(label),
                 id,
-                nanos
+                nanos,
+                ts_nanos
             ),
             Event::Counter { name, delta } => format!(
                 "{{\"event\":\"counter\",\"name\":\"{}\",\"delta\":{}}}",
@@ -83,6 +136,24 @@ impl Event {
                 escape_json(name),
                 value
             ),
+            Event::Snapshot {
+                name,
+                seq,
+                ts_nanos,
+                readings,
+            } => {
+                let body: Vec<String> = readings
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+                    .collect();
+                format!(
+                    "{{\"event\":\"snapshot\",\"name\":\"{}\",\"seq\":{},\"ts\":{},\"readings\":{{{}}}}}",
+                    escape_json(name),
+                    seq,
+                    ts_nanos,
+                    body.join(",")
+                )
+            }
         }
     }
 }
@@ -123,11 +194,12 @@ mod tests {
             label: "TC0".into(),
             id: 3,
             nanos: 1500,
+            ts_nanos: 9_000,
         }
         .to_json();
         assert_eq!(
             e,
-            "{\"event\":\"span_end\",\"kind\":\"case\",\"label\":\"TC0\",\"id\":3,\"nanos\":1500}"
+            "{\"event\":\"span_end\",\"kind\":\"case\",\"label\":\"TC0\",\"id\":3,\"nanos\":1500,\"ts\":9000}"
         );
         let c = Event::Counter {
             name: "case.passed",
@@ -144,11 +216,51 @@ mod tests {
     }
 
     #[test]
+    fn span_start_renders_parent_only_when_present() {
+        let root = Event::SpanStart {
+            kind: "mutation",
+            label: "Acc".into(),
+            id: 0,
+            parent: None,
+            ts_nanos: 10,
+        };
+        assert_eq!(
+            root.to_json(),
+            "{\"event\":\"span_start\",\"kind\":\"mutation\",\"label\":\"Acc\",\"id\":0,\"ts\":10}"
+        );
+        let child = Event::SpanStart {
+            kind: "mutant",
+            label: "#1".into(),
+            id: 4,
+            parent: Some(0),
+            ts_nanos: 20,
+        };
+        assert!(child.to_json().contains("\"id\":4,\"parent\":0,\"ts\":20"));
+    }
+
+    #[test]
+    fn snapshot_renders_readings_object() {
+        let s = Event::Snapshot {
+            name: "campaign.progress",
+            seq: 2,
+            ts_nanos: 77,
+            readings: vec![("done".into(), 5), ("queued".into(), 3)],
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"event\":\"snapshot\",\"name\":\"campaign.progress\",\"seq\":2,\"ts\":77,\
+             \"readings\":{\"done\":5,\"queued\":3}}"
+        );
+    }
+
+    #[test]
     fn labels_are_escaped() {
         let e = Event::SpanStart {
             kind: "case",
             label: "a\"b\\c\nd\u{1}".into(),
             id: 0,
+            parent: None,
+            ts_nanos: 0,
         };
         let json = e.to_json();
         assert!(json.contains("a\\\"b\\\\c\\nd\\u0001"));

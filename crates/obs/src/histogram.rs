@@ -236,6 +236,35 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0, including the extremes.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile_nanos(0.0), 0);
+        assert_eq!(empty.quantile_nanos(1.0), 0);
+
+        let mut h = Histogram::new();
+        h.record(900);
+        h.record(90_000);
+        // q=0.0 still targets the first observation (a minimum estimate,
+        // bounded by the first occupied bucket).
+        assert_eq!(h.quantile_nanos(0.0), 1_000);
+        // q=1.0 is the exact observed maximum.
+        assert_eq!(h.quantile_nanos(1.0), 90_000);
+        // Out-of-range inputs clamp rather than panic or extrapolate.
+        assert_eq!(h.quantile_nanos(-3.0), h.quantile_nanos(0.0));
+        assert_eq!(h.quantile_nanos(7.5), h.quantile_nanos(1.0));
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(42);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_nanos(q), 42, "q = {q}");
+        }
+    }
+
+    #[test]
     fn merge_adds_everything() {
         let mut a = Histogram::new();
         a.record(500);

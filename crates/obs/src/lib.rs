@@ -10,15 +10,20 @@
 //! zero registry dependencies (the build environment is offline, so —
 //! like `TestLog` — everything here is hand-rolled):
 //!
-//! * [`Event`] — span start/end (monotonic timing), counters, gauges;
+//! * [`Event`] — span start/end (monotonic timing, causal parent links),
+//!   counters, gauges, progress snapshots;
 //! * [`Telemetry`] — the cheap, clonable handle instrumented code holds;
 //!   disabled by default, in which case every call is a guaranteed no-op
-//!   (no clock read, no allocation);
+//!   (no clock read, no allocation); [`Telemetry::at`] positions a handle
+//!   under a parent span so recorded streams form causal span trees;
 //! * [`Collector`] sinks — [`NullSink`] (default), [`MemorySink`]
 //!   (tests/reports), [`JsonlSink`] (one JSON object per line, feeding
-//!   benchmark trajectories);
+//!   benchmark trajectories), [`ChromeTraceSink`] (live Chrome-trace
+//!   flight recorder; [`chrome_trace`] is the offline exporter);
 //! * [`Histogram`] — fixed-bucket timing histograms; [`Summary`] — the
-//!   count/min/max/mean/p50/p95 aggregation reports print.
+//!   count/min/max/mean/p50/p95 aggregation reports print, now with
+//!   per-kind self-time ([`Summary::self_spans`]) derived from the span
+//!   tree.
 //!
 //! # Examples
 //!
@@ -47,9 +52,11 @@ mod event;
 mod histogram;
 mod summary;
 mod telemetry;
+mod trace;
 
 pub use collector::{Collector, JsonlSink, MemorySink, NullSink, JSONL_WRITE_OP};
 pub use event::{escape_json, Event};
 pub use histogram::{Histogram, BUCKET_BOUNDS_NANOS};
-pub use summary::{SpanStats, Summary};
-pub use telemetry::{Span, Telemetry};
+pub use summary::{SnapshotRecord, SpanStats, Summary};
+pub use telemetry::{Span, SpanId, Telemetry};
+pub use trace::{chrome_trace, ChromeTraceSink};

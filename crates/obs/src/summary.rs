@@ -2,11 +2,15 @@
 //!
 //! A [`Summary`] is what reports print: per-span-kind timing statistics
 //! (count/min/max/mean/p50/p95 from a fixed-bucket [`Histogram`]) plus
-//! final counter and gauge values.
+//! final counter and gauge values. Since the event stream carries causal
+//! span trees, the summary also derives *self time* per span kind —
+//! total duration minus the time spent in child spans — which is what
+//! the hot-path attribution table prints, and it collects the progress
+//! [`SnapshotRecord`]s emitted by the campaign heartbeat.
 
 use crate::event::Event;
 use crate::histogram::Histogram;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Timing statistics of one span kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,34 +42,96 @@ impl SpanStats {
     }
 }
 
+/// One progress snapshot (heartbeat) carried through to the summary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotRecord {
+    /// Snapshot name, e.g. `"campaign.progress"`.
+    pub name: &'static str,
+    /// Emission sequence number within its stream.
+    pub seq: u64,
+    /// Snapshot time, nanoseconds since the process trace epoch.
+    pub ts_nanos: u64,
+    /// Named readings, in emission order.
+    pub readings: Vec<(String, i64)>,
+}
+
 /// Aggregation of a run's telemetry, keyed by span kind / counter name /
 /// gauge name. Built by [`Summary::from_events`] (or
 /// `MemorySink::summary`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Summary {
-    /// Per-span-kind timing statistics, ordered by kind.
+    /// Per-span-kind timing statistics (total durations), ordered by
+    /// kind.
     pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Per-span-kind *self*-time statistics: each span's duration minus
+    /// the summed durations of its direct children (derived from the
+    /// parent links in the event stream). For a span with no recorded
+    /// children, self time equals total time.
+    pub self_spans: BTreeMap<&'static str, SpanStats>,
     /// Final counter totals, ordered by name.
     pub counters: BTreeMap<&'static str, u64>,
     /// Last-set gauge values, ordered by name.
     pub gauges: BTreeMap<&'static str, i64>,
+    /// Progress snapshots, in a canonical order (name, then sequence)
+    /// that is independent of how per-worker streams were merged.
+    pub snapshots: Vec<SnapshotRecord>,
     /// The underlying per-kind histograms `spans` was derived from, kept
     /// so two summaries can [`Summary::merge`] with exact bucket counts
     /// instead of re-deriving statistics from already-rounded quantiles.
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Likewise for `self_spans`.
+    self_histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// Book-keeping for one started-but-not-yet-ended span during
+/// [`Summary::from_events`].
+struct OpenSpan {
+    parent: Option<u64>,
+    child_nanos: u64,
 }
 
 impl Summary {
     /// Aggregates a recorded event stream.
     pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Summary {
         let mut histograms: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        let mut self_histograms: BTreeMap<&'static str, Histogram> = BTreeMap::new();
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<&'static str, i64> = BTreeMap::new();
+        let mut snapshots: Vec<SnapshotRecord> = Vec::new();
+        // Open spans by id. A stack per id tolerates id reuse across
+        // absorbed streams; an end without a start (pre-tree streams,
+        // truncated tails) degrades to self == total.
+        let mut open: HashMap<u64, Vec<OpenSpan>> = HashMap::new();
         for event in events {
             match event {
-                Event::SpanStart { .. } => {}
-                Event::SpanEnd { kind, nanos, .. } => {
+                Event::SpanStart { id, parent, .. } => {
+                    open.entry(*id).or_default().push(OpenSpan {
+                        parent: *parent,
+                        child_nanos: 0,
+                    });
+                }
+                Event::SpanEnd {
+                    kind, nanos, id, ..
+                } => {
                     histograms.entry(kind).or_default().record(*nanos);
+                    let entry =
+                        open.get_mut(id)
+                            .and_then(|stack| stack.pop())
+                            .unwrap_or(OpenSpan {
+                                parent: None,
+                                child_nanos: 0,
+                            });
+                    self_histograms
+                        .entry(kind)
+                        .or_default()
+                        .record(nanos.saturating_sub(entry.child_nanos));
+                    if let Some(parent_id) = entry.parent {
+                        if let Some(parent) =
+                            open.get_mut(&parent_id).and_then(|stack| stack.last_mut())
+                        {
+                            parent.child_nanos = parent.child_nanos.saturating_add(*nanos);
+                        }
+                    }
                 }
                 Event::Counter { name, delta } => {
                     *counters.entry(name).or_insert(0) += delta;
@@ -73,34 +139,64 @@ impl Summary {
                 Event::Gauge { name, value } => {
                     gauges.insert(name, *value);
                 }
+                Event::Snapshot {
+                    name,
+                    seq,
+                    ts_nanos,
+                    readings,
+                } => {
+                    snapshots.push(SnapshotRecord {
+                        name,
+                        seq: *seq,
+                        ts_nanos: *ts_nanos,
+                        readings: readings.clone(),
+                    });
+                }
             }
         }
+        snapshots.sort();
         Summary {
             spans: histograms
                 .iter()
                 .map(|(k, h)| (*k, SpanStats::of(h)))
                 .collect(),
+            self_spans: self_histograms
+                .iter()
+                .map(|(k, h)| (*k, SpanStats::of(h)))
+                .collect(),
             counters,
             gauges,
+            snapshots,
             histograms,
+            self_histograms,
         }
     }
 
     /// Merges another summary into this one — the aggregation path for
     /// per-worker telemetry collectors.
     ///
-    /// Span statistics merge exactly (the underlying histograms are
-    /// bucket-wise additive), counter totals sum, and gauge values *sum*
-    /// as well: across workers a gauge holds a shard-local count (e.g.
-    /// each worker's equivalent-mutant tally), so addition is the
+    /// Span statistics (total and self time) merge exactly (the
+    /// underlying histograms are bucket-wise additive), counter totals
+    /// sum, snapshots concatenate into the canonical order, and gauge
+    /// values *sum*: across workers a gauge holds a shard-local count
+    /// (e.g. each worker's equivalent-mutant tally), so addition is the
     /// aggregation that preserves the run-wide reading. Merging summaries
-    /// whose gauges are not additive is a caller error.
+    /// whose gauges are not additive is a caller error. The result does
+    /// not depend on merge order (see the regression test).
     pub fn merge(&mut self, other: &Summary) {
         for (kind, h) in &other.histograms {
             self.histograms.entry(kind).or_default().merge(h);
         }
+        for (kind, h) in &other.self_histograms {
+            self.self_histograms.entry(kind).or_default().merge(h);
+        }
         self.spans = self
             .histograms
+            .iter()
+            .map(|(k, h)| (*k, SpanStats::of(h)))
+            .collect();
+        self.self_spans = self
+            .self_histograms
             .iter()
             .map(|(k, h)| (*k, SpanStats::of(h)))
             .collect();
@@ -110,6 +206,8 @@ impl Summary {
         for (name, value) in &other.gauges {
             *self.gauges.entry(name).or_insert(0) += value;
         }
+        self.snapshots.extend(other.snapshots.iter().cloned());
+        self.snapshots.sort();
     }
 
     /// Total of one counter (0 when never incremented).
@@ -126,38 +224,58 @@ impl Summary {
     pub fn span(&self, kind: &str) -> Option<&SpanStats> {
         self.spans.get(kind)
     }
+
+    /// Self-time statistics for one span kind.
+    pub fn self_span(&self, kind: &str) -> Option<&SpanStats> {
+        self.self_spans.get(kind)
+    }
+
+    /// The exact duration histogram backing [`Summary::span`] for one
+    /// kind — the source for report quantiles beyond p50/p95 (the bench
+    /// harness reads p99 from here).
+    pub fn histogram(&self, kind: &str) -> Option<&Histogram> {
+        self.histograms.get(kind)
+    }
+
+    /// The exact *self*-time histogram backing [`Summary::self_span`] for
+    /// one kind — the source for attribution totals, which need exact
+    /// sums rather than `count × mean` re-derivations.
+    pub fn self_histogram(&self, kind: &str) -> Option<&Histogram> {
+        self.self_histograms.get(kind)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn start(kind: &'static str, id: u64, parent: Option<u64>) -> Event {
+        Event::SpanStart {
+            kind,
+            label: String::new(),
+            id,
+            parent,
+            ts_nanos: 0,
+        }
+    }
+
+    fn end(kind: &'static str, id: u64, nanos: u64) -> Event {
+        Event::SpanEnd {
+            kind,
+            label: String::new(),
+            id,
+            nanos,
+            ts_nanos: nanos,
+        }
+    }
+
     #[test]
     fn aggregates_by_kind_and_name() {
         let events = vec![
-            Event::SpanStart {
-                kind: "case",
-                label: "a".into(),
-                id: 1,
-            },
-            Event::SpanEnd {
-                kind: "case",
-                label: "a".into(),
-                id: 1,
-                nanos: 1_000,
-            },
-            Event::SpanEnd {
-                kind: "case",
-                label: "b".into(),
-                id: 2,
-                nanos: 3_000,
-            },
-            Event::SpanEnd {
-                kind: "suite",
-                label: "s".into(),
-                id: 3,
-                nanos: 9_000,
-            },
+            start("case", 1, None),
+            end("case", 1, 1_000),
+            end("case", 2, 3_000),
+            end("suite", 3, 9_000),
             Event::Counter {
                 name: "case.passed",
                 delta: 1,
@@ -186,6 +304,59 @@ mod tests {
         assert_eq!(s.counter("never"), 0);
         assert_eq!(s.gauge("g"), Some(7));
         assert_eq!(s.gauge("absent"), None);
+        // No children recorded: self time equals total time.
+        assert_eq!(s.self_span("case"), s.span("case"));
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        // suite(10_000) contains two cases (1_000 + 3_000); each case
+        // contains one call; calls have no children.
+        let events = vec![
+            start("suite", 0, None),
+            start("case", 1, Some(0)),
+            start("call", 2, Some(1)),
+            end("call", 2, 400),
+            end("case", 1, 1_000),
+            start("case", 3, Some(0)),
+            start("call", 4, Some(3)),
+            end("call", 4, 2_500),
+            end("case", 3, 3_000),
+            end("suite", 0, 10_000),
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.span("suite").unwrap().max_nanos, 10_000);
+        // suite self = 10_000 - (1_000 + 3_000) = 6_000.
+        assert_eq!(s.self_span("suite").unwrap().max_nanos, 6_000);
+        // case selfs: 1_000 - 400 = 600 and 3_000 - 2_500 = 500.
+        let case_self = s.self_span("case").unwrap();
+        assert_eq!(case_self.min_nanos, 500);
+        assert_eq!(case_self.max_nanos, 600);
+        // Leaf spans: self == total.
+        assert_eq!(s.self_span("call"), s.span("call"));
+    }
+
+    #[test]
+    fn snapshots_are_collected_in_canonical_order() {
+        let events = vec![
+            Event::Snapshot {
+                name: "campaign.progress",
+                seq: 1,
+                ts_nanos: 20,
+                readings: vec![("done".into(), 2)],
+            },
+            Event::Snapshot {
+                name: "campaign.progress",
+                seq: 0,
+                ts_nanos: 10,
+                readings: vec![("done".into(), 1)],
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.snapshots.len(), 2);
+        assert_eq!(s.snapshots[0].seq, 0);
+        assert_eq!(s.snapshots[0].readings, vec![("done".to_owned(), 1)]);
+        assert_eq!(s.snapshots[1].seq, 1);
     }
 
     #[test]
@@ -193,12 +364,7 @@ mod tests {
         // Two shards' event streams, summarized separately then merged,
         // must agree exactly with one summary over the concatenation.
         let shard_a = vec![
-            Event::SpanEnd {
-                kind: "mutant",
-                label: "a".into(),
-                id: 1,
-                nanos: 1_000,
-            },
+            end("mutant", 1, 1_000),
             Event::Counter {
                 name: "mutant.survived",
                 delta: 2,
@@ -209,18 +375,8 @@ mod tests {
             },
         ];
         let shard_b = vec![
-            Event::SpanEnd {
-                kind: "mutant",
-                label: "b".into(),
-                id: 1,
-                nanos: 9_000,
-            },
-            Event::SpanEnd {
-                kind: "golden",
-                label: "g".into(),
-                id: 2,
-                nanos: 4_000,
-            },
+            end("mutant", 1, 9_000),
+            end("golden", 2, 4_000),
             Event::Counter {
                 name: "mutant.survived",
                 delta: 1,
@@ -246,18 +402,75 @@ mod tests {
         let combined: Vec<Event> = shard_a.iter().chain(&shard_b).cloned().collect();
         let whole = Summary::from_events(&combined);
         assert_eq!(merged.spans, whole.spans);
+        assert_eq!(merged.self_spans, whole.self_spans);
         assert_eq!(merged.counters, whole.counters);
         // (gauges differ by design: last-write vs additive)
     }
 
     #[test]
+    fn merge_order_does_not_change_the_summary() {
+        // Per-worker streams with span trees, snapshots, counters and
+        // gauges: merging a←b must equal merging b←a field for field.
+        let worker_a = vec![
+            start("worker", 0, None),
+            start("mutant", 1, Some(0)),
+            end("mutant", 1, 2_000),
+            end("worker", 0, 5_000),
+            Event::Counter {
+                name: "mutant.killed",
+                delta: 3,
+            },
+            Event::Gauge {
+                name: "mutant.equivalent",
+                value: 1,
+            },
+            Event::Snapshot {
+                name: "campaign.progress",
+                seq: 0,
+                ts_nanos: 100,
+                readings: vec![("done".into(), 4)],
+            },
+        ];
+        let worker_b = vec![
+            start("worker", 0, None),
+            start("mutant", 1, Some(0)),
+            end("mutant", 1, 7_000),
+            end("worker", 0, 8_000),
+            Event::Counter {
+                name: "mutant.killed",
+                delta: 2,
+            },
+            Event::Gauge {
+                name: "mutant.equivalent",
+                value: 2,
+            },
+            Event::Snapshot {
+                name: "campaign.progress",
+                seq: 1,
+                ts_nanos: 50,
+                readings: vec![("done".into(), 7)],
+            },
+        ];
+        let a = Summary::from_events(&worker_a);
+        let b = Summary::from_events(&worker_b);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // And the merged tree stats are what the streams say: worker
+        // self = 5_000-2_000 and 8_000-7_000.
+        let worker_self = ab.self_span("worker").unwrap();
+        assert_eq!(worker_self.min_nanos, 1_000);
+        assert_eq!(worker_self.max_nanos, 3_000);
+        assert_eq!(ab.counter("mutant.killed"), 5);
+        assert_eq!(ab.gauge("mutant.equivalent"), Some(3));
+        assert_eq!(ab.snapshots.len(), 2);
+    }
+
+    #[test]
     fn merge_into_empty_is_identity_for_spans_and_counters() {
-        let events = vec![Event::SpanEnd {
-            kind: "case",
-            label: "c".into(),
-            id: 1,
-            nanos: 2_000,
-        }];
+        let events = vec![end("case", 1, 2_000)];
         let other = Summary::from_events(&events);
         let mut merged = Summary::default();
         merged.merge(&other);

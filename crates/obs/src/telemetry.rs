@@ -6,9 +6,16 @@
 //! therefore sit on the hottest paths of the runner and the mutation
 //! engine without a deployment-mode cost, the same bargain the paper's
 //! BIT access control strikes for assertions.
+//!
+//! Handles are also *positioned*: [`Telemetry::at`] derives a handle
+//! whose spans open under a given parent span, which is how the campaign
+//! flight recorder threads causality through `TestRunner` → mutation
+//! engine → workers → amplification rounds without any thread-local
+//! context.
 
 use crate::collector::Collector;
 use crate::event::Event;
+use concat_runtime::monotonic_nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,6 +23,7 @@ use std::time::Instant;
 struct Shared {
     sink: Arc<dyn Collector>,
     next_span_id: AtomicU64,
+    next_snapshot_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Shared {
@@ -23,6 +31,24 @@ impl std::fmt::Debug for Shared {
         f.debug_struct("Shared")
             .field("next_span_id", &self.next_span_id)
             .finish_non_exhaustive()
+    }
+}
+
+/// The identity of an open span, used to parent other spans under it via
+/// [`Telemetry::at`]. Copyable and sendable; a span id from a disabled
+/// handle is [`SpanId::NONE`], which parents nothing — so call sites can
+/// thread ids unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanId(Option<u64>);
+
+impl SpanId {
+    /// The absent span id: spans opened "under" it are roots.
+    pub const NONE: SpanId = SpanId(None);
+
+    /// True when this id names no span (disabled handle, or explicitly
+    /// [`SpanId::NONE`]).
+    pub fn is_none(&self) -> bool {
+        self.0.is_none()
     }
 }
 
@@ -37,7 +63,11 @@ impl std::fmt::Debug for Shared {
 /// let sink = Arc::new(MemorySink::new());
 /// let tel = Telemetry::new(sink.clone());
 /// {
-///     let _span = tel.span("case", "TC0");
+///     let span = tel.span("suite", "S");
+///     // Derive a handle positioned under the suite span: its spans
+///     // record the suite as their parent.
+///     let under = tel.at(span.id());
+///     under.span("case", "TC0").finish();
 ///     tel.incr("case.passed");
 /// }
 /// assert_eq!(sink.span_count("case"), 1);
@@ -51,13 +81,17 @@ impl std::fmt::Debug for Shared {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Shared>>,
+    parent: SpanId,
 }
 
 impl Telemetry {
     /// The disabled handle: every operation is a no-op. This is also the
     /// `Default`.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            parent: SpanId::NONE,
+        }
     }
 
     /// A handle over `sink`. Passing a sink whose
@@ -71,7 +105,9 @@ impl Telemetry {
             inner: Some(Arc::new(Shared {
                 sink,
                 next_span_id: AtomicU64::new(0),
+                next_snapshot_seq: AtomicU64::new(0),
             })),
+            parent: SpanId::NONE,
         }
     }
 
@@ -80,20 +116,35 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// Derives a handle that shares this one's sink and id space but
+    /// opens its spans under `parent`. Free on a disabled handle (and
+    /// never allocates — it only clones the inner `Arc`), so call sites
+    /// can reposition unconditionally.
+    pub fn at(&self, parent: SpanId) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            parent,
+        }
+    }
+
     /// Opens a span. The returned guard emits [`Event::SpanStart`] now and
     /// the matching [`Event::SpanEnd`] (with monotonic elapsed nanoseconds)
-    /// when dropped. On a disabled handle this reads no clock and
-    /// allocates nothing.
+    /// when dropped. The span's parent is this handle's position (set via
+    /// [`Telemetry::at`]; roots by default). On a disabled handle this
+    /// reads no clock and allocates nothing.
     pub fn span(&self, kind: &'static str, label: &str) -> Span {
         let Some(shared) = &self.inner else {
             return Span { state: None };
         };
         let id = shared.next_span_id.fetch_add(1, Ordering::Relaxed);
         let label = label.to_owned();
+        let ts_nanos = monotonic_nanos();
         shared.sink.record(Event::SpanStart {
             kind,
             label: label.clone(),
             id,
+            parent: self.parent.0,
+            ts_nanos,
         });
         Span {
             state: Some(SpanState {
@@ -102,6 +153,7 @@ impl Telemetry {
                 label,
                 id,
                 start: Instant::now(),
+                start_ts: ts_nanos,
             }),
         }
     }
@@ -136,41 +188,96 @@ impl Telemetry {
         }
     }
 
+    /// Emits a multi-reading progress snapshot (the campaign heartbeat).
+    /// `readings` is only invoked when the handle is enabled, so callers
+    /// can gather per-worker tallies in the closure without paying for it
+    /// in the disabled deployment mode.
+    pub fn snapshot(&self, name: &'static str, readings: impl FnOnce() -> Vec<(String, i64)>) {
+        if let Some(shared) = &self.inner {
+            let seq = shared.next_snapshot_seq.fetch_add(1, Ordering::Relaxed);
+            shared.sink.record(Event::Snapshot {
+                name,
+                seq,
+                ts_nanos: monotonic_nanos(),
+                readings: readings(),
+            });
+        }
+    }
+
     /// Replays events recorded elsewhere — typically a worker's private
     /// `MemorySink` — into this handle's sink, remapping span ids into
     /// this handle's id space so replayed start/end pairs stay paired and
-    /// can never collide with natively emitted spans. A no-op on a
-    /// disabled handle.
+    /// can never collide with natively emitted spans. Root spans in the
+    /// replayed stream stay roots; to graft them under a local span, use
+    /// [`Telemetry::absorb_under`]. A no-op on a disabled handle.
     ///
     /// Workers absorb in a deterministic order (worker index) so the
     /// parent's event stream is reproducible for a fixed worker count.
     pub fn absorb(&self, events: &[Event]) {
+        self.absorb_under(events, SpanId::NONE);
+    }
+
+    /// Like [`Telemetry::absorb`], but grafts the replayed stream's *root*
+    /// spans under `graft`, preserving the stream's internal parent links
+    /// (remapped alongside the ids). This is how a worker's span forest
+    /// becomes a subtree of the campaign span. Snapshot events are
+    /// re-sequenced into this handle's snapshot order; timestamps are
+    /// preserved (worker and parent share the process trace epoch).
+    pub fn absorb_under(&self, events: &[Event], graft: SpanId) {
         let Some(shared) = &self.inner else {
             return;
         };
+        fn fresh(
+            remap: &mut std::collections::HashMap<u64, u64>,
+            shared: &Shared,
+            old: u64,
+        ) -> u64 {
+            *remap
+                .entry(old)
+                .or_insert_with(|| shared.next_span_id.fetch_add(1, Ordering::Relaxed))
+        }
         let mut remap: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for event in events {
-            let mut fresh_id = |old: u64| {
-                *remap
-                    .entry(old)
-                    .or_insert_with(|| shared.next_span_id.fetch_add(1, Ordering::Relaxed))
-            };
             let replayed = match event {
-                Event::SpanStart { kind, label, id } => Event::SpanStart {
+                Event::SpanStart {
+                    kind,
+                    label,
+                    id,
+                    parent,
+                    ts_nanos,
+                } => Event::SpanStart {
                     kind,
                     label: label.clone(),
-                    id: fresh_id(*id),
+                    id: fresh(&mut remap, shared, *id),
+                    parent: match parent {
+                        Some(p) => Some(fresh(&mut remap, shared, *p)),
+                        None => graft.0,
+                    },
+                    ts_nanos: *ts_nanos,
                 },
                 Event::SpanEnd {
                     kind,
                     label,
                     id,
                     nanos,
+                    ts_nanos,
                 } => Event::SpanEnd {
                     kind,
                     label: label.clone(),
-                    id: fresh_id(*id),
+                    id: fresh(&mut remap, shared, *id),
                     nanos: *nanos,
+                    ts_nanos: *ts_nanos,
+                },
+                Event::Snapshot {
+                    name,
+                    seq: _,
+                    ts_nanos,
+                    readings,
+                } => Event::Snapshot {
+                    name,
+                    seq: shared.next_snapshot_seq.fetch_add(1, Ordering::Relaxed),
+                    ts_nanos: *ts_nanos,
+                    readings: readings.clone(),
                 },
                 other => other.clone(),
             };
@@ -185,6 +292,7 @@ struct SpanState {
     label: String,
     id: u64,
     start: Instant,
+    start_ts: u64,
 }
 
 /// A span guard; see [`Telemetry::span`].
@@ -201,6 +309,12 @@ impl Span {
     pub fn is_recording(&self) -> bool {
         self.state.is_some()
     }
+
+    /// This span's identity, for parenting other spans under it via
+    /// [`Telemetry::at`]. [`SpanId::NONE`] when not recording.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.state.as_ref().map(|s| s.id))
+    }
 }
 
 impl std::fmt::Debug for Span {
@@ -215,11 +329,15 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(state) = self.state.take() {
             let nanos = u64::try_from(state.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // The end timestamp is start + measured duration (not a second
+            // clock read), so a start/end pair can never disagree with the
+            // span's own duration in an exported trace.
             state.shared.sink.record(Event::SpanEnd {
                 kind: state.kind,
                 label: state.label,
                 id: state.id,
                 nanos,
+                ts_nanos: state.start_ts.saturating_add(nanos),
             });
         }
     }
@@ -236,8 +354,10 @@ mod tests {
         assert!(!tel.is_enabled());
         tel.incr("x");
         tel.gauge("g", 1);
+        tel.snapshot("s", || vec![("a".into(), 1)]);
         let span = tel.span("k", "l");
         assert!(!span.is_recording());
+        assert!(span.id().is_none());
         span.finish();
     }
 
@@ -258,22 +378,99 @@ mod tests {
         match (&events[0], &events[1]) {
             (
                 Event::SpanStart {
-                    id: s, label: l1, ..
+                    id: s,
+                    label: l1,
+                    parent,
+                    ts_nanos: start_ts,
+                    ..
                 },
                 Event::SpanEnd {
                     id: e,
                     label: l2,
                     nanos,
+                    ts_nanos: end_ts,
                     ..
                 },
             ) => {
                 assert_eq!(s, e);
                 assert_eq!(l1, "first");
                 assert_eq!(l2, "first");
+                assert_eq!(*parent, None, "handle not positioned: root span");
+                assert_eq!(*end_ts, start_ts + nanos, "end ts = start ts + duration");
                 assert!(*nanos < 1_000_000_000, "span must not take a second");
             }
             other => panic!("unexpected event order: {other:?}"),
         }
+    }
+
+    #[test]
+    fn at_parents_spans_under_the_given_id() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        let outer = tel.span("suite", "S");
+        let under = tel.at(outer.id());
+        under.span("case", "TC0").finish();
+        // Repositioning composes: a handle derived from `under` at a new
+        // parent forgets the old one.
+        let inner = under.span("case", "TC1");
+        under.at(inner.id()).span("call", "M").finish();
+        inner.finish();
+        outer.finish();
+
+        let events = sink.events();
+        let parent_of = |want_kind: &str, want_label: &str| {
+            events.iter().find_map(|e| match e {
+                Event::SpanStart {
+                    kind,
+                    label,
+                    parent,
+                    ..
+                } if *kind == want_kind && label == want_label => Some(*parent),
+                _ => None,
+            })
+        };
+        let id_of = |want_kind: &str, want_label: &str| {
+            events.iter().find_map(|e| match e {
+                Event::SpanStart {
+                    kind, label, id, ..
+                } if *kind == want_kind && label == want_label => Some(*id),
+                _ => None,
+            })
+        };
+        assert_eq!(parent_of("suite", "S"), Some(None));
+        assert_eq!(parent_of("case", "TC0"), Some(id_of("suite", "S")));
+        assert_eq!(parent_of("case", "TC1"), Some(id_of("suite", "S")));
+        assert_eq!(parent_of("call", "M"), Some(id_of("case", "TC1")));
+    }
+
+    #[test]
+    fn at_on_disabled_handle_stays_disabled() {
+        let off = Telemetry::disabled();
+        let derived = off.at(SpanId::NONE);
+        assert!(!derived.is_enabled());
+        // A live SpanId applied to a disabled handle is still a no-op.
+        let sink = Arc::new(MemorySink::new());
+        let live = Telemetry::new(sink.clone());
+        let span = live.span("a", "x");
+        let derived = off.at(span.id());
+        assert!(!derived.is_enabled());
+    }
+
+    #[test]
+    fn snapshots_sequence_per_handle() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        tel.snapshot("campaign.progress", || vec![("done".into(), 1)]);
+        tel.snapshot("campaign.progress", || vec![("done".into(), 2)]);
+        let seqs: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Snapshot { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
     }
 
     #[test]
@@ -330,6 +527,53 @@ mod tests {
             })
             .collect();
         assert!(!ids.contains(&native_ids[0]), "no id collision");
+    }
+
+    #[test]
+    fn absorb_under_grafts_roots_and_preserves_inner_parents() {
+        let worker_sink = Arc::new(MemorySink::new());
+        let worker = Telemetry::new(worker_sink.clone());
+        let root = worker.span("worker", "w0");
+        worker.at(root.id()).span("mutant", "#1").finish();
+        root.finish();
+        worker.snapshot("campaign.progress", || vec![("done".into(), 1)]);
+
+        let parent_sink = Arc::new(MemorySink::new());
+        let parent = Telemetry::new(parent_sink.clone());
+        let campaign = parent.span("mutation", "Acc");
+        parent.snapshot("campaign.progress", || vec![("done".into(), 0)]);
+        parent.absorb_under(&worker_sink.events(), campaign.id());
+        campaign.finish();
+
+        let events = parent_sink.events();
+        let find_start = |want_kind: &str| {
+            events.iter().find_map(|e| match e {
+                Event::SpanStart {
+                    kind, id, parent, ..
+                } if *kind == want_kind => Some((*id, *parent)),
+                _ => None,
+            })
+        };
+        let (campaign_id, campaign_parent) = find_start("mutation").unwrap();
+        let (worker_id, worker_parent) = find_start("worker").unwrap();
+        let (_, mutant_parent) = find_start("mutant").unwrap();
+        assert_eq!(campaign_parent, None);
+        assert_eq!(worker_parent, Some(campaign_id), "root grafted");
+        assert_eq!(worker_parent, Some(campaign_id));
+        assert_eq!(
+            mutant_parent,
+            Some(worker_id),
+            "inner parent link remapped, not grafted"
+        );
+        // The absorbed snapshot was re-sequenced after the native one.
+        let seqs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Snapshot { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
     }
 
     #[test]

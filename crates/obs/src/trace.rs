@@ -1,0 +1,404 @@
+//! Chrome-trace export: the flight-recorder view of a campaign.
+//!
+//! Converts the causal event stream into the [Trace Event Format] that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) render as a
+//! zoomable timeline: span start/end become `"B"`/`"E"` duration events,
+//! counters/gauges/heartbeat snapshots become `"C"` counter tracks, and
+//! worker spans open their own thread tracks so the parallel campaign's
+//! interleaving is visible at a glance.
+//!
+//! Two entry points:
+//!
+//! * [`chrome_trace`] — offline: render a recorded `&[Event]` slice
+//!   (e.g. `MemorySink::events`) to one complete JSON array.
+//! * [`ChromeTraceSink`] — live: a [`Collector`] that streams each event
+//!   to a writer as it happens. The emitted file is *deliberately* left
+//!   without a closing `]` and uses trailing commas: the JSON array
+//!   format is defined to be truncation-tolerant, so a SIGKILLed
+//!   campaign still leaves a loadable trace of everything up to the
+//!   kill. Perfetto and `chrome://tracing` both accept this form.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::collector::Collector;
+use crate::event::{escape_json, Event};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// The process id all trace events carry (one campaign = one process
+/// track).
+const TRACE_PID: u64 = 1;
+
+/// The thread id of the main (supervisor) track. Worker spans are
+/// assigned fresh tids starting above this.
+const MAIN_TID: u64 = 1;
+
+/// Incremental Event → trace-line encoder.
+///
+/// Tracks make the timeline legible: a span whose kind is `"worker"`
+/// opens a fresh thread track (named after the span label), and every
+/// descendant span inherits its parent's track, so each worker's mutant
+/// executions line up on their own row while supervisor phases (golden
+/// run, merge, journal) stay on the main track.
+struct TraceEncoder {
+    /// Span id → thread track.
+    tid_by_span: HashMap<u64, u64>,
+    /// Next unassigned worker track.
+    next_tid: u64,
+    /// Running totals for counter events (the trace format wants absolute
+    /// values on "C" samples, the event stream carries deltas).
+    counter_totals: HashMap<&'static str, u64>,
+    /// Timestamp of the last timestamped event, used to place counter and
+    /// gauge samples (which carry no clock reading of their own).
+    last_ts_nanos: u64,
+}
+
+/// Formats nanoseconds as the trace format's fractional microseconds.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl TraceEncoder {
+    fn new() -> TraceEncoder {
+        TraceEncoder {
+            tid_by_span: HashMap::new(),
+            next_tid: MAIN_TID + 1,
+            counter_totals: HashMap::new(),
+            last_ts_nanos: 0,
+        }
+    }
+
+    /// The process-level metadata lines every trace starts with.
+    fn preamble() -> Vec<String> {
+        vec![
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\
+                 \"args\":{{\"name\":\"concat campaign\"}}}}"
+            ),
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\
+                 \"tid\":{MAIN_TID},\"args\":{{\"name\":\"supervisor\"}}}}"
+            ),
+        ]
+    }
+
+    /// Encodes one event into zero or more trace lines (JSON objects,
+    /// no separators).
+    fn encode(&mut self, event: &Event) -> Vec<String> {
+        match event {
+            Event::SpanStart {
+                kind,
+                label,
+                id,
+                parent,
+                ts_nanos,
+            } => {
+                self.last_ts_nanos = *ts_nanos;
+                let mut lines = Vec::new();
+                let tid = if *kind == "worker" {
+                    let tid = self.next_tid;
+                    self.next_tid += 1;
+                    lines.push(format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\
+                         \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                        escape_json(label)
+                    ));
+                    tid
+                } else {
+                    parent
+                        .and_then(|p| self.tid_by_span.get(&p).copied())
+                        .unwrap_or(MAIN_TID)
+                };
+                self.tid_by_span.insert(*id, tid);
+                let name = if label.is_empty() {
+                    (*kind).to_owned()
+                } else {
+                    format!("{kind}: {label}")
+                };
+                let parent_arg = match parent {
+                    Some(p) => format!(",\"parent\":{p}"),
+                    None => String::new(),
+                };
+                lines.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\
+                     \"pid\":{TRACE_PID},\"tid\":{tid},\"args\":{{\"id\":{id}{parent_arg}}}}}",
+                    escape_json(&name),
+                    escape_json(kind),
+                    micros(*ts_nanos)
+                ));
+                lines
+            }
+            Event::SpanEnd { id, ts_nanos, .. } => {
+                self.last_ts_nanos = *ts_nanos;
+                let tid = self.tid_by_span.get(id).copied().unwrap_or(MAIN_TID);
+                vec![format!(
+                    "{{\"ph\":\"E\",\"ts\":{},\"pid\":{TRACE_PID},\"tid\":{tid}}}",
+                    micros(*ts_nanos)
+                )]
+            }
+            Event::Counter { name, delta } => {
+                let total = self
+                    .counter_totals
+                    .entry(name)
+                    .and_modify(|t| *t += delta)
+                    .or_insert(*delta);
+                vec![format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{TRACE_PID},\
+                     \"tid\":{MAIN_TID},\"args\":{{\"value\":{total}}}}}",
+                    escape_json(name),
+                    micros(self.last_ts_nanos)
+                )]
+            }
+            Event::Gauge { name, value } => {
+                vec![format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{TRACE_PID},\
+                     \"tid\":{MAIN_TID},\"args\":{{\"value\":{value}}}}}",
+                    escape_json(name),
+                    micros(self.last_ts_nanos)
+                )]
+            }
+            Event::Snapshot {
+                name,
+                ts_nanos,
+                readings,
+                ..
+            } => {
+                self.last_ts_nanos = *ts_nanos;
+                let args: Vec<String> = readings
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+                    .collect();
+                vec![format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{TRACE_PID},\
+                     \"tid\":{MAIN_TID},\"args\":{{{}}}}}",
+                    escape_json(name),
+                    micros(*ts_nanos),
+                    args.join(",")
+                )]
+            }
+        }
+    }
+}
+
+/// Renders a recorded event slice as one complete Chrome-trace JSON
+/// array (closing `]` included).
+///
+/// # Examples
+///
+/// ```
+/// use concat_obs::{chrome_trace, MemorySink, Telemetry};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// let tel = Telemetry::new(sink.clone());
+/// tel.span("case", "TC0").finish();
+/// let json = chrome_trace(&sink.events());
+/// assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+/// ```
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut encoder = TraceEncoder::new();
+    let mut lines = TraceEncoder::preamble();
+    for event in events {
+        lines.extend(encoder.encode(event));
+    }
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+/// A [`Collector`] that streams events to a writer in Chrome-trace form
+/// as they happen — the live flight recorder.
+///
+/// Each event is written as one line ending in a comma and flushed, and
+/// the array is never closed: a process killed mid-campaign leaves a
+/// trace that `chrome://tracing` and Perfetto still load (the format is
+/// defined to tolerate a truncated tail). For the same reason the
+/// file-backed constructor writes straight to the target path rather
+/// than through the atomic rename used elsewhere — a half-written trace
+/// is precisely what this sink is for.
+pub struct ChromeTraceSink<W: Write + Send> {
+    inner: Mutex<TraceState<W>>,
+}
+
+struct TraceState<W: Write + Send> {
+    writer: W,
+    encoder: TraceEncoder,
+}
+
+impl ChromeTraceSink<BufWriter<File>> {
+    /// Opens (truncating) a trace file at `path` and writes the array
+    /// header and process metadata.
+    pub fn create_path(path: &Path) -> std::io::Result<ChromeTraceSink<BufWriter<File>>> {
+        ChromeTraceSink::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl ChromeTraceSink<Vec<u8>> {
+    /// An in-memory trace sink for tests.
+    pub fn in_memory() -> ChromeTraceSink<Vec<u8>> {
+        #[allow(clippy::expect_used)] // Vec<u8> writes cannot fail
+        ChromeTraceSink::new(Vec::new()).expect("in-memory writes are infallible")
+    }
+
+    /// The bytes written so far (exactly what a reader of the file would
+    /// see at this instant, truncated tail and all).
+    pub fn contents(&self) -> String {
+        let state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8_lossy(&state.writer).into_owned()
+    }
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps `writer`, immediately emitting the array header and process
+    /// metadata lines.
+    pub fn new(mut writer: W) -> std::io::Result<ChromeTraceSink<W>> {
+        writer.write_all(b"[\n")?;
+        for line in TraceEncoder::preamble() {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b",\n")?;
+        }
+        writer.flush()?;
+        Ok(ChromeTraceSink {
+            inner: Mutex::new(TraceState {
+                writer,
+                encoder: TraceEncoder::new(),
+            }),
+        })
+    }
+
+    /// Unwraps the sink, returning the writer (without closing the JSON
+    /// array — the format tolerates the open tail by design).
+    pub fn into_inner(self) -> W {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .writer
+    }
+}
+
+impl<W: Write + Send> Collector for ChromeTraceSink<W> {
+    fn record(&self, event: Event) {
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let lines = state.encoder.encode(&event);
+        for line in lines {
+            // Trace output is best-effort by contract (the verdict path
+            // must never depend on it): a full disk degrades to a
+            // truncated — still loadable — trace.
+            let _ = state.writer.write_all(line.as_bytes());
+            let _ = state.writer.write_all(b",\n");
+        }
+        let _ = state.writer.flush();
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for ChromeTraceSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChromeTraceSink").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::MemorySink;
+    use crate::telemetry::Telemetry;
+    use std::sync::Arc;
+
+    fn record_tree() -> Vec<Event> {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink.clone());
+        let campaign = tel.span("mutation", "Acc");
+        let scoped = tel.at(campaign.id());
+        let worker = scoped.span("worker", "w0");
+        scoped.at(worker.id()).span("mutant", "#1").finish();
+        worker.finish();
+        tel.incr("mutant.killed");
+        tel.incr("mutant.killed");
+        tel.gauge("mutation.workers", 4);
+        tel.snapshot("campaign.progress", || {
+            vec![("done".into(), 1), ("queued".into(), 2)]
+        });
+        campaign.finish();
+        sink.events()
+    }
+
+    #[test]
+    fn offline_export_is_a_complete_array() {
+        let json = chrome_trace(&record_tree());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"name\":\"mutation: Acc\""));
+    }
+
+    #[test]
+    fn counters_accumulate_to_absolute_values() {
+        let json = chrome_trace(&record_tree());
+        // Two unit increments → samples at 1 then 2.
+        assert!(json.contains("\"name\":\"mutant.killed\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":1}"));
+        assert!(json.contains("\"args\":{\"value\":2}"));
+        // Gauges sample their set value.
+        assert!(json.contains("\"name\":\"mutation.workers\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":4}"));
+        // Snapshots sample all readings on one track.
+        assert!(json.contains("\"name\":\"campaign.progress\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"done\":1,\"queued\":2}"));
+    }
+
+    #[test]
+    fn worker_spans_open_their_own_tracks() {
+        let json = chrome_trace(&record_tree());
+        // Worker w0 gets tid 2 and a thread_name record; its child mutant
+        // span inherits the track.
+        assert!(json.contains("\"tid\":2,\"args\":{\"name\":\"w0\"}"));
+        let mutant_line = json
+            .lines()
+            .find(|l| l.contains("mutant: #1"))
+            .expect("mutant B event present");
+        assert!(mutant_line.contains("\"tid\":2"), "inherits worker track");
+        // The campaign root stays on the supervisor track.
+        let campaign_line = json
+            .lines()
+            .find(|l| l.contains("mutation: Acc"))
+            .expect("campaign B event present");
+        assert!(campaign_line.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn timestamps_are_fractional_microseconds() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn live_sink_streams_lines_with_open_tail() {
+        let sink = ChromeTraceSink::in_memory();
+        let contents = sink.contents();
+        assert!(contents.starts_with("[\n"), "header written eagerly");
+        assert!(contents.contains("process_name"));
+        for event in record_tree() {
+            sink.record(event);
+        }
+        let contents = sink.contents();
+        assert!(!contents.trim_end().ends_with(']'), "array never closed");
+        assert!(contents.trim_end().ends_with(','), "trailing comma tail");
+        assert!(contents.contains("\"ph\":\"B\""));
+        assert!(contents.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn live_sink_is_not_null() {
+        let sink: Arc<dyn Collector> = Arc::new(ChromeTraceSink::in_memory());
+        assert!(!sink.is_null());
+        let tel = Telemetry::new(sink);
+        assert!(tel.is_enabled());
+    }
+}

@@ -49,9 +49,11 @@ fn disabled_and_null_sink_paths_do_not_allocate() {
         let count = allocations_during(|| {
             for _ in 0..100 {
                 let span = telemetry.span("case", "TC0");
-                telemetry.incr("case.passed");
+                let positioned = telemetry.at(span.id());
+                positioned.incr("case.passed");
                 telemetry.incr_by("call.ok", 7);
                 telemetry.gauge("gen.transactions", 42);
+                telemetry.snapshot("campaign.progress", || vec![("never built".to_string(), 1)]);
                 let lazy = telemetry.span_with("mutant", || "never built".to_string());
                 span.finish();
                 lazy.finish();
@@ -228,12 +230,15 @@ fn every_event_variant_round_trips_through_its_json() {
             kind: "suite",
             label: "CobList".into(),
             id: 9,
+            parent: Some(3),
+            ts_nanos: 100,
         },
         Event::SpanEnd {
             kind: "suite",
             label: "CobList".into(),
             id: 9,
             nanos: 12_345,
+            ts_nanos: 12_445,
         },
         Event::Counter {
             name: "mutant.survived",
@@ -247,16 +252,30 @@ fn every_event_variant_round_trips_through_its_json() {
     for event in &events {
         let obj = parse_flat_object(&event.to_json());
         match event {
-            Event::SpanStart { kind, label, id } => {
+            Event::SpanStart {
+                kind,
+                label,
+                id,
+                parent,
+                ts_nanos,
+            } => {
                 assert_eq!(get_str(&obj, "event"), "span_start");
                 assert_eq!(get_str(&obj, "kind"), *kind);
                 assert_eq!(get_str(&obj, "label"), *label);
                 assert_eq!(get_num(&obj, "id"), *id as i128);
+                assert_eq!(get_num(&obj, "parent"), parent.unwrap() as i128);
+                assert_eq!(get_num(&obj, "ts"), *ts_nanos as i128);
             }
-            Event::SpanEnd { kind, nanos, .. } => {
+            Event::SpanEnd {
+                kind,
+                nanos,
+                ts_nanos,
+                ..
+            } => {
                 assert_eq!(get_str(&obj, "event"), "span_end");
                 assert_eq!(get_str(&obj, "kind"), *kind);
                 assert_eq!(get_num(&obj, "nanos"), *nanos as i128);
+                assert_eq!(get_num(&obj, "ts"), *ts_nanos as i128);
             }
             Event::Counter { name, delta } => {
                 assert_eq!(get_str(&obj, "event"), "counter");
@@ -268,6 +287,32 @@ fn every_event_variant_round_trips_through_its_json() {
                 assert_eq!(get_str(&obj, "name"), *name);
                 assert_eq!(get_num(&obj, "value"), *value as i128);
             }
+            Event::Snapshot { .. } => unreachable!("checked separately"),
         }
     }
+
+    // A root span start omits the parent key entirely.
+    let root = Event::SpanStart {
+        kind: "mutation",
+        label: "Acc".into(),
+        id: 0,
+        parent: None,
+        ts_nanos: 0,
+    };
+    let obj = parse_flat_object(&root.to_json());
+    assert!(!obj.contains_key("parent"));
+
+    // Snapshots carry a nested readings object, beyond the flat parser;
+    // check the envelope textually.
+    let snap = Event::Snapshot {
+        name: "campaign.progress",
+        seq: 3,
+        ts_nanos: 1_234,
+        readings: vec![("done".into(), 10), ("w0.done".into(), 6)],
+    };
+    let json = snap.to_json();
+    assert!(json.starts_with("{\"event\":\"snapshot\",\"name\":\"campaign.progress\""));
+    assert!(json.contains("\"seq\":3"));
+    assert!(json.contains("\"ts\":1234"));
+    assert!(json.contains("\"readings\":{\"done\":10,\"w0.done\":6}"));
 }

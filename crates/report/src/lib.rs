@@ -13,6 +13,9 @@
 //!   `concat-obs` [`concat_obs::Summary`];
 //! * [`render_harness_health`] — the fail-safe execution counters
 //!   (retries, degraded sinks, quarantined mutants, budget stops);
+//! * [`render_attribution`] — hot-path attribution over a recorded
+//!   campaign span tree: wall-clock by phase (self vs. children),
+//!   selection-fast-path savings, and the slowest mutants;
 //! * [`render_model_metrics_table`] — per-class TFM size figures.
 
 #![forbid(unsafe_code)]
@@ -29,4 +32,6 @@ pub use mutation_tables::{
     summarize_run,
 };
 pub use table::{Align, AsciiTable};
-pub use telemetry::{render_harness_health, render_model_metrics_table, render_telemetry_summary};
+pub use telemetry::{
+    render_attribution, render_harness_health, render_model_metrics_table, render_telemetry_summary,
+};

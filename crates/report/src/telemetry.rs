@@ -3,11 +3,16 @@
 //! * [`render_telemetry_summary`] — timing/counter/gauge tables over a
 //!   [`concat_obs::Summary`], the human-readable end of the pipeline
 //!   instrumentation;
+//! * [`render_harness_health`] — fail-safe counters, always rendered
+//!   with explicit zeros;
+//! * [`render_attribution`] — hot-path attribution over a recorded
+//!   campaign event stream (phase breakdown, selection savings, hot
+//!   mutants);
 //! * [`render_model_metrics_table`] — per-subject-class TFM size figures
 //!   (the paper reports its models as "16 nodes and 43 links").
 
 use crate::table::AsciiTable;
-use concat_obs::Summary;
+use concat_obs::{Event, Histogram, Summary};
 use concat_tfm::ModelMetrics;
 
 /// Formats a nanosecond duration with a human-scale unit (`ns`, `us`,
@@ -82,7 +87,7 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 10] = [
+const HARNESS_COUNTERS: [(&str, &str); 12] = [
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
     ("mutation.quarantined", "mutants excluded from the score"),
@@ -108,6 +113,11 @@ const HARNESS_COUNTERS: [(&str, &str); 10] = [
         "amplify.kills",
         "surviving mutants killed by amplified cases",
     ),
+    ("obs.dropped", "telemetry events dropped by degraded sinks"),
+    (
+        "obs.retries",
+        "telemetry sink writes retried before success",
+    ),
 ];
 
 /// Renders the fail-safe execution health table: retry, degradation,
@@ -131,6 +141,203 @@ pub fn render_harness_health(title: &str, summary: &Summary) -> String {
         ]);
     }
     format!("{title}\n{}", t.render())
+}
+
+/// The campaign phases the attribution table breaks wall-clock into, in
+/// display order, with a short description each. Only phases present in
+/// the recorded stream are rendered.
+const ATTRIBUTION_PHASES: [(&str, &str); 10] = [
+    ("mutation", "whole campaign (wall)"),
+    ("golden", "baseline run + coverage capture"),
+    ("worker", "parallel worker lifetimes"),
+    ("mutant", "mutant test execution"),
+    ("probe", "oracle-validity probes"),
+    ("suite", "suite dispatch"),
+    ("case", "individual test cases"),
+    ("merge", "verdict merge + telemetry absorb"),
+    ("journal", "journal open/append I/O"),
+    ("amplify.round", "amplification rounds"),
+];
+
+/// How many of the slowest mutants the attribution report lists.
+const HOT_MUTANTS: usize = 5;
+
+/// Per-label accumulation for the hot-mutant table.
+#[derive(Default)]
+struct HotSpot {
+    runs: u64,
+    total_nanos: u64,
+    self_nanos: u64,
+}
+
+/// Walks the event stream once and accumulates, per `mutant` span label,
+/// run count, total time and self time (total minus direct children).
+/// Mirrors the open-span walk in [`Summary::from_events`], but keyed by
+/// label rather than kind — the summary aggregates per kind, while the
+/// hot-mutant table needs to say *which* mutant was slow.
+fn hot_mutants(events: &[Event]) -> Vec<(String, HotSpot)> {
+    struct Open {
+        parent: Option<u64>,
+        child_nanos: u64,
+    }
+    let mut open: std::collections::HashMap<u64, Vec<Open>> = std::collections::HashMap::new();
+    let mut by_label: std::collections::HashMap<String, HotSpot> = std::collections::HashMap::new();
+    for event in events {
+        match event {
+            Event::SpanStart { id, parent, .. } => {
+                open.entry(*id).or_default().push(Open {
+                    parent: *parent,
+                    child_nanos: 0,
+                });
+            }
+            Event::SpanEnd {
+                kind,
+                label,
+                id,
+                nanos,
+                ..
+            } => {
+                let entry = open
+                    .get_mut(id)
+                    .and_then(|stack| stack.pop())
+                    .unwrap_or(Open {
+                        parent: None,
+                        child_nanos: 0,
+                    });
+                if *kind == "mutant" {
+                    let spot = by_label.entry(label.clone()).or_default();
+                    spot.runs += 1;
+                    spot.total_nanos = spot.total_nanos.saturating_add(*nanos);
+                    spot.self_nanos = spot
+                        .self_nanos
+                        .saturating_add(nanos.saturating_sub(entry.child_nanos));
+                }
+                if let Some(parent_id) = entry.parent {
+                    if let Some(parent) =
+                        open.get_mut(&parent_id).and_then(|stack| stack.last_mut())
+                    {
+                        parent.child_nanos = parent.child_nanos.saturating_add(*nanos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut spots: Vec<(String, HotSpot)> = by_label.into_iter().collect();
+    // Slowest first; ties broken by label so the table is deterministic.
+    spots.sort_by(|a, b| b.1.total_nanos.cmp(&a.1.total_nanos).then(a.0.cmp(&b.0)));
+    spots
+}
+
+/// Formats `part` as a percentage of `whole`, one decimal place.
+fn fmt_percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+    }
+}
+
+/// Renders the hot-path attribution report over a recorded campaign
+/// event stream: a phase table breaking campaign wall-clock down by span
+/// kind (total time, *self* time excluding children, and the share of
+/// wall), a selection-savings line estimating the time the coverage
+/// fast path avoided (`selection.skipped` × mean case duration), and
+/// the slowest mutants by total time with self-vs-child split.
+///
+/// Takes the raw event stream rather than a [`Summary`] because the
+/// hot-mutant table needs span *labels*, which the per-kind summary
+/// deliberately discards.
+///
+/// Phase totals sum across workers, so on a parallel campaign a phase
+/// can legitimately exceed 100% of wall — the wall share then reads as
+/// CPU-time concentration (e.g. 195% ≈ two workers saturated by that
+/// phase), which is exactly what hot-path hunting wants.
+pub fn render_attribution(title: &str, events: &[Event]) -> String {
+    let summary = Summary::from_events(events);
+    let mut out = format!("{title}\n");
+    if summary.spans.is_empty() {
+        out.push_str("(no campaign telemetry recorded)\n");
+        return out;
+    }
+    let wall = summary
+        .histogram("mutation")
+        .map(Histogram::sum_nanos)
+        .unwrap_or(0);
+
+    let mut t = AsciiTable::new(vec![
+        "Phase".into(),
+        "Count".into(),
+        "Total".into(),
+        "Self".into(),
+        "% wall".into(),
+        "What".into(),
+    ]);
+    t.align(1, crate::table::Align::Right);
+    t.align(2, crate::table::Align::Right);
+    t.align(3, crate::table::Align::Right);
+    t.align(4, crate::table::Align::Right);
+    for (kind, what) in ATTRIBUTION_PHASES {
+        let Some(h) = summary.histogram(kind) else {
+            continue;
+        };
+        let self_total = summary
+            .self_histogram(kind)
+            .map(Histogram::sum_nanos)
+            .unwrap_or(0);
+        t.row(vec![
+            kind.into(),
+            h.count().to_string(),
+            fmt_nanos(h.sum_nanos()),
+            fmt_nanos(self_total),
+            fmt_percent(h.sum_nanos(), wall),
+            what.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let skipped = summary.counter("selection.skipped");
+    if skipped > 0 {
+        let mean_case = summary.span("case").map(|s| s.mean_nanos).unwrap_or(0);
+        out.push_str(&format!(
+            "selection fast path: {} case executions skipped, ~{} saved ({} mean case)\n",
+            skipped,
+            fmt_nanos(skipped.saturating_mul(mean_case)),
+            fmt_nanos(mean_case),
+        ));
+    }
+
+    let spots = hot_mutants(events);
+    if !spots.is_empty() {
+        let mut t = AsciiTable::new(vec![
+            "Hot mutant".into(),
+            "Runs".into(),
+            "Total".into(),
+            "Self".into(),
+            "% wall".into(),
+        ]);
+        t.align(1, crate::table::Align::Right);
+        t.align(2, crate::table::Align::Right);
+        t.align(3, crate::table::Align::Right);
+        t.align(4, crate::table::Align::Right);
+        for (label, spot) in spots.iter().take(HOT_MUTANTS) {
+            t.row(vec![
+                label.clone(),
+                spot.runs.to_string(),
+                fmt_nanos(spot.total_nanos),
+                fmt_nanos(spot.self_nanos),
+                fmt_percent(spot.total_nanos, wall),
+            ]);
+        }
+        out.push_str(&t.render());
+        if spots.len() > HOT_MUTANTS {
+            out.push_str(&format!(
+                "({} more mutants below the top {HOT_MUTANTS})\n",
+                spots.len() - HOT_MUTANTS
+            ));
+        }
+    }
+    out
 }
 
 /// Renders one row per subject class with its TFM size and complexity
@@ -171,7 +378,6 @@ pub fn render_model_metrics_table(rows: &[(&str, ModelMetrics)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concat_obs::Event;
 
     #[test]
     fn formats_durations_with_scaled_units() {
@@ -196,12 +402,14 @@ mod tests {
                 label: "TC0".into(),
                 id: 1,
                 nanos: 1_000,
+                ts_nanos: 1_000,
             },
             Event::SpanEnd {
                 kind: "case",
                 label: "TC1".into(),
                 id: 2,
                 nanos: 3_000,
+                ts_nanos: 3_000,
             },
             Event::Counter {
                 name: "case.passed",
@@ -265,6 +473,104 @@ mod tests {
         assert!(s.contains("mutation.workers"), "{s}");
         assert!(s.contains(" 4 |"), "worker count rendered: {s}");
         assert!(s.contains("worker pool size"), "{s}");
+    }
+
+    fn start(kind: &'static str, label: &str, id: u64, parent: Option<u64>) -> Event {
+        Event::SpanStart {
+            kind,
+            label: label.into(),
+            id,
+            parent,
+            ts_nanos: 0,
+        }
+    }
+
+    fn end(kind: &'static str, label: &str, id: u64, nanos: u64) -> Event {
+        Event::SpanEnd {
+            kind,
+            label: label.into(),
+            id,
+            nanos,
+            ts_nanos: nanos,
+        }
+    }
+
+    /// A small campaign tree: mutation(100_000) > golden(20_000) +
+    /// three mutants (m0=40_000 with a 15_000 suite child, m1=25_000,
+    /// m2=5_000) + merge(1_000), plus selection-skip counters.
+    fn campaign_events() -> Vec<Event> {
+        vec![
+            start("mutation", "Acc", 0, None),
+            start("golden", "Acc", 1, Some(0)),
+            end("golden", "Acc", 1, 20_000),
+            start("mutant", "m0", 2, Some(0)),
+            start("suite", "S", 3, Some(2)),
+            end("suite", "S", 3, 15_000),
+            end("mutant", "m0", 2, 40_000),
+            start("mutant", "m1", 4, Some(0)),
+            end("mutant", "m1", 4, 25_000),
+            start("mutant", "m2", 5, Some(0)),
+            end("mutant", "m2", 5, 5_000),
+            start("merge", "Acc", 6, Some(0)),
+            end("merge", "Acc", 6, 1_000),
+            end("mutation", "Acc", 0, 100_000),
+            Event::Counter {
+                name: "selection.skipped",
+                delta: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn attribution_breaks_wall_clock_down_by_phase() {
+        let s = render_attribution("Hot-path attribution", &campaign_events());
+        assert!(s.starts_with("Hot-path attribution\n"));
+        // Phase rows present for recorded kinds, absent otherwise.
+        assert!(s.contains("| mutation"), "{s}");
+        assert!(s.contains("| golden"), "{s}");
+        assert!(s.contains("| merge"), "{s}");
+        assert!(!s.contains("| probe"), "unrecorded phases omitted: {s}");
+        assert!(!s.contains("| journal"), "unrecorded phases omitted: {s}");
+        // Wall share: mutation is 100% of itself, golden 20%.
+        assert!(s.contains("100.0%"), "{s}");
+        assert!(s.contains("20.0%"), "{s}");
+        // Mutant totals 70_000 = 70% of wall; self excludes the suite
+        // child (70_000 - 15_000 = 55_000 self).
+        assert!(s.contains("70.0%"), "{s}");
+        assert!(s.contains("55.0us"), "mutant self time: {s}");
+    }
+
+    #[test]
+    fn attribution_lists_hot_mutants_slowest_first() {
+        let s = render_attribution("Attribution", &campaign_events());
+        let m0 = s.find("| m0").expect("m0 listed");
+        let m1 = s.find("| m1").expect("m1 listed");
+        let m2 = s.find("| m2").expect("m2 listed");
+        assert!(m0 < m1 && m1 < m2, "slowest first: {s}");
+        // m0 self = 40_000 - 15_000 (suite child).
+        assert!(s.contains("25.0us"), "m0 self split out: {s}");
+        // 3 mutants <= top 5: no truncation notice.
+        assert!(!s.contains("more mutants"), "{s}");
+    }
+
+    #[test]
+    fn attribution_reports_selection_savings() {
+        let s = render_attribution("Attribution", &campaign_events());
+        // No case spans recorded: savings line still renders with a
+        // zero mean rather than dividing by nothing.
+        assert!(s.contains("10 case executions skipped"), "{s}");
+
+        let mut events = campaign_events();
+        events.push(start("case", "TC0", 7, None));
+        events.push(end("case", "TC0", 7, 2_000));
+        let s = render_attribution("Attribution", &events);
+        assert!(s.contains("~20.0us saved (2.0us mean case)"), "{s}");
+    }
+
+    #[test]
+    fn attribution_on_empty_stream_renders_placeholder() {
+        let s = render_attribution("Attribution", &[]);
+        assert!(s.contains("(no campaign telemetry recorded)"), "{s}");
     }
 
     #[test]

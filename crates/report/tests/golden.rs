@@ -10,7 +10,8 @@ use concat_mutation::{
 };
 use concat_obs::{Event, Summary};
 use concat_report::{
-    render_amplification_table, render_harness_health, render_score_table, summarize_run,
+    render_amplification_table, render_attribution, render_harness_health, render_score_table,
+    summarize_run,
 };
 
 fn fixture_run() -> concat_mutation::MutationRun {
@@ -104,6 +105,45 @@ fn fixture_summary() -> Summary {
     ])
 }
 
+/// A fixed campaign span tree exercising the attribution renderer:
+/// campaign > golden + two mutants (one with a suite child) + merge.
+fn fixture_campaign_events() -> Vec<Event> {
+    let start = |kind: &'static str, label: &str, id: u64, parent: Option<u64>| Event::SpanStart {
+        kind,
+        label: label.into(),
+        id,
+        parent,
+        ts_nanos: 0,
+    };
+    let end = |kind: &'static str, label: &str, id: u64, nanos: u64| Event::SpanEnd {
+        kind,
+        label: label.into(),
+        id,
+        nanos,
+        ts_nanos: nanos,
+    };
+    vec![
+        start("mutation", "CSortableObList", 0, None),
+        start("golden", "CSortableObList", 1, Some(0)),
+        end("golden", "CSortableObList", 1, 200_000),
+        start("mutant", "Sort1#0", 2, Some(0)),
+        start("suite", "CSortableObList", 3, Some(2)),
+        end("suite", "CSortableObList", 3, 150_000),
+        end("mutant", "Sort1#0", 2, 400_000),
+        start("mutant", "FindMax#3", 4, Some(0)),
+        end("mutant", "FindMax#3", 4, 250_000),
+        start("merge", "CSortableObList", 5, Some(0)),
+        end("merge", "CSortableObList", 5, 10_000),
+        end("mutation", "CSortableObList", 0, 1_000_000),
+        Event::Counter {
+            name: "selection.skipped",
+            delta: 37,
+        },
+        start("case", "TC0", 6, None),
+        end("case", "TC0", 6, 4_000),
+    ]
+}
+
 fn render_report() -> String {
     let run = fixture_run();
     let matrix = MutationMatrix::from_run(&run, &["Sort1", "FindMax"]);
@@ -134,6 +174,11 @@ fn render_report() -> String {
     ));
     out.push('\n');
     out.push_str(&render_harness_health("Harness health", &fixture_summary()));
+    out.push('\n');
+    out.push_str(&render_attribution(
+        "Hot-path attribution",
+        &fixture_campaign_events(),
+    ));
     out
 }
 

@@ -1,0 +1,40 @@
+//! A process-wide monotonic clock for trace timestamps.
+//!
+//! Span durations are measured with per-span [`std::time::Instant`]s, but
+//! a causal trace (the flight recorder's Chrome-trace export) needs every
+//! event stamped against one shared epoch so spans from different threads
+//! line up on a common timeline. The epoch is the first call in the
+//! process; all subsequent readings are nanoseconds since then.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (the first call to this
+/// function). Monotonic, thread-safe, and consistent across threads —
+/// two readings ordered by happens-before are ordered numerically.
+pub fn monotonic_nanos() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotonic() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn readings_advance_with_time() {
+        let a = monotonic_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = monotonic_nanos();
+        assert!(b > a, "clock must advance: {a} -> {b}");
+    }
+}

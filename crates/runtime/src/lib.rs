@@ -46,6 +46,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod atomic_io;
+mod clock;
 mod component;
 mod error;
 mod harden;
@@ -56,6 +57,7 @@ mod value;
 pub use atomic_io::{
     crc32, recover_journal, scan_journal, write_atomic, AtomicFile, Journal, JournalScan,
 };
+pub use clock::monotonic_nanos;
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
 pub use harden::{

@@ -19,6 +19,17 @@
 //! from the recorded verdicts and the final report is byte-identical to
 //! an uninterrupted run; CI's `resume` job SIGKILLs this mode mid-flight
 //! and diffs the reports.
+//!
+//! A third mode, `mutation_demo trace <trace.json> <report>`, runs the
+//! campaign with the flight recorder attached: the recorded span tree is
+//! exported as a Chrome-trace file (load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>), the hot-path attribution and harness
+//! health tables go to stdout, and `<report>` gets the verdicts (score
+//! table + summary — deliberately timing-free). A fourth mode,
+//! `mutation_demo verdicts <report>`, writes the same verdict report
+//! from an *untraced* run of the identical campaign; CI's `bench-smoke`
+//! job `cmp`s the two to prove the recorder perturbs nothing, and
+//! uploads the trace and BENCH_6.json as artifacts.
 
 use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
@@ -27,7 +38,11 @@ use concat::mutation::{
     AmplifyConfig, ClassInventory, ClonableFactory, KillReason, MethodInventory, MutantStatus,
     MutationMatrix, MutationSwitch, VarEnv,
 };
-use concat::report::{render_amplification_table, render_score_table, summarize_run};
+use concat::obs::{chrome_trace, MemorySink, Telemetry};
+use concat::report::{
+    render_amplification_table, render_attribution, render_harness_health, render_score_table,
+    summarize_run,
+};
 use concat::runtime::{
     unknown_method, AssertionViolation, Budget, Component, InvokeResult, TestException, Value,
 };
@@ -40,6 +55,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 4 && args[1] == "campaign" {
         campaign_mode(&args[2], &args[3]);
+        return;
+    }
+    if args.len() == 4 && args[1] == "trace" {
+        trace_mode(&args[2], &args[3]);
+        return;
+    }
+    if args.len() == 3 && args[1] == "verdicts" {
+        verdicts_mode(&args[2]);
         return;
     }
     if (args.len() == 3 || args.len() == 4) && args[1] == "amplify" {
@@ -294,6 +317,95 @@ fn campaign_mode(journal: &str, report: &str) {
         "campaign complete in {:?}: {}",
         started.elapsed(),
         summarize_run(&run)
+    );
+}
+
+/// The targets the trace/verdicts campaign analyzes.
+const TRACE_TARGETS: [&str; 2] = ["Sort1", "FindMax"];
+
+/// The fixed campaign behind the `trace` and `verdicts` modes: the
+/// `CSortableObList` subject over two workers, seed 1999, probe seed
+/// 4242. Both modes must run the *identical* configuration — CI `cmp`s
+/// their verdict reports to prove tracing changes nothing.
+fn trace_campaign(telemetry: Telemetry) -> concat::mutation::MutationRun {
+    let switch = MutationSwitch::new();
+    let bundle = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .build();
+    let consumer = Consumer::with_seed(1999)
+        .with_telemetry(telemetry)
+        .with_workers(2);
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    consumer
+        .evaluate_quality(&bundle, &suite, &TRACE_TARGETS, &[4242])
+        .expect("bundle carries mutation support and shards")
+}
+
+/// Renders the timing-free verdict report both modes write.
+fn verdict_report(run: &concat::mutation::MutationRun) -> String {
+    format!(
+        "{}\n{}\n",
+        render_score_table(
+            "Flight-recorder campaign (CSortableObList)",
+            &MutationMatrix::from_run(run, &TRACE_TARGETS)
+        ),
+        summarize_run(run)
+    )
+}
+
+/// The `trace <trace.json> <report>` mode: the flight recorder end to
+/// end. Runs the campaign with a `MemorySink` recording the causal span
+/// tree, exports it as a Chrome-trace file for `chrome://tracing` /
+/// Perfetto, prints the hot-path attribution and harness-health tables,
+/// and writes the timing-free verdict report for CI to `cmp` against
+/// the untraced `verdicts` mode.
+fn trace_mode(trace_path: &str, report: &str) {
+    let sink = Arc::new(MemorySink::new());
+    let started = Instant::now();
+    let run = trace_campaign(Telemetry::new(sink.clone()));
+
+    let events = sink.events();
+    concat::runtime::write_atomic(trace_path, chrome_trace(&events).as_bytes())
+        .expect("trace written atomically");
+    concat::runtime::write_atomic(report, verdict_report(&run).as_bytes())
+        .expect("report written atomically");
+
+    println!(
+        "{}",
+        render_attribution("Hot-path attribution (traced campaign)", &events)
+    );
+    println!(
+        "{}",
+        render_harness_health("Harness health", &sink.summary())
+    );
+    let heartbeats = sink
+        .summary()
+        .snapshots
+        .iter()
+        .filter(|s| s.name == "campaign.progress")
+        .count();
+    println!(
+        "traced campaign complete in {:?}: {} events recorded, {heartbeats} heartbeat(s); \
+         trace -> {trace_path}, verdicts -> {report}",
+        started.elapsed(),
+        events.len(),
+    );
+}
+
+/// The `verdicts <report>` mode: the identical campaign with telemetry
+/// fully detached, writing the same verdict report.
+fn verdicts_mode(report: &str) {
+    let started = Instant::now();
+    let run = trace_campaign(Telemetry::disabled());
+    concat::runtime::write_atomic(report, verdict_report(&run).as_bytes())
+        .expect("report written atomically");
+    println!(
+        "untraced campaign complete in {:?}: verdicts -> {report}",
+        started.elapsed()
     );
 }
 

@@ -1,6 +1,9 @@
 //! The telemetry spine end to end: run the full pipeline (generate →
 //! execute → mutation analysis) with a `MemorySink` attached, print the
-//! aggregated summary tables, and stream the same run as JSONL.
+//! aggregated summary tables, stream the same run as JSONL, and show
+//! the flight-recorder side — the causal span tree (parent links,
+//! self-vs-child time), the campaign progress heartbeats, and the
+//! Chrome-trace export.
 //!
 //! Run with: `cargo run --release --example telemetry`
 
@@ -8,8 +11,8 @@ use concat::components::{coblist_inventory, coblist_spec, CObListFactory};
 use concat::core::{Consumer, SelfTestableBuilder};
 use concat::driver::TestLog;
 use concat::mutation::MutationSwitch;
-use concat::obs::{JsonlSink, MemorySink, Telemetry};
-use concat::report::{render_model_metrics_table, render_telemetry_summary};
+use concat::obs::{chrome_trace, Event, JsonlSink, MemorySink, Telemetry};
+use concat::report::{render_attribution, render_model_metrics_table, render_telemetry_summary};
 use concat::tfm::ModelMetrics;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -61,7 +64,61 @@ fn main() {
         println!("  {line}");
     }
 
-    // 4. An elapsed-mode Result.txt.
+    // 4. The flight recorder: the same mutation campaign recorded as a
+    //    causal span tree. Every span carries its parent's id, so the
+    //    stream reconstructs who-called-whom: mutation → golden/mutant →
+    //    suite → case. The first span-tree levels:
+    let events = sink.events();
+    println!("Span tree (first 8 start events):");
+    let starts = events.iter().filter_map(|event| match event {
+        Event::SpanStart {
+            kind,
+            label,
+            id,
+            parent,
+            ..
+        } => Some((kind, label, id, parent)),
+        _ => None,
+    });
+    for (kind, label, id, parent) in starts.take(8) {
+        let parent = parent.map_or("-".to_owned(), |p| p.to_string());
+        println!("  #{id:<5} parent {parent:<5} {kind}: {label}");
+    }
+
+    // 5. The hot-path attribution the tree makes possible: wall-clock by
+    //    phase with self time (a span's duration minus its children's).
+    println!(
+        "\n{}",
+        render_attribution("Hot-path attribution (CObList campaign)", &events)
+    );
+
+    // 6. Campaign heartbeats: periodic `campaign.progress` snapshots of
+    //    mutants done/queued/quarantined, emitted while the analysis runs.
+    let beats: Vec<_> = sink
+        .summary()
+        .snapshots
+        .iter()
+        .filter(|s| s.name == "campaign.progress")
+        .cloned()
+        .collect();
+    println!("{} heartbeat(s); the last one reads:", beats.len());
+    if let Some(last) = beats.last() {
+        for (name, value) in &last.readings {
+            println!("  {name:<14} {value}");
+        }
+    }
+
+    // 7. The same events as a Chrome-trace (chrome://tracing, Perfetto).
+    let trace_json = chrome_trace(&events);
+    println!(
+        "\nChrome trace: {} lines; first mutant event:",
+        trace_json.lines().count()
+    );
+    if let Some(line) = trace_json.lines().find(|l| l.contains("mutant")) {
+        println!("  {line}");
+    }
+
+    // 8. An elapsed-mode Result.txt.
     let mut log = TestLog::with_elapsed();
     let runner = concat::driver::TestRunner::new();
     let factory = CObListFactory::new(MutationSwitch::new());
