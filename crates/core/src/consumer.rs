@@ -14,7 +14,8 @@ use concat_driver::{
 };
 use concat_mutation::{
     amplify_suite, amplify_suite_parallel, enumerate_mutants, run_mutation_analysis,
-    run_mutation_analysis_parallel, AmplifyConfig, AmplifyOutcome, MutationConfig, MutationRun,
+    run_mutation_analysis_parallel, AmplifyConfig, AmplifyOutcome, IsolationMode, MutationConfig,
+    MutationRun,
 };
 use concat_obs::Telemetry;
 use concat_runtime::{recommended_workers, Budget, IoPolicy};
@@ -83,6 +84,10 @@ pub enum ConsumerError {
     NoMutationSupport,
     /// Reuse planning requested but the bundle has no inheritance map.
     NoInheritanceMap,
+    /// Process isolation requested but the bundle has no sharding seam
+    /// ([`SelfTestable::shards`]) — process shards are rebuilt from the
+    /// clonable factory, so a non-sharded bundle cannot be isolated.
+    NoShardSupport,
 }
 
 impl fmt::Display for ConsumerError {
@@ -93,6 +98,9 @@ impl fmt::Display for ConsumerError {
                 f.write_str("bundle carries no mutation inventory/switch")
             }
             ConsumerError::NoInheritanceMap => f.write_str("bundle carries no inheritance map"),
+            ConsumerError::NoShardSupport => {
+                f.write_str("process isolation needs a sharded bundle (no clonable factory)")
+            }
         }
     }
 }
@@ -113,6 +121,7 @@ pub struct Consumer {
     budget: Budget,
     workers: Option<usize>,
     journal: Option<PathBuf>,
+    isolation: IsolationMode,
 }
 
 impl Consumer {
@@ -124,6 +133,7 @@ impl Consumer {
             budget: Budget::unlimited(),
             workers: None,
             journal: None,
+            isolation: IsolationMode::InThread,
         }
     }
 
@@ -135,6 +145,7 @@ impl Consumer {
             budget: Budget::unlimited(),
             workers: None,
             journal: None,
+            isolation: IsolationMode::InThread,
         }
     }
 
@@ -203,6 +214,24 @@ impl Consumer {
     /// The verdict-journal path quality evaluation will use, if any.
     pub fn journal(&self) -> Option<&Path> {
         self.journal.as_deref()
+    }
+
+    /// Chooses how quality evaluation isolates mutant execution.
+    /// [`IsolationMode::InThread`] (the default) runs shards as threads;
+    /// [`IsolationMode::Process`] runs them as supervised child processes
+    /// so a mutant that aborts or spins without a checkpoint loses only
+    /// itself. Process isolation requires a sharded bundle
+    /// ([`SelfTestable::shards`]) and an entry point in the current binary
+    /// that calls [`Consumer::run_shard_worker`]; verdicts, score and
+    /// report are byte-identical across modes.
+    pub fn with_isolation(mut self, isolation: IsolationMode) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// The isolation mode quality evaluation will use.
+    pub fn isolation(&self) -> &IsolationMode {
+        &self.isolation
     }
 
     /// The telemetry handle this consumer propagates.
@@ -311,8 +340,46 @@ impl Consumer {
             // is deterministic, so the run is byte-identical to the
             // sequential path below.
             Some(shards) => run_mutation_analysis_parallel(shards, suite, &mutants, &config),
+            None if config.isolation.is_process() => {
+                return Err(ConsumerError::NoShardSupport);
+            }
             None => run_mutation_analysis(component.factory(), switch, suite, &mutants, &config),
         })
+    }
+
+    /// The child half of process-isolated quality evaluation: rebuilds
+    /// the campaign this consumer would run (same suite, targets, probes,
+    /// budget) and executes the mutant slice assigned through the
+    /// `CONCAT_SHARD_*` environment, streaming verdicts to stdout.
+    ///
+    /// Call this from the hidden entry point named by
+    /// [`concat_mutation::ProcessIsolation::worker_args`] and pass the
+    /// returned code to [`std::process::exit`]. The consumer driving the
+    /// worker must be configured identically to the supervising one
+    /// (seed, budget, probe seeds) — journal path, worker count and
+    /// isolation mode are excluded from the campaign fingerprint and may
+    /// differ.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsumerError::NoShardSupport`] when the bundle lacks a sharding
+    /// seam; otherwise as for [`Consumer::evaluate_quality`].
+    pub fn run_shard_worker(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+        target_methods: &[&str],
+        probe_seeds: &[u64],
+    ) -> Result<i32, ConsumerError> {
+        let inventory = component
+            .inventory()
+            .ok_or(ConsumerError::NoMutationSupport)?;
+        let shards = component.shards().ok_or(ConsumerError::NoShardSupport)?;
+        let mutants = enumerate_mutants(inventory, target_methods);
+        let config = self.mutation_config(component, probe_seeds, true)?;
+        Ok(concat_mutation::run_shard_worker(
+            shards, suite, &mutants, &config,
+        ))
     }
 
     /// Runs [`Consumer::evaluate_quality`] and then the mutation-driven
@@ -342,7 +409,12 @@ impl Consumer {
             _ => return Err(ConsumerError::NoMutationSupport),
         };
         let mutants = enumerate_mutants(inventory, target_methods);
-        let config = self.mutation_config(component, probe_seeds, true)?;
+        let mut config = self.mutation_config(component, probe_seeds, true)?;
+        // Amplification rounds rebuild their own per-round configs, which
+        // a shard worker spawned with this consumer's base config could
+        // never fingerprint-match; rounds are short and thread isolation
+        // contains everything they run, so force it here.
+        config.isolation = IsolationMode::InThread;
         let spec = component.spec();
         let base = self.config;
         let needs_provider = spec_uses_provider(spec);
@@ -408,6 +480,7 @@ impl Consumer {
             budget: self.budget,
             workers: self.workers(),
             journal_path: self.journal.clone(),
+            isolation: self.isolation.clone(),
             ..MutationConfig::default()
         })
     }
@@ -813,5 +886,33 @@ mod tests {
         assert!(ConsumerError::NoInheritanceMap
             .to_string()
             .contains("inheritance"));
+        assert!(ConsumerError::NoShardSupport
+            .to_string()
+            .contains("sharded"));
+    }
+
+    #[test]
+    fn process_isolation_requires_a_sharded_bundle() {
+        use concat_mutation::{IsolationMode, ProcessIsolation};
+        let consumer = Consumer::with_seed(3)
+            .with_isolation(IsolationMode::Process(ProcessIsolation::new(["worker"])));
+        assert!(consumer.isolation().is_process());
+        // Mutation support but no sharding seam: process shards cannot be
+        // rebuilt, so the request is an error rather than a silent
+        // fallback to thread isolation.
+        let bundle = sortable_bundle();
+        let suite = consumer.generate(&bundle).unwrap();
+        assert_eq!(
+            consumer
+                .evaluate_quality(&bundle, &suite, &["FindMax"], &[])
+                .unwrap_err(),
+            ConsumerError::NoShardSupport
+        );
+        assert_eq!(
+            consumer
+                .run_shard_worker(&bundle, &suite, &["FindMax"], &[])
+                .unwrap_err(),
+            ConsumerError::NoShardSupport
+        );
     }
 }

@@ -207,6 +207,7 @@ fn round_config(config: &MutationConfig, round: usize, telemetry: &Telemetry) ->
             .map(|p| PathBuf::from(format!("{}.r{round}", p.display()))),
         worker_restarts: config.worker_restarts,
         coverage_selection: config.coverage_selection,
+        isolation: config.isolation.clone(),
     }
 }
 

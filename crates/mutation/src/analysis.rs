@@ -22,7 +22,7 @@ use concat_driver::{
     differing_cases, CaseStatus, CoverageMatrix, SuiteResult, TestLog, TestRunner, TestSuite,
 };
 use concat_obs::{MemorySink, SpanId, Telemetry};
-use concat_runtime::{recommended_workers, write_atomic, Budget};
+use concat_runtime::{recommended_workers, write_atomic, Budget, RetryPolicy};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +69,21 @@ pub enum QuarantineReason {
     /// reporter). The supervisor contained the crash: only this in-flight
     /// mutant is quarantined and the campaign continues.
     WorkerCrash,
+    /// Under [`IsolationMode::Process`], the shard executing this mutant
+    /// died of SIGABRT — the signature of a mutant calling
+    /// `std::process::abort()` (or an allocator/runtime abort). The
+    /// process boundary contained it: only this mutant is quarantined.
+    ShardAbort,
+    /// Under [`IsolationMode::Process`], the shard executing this mutant
+    /// died of another signal (SIGSEGV, an external SIGKILL, …) or a
+    /// deliberate nonzero exit, twice in a row — the mutant reproducibly
+    /// takes its host process down.
+    ShardSignal,
+    /// Under [`IsolationMode::Process`], the shard executing this mutant
+    /// stopped emitting heartbeat frames — a tight loop with no
+    /// cooperative checkpoint — and the supervisor killed it
+    /// (SIGTERM→SIGKILL) after the heartbeat deadline, twice in a row.
+    ShardUnresponsive,
 }
 
 impl fmt::Display for QuarantineReason {
@@ -78,6 +93,9 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::Budget => "budget",
             QuarantineReason::RepeatedCrash => "repeated crash",
             QuarantineReason::WorkerCrash => "worker crash",
+            QuarantineReason::ShardAbort => "shard abort",
+            QuarantineReason::ShardSignal => "shard signal",
+            QuarantineReason::ShardUnresponsive => "shard unresponsive",
         };
         f.write_str(s)
     }
@@ -133,6 +151,96 @@ pub struct MutantResult {
     pub mutant: Mutant,
     /// What happened to it.
     pub status: MutantStatus,
+}
+
+/// How [`run_mutation_analysis_parallel`] isolates mutant execution.
+#[derive(Debug, Clone)]
+pub enum IsolationMode {
+    /// Shards are threads in this process (the default). Cheap, and
+    /// `catch_unwind` contains everything that unwinds — but a mutant
+    /// that aborts, overflows the stack, or spins without reaching a
+    /// cooperative checkpoint takes the whole campaign process down.
+    InThread,
+    /// Shards are child processes (self-execs of the current binary; see
+    /// [`ProcessIsolation::worker_args`]) streaming verdicts back over a
+    /// checksummed frame protocol. A mutant can do *anything* — abort,
+    /// segfault, spin forever — and lose only itself: the supervisor
+    /// classifies the shard's exit, quarantines the in-flight mutant, and
+    /// respawns the shard under the `worker_restarts` budget.
+    Process(ProcessIsolation),
+}
+
+impl IsolationMode {
+    /// True for [`IsolationMode::Process`].
+    pub fn is_process(&self) -> bool {
+        matches!(self, IsolationMode::Process(_))
+    }
+}
+
+/// Settings of the process-isolated shard pool.
+#[derive(Debug, Clone)]
+pub struct ProcessIsolation {
+    /// Arguments appended to a self-exec of [`std::env::current_exe`] to
+    /// reach the hidden shard-worker entry point (e.g.
+    /// `["shard-worker", "campaign"]` for `mutation_demo`, or a
+    /// `--exact`-filtered test name for a test binary). The entry point
+    /// must rebuild the identical campaign and call
+    /// [`crate::run_shard_worker`].
+    pub worker_args: Vec<String>,
+    /// Extra environment variables for shard processes, on top of the
+    /// inherited environment and the protocol's own `CONCAT_SHARD_*`
+    /// variables — how a multi-campaign binary knows which campaign to
+    /// rebuild.
+    pub worker_env: Vec<(String, String)>,
+    /// Steady-state heartbeat deadline: a shard that emits no frame for
+    /// this long is presumed stuck in a non-cooperative loop and gets the
+    /// SIGTERM→SIGKILL ladder. Must exceed the longest single mutant
+    /// execution (every `shard-begin`/verdict frame is a heartbeat).
+    pub heartbeat_timeout: Duration,
+    /// First-frame deadline, covering process spawn plus the shard's own
+    /// golden run. Generous by default.
+    pub startup_grace: Duration,
+    /// How long the SIGTERM rung of the escalation ladder waits before
+    /// SIGKILL.
+    pub term_grace: Duration,
+    /// Backoff envelope for shard respawns; the actual delay per respawn
+    /// is full-jitter ([`RetryPolicy::jittered_delay`]) under this
+    /// envelope, drawn from a SplitMix64 stream seeded with
+    /// [`ProcessIsolation::backoff_seed`].
+    pub respawn_backoff: RetryPolicy,
+    /// Seed of the respawn-jitter stream — campaigns stay deterministic.
+    pub backoff_seed: u64,
+}
+
+impl ProcessIsolation {
+    /// Process isolation reached through `worker_args`, with default
+    /// deadlines (10 s heartbeat, 30 s startup, 500 ms SIGTERM grace) and
+    /// a 10 ms–200 ms jittered respawn envelope.
+    pub fn new<I, S>(worker_args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ProcessIsolation {
+            worker_args: worker_args.into_iter().map(Into::into).collect(),
+            worker_env: Vec::new(),
+            heartbeat_timeout: Duration::from_secs(10),
+            startup_grace: Duration::from_secs(30),
+            term_grace: Duration::from_millis(500),
+            respawn_backoff: RetryPolicy {
+                max_attempts: u32::MAX,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(200),
+            },
+            backoff_seed: 0x5AD_CAFE,
+        }
+    }
+
+    /// Adds one environment variable for shard processes.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.worker_env.push((key.into(), value.into()));
+        self
+    }
 }
 
 /// Configuration of a mutation run.
@@ -199,6 +307,13 @@ pub struct MutationConfig {
     /// from the campaign fingerprint, so journals stay interchangeable);
     /// `true` by default.
     pub coverage_selection: bool,
+    /// How [`run_mutation_analysis_parallel`] isolates its shards:
+    /// threads (default) or supervised child processes. Verdicts are
+    /// byte-identical across modes and shard counts, so — like `workers`
+    /// — the mode is deliberately absent from the campaign fingerprint
+    /// and journals interchange freely. The sequential entry point
+    /// ignores it.
+    pub isolation: IsolationMode,
 }
 
 impl Default for MutationConfig {
@@ -214,6 +329,7 @@ impl Default for MutationConfig {
             journal_path: None,
             worker_restarts: 4,
             coverage_selection: true,
+            isolation: IsolationMode::InThread,
         }
     }
 }
@@ -233,6 +349,7 @@ impl fmt::Debug for MutationConfig {
             .field("journal_path", &self.journal_path)
             .field("worker_restarts", &self.worker_restarts)
             .field("coverage_selection", &self.coverage_selection)
+            .field("isolation", &self.isolation)
             .finish()
     }
 }
@@ -314,8 +431,8 @@ impl MutationRun {
 
 /// The golden (original-program) results: computed once per analysis and
 /// shared read-only across every shard.
-struct GoldenBaseline {
-    golden: SuiteResult,
+pub(crate) struct GoldenBaseline {
+    pub(crate) golden: SuiteResult,
     probes: Vec<SuiteResult>,
     /// Case × feature coverage of the golden run, persisted alongside
     /// the campaign journal for post-mortem inspection.
@@ -437,7 +554,7 @@ struct ViewIndexes<'a> {
 /// Read-only inputs every shard works from, plus the shared work queue.
 /// Workers pull mutant indices from `next` and report `(index, result)`
 /// pairs; the index is what makes the merge deterministic.
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     suite: &'a TestSuite,
     mutants: &'a [Mutant],
     config: &'a MutationConfig,
@@ -455,7 +572,7 @@ struct Engine<'a> {
 }
 
 /// How one worker's drain loop ended.
-enum DrainEnd {
+pub(crate) enum DrainEnd {
     /// The shared queue is empty; the worker retires healthy.
     Drained,
     /// A classification panicked outside the runner's catch boundary.
@@ -466,7 +583,7 @@ enum DrainEnd {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         suite: &'a TestSuite,
         mutants: &'a [Mutant],
         config: &'a MutationConfig,
@@ -507,7 +624,7 @@ impl<'a> Engine<'a> {
     }
 
     /// True while unclaimed mutant indices remain on the shared queue.
-    fn has_unclaimed_work(&self) -> bool {
+    pub(crate) fn has_unclaimed_work(&self) -> bool {
         self.next.load(Ordering::Relaxed) < self.mutants.len()
     }
 
@@ -519,7 +636,7 @@ impl<'a> Engine<'a> {
     /// [`QuarantineReason::WorkerCrash`] and emitted like any other
     /// verdict — after which the loop returns [`DrainEnd::Crashed`] so
     /// the caller can retire this worker's (possibly corrupted) harness.
-    fn drain(
+    pub(crate) fn drain(
         &self,
         factory: &dyn ComponentFactory,
         switch: &MutationSwitch,
@@ -570,7 +687,7 @@ impl<'a> Engine<'a> {
 
     /// Runs one mutant through the suite (and, if it stays alive, the
     /// probe suites) and classifies it.
-    fn classify(
+    pub(crate) fn classify(
         &self,
         factory: &dyn ComponentFactory,
         switch: &MutationSwitch,
@@ -677,7 +794,7 @@ impl<'a> Engine<'a> {
 
 /// Builds the per-shard runner: BIT mode, telemetry, budget — and, when
 /// the budget carries a deadline, that shard's own watchdog thread.
-fn build_runner(config: &MutationConfig, telemetry: &Telemetry) -> TestRunner {
+pub(crate) fn build_runner(config: &MutationConfig, telemetry: &Telemetry) -> TestRunner {
     let runner = if config.bit_enabled {
         TestRunner::new()
     } else {
@@ -691,7 +808,7 @@ fn build_runner(config: &MutationConfig, telemetry: &Telemetry) -> TestRunner {
 /// Runs the golden suite and golden probe suites (switch disarmed — the
 /// original program), records their case × feature coverage, and builds
 /// the per-feature views when coverage selection is enabled.
-fn run_golden(
+pub(crate) fn run_golden(
     runner: &TestRunner,
     factory: &dyn ComponentFactory,
     suite: &TestSuite,
@@ -740,7 +857,11 @@ fn run_golden(
 /// journal (`<journal>.coverage`), atomically. Like every other
 /// durability consumer, a write failure degrades (counted under
 /// `harden.degraded`) instead of aborting the campaign.
-fn persist_coverage(config: &MutationConfig, baseline: &GoldenBaseline, telemetry: &Telemetry) {
+pub(crate) fn persist_coverage(
+    config: &MutationConfig,
+    baseline: &GoldenBaseline,
+    telemetry: &Telemetry,
+) {
     let Some(path) = &config.journal_path else {
         return;
     };
@@ -751,7 +872,7 @@ fn persist_coverage(config: &MutationConfig, baseline: &GoldenBaseline, telemetr
 }
 
 /// Emits the per-status counters for one classified mutant.
-fn record_status(telemetry: &Telemetry, status: &MutantStatus) {
+pub(crate) fn record_status(telemetry: &Telemetry, status: &MutantStatus) {
     if !telemetry.is_enabled() {
         return;
     }
@@ -782,6 +903,15 @@ fn record_status(telemetry: &Telemetry, status: &MutantStatus) {
         MutantStatus::Quarantined {
             reason: QuarantineReason::WorkerCrash,
         } => "mutant.quarantined.worker_crash",
+        MutantStatus::Quarantined {
+            reason: QuarantineReason::ShardAbort,
+        } => "mutant.quarantined.shard_abort",
+        MutantStatus::Quarantined {
+            reason: QuarantineReason::ShardSignal,
+        } => "mutant.quarantined.shard_signal",
+        MutantStatus::Quarantined {
+            reason: QuarantineReason::ShardUnresponsive,
+        } => "mutant.quarantined.shard_unresponsive",
     });
     if status.is_quarantined() {
         telemetry.incr("mutation.quarantined");
@@ -790,7 +920,7 @@ fn record_status(telemetry: &Telemetry, status: &MutantStatus) {
 
 /// Final bookkeeping shared by both entry points: order check, the
 /// equivalence gauge, and the assembled [`MutationRun`].
-fn finish_run(
+pub(crate) fn finish_run(
     telemetry: &Telemetry,
     results: Vec<MutantResult>,
     golden: SuiteResult,
@@ -806,7 +936,7 @@ fn finish_run(
 /// without durability and `harden.degraded` is counted — because losing
 /// the journal must never lose the run (the in-memory results stay
 /// authoritative, exactly like the other retry-then-degrade consumers).
-struct JournalState {
+pub(crate) struct JournalState {
     inner: Option<CampaignJournal>,
     telemetry: Telemetry,
 }
@@ -814,7 +944,7 @@ struct JournalState {
 impl JournalState {
     /// `telemetry` is the campaign-scoped handle, so `journal` spans nest
     /// under the `mutation` span in the flight recorder.
-    fn open(
+    pub(crate) fn open(
         class_name: &str,
         suite: &TestSuite,
         mutants: &[Mutant],
@@ -858,7 +988,7 @@ impl JournalState {
 
     /// Write-ahead append of one verdict; called by the supervisor before
     /// the verdict is merged into its slot.
-    fn record(&mut self, index: usize, status: &MutantStatus) {
+    pub(crate) fn record(&mut self, index: usize, status: &MutantStatus) {
         if let Some(journal) = &mut self.inner {
             let _span = self.telemetry.span("journal", "append");
             if journal.record(index, status).is_err() {
@@ -872,7 +1002,7 @@ impl JournalState {
 /// Emits the `campaign.progress` heartbeat: mutants done / queued /
 /// quarantined, plus each worker's verdict count. The readings closure is
 /// lazy, so a disabled handle pays nothing.
-fn campaign_heartbeat(
+pub(crate) fn campaign_heartbeat(
     telemetry: &Telemetry,
     slots: &[Option<MutantResult>],
     done_by_worker: &[u64],
@@ -895,12 +1025,27 @@ fn campaign_heartbeat(
     });
 }
 
+/// Surfaces `worker_restarts` exhaustion: previously the campaign slid
+/// silently into degraded completion; now the harness-health table gets a
+/// `mutation.restarts_exhausted` row and the flight recorder a
+/// `campaign.degraded` event recording how much work was left when the
+/// budget died.
+pub(crate) fn flag_restart_exhaustion(telemetry: &Telemetry, budget: usize, remaining: usize) {
+    telemetry.incr("mutation.restarts_exhausted");
+    telemetry.snapshot("campaign.degraded", || {
+        vec![
+            ("restarts_spent".to_owned(), budget as i64),
+            ("queued".to_owned(), remaining as i64),
+        ]
+    });
+}
+
 /// Pre-fills the merge slots with journal-replayed verdicts. Their
 /// classification counters are re-emitted (plus one `mutation.replayed`
 /// each) so a resumed run's per-status counter totals match an
 /// uninterrupted run's. Returns the slots and the done mask the engine
 /// skips by.
-fn replay_slots(
+pub(crate) fn replay_slots(
     mutants: &[Mutant],
     replayed: Vec<(usize, MutantStatus)>,
     telemetry: &Telemetry,
@@ -929,11 +1074,11 @@ const HEARTBEAT_EVERY_VERDICTS: usize = 32;
 
 /// Parallel heartbeat cadence: the supervisor emits a snapshot when at
 /// least this long has passed since the previous one.
-const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
+pub(crate) const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
 
 /// How long the supervisor blocks on the verdict channel before waking
 /// to consider a heartbeat.
-const SUPERVISOR_POLL: Duration = Duration::from_millis(100);
+pub(crate) const SUPERVISOR_POLL: Duration = Duration::from_millis(100);
 
 /// Messages workers stream to the supervising thread.
 enum WorkerMsg {
@@ -1016,7 +1161,10 @@ pub fn run_mutation_analysis(
 /// guarantees every slot was claimed, classified or replayed; should
 /// that invariant ever break, the affected mutant is quarantined
 /// (fail-safe) instead of panicking away an otherwise complete campaign.
-fn collect_slots(mutants: &[Mutant], slots: Vec<Option<MutantResult>>) -> Vec<MutantResult> {
+pub(crate) fn collect_slots(
+    mutants: &[Mutant],
+    slots: Vec<Option<MutantResult>>,
+) -> Vec<MutantResult> {
     slots
         .into_iter()
         .enumerate()
@@ -1068,6 +1216,9 @@ pub fn run_mutation_analysis_parallel(
     mutants: &[Mutant],
     config: &MutationConfig,
 ) -> MutationRun {
+    if let IsolationMode::Process(spec) = &config.isolation {
+        return crate::shard::run_process_shards(shards, suite, mutants, config, spec);
+    }
     let _hook_guard = config.silence_panics.then(PanicSilencer::install);
     let run_span = config.telemetry.span("mutation", shards.class_name());
     let scoped = config.telemetry.at(run_span.id());
@@ -1173,6 +1324,7 @@ pub fn run_mutation_analysis_parallel(
             // bounded wait keeps the heartbeat alive while a slow mutant
             // holds every worker busy.
             let mut restarts_left = config.worker_restarts;
+            let mut exhaustion_flagged = false;
             let mut last_beat = Instant::now();
             while active > 0 {
                 match rx.recv_timeout(SUPERVISOR_POLL) {
@@ -1186,11 +1338,20 @@ pub fn run_mutation_analysis_parallel(
                     }
                     Ok(WorkerMsg::Retired { crashed }) => {
                         active -= 1;
-                        if crashed && restarts_left > 0 && engine.has_unclaimed_work() {
-                            restarts_left -= 1;
-                            spawn_worker(next_worker, fresh_sink());
-                            next_worker += 1;
-                            active += 1;
+                        if crashed && engine.has_unclaimed_work() {
+                            if restarts_left > 0 {
+                                restarts_left -= 1;
+                                spawn_worker(next_worker, fresh_sink());
+                                next_worker += 1;
+                                active += 1;
+                            } else if !exhaustion_flagged {
+                                exhaustion_flagged = true;
+                                flag_restart_exhaustion(
+                                    telemetry,
+                                    config.worker_restarts,
+                                    slots.iter().filter(|s| s.is_none()).count(),
+                                );
+                            }
                         }
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
@@ -1310,12 +1471,12 @@ fn first_difference(golden: &SuiteResult, observed: &SuiteResult) -> Option<(usi
 /// without this, a Table-2 scale run prints thousands of backtraces.
 type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
 
-struct PanicSilencer {
+pub(crate) struct PanicSilencer {
     previous: Option<PanicHook>,
 }
 
 impl PanicSilencer {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         PanicSilencer {

@@ -38,9 +38,10 @@ use std::path::Path;
 /// a CRC-32 over everything that determines the verdict vector — the
 /// subject class, the killing suite, the probe suites, the BIT/budget/
 /// threshold configuration, and the enumerated mutant list. The worker
-/// count is deliberately excluded (verdicts are byte-identical for every
-/// worker count, so a journal written by a 4-worker run resumes cleanly
-/// under 1 worker and vice versa).
+/// count and the isolation mode are deliberately excluded (verdicts are
+/// byte-identical for every worker count and for thread vs. process
+/// shards, so a journal written by a 4-worker run resumes cleanly under
+/// 1 worker — or under process isolation — and vice versa).
 pub fn campaign_fingerprint(
     class_name: &str,
     suite: &TestSuite,
@@ -95,6 +96,9 @@ pub fn encode_verdict(id: usize, status: &MutantStatus) -> String {
                 QuarantineReason::Budget => "budget",
                 QuarantineReason::RepeatedCrash => "repeated-crash",
                 QuarantineReason::WorkerCrash => "worker-crash",
+                QuarantineReason::ShardAbort => "shard-abort",
+                QuarantineReason::ShardSignal => "shard-signal",
+                QuarantineReason::ShardUnresponsive => "shard-unresponsive",
             };
             format!("quarantined {reason}")
         }
@@ -130,6 +134,9 @@ pub fn decode_verdict(record: &str) -> Option<(usize, MutantStatus)> {
                 "budget" => QuarantineReason::Budget,
                 "repeated-crash" => QuarantineReason::RepeatedCrash,
                 "worker-crash" => QuarantineReason::WorkerCrash,
+                "shard-abort" => QuarantineReason::ShardAbort,
+                "shard-signal" => QuarantineReason::ShardSignal,
+                "shard-unresponsive" => QuarantineReason::ShardUnresponsive,
                 _ => return None,
             };
             MutantStatus::Quarantined { reason }
@@ -238,6 +245,15 @@ mod tests {
             },
             MutantStatus::Quarantined {
                 reason: QuarantineReason::WorkerCrash,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::ShardAbort,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::ShardSignal,
+            },
+            MutantStatus::Quarantined {
+                reason: QuarantineReason::ShardUnresponsive,
             },
         ]
     }

@@ -24,6 +24,12 @@
 //!   (a panicking worker quarantines only its in-flight mutant and is
 //!   respawned under a restart budget) and a deterministic merge so every
 //!   worker count yields byte-identical verdicts;
+//! * [`IsolationMode`] / [`ProcessIsolation`] / [`run_shard_worker`] —
+//!   optional process isolation for the sharded analysis: shards become
+//!   child processes streaming verdicts over a checksummed frame
+//!   protocol, so a mutant that aborts or spins without a checkpoint
+//!   loses only itself (quarantined with a shard-level
+//!   [`QuarantineReason`]), never the campaign;
 //! * [`CampaignJournal`] / [`campaign_fingerprint`] — the durable
 //!   write-ahead verdict journal behind resumable campaigns (the paper's
 //!   §3.4 test-history mandate): set `MutationConfig::journal_path` and a
@@ -61,13 +67,14 @@ mod inventory;
 mod journal;
 mod matrix;
 mod operators;
+mod shard;
 
 pub use amplify::{
     amplify_suite, amplify_suite_parallel, AmplifyConfig, AmplifyOutcome, RoundReport,
 };
 pub use analysis::{
-    run_mutation_analysis, run_mutation_analysis_parallel, KillReason, MutantResult, MutantStatus,
-    MutationConfig, MutationRun, QuarantineReason,
+    run_mutation_analysis, run_mutation_analysis_parallel, IsolationMode, KillReason, MutantResult,
+    MutantStatus, MutationConfig, MutationRun, ProcessIsolation, QuarantineReason,
 };
 pub use enumerate::{enumerate_mutants, expected_count, Mutant};
 pub use fault::{coerce_int, ClonableFactory, FaultPlan, MutationSwitch, Replacement, VarEnv};
@@ -75,3 +82,6 @@ pub use inventory::{ClassInventory, MethodInventory, UseSite};
 pub use journal::{campaign_fingerprint, decode_verdict, encode_verdict, CampaignJournal};
 pub use matrix::{CellStats, MutationMatrix};
 pub use operators::{MutationOperator, ReqConst};
+pub use shard::{
+    run_shard_worker, shard_worker_requested, SHARD_FINGERPRINT_ENV, SHARD_INDICES_ENV,
+};

@@ -87,7 +87,7 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 12] = [
+const HARNESS_COUNTERS: [(&str, &str); 16] = [
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
     ("mutation.quarantined", "mutants excluded from the score"),
@@ -99,6 +99,22 @@ const HARNESS_COUNTERS: [(&str, &str); 12] = [
     (
         "mutation.worker_crash",
         "worker panics contained (#worker_crashes)",
+    ),
+    (
+        "mutation.shard_kill",
+        "process shards killed for missed heartbeats",
+    ),
+    (
+        "mutation.shard_respawn",
+        "process shards respawned after a death",
+    ),
+    (
+        "mutation.restarts_exhausted",
+        "campaigns that ran out of worker restarts",
+    ),
+    (
+        "mutation.frames_dropped",
+        "torn/corrupt verdict frames dropped",
     ),
     (
         "mutation.replayed",

@@ -655,6 +655,35 @@ impl RetryPolicy {
         let factor = 1u32 << retry.saturating_sub(1).min(16);
         (self.base_delay * factor).min(self.max_delay)
     }
+
+    /// Full-jitter exponential backoff: uniform in `[0, backoff_delay(retry)]`.
+    ///
+    /// Fixed exponential delays synchronize — respawned shards that all
+    /// died together retry together, hammering whatever killed them in
+    /// lockstep. Full jitter decorrelates the retries while keeping the
+    /// exponential envelope; drawing from the caller's seeded SplitMix64
+    /// [`Rng`] keeps campaigns deterministic for a given seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use concat_runtime::{RetryPolicy, Rng};
+    ///
+    /// let p = RetryPolicy::default();
+    /// let mut a = Rng::seed_from_u64(11);
+    /// let mut b = Rng::seed_from_u64(11);
+    /// let d = p.jittered_delay(2, &mut a);
+    /// assert_eq!(d, p.jittered_delay(2, &mut b), "seeded: reproducible");
+    /// assert!(d <= p.backoff_delay(2), "jitter stays under the envelope");
+    /// ```
+    pub fn jittered_delay(&self, retry: u32, rng: &mut Rng) -> Duration {
+        let cap = self.backoff_delay(retry);
+        if cap.is_zero() {
+            return Duration::ZERO;
+        }
+        let nanos = u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX);
+        Duration::from_nanos(rng.next_u64() % nanos.saturating_add(1))
+    }
 }
 
 /// The result of running an operation under an [`IoPolicy`].
@@ -952,5 +981,31 @@ mod tests {
         assert_eq!(p.backoff_delay(3), Duration::from_millis(8));
         assert_eq!(p.backoff_delay(4), Duration::from_millis(10), "capped");
         assert_eq!(p.backoff_delay(30), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_bounded_and_spread() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        let mut rng = Rng::seed_from_u64(42);
+        let mut replay = Rng::seed_from_u64(42);
+        let mut distinct = std::collections::BTreeSet::new();
+        for retry in 1..=50 {
+            let d = p.jittered_delay(retry, &mut rng);
+            assert!(d <= p.backoff_delay(retry), "retry {retry}: {d:?}");
+            assert_eq!(d, p.jittered_delay(retry, &mut replay), "deterministic");
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 10, "full jitter actually varies");
+        let mut rng = Rng::seed_from_u64(42);
+        assert_eq!(
+            RetryPolicy::no_delay(3).jittered_delay(2, &mut rng),
+            Duration::ZERO,
+            "a zero envelope never sleeps (and draws nothing from the rng)"
+        );
+        assert_eq!(rng, Rng::seed_from_u64(42));
     }
 }

@@ -49,9 +49,11 @@ mod atomic_io;
 mod clock;
 mod component;
 mod error;
+mod frame;
 mod harden;
 mod literal;
 mod rng;
+mod supervise;
 mod value;
 
 pub use atomic_io::{
@@ -60,10 +62,12 @@ pub use atomic_io::{
 pub use clock::monotonic_nanos;
 pub use component::{args, unknown_method, Component};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
+pub use frame::{encode_frame, FrameDecoder};
 pub use harden::{
     is_transient_io, recommended_workers, Budget, BudgetResource, CancelToken, FaultInjector,
     FaultKind, InjectedFault, IoAttempt, IoPolicy, RetryPolicy, Watchdog, DEADLINE_PANIC_PAYLOAD,
 };
 pub use literal::{parse_value_literal, ParseValueError};
 pub use rng::Rng;
+pub use supervise::{classify_exit, terminate_child, wait_with_deadline, ExitClass, Liveness};
 pub use value::{ObjRef, Value, ValueKind};

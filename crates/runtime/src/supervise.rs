@@ -1,0 +1,289 @@
+//! Child-process supervision: exit classification, heartbeat liveness,
+//! and the SIGTERM→SIGKILL escalation ladder.
+//!
+//! Thread workers can only contain what unwinds; a mutant that calls
+//! `std::process::abort()` or spins without ever reaching a cooperative
+//! checkpoint takes the whole process with it. Process shards put a hard
+//! boundary around such mutants, and this module gives their supervisor
+//! the three primitives it needs:
+//!
+//! * [`classify_exit`] — folds an [`ExitStatus`] into an [`ExitClass`]
+//!   (clean / nonzero exit / SIGABRT / other signal), the signal the
+//!   caller turns into a quarantine reason;
+//! * [`Liveness`] — a heartbeat deadline: the supervisor beats it on
+//!   every frame a shard emits and checks [`Liveness::expired`] on its
+//!   poll ticks;
+//! * [`terminate_child`] / [`wait_with_deadline`] — the escalation
+//!   ladder: ask politely (SIGTERM via the `kill` utility — this crate
+//!   forbids `unsafe`, so no raw syscalls), wait out a bounded grace
+//!   period, then SIGKILL ([`std::process::Child::kill`]) and reap.
+//!
+//! Everything here is policy-free: *when* to escalate (missed heartbeat,
+//! campaign shutdown) belongs to the caller.
+
+use std::io;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// How a supervised child process ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitClass {
+    /// Exit status 0.
+    Clean,
+    /// A nonzero exit code (the child ran to a deliberate `exit`).
+    Exit(i32),
+    /// Killed by SIGABRT — the signature of `std::process::abort()`,
+    /// `assert()` in linked C code, or an allocator/runtime abort.
+    Abort,
+    /// Killed by any other signal (SIGKILL, SIGSEGV, SIGTERM, …).
+    Signal(i32),
+}
+
+impl std::fmt::Display for ExitClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExitClass::Clean => f.write_str("clean exit"),
+            ExitClass::Exit(code) => write!(f, "exit code {code}"),
+            ExitClass::Abort => f.write_str("abort (SIGABRT)"),
+            ExitClass::Signal(sig) => write!(f, "signal {sig}"),
+        }
+    }
+}
+
+/// SIGABRT's number on every platform this workspace targets.
+const SIGABRT: i32 = 6;
+
+/// Folds a reaped [`ExitStatus`] into its [`ExitClass`]. On non-unix
+/// platforms signals do not exist, so anything abnormal is an `Exit`.
+pub fn classify_exit(status: ExitStatus) -> ExitClass {
+    if status.success() {
+        return ExitClass::Clean;
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(signal) = status.signal() {
+            return if signal == SIGABRT {
+                ExitClass::Abort
+            } else {
+                ExitClass::Signal(signal)
+            };
+        }
+    }
+    ExitClass::Exit(status.code().unwrap_or(-1))
+}
+
+/// Poll cadence while waiting for a child to die.
+const REAP_POLL: Duration = Duration::from_millis(10);
+
+/// Sends the child a SIGTERM without raw syscalls: the `kill` utility is
+/// spawned against the child's pid. Returns `false` when the utility is
+/// unavailable or reports failure — callers fall through to the SIGKILL
+/// rung, so a missing `kill` binary only costs the polite phase.
+fn request_termination(child: &Child) -> bool {
+    #[cfg(unix)]
+    {
+        Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = child;
+        false
+    }
+}
+
+/// The escalation ladder: SIGTERM, a bounded grace period, then SIGKILL.
+/// Always reaps — on `Ok` the child is gone and its status classified by
+/// the caller via [`classify_exit`].
+///
+/// # Errors
+///
+/// Propagates `try_wait`/`kill`/`wait` I/O errors (the child is then in
+/// an unknown state; callers treat this like a failed respawn).
+pub fn terminate_child(child: &mut Child, grace: Duration) -> io::Result<ExitStatus> {
+    if request_termination(child) {
+        let deadline = Instant::now() + grace;
+        loop {
+            if let Some(status) = child.try_wait()? {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(REAP_POLL);
+        }
+    }
+    child.kill()?;
+    child.wait()
+}
+
+/// Waits for a child that *should* already be exiting (its stdout hit
+/// EOF), bounded by `grace`; a child still alive after the grace period
+/// is SIGKILLed and reaped.
+///
+/// # Errors
+///
+/// Propagates `try_wait`/`kill`/`wait` I/O errors.
+pub fn wait_with_deadline(child: &mut Child, grace: Duration) -> io::Result<ExitStatus> {
+    let deadline = Instant::now() + grace;
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(status);
+        }
+        if Instant::now() >= deadline {
+            child.kill()?;
+            return child.wait();
+        }
+        std::thread::sleep(REAP_POLL);
+    }
+}
+
+/// A heartbeat deadline for one supervised child.
+///
+/// The supervisor beats it whenever the child proves it is alive (any
+/// frame on the pipe) and polls [`Liveness::expired`]; an expired shard
+/// gets the [`terminate_child`] ladder. The first deadline is usually
+/// longer than steady state (`startup` covers spawn + the child's own
+/// golden run), so `Liveness` tracks which phase it is in.
+#[derive(Debug)]
+pub struct Liveness {
+    last_beat: Instant,
+    timeout: Duration,
+    startup: Duration,
+    started: bool,
+}
+
+impl Liveness {
+    /// A liveness tracker whose first deadline is `startup` from now and
+    /// whose steady-state deadline is `timeout` after each beat.
+    pub fn new(startup: Duration, timeout: Duration) -> Self {
+        Liveness {
+            last_beat: Instant::now(),
+            timeout,
+            startup,
+            started: false,
+        }
+    }
+
+    /// Records proof of life and switches to the steady-state deadline.
+    pub fn beat(&mut self) {
+        self.last_beat = Instant::now();
+        self.started = true;
+    }
+
+    /// True when the current deadline has passed without a beat.
+    pub fn expired(&self) -> bool {
+        let window = if self.started {
+            self.timeout
+        } else {
+            self.startup
+        };
+        self.last_beat.elapsed() >= window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Command, Stdio};
+
+    fn spawn_sleeper(secs: &str) -> Child {
+        Command::new("sleep")
+            .arg(secs)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .unwrap()
+    }
+
+    #[test]
+    fn classifies_clean_exit() {
+        let status = Command::new("true").status().unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Clean);
+    }
+
+    #[test]
+    fn classifies_nonzero_exit() {
+        let status = Command::new("false").status().unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Exit(1));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn classifies_signals_and_abort() {
+        let mut child = spawn_sleeper("30");
+        child.kill().unwrap(); // SIGKILL = 9
+        let status = child.wait().unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Signal(9));
+
+        let mut child = spawn_sleeper("30");
+        let killed = Command::new("kill")
+            .args(["-ABRT", &child.id().to_string()])
+            .status()
+            .unwrap();
+        assert!(killed.success());
+        let status = child.wait().unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Abort);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn terminate_child_is_polite_first() {
+        // `sleep` dies to SIGTERM, so the ladder never reaches SIGKILL.
+        let mut child = spawn_sleeper("30");
+        let status = terminate_child(&mut child, Duration::from_secs(5)).unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Signal(15));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn terminate_child_escalates_to_sigkill() {
+        // A shell that traps SIGTERM ignores the polite rung; the ladder
+        // must escalate.
+        let mut child = Command::new("sh")
+            .args(["-c", "trap '' TERM; sleep 30"])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .unwrap();
+        // Give the shell a moment to install its trap.
+        std::thread::sleep(Duration::from_millis(200));
+        let status = terminate_child(&mut child, Duration::from_millis(300)).unwrap();
+        assert_eq!(classify_exit(status), ExitClass::Signal(9));
+    }
+
+    #[test]
+    fn wait_with_deadline_reaps_a_laggard() {
+        let mut child = spawn_sleeper("30");
+        let status = wait_with_deadline(&mut child, Duration::from_millis(100)).unwrap();
+        assert_ne!(classify_exit(status), ExitClass::Clean);
+    }
+
+    #[test]
+    fn liveness_tracks_startup_then_steady_state() {
+        let mut live = Liveness::new(Duration::from_secs(60), Duration::ZERO);
+        assert!(!live.expired(), "startup window still open");
+        live.beat();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(live.expired(), "steady-state deadline of zero expires");
+        let mut live = Liveness::new(Duration::ZERO, Duration::from_secs(60));
+        assert!(live.expired(), "startup deadline of zero expires");
+        live.beat();
+        assert!(!live.expired(), "a beat opens the steady-state window");
+    }
+
+    #[test]
+    fn exit_class_display() {
+        assert_eq!(ExitClass::Clean.to_string(), "clean exit");
+        assert_eq!(ExitClass::Exit(3).to_string(), "exit code 3");
+        assert_eq!(ExitClass::Abort.to_string(), "abort (SIGABRT)");
+        assert_eq!(ExitClass::Signal(9).to_string(), "signal 9");
+    }
+}

@@ -20,6 +20,15 @@
 //! an uninterrupted run; CI's `resume` job SIGKILLs this mode mid-flight
 //! and diffs the reports.
 //!
+//! The campaign mode takes two optional flags: `--isolation
+//! {thread,process}` selects how mutants are contained (process shards
+//! are self-execs of this binary via the hidden `shard-worker campaign`
+//! entry point, supervised with heartbeat liveness and respawn), and
+//! `--shards N` sets the worker/shard count. Verdicts and the report are
+//! byte-identical across both modes and every shard count; CI's
+//! `isolation` job SIGKILLs a process shard mid-run and `cmp`s the
+//! report against the in-thread golden.
+//!
 //! A third mode, `mutation_demo trace <trace.json> <report>`, runs the
 //! campaign with the flight recorder attached: the recorded span tree is
 //! exported as a Chrome-trace file (load it in `chrome://tracing` or
@@ -35,8 +44,8 @@ use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, Testab
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
 use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
 use concat::mutation::{
-    AmplifyConfig, ClassInventory, ClonableFactory, KillReason, MethodInventory, MutantStatus,
-    MutationMatrix, MutationSwitch, VarEnv,
+    AmplifyConfig, ClassInventory, ClonableFactory, IsolationMode, KillReason, MethodInventory,
+    MutantStatus, MutationMatrix, MutationSwitch, ProcessIsolation, VarEnv,
 };
 use concat::obs::{chrome_trace, MemorySink, Telemetry};
 use concat::report::{
@@ -53,8 +62,15 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() == 4 && args[1] == "campaign" {
-        campaign_mode(&args[2], &args[3]);
+    // Hidden entry point: this binary re-executed as one process shard of
+    // the campaign below. Must be checked before anything else — the
+    // supervisor controls the arguments.
+    if args.len() >= 3 && args[1] == "shard-worker" && args[2] == "campaign" {
+        std::process::exit(campaign_shard_worker());
+    }
+    if args.len() >= 4 && args[1] == "campaign" {
+        let (process, shards) = parse_campaign_flags(&args[4..]);
+        campaign_mode(&args[2], &args[3], process, shards);
         return;
     }
     if args.len() == 4 && args[1] == "trace" {
@@ -288,18 +304,22 @@ fn delay_bundle() -> SelfTestable {
 /// the survivors and re-executes only unfinished mutants; the report is
 /// written atomically at the end and must be byte-identical whether or
 /// not the campaign was interrupted.
-fn campaign_mode(journal: &str, report: &str) {
+fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize) {
     // ~10 hanging mutants x one 300 ms deadline per reached case, over 2
     // workers: the uninterrupted campaign takes well over 5 s, so CI's
     // kill at 2 s lands mid-flight with verdicts already journaled.
-    let deadline = Duration::from_millis(300);
     let bundle = delay_bundle();
-    let consumer = Consumer::with_seed(2024)
-        .with_budget(Budget::unlimited().with_deadline(deadline))
-        .with_workers(2)
+    let mut consumer = campaign_consumer()
+        .with_workers(shards)
         .with_journal(journal);
+    if process {
+        consumer = consumer.with_isolation(IsolationMode::Process(ProcessIsolation::new([
+            "shard-worker",
+            "campaign",
+        ])));
+    }
     let suite = consumer.generate(&bundle).expect("generation succeeds");
-    let targets = ["Work", "Rest"];
+    let targets = CAMPAIGN_TARGETS;
     let started = Instant::now();
     let run = consumer
         .evaluate_quality(&bundle, &suite, &targets, &[])
@@ -318,6 +338,56 @@ fn campaign_mode(journal: &str, report: &str) {
         started.elapsed(),
         summarize_run(&run)
     );
+}
+
+/// The targets the resumable campaign (and its shard workers) analyze.
+const CAMPAIGN_TARGETS: [&str; 2] = ["Work", "Rest"];
+
+/// The campaign's consumer, minus journal/workers/isolation — everything
+/// that feeds the campaign fingerprint. The supervisor and every shard
+/// worker must build it identically; journal path, worker count and
+/// isolation mode are fingerprint-excluded and may differ.
+fn campaign_consumer() -> Consumer {
+    Consumer::with_seed(2024)
+        .with_budget(Budget::unlimited().with_deadline(Duration::from_millis(300)))
+}
+
+/// Parses the campaign mode's optional `--isolation {thread,process}` and
+/// `--shards N` flags; defaults are thread isolation over 2 shards (the
+/// historical `campaign` behaviour).
+fn parse_campaign_flags(rest: &[String]) -> (bool, usize) {
+    let mut process = false;
+    let mut shards = 2usize;
+    let mut args = rest.iter();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--isolation" => match args.next().map(String::as_str) {
+                Some("process") => process = true,
+                Some("thread") => process = false,
+                other => panic!("--isolation takes thread|process, got {other:?}"),
+            },
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--shards takes a positive integer");
+            }
+            other => panic!("unknown campaign flag {other:?}"),
+        }
+    }
+    (process, shards.max(1))
+}
+
+/// The shard-worker half of the process-isolated campaign: rebuilds the
+/// identical bundle and consumer, then runs the assigned mutant slice,
+/// streaming verdicts to stdout for the supervising `campaign` process.
+fn campaign_shard_worker() -> i32 {
+    let bundle = delay_bundle();
+    let consumer = campaign_consumer();
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    consumer
+        .run_shard_worker(&bundle, &suite, &CAMPAIGN_TARGETS, &[])
+        .expect("bundle carries mutation support and shards")
 }
 
 /// The targets the trace/verdicts campaign analyzes.

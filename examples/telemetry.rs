@@ -5,19 +5,35 @@
 //! self-vs-child time), the campaign progress heartbeats, and the
 //! Chrome-trace export.
 //!
+//! A final section runs the same campaign under both isolation modes —
+//! thread shards and supervised process shards (self-execs of this
+//! binary via the hidden `shard-worker` argument) — shows that the
+//! verdicts are identical, and prints the harness-health table with the
+//! process-supervision counters.
+//!
 //! Run with: `cargo run --release --example telemetry`
 
-use concat::components::{coblist_inventory, coblist_spec, CObListFactory};
-use concat::core::{Consumer, SelfTestableBuilder};
-use concat::driver::TestLog;
-use concat::mutation::MutationSwitch;
+use concat::components::{
+    coblist_inventory, coblist_spec, sortable_inventory, sortable_spec, CObListFactory,
+    CSortableObListFactory,
+};
+use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
+use concat::driver::{TestLog, TestSuite};
+use concat::mutation::{IsolationMode, MutationSwitch, ProcessIsolation};
 use concat::obs::{chrome_trace, Event, JsonlSink, MemorySink, Telemetry};
-use concat::report::{render_attribution, render_model_metrics_table, render_telemetry_summary};
+use concat::report::{
+    render_attribution, render_harness_health, render_model_metrics_table, render_telemetry_summary,
+};
 use concat::tfm::ModelMetrics;
 use std::rc::Rc;
 use std::sync::Arc;
 
 fn main() {
+    // Hidden entry point: this binary re-executed as one process shard of
+    // the isolation section's campaign.
+    if std::env::args().nth(1).as_deref() == Some("shard-worker") {
+        std::process::exit(isolation_shard_worker());
+    }
     let switch = MutationSwitch::new();
     let bundle =
         SelfTestableBuilder::new(coblist_spec(), Rc::new(CObListFactory::new(switch.clone())))
@@ -127,4 +143,82 @@ fn main() {
     for line in log.render().lines().take(6) {
         println!("  {line}");
     }
+
+    // 9. Isolation modes: the identical campaign with shards as threads,
+    //    then as supervised child processes. Process shards survive
+    //    mutants that abort or spin without checkpoints; here (on a tame
+    //    subject) the point is parity — byte-identical verdicts — and the
+    //    supervision counters in the harness-health table.
+    let bundle = isolation_bundle();
+    let consumer = isolation_consumer();
+    let small = isolation_suite(&consumer, &bundle);
+    let in_thread = consumer
+        .clone()
+        .with_workers(2)
+        .evaluate_quality(&bundle, &small, &ISOLATION_TARGETS, &[])
+        .expect("sharded bundle");
+    let process_sink = Arc::new(MemorySink::new());
+    let in_process = consumer
+        .with_workers(2)
+        .with_telemetry(Telemetry::new(process_sink.clone()))
+        .with_isolation(IsolationMode::Process(ProcessIsolation::new([
+            "shard-worker",
+        ])))
+        .evaluate_quality(&bundle, &small, &ISOLATION_TARGETS, &[])
+        .expect("sharded bundle");
+    assert_eq!(
+        in_thread.results, in_process.results,
+        "verdicts are byte-identical across isolation modes"
+    );
+    println!(
+        "\nIsolation modes: {} mutants, thread and process shards agree verdict-for-verdict",
+        in_process.total()
+    );
+    println!(
+        "{}",
+        render_harness_health(
+            "Harness health (process-isolated campaign)",
+            &process_sink.summary()
+        )
+    );
+}
+
+/// The targets of the isolation-mode comparison campaign.
+const ISOLATION_TARGETS: [&str; 1] = ["FindMax"];
+
+/// The isolation section's bundle: `CSortableObList` with the sharding
+/// seam process isolation requires.
+fn isolation_bundle() -> SelfTestable {
+    let switch = MutationSwitch::new();
+    SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .mutation_shards(Arc::new(CSortableObListFactory::default()))
+    .build()
+}
+
+/// Everything fingerprint-relevant about the isolation campaign's
+/// consumer; the supervisor and every shard worker build it identically.
+fn isolation_consumer() -> Consumer {
+    Consumer::with_seed(2003)
+}
+
+/// The (deliberately small) killing suite of the isolation campaign.
+fn isolation_suite(consumer: &Consumer, bundle: &SelfTestable) -> TestSuite {
+    let suite = consumer.generate(bundle).expect("generation succeeds");
+    let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(40).collect();
+    suite.filtered(&ids)
+}
+
+/// The shard-worker half: rebuilds the identical campaign and runs the
+/// assigned mutant slice, streaming verdicts to the supervisor.
+fn isolation_shard_worker() -> i32 {
+    let bundle = isolation_bundle();
+    let consumer = isolation_consumer();
+    let small = isolation_suite(&consumer, &bundle);
+    consumer
+        .run_shard_worker(&bundle, &small, &ISOLATION_TARGETS, &[])
+        .expect("sharded bundle")
 }
