@@ -122,6 +122,8 @@ pub struct Consumer {
     workers: Option<usize>,
     journal: Option<PathBuf>,
     isolation: IsolationMode,
+    corpus: Option<PathBuf>,
+    incremental: bool,
 }
 
 impl Consumer {
@@ -134,6 +136,8 @@ impl Consumer {
             workers: None,
             journal: None,
             isolation: IsolationMode::InThread,
+            corpus: None,
+            incremental: false,
         }
     }
 
@@ -146,6 +150,8 @@ impl Consumer {
             workers: None,
             journal: None,
             isolation: IsolationMode::InThread,
+            corpus: None,
+            incremental: false,
         }
     }
 
@@ -232,6 +238,44 @@ impl Consumer {
     /// The isolation mode quality evaluation will use.
     pub fn isolation(&self) -> &IsolationMode {
         &self.isolation
+    }
+
+    /// Attaches a persistent cross-campaign corpus at `dir` (a
+    /// [`concat_runtime::CorpusStore`] directory, created on first use).
+    /// During [`Consumer::amplify_quality`], previously deposited killer
+    /// cases for the same class are replayed as round-1 candidates ahead
+    /// of synthesized ones (`corpus.seeded`), and the kept killers of
+    /// this run are deposited back, content-addressed and stamped with
+    /// the campaign fingerprint (`corpus.deposited`). No corpus — and no
+    /// extra I/O — by default.
+    pub fn with_corpus(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus = Some(dir.into());
+        self
+    }
+
+    /// The corpus directory amplification will seed from, if any.
+    pub fn corpus(&self) -> Option<&Path> {
+        self.corpus.as_deref()
+    }
+
+    /// Enables incremental change-aware analysis for journaled quality
+    /// evaluation: the journal carries per-method sub-fingerprints
+    /// alongside the campaign header, so when the campaign changes, the
+    /// verdicts of methods whose sub-fingerprint is unchanged are
+    /// salvaged (`mutation.incremental_rebuild`) and only the changed
+    /// methods' mutants re-execute — with results byte-identical to a
+    /// cold run for every worker count and isolation mode. A warm re-run
+    /// of an unchanged campaign replays every verdict and executes no
+    /// mutants, exactly like plain resume. Off by default (and a no-op
+    /// without [`Consumer::with_journal`]).
+    pub fn incremental(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
+
+    /// True when incremental change-aware analysis is enabled.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
     }
 
     /// The telemetry handle this consumer propagates.
@@ -418,27 +462,69 @@ impl Consumer {
         let spec = component.spec();
         let base = self.config;
         let needs_provider = spec_uses_provider(spec);
+        // Corpus seed tier: killer cases deposited by earlier campaigns
+        // on this class replay as round-1 candidates ahead of synthesis.
+        let corpus_payloads: Vec<String> = match &self.corpus {
+            Some(dir) => match concat_runtime::CorpusStore::open(dir) {
+                Ok(store) => store.load(&spec.class_name).payloads,
+                Err(_) => {
+                    self.telemetry.incr("harden.degraded");
+                    Vec::new()
+                }
+            },
+            None => Vec::new(),
+        };
+        let telemetry = self.telemetry.clone();
         let mut synth = |existing: &TestSuite,
                          features: &[String],
                          round: usize,
                          max: usize|
          -> Result<TestSuite, GenerateError> {
+            let seeded = if round == 1 && !corpus_payloads.is_empty() {
+                let replay =
+                    concat_driver::corpus_candidates(existing, &corpus_payloads, features, max);
+                if !replay.suite.cases.is_empty() {
+                    telemetry.incr_by("corpus.seeded", replay.suite.len() as u64);
+                }
+                Some(replay.suite)
+            } else {
+                None
+            };
+            // Synthesis dedups and renumbers against existing + corpus
+            // candidates, so the two tiers never collide.
+            let (existing, remaining) = match &seeded {
+                Some(corpus_suite) => {
+                    let mut merged = existing.clone();
+                    merged.cases.extend(corpus_suite.cases.iter().cloned());
+                    (merged, max.saturating_sub(corpus_suite.len()))
+                }
+                None => (existing.clone(), max),
+            };
             let synthesis = concat_driver::synthesize_candidates(
                 spec,
                 base,
-                existing,
+                &existing,
                 features,
                 round,
-                max,
+                remaining,
                 |inputs| {
                     if needs_provider {
                         concat_components_provider_shim(inputs);
                     }
                 },
             )?;
-            Ok(synthesis.suite)
+            Ok(match seeded {
+                Some(mut corpus_suite) => {
+                    corpus_suite
+                        .cases
+                        .extend(synthesis.suite.cases.iter().cloned());
+                    corpus_suite.stats.cases = corpus_suite.cases.len();
+                    corpus_suite
+                }
+                None => synthesis.suite,
+            })
         };
-        Ok(match component.shards() {
+        let outcome = match component.shards() {
             Some(shards) => {
                 amplify_suite_parallel(shards, suite, &mutants, &config, amplify, &mut synth)?
             }
@@ -451,7 +537,49 @@ impl Consumer {
                 amplify,
                 &mut synth,
             )?,
-        })
+        };
+        // Deposit this run's kept killers back into the corpus, stamped
+        // with the campaign fingerprint as provenance. Best-effort: a
+        // failed deposit degrades, never aborts a finished amplification.
+        if let Some(dir) = &self.corpus {
+            let kept = &outcome.suite.cases[suite.cases.len()..];
+            if !kept.is_empty() {
+                match concat_runtime::CorpusStore::open(dir) {
+                    Ok(mut store) => {
+                        let fingerprint = concat_mutation::campaign_fingerprint(
+                            &spec.class_name,
+                            suite,
+                            &mutants,
+                            &config,
+                        );
+                        for case in kept {
+                            // The case id is an artifact of this run's
+                            // renumbering; normalize it so behaviourally
+                            // identical killers content-hash identically.
+                            let mut case = case.clone();
+                            case.id = 0;
+                            let one = TestSuite {
+                                class_name: outcome.suite.class_name.clone(),
+                                seed: outcome.suite.seed,
+                                cases: vec![case],
+                                stats: concat_driver::SuiteStats {
+                                    cases: 1,
+                                    ..outcome.suite.stats
+                                },
+                            };
+                            let payload = concat_driver::save_suite(&one);
+                            match store.deposit(&spec.class_name, fingerprint, &payload) {
+                                Ok(true) => self.telemetry.incr("corpus.deposited"),
+                                Ok(false) => {}
+                                Err(_) => self.telemetry.incr("harden.degraded"),
+                            }
+                        }
+                    }
+                    Err(_) => self.telemetry.incr("harden.degraded"),
+                }
+            }
+        }
+        Ok(outcome)
     }
 
     /// Builds the analysis configuration shared by quality evaluation and
@@ -481,6 +609,7 @@ impl Consumer {
             workers: self.workers(),
             journal_path: self.journal.clone(),
             isolation: self.isolation.clone(),
+            incremental: self.incremental,
             ..MutationConfig::default()
         })
     }
@@ -781,6 +910,53 @@ mod tests {
             .unwrap();
         assert_eq!(again.run.results, outcome.run.results);
         assert_eq!(again.rounds, outcome.rounds);
+    }
+
+    #[test]
+    fn corpus_amplification_deposits_and_reseeds_killers() {
+        use concat_obs::{MemorySink, Summary, Telemetry};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join("concat-core-corpus");
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = dir.join("corpus");
+        let amplify = AmplifyConfig {
+            max_rounds: 2,
+            max_candidates_per_round: 24,
+            ..AmplifyConfig::default()
+        };
+        let run = |seed| {
+            let sink = Arc::new(MemorySink::new());
+            let consumer = Consumer::with_seed(seed)
+                .with_corpus(&corpus)
+                .with_telemetry(Telemetry::new(sink.clone()));
+            assert_eq!(consumer.corpus(), Some(corpus.as_path()));
+            let bundle = sortable_bundle();
+            let suite = consumer.generate(&bundle).unwrap();
+            let ids: Vec<usize> = suite.cases.iter().map(|c| c.id).take(8).collect();
+            let small = suite.filtered(&ids);
+            let outcome = consumer
+                .amplify_quality(&bundle, &small, &["FindMax"], &[4242], &amplify)
+                .unwrap();
+            (outcome, Summary::from_events(&sink.events()))
+        };
+        let (first, stats) = run(3);
+        assert!(first.total_kept() > 0, "fixture must amplify");
+        assert!(
+            stats.counters.get("corpus.deposited").copied().unwrap_or(0) >= 1,
+            "kept killers are deposited: {:?}",
+            stats.counters
+        );
+        // A second campaign over the same thin base replays the deposited
+        // killers as round-1 candidates and lands on at least as good a
+        // score without having to resynthesize them.
+        let (second, stats) = run(3);
+        assert!(
+            stats.counters.get("corpus.seeded").copied().unwrap_or(0) >= 1,
+            "corpus cases seed the next campaign: {:?}",
+            stats.counters
+        );
+        assert!(second.final_score() >= first.final_score());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

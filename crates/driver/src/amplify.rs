@@ -151,6 +151,72 @@ pub fn synthesize_candidates(
     })
 }
 
+/// The outcome of replaying persisted corpus cases as amplification
+/// candidates (see [`corpus_candidates`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusReplay {
+    /// Deduplicated feature-touching candidate cases, ids numbered after
+    /// the existing suite's largest id.
+    pub suite: TestSuite,
+    /// Payloads that did not parse as a persisted suite (skipped, never
+    /// fatal: a corpus survives format drift by losing entries, not by
+    /// failing the campaign).
+    pub rejected: usize,
+}
+
+/// Replays corpus payloads — each the [`crate::save_suite`] text of a
+/// previously deposited killer case — as amplification candidates for
+/// the surviving `features`. Cases that cannot reach a surviving feature
+/// are dropped, duplicates of existing or earlier corpus cases are
+/// removed, and ids are renumbered to continue after the existing suite,
+/// mirroring [`synthesize_candidates`]. Deterministic: payload order is
+/// the corpus's deposit order.
+pub fn corpus_candidates(
+    existing: &TestSuite,
+    payloads: &[String],
+    features: &[String],
+    max_candidates: usize,
+) -> CorpusReplay {
+    let mut seen: BTreeSet<String> = existing.iter().map(signature).collect();
+    let mut next_id = existing.iter().map(|c| c.id + 1).max().unwrap_or(0);
+    let mut cases = Vec::new();
+    let mut rejected = 0usize;
+    for payload in payloads {
+        let Ok(stored) = crate::persist::load_suite(payload) else {
+            rejected += 1;
+            continue;
+        };
+        for case in &stored {
+            if cases.len() >= max_candidates {
+                break;
+            }
+            let touches_feature = case
+                .method_names()
+                .iter()
+                .any(|m| features.iter().any(|f| f == m));
+            if !touches_feature || !seen.insert(signature(case)) {
+                continue;
+            }
+            let mut candidate = case.clone();
+            candidate.id = next_id;
+            next_id += 1;
+            cases.push(candidate);
+        }
+    }
+    let mut stats = existing.stats;
+    stats.cases = cases.len();
+    stats.manual_args = cases.iter().filter(|c| c.needs_manual_completion()).count();
+    CorpusReplay {
+        suite: TestSuite {
+            class_name: existing.class_name.clone(),
+            seed: existing.seed,
+            cases,
+            stats,
+        },
+        rejected,
+    }
+}
+
 /// Indices (in the widened enumeration of `config`) of the longest
 /// transactions that traverse at least one of `features`, capped at
 /// [`DEEPER_TRANSACTIONS`]; returned in ascending index order.
@@ -329,6 +395,41 @@ mod tests {
         )
         .unwrap();
         assert!(second.suite.cases.is_empty(), "{:?}", second.suite.cases);
+    }
+
+    #[test]
+    fn corpus_candidates_filter_dedup_and_renumber() {
+        let existing = base_suite();
+        let next_id = existing.cases.iter().map(|c| c.id + 1).max().unwrap();
+        // A deposited killer case is the save_suite text of a one-case
+        // suite; replay one that touches the feature, one that doesn't,
+        // one duplicate of an existing case, and one garbage payload.
+        let one_case = |case: &TestCase| {
+            let mut suite = existing.clone();
+            suite.cases = vec![case.clone()];
+            suite.stats.cases = 1;
+            crate::persist::save_suite(&suite)
+        };
+        let touching = existing
+            .iter()
+            .find(|c| c.method_names().contains(&"Add"))
+            .unwrap();
+        let mut fresh = touching.clone();
+        fresh.calls[0].args = vec![concat_runtime::Value::Int(8)];
+        let payloads = vec![
+            one_case(&fresh),
+            one_case(touching),
+            "not a suite\n".to_owned(),
+        ];
+        let replay = corpus_candidates(&existing, &payloads, &["Add".to_owned()], 64);
+        assert_eq!(replay.rejected, 1);
+        assert_eq!(replay.suite.len(), 1, "duplicate of existing dropped");
+        assert_eq!(replay.suite.cases[0].id, next_id);
+        assert!(replay.suite.cases[0].method_names().contains(&"Add"));
+        // A feature no corpus case touches yields nothing.
+        let replay = corpus_candidates(&existing, &payloads, &["Nope".to_owned()], 64);
+        assert!(replay.suite.cases.is_empty());
+        assert_eq!(replay.rejected, 1);
     }
 
     #[test]

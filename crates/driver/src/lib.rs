@@ -68,7 +68,7 @@ mod runner;
 mod selection;
 mod testcase;
 
-pub use amplify::{synthesize_candidates, CandidateSynthesis};
+pub use amplify::{corpus_candidates, synthesize_candidates, CandidateSynthesis, CorpusReplay};
 pub use coverage::CoverageMatrix;
 pub use generator::{DriverGenerator, Expansion, GenerateError, GeneratorConfig};
 pub use history::{

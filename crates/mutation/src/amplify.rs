@@ -24,11 +24,12 @@ use crate::analysis::{
 };
 use crate::enumerate::Mutant;
 use crate::fault::{ClonableFactory, MutationSwitch};
+use crate::journal::campaign_fingerprint;
 use concat_bit::ComponentFactory;
 use concat_driver::{GenerateError, TestSuite};
 use concat_obs::Telemetry;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Budget and targets of one amplification loop.
@@ -122,6 +123,13 @@ enum Exec<'a> {
 }
 
 impl Exec<'_> {
+    fn class_name(&self) -> &str {
+        match self {
+            Exec::Sequential { factory, .. } => factory.class_name(),
+            Exec::Parallel { shards } => shards.class_name(),
+        }
+    }
+
     fn run(&self, suite: &TestSuite, mutants: &[Mutant], config: &MutationConfig) -> MutationRun {
         match self {
             Exec::Sequential { factory, switch } => {
@@ -191,8 +199,17 @@ pub fn amplify_suite_parallel(
 /// resumed campaigns replay each round independently.
 /// The mini-campaign's config for one amplification round. `telemetry`
 /// is the round-scoped handle, so the mini-run's `mutation` span nests
-/// under the `amplify.round` span in the flight recorder.
-fn round_config(config: &MutationConfig, round: usize, telemetry: &Telemetry) -> MutationConfig {
+/// under the `amplify.round` span in the flight recorder. `lineage` is
+/// the parent campaign's fingerprint: folded into the round journal's
+/// own fingerprint, it binds `<journal>.r<round>` to this campaign, so a
+/// stale round journal left at the same path by a *different* campaign
+/// is discarded instead of replayed.
+fn round_config(
+    config: &MutationConfig,
+    round: usize,
+    lineage: Option<u32>,
+    telemetry: &Telemetry,
+) -> MutationConfig {
     MutationConfig {
         probe_suites: Vec::new(),
         silence_panics: config.silence_panics,
@@ -208,6 +225,45 @@ fn round_config(config: &MutationConfig, round: usize, telemetry: &Telemetry) ->
         worker_restarts: config.worker_restarts,
         coverage_selection: config.coverage_selection,
         isolation: config.isolation.clone(),
+        incremental: false,
+        lineage,
+    }
+}
+
+/// Removes round journals (`<journal>.r<n>`, and their `.coverage`
+/// sidecars) numbered beyond the rounds this run executed, so leftovers
+/// from an earlier, longer amplification at the same path can't sit next
+/// to — and be mistaken for — the current rounds. Best-effort: each
+/// removal counts `amplify.pruned`, and I/O failures are ignored (a
+/// stale journal that survives pruning is still refused at resume time
+/// by its lineage-bound fingerprint).
+fn prune_stale_round_journals(journal: &Path, rounds_run: usize, telemetry: &Telemetry) {
+    let Some(base) = journal.file_name().and_then(|name| name.to_str()) else {
+        return;
+    };
+    let dir = match journal.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("{base}.r");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let digits = rest.strip_suffix(".coverage").unwrap_or(rest);
+        let Ok(round) = digits.parse::<usize>() else {
+            continue;
+        };
+        if round > rounds_run && std::fs::remove_file(entry.path()).is_ok() {
+            telemetry.incr("amplify.pruned");
+        }
     }
 }
 
@@ -246,6 +302,12 @@ fn amplify_with(
 ) -> Result<AmplifyOutcome, GenerateError> {
     let telemetry = config.telemetry.clone();
     let started = Instant::now();
+    // The parent campaign's fingerprint, folded into each round journal's
+    // fingerprint as lineage. Only needed when rounds are journaled.
+    let lineage = config
+        .journal_path
+        .is_some()
+        .then(|| campaign_fingerprint(exec.class_name(), suite, mutants, config));
     // Round 0: the plain campaign over the base suite (main journal).
     let mut run = exec.run(suite, mutants, config);
     let baseline_score = run.score();
@@ -310,7 +372,7 @@ fn amplify_with(
         let mini = exec.run(
             &candidates,
             &alive_mutants,
-            &round_config(config, round, &telemetry.at(round_span.id())),
+            &round_config(config, round, lineage, &telemetry.at(round_span.id())),
         );
 
         let mut killer_ids: BTreeSet<usize> = BTreeSet::new();
@@ -348,6 +410,13 @@ fn amplify_with(
         );
         amplified.cases.extend(kept.cases);
         amplified.stats.cases = amplified.cases.len();
+    }
+
+    // A previous, longer amplification at this journal path may have left
+    // `.r<n>` journals beyond the rounds just run; drop them so they can't
+    // be mistaken for live state.
+    if let Some(path) = &config.journal_path {
+        prune_stale_round_journals(path, rounds.len(), &telemetry);
     }
 
     Ok(AmplifyOutcome {

@@ -314,6 +314,25 @@ pub struct MutationConfig {
     /// and journals interchange freely. The sequential entry point
     /// ignores it.
     pub isolation: IsolationMode,
+    /// Incremental (change-aware) resume. When set together with
+    /// `journal_path`, the journal additionally records one `feature`
+    /// line per mutated method (its sub-fingerprint and mutant ids; see
+    /// [`crate::method_fingerprints`]), and a journal whose campaign
+    /// fingerprint no longer matches is *salvaged* method by method
+    /// instead of discarded: methods whose sub-fingerprint is unchanged
+    /// keep their verdicts (remapped onto the shifted ids), and only the
+    /// changed methods' mutants re-execute. The flag itself is excluded
+    /// from the campaign fingerprint — verdicts are identical either way,
+    /// so incremental and plain runs share journals freely. `false` by
+    /// default.
+    pub incremental: bool,
+    /// Fingerprint of the parent campaign, for derived journals: the
+    /// amplifier stamps each round journal (`<journal>.r<round>`) with
+    /// the parent campaign's fingerprint so a stale round journal left at
+    /// the same path by a *different* campaign can never replay into this
+    /// one. Folded into [`crate::campaign_fingerprint`] when set. `None`
+    /// (default) for top-level campaigns.
+    pub lineage: Option<u32>,
 }
 
 impl Default for MutationConfig {
@@ -330,6 +349,8 @@ impl Default for MutationConfig {
             worker_restarts: 4,
             coverage_selection: true,
             isolation: IsolationMode::InThread,
+            incremental: false,
+            lineage: None,
         }
     }
 }
@@ -350,6 +371,8 @@ impl fmt::Debug for MutationConfig {
             .field("worker_restarts", &self.worker_restarts)
             .field("coverage_selection", &self.coverage_selection)
             .field("isolation", &self.isolation)
+            .field("incremental", &self.incremental)
+            .field("lineage", &self.lineage)
             .finish()
     }
 }
@@ -854,21 +877,78 @@ pub(crate) fn run_golden(
 }
 
 /// Persists the golden run's coverage matrix next to the campaign
-/// journal (`<journal>.coverage`), atomically. Like every other
-/// durability consumer, a write failure degrades (counted under
-/// `harden.degraded`) instead of aborting the campaign.
+/// journal (`<journal>.coverage`), atomically, stamped with the campaign
+/// fingerprint (`campaign <fp>` first line) so a stale sidecar left by a
+/// previous campaign at the same path is detectable — see
+/// [`load_campaign_coverage`]. Like every other durability consumer, a
+/// write failure degrades instead of aborting the campaign — but loudly:
+/// `harden.degraded` plus a dedicated `coverage.write_failed` counter
+/// (surfaced in the harness-health table), and a `coverage.write_failed`
+/// span naming the path and error in the flight recorder, so a silently
+/// missing `.coverage` file can't masquerade as a healthy run.
 pub(crate) fn persist_coverage(
     config: &MutationConfig,
     baseline: &GoldenBaseline,
+    fingerprint: Option<u32>,
     telemetry: &Telemetry,
 ) {
     let Some(path) = &config.journal_path else {
         return;
     };
     let coverage_path = PathBuf::from(format!("{}.coverage", path.display()));
-    if write_atomic(&coverage_path, baseline.coverage.to_text().as_bytes()).is_err() {
+    let mut text = match fingerprint {
+        Some(fp) => format!("campaign {fp:08x}\n"),
+        None => String::new(),
+    };
+    text.push_str(&baseline.coverage.to_text());
+    if let Err(error) = write_atomic(&coverage_path, text.as_bytes()) {
         telemetry.incr("harden.degraded");
+        telemetry.incr("coverage.write_failed");
+        telemetry
+            .span_with("coverage.write_failed", || {
+                format!("{}: {error}", coverage_path.display())
+            })
+            .finish();
     }
+}
+
+/// Loads a coverage sidecar persisted by a journaled campaign, validating
+/// its provenance: the file's `campaign <fp>` stamp must match
+/// `fingerprint`. A stamp mismatch — a stale sidecar left by a different
+/// campaign at the same path — is refused rather than returned, and an
+/// unstamped file (written before provenance stamping) is likewise
+/// refused, so callers never mistake another campaign's matrix for this
+/// one's.
+///
+/// # Errors
+///
+/// `Err` with a human-readable reason on read failure, a missing or
+/// mismatched stamp, or a malformed matrix body.
+pub fn load_campaign_coverage(
+    path: impl AsRef<std::path::Path>,
+    fingerprint: u32,
+) -> Result<CoverageMatrix, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    let Some((first, body)) = text.split_once('\n') else {
+        return Err(format!("{}: empty coverage sidecar", path.display()));
+    };
+    let Some(stamp) = first.strip_prefix("campaign ") else {
+        return Err(format!(
+            "{}: missing `campaign <fingerprint>` stamp",
+            path.display()
+        ));
+    };
+    let stamped = u32::from_str_radix(stamp, 16)
+        .map_err(|_| format!("{}: malformed fingerprint stamp {stamp:?}", path.display()))?;
+    if stamped != fingerprint {
+        return Err(format!(
+            "{}: stale coverage sidecar (stamped {stamped:08x}, campaign is {fingerprint:08x})",
+            path.display()
+        ));
+    }
+    CoverageMatrix::from_text(body).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Emits the per-status counters for one classified mutant.
@@ -938,6 +1018,10 @@ pub(crate) fn finish_run(
 /// authoritative, exactly like the other retry-then-degrade consumers).
 pub(crate) struct JournalState {
     inner: Option<CampaignJournal>,
+    /// The campaign fingerprint, computed whenever a journal path is
+    /// configured (even if opening it later degraded) — the provenance
+    /// stamp for the coverage sidecar and derived round journals.
+    fingerprint: Option<u32>,
     telemetry: Telemetry,
 }
 
@@ -956,6 +1040,7 @@ impl JournalState {
             return (
                 JournalState {
                     inner: None,
+                    fingerprint: None,
                     telemetry,
                 },
                 Vec::new(),
@@ -963,12 +1048,25 @@ impl JournalState {
         };
         let open_span = telemetry.span("journal", "open");
         let fingerprint = campaign_fingerprint(class_name, suite, mutants, config);
-        let resumed = CampaignJournal::resume(path, fingerprint, mutants.len());
+        let resumed = if config.incremental {
+            let features = crate::journal::method_fingerprints(class_name, suite, mutants, config);
+            CampaignJournal::resume_incremental(path, fingerprint, &features, mutants.len()).map(
+                |resume| {
+                    if resume.rebuilt {
+                        telemetry.incr("mutation.incremental_rebuild");
+                    }
+                    (resume.journal, resume.replayed)
+                },
+            )
+        } else {
+            CampaignJournal::resume(path, fingerprint, mutants.len())
+        };
         open_span.finish();
         match resumed {
             Ok((journal, replayed)) => (
                 JournalState {
                     inner: Some(journal),
+                    fingerprint: Some(fingerprint),
                     telemetry,
                 },
                 replayed,
@@ -978,12 +1076,19 @@ impl JournalState {
                 (
                     JournalState {
                         inner: None,
+                        fingerprint: Some(fingerprint),
                         telemetry,
                     },
                     Vec::new(),
                 )
             }
         }
+    }
+
+    /// The campaign fingerprint (`Some` whenever a journal path was
+    /// configured).
+    pub(crate) fn fingerprint(&self) -> Option<u32> {
+        self.fingerprint
     }
 
     /// Write-ahead append of one verdict; called by the supervisor before
@@ -1128,7 +1233,7 @@ pub fn run_mutation_analysis(
     switch.set_cancel_token(runner.cancel_token().clone());
     switch.disarm();
     let baseline = run_golden(&runner, factory, suite, mutants, config, telemetry);
-    persist_coverage(config, &baseline, telemetry);
+    persist_coverage(config, &baseline, journal.fingerprint(), telemetry);
     let (mut slots, done) = replay_slots(mutants, replayed, telemetry);
     let engine = Engine::new(suite, mutants, config, &baseline, done);
     // Crash containment without a replacement harness: the caller owns
@@ -1240,7 +1345,7 @@ pub fn run_mutation_analysis_parallel(
         telemetry,
     );
     golden_switch.clear_cancel_token();
-    persist_coverage(config, &baseline, telemetry);
+    persist_coverage(config, &baseline, journal.fingerprint(), telemetry);
 
     // The gauge reflects the configured pool for the whole campaign (not
     // the post-replay remainder), so a resumed run renders the same

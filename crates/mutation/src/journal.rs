@@ -28,8 +28,9 @@
 
 use crate::analysis::{KillReason, MutantStatus, MutationConfig, QuarantineReason};
 use crate::enumerate::Mutant;
-use concat_driver::TestSuite;
+use concat_driver::{CoverageMatrix, TestSuite};
 use concat_runtime::{crc32, recover_journal, Journal};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -70,11 +71,147 @@ pub fn campaign_fingerprint(
     for mutant in mutants {
         let _ = writeln!(text, "mutant {mutant}");
     }
+    if let Some(lineage) = config.lineage {
+        let _ = writeln!(text, "lineage {lineage:08x}");
+    }
     crc32(text.as_bytes())
 }
 
 fn header(fingerprint: u32) -> String {
     format!("campaign {fingerprint:08x}")
+}
+
+/// One feature's share of the campaign: the mutated method, the
+/// sub-fingerprint of everything that determines *its* mutants' verdicts,
+/// and the campaign-global ids of those mutants (in enumeration order).
+///
+/// Incremental resume compares sub-fingerprints method by method: a
+/// method whose sub-fingerprint is unchanged keeps its verdicts (remapped
+/// positionally onto the new ids, which shift when an earlier method's
+/// mutant inventory grows or shrinks); a changed method re-executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureFingerprint {
+    /// The mutated interface method.
+    pub method: String,
+    /// CRC-32 over the method's mutants (id-free), its covering cases
+    /// from the killing and probe suites, and the verdict-relevant
+    /// configuration.
+    pub fingerprint: u32,
+    /// Campaign-global mutant ids belonging to this method, in order.
+    pub mutant_ids: Vec<usize>,
+}
+
+/// Computes the per-method sub-fingerprints of a campaign (see
+/// [`FeatureFingerprint`]). A method's sub-fingerprint covers exactly
+/// what can change its mutants' verdicts: the method's own mutant list
+/// (rendered without campaign-global ids, which are an artifact of
+/// enumeration order), the cases that statically cover the method in the
+/// killing suite and in each probe suite (the coverage contract says no
+/// other case can arm its mutants), and the verdict-relevant
+/// configuration. Suite seeds and campaign-global structure are
+/// deliberately excluded so an unrelated method's change never
+/// invalidates this one.
+pub fn method_fingerprints(
+    class_name: &str,
+    suite: &TestSuite,
+    mutants: &[Mutant],
+    config: &MutationConfig,
+) -> Vec<FeatureFingerprint> {
+    let coverage = CoverageMatrix::from_suite(suite);
+    let probe_coverage: Vec<CoverageMatrix> = config
+        .probe_suites
+        .iter()
+        .map(CoverageMatrix::from_suite)
+        .collect();
+    // Group mutants by method, keeping first-appearance order; each
+    // entry is `(global id, id-free rendering)` — ids are an artifact of
+    // enumeration order and must not influence the sub-fingerprint.
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_method: BTreeMap<&str, Vec<(usize, String)>> = BTreeMap::new();
+    for mutant in mutants {
+        let method = mutant.method();
+        if !by_method.contains_key(method) {
+            order.push(method);
+        }
+        by_method
+            .entry(method)
+            .or_default()
+            .push((mutant.id, format!("[{}] {}", mutant.operator, mutant.plan)));
+    }
+    order
+        .into_iter()
+        .map(|method| {
+            let mut text = String::new();
+            let _ = writeln!(text, "class {class_name}");
+            let _ = writeln!(text, "method {method}");
+            let covering: BTreeSet<usize> = coverage.cases_covering(method).into_iter().collect();
+            for case in suite.cases.iter().filter(|c| covering.contains(&c.id)) {
+                let _ = writeln!(text, "case {case:?}");
+            }
+            for (index, probe) in config.probe_suites.iter().enumerate() {
+                let _ = writeln!(text, "probe {index}");
+                let covering: BTreeSet<usize> = probe_coverage[index]
+                    .cases_covering(method)
+                    .into_iter()
+                    .collect();
+                for case in probe.cases.iter().filter(|c| covering.contains(&c.id)) {
+                    let _ = writeln!(text, "probe-case {case:?}");
+                }
+            }
+            let _ = writeln!(text, "bit {}", config.bit_enabled);
+            let _ = writeln!(
+                text,
+                "crash_threshold {:?}",
+                config.crash_quarantine_threshold
+            );
+            let _ = writeln!(text, "budget {:?}", config.budget);
+            if let Some(lineage) = config.lineage {
+                let _ = writeln!(text, "lineage {lineage:08x}");
+            }
+            let entries = by_method.get(method).cloned().unwrap_or_default();
+            for (_, rendered) in &entries {
+                let _ = writeln!(text, "mutant {rendered}");
+            }
+            let mutant_ids = entries.into_iter().map(|(id, _)| id).collect();
+            FeatureFingerprint {
+                method: method.to_owned(),
+                fingerprint: crc32(text.as_bytes()),
+                mutant_ids,
+            }
+        })
+        .collect()
+}
+
+/// Encodes one feature record for the journal:
+/// `feature <method> <sub-fingerprint> <mutant id…>`.
+pub fn encode_feature(feature: &FeatureFingerprint) -> String {
+    let mut record = format!("feature {} {:08x}", feature.method, feature.fingerprint);
+    for id in &feature.mutant_ids {
+        let _ = write!(record, " {id}");
+    }
+    record
+}
+
+/// Decodes a feature record; `None` for anything that is not one
+/// (verdict records, the header, foreign payloads).
+pub fn decode_feature(record: &str) -> Option<FeatureFingerprint> {
+    let mut parts = record.split(' ');
+    if parts.next()? != "feature" {
+        return None;
+    }
+    let method = parts.next()?;
+    if method.is_empty() {
+        return None;
+    }
+    let fingerprint = u32::from_str_radix(parts.next()?, 16).ok()?;
+    let mutant_ids = parts
+        .map(|p| p.parse().ok())
+        .collect::<Option<Vec<usize>>>()?;
+    Some(FeatureFingerprint {
+        method: method.to_owned(),
+        fingerprint,
+        mutant_ids,
+    })
 }
 
 /// Encodes one mutant verdict as a journal record payload.
@@ -156,6 +293,18 @@ pub struct CampaignJournal {
     journal: Journal,
 }
 
+/// What [`CampaignJournal::resume_incremental`] recovered.
+#[derive(Debug)]
+pub struct IncrementalResume {
+    /// The (re)opened journal, positioned for appends.
+    pub journal: CampaignJournal,
+    /// Verdicts recovered from the journal, in mutant-id order.
+    pub replayed: Vec<(usize, MutantStatus)>,
+    /// Whether a foreign journal was rebuilt by method-level salvage
+    /// (as opposed to a clean header match or a fresh start).
+    pub rebuilt: bool,
+}
+
 impl CampaignJournal {
     /// Opens the journal at `path`, repairing any torn/corrupt tail, and
     /// returns it together with the verdicts to replay.
@@ -187,6 +336,111 @@ impl CampaignJournal {
         journal.clear()?;
         journal.append(&expected)?;
         Ok((CampaignJournal { journal }, Vec::new()))
+    }
+
+    /// Opens the journal at `path` in *incremental* mode: like
+    /// [`CampaignJournal::resume`], but a journal from a *different*
+    /// campaign is salvaged method by method instead of discarded
+    /// wholesale.
+    ///
+    /// * Matching header: every verdict replays. If the stored feature
+    ///   records don't match the expected ones (e.g. the journal was
+    ///   written by a non-incremental run), the journal is rewritten in
+    ///   place with the features added so a future change can salvage.
+    /// * Mismatched header: the old journal's `feature` records are
+    ///   compared against `features`. A method whose sub-fingerprint and
+    ///   mutant count are unchanged keeps its verdicts, remapped
+    ///   positionally onto the new ids; everything else is dropped. The
+    ///   journal is rewritten as header + features + salvaged verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from recovery or the rewrite.
+    pub fn resume_incremental(
+        path: &Path,
+        fingerprint: u32,
+        features: &[FeatureFingerprint],
+        mutant_count: usize,
+    ) -> io::Result<IncrementalResume> {
+        let (mut journal, scan) = recover_journal(path)?;
+        let expected = header(fingerprint);
+        let feature_records: Vec<String> = features.iter().map(encode_feature).collect();
+        if scan.records.first() == Some(&expected) {
+            let stored: Vec<&String> = scan.records[1..]
+                .iter()
+                .filter(|r| r.starts_with("feature "))
+                .collect();
+            let replayed: Vec<(usize, MutantStatus)> = scan.records[1..]
+                .iter()
+                .filter_map(|record| decode_verdict(record))
+                .filter(|(id, _)| *id < mutant_count)
+                .collect();
+            if stored.len() != feature_records.len()
+                || stored.iter().zip(&feature_records).any(|(a, b)| *a != b)
+            {
+                journal.clear()?;
+                let mut batch = vec![expected];
+                batch.extend(feature_records);
+                batch.extend(
+                    replayed
+                        .iter()
+                        .map(|(id, status)| encode_verdict(*id, status)),
+                );
+                journal.append_all(&batch)?;
+            }
+            return Ok(IncrementalResume {
+                journal: CampaignJournal { journal },
+                replayed,
+                rebuilt: false,
+            });
+        }
+        // Foreign (or missing) journal: salvage unchanged features.
+        let mut old_features: BTreeMap<String, (u32, Vec<usize>)> = BTreeMap::new();
+        let mut old_verdicts: BTreeMap<usize, MutantStatus> = BTreeMap::new();
+        let had_campaign = matches!(scan.records.first(), Some(r) if r.starts_with("campaign "));
+        if had_campaign {
+            for record in &scan.records[1..] {
+                if let Some(feature) = decode_feature(record) {
+                    old_features
+                        .entry(feature.method)
+                        .or_insert((feature.fingerprint, feature.mutant_ids));
+                } else if let Some((id, status)) = decode_verdict(record) {
+                    old_verdicts.entry(id).or_insert(status);
+                }
+            }
+        }
+        let mut salvaged: Vec<(usize, MutantStatus)> = Vec::new();
+        for feature in features {
+            let Some((old_fp, old_ids)) = old_features.get(&feature.method) else {
+                continue;
+            };
+            if *old_fp != feature.fingerprint || old_ids.len() != feature.mutant_ids.len() {
+                continue;
+            }
+            for (&new_id, old_id) in feature.mutant_ids.iter().zip(old_ids) {
+                if new_id < mutant_count {
+                    if let Some(status) = old_verdicts.get(old_id) {
+                        salvaged.push((new_id, status.clone()));
+                    }
+                }
+            }
+        }
+        salvaged.sort_by_key(|(id, _)| *id);
+        journal.clear()?;
+        let mut batch = vec![expected];
+        batch.extend(feature_records);
+        batch.extend(
+            salvaged
+                .iter()
+                .map(|(id, status)| encode_verdict(*id, status)),
+        );
+        journal.append_all(&batch)?;
+        let rebuilt = had_campaign && !salvaged.is_empty();
+        Ok(IncrementalResume {
+            journal: CampaignJournal { journal },
+            replayed: salvaged,
+            rebuilt,
+        })
     }
 
     /// Durably appends one verdict; when this returns `Ok` the verdict
@@ -328,6 +582,219 @@ mod tests {
         assert!(replayed.is_empty());
         let (_journal, replayed) = CampaignJournal::resume(&path, 0x1234, 10).unwrap();
         assert!(replayed.is_empty(), "old campaign's verdicts are gone");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use crate::fault::{FaultPlan, Replacement};
+    use crate::operators::MutationOperator;
+    use concat_driver::{MethodCall, TestCase, TestSuite};
+
+    fn mutant(id: usize, method: &str, site: u32) -> Mutant {
+        Mutant {
+            id,
+            operator: MutationOperator::IndVarBitNeg,
+            plan: FaultPlan {
+                method: method.into(),
+                site,
+                replacement: Replacement::BitNeg,
+            },
+        }
+    }
+
+    fn case(id: usize, methods: &[&str]) -> TestCase {
+        TestCase {
+            id,
+            transaction_index: id,
+            node_path: Vec::new(),
+            constructor: MethodCall::generated("m0", "New", Vec::new()),
+            calls: methods
+                .iter()
+                .map(|m| MethodCall::generated("m1", *m, Vec::new()))
+                .collect(),
+        }
+    }
+
+    fn suite(cases: Vec<TestCase>) -> TestSuite {
+        let mut suite = TestSuite {
+            class_name: "Acc".into(),
+            seed: 7,
+            cases,
+            stats: Default::default(),
+        };
+        suite.stats.cases = suite.cases.len();
+        suite
+    }
+
+    #[test]
+    fn feature_records_round_trip_and_reject_malformed() {
+        let feature = FeatureFingerprint {
+            method: "Scale".into(),
+            fingerprint: 0xDEAD_BEEF,
+            mutant_ids: vec![0, 1, 5],
+        };
+        let record = encode_feature(&feature);
+        assert_eq!(record, "feature Scale deadbeef 0 1 5");
+        assert_eq!(decode_feature(&record), Some(feature));
+        for bad in [
+            "",
+            "feature",
+            "feature Scale",
+            "feature Scale nothex 1",
+            "feature Scale 00ff00ff one",
+            "verdict 1 survived",
+        ] {
+            assert_eq!(decode_feature(bad), None, "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn method_fingerprints_ignore_id_shifts_but_track_covering_cases() {
+        let config = MutationConfig::default();
+        let base = suite(vec![case(0, &["Scale"]), case(1, &["Bump"])]);
+        let mutants = vec![mutant(0, "Scale", 0), mutant(1, "Bump", 0)];
+        let features = method_fingerprints("Acc", &base, &mutants, &config);
+        assert_eq!(features.len(), 2);
+        assert_eq!(features[0].method, "Scale");
+        assert_eq!(features[0].mutant_ids, vec![0]);
+        assert_eq!(features[1].method, "Bump");
+        assert_eq!(features[1].mutant_ids, vec![1]);
+
+        // An extra Scale mutant shifts Bump's global id, but Bump's
+        // sub-fingerprint must not move.
+        let grown = vec![
+            mutant(0, "Scale", 0),
+            mutant(1, "Scale", 1),
+            mutant(2, "Bump", 0),
+        ];
+        let regrown = method_fingerprints("Acc", &base, &grown, &config);
+        assert_eq!(regrown[1].method, "Bump");
+        assert_eq!(regrown[1].mutant_ids, vec![2]);
+        assert_eq!(regrown[1].fingerprint, features[1].fingerprint);
+        assert_ne!(regrown[0].fingerprint, features[0].fingerprint);
+
+        // Changing a case that covers only Bump leaves Scale alone.
+        let retouched = suite(vec![case(0, &["Scale"]), case(1, &["Bump", "Bump"])]);
+        let touched = method_fingerprints("Acc", &retouched, &mutants, &config);
+        assert_eq!(touched[0].fingerprint, features[0].fingerprint);
+        assert_ne!(touched[1].fingerprint, features[1].fingerprint);
+    }
+
+    #[test]
+    fn resume_incremental_salvages_unchanged_methods_across_id_shifts() {
+        let dir = scratch("incremental-salvage");
+        let path = dir.join("campaign.journal");
+        let config = MutationConfig::default();
+        let base = suite(vec![case(0, &["Scale"]), case(1, &["Bump"])]);
+        let old_mutants = vec![mutant(0, "Scale", 0), mutant(1, "Bump", 0)];
+        let old_fp = campaign_fingerprint("Acc", &base, &old_mutants, &config);
+        let old_features = method_fingerprints("Acc", &base, &old_mutants, &config);
+
+        let IncrementalResume {
+            mut journal,
+            replayed,
+            rebuilt,
+        } = CampaignJournal::resume_incremental(&path, old_fp, &old_features, 2).unwrap();
+        assert!(replayed.is_empty());
+        assert!(!rebuilt);
+        journal
+            .record(
+                0,
+                &MutantStatus::Killed {
+                    reason: KillReason::Crash,
+                    by_case: 0,
+                },
+            )
+            .unwrap();
+        journal.record(1, &MutantStatus::Survived).unwrap();
+        drop(journal);
+
+        // Warm re-run of the identical campaign: pure replay, no rewrite.
+        let IncrementalResume {
+            replayed, rebuilt, ..
+        } = CampaignJournal::resume_incremental(&path, old_fp, &old_features, 2).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert!(!rebuilt);
+
+        // Scale grows a mutant: Bump's ids shift 1 -> 2 but its verdict
+        // must be salvaged; Scale's verdict is dropped.
+        let new_mutants = vec![
+            mutant(0, "Scale", 0),
+            mutant(1, "Scale", 1),
+            mutant(2, "Bump", 0),
+        ];
+        let new_fp = campaign_fingerprint("Acc", &base, &new_mutants, &config);
+        assert_ne!(new_fp, old_fp);
+        let new_features = method_fingerprints("Acc", &base, &new_mutants, &config);
+        let IncrementalResume {
+            replayed, rebuilt, ..
+        } = CampaignJournal::resume_incremental(&path, new_fp, &new_features, 3).unwrap();
+        assert_eq!(replayed, vec![(2, MutantStatus::Survived)]);
+        assert!(rebuilt);
+
+        // The rewritten journal replays cleanly as the new campaign.
+        let IncrementalResume {
+            replayed, rebuilt, ..
+        } = CampaignJournal::resume_incremental(&path, new_fp, &new_features, 3).unwrap();
+        assert_eq!(replayed, vec![(2, MutantStatus::Survived)]);
+        assert!(!rebuilt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_incremental_upgrades_a_plain_journal_in_place() {
+        let dir = scratch("incremental-upgrade");
+        let path = dir.join("campaign.journal");
+        let config = MutationConfig::default();
+        let base = suite(vec![case(0, &["Scale"])]);
+        let mutants = vec![mutant(0, "Scale", 0)];
+        let fp = campaign_fingerprint("Acc", &base, &mutants, &config);
+        let features = method_fingerprints("Acc", &base, &mutants, &config);
+
+        // A non-incremental run writes header + verdicts, no features.
+        let (mut journal, _) = CampaignJournal::resume(&path, fp, 1).unwrap();
+        journal.record(0, &MutantStatus::Survived).unwrap();
+        drop(journal);
+
+        let IncrementalResume {
+            replayed, rebuilt, ..
+        } = CampaignJournal::resume_incremental(&path, fp, &features, 1).unwrap();
+        assert_eq!(replayed, vec![(0, MutantStatus::Survived)]);
+        assert!(!rebuilt);
+
+        // The upgrade persisted: the plain resume path still replays (it
+        // skips feature records), and the feature records are now stored.
+        let (_journal, replayed) = CampaignJournal::resume(&path, fp, 1).unwrap();
+        assert_eq!(replayed, vec![(0, MutantStatus::Survived)]);
+        let (_, scan) = recover_journal(&path).unwrap();
+        assert!(scan.records.iter().any(|r| r.starts_with("feature Scale ")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_incremental_discards_changed_methods() {
+        let dir = scratch("incremental-discard");
+        let path = dir.join("campaign.journal");
+        let config = MutationConfig::default();
+        let base = suite(vec![case(0, &["Scale"]), case(1, &["Bump"])]);
+        let mutants = vec![mutant(0, "Scale", 0), mutant(1, "Bump", 0)];
+        let fp = campaign_fingerprint("Acc", &base, &mutants, &config);
+        let features = method_fingerprints("Acc", &base, &mutants, &config);
+        let IncrementalResume { mut journal, .. } =
+            CampaignJournal::resume_incremental(&path, fp, &features, 2).unwrap();
+        journal.record(0, &MutantStatus::Survived).unwrap();
+        journal.record(1, &MutantStatus::Survived).unwrap();
+        drop(journal);
+
+        // A new covering case for Bump changes its sub-fingerprint: only
+        // Scale's verdict survives the resume.
+        let touched = suite(vec![case(0, &["Scale"]), case(1, &["Bump", "Bump"])]);
+        let new_fp = campaign_fingerprint("Acc", &touched, &mutants, &config);
+        let new_features = method_fingerprints("Acc", &touched, &mutants, &config);
+        let IncrementalResume {
+            replayed, rebuilt, ..
+        } = CampaignJournal::resume_incremental(&path, new_fp, &new_features, 2).unwrap();
+        assert_eq!(replayed, vec![(0, MutantStatus::Survived)]);
+        assert!(rebuilt);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

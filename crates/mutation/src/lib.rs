@@ -73,13 +73,17 @@ pub use amplify::{
     amplify_suite, amplify_suite_parallel, AmplifyConfig, AmplifyOutcome, RoundReport,
 };
 pub use analysis::{
-    run_mutation_analysis, run_mutation_analysis_parallel, IsolationMode, KillReason, MutantResult,
-    MutantStatus, MutationConfig, MutationRun, ProcessIsolation, QuarantineReason,
+    load_campaign_coverage, run_mutation_analysis, run_mutation_analysis_parallel, IsolationMode,
+    KillReason, MutantResult, MutantStatus, MutationConfig, MutationRun, ProcessIsolation,
+    QuarantineReason,
 };
 pub use enumerate::{enumerate_mutants, expected_count, Mutant};
 pub use fault::{coerce_int, ClonableFactory, FaultPlan, MutationSwitch, Replacement, VarEnv};
 pub use inventory::{ClassInventory, MethodInventory, UseSite};
-pub use journal::{campaign_fingerprint, decode_verdict, encode_verdict, CampaignJournal};
+pub use journal::{
+    campaign_fingerprint, decode_feature, decode_verdict, encode_feature, encode_verdict,
+    method_fingerprints, CampaignJournal, FeatureFingerprint, IncrementalResume,
+};
 pub use matrix::{CellStats, MutationMatrix};
 pub use operators::{MutationOperator, ReqConst};
 pub use shard::{

@@ -312,7 +312,7 @@ pub(crate) fn run_process_shards(
         telemetry,
     );
     golden_switch.clear_cancel_token();
-    persist_coverage(config, &baseline, telemetry);
+    persist_coverage(config, &baseline, journal.fingerprint(), telemetry);
 
     let (mut slots, _) = replay_slots(mutants, replayed, telemetry);
     let unfinished: Vec<usize> = slots

@@ -582,6 +582,48 @@ fn journaled_process_campaign_replays_on_rerun() {
 }
 
 #[test]
+fn incremental_campaign_replays_across_isolation_modes() {
+    let _guard = process_lock();
+    let dir = std::env::temp_dir().join("concat-mutation-isolation-incremental");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("verdicts.journal");
+    let config = |telemetry: Telemetry, isolation: IsolationMode| MutationConfig {
+        workers: 2,
+        telemetry,
+        journal_path: Some(path.clone()),
+        incremental: true,
+        isolation,
+        ..calc_config()
+    };
+    // Cold under thread shards writes the feature-stamped journal. The
+    // campaign fingerprint deliberately excludes the isolation mode (and
+    // worker count): the verdicts are a property of the campaign, not of
+    // how it was scheduled.
+    let cold = run_calc(config(Telemetry::disabled(), IsolationMode::InThread));
+    // Warm under process shards: pure replay — byte-identical verdicts,
+    // no shard processes ever spawned.
+    let sink = Arc::new(MemorySink::new());
+    let warm = run_calc(config(
+        Telemetry::new(sink.clone()),
+        IsolationMode::Process(calc_isolation()),
+    ));
+    assert_eq!(warm.results, cold.results);
+    let summary = sink.summary();
+    assert_eq!(
+        summary.counters.get("mutation.replayed").copied(),
+        Some(cold.total() as u64),
+        "the process-mode rerun replays every thread-mode verdict"
+    );
+    assert_eq!(
+        sink.span_count("mutant"),
+        0,
+        "a pure replay executes no mutants and spawns no shard processes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn verdicts_round_trip_through_the_frame_protocol() {
     let statuses = [
         MutantStatus::Killed {

@@ -87,9 +87,13 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 16] = [
+const HARNESS_COUNTERS: [(&str, &str); 21] = [
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
+    (
+        "coverage.write_failed",
+        "coverage sidecar writes that failed (sidecar stale)",
+    ),
     ("mutation.quarantined", "mutants excluded from the score"),
     (
         "case.deadline_exceeded",
@@ -121,6 +125,10 @@ const HARNESS_COUNTERS: [(&str, &str); 16] = [
         "journal verdicts replayed on resume (#replayed)",
     ),
     (
+        "mutation.incremental_rebuild",
+        "journals salvaged method-by-method after a change",
+    ),
+    (
         "selection.skipped",
         "case executions skipped by coverage selection",
     ),
@@ -129,6 +137,12 @@ const HARNESS_COUNTERS: [(&str, &str); 16] = [
         "amplify.kills",
         "surviving mutants killed by amplified cases",
     ),
+    ("amplify.pruned", "stale round journals pruned"),
+    (
+        "corpus.seeded",
+        "amplification candidates seeded from the corpus",
+    ),
+    ("corpus.deposited", "killer cases deposited into the corpus"),
     ("obs.dropped", "telemetry events dropped by degraded sinks"),
     (
         "obs.retries",

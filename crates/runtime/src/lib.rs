@@ -48,6 +48,7 @@
 mod atomic_io;
 mod clock;
 mod component;
+mod corpus;
 mod error;
 mod frame;
 mod harden;
@@ -61,6 +62,7 @@ pub use atomic_io::{
 };
 pub use clock::monotonic_nanos;
 pub use component::{args, unknown_method, Component};
+pub use corpus::{CorpusEntry, CorpusLoad, CorpusStore};
 pub use error::{AssertionKind, AssertionViolation, InvokeResult, TestException};
 pub use frame::{encode_frame, FrameDecoder};
 pub use harden::{

@@ -20,14 +20,18 @@
 //! an uninterrupted run; CI's `resume` job SIGKILLs this mode mid-flight
 //! and diffs the reports.
 //!
-//! The campaign mode takes two optional flags: `--isolation
+//! The campaign mode takes three optional flags: `--isolation
 //! {thread,process}` selects how mutants are contained (process shards
 //! are self-execs of this binary via the hidden `shard-worker campaign`
-//! entry point, supervised with heartbeat liveness and respawn), and
-//! `--shards N` sets the worker/shard count. Verdicts and the report are
-//! byte-identical across both modes and every shard count; CI's
-//! `isolation` job SIGKILLs a process shard mid-run and `cmp`s the
-//! report against the in-thread golden.
+//! entry point, supervised with heartbeat liveness and respawn),
+//! `--shards N` sets the worker/shard count, and `--incremental` turns
+//! on change-aware resume (per-method sub-fingerprints in the journal;
+//! the warm run prints `replayed N of M verdicts` to stdout). Verdicts
+//! and the report are byte-identical across both modes and every shard
+//! count; CI's `isolation` job SIGKILLs a process shard mid-run and
+//! `cmp`s the report against the in-thread golden, and its
+//! `incremental` job runs the campaign twice warm and `cmp`s the
+//! reports.
 //!
 //! A third mode, `mutation_demo trace <trace.json> <report>`, runs the
 //! campaign with the flight recorder attached: the recorded span tree is
@@ -69,8 +73,8 @@ fn main() {
         std::process::exit(campaign_shard_worker());
     }
     if args.len() >= 4 && args[1] == "campaign" {
-        let (process, shards) = parse_campaign_flags(&args[4..]);
-        campaign_mode(&args[2], &args[3], process, shards);
+        let (process, shards, incremental) = parse_campaign_flags(&args[4..]);
+        campaign_mode(&args[2], &args[3], process, shards, incremental);
         return;
     }
     if args.len() == 4 && args[1] == "trace" {
@@ -81,9 +85,18 @@ fn main() {
         verdicts_mode(&args[2]);
         return;
     }
-    if (args.len() == 3 || args.len() == 4) && args[1] == "amplify" {
-        let workers = args.get(3).map(|w| w.parse().expect("workers is a number"));
-        amplify_mode(&args[2], workers);
+    if args.len() >= 3 && args[1] == "amplify" {
+        let mut workers = None;
+        let mut corpus = None;
+        let mut rest = args[3..].iter();
+        while let Some(arg) = rest.next() {
+            if arg == "--corpus" {
+                corpus = Some(rest.next().expect("--corpus takes a directory").clone());
+            } else {
+                workers = Some(arg.parse().expect("workers is a number"));
+            }
+        }
+        amplify_mode(&args[2], workers, corpus.as_deref());
         return;
     }
     let switch = MutationSwitch::new();
@@ -304,14 +317,22 @@ fn delay_bundle() -> SelfTestable {
 /// the survivors and re-executes only unfinished mutants; the report is
 /// written atomically at the end and must be byte-identical whether or
 /// not the campaign was interrupted.
-fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize) {
+fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize, incremental: bool) {
     // ~10 hanging mutants x one 300 ms deadline per reached case, over 2
     // workers: the uninterrupted campaign takes well over 5 s, so CI's
     // kill at 2 s lands mid-flight with verdicts already journaled.
     let bundle = delay_bundle();
+    let sink = Arc::new(MemorySink::new());
     let mut consumer = campaign_consumer()
         .with_workers(shards)
         .with_journal(journal);
+    if incremental {
+        // The replay count goes to stdout only; the report stays
+        // timing- and telemetry-free so warm and cold runs `cmp` equal.
+        consumer = consumer
+            .incremental()
+            .with_telemetry(Telemetry::new(sink.clone()));
+    }
     if process {
         consumer = consumer.with_isolation(IsolationMode::Process(ProcessIsolation::new([
             "shard-worker",
@@ -333,6 +354,15 @@ fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize) {
         summarize_run(&run)
     );
     concat::runtime::write_atomic(report, text.as_bytes()).expect("report written atomically");
+    if incremental {
+        let summary = sink.summary();
+        let replayed = summary
+            .counters
+            .get("mutation.replayed")
+            .copied()
+            .unwrap_or(0);
+        println!("replayed {replayed} of {} verdicts", run.total());
+    }
     println!(
         "campaign complete in {:?}: {}",
         started.elapsed(),
@@ -352,12 +382,14 @@ fn campaign_consumer() -> Consumer {
         .with_budget(Budget::unlimited().with_deadline(Duration::from_millis(300)))
 }
 
-/// Parses the campaign mode's optional `--isolation {thread,process}` and
-/// `--shards N` flags; defaults are thread isolation over 2 shards (the
-/// historical `campaign` behaviour).
-fn parse_campaign_flags(rest: &[String]) -> (bool, usize) {
+/// Parses the campaign mode's optional `--isolation {thread,process}`,
+/// `--shards N` and `--incremental` flags; defaults are thread isolation
+/// over 2 shards without incremental resume (the historical `campaign`
+/// behaviour).
+fn parse_campaign_flags(rest: &[String]) -> (bool, usize, bool) {
     let mut process = false;
     let mut shards = 2usize;
+    let mut incremental = false;
     let mut args = rest.iter();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -372,10 +404,11 @@ fn parse_campaign_flags(rest: &[String]) -> (bool, usize) {
                     .and_then(|n| n.parse().ok())
                     .expect("--shards takes a positive integer");
             }
+            "--incremental" => incremental = true,
             other => panic!("unknown campaign flag {other:?}"),
         }
     }
-    (process, shards.max(1))
+    (process, shards.max(1), incremental)
 }
 
 /// The shard-worker half of the process-isolated campaign: rebuilds the
@@ -479,14 +512,17 @@ fn verdicts_mode(report: &str) {
     );
 }
 
-/// The `amplify <report> [workers]` mode: mutation-driven test
-/// amplification on `CSortableObList`. A deliberately thin base suite
-/// leaves survivors; the loop synthesizes targeted candidates (boundary
-/// values, re-seeded draws, deeper TFM paths) and keeps the killers. The
-/// report (score table, amplification rounds, summary) is written
-/// atomically and contains no volatile counters, so CI `cmp`s it across
-/// worker counts and across seeded reruns.
-fn amplify_mode(report: &str, workers: Option<usize>) {
+/// The `amplify <report> [workers] [--corpus <dir>]` mode:
+/// mutation-driven test amplification on `CSortableObList`. A
+/// deliberately thin base suite leaves survivors; the loop synthesizes
+/// targeted candidates (boundary values, re-seeded draws, deeper TFM
+/// paths) and keeps the killers. With `--corpus`, killers deposited by a
+/// previous run replay as round-1 candidates before any synthesis, and
+/// this run's killers are deposited back. The report (score table,
+/// amplification rounds, summary) is written atomically and contains no
+/// volatile counters, so CI `cmp`s it across worker counts and across
+/// seeded reruns.
+fn amplify_mode(report: &str, workers: Option<usize>, corpus: Option<&str>) {
     let switch = MutationSwitch::new();
     let bundle = SelfTestableBuilder::new(
         sortable_spec(),
@@ -495,6 +531,7 @@ fn amplify_mode(report: &str, workers: Option<usize>) {
     .mutation(sortable_inventory(), switch)
     .mutation_shards(Arc::new(CSortableObListFactory::default()))
     .build();
+    let sink = Arc::new(MemorySink::new());
     let mut consumer = Consumer::with_config(concat::driver::GeneratorConfig {
         seed: 1999,
         expansion: concat::driver::Expansion::Covering { repeats: 1 },
@@ -502,6 +539,13 @@ fn amplify_mode(report: &str, workers: Option<usize>) {
     });
     if let Some(workers) = workers {
         consumer = consumer.with_workers(workers);
+    }
+    if let Some(dir) = corpus {
+        // Corpus accounting goes to stdout only, keeping the report
+        // comparable across runs that seed different amounts.
+        consumer = consumer
+            .with_corpus(dir)
+            .with_telemetry(Telemetry::new(sink.clone()));
     }
     let full = consumer.generate(&bundle).expect("generation succeeds");
     // A thin slice of the covering suite: weak enough to leave survivors.
@@ -539,6 +583,21 @@ fn amplify_mode(report: &str, workers: Option<usize>) {
         summarize_run(&outcome.run)
     );
     concat::runtime::write_atomic(report, text.as_bytes()).expect("report written atomically");
+    if corpus.is_some() {
+        let summary = sink.summary();
+        let seeded = summary.counters.get("corpus.seeded").copied().unwrap_or(0);
+        let deposited = summary
+            .counters
+            .get("corpus.deposited")
+            .copied()
+            .unwrap_or(0);
+        let examined: u64 = outcome.rounds.iter().map(|r| r.candidates as u64).sum();
+        println!(
+            "corpus: seeded {seeded} candidate(s), deposited {deposited} killer(s), \
+             synthesized {} candidate(s)",
+            examined.saturating_sub(seeded)
+        );
+    }
     println!(
         "amplification complete in {:?}: {} case(s) -> {} case(s), score {:.1}% -> {:.1}%",
         started.elapsed(),
