@@ -1,0 +1,180 @@
+//! The campaign-service throughput harness: drives the orchestrator
+//! fleet at sizes {2, 4}, first with a single campaign and then with
+//! three concurrent campaigns multiplexed over the same slots, and
+//! writes the measured throughput to `BENCH_9.json` at the workspace
+//! root — mutants/sec per leg, so the artifact shows what admitting
+//! neighbors costs (or saves, once the fleet has slots to spare).
+//!
+//! One invariant is asserted while measuring, so the artifact can only
+//! be produced by a healthy build: every orchestrated campaign's
+//! verdicts must be byte-identical to running the same campaign alone
+//! through the solo engine, at every fleet size and neighbor count.
+//!
+//! Run with: `cargo bench -p concat-bench --bench orchestrator`
+//!
+//! The harness is hand-rolled (offline build: no criterion, no serde);
+//! the JSON is assembled by string building.
+
+use concat_bench::{
+    coblist_bundle_sharded, sortable_bundle_sharded, PROBE_SEEDS, SEED, TABLE2_METHODS,
+    TABLE3_METHODS,
+};
+use concat_core::{Consumer, SelfTestable};
+use concat_mutation::{
+    CampaignEnd, CampaignRequest, MutationRun, Orchestrator, OrchestratorConfig,
+};
+use std::time::Instant;
+
+/// Fleet sizes the service is measured at.
+const FLEETS: [usize; 2] = [2, 4];
+
+/// Mutants per lease; small leases keep concurrent campaigns interleaved
+/// instead of draining one queue at a time.
+const LEASE_SIZE: usize = 4;
+
+/// Builds a fresh, submit-ready request for a named campaign.
+type Build = fn(&str) -> CampaignRequest;
+
+/// One orchestrated campaign: display name, request builder, and the
+/// solo-run golden its fleet verdicts must reproduce.
+type Job<'a> = (&'a str, Build, &'a MutationRun);
+
+/// One measured service leg.
+struct Leg {
+    fleet: usize,
+    campaigns: usize,
+    mutants: u64,
+    wall_nanos: u64,
+}
+
+impl Leg {
+    fn mutants_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.mutants as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+}
+
+fn sortable_request(name: &str) -> CampaignRequest {
+    let bundle = sortable_bundle_sharded();
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(&bundle).expect("sortable spec generates");
+    let mut request = consumer
+        .campaign_request(&bundle, &suite, &TABLE2_METHODS, &PROBE_SEEDS)
+        .expect("bundle carries mutation support and shards");
+    request.name = name.to_owned();
+    request
+}
+
+fn coblist_request(name: &str) -> CampaignRequest {
+    let bundle = coblist_bundle_sharded();
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(&bundle).expect("coblist spec generates");
+    let mut request = consumer
+        .campaign_request(&bundle, &suite, &TABLE3_METHODS, &PROBE_SEEDS)
+        .expect("bundle carries mutation support and shards");
+    request.name = name.to_owned();
+    request
+}
+
+/// The solo-engine golden the fleet must agree with verdict for verdict.
+fn solo_golden(build: fn() -> SelfTestable, methods: &[&str]) -> MutationRun {
+    let bundle = build();
+    let consumer = Consumer::with_seed(SEED);
+    let suite = consumer.generate(&bundle).expect("spec generates");
+    consumer
+        .evaluate_quality(&bundle, &suite, methods, &PROBE_SEEDS)
+        .expect("bundle carries mutation support")
+}
+
+/// Starts a fleet, submits every job, waits for completion, and returns
+/// the leg's wall-clock. Request construction (suite generation, mutant
+/// enumeration) happens before the clock starts — the leg measures the
+/// service, not the generator.
+fn run_fleet(fleet: usize, jobs: &[Job<'_>]) -> Leg {
+    let requests: Vec<CampaignRequest> = jobs.iter().map(|(name, build, _)| build(name)).collect();
+    let orch = Orchestrator::start(OrchestratorConfig {
+        slots: fleet,
+        lease_size: LEASE_SIZE,
+        ..OrchestratorConfig::default()
+    });
+    let t0 = Instant::now();
+    let ids: Vec<_> = requests
+        .into_iter()
+        .map(|request| orch.submit(request).expect("fleet admits the campaign"))
+        .collect();
+    let mut mutants = 0u64;
+    for (id, (name, _, golden)) in ids.into_iter().zip(jobs) {
+        let outcome = orch.wait(id).expect("campaign reaches a terminal phase");
+        let CampaignEnd::Completed(run) = outcome.end else {
+            panic!("{name}: campaign must complete (fleet={fleet})");
+        };
+        assert_eq!(
+            run.results, golden.results,
+            "{name}: fleet verdicts must be byte-identical to the solo run (fleet={fleet})"
+        );
+        mutants += run.total() as u64;
+    }
+    let wall_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    orch.shutdown();
+    Leg {
+        fleet,
+        campaigns: jobs.len(),
+        mutants,
+        wall_nanos,
+    }
+}
+
+fn main() {
+    println!("== orchestrator: fleet throughput, 1 vs 3 campaigns ==\n");
+    let sortable_golden = solo_golden(sortable_bundle_sharded, &TABLE2_METHODS);
+    let coblist_golden = solo_golden(coblist_bundle_sharded, &TABLE3_METHODS);
+
+    let mut legs = Vec::new();
+    for fleet in FLEETS {
+        let solo_jobs: [Job<'_>; 1] = [("sortable", sortable_request, &sortable_golden)];
+        let tri_jobs: [Job<'_>; 3] = [
+            ("sortable-a", sortable_request, &sortable_golden),
+            ("coblist", coblist_request, &coblist_golden),
+            ("sortable-b", sortable_request, &sortable_golden),
+        ];
+        for leg in [run_fleet(fleet, &solo_jobs), run_fleet(fleet, &tri_jobs)] {
+            println!(
+                "fleet={} campaigns={}: {:>4} mutants in {:>12} ns ({:>8.1} mutants/sec)",
+                leg.fleet,
+                leg.campaigns,
+                leg.mutants,
+                leg.wall_nanos,
+                leg.mutants_per_sec()
+            );
+            legs.push(leg);
+        }
+    }
+
+    let legs_json: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"fleet\":{},\"campaigns\":{},\"mutants\":{},\"wall_nanos\":{},\
+                 \"mutants_per_sec\":{:.2}}}",
+                l.fleet,
+                l.campaigns,
+                l.mutants,
+                l.wall_nanos,
+                l.mutants_per_sec()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"orchestrator\",\"seed\":{},\"lease_size\":{},\"fleets\":[{}],\
+         \"legs\":[{}]}}\n",
+        SEED,
+        LEASE_SIZE,
+        FLEETS.map(|f| f.to_string()).join(","),
+        legs_json.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, &json).expect("BENCH_9.json written");
+    println!("\nwrote {} ({} bytes)", path, json.len());
+}

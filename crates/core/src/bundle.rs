@@ -69,6 +69,13 @@ impl SelfTestable {
         self.shards.as_deref()
     }
 
+    /// An owned handle to the sharding seam, for consumers that outlive
+    /// this bundle — an orchestrated campaign keeps classifying mutants
+    /// on fleet workers long after the submitting scope returned.
+    pub fn shards_handle(&self) -> Option<Arc<dyn ClonableFactory>> {
+        self.shards.clone()
+    }
+
     /// The inheritance map relating this component to its superclass.
     pub fn inheritance(&self) -> Option<&InheritanceMap> {
         self.inheritance.as_ref()

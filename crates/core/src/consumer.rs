@@ -14,8 +14,8 @@ use concat_driver::{
 };
 use concat_mutation::{
     amplify_suite, amplify_suite_parallel, enumerate_mutants, run_mutation_analysis,
-    run_mutation_analysis_parallel, AmplifyConfig, AmplifyOutcome, IsolationMode, MutationConfig,
-    MutationRun,
+    run_mutation_analysis_parallel, AmplifyConfig, AmplifyOutcome, CampaignRequest, IsolationMode,
+    MutationConfig, MutationRun,
 };
 use concat_obs::Telemetry;
 use concat_runtime::{recommended_workers, Budget, IoPolicy};
@@ -424,6 +424,49 @@ impl Consumer {
         Ok(concat_mutation::run_shard_worker(
             shards, suite, &mutants, &config,
         ))
+    }
+
+    /// Packages the campaign this consumer would run as a
+    /// [`CampaignRequest`] for submission to a
+    /// [`concat_mutation::Orchestrator`] — the multi-campaign analogue of
+    /// [`Consumer::evaluate_quality`]. The request carries the exact
+    /// inputs the solo path uses (same suite, mutants, probes, budget,
+    /// journal, isolation), so the orchestrated run's verdicts, score,
+    /// and report are byte-identical to the solo run's; scheduling
+    /// metadata (`priority`, `mutant_budget`, `slot`) starts at its
+    /// defaults and can be adjusted on the returned request.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsumerError::NoMutationSupport`] without an inventory,
+    /// [`ConsumerError::NoShardSupport`] without a sharding seam (fleet
+    /// workers each build their own factory), and generation errors when
+    /// probe suites cannot be built.
+    pub fn campaign_request(
+        &self,
+        component: &SelfTestable,
+        suite: &TestSuite,
+        target_methods: &[&str],
+        probe_seeds: &[u64],
+    ) -> Result<CampaignRequest, ConsumerError> {
+        let inventory = component
+            .inventory()
+            .ok_or(ConsumerError::NoMutationSupport)?;
+        let shards = component
+            .shards_handle()
+            .ok_or(ConsumerError::NoShardSupport)?;
+        let mutants = enumerate_mutants(inventory, target_methods);
+        let config = self.mutation_config(component, probe_seeds, true)?;
+        Ok(CampaignRequest {
+            name: component.class_name().to_owned(),
+            shards,
+            suite: suite.clone(),
+            mutants,
+            config,
+            priority: 0,
+            mutant_budget: None,
+            slot: None,
+        })
     }
 
     /// Runs [`Consumer::evaluate_quality`] and then the mutation-driven

@@ -272,6 +272,16 @@ impl TestRunner {
         &self.token
     }
 
+    /// Replaces the runner's cancellation token — typically with a
+    /// [`CancelToken::child`] of a campaign- or service-level token, so
+    /// an external cancellation interrupts the in-flight case exactly
+    /// like a watchdog deadline while the runner's own per-case
+    /// `cancel`/`reset` cycle stays contained in its child flag.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.token = token;
+        self
+    }
+
     /// Attaches a telemetry handle: suite/case spans, per-status case
     /// counters and per-call outcome counters are emitted into it, and the
     /// runner's [`BitControl`] is wired up so assertion checks land as

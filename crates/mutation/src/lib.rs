@@ -67,6 +67,7 @@ mod inventory;
 mod journal;
 mod matrix;
 mod operators;
+mod orchestrator;
 mod shard;
 
 pub use amplify::{
@@ -86,6 +87,10 @@ pub use journal::{
 };
 pub use matrix::{CellStats, MutationMatrix};
 pub use operators::{MutationOperator, ReqConst};
+pub use orchestrator::{
+    CampaignEnd, CampaignId, CampaignOutcome, CampaignPhase, CampaignRequest, CampaignStatus,
+    DegradeReason, Orchestrator, OrchestratorConfig, SlotConfig, SubmitError,
+};
 pub use shard::{
     run_shard_worker, shard_worker_requested, SHARD_FINGERPRINT_ENV, SHARD_INDICES_ENV,
 };

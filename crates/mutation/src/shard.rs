@@ -76,7 +76,7 @@ pub fn shard_worker_requested() -> bool {
 }
 
 /// One frame from worker to supervisor, parsed.
-enum ShardFrame {
+pub(crate) enum ShardFrame {
     /// First frame: the worker's recomputed campaign fingerprint.
     Hello(u32),
     /// The worker is about to execute this mutant index (doubles as the
@@ -90,7 +90,7 @@ enum ShardFrame {
     Foreign,
 }
 
-fn parse_frame(payload: &str) -> ShardFrame {
+pub(crate) fn parse_frame(payload: &str) -> ShardFrame {
     if let Some(rest) = payload.strip_prefix("shard-hello ") {
         if let Ok(fp) = u32::from_str_radix(rest, 16) {
             return ShardFrame::Hello(fp);
@@ -261,7 +261,7 @@ struct LiveShard {
 
 /// Maps how a shard died to the quarantine reason its in-flight mutant
 /// earns on repeated deaths.
-fn death_reason(class: ExitClass, killed_unresponsive: bool) -> QuarantineReason {
+pub(crate) fn death_reason(class: ExitClass, killed_unresponsive: bool) -> QuarantineReason {
     if killed_unresponsive {
         return QuarantineReason::ShardUnresponsive;
     }

@@ -16,6 +16,9 @@
 //! * [`render_attribution`] — hot-path attribution over a recorded
 //!   campaign span tree: wall-clock by phase (self vs. children),
 //!   selection-fast-path savings, and the slowest mutants;
+//! * [`render_fleet_table`] — per-campaign standing of an orchestrated
+//!   fleet ([`FleetCampaignRow`]): phase, merge progress, priority and
+//!   effective slot supervision deadlines;
 //! * [`render_model_metrics_table`] — per-class TFM size figures.
 
 #![forbid(unsafe_code)]
@@ -33,5 +36,6 @@ pub use mutation_tables::{
 };
 pub use table::{Align, AsciiTable};
 pub use telemetry::{
-    render_attribution, render_harness_health, render_model_metrics_table, render_telemetry_summary,
+    render_attribution, render_fleet_table, render_harness_health, render_model_metrics_table,
+    render_telemetry_summary, FleetCampaignRow,
 };

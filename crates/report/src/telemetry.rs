@@ -87,7 +87,23 @@ pub fn render_telemetry_summary(title: &str, summary: &Summary) -> String {
 /// short description each. Listed explicitly (rather than filtering the
 /// summary by prefix) so a healthy run still renders every row with an
 /// explicit `0` — absence of evidence is made visible.
-const HARNESS_COUNTERS: [(&str, &str); 21] = [
+const HARNESS_COUNTERS: [(&str, &str); 28] = [
+    ("orchestrator.admitted", "campaigns admitted to the fleet"),
+    (
+        "orchestrator.rejected",
+        "campaign submits refused by admission control",
+    ),
+    ("orchestrator.cancelled", "campaigns cancelled on request"),
+    (
+        "orchestrator.resumed",
+        "campaigns that replayed journal verdicts on admission",
+    ),
+    ("orchestrator.completed", "campaigns completed by the fleet"),
+    (
+        "orchestrator.degraded",
+        "campaigns degraded (budget/harness) without touching neighbors",
+    ),
+    ("orchestrator.leases", "mutant leases handed to fleet slots"),
     ("harden.retry", "I/O retries after transient failures"),
     ("harden.degraded", "sinks degraded after retry exhaustion"),
     (
@@ -168,6 +184,91 @@ pub fn render_harness_health(title: &str, summary: &Summary) -> String {
             "mutation.workers".into(),
             workers.to_string(),
             "mutation analysis worker pool size".into(),
+        ]);
+    }
+    if let Some(slots) = summary.gauge("orchestrator.slots") {
+        t.row(vec![
+            "orchestrator.slots".into(),
+            slots.to_string(),
+            "campaign fleet slot-worker count".into(),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// One campaign's standing in the fleet table rendered by
+/// [`render_fleet_table`]. A plain-data mirror of the orchestrator's
+/// campaign status (this crate renders, it does not depend on the
+/// mutation engine): identity, phase, merge progress, scheduling
+/// priority, and the effective per-slot supervision deadlines the
+/// campaign's process shards run under.
+#[derive(Debug, Clone)]
+pub struct FleetCampaignRow {
+    /// Campaign id as displayed (e.g. `c3`).
+    pub id: String,
+    /// Campaign name (usually the subject class).
+    pub name: String,
+    /// Lifecycle phase (e.g. `running`, `degraded(budget-exhausted)`).
+    pub phase: String,
+    /// Mutants with a merged verdict.
+    pub done: usize,
+    /// Total mutants in the campaign.
+    pub total: usize,
+    /// Verdicts executed by fleet slots this service run.
+    pub executed: u64,
+    /// Verdicts replayed from the campaign journal on admission.
+    pub replayed: u64,
+    /// Scheduling priority (higher is served first).
+    pub priority: u8,
+    /// Startup grace before the first shard heartbeat is due (ms).
+    pub startup_grace_ms: u64,
+    /// Heartbeat silence tolerated before a shard is killed (ms).
+    pub heartbeat_timeout_ms: u64,
+    /// SIGTERM-to-SIGKILL escalation grace for shard teardown (ms).
+    pub term_grace_ms: u64,
+}
+
+/// Renders the per-campaign fleet table: one row per campaign with its
+/// phase, merge progress (`done/total` plus executed-vs-replayed
+/// split), priority, and the effective slot supervision deadlines
+/// (startup grace / heartbeat timeout / term grace) that campaign's
+/// process shards run under. Rows render in the order given; an empty
+/// fleet renders an explanatory line instead of a bare header.
+pub fn render_fleet_table(title: &str, rows: &[FleetCampaignRow]) -> String {
+    if rows.is_empty() {
+        return format!("{title}\n(no campaigns)\n");
+    }
+    let mut t = AsciiTable::new(vec![
+        "Id".into(),
+        "Campaign".into(),
+        "Phase".into(),
+        "Done".into(),
+        "Executed".into(),
+        "Replayed".into(),
+        "Prio".into(),
+        "Startup".into(),
+        "Heartbeat".into(),
+        "TermGrace".into(),
+    ]);
+    t.align(3, crate::table::Align::Right);
+    t.align(4, crate::table::Align::Right);
+    t.align(5, crate::table::Align::Right);
+    t.align(6, crate::table::Align::Right);
+    t.align(7, crate::table::Align::Right);
+    t.align(8, crate::table::Align::Right);
+    t.align(9, crate::table::Align::Right);
+    for row in rows {
+        t.row(vec![
+            row.id.clone(),
+            row.name.clone(),
+            row.phase.clone(),
+            format!("{}/{}", row.done, row.total),
+            row.executed.to_string(),
+            row.replayed.to_string(),
+            row.priority.to_string(),
+            fmt_nanos(row.startup_grace_ms.saturating_mul(1_000_000)),
+            fmt_nanos(row.heartbeat_timeout_ms.saturating_mul(1_000_000)),
+            fmt_nanos(row.term_grace_ms.saturating_mul(1_000_000)),
         ]);
     }
     format!("{title}\n{}", t.render())
@@ -503,6 +604,67 @@ mod tests {
         assert!(s.contains("mutation.workers"), "{s}");
         assert!(s.contains(" 4 |"), "worker count rendered: {s}");
         assert!(s.contains("worker pool size"), "{s}");
+    }
+
+    #[test]
+    fn harness_health_reports_fleet_slot_count_when_gauged() {
+        let events = vec![Event::Gauge {
+            name: "orchestrator.slots",
+            value: 3,
+        }];
+        let summary = Summary::from_events(&events);
+        let s = render_harness_health("Fleet health", &summary);
+        assert!(s.contains("orchestrator.slots"), "{s}");
+        assert!(s.contains(" 3 |"), "slot count rendered: {s}");
+        assert!(s.contains("slot-worker count"), "{s}");
+    }
+
+    #[test]
+    fn fleet_table_renders_campaign_rows_with_slot_deadlines() {
+        let rows = vec![
+            FleetCampaignRow {
+                id: "c1".into(),
+                name: "Delay".into(),
+                phase: "running".into(),
+                done: 3,
+                total: 12,
+                executed: 2,
+                replayed: 1,
+                priority: 4,
+                startup_grace_ms: 30_000,
+                heartbeat_timeout_ms: 10_000,
+                term_grace_ms: 500,
+            },
+            FleetCampaignRow {
+                id: "c2".into(),
+                name: "Acc".into(),
+                phase: "degraded(budget-exhausted)".into(),
+                done: 12,
+                total: 12,
+                executed: 12,
+                replayed: 0,
+                priority: 0,
+                startup_grace_ms: 5_000,
+                heartbeat_timeout_ms: 2_000,
+                term_grace_ms: 250,
+            },
+        ];
+        let s = render_fleet_table("Fleet campaigns", &rows);
+        assert!(s.starts_with("Fleet campaigns\n"), "{s}");
+        assert!(s.contains("| c1"), "{s}");
+        assert!(s.contains("3/12"), "merge progress: {s}");
+        assert!(s.contains("degraded(budget-exhausted)"), "{s}");
+        assert!(s.contains("30.000s"), "startup grace rendered: {s}");
+        assert!(s.contains("500.00ms"), "term grace rendered: {s}");
+        let c1 = s.find("| c1").expect("c1 listed");
+        let c2 = s.find("| c2").expect("c2 listed");
+        assert!(c1 < c2, "rows keep given order: {s}");
+    }
+
+    #[test]
+    fn empty_fleet_table_renders_placeholder() {
+        let s = render_fleet_table("Fleet campaigns", &[]);
+        assert!(s.contains("(no campaigns)"), "{s}");
     }
 
     fn start(kind: &'static str, label: &str, id: u64, parent: Option<u64>) -> Event {

@@ -147,6 +147,15 @@ impl fmt::Display for BudgetResource {
 /// every `MutationSwitch` read site does, as may any long-running
 /// component loop via [`CancelToken::checkpoint`].
 ///
+/// # Hierarchy
+///
+/// Tokens form a one-way tree via [`CancelToken::child`]: a child reports
+/// cancelled when *its own* flag is set **or** any ancestor's is. This is
+/// how a multi-campaign service cancels everything at once (cancel the
+/// service token → every campaign's child token trips) while a single
+/// campaign's cancellation stays contained (a child's flag is its own —
+/// cancelling it never writes to the parent).
+///
 /// # Examples
 ///
 /// ```
@@ -158,29 +167,59 @@ impl fmt::Display for BudgetResource {
 /// assert!(t.is_cancelled());
 /// t.reset();
 /// t.checkpoint(); // no-op while not cancelled
+///
+/// let service = CancelToken::new();
+/// let campaign = service.child();
+/// campaign.cancel();
+/// assert!(campaign.is_cancelled() && !service.is_cancelled());
+/// service.cancel();
+/// assert!(service.child().is_cancelled()); // propagates downward
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     cancelled: Arc<AtomicBool>,
+    /// The parent's token, when this one was derived with
+    /// [`CancelToken::child`]. Cancellation flows strictly downward
+    /// through this link.
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled root token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// True once [`CancelToken::cancel`] was called (until reset).
-    pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+    /// Derives a child token: it trips when either its own flag or any
+    /// ancestor's is set, and cancelling *it* never affects the parent.
+    /// Clones of the child share its flag (and its ancestry), exactly
+    /// like clones of a root token.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 
-    /// Requests cancellation.
+    /// True once [`CancelToken::cancel`] was called on this token (until
+    /// reset) or, for a child token, on any of its ancestors.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// Requests cancellation of this token (and, through the hierarchy,
+    /// every token derived from it with [`CancelToken::child`]). Never
+    /// propagates upward.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Clears the flag (the runner re-arms per test case).
+    /// Clears this token's own flag (the runner re-arms per test case).
+    /// A cancellation inherited from an ancestor is not cleared — only
+    /// the ancestor's own `reset` can do that.
     pub fn reset(&self) {
         self.cancelled.store(false, Ordering::Relaxed);
     }
@@ -812,6 +851,54 @@ mod tests {
         assert!(t.is_cancelled());
         t.reset();
         assert!(!clone.is_cancelled());
+    }
+
+    #[test]
+    fn child_token_inherits_parent_cancellation() {
+        let service = CancelToken::new();
+        let campaign = service.child();
+        let worker = campaign.child();
+        assert!(!campaign.is_cancelled() && !worker.is_cancelled());
+        service.cancel();
+        assert!(campaign.is_cancelled(), "parent cancel reaches children");
+        assert!(worker.is_cancelled(), "…and grandchildren");
+        service.reset();
+        assert!(!worker.is_cancelled(), "parent reset clears the chain");
+    }
+
+    #[test]
+    fn child_cancel_never_propagates_upward() {
+        let service = CancelToken::new();
+        let a = service.child();
+        let b = service.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!service.is_cancelled(), "cancel must not flow upward");
+        assert!(!b.is_cancelled(), "…nor sideways to siblings");
+    }
+
+    #[test]
+    fn child_reset_cannot_clear_inherited_cancellation() {
+        let service = CancelToken::new();
+        let campaign = service.child();
+        service.cancel();
+        campaign.reset();
+        assert!(
+            campaign.is_cancelled(),
+            "only the ancestor's own reset clears its flag"
+        );
+    }
+
+    #[test]
+    fn child_clones_share_flag_and_ancestry() {
+        let service = CancelToken::new();
+        let campaign = service.child();
+        let clone = campaign.clone();
+        campaign.cancel();
+        assert!(clone.is_cancelled(), "clones share the child's flag");
+        campaign.reset();
+        service.cancel();
+        assert!(clone.is_cancelled(), "clones keep the parent link");
     }
 
     #[test]

@@ -33,6 +33,33 @@
 //! `incremental` job runs the campaign twice warm and `cmp`s the
 //! reports.
 //!
+//! A long-running mode, `mutation_demo campaign-server <dir> [--fleet N]
+//! [--isolation {thread,process}] [--resume]`, hosts the fault-tolerant
+//! campaign orchestration service: one supervised fleet of `N` slot
+//! workers multiplexing mutants from every active campaign. It speaks a
+//! line-oriented control protocol on stdin (responses on stdout):
+//!
+//! ```text
+//! submit <name> <subject> [--priority N] [--budget N]
+//! cancel <name>
+//! status <name>
+//! list
+//! shutdown
+//! ```
+//!
+//! `<subject>` is `delay` or `sortable`. Each campaign journals to
+//! `<dir>/<name>.journal` and, on completion, writes `<dir>/<name>.report`
+//! — byte-identical to the solo `campaign` / `verdicts` mode report for
+//! the same subject, regardless of fleet size, neighbors, or crash
+//! schedule. `<dir>/server.manifest` tracks every campaign's phase
+//! (rewritten atomically), so after a SIGTERM the journals are the
+//! checkpoint and `--resume` re-submits every non-completed campaign.
+//! On exit the service writes `<dir>/fleet.report`: the per-campaign
+//! fleet table plus the harness-health counters
+//! (`orchestrator.admitted/rejected/cancelled/resumed/...`). Process
+//! isolation self-execs this binary via the hidden `shard-worker server`
+//! entry, which rebuilds the campaign named by `CONCAT_SERVER_SUBJECT`.
+//!
 //! A third mode, `mutation_demo trace <trace.json> <report>`, runs the
 //! campaign with the flight recorder attached: the recorded span tree is
 //! exported as a Chrome-trace file (load it in `chrome://tracing` or
@@ -48,20 +75,25 @@ use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, Testab
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
 use concat::core::{Consumer, SelfTestable, SelfTestableBuilder};
 use concat::mutation::{
-    AmplifyConfig, ClassInventory, ClonableFactory, IsolationMode, KillReason, MethodInventory,
-    MutantStatus, MutationMatrix, MutationSwitch, ProcessIsolation, VarEnv,
+    AmplifyConfig, CampaignEnd, CampaignId, CampaignStatus, ClassInventory, ClonableFactory,
+    IsolationMode, KillReason, MethodInventory, MutantStatus, MutationMatrix, MutationRun,
+    MutationSwitch, Orchestrator, OrchestratorConfig, ProcessIsolation, VarEnv,
 };
 use concat::obs::{chrome_trace, MemorySink, Telemetry};
 use concat::report::{
-    render_amplification_table, render_attribution, render_harness_health, render_score_table,
-    summarize_run,
+    render_amplification_table, render_attribution, render_fleet_table, render_harness_health,
+    render_score_table, summarize_run, FleetCampaignRow,
 };
 use concat::runtime::{
-    unknown_method, AssertionViolation, Budget, Component, InvokeResult, TestException, Value,
+    unknown_method, write_atomic, AssertionViolation, Budget, Component, InvokeResult,
+    TestException, Value,
 };
 use concat::tspec::{ClassSpec, ClassSpecBuilder, MethodCategory};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -71,6 +103,13 @@ fn main() {
     // supervisor controls the arguments.
     if args.len() >= 3 && args[1] == "shard-worker" && args[2] == "campaign" {
         std::process::exit(campaign_shard_worker());
+    }
+    if args.len() >= 3 && args[1] == "shard-worker" && args[2] == "server" {
+        std::process::exit(server_shard_worker());
+    }
+    if args.len() >= 3 && args[1] == "campaign-server" {
+        campaign_server_mode(&args[2], &args[3..]);
+        return;
     }
     if args.len() >= 4 && args[1] == "campaign" {
         let (process, shards, incremental) = parse_campaign_flags(&args[4..]);
@@ -345,15 +384,7 @@ fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize, incr
     let run = consumer
         .evaluate_quality(&bundle, &suite, &targets, &[])
         .expect("bundle carries mutation support and shards");
-    let text = format!(
-        "{}\n{}\n",
-        render_score_table(
-            "Delay campaign (resumable)",
-            &MutationMatrix::from_run(&run, &targets)
-        ),
-        summarize_run(&run)
-    );
-    concat::runtime::write_atomic(report, text.as_bytes()).expect("report written atomically");
+    write_atomic(report, campaign_report(&run).as_bytes()).expect("report written atomically");
     if incremental {
         let summary = sink.summary();
         let replayed = summary
@@ -372,6 +403,20 @@ fn campaign_mode(journal: &str, report: &str, process: bool, shards: usize, incr
 
 /// The targets the resumable campaign (and its shard workers) analyze.
 const CAMPAIGN_TARGETS: [&str; 2] = ["Work", "Rest"];
+
+/// Renders the timing-free report of the resumable `Delay` campaign —
+/// shared by the solo `campaign` mode and the campaign server, which must
+/// produce byte-identical text for the same verdicts.
+fn campaign_report(run: &MutationRun) -> String {
+    format!(
+        "{}\n{}\n",
+        render_score_table(
+            "Delay campaign (resumable)",
+            &MutationMatrix::from_run(run, &CAMPAIGN_TARGETS)
+        ),
+        summarize_run(run)
+    )
+}
 
 /// The campaign's consumer, minus journal/workers/isolation — everything
 /// that feeds the campaign fingerprint. The supervisor and every shard
@@ -426,19 +471,25 @@ fn campaign_shard_worker() -> i32 {
 /// The targets the trace/verdicts campaign analyzes.
 const TRACE_TARGETS: [&str; 2] = ["Sort1", "FindMax"];
 
-/// The fixed campaign behind the `trace` and `verdicts` modes: the
-/// `CSortableObList` subject over two workers, seed 1999, probe seed
-/// 4242. Both modes must run the *identical* configuration — CI `cmp`s
-/// their verdict reports to prove tracing changes nothing.
-fn trace_campaign(telemetry: Telemetry) -> concat::mutation::MutationRun {
+/// The sharded `CSortableObList` bundle behind the `trace`/`verdicts`
+/// modes and the server's `sortable` subject.
+fn sortable_server_bundle() -> SelfTestable {
     let switch = MutationSwitch::new();
-    let bundle = SelfTestableBuilder::new(
+    SelfTestableBuilder::new(
         sortable_spec(),
         Rc::new(CSortableObListFactory::new(switch.clone())),
     )
     .mutation(sortable_inventory(), switch)
     .mutation_shards(Arc::new(CSortableObListFactory::default()))
-    .build();
+    .build()
+}
+
+/// The fixed campaign behind the `trace` and `verdicts` modes: the
+/// `CSortableObList` subject over two workers, seed 1999, probe seed
+/// 4242. Both modes must run the *identical* configuration — CI `cmp`s
+/// their verdict reports to prove tracing changes nothing.
+fn trace_campaign(telemetry: Telemetry) -> concat::mutation::MutationRun {
+    let bundle = sortable_server_bundle();
     let consumer = Consumer::with_seed(1999)
         .with_telemetry(telemetry)
         .with_workers(2);
@@ -458,6 +509,457 @@ fn verdict_report(run: &concat::mutation::MutationRun) -> String {
         ),
         summarize_run(run)
     )
+}
+
+// ---------------------------------------------------------------------
+// campaign-server mode
+// ---------------------------------------------------------------------
+
+/// Environment variable through which the campaign server tells its
+/// process shards which subject's campaign to rebuild.
+const SERVER_SUBJECT_ENV: &str = "CONCAT_SERVER_SUBJECT";
+
+/// One `server.manifest` line: a campaign the service accepted, with
+/// everything needed to resubmit it after a restart.
+#[derive(Clone)]
+struct ManifestEntry {
+    name: String,
+    subject: String,
+    priority: u8,
+    budget: Option<u64>,
+    phase: String,
+}
+
+/// State shared between the command loop and the per-campaign waiter
+/// threads: the manifest, in order of first submission, mirrored
+/// atomically to `<dir>/server.manifest` on every change.
+struct ServerState {
+    dir: PathBuf,
+    manifest: Mutex<Vec<ManifestEntry>>,
+}
+
+impl ServerState {
+    /// Upserts `entry` (keyed by name) and rewrites the manifest.
+    fn record(&self, entry: ManifestEntry) {
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        match manifest.iter_mut().find(|e| e.name == entry.name) {
+            Some(existing) => *existing = entry,
+            None => manifest.push(entry),
+        }
+        self.rewrite(&manifest);
+    }
+
+    /// Flips one campaign's recorded phase and rewrites the manifest.
+    fn set_phase(&self, name: &str, phase: &str) {
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        if let Some(entry) = manifest.iter_mut().find(|e| e.name == name) {
+            entry.phase = phase.to_owned();
+        }
+        self.rewrite(&manifest);
+    }
+
+    /// Writes `server.manifest` atomically — the durable restart index a
+    /// `--resume` run reads back. A SIGTERM needs no special handling:
+    /// journals are write-ahead per verdict, so manifest + journals are
+    /// always a consistent checkpoint.
+    fn rewrite(&self, manifest: &[ManifestEntry]) {
+        let mut text = String::new();
+        for e in manifest {
+            let budget = e.budget.map_or_else(|| "-".to_owned(), |b| b.to_string());
+            text.push_str(&format!(
+                "campaign {} {} {} {} {}\n",
+                e.name, e.subject, e.priority, budget, e.phase
+            ));
+        }
+        write_atomic(self.dir.join("server.manifest"), text.as_bytes())
+            .expect("manifest written atomically");
+    }
+}
+
+/// Reads `server.manifest` back: one
+/// `campaign <name> <subject> <priority> <budget|-> <phase>` line per
+/// campaign. Unparseable lines are skipped.
+fn read_manifest(path: &Path) -> Vec<ManifestEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let tok: Vec<&str> = line.split_whitespace().collect();
+            if tok.len() != 6 || tok[0] != "campaign" {
+                return None;
+            }
+            Some(ManifestEntry {
+                name: tok[1].to_owned(),
+                subject: tok[2].to_owned(),
+                priority: tok[3].parse().unwrap_or(0),
+                budget: tok[4].parse().ok(),
+                phase: tok[5].to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Builds one subject's campaign request for the server: `delay` is the
+/// resumable hanging-mutant campaign (the solo `campaign` mode's exact
+/// inputs), `sortable` the `CSortableObList` campaign (the `verdicts`
+/// mode's exact inputs) — so each finished campaign's report can be
+/// `cmp`-verified against the corresponding solo mode. Returns `None`
+/// for unknown subjects.
+fn server_request(
+    name: &str,
+    subject: &str,
+    process: bool,
+    journal: PathBuf,
+) -> Option<concat::mutation::CampaignRequest> {
+    let (bundle, consumer, targets, probes): (SelfTestable, Consumer, &[&str], &[u64]) =
+        match subject {
+            "delay" => (delay_bundle(), campaign_consumer(), &CAMPAIGN_TARGETS, &[]),
+            "sortable" => (
+                sortable_server_bundle(),
+                Consumer::with_seed(1999),
+                &TRACE_TARGETS,
+                &[4242],
+            ),
+            _ => return None,
+        };
+    let mut consumer = consumer.with_journal(journal);
+    if process {
+        consumer = consumer.with_isolation(IsolationMode::Process(
+            ProcessIsolation::new(["shard-worker", "server"]).env(SERVER_SUBJECT_ENV, subject),
+        ));
+    }
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    let mut request = consumer
+        .campaign_request(&bundle, &suite, targets, probes)
+        .expect("bundle carries mutation support and shards");
+    request.name = name.to_owned();
+    Some(request)
+}
+
+/// The shard-worker half of the process-isolated server: rebuilds the
+/// subject named by `CONCAT_SERVER_SUBJECT` and runs the mutant slice
+/// assigned through the `CONCAT_SHARD_*` environment.
+fn server_shard_worker() -> i32 {
+    let subject = std::env::var(SERVER_SUBJECT_ENV).expect("supervisor sets the subject");
+    let (bundle, consumer, targets, probes): (SelfTestable, Consumer, &[&str], &[u64]) =
+        match subject.as_str() {
+            "delay" => (delay_bundle(), campaign_consumer(), &CAMPAIGN_TARGETS, &[]),
+            "sortable" => (
+                sortable_server_bundle(),
+                Consumer::with_seed(1999),
+                &TRACE_TARGETS,
+                &[4242],
+            ),
+            other => panic!("unknown server subject {other:?}"),
+        };
+    let suite = consumer.generate(&bundle).expect("generation succeeds");
+    consumer
+        .run_shard_worker(&bundle, &suite, targets, probes)
+        .expect("bundle carries mutation support and shards")
+}
+
+/// The report a finished server campaign writes — the same timing-free
+/// text the solo mode for its subject produces.
+fn server_report(subject: &str, run: &MutationRun) -> String {
+    if subject == "sortable" {
+        verdict_report(run)
+    } else {
+        campaign_report(run)
+    }
+}
+
+/// Parses `campaign-server` flags: `--fleet N` (slot workers, default 2),
+/// `--isolation {thread,process}` (default thread) and `--resume`
+/// (resubmit every non-completed manifest campaign on startup).
+fn parse_server_flags(rest: &[String]) -> (usize, bool, bool) {
+    let mut fleet = 2usize;
+    let mut process = false;
+    let mut resume = false;
+    let mut args = rest.iter();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fleet" => {
+                fleet = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--fleet takes a positive integer");
+            }
+            "--isolation" => match args.next().map(String::as_str) {
+                Some("process") => process = true,
+                Some("thread") => process = false,
+                other => panic!("--isolation takes thread|process, got {other:?}"),
+            },
+            "--resume" => resume = true,
+            other => panic!("unknown campaign-server flag {other:?}"),
+        }
+    }
+    (fleet.max(1), process, resume)
+}
+
+/// Parses `submit`'s optional `--priority N` and `--budget N` flags;
+/// unknown tokens are ignored.
+fn parse_submit_flags(rest: &[&str]) -> (u8, Option<u64>) {
+    let mut priority = 0u8;
+    let mut budget = None;
+    let mut args = rest.iter();
+    while let Some(flag) = args.next() {
+        match *flag {
+            "--priority" => priority = args.next().and_then(|n| n.parse().ok()).unwrap_or(0),
+            "--budget" => budget = args.next().and_then(|n| n.parse().ok()),
+            _ => {}
+        }
+    }
+    (priority, budget)
+}
+
+/// One protocol response line, flushed immediately — the server's stdout
+/// is usually a pipe, and the driving harness waits on these lines.
+fn respond(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// The `status`/`list` response line for one campaign.
+fn status_line(status: &CampaignStatus) -> String {
+    format!(
+        "status {} {} {} {}/{} executed={} replayed={} prio={}",
+        status.id,
+        status.name,
+        status.phase,
+        status.done,
+        status.total,
+        status.executed,
+        status.replayed,
+        status.priority
+    )
+}
+
+/// Submits one campaign to the fleet: builds the subject's request,
+/// applies the scheduling metadata, records the manifest entry, and
+/// registers the waiter that writes the report when the campaign ends.
+fn server_submit(
+    state: &Arc<ServerState>,
+    orch: &Arc<Orchestrator>,
+    names: &mut HashMap<String, CampaignId>,
+    waiters: &mut Vec<std::thread::JoinHandle<()>>,
+    entry: ManifestEntry,
+    process: bool,
+    resumed: bool,
+) {
+    if let Some(&id) = names.get(&entry.name) {
+        if orch.status(id).is_some_and(|s| !s.phase.is_terminal()) {
+            // Two live campaigns must never share one journal.
+            respond(&format!(
+                "err campaign {} already active as {id}",
+                entry.name
+            ));
+            return;
+        }
+    }
+    let journal = state.dir.join(format!("{}.journal", entry.name));
+    let Some(mut request) = server_request(&entry.name, &entry.subject, process, journal) else {
+        respond(&format!("err unknown subject {:?}", entry.subject));
+        return;
+    };
+    request.priority = entry.priority;
+    request.mutant_budget = entry.budget;
+    let total = request.mutants.len();
+    match orch.submit(request) {
+        Ok(id) => {
+            names.insert(entry.name.clone(), id);
+            let verb = if resumed { "resumed" } else { "submitted" };
+            respond(&format!("ok {verb} {id} {} total={total}", entry.name));
+            state.record(ManifestEntry {
+                phase: "queued".to_owned(),
+                ..entry.clone()
+            });
+            waiters.push(spawn_waiter(state, orch, id, entry));
+        }
+        Err(err) => respond(&format!("err {err}")),
+    }
+}
+
+/// Waits for one campaign to end, then writes its report (completed and
+/// degraded runs — a cancelled campaign's checkpoint is its journal),
+/// flips its manifest phase, and announces the event on stdout.
+fn spawn_waiter(
+    state: &Arc<ServerState>,
+    orch: &Arc<Orchestrator>,
+    id: CampaignId,
+    entry: ManifestEntry,
+) -> std::thread::JoinHandle<()> {
+    let state = Arc::clone(state);
+    let orch = Arc::clone(orch);
+    std::thread::spawn(move || {
+        let Some(outcome) = orch.wait(id) else {
+            return;
+        };
+        let report = state.dir.join(format!("{}.report", entry.name));
+        let phase = match &outcome.end {
+            CampaignEnd::Completed(run) => {
+                write_atomic(&report, server_report(&entry.subject, run).as_bytes())
+                    .expect("report written atomically");
+                "completed".to_owned()
+            }
+            CampaignEnd::Cancelled => "cancelled".to_owned(),
+            CampaignEnd::Degraded { reason, partial } => {
+                write_atomic(&report, server_report(&entry.subject, partial).as_bytes())
+                    .expect("report written atomically");
+                format!("degraded({reason})")
+            }
+        };
+        state.set_phase(&entry.name, &phase);
+        respond(&format!("event {id} {} {phase}", entry.name));
+    })
+}
+
+/// Writes `<dir>/fleet.report`: the per-campaign fleet table (phase,
+/// merge progress, priority, effective slot supervision deadlines) plus
+/// the fleet harness-health counters
+/// (`orchestrator.admitted/rejected/cancelled/resumed/...`).
+fn write_fleet_report(dir: &Path, statuses: &[CampaignStatus], sink: &MemorySink) {
+    let rows: Vec<FleetCampaignRow> = statuses
+        .iter()
+        .map(|s| FleetCampaignRow {
+            id: s.id.to_string(),
+            name: s.name.clone(),
+            phase: s.phase.to_string(),
+            done: s.done,
+            total: s.total,
+            executed: s.executed,
+            replayed: s.replayed,
+            priority: s.priority,
+            startup_grace_ms: s.slot.startup_grace.as_millis() as u64,
+            heartbeat_timeout_ms: s.slot.heartbeat_timeout.as_millis() as u64,
+            term_grace_ms: s.slot.term_grace.as_millis() as u64,
+        })
+        .collect();
+    let text = format!(
+        "{}\n{}",
+        render_fleet_table("Fleet campaigns", &rows),
+        render_harness_health("Fleet harness health", &sink.summary())
+    );
+    write_atomic(dir.join("fleet.report"), text.as_bytes())
+        .expect("fleet report written atomically");
+}
+
+/// The `campaign-server <dir>` mode: the long-running orchestration
+/// service. Reads control commands from stdin (see the module docs for
+/// the grammar) and exits once stdin closes — or a `shutdown` command
+/// arrives — and every campaign reached a terminal phase.
+fn campaign_server_mode(dir: &str, flags: &[String]) {
+    let (fleet, process, resume) = parse_server_flags(flags);
+    std::fs::create_dir_all(dir).expect("server directory exists");
+    let dir = PathBuf::from(dir);
+    let fleet_sink = Arc::new(MemorySink::new());
+    let orch = Arc::new(Orchestrator::start(OrchestratorConfig {
+        slots: fleet,
+        lease_size: 4,
+        telemetry: Telemetry::new(fleet_sink.clone()),
+        ..OrchestratorConfig::default()
+    }));
+    let state = Arc::new(ServerState {
+        dir: dir.clone(),
+        manifest: Mutex::new(read_manifest(&dir.join("server.manifest"))),
+    });
+    let mut names: HashMap<String, CampaignId> = HashMap::new();
+    let mut waiters: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    respond(&format!(
+        "ready fleet={fleet} isolation={}",
+        if process { "process" } else { "thread" }
+    ));
+
+    if resume {
+        let recorded: Vec<ManifestEntry> = state.manifest.lock().expect("manifest lock").clone();
+        for entry in recorded {
+            if entry.phase != "completed" {
+                server_submit(
+                    &state,
+                    &orch,
+                    &mut names,
+                    &mut waiters,
+                    entry,
+                    process,
+                    true,
+                );
+            }
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let mut shutdown_requested = false;
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        match tok.first().copied() {
+            None => {}
+            Some("submit") if tok.len() >= 3 => {
+                let (priority, budget) = parse_submit_flags(&tok[3..]);
+                let entry = ManifestEntry {
+                    name: tok[1].to_owned(),
+                    subject: tok[2].to_owned(),
+                    priority,
+                    budget,
+                    phase: "queued".to_owned(),
+                };
+                server_submit(
+                    &state,
+                    &orch,
+                    &mut names,
+                    &mut waiters,
+                    entry,
+                    process,
+                    false,
+                );
+            }
+            Some("cancel") if tok.len() == 2 => match names.get(tok[1]) {
+                Some(&id) if orch.cancel(id) => respond(&format!("ok cancelled {id} {}", tok[1])),
+                Some(&id) => respond(&format!("err campaign {id} already terminal")),
+                None => respond(&format!("err unknown campaign {}", tok[1])),
+            },
+            Some("status") if tok.len() == 2 => {
+                match names.get(tok[1]).and_then(|&id| orch.status(id)) {
+                    Some(status) => respond(&status_line(&status)),
+                    None => respond(&format!("err unknown campaign {}", tok[1])),
+                }
+            }
+            Some("list") => {
+                let statuses = orch.list();
+                for status in &statuses {
+                    respond(&status_line(status));
+                }
+                respond(&format!("ok list {}", statuses.len()));
+            }
+            Some("shutdown") => {
+                shutdown_requested = true;
+                respond("ok shutdown");
+                break;
+            }
+            Some(other) => respond(&format!("err unknown command {other:?}")),
+        }
+    }
+
+    if shutdown_requested {
+        // Graceful stop: cancel whatever is still running; the journals
+        // keep every campaign's verified prefix for a `--resume`.
+        for status in orch.list() {
+            if !status.phase.is_terminal() {
+                orch.cancel(status.id);
+            }
+        }
+    }
+    // Natural exit: stdin closed, so wait for every campaign to reach a
+    // terminal phase (each waiter returns exactly then).
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    write_fleet_report(&dir, &orch.list(), &fleet_sink);
+    if let Ok(orch) = Arc::try_unwrap(orch) {
+        orch.shutdown();
+    }
+    respond("server exit");
 }
 
 /// The `trace <trace.json> <report>` mode: the flight recorder end to
