@@ -56,12 +56,39 @@ fn int_sum(vals: &[Value]) -> i64 {
         .fold(0i64, |acc, x| acc.wrapping_add(x))
 }
 
+/// A deliberately seeded cross-object fault, compiled in only under the
+/// `seeded-bugs` feature: the invariant-fuzzing subject.
+///
+/// The bug models a botched shared-free-list optimization: each list
+/// keeps a cached element count, and an insert skips the cache update
+/// when the *most recent removal on this thread* was performed by a
+/// different list instance. Every single-object method sequence keeps the
+/// cache coherent — the constructor clears the cross-object marker, and a
+/// removal by the same instance is harmless — so the transaction-coverage
+/// suite (one object per test case) can never trip it. Only an
+/// interleaved insert-after-foreign-remove across two live objects
+/// desyncs the cache, which the BIT class invariant then reports.
+#[cfg(feature = "seeded-bugs")]
+mod seeded {
+    use std::cell::Cell;
+    thread_local! {
+        /// Instance-id source for lists constructed on this thread.
+        pub static NEXT_INSTANCE: Cell<u64> = const { Cell::new(0) };
+        /// Which instance performed the last removal on this thread.
+        pub static LAST_REMOVE_BY: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+}
+
 /// The `CSortableObList` component.
 #[derive(Debug)]
 pub struct CSortableObList {
     base: CObList,
     switch: MutationSwitch,
     ctl: BitControl,
+    #[cfg(feature = "seeded-bugs")]
+    instance: u64,
+    #[cfg(feature = "seeded-bugs")]
+    cached_len: std::cell::Cell<i64>,
 }
 
 impl CSortableObList {
@@ -78,6 +105,10 @@ impl CSortableObList {
             base: CObList::new(ctl.clone(), switch.clone()),
             switch,
             ctl,
+            #[cfg(feature = "seeded-bugs")]
+            instance: Self::seeded_register(),
+            #[cfg(feature = "seeded-bugs")]
+            cached_len: std::cell::Cell::new(0),
         }
     }
 
@@ -87,6 +118,50 @@ impl CSortableObList {
             base: CObList::with_block_size(block_size, ctl.clone(), switch.clone()),
             switch,
             ctl,
+            #[cfg(feature = "seeded-bugs")]
+            instance: Self::seeded_register(),
+            #[cfg(feature = "seeded-bugs")]
+            cached_len: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Hands out a fresh instance id and clears the cross-object removal
+    /// marker — constructing a list resets the (buggy) shared state, which
+    /// is exactly why every one-object-per-case suite stays green.
+    #[cfg(feature = "seeded-bugs")]
+    fn seeded_register() -> u64 {
+        seeded::LAST_REMOVE_BY.with(|c| c.set(None));
+        seeded::NEXT_INSTANCE.with(|c| {
+            let id = c.get();
+            c.set(id + 1);
+            id
+        })
+    }
+
+    /// Post-call cache accounting carrying the seeded fault: removals mark
+    /// this instance as the thread's last remover and refresh the cache;
+    /// inserts skip the refresh when a *different* instance removed last.
+    #[cfg(feature = "seeded-bugs")]
+    fn seeded_track(&self, method: &str) {
+        match method {
+            "RemoveHead" | "RemoveTail" | "RemoveAt" | "RemoveAll" => {
+                seeded::LAST_REMOVE_BY.with(|c| c.set(Some(self.instance)));
+                self.cached_len.set(self.base.count());
+            }
+            // The destructor empties the list, so it refreshes its own
+            // cache — but deliberately does NOT mark: driver-provided
+            // helper objects die inside single-object test cases, and the
+            // bug must stay out of reach of every such case.
+            "~CSortableObList" => self.cached_len.set(self.base.count()),
+            "AddHead" | "AddTail" | "InsertAfter" => {
+                let foreign_remove = seeded::LAST_REMOVE_BY
+                    .with(std::cell::Cell::get)
+                    .is_some_and(|id| id != self.instance);
+                if !foreign_remove {
+                    self.cached_len.set(self.base.count());
+                }
+            }
+            _ => {}
         }
     }
 
@@ -436,6 +511,17 @@ impl Component for CSortableObList {
     }
 
     fn invoke(&mut self, method: &str, a: &[Value]) -> InvokeResult {
+        let result = self.dispatch(method, a);
+        #[cfg(feature = "seeded-bugs")]
+        if result.is_ok() {
+            self.seeded_track(method);
+        }
+        result
+    }
+}
+
+impl CSortableObList {
+    fn dispatch(&mut self, method: &str, a: &[Value]) -> InvokeResult {
         match method {
             "Sort1" => {
                 args::expect_arity(method, a, 0)?;
@@ -477,10 +563,22 @@ impl BuiltInTest for CSortableObList {
 
     fn invariant_test(&self) -> Result<(), AssertionViolation> {
         // The subclass inherits the structural invariant unchanged.
-        self.base.invariant_test()
+        self.base.invariant_test()?;
+        #[cfg(feature = "seeded-bugs")]
+        concat_bit::check(
+            &self.ctl,
+            concat_runtime::AssertionKind::Invariant,
+            Self::CLASS,
+            "",
+            "cached length agrees with m_nCount",
+            self.cached_len.get() == self.base.count(),
+        )?;
+        Ok(())
     }
 
     fn reporter(&self) -> StateReport {
+        // Deliberately the parent's exact report: retargeted parent
+        // suites compare transcripts across the hierarchy.
         self.base.reporter()
     }
 }
@@ -608,6 +706,13 @@ pub fn sortable_spec() -> ClassSpec {
         .returns("Value")
         .method("m21", "FindMin", MethodCategory::Access)
         .returns("Value")
+        .invariant(
+            "i1",
+            "element count never goes negative",
+            concat_tspec::InvariantTerm::field("m_nCount"),
+            concat_tspec::InvariantOp::Ge,
+            concat_tspec::InvariantTerm::int(0),
+        )
         .destructor("m16", "~CSortableObList")
         .birth_node("n1", ["m1", "m1b"])
         .task_node("n2", ["m2", "m3"])

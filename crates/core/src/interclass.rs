@@ -155,6 +155,7 @@ impl CompositeSpec {
             source_files: Vec::new(),
             attributes,
             methods,
+            invariants: Vec::new(),
             tfm,
         };
         errors.extend(spec.validate());

@@ -39,6 +39,7 @@ mod assess;
 mod bundle;
 mod consumer;
 mod interclass;
+mod invariant;
 mod producer;
 mod regression;
 
@@ -46,5 +47,6 @@ pub use assess::{assess, TestabilityReport};
 pub use bundle::{SelfTestable, SelfTestableBuilder};
 pub use consumer::{Consumer, ConsumerError, PersistedSession, SelfTestReport};
 pub use interclass::{CompositeFactory, CompositeSpec, CompositeSpecBuilder, Role};
+pub use invariant::InvariantCampaign;
 pub use producer::{PackagingError, Producer};
 pub use regression::{record_baseline, regression_check, RegressionFinding, RegressionReport};

@@ -59,6 +59,7 @@ mod coverage;
 mod generator;
 mod history;
 mod inputs;
+mod invariant;
 mod log;
 mod oracle;
 mod persist;
@@ -76,6 +77,11 @@ pub use history::{
     TestingHistory,
 };
 pub use inputs::{InputError, InputGenerator, ObjectProvider};
+pub use invariant::{
+    execute_sequence, generate_walk, load_sequence, save_sequence, shrink_sequence, FailureKind,
+    InvariantBreaker, InvariantSummary, StepKind, WalkConfig, WalkFailure, WalkOutcome,
+    WalkSequence, WalkStep,
+};
 pub use log::{TestLog, LOG_WRITE_OP};
 pub use oracle::{compare_transcripts, differing_cases, Divergence, ManualOracle, Verdict};
 pub use persist::{

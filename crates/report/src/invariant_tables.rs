@@ -1,0 +1,182 @@
+//! Tables over an invariant-fuzzing campaign.
+//!
+//! [`render_invariant_table`] gives the campaign-level figures (walks,
+//! calls, checks, failures, corpus replays, shrink ratio), followed by
+//! one row per breaker: where it came from, why it failed, and how far
+//! the shrinker compressed the failing sequence.
+
+use crate::table::AsciiTable;
+use concat_driver::{FailureKind, InvariantBreaker, InvariantSummary};
+
+fn failure_label(kind: &FailureKind) -> String {
+    match kind {
+        FailureKind::Invariant { message } => format!("invariant: {message}"),
+        FailureKind::SpecClause { id } => format!("clause {id}"),
+        FailureKind::Panic { message } => format!("panic: {message}"),
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_owned();
+    }
+    let head: String = s.chars().take(max.saturating_sub(1)).collect();
+    format!("{head}\u{2026}")
+}
+
+/// Renders the invariant-campaign report: a summary table, then (when
+/// any sequence failed) a per-breaker table.
+///
+/// # Examples
+///
+/// ```
+/// use concat_driver::InvariantSummary;
+/// use concat_report::render_invariant_table;
+///
+/// let summary = InvariantSummary {
+///     class_name: "CSortableObList".into(),
+///     seed: 42,
+///     walks: 8,
+///     calls: 2048,
+///     checks: 4096,
+///     ..InvariantSummary::default()
+/// };
+/// let out = render_invariant_table(&summary, &[]);
+/// assert!(out.contains("CSortableObList"));
+/// assert!(out.contains("no invariant breakers"));
+/// ```
+pub fn render_invariant_table(summary: &InvariantSummary, breakers: &[InvariantBreaker]) -> String {
+    let mut out = format!(
+        "Invariant campaign: {} (seed {})\n",
+        summary.class_name, summary.seed
+    );
+
+    let mut totals = AsciiTable::new(vec!["Measure".into(), "Value".into()]);
+    totals.numeric();
+    totals.row(vec!["walks".into(), summary.walks.to_string()]);
+    totals.row(vec!["calls executed".into(), summary.calls.to_string()]);
+    totals.row(vec!["invariant checks".into(), summary.checks.to_string()]);
+    totals.row(vec!["failures".into(), summary.failures.to_string()]);
+    totals.row(vec!["corpus replays".into(), summary.replayed.to_string()]);
+    totals.row(vec![
+        "replays still failing".into(),
+        summary.replayed_failing.to_string(),
+    ]);
+    if summary.original_calls > 0 {
+        totals.row(vec![
+            "shrink (calls)".into(),
+            format!("{} -> {}", summary.original_calls, summary.shrunk_calls),
+        ]);
+    }
+    totals.row(vec![
+        "stopped early".into(),
+        if summary.stopped {
+            "yes".into()
+        } else {
+            "no".into()
+        },
+    ]);
+    out.push_str(&totals.render());
+
+    if breakers.is_empty() {
+        out.push_str("no invariant breakers\n");
+        return out;
+    }
+
+    let mut table = AsciiTable::new(vec![
+        "Source".into(),
+        "Failure".into(),
+        "Calls".into(),
+        "Shrunk".into(),
+    ]);
+    table.numeric();
+    for b in breakers {
+        let source = match (b.from_corpus, b.walk) {
+            (true, _) => "corpus".to_owned(),
+            (false, Some(i)) => format!("walk {i}"),
+            (false, None) => "-".to_owned(),
+        };
+        table.row(vec![
+            source,
+            truncate(&failure_label(&b.failure), 48),
+            b.original_calls.to_string(),
+            b.shrunk.call_count().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concat_driver::WalkSequence;
+
+    fn summary() -> InvariantSummary {
+        InvariantSummary {
+            class_name: "Counter".into(),
+            seed: 7,
+            walks: 4,
+            calls: 900,
+            checks: 1800,
+            failures: 1,
+            replayed: 2,
+            replayed_failing: 1,
+            original_calls: 300,
+            shrunk_calls: 3,
+            stopped: false,
+        }
+    }
+
+    fn breaker(from_corpus: bool) -> InvariantBreaker {
+        InvariantBreaker {
+            walk: if from_corpus { None } else { Some(2) },
+            from_corpus,
+            failure: FailureKind::Invariant {
+                message: "n >= 0 violated".into(),
+            },
+            original_calls: 300,
+            shrunk: WalkSequence {
+                class_name: "Counter".into(),
+                seed: 7,
+                steps: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn summary_figures_appear() {
+        let out = render_invariant_table(&summary(), &[]);
+        assert!(out.contains("Counter"));
+        assert!(out.contains("| walks"));
+        assert!(out.contains("300 -> 3"));
+        assert!(out.contains("no invariant breakers"));
+    }
+
+    #[test]
+    fn breaker_rows_name_their_source() {
+        let out = render_invariant_table(&summary(), &[breaker(true), breaker(false)]);
+        assert!(out.contains("corpus"));
+        assert!(out.contains("walk 2"));
+        assert!(out.contains("invariant: n >= 0 violated"));
+        assert!(!out.contains("no invariant breakers"));
+    }
+
+    #[test]
+    fn long_failure_labels_truncate() {
+        let mut b = breaker(false);
+        b.failure = FailureKind::Panic {
+            message: "x".repeat(200),
+        };
+        let out = render_invariant_table(&summary(), &[b]);
+        assert!(out.contains('\u{2026}'));
+        assert!(out.lines().all(|l| l.chars().count() < 120));
+    }
+
+    #[test]
+    fn stopped_campaign_says_so() {
+        let mut s = summary();
+        s.stopped = true;
+        assert!(render_invariant_table(&s, &[]).contains("yes"));
+    }
+}

@@ -19,17 +19,21 @@
 //! * [`render_fleet_table`] — per-campaign standing of an orchestrated
 //!   fleet ([`FleetCampaignRow`]): phase, merge progress, priority and
 //!   effective slot supervision deadlines;
-//! * [`render_model_metrics_table`] — per-class TFM size figures.
+//! * [`render_model_metrics_table`] — per-class TFM size figures;
+//! * [`render_invariant_table`] — invariant-fuzzing campaign figures and
+//!   per-breaker shrink results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod experiments;
+mod invariant_tables;
 mod mutation_tables;
 mod table;
 mod telemetry;
 
 pub use experiments::{Comparison, ComparisonRow};
+pub use invariant_tables::render_invariant_table;
 pub use mutation_tables::{
     render_amplification_table, render_mutant_catalog, render_operator_table, render_score_table,
     summarize_run,

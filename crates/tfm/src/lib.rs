@@ -44,6 +44,7 @@ mod dot;
 mod graph;
 mod metrics;
 mod paths;
+mod walk;
 
 pub use dot::{to_dot, to_dot_highlighted};
 pub use graph::{Edge, Node, NodeId, NodeKind, Tfm, TfmError};
@@ -52,3 +53,4 @@ pub use paths::{
     enumerate_transactions, enumerate_transactions_with, EnumerationConfig, Transaction,
     TransactionSet,
 };
+pub use walk::{coverage_step_bound, reachable_edges, EdgeWalker, WalkPolicy};

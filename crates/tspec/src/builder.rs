@@ -5,7 +5,10 @@
 //! parsed text format (Figure 3) remains the interchange representation.
 
 use crate::domain::Domain;
-use crate::spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec, SpecError};
+use crate::spec::{
+    AttributeSpec, ClassSpec, InvariantOp, InvariantSpec, InvariantTerm, MethodCategory,
+    MethodSpec, ParamSpec, SpecError,
+};
 use concat_tfm::{NodeId, NodeKind, Tfm};
 
 /// Builder for [`ClassSpec`].
@@ -38,6 +41,7 @@ pub struct ClassSpecBuilder {
     source_files: Vec<String>,
     attributes: Vec<AttributeSpec>,
     methods: Vec<MethodSpec>,
+    invariants: Vec<InvariantSpec>,
     nodes: Vec<(String, NodeKind, Vec<String>)>,
     edges: Vec<(String, String)>,
 }
@@ -52,6 +56,7 @@ impl ClassSpecBuilder {
             source_files: Vec::new(),
             attributes: Vec::new(),
             methods: Vec::new(),
+            invariants: Vec::new(),
             nodes: Vec::new(),
             edges: Vec::new(),
         }
@@ -127,6 +132,20 @@ impl ClassSpecBuilder {
             .expect("param() must follow a method()")
             .params
             .push(ParamSpec::new(name, domain));
+        self
+    }
+
+    /// Declares an invariant clause over the component's reported state.
+    pub fn invariant(
+        mut self,
+        id: impl Into<String>,
+        description: impl Into<String>,
+        left: InvariantTerm,
+        op: InvariantOp,
+        right: InvariantTerm,
+    ) -> Self {
+        self.invariants
+            .push(InvariantSpec::new(id, description, left, op, right));
         self
     }
 
@@ -209,6 +228,7 @@ impl ClassSpecBuilder {
             source_files: self.source_files,
             attributes: self.attributes,
             methods: self.methods,
+            invariants: self.invariants,
             tfm,
         };
         errors.extend(spec.validate());
@@ -241,6 +261,7 @@ impl ClassSpecBuilder {
             source_files: self.source_files,
             attributes: self.attributes,
             methods: self.methods,
+            invariants: self.invariants,
             tfm,
         }
     }

@@ -5,12 +5,15 @@
 //! ```text
 //! spec      := class record*
 //! class     := "Class" "(" quoted "," yesno "," (quoted|empty) "," (list|empty) ")"
-//! record    := attribute | method | parameter | node | edge
+//! record    := attribute | method | parameter | node | edge | invariant
 //! attribute := "Attribute" "(" quoted "," domain ")"
 //! method    := "Method" "(" ident "," quoted "," (quoted|empty) "," ident "," int ")"
 //! parameter := "Parameter" "(" ident "," quoted "," domain ")"
 //! node      := "Node" "(" ident "," ident "," "[" ident ("," ident)* "]" ")"
 //! edge      := "Edge" "(" ident "," ident ")"
+//! invariant := "Invariant" "(" ident "," quoted "," term "," op "," term ")"
+//! term      := ident | int | float | quoted
+//! op        := "eq" | "ne" | "lt" | "le" | "gt" | "ge"
 //! domain    := "range" "," number "," number
 //!            | "set" "," "[" literal ("," literal)* "]"
 //!            | "string" "," int
@@ -24,7 +27,10 @@
 
 use super::lexer::{tokenize, LexError, Token, TokenKind};
 use crate::domain::Domain;
-use crate::spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec};
+use crate::spec::{
+    AttributeSpec, ClassSpec, InvariantOp, InvariantSpec, InvariantTerm, MethodCategory,
+    MethodSpec, ParamSpec,
+};
 use concat_runtime::Value;
 use concat_tfm::{NodeId, NodeKind, Tfm};
 use std::collections::BTreeMap;
@@ -136,6 +142,34 @@ impl Parser {
                 message: format!("expected integer, found {}", t.kind),
             }),
             None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    /// One side of an invariant comparison: a bare ident is a reported
+    /// state field; int, float and quoted literals are constants.
+    fn invariant_term(&mut self) -> Result<InvariantTerm, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => Ok(InvariantTerm::Field(name)),
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok(InvariantTerm::Literal(Value::Int(i))),
+            Some(Token {
+                kind: TokenKind::Float(x),
+                ..
+            }) => Ok(InvariantTerm::Literal(Value::Float(x))),
+            Some(Token {
+                kind: TokenKind::Quoted(s),
+                ..
+            }) => Ok(InvariantTerm::Literal(Value::Str(s))),
+            Some(t) => Err(ParseError {
+                line: t.line,
+                message: format!("expected invariant term, found {}", t.kind),
+            }),
+            None => Err(self.err("expected invariant term, found end of input")),
         }
     }
 
@@ -391,6 +425,7 @@ pub fn parse_tspec(src: &str) -> Result<ClassSpec, ParseError> {
 
     let mut attributes = Vec::new();
     let mut methods: Vec<MethodSpec> = Vec::new();
+    let mut invariants: Vec<InvariantSpec> = Vec::new();
     let mut declared_arity: BTreeMap<String, usize> = BTreeMap::new();
     let mut tfm = Tfm::new(class_name.clone());
     let mut node_ids: BTreeMap<String, NodeId> = BTreeMap::new();
@@ -480,6 +515,25 @@ pub fn parse_tspec(src: &str) -> Result<ClassSpec, ParseError> {
                 let to = p.ident()?;
                 pending_edges.push((from, to, line));
             }
+            "Invariant" => {
+                let id = p.ident()?;
+                p.comma()?;
+                let description = p.quoted()?;
+                p.comma()?;
+                let left = p.invariant_term()?;
+                p.comma()?;
+                let line = p.line();
+                let op_kw = p.ident()?;
+                let op = InvariantOp::from_keyword(&op_kw).ok_or_else(|| ParseError {
+                    line,
+                    message: format!(
+                        "invariant operator must be eq, ne, lt, le, gt or ge; found `{op_kw}`"
+                    ),
+                })?;
+                p.comma()?;
+                let right = p.invariant_term()?;
+                invariants.push(InvariantSpec::new(id, description, left, op, right));
+            }
             other => return Err(p.err(format!("unknown record `{other}`"))),
         }
         p.expect(&TokenKind::RParen)?;
@@ -520,6 +574,7 @@ pub fn parse_tspec(src: &str) -> Result<ClassSpec, ParseError> {
         source_files,
         attributes,
         methods,
+        invariants,
         tfm,
     })
 }

@@ -50,6 +50,13 @@ fn literal(v: &Value) -> String {
     }
 }
 
+fn invariant_term(t: &crate::spec::InvariantTerm) -> String {
+    match t {
+        crate::spec::InvariantTerm::Field(name) => name.clone(),
+        crate::spec::InvariantTerm::Literal(v) => literal(v),
+    }
+}
+
 fn domain_suffix(d: &Domain) -> String {
     match d {
         Domain::IntRange { lo, hi } => format!("range, {lo}, {hi}"),
@@ -133,6 +140,17 @@ pub fn print_tspec(spec: &ClassSpec) -> String {
             );
         }
     }
+    for inv in &spec.invariants {
+        let _ = writeln!(
+            out,
+            "Invariant({}, {}, {}, {}, {})",
+            inv.id,
+            quote(&inv.description),
+            invariant_term(&inv.left),
+            inv.op.keyword(),
+            invariant_term(&inv.right)
+        );
+    }
     for (_, node) in spec.tfm.nodes() {
         let kind = match node.kind {
             NodeKind::Birth => "birth",
@@ -183,6 +201,20 @@ mod tests {
             .param("q", Domain::int_range(1, 99_999))
             .returns("void")
             .destructor("m3", "~Product")
+            .invariant(
+                "i1",
+                "quantity stays positive",
+                crate::spec::InvariantTerm::field("qty"),
+                crate::spec::InvariantOp::Ge,
+                crate::spec::InvariantTerm::int(1),
+            )
+            .invariant(
+                "i2",
+                "price is labelled",
+                crate::spec::InvariantTerm::field("name"),
+                crate::spec::InvariantOp::Ne,
+                crate::spec::InvariantTerm::Literal(Value::Str(String::new())),
+            )
             .birth_node("n1", ["m1"])
             .task_node("n2", ["m2"])
             .death_node("n3", ["m3"])
@@ -212,6 +244,8 @@ mod tests {
         assert!(printed.contains("Parameter(m2, 'q', range, 1, 99999)"));
         assert!(printed.contains("Node(n1, birth, [m1])"));
         assert!(printed.contains("Edge(n2, n3)"));
+        assert!(printed.contains("Invariant(i1, 'quantity stays positive', qty, ge, 1)"));
+        assert!(printed.contains("Invariant(i2, 'price is labelled', name, ne, '')"));
     }
 
     #[test]

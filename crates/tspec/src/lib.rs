@@ -53,4 +53,7 @@ pub use builder::ClassSpecBuilder;
 pub use domain::Domain;
 pub use format::{parse_tspec, print_tspec, ParseError};
 pub use lint::{lint_spec, LintWarning, TRANSACTION_EXPLOSION_THRESHOLD};
-pub use spec::{AttributeSpec, ClassSpec, MethodCategory, MethodSpec, ParamSpec, SpecError};
+pub use spec::{
+    AttributeSpec, ClassSpec, InvariantOp, InvariantSpec, InvariantTerm, MethodCategory,
+    MethodSpec, ParamSpec, SpecError,
+};

@@ -7,7 +7,7 @@
 //! [`ClassSpec::validate`]: everything here is a *warning* — the spec is
 //! usable, but the tester should look.
 
-use crate::spec::{ClassSpec, MethodCategory};
+use crate::spec::{ClassSpec, InvariantOp, InvariantTerm, MethodCategory};
 use concat_tfm::{enumerate_transactions_with, EnumerationConfig, NodeKind};
 use std::fmt;
 
@@ -62,6 +62,22 @@ pub enum LintWarning {
         /// The shared method name.
         name: String,
     },
+    /// An invariant clause references a state field that is not a declared
+    /// attribute — the reporter may never emit it, leaving the clause
+    /// unevaluable during invariant fuzzing (possible incompleteness).
+    InvariantFieldUndeclared {
+        /// The invariant id.
+        invariant: String,
+        /// The unresolved field name.
+        field: String,
+    },
+    /// An invariant clause can never distinguish states: both terms are
+    /// literals, or a field is compared to itself with a reflexive
+    /// operator (`eq`, `le`, `ge`) — dead weight in the fuzzing oracle.
+    TrivialInvariant {
+        /// The invariant id.
+        invariant: String,
+    },
 }
 
 impl fmt::Display for LintWarning {
@@ -93,6 +109,15 @@ impl fmt::Display for LintWarning {
             }
             LintWarning::AmbiguousOverload { name } => {
                 write!(f, "methods named {name} share the same arity")
+            }
+            LintWarning::InvariantFieldUndeclared { invariant, field } => {
+                write!(
+                    f,
+                    "invariant {invariant} references undeclared field {field}"
+                )
+            }
+            LintWarning::TrivialInvariant { invariant } => {
+                write!(f, "invariant {invariant} holds in every state")
             }
         }
     }
@@ -198,6 +223,31 @@ pub fn lint_spec(spec: &ClassSpec) -> Vec<LintWarning> {
             }
         } else {
             seen.push(key);
+        }
+    }
+
+    for inv in &spec.invariants {
+        for term in [&inv.left, &inv.right] {
+            if let InvariantTerm::Field(field) = term {
+                if !spec.attributes.iter().any(|a| &a.name == field) {
+                    warnings.push(LintWarning::InvariantFieldUndeclared {
+                        invariant: inv.id.clone(),
+                        field: field.clone(),
+                    });
+                }
+            }
+        }
+        let trivial = match (&inv.left, &inv.right) {
+            (InvariantTerm::Literal(_), InvariantTerm::Literal(_)) => true,
+            (InvariantTerm::Field(l), InvariantTerm::Field(r)) => {
+                l == r && matches!(inv.op, InvariantOp::Eq | InvariantOp::Le | InvariantOp::Ge)
+            }
+            _ => false,
+        };
+        if trivial {
+            warnings.push(LintWarning::TrivialInvariant {
+                invariant: inv.id.clone(),
+            });
         }
     }
 
@@ -316,6 +366,57 @@ mod tests {
             .filter(|w| matches!(w, LintWarning::AmbiguousOverload { .. }))
             .collect();
         assert_eq!(overloads.len(), 1);
+    }
+
+    #[test]
+    fn invariant_field_must_be_declared() {
+        let mut spec = clean_spec();
+        spec.invariants.push(crate::spec::InvariantSpec::new(
+            "i1",
+            "phantom field",
+            crate::spec::InvariantTerm::field("nope"),
+            InvariantOp::Ge,
+            crate::spec::InvariantTerm::int(0),
+        ));
+        let warnings = lint_spec(&spec);
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::InvariantFieldUndeclared { invariant, field }
+                if invariant == "i1" && field == "nope"
+        )));
+    }
+
+    #[test]
+    fn trivial_invariants_flagged() {
+        let mut spec = clean_spec();
+        spec.invariants.push(crate::spec::InvariantSpec::new(
+            "i1",
+            "literal vs literal",
+            crate::spec::InvariantTerm::int(1),
+            InvariantOp::Le,
+            crate::spec::InvariantTerm::int(2),
+        ));
+        spec.invariants.push(crate::spec::InvariantSpec::new(
+            "i2",
+            "field vs itself",
+            crate::spec::InvariantTerm::field("a"),
+            InvariantOp::Eq,
+            crate::spec::InvariantTerm::field("a"),
+        ));
+        // A field-vs-itself `ne` is unsatisfiable, not trivial — leave it
+        // to the violation report rather than this lint.
+        spec.invariants.push(crate::spec::InvariantSpec::new(
+            "i3",
+            "sound clause",
+            crate::spec::InvariantTerm::field("a"),
+            InvariantOp::Ge,
+            crate::spec::InvariantTerm::int(0),
+        ));
+        let trivial: Vec<_> = lint_spec(&spec)
+            .into_iter()
+            .filter(|w| matches!(w, LintWarning::TrivialInvariant { .. }))
+            .collect();
+        assert_eq!(trivial.len(), 2);
     }
 
     #[test]

@@ -121,6 +121,175 @@ impl MethodSpec {
     }
 }
 
+/// Comparison operator of a declarative invariant clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl InvariantOp {
+    /// The keyword used in the t-spec text format (`eq`, `ne`, `lt`, …).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            InvariantOp::Eq => "eq",
+            InvariantOp::Ne => "ne",
+            InvariantOp::Lt => "lt",
+            InvariantOp::Le => "le",
+            InvariantOp::Gt => "gt",
+            InvariantOp::Ge => "ge",
+        }
+    }
+
+    /// Parses a t-spec keyword; `None` for anything unrecognized.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "eq" => InvariantOp::Eq,
+            "ne" => InvariantOp::Ne,
+            "lt" => InvariantOp::Lt,
+            "le" => InvariantOp::Le,
+            "gt" => InvariantOp::Gt,
+            "ge" => InvariantOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// The operator as conventional notation (`==`, `<=`, …) for reports.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            InvariantOp::Eq => "==",
+            InvariantOp::Ne => "!=",
+            InvariantOp::Lt => "<",
+            InvariantOp::Le => "<=",
+            InvariantOp::Gt => ">",
+            InvariantOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for InvariantOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One side of an invariant comparison: a reported state field or a
+/// literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantTerm {
+    /// A key of the component's [`StateReport`](`crate`)-style observable
+    /// state (usually an attribute name such as `m_nCount`).
+    Field(String),
+    /// A constant.
+    Literal(concat_runtime::Value),
+}
+
+impl InvariantTerm {
+    /// Shorthand for a field reference.
+    pub fn field(name: impl Into<String>) -> Self {
+        InvariantTerm::Field(name.into())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Self {
+        InvariantTerm::Literal(concat_runtime::Value::Int(v))
+    }
+}
+
+impl fmt::Display for InvariantTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantTerm::Field(name) => f.write_str(name),
+            InvariantTerm::Literal(v) => f.write_str(&v.to_literal()),
+        }
+    }
+}
+
+/// A declarative class-invariant clause (paper §3.2: the spec documents
+/// the legal states; here a machine-checkable comparison over the
+/// component's reported observables). The invariant-fuzzing walk engine
+/// evaluates every clause against the component's `Reporter` state after
+/// every call, alongside the imperative `InvariantTest` of the BIT
+/// capability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantSpec {
+    /// Short identifier (`i1`, `i2`, … by convention).
+    pub id: String,
+    /// Human-readable statement of the property.
+    pub description: String,
+    /// Left-hand term.
+    pub left: InvariantTerm,
+    /// Comparison operator.
+    pub op: InvariantOp,
+    /// Right-hand term.
+    pub right: InvariantTerm,
+}
+
+impl InvariantSpec {
+    /// Creates an invariant clause.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        left: InvariantTerm,
+        op: InvariantOp,
+        right: InvariantTerm,
+    ) -> Self {
+        InvariantSpec {
+            id: id.into(),
+            description: description.into(),
+            left,
+            op,
+            right,
+        }
+    }
+
+    /// Evaluates the clause against a field lookup (typically a
+    /// `StateReport`). Returns `None` when a referenced field is absent
+    /// from the report — the clause is then *unevaluable*, which callers
+    /// may treat as a skip or as a spec-quality problem, but never as a
+    /// violation.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<concat_runtime::Value>) -> Option<bool> {
+        let resolve = |term: &InvariantTerm| -> Option<concat_runtime::Value> {
+            match term {
+                InvariantTerm::Field(name) => lookup(name),
+                InvariantTerm::Literal(v) => Some(v.clone()),
+            }
+        };
+        let left = resolve(&self.left)?;
+        let right = resolve(&self.right)?;
+        let ord = left.total_cmp(&right);
+        Some(match self.op {
+            InvariantOp::Eq => ord == std::cmp::Ordering::Equal,
+            InvariantOp::Ne => ord != std::cmp::Ordering::Equal,
+            InvariantOp::Lt => ord == std::cmp::Ordering::Less,
+            InvariantOp::Le => ord != std::cmp::Ordering::Greater,
+            InvariantOp::Gt => ord == std::cmp::Ordering::Greater,
+            InvariantOp::Ge => ord != std::cmp::Ordering::Less,
+        })
+    }
+
+    /// Renders the clause as conventional notation: `m_nCount >= 0`.
+    pub fn render(&self) -> String {
+        format!("{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+impl fmt::Display for InvariantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.render())
+    }
+}
+
 /// An attribute (data member) and its domain.
 ///
 /// The paper assumes "attributes are not part of a class's public
@@ -173,6 +342,11 @@ pub enum SpecError {
         /// Id of the uncovered method.
         id: String,
     },
+    /// Two invariant clauses share an id.
+    DuplicateInvariantId {
+        /// The duplicated id.
+        id: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -186,6 +360,9 @@ impl fmt::Display for SpecError {
             SpecError::Model(e) => write!(f, "test model: {e}"),
             SpecError::UncoveredMethod { id } => {
                 write!(f, "method {id} appears on no node of the test model")
+            }
+            SpecError::DuplicateInvariantId { id } => {
+                write!(f, "duplicate invariant id {id}")
             }
         }
     }
@@ -220,6 +397,9 @@ pub struct ClassSpec {
     pub attributes: Vec<AttributeSpec>,
     /// Public methods, in declaration order.
     pub methods: Vec<MethodSpec>,
+    /// Declarative class-invariant clauses, evaluated by the invariant
+    /// fuzzing walk engine against the component's reported state.
+    pub invariants: Vec<InvariantSpec>,
     /// The transaction flow model. Node method lists hold method *ids*.
     pub tfm: Tfm,
 }
@@ -298,6 +478,12 @@ impl ClassSpec {
                 errors.push(SpecError::UncoveredMethod { id: m.id.clone() });
             }
         }
+        let mut inv_ids = std::collections::BTreeSet::new();
+        for inv in &self.invariants {
+            if !inv_ids.insert(inv.id.as_str()) {
+                errors.push(SpecError::DuplicateInvariantId { id: inv.id.clone() });
+            }
+        }
         errors
     }
 
@@ -349,6 +535,13 @@ mod tests {
                 },
                 MethodSpec::new("m3", "~Product", MethodCategory::Destructor),
             ],
+            invariants: vec![InvariantSpec::new(
+                "i1",
+                "qty stays positive",
+                InvariantTerm::field("qty"),
+                InvariantOp::Ge,
+                InvariantTerm::int(1),
+            )],
             tfm,
         }
     }

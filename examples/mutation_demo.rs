@@ -70,6 +70,12 @@
 //! from an *untraced* run of the identical campaign; CI's `bench-smoke`
 //! job `cmp`s the two to prove the recorder perturbs nothing, and
 //! uploads the trace and BENCH_6.json as artifacts.
+//!
+//! A fifth mode, `mutation_demo invariant <transcript> <report> [--seed N]
+//! [--corpus <dir>]`, runs the stateful invariant-fuzzing campaign on
+//! `CSortableObList` (see `invariant_mode`); CI's `invariant` job builds
+//! it with `--features seeded-bugs`, `cmp`s two same-seed runs, and
+//! smoke-tests replay-from-corpus.
 
 use concat::bit::{BitControl, BuiltInTest, ComponentFactory, StateReport, TestableComponent};
 use concat::components::{sortable_inventory, sortable_spec, CSortableObListFactory};
@@ -122,6 +128,27 @@ fn main() {
     }
     if args.len() == 3 && args[1] == "verdicts" {
         verdicts_mode(&args[2]);
+        return;
+    }
+    if args.len() >= 4 && args[1] == "invariant" {
+        let mut seed = 42u64;
+        let mut corpus = None;
+        let mut rest = args[4..].iter();
+        while let Some(arg) = rest.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    seed = rest
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("--seed takes a number");
+                }
+                "--corpus" => {
+                    corpus = Some(rest.next().expect("--corpus takes a directory").clone());
+                }
+                other => panic!("unknown invariant flag {other:?}"),
+            }
+        }
+        invariant_mode(&args[2], &args[3], seed, corpus.as_deref());
         return;
     }
     if args.len() >= 3 && args[1] == "amplify" {
@@ -1107,6 +1134,90 @@ fn amplify_mode(report: &str, workers: Option<usize>, corpus: Option<&str>) {
         outcome.suite.len(),
         outcome.baseline_score * 100.0,
         outcome.final_score() * 100.0
+    );
+}
+
+/// The `invariant <transcript> <report> [--seed N] [--corpus <dir>]`
+/// mode: a stateful invariant-fuzzing campaign on `CSortableObList`.
+/// Seeded random walks over the TFM interleave two live lists, checking
+/// the BIT class invariant and every t-spec invariant clause after each
+/// call; failures are shrunk to a minimal reproducer. The transcript
+/// (every walk's call-by-call log plus the shrunk breakers) and the
+/// report are written atomically and are byte-identical for the same
+/// seed against a fresh corpus — CI `cmp`s two same-seed runs. With
+/// `--corpus`, breakers deposited by a previous run replay before any
+/// fuzzing. Build with `--features seeded-bugs` to arm the deliberate
+/// cross-object cache-desync fault this campaign exists to catch.
+fn invariant_mode(transcript_path: &str, report: &str, seed: u64, corpus: Option<&str>) {
+    let switch = MutationSwitch::new();
+    let bundle = SelfTestableBuilder::new(
+        sortable_spec(),
+        Rc::new(CSortableObListFactory::new(switch.clone())),
+    )
+    .mutation(sortable_inventory(), switch)
+    .build();
+    let config = concat::driver::WalkConfig::new(seed)
+        .with_walks(6)
+        .with_calls_per_walk(120)
+        .with_objects(2);
+    let mut consumer = Consumer::with_seed(seed);
+    if let Some(dir) = corpus {
+        consumer = consumer.with_corpus(dir);
+    }
+    let started = Instant::now();
+    let campaign = consumer.invariant_campaign(&bundle, &config);
+
+    let mut transcript = format!("invariant campaign: CSortableObList seed {seed}\n");
+    for (i, walk) in campaign.transcripts.iter().enumerate() {
+        transcript.push_str(&format!("=== walk {i} ===\n{walk}"));
+    }
+    for breaker in &campaign.breakers {
+        let source = match (breaker.from_corpus, breaker.walk) {
+            (true, _) => "corpus".to_owned(),
+            (false, Some(i)) => format!("walk {i}"),
+            (false, None) => "-".to_owned(),
+        };
+        transcript.push_str(&format!(
+            "=== breaker ({source}, {} -> {} calls) ===\n{}",
+            breaker.original_calls,
+            breaker.shrunk.call_count(),
+            concat::driver::save_sequence(&breaker.shrunk)
+        ));
+    }
+    write_atomic(transcript_path, transcript.as_bytes()).expect("transcript written atomically");
+    write_atomic(
+        report,
+        concat::report::render_invariant_table(&campaign.summary, &campaign.breakers).as_bytes(),
+    )
+    .expect("report written atomically");
+
+    if cfg!(feature = "seeded-bugs") {
+        assert!(
+            campaign.summary.failures > 0 || campaign.summary.replayed_failing > 0,
+            "the seeded cross-object fault must be caught"
+        );
+        for breaker in campaign.fresh_breakers() {
+            assert!(
+                breaker.shrunk.call_count() <= 10,
+                "reproducer must shrink to <= 10 calls, got {}",
+                breaker.shrunk.call_count()
+            );
+        }
+    } else {
+        assert!(
+            campaign.clean(),
+            "unseeded CSortableObList must hold its invariants"
+        );
+    }
+    println!(
+        "invariant campaign complete in {:?}: {} walk(s), {} call(s), {} check(s), \
+         {} failure(s), {} replay(s); transcript -> {transcript_path}, report -> {report}",
+        started.elapsed(),
+        campaign.summary.walks,
+        campaign.summary.calls,
+        campaign.summary.checks,
+        campaign.summary.failures,
+        campaign.summary.replayed,
     );
 }
 

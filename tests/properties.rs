@@ -686,3 +686,38 @@ fn random_suites_round_trip_through_persistence() {
         assert_eq!(restored, suite, "case {i}");
     });
 }
+
+// ---------------------------------------------------------------------
+// TFM walks: the least-visited walker covers every reachable edge
+// within its published step bound on random DAGs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn least_visited_walker_covers_random_dags_within_bound() {
+    use concat::tfm::{coverage_step_bound, EdgeWalker, WalkPolicy};
+    for_cases(0x3A1F, 64, |rng, i| {
+        let tfm = random_dag(rng);
+        let bound = coverage_step_bound(&tfm);
+        let mut pick = |n: usize| rng.int_in(0, n as i64 - 1) as usize;
+        let mut walker = EdgeWalker::new(WalkPolicy::LeastVisited);
+        walker.restart(&tfm, &mut pick);
+        // Restarting at dead ends counts against the bound too: the
+        // guarantee is about total work, not just edge traversals.
+        for _ in 0..bound {
+            let (visited, reachable) = walker.coverage(&tfm);
+            if visited == reachable {
+                break;
+            }
+            if walker.step(&tfm, &mut pick).is_none() {
+                walker.restart(&tfm, &mut pick);
+            }
+        }
+        let (visited, reachable) = walker.coverage(&tfm);
+        assert_eq!(
+            visited,
+            reachable,
+            "case {i}: {visited}/{reachable} edges covered after {} steps (bound {bound})",
+            walker.steps()
+        );
+    });
+}
